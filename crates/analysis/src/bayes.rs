@@ -1,0 +1,179 @@
+//! Lemmas 3.3–3.6: Bayesian inference over page identity from the Backward
+//! K-distance.
+//!
+//! Setting: the reference probability *vector* β is known, but which page
+//! occupies which probability slot is an unknown uniform-random permutation.
+//! Observing that page `i` has Backward K-distance `b_t(i,K) = k` updates
+//! the distribution over its slot (eq. 3.6), from which the expected
+//! reference probability `E_t(P(i))` follows (eq. 3.7). Lemma 3.6 —
+//! monotonicity of that estimate in `k` — is exactly why evicting the page
+//! with *maximal* backward K-distance is the right greedy policy.
+
+/// Eq. (3.6): posterior `Pr(x(i) = v | b_t(i,K) = k)` for every slot `v`.
+///
+/// `beta` is the probability vector (need not be sorted; must be positive
+/// and sum to ≈1), `k_refs` is K, and `bdist` is the observed backward
+/// K-distance `k` (in ticks, `bdist >= k_refs` for a feasible observation).
+///
+/// For K = 2 this is Lemma 3.3's eq. (3.2):
+/// `β_v² (1−β_v)^{k−1} / Σ_j β_j² (1−β_j)^{k−1}`.
+///
+/// ```
+/// use lruk_analysis::posterior;
+/// // One hot slot (β=0.5) and two cold (β=0.25 each): a page seen twice
+/// // in 2 ticks is most likely the hot one.
+/// let p = posterior(&[0.5, 0.25, 0.25], 2, 2);
+/// assert!(p[0] > p[1] && p[0] > 0.5);
+/// ```
+pub fn posterior(beta: &[f64], k_refs: usize, bdist: u64) -> Vec<f64> {
+    assert!(k_refs >= 1);
+    assert!(
+        bdist >= k_refs as u64,
+        "K references cannot fit in a backward distance smaller than K"
+    );
+    validate_beta(beta);
+    // weight_v = β_v^K (1−β_v)^{k−K+1}
+    let expo = (bdist - k_refs as u64 + 1) as i32;
+    let weights: Vec<f64> = beta
+        .iter()
+        .map(|&b| b.powi(k_refs as i32) * (1.0 - b).powi(expo))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "degenerate posterior (all weights zero)");
+    weights.into_iter().map(|w| w / total).collect()
+}
+
+/// Eq. (3.7): `E_t(P(i)) = E(P(i) | b_t(i,K) = k)`, the paper's a-posteriori
+/// estimate of page `i`'s reference probability.
+///
+/// ```
+/// use lruk_analysis::expected_probability;
+/// let beta = [0.5, 0.25, 0.25];
+/// // Lemma 3.6: the estimate decreases with the backward distance.
+/// assert!(expected_probability(&beta, 2, 2) > expected_probability(&beta, 2, 50));
+/// ```
+pub fn expected_probability(beta: &[f64], k_refs: usize, bdist: u64) -> f64 {
+    let post = posterior(beta, k_refs, bdist);
+    beta.iter().zip(post).map(|(&b, p)| b * p).sum()
+}
+
+fn validate_beta(beta: &[f64]) {
+    assert!(!beta.is_empty());
+    assert!(
+        beta.iter().all(|&b| b > 0.0 && b < 1.0),
+        "each β must be in (0, 1)"
+    );
+    let sum: f64 = beta.iter().sum();
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "β must be a probability vector (sum {sum})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pool_beta(n1: usize, n2: usize) -> Vec<f64> {
+        let b1 = 1.0 / (2.0 * n1 as f64);
+        let b2 = 1.0 / (2.0 * n2 as f64);
+        let mut v = vec![b1; n1];
+        v.extend(std::iter::repeat_n(b2, n2));
+        v
+    }
+
+    #[test]
+    fn posterior_normalizes() {
+        let beta = two_pool_beta(10, 1000);
+        for bdist in [2u64, 10, 100, 1000] {
+            let p = posterior(&beta, 2, bdist);
+            let s: f64 = p.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "bdist={bdist}: sum {s}");
+        }
+    }
+
+    #[test]
+    fn lemma_3_3_closed_form_k2() {
+        // Hand-check eq. (3.2) against the implementation for a 3-slot β.
+        let beta = [0.5, 0.3, 0.2];
+        let k = 7u64;
+        let w: Vec<f64> = beta.iter().map(|&b| b * b * (1.0f64 - b).powi(6)).collect();
+        let total: f64 = w.iter().sum();
+        let got = posterior(&beta, 2, k);
+        for (g, e) in got.iter().zip(w.iter().map(|x| x / total)) {
+            assert!((g - e).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn short_distance_implies_hot_slot() {
+        let beta = two_pool_beta(10, 1000);
+        // A page seen twice within 4 ticks is almost surely a hot page.
+        let p = posterior(&beta, 2, 4);
+        let hot_mass: f64 = p[..10].iter().sum();
+        assert!(hot_mass > 0.98, "hot mass {hot_mass}");
+        // A page whose 2nd ref is 5000 ticks back is almost surely cold.
+        let p = posterior(&beta, 2, 5000);
+        let hot_mass: f64 = p[..10].iter().sum();
+        assert!(hot_mass < 0.01, "hot mass {hot_mass}");
+    }
+
+    #[test]
+    fn lemma_3_6_monotonicity() {
+        // E_t(P(i)) strictly decreases in the backward distance whenever β
+        // has at least two distinct values.
+        let beta = two_pool_beta(10, 1000);
+        let mut prev = f64::INFINITY;
+        for bdist in [2u64, 3, 5, 10, 30, 100, 300, 1000] {
+            let e = expected_probability(&beta, 2, bdist);
+            assert!(
+                e < prev,
+                "E_t(P) must strictly decrease: bdist={bdist}, {e} !< {prev}"
+            );
+            prev = e;
+        }
+        // Far past the hot pages' plausible range the estimate converges to
+        // the cold probability (monotone non-increasing to the limit).
+        let tail = expected_probability(&beta, 2, 5000);
+        assert!(tail <= prev + 1e-12);
+        assert!((tail - 0.0005).abs() < 1e-9, "limit is the cold β: {tail}");
+    }
+
+    #[test]
+    fn monotonicity_degenerates_with_equal_beta() {
+        // All β equal: the observation carries no information and the
+        // estimate is constant (the "unless all β_v are identical" caveat).
+        let beta = vec![0.125; 8];
+        let e1 = expected_probability(&beta, 2, 2);
+        let e2 = expected_probability(&beta, 2, 500);
+        assert!((e1 - e2).abs() < 1e-12);
+        assert!((e1 - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_brackets_beta_range() {
+        let beta = two_pool_beta(5, 500);
+        for bdist in [2u64, 50, 5000] {
+            let e = expected_probability(&beta, 2, bdist);
+            assert!((1.0 / 1000.0 - 1e-12..=0.1 + 1e-12).contains(&e));
+        }
+    }
+
+    #[test]
+    fn higher_k_sharpens_inference() {
+        // With more references on record at the same per-reference spacing,
+        // the posterior on "hot" should be at least as confident.
+        let beta = two_pool_beta(10, 1000);
+        // Same average spacing (10 ticks per interarrival).
+        let p2: f64 = posterior(&beta, 2, 20)[..10].iter().sum();
+        let p3: f64 = posterior(&beta, 3, 30)[..10].iter().sum();
+        assert!(p3 >= p2 - 1e-9, "K=3 {p3} vs K=2 {p2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn infeasible_distance_rejected() {
+        let beta = [0.5, 0.5];
+        let _ = posterior(&beta, 3, 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Definition 3.7 and Theorem 3.8: expected miss cost of a resident set.
+
+use crate::bayes::expected_probability;
+
+/// Eq. (3.8): `C(A, S_t, ω) = 1 − Σ_{i ∈ S_t} β_i` — the probability the
+/// next reference misses, given true probabilities `beta` and resident set
+/// `resident` (indices into `beta`).
+pub fn expected_cost(beta: &[f64], resident: &[usize]) -> f64 {
+    let s: f64 = resident.iter().map(|&i| beta[i]).sum();
+    1.0 - s
+}
+
+/// Eq. (3.9): the same cost with the unknown probabilities replaced by the
+/// Bayesian estimates `E_t(P(i))` from each page's observed backward
+/// K-distance. `observations[j]` is the backward K-distance of resident
+/// page `j`.
+pub fn estimated_cost(beta: &[f64], k_refs: usize, observations: &[u64]) -> f64 {
+    let s: f64 = observations
+        .iter()
+        .map(|&d| expected_probability(beta, k_refs, d))
+        .sum();
+    1.0 - s
+}
+
+/// Theorem 3.8, numerically: among all resident sets of size `m` chosen
+/// from pages with observed backward K-distances `all_observations`, the set
+/// with the `m` *smallest* distances (= what LRU-K retains) minimizes the
+/// estimated cost. Returns `(lru_k_cost, best_other_cost)` where
+/// `best_other_cost` is the minimum over `samples` random other subsets —
+/// callers assert `lru_k_cost <= best_other_cost + ε`.
+pub fn lru_k_resident_set_is_optimal(
+    beta: &[f64],
+    k_refs: usize,
+    all_observations: &[u64],
+    m: usize,
+    samples: usize,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(m <= all_observations.len());
+    // LRU-K's choice: the m smallest backward distances.
+    let mut sorted = all_observations.to_vec();
+    sorted.sort_unstable();
+    let lru_k_cost = estimated_cost(beta, k_refs, &sorted[..m]);
+
+    // Random alternative subsets.
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best_other = f64::INFINITY;
+    let mut pool: Vec<u64> = all_observations.to_vec();
+    for _ in 0..samples {
+        pool.shuffle(&mut rng);
+        let c = estimated_cost(beta, k_refs, &pool[..m]);
+        best_other = best_other.min(c);
+    }
+    (lru_k_cost, best_other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_pool_beta(n1: usize, n2: usize) -> Vec<f64> {
+        let b1 = 1.0 / (2.0 * n1 as f64);
+        let b2 = 1.0 / (2.0 * n2 as f64);
+        let mut v = vec![b1; n1];
+        v.extend(std::iter::repeat_n(b2, n2));
+        v
+    }
+
+    #[test]
+    fn expected_cost_is_one_minus_mass() {
+        let beta = [0.4, 0.3, 0.2, 0.1];
+        assert!((expected_cost(&beta, &[0, 1]) - 0.3).abs() < 1e-12);
+        assert!((expected_cost(&beta, &[]) - 1.0).abs() < 1e-12);
+        assert!((expected_cost(&beta, &[0, 1, 2, 3])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimated_cost_prefers_short_distances() {
+        let beta = two_pool_beta(10, 1000);
+        let hot_set = [5u64, 7, 9, 11];
+        let cold_set = [500u64, 700, 900, 1100];
+        assert!(
+            estimated_cost(&beta, 2, &hot_set) < estimated_cost(&beta, 2, &cold_set),
+            "short distances must imply lower expected miss cost"
+        );
+    }
+
+    #[test]
+    fn theorem_3_8_numeric() {
+        // 40 pages with assorted observed distances; LRU-K's min-distance
+        // subset of 15 must not be beaten by any of 500 random subsets.
+        let beta = two_pool_beta(20, 2000);
+        let observations: Vec<u64> = (0..40u64).map(|i| 2 + i * 13 % 900).collect();
+        let (lruk, other) =
+            lru_k_resident_set_is_optimal(&beta, 2, &observations, 15, 500, 99);
+        assert!(
+            lruk <= other + 1e-12,
+            "LRU-K set cost {lruk} beaten by alternative {other}"
+        );
+    }
+
+    #[test]
+    fn theorem_holds_for_k3_too() {
+        let beta = two_pool_beta(10, 500);
+        let observations: Vec<u64> = (0..30u64).map(|i| 3 + i * 31 % 700).collect();
+        let (lruk, other) =
+            lru_k_resident_set_is_optimal(&beta, 3, &observations, 10, 300, 7);
+        assert!(lruk <= other + 1e-12);
+    }
+}

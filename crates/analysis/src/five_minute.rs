@@ -1,0 +1,135 @@
+//! The Five Minute Rule \[GRAYPUT\], which the paper uses twice: to size the
+//! Retained Information Period (§2.1.2 — "the cost/benefit tradeoff for
+//! keeping a 4 Kbyte page in memory buffers is an interarrival time of about
+//! 100 seconds") and to argue that ~1400 pages of its OLTP trace are
+//! economical to cache (§4.3).
+//!
+//! The rule: a page is worth caching when the memory rent for holding it is
+//! cheaper than the disk-arm amortization for re-reading it — i.e. when its
+//! reference interarrival time is below the break-even interval
+//!
+//! ```text
+//! T_breakeven = (disk_cost / accesses_per_second) / (memory_cost_per_page)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Price book for the break-even computation.
+///
+/// ```
+/// use lruk_analysis::CostModel;
+/// let m = CostModel::circa_1987();
+/// // Minutes-scale break-even: the "Five Minute" family of rules.
+/// assert!(m.breakeven_seconds() > 30.0 && m.breakeven_seconds() < 300.0);
+/// assert!(m.worth_caching(10.0)); // a page re-referenced every 10 s
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one disk arm (currency units).
+    pub disk_price: f64,
+    /// Random accesses per second one arm sustains.
+    pub disk_accesses_per_second: f64,
+    /// Price of one megabyte of buffer memory.
+    pub memory_price_per_mb: f64,
+    /// Page size in bytes.
+    pub page_bytes: f64,
+}
+
+impl CostModel {
+    /// Gray & Putzolu's 1987 price book (≈$15k disk arm at 15 access/s,
+    /// ≈$5k/MB memory, 4 KiB pages) — the numbers behind the original
+    /// "five minutes" and behind the paper's 100-second guideline.
+    pub fn circa_1987() -> Self {
+        CostModel {
+            disk_price: 15_000.0,
+            disk_accesses_per_second: 15.0,
+            memory_price_per_mb: 5_000.0,
+            page_bytes: 4096.0,
+        }
+    }
+
+    /// Cost of one disk access per second of sustained rate.
+    fn access_cost(&self) -> f64 {
+        self.disk_price / self.disk_accesses_per_second
+    }
+
+    /// Memory rent for holding one page.
+    fn page_cost(&self) -> f64 {
+        self.memory_price_per_mb * (self.page_bytes / (1024.0 * 1024.0))
+    }
+
+    /// Break-even interarrival time in seconds: cache pages referenced more
+    /// often than this.
+    pub fn breakeven_seconds(&self) -> f64 {
+        self.access_cost() / self.page_cost()
+    }
+
+    /// Should a page with mean interarrival `seconds` be cached?
+    pub fn worth_caching(&self, seconds: f64) -> bool {
+        seconds <= self.breakeven_seconds()
+    }
+
+    /// The paper's Retained Information Period guideline: "about twice"
+    /// the break-even interval, "since we are measuring how far back we
+    /// need to go to see *two* references before we drop the page".
+    pub fn retained_information_period_seconds(&self) -> f64 {
+        2.0 * self.breakeven_seconds()
+    }
+
+    /// Convert the break-even interval to ticks for a system observing
+    /// `refs_per_second` page references.
+    pub fn breakeven_ticks(&self, refs_per_second: f64) -> f64 {
+        self.breakeven_seconds() * refs_per_second
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circa_1987_gives_about_100_seconds() {
+        // $1000/access-per-second over $19.53/page ≈ 51 s for 4 KiB pages;
+        // Gray & Putzolu's "five minutes" was for 1 KiB pages and their
+        // exact rounding. The paper itself uses "about 100 seconds" for
+        // 4 KiB pages — the same order of magnitude.
+        let m = CostModel::circa_1987();
+        let t = m.breakeven_seconds();
+        assert!(
+            (30.0..300.0).contains(&t),
+            "break-even {t} s should be minutes-scale"
+        );
+    }
+
+    #[test]
+    fn rip_guideline_is_twice_breakeven() {
+        let m = CostModel::circa_1987();
+        assert_eq!(
+            m.retained_information_period_seconds(),
+            2.0 * m.breakeven_seconds()
+        );
+    }
+
+    #[test]
+    fn worth_caching_threshold() {
+        let m = CostModel::circa_1987();
+        let t = m.breakeven_seconds();
+        assert!(m.worth_caching(t * 0.5));
+        assert!(!m.worth_caching(t * 2.0));
+    }
+
+    #[test]
+    fn cheaper_memory_lengthens_the_interval() {
+        let mut m = CostModel::circa_1987();
+        let before = m.breakeven_seconds();
+        m.memory_price_per_mb /= 10.0;
+        assert!(m.breakeven_seconds() > before * 9.0);
+    }
+
+    #[test]
+    fn tick_conversion() {
+        let m = CostModel::circa_1987();
+        let t = m.breakeven_ticks(130.0); // the paper's trace rate ≈ 130 refs/s
+        assert!((t - m.breakeven_seconds() * 130.0).abs() < 1e-9);
+    }
+}

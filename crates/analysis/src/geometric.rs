@@ -1,0 +1,97 @@
+//! Equation (3.1): the geometric forward-distance law.
+//!
+//! Under the Independent Reference Model, the forward distance `d_t(p)` to
+//! the next occurrence of page `p` is geometric:
+//! `Pr(d_t(p) = k) = β_p (1 − β_p)^{k−1}`, with mean `I_p = 1/β_p`.
+
+use serde::{Deserialize, Serialize};
+
+/// The geometric interarrival distribution of a page with reference
+/// probability β.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Geometric {
+    beta: f64,
+}
+
+impl Geometric {
+    /// Distribution for reference probability `beta` ∈ (0, 1].
+    pub fn new(beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "β must be in (0, 1]");
+        Geometric { beta }
+    }
+
+    /// `Pr(d = k)` for `k >= 1` (eq. 3.1).
+    pub fn pmf(&self, k: u64) -> f64 {
+        assert!(k >= 1, "forward distances start at 1");
+        self.beta * (1.0 - self.beta).powi((k - 1) as i32)
+    }
+
+    /// `Pr(d <= k)`.
+    pub fn cdf(&self, k: u64) -> f64 {
+        1.0 - (1.0 - self.beta).powi(k as i32)
+    }
+
+    /// Mean interarrival `I_p = 1/β` — the quantity LRU-K estimates.
+    pub fn mean(&self) -> f64 {
+        1.0 / self.beta
+    }
+
+    /// The memoryless property: `Pr(d = k + j | d > j) = Pr(d = k)`.
+    /// Returns the conditional probability, which tests compare to `pmf(k)`.
+    pub fn conditional_pmf(&self, k: u64, elapsed: u64) -> f64 {
+        let p_gt_elapsed = (1.0 - self.beta).powi(elapsed as i32);
+        self.pmf(k + elapsed) / p_gt_elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let g = Geometric::new(0.2);
+        let total: f64 = (1..=500).map(|k| g.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn mean_is_reciprocal_beta() {
+        let g = Geometric::new(0.01);
+        assert!((g.mean() - 100.0).abs() < 1e-12);
+        // Mean by summation: Σ k·pmf(k).
+        let s: f64 = (1..=20_000).map(|k| k as f64 * g.pmf(k)).sum();
+        assert!((s - 100.0).abs() < 0.1, "summed mean {s}");
+    }
+
+    #[test]
+    fn cdf_matches_pmf_partial_sums() {
+        let g = Geometric::new(0.3);
+        let mut acc = 0.0;
+        for k in 1..=30 {
+            acc += g.pmf(k);
+            assert!((g.cdf(k) - acc).abs() < 1e-12, "k={k}");
+        }
+    }
+
+    #[test]
+    fn memoryless_property() {
+        // The "rather surprising fact" the paper notes after Lemma 3.3:
+        // elapsed time since the last reference adds no information.
+        let g = Geometric::new(0.05);
+        for elapsed in [1u64, 10, 100] {
+            for k in [1u64, 5, 50] {
+                assert!(
+                    (g.conditional_pmf(k, elapsed) - g.pmf(k)).abs() < 1e-12,
+                    "memorylessness failed at k={k}, elapsed={elapsed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "β must be in (0, 1]")]
+    fn rejects_bad_beta() {
+        let _ = Geometric::new(0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! An Independent Reference Model sampler.
+//!
+//! Generates the i.i.d. reference strings of the paper's §3 analysis for
+//! empirical cross-checks: e.g. that `A_0`'s simulated hit ratio converges
+//! to `Σ_{top-m} β` (eq. 3.8), or that page interarrival times follow the
+//! geometric law (eq. 3.1).
+
+use lruk_policy::PageId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Samples pages i.i.d. from a fixed probability vector (inverse-transform
+/// over the cumulative distribution, O(log n) per draw).
+#[derive(Debug)]
+pub struct IrmSampler {
+    cumulative: Vec<f64>,
+    rng: StdRng,
+}
+
+impl IrmSampler {
+    /// Build from per-page probabilities `(page used implicitly as index)`.
+    /// `beta` must be positive and sum to ≈ 1.
+    pub fn new(beta: &[f64], seed: u64) -> Self {
+        assert!(!beta.is_empty());
+        assert!(beta.iter().all(|&b| b > 0.0));
+        let mut cumulative = Vec::with_capacity(beta.len());
+        let mut acc = 0.0;
+        for &b in beta {
+            acc += b;
+            cumulative.push(acc);
+        }
+        assert!(
+            (acc - 1.0).abs() < 1e-6,
+            "β must be a probability vector (sum {acc})"
+        );
+        // Guard against floating point drift at the top end.
+        *cumulative.last_mut().unwrap() = 1.0;
+        IrmSampler {
+            cumulative,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of pages.
+    pub fn universe(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draw the next page (pages are `PageId(0) .. PageId(n-1)`).
+    pub fn next_page(&mut self) -> PageId {
+        let u: f64 = self.rng.random();
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        PageId(idx.min(self.cumulative.len() - 1) as u64)
+    }
+
+    /// Draw a reference string of length `len`.
+    pub fn string(&mut self, len: usize) -> Vec<PageId> {
+        (0..len).map(|_| self.next_page()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_converge_to_beta() {
+        let beta = [0.5, 0.3, 0.15, 0.05];
+        let mut s = IrmSampler::new(&beta, 3);
+        let n = 200_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            counts[s.next_page().raw() as usize] += 1;
+        }
+        for (i, &b) in beta.iter().enumerate() {
+            let f = counts[i] as f64 / n as f64;
+            assert!(
+                (f - b).abs() < 0.01,
+                "page {i}: empirical {f} vs β {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn interarrivals_are_geometric() {
+        // Empirical mean interarrival of page 0 ≈ 1/β₀ (eq. 3.1).
+        let beta = [0.2, 0.3, 0.5];
+        let mut s = IrmSampler::new(&beta, 11);
+        let string = s.string(300_000);
+        let positions: Vec<usize> = string
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == PageId(0))
+            .map(|(i, _)| i)
+            .collect();
+        let gaps: Vec<f64> = positions.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean gap {mean}, expected 5");
+    }
+
+    #[test]
+    fn string_is_deterministic() {
+        let beta = [0.5, 0.5];
+        let a = IrmSampler::new(&beta, 7).string(1000);
+        let b = IrmSampler::new(&beta, 7).string(1000);
+        assert_eq!(a, b);
+        assert_eq!(IrmSampler::new(&beta, 7).universe(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability vector")]
+    fn rejects_non_normalized() {
+        let _ = IrmSampler::new(&[0.5, 0.2], 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! # lruk-analysis — the mathematics of the paper's Section 3
+//!
+//! Numerically executable versions of every formula in the paper's analysis,
+//! used by the test suite to validate that the LRU-K *implementation* agrees
+//! with the LRU-K *theory*:
+//!
+//! * eq. (3.1) — the geometric forward-distance law of the Independent
+//!   Reference Model ([`geometric`]);
+//! * eq. (3.2)/(3.6) — the Bayesian posterior `Pr(x(i) = v | b_t(i,K) = k)`
+//!   over which probability slot a page occupies ([`bayes::posterior`]);
+//! * eq. (3.7) — the a-posteriori estimate `E_t(P(i))`
+//!   ([`bayes::expected_probability`]), with Lemma 3.6's monotonicity;
+//! * eq. (3.8)/(3.9) — expected miss cost of a resident set
+//!   ([`cost`]), and the Theorem 3.8 comparison showing the min-backward-
+//!   distance resident set minimizes estimated cost;
+//! * [`irm`] — an Independent Reference Model sampler for empirical
+//!   cross-checks against the simulator;
+//! * [`five_minute`] — the Five Minute Rule economics behind the paper's
+//!   100-second caching criterion and its ~200-second Retained Information
+//!   Period guideline.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bayes;
+pub mod cost;
+pub mod five_minute;
+pub mod geometric;
+pub mod irm;
+
+pub use bayes::{expected_probability, posterior};
+pub use five_minute::CostModel;
+pub use cost::{estimated_cost, expected_cost, lru_k_resident_set_is_optimal};
+pub use geometric::Geometric;
+pub use irm::IrmSampler;

@@ -1,0 +1,311 @@
+//! ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST '03).
+//!
+//! The second major descendant of LRU-2: like LRU-K it distinguishes
+//! once-referenced from re-referenced pages and retains history for evicted
+//! pages (the ghost lists B1/B2 correspond to LRU-K's Retained Information),
+//! but it replaces timestamps with an online-tuned balance parameter `p`.
+//! Included for the lineage ablations.
+
+use lruk_policy::linked_list::LruList;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// ARC(c) adapted to the driver contract of
+/// [`ReplacementPolicy`]: the ghost bookkeeping of the canonical REQUEST
+/// procedure runs in `on_miss`, the REPLACE victim choice in
+/// `select_victim`, and the ghost insertion of the evicted page in
+/// `on_evict`.
+#[derive(Clone, Debug)]
+pub struct Arc {
+    /// Resident, seen exactly once recently.
+    t1: LruList,
+    /// Resident, seen at least twice recently.
+    t2: LruList,
+    /// Ghosts of pages evicted from T1.
+    b1: LruList,
+    /// Ghosts of pages evicted from T2.
+    b2: LruList,
+    /// Target size of T1 (the adaptation parameter), `0 ..= c`.
+    p: usize,
+    /// Cache capacity in frames.
+    c: usize,
+    pins: PinSet,
+    /// Pending admission goes to T2 (ghost hit) instead of T1.
+    pending_t2: Option<PageId>,
+    /// The pending miss was a B2 ghost hit (biases REPLACE toward T1).
+    was_b2: bool,
+}
+
+impl Arc {
+    /// ARC for a buffer of `capacity` frames.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Arc {
+            t1: LruList::with_capacity(capacity),
+            t2: LruList::with_capacity(capacity),
+            b1: LruList::with_capacity(capacity),
+            b2: LruList::with_capacity(capacity),
+            p: 0,
+            c: capacity,
+            pins: PinSet::new(),
+            pending_t2: None,
+            was_b2: false,
+        }
+    }
+
+    /// Current adaptation target for |T1| (diagnostics).
+    pub fn target_t1(&self) -> usize {
+        self.p
+    }
+
+    /// (|T1|, |T2|, |B1|, |B2|) — diagnostics.
+    pub fn list_sizes(&self) -> (usize, usize, usize, usize) {
+        (self.t1.len(), self.t2.len(), self.b1.len(), self.b2.len())
+    }
+
+    fn pick(&self, list: &LruList) -> Option<PageId> {
+        list.find_from_front(|p| !self.pins.is_pinned(p))
+    }
+}
+
+impl ReplacementPolicy for Arc {
+    fn name(&self) -> String {
+        "ARC".into()
+    }
+
+    /// Case I: hit in T1 ∪ T2 — move to MRU of T2.
+    fn on_hit(&mut self, page: PageId, _now: Tick) {
+        if self.t1.remove(page) {
+            self.t2.push_back(page);
+        } else {
+            let present = self.t2.touch(page);
+            debug_assert!(present, "on_hit for non-resident page");
+        }
+    }
+
+    /// Cases II–IV preamble: ghost adaptation and directory trimming.
+    fn on_miss(&mut self, page: PageId, _now: Tick) {
+        self.pending_t2 = None;
+        self.was_b2 = false;
+        if self.b1.contains(page) {
+            // Case II: B1 ghost hit — grow the recency side.
+            let delta = (self.b2.len() / self.b1.len().max(1)).max(1);
+            self.p = (self.p + delta).min(self.c);
+            self.b1.remove(page);
+            self.pending_t2 = Some(page);
+        } else if self.b2.contains(page) {
+            // Case III: B2 ghost hit — grow the frequency side.
+            let delta = (self.b1.len() / self.b2.len().max(1)).max(1);
+            self.p = self.p.saturating_sub(delta);
+            self.b2.remove(page);
+            self.pending_t2 = Some(page);
+            self.was_b2 = true;
+        } else {
+            // Case IV: brand-new page — keep the directory within bounds.
+            let l1 = self.t1.len() + self.b1.len();
+            let total = l1 + self.t2.len() + self.b2.len();
+            if l1 >= self.c {
+                if self.t1.len() < self.c {
+                    // IV(a): directory L1 full but T1 has room: drop B1 LRU.
+                    self.b1.pop_front();
+                }
+                // else: T1 itself holds c pages; the eviction below handles it.
+            } else if total >= 2 * self.c {
+                // IV(b): whole directory full: drop B2 LRU.
+                self.b2.pop_front();
+            }
+        }
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        if self.pending_t2.take() == Some(page) {
+            self.t2.push_back(page);
+        } else {
+            self.t1.push_back(page);
+        }
+        self.was_b2 = false;
+    }
+
+    /// REPLACE's ghost insertion: an evicted page's id moves to the matching
+    /// ghost list.
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        if self.t1.remove(page) {
+            self.b1.push_back(page);
+        } else if self.t2.remove(page) {
+            self.b2.push_back(page);
+        } else {
+            debug_assert!(false, "on_evict for non-resident page");
+        }
+        self.pins.clear_page(page);
+    }
+
+    /// The REPLACE victim choice.
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.t1.is_empty() && self.t2.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        let prefer_t1 = !self.t1.is_empty()
+            && (self.t1.len() > self.p || (self.was_b2 && self.t1.len() == self.p));
+        let victim = if prefer_t1 {
+            self.pick(&self.t1).or_else(|| self.pick(&self.t2))
+        } else {
+            self.pick(&self.t2).or_else(|| self.pick(&self.t1))
+        };
+        victim.ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.t1.remove(page);
+        self.t2.remove(page);
+        self.b1.remove(page);
+        self.b2.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.t1.len() + self.t2.len()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.b1.len() + self.b2.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    /// Drive one full reference through the policy with a fixed capacity.
+    fn reference(a: &mut Arc, page: PageId, t: u64, cap: usize) -> bool {
+        let now = Tick(t);
+        if a.t1.contains(page) || a.t2.contains(page) {
+            a.on_hit(page, now);
+            true
+        } else {
+            a.on_miss(page, now);
+            if a.resident_len() >= cap {
+                let v = a.select_victim(now).unwrap();
+                a.on_evict(v, now);
+            }
+            a.on_admit(page, now);
+            false
+        }
+    }
+
+    #[test]
+    fn second_reference_promotes_to_t2() {
+        let mut a = Arc::new(4);
+        reference(&mut a, p(1), 1, 4);
+        assert_eq!(a.list_sizes(), (1, 0, 0, 0));
+        reference(&mut a, p(1), 2, 4);
+        assert_eq!(a.list_sizes(), (0, 1, 0, 0));
+    }
+
+    #[test]
+    fn eviction_leaves_ghost() {
+        let mut a = Arc::new(2);
+        for i in 1..=3 {
+            reference(&mut a, p(i), i, 2);
+        }
+        // p1 evicted from T1, remembered in B1.
+        assert_eq!(a.list_sizes(), (2, 0, 1, 0));
+        assert!(a.b1.contains(p(1)));
+    }
+
+    #[test]
+    fn b1_ghost_hit_grows_p_and_lands_in_t2() {
+        let mut a = Arc::new(2);
+        for i in 1..=3 {
+            reference(&mut a, p(i), i, 2);
+        }
+        assert_eq!(a.target_t1(), 0);
+        reference(&mut a, p(1), 4, 2); // B1 ghost hit
+        assert!(a.target_t1() >= 1, "p must grow on a B1 hit");
+        assert!(a.t2.contains(p(1)));
+    }
+
+    #[test]
+    fn b2_ghost_hit_shrinks_p() {
+        let mut a = Arc::new(2);
+        // Build a T2 page then push it out through T2 evictions.
+        reference(&mut a, p(1), 1, 2);
+        reference(&mut a, p(1), 2, 2); // p1 in T2
+        reference(&mut a, p(2), 3, 2);
+        reference(&mut a, p(2), 4, 2); // p2 in T2 as well
+        reference(&mut a, p(3), 5, 2); // evicts from T2 (p=0) -> B2 ghost
+        assert!(a.retained_len() >= 1);
+        // Raise p first so the shrink is observable.
+        let ghost = if a.b2.contains(p(1)) { p(1) } else { p(2) };
+        a.p = 2;
+        reference(&mut a, ghost, 6, 2);
+        assert!(a.target_t1() < 2, "p must shrink on a B2 hit");
+    }
+
+    #[test]
+    fn directory_stays_bounded() {
+        let mut a = Arc::new(8);
+        for i in 0..10_000u64 {
+            // Mix: hot set of 4 + cold sweep.
+            let page = if i % 3 == 0 { p(i % 4) } else { p(100 + i) };
+            reference(&mut a, page, i + 1, 8);
+        }
+        let (t1, t2, b1, b2) = a.list_sizes();
+        assert!(t1 + t2 <= 8);
+        assert!(
+            t1 + t2 + b1 + b2 <= 2 * 8 + 1,
+            "directory exceeded 2c: {:?}",
+            a.list_sizes()
+        );
+    }
+
+    #[test]
+    fn scan_resistance_keeps_hot_pages() {
+        let cap = 8;
+        let mut a = Arc::new(cap);
+        // Establish 4 hot pages in T2.
+        for hp in 0..4u64 {
+            reference(&mut a, p(hp), hp * 2 + 1, cap);
+            reference(&mut a, p(hp), hp * 2 + 2, cap);
+        }
+        // Interleave hot hits with a long cold scan.
+        let mut t = 100;
+        for i in 0..200u64 {
+            reference(&mut a, p(1000 + i), t, cap);
+            t += 1;
+            reference(&mut a, p(i % 4), t, cap);
+            t += 1;
+        }
+        for hp in 0..4u64 {
+            assert!(
+                a.t2.contains(p(hp)),
+                "hot page {hp} flushed by scan; sizes {:?}",
+                a.list_sizes()
+            );
+        }
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut a = Arc::new(4);
+        assert_eq!(a.select_victim(Tick(1)), Err(VictimError::Empty));
+        reference(&mut a, p(1), 1, 4);
+        a.pin(p(1));
+        assert_eq!(a.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        a.unpin(p(1));
+        assert!(a.select_victim(Tick(2)).is_ok());
+        a.forget(p(1));
+        assert_eq!(a.resident_len(), 0);
+        assert_eq!(a.name(), "ARC");
+    }
+}

@@ -1,0 +1,211 @@
+//! Domain Separation (Reiter \[REITER\]) — the "page pool tuning" approach
+//! of the paper's §1.1.
+//!
+//! "Reiter … proposed that the DBA give better hints about page pools being
+//! accessed, separating them essentially into different buffer pools. Thus
+//! B-tree node pages would compete only against other node pages for
+//! buffers, data pages would compete only against other data pages, and the
+//! DBA could limit the amount of buffer space available for data pages."
+//!
+//! Each domain runs classical LRU within a DBA-assigned frame quota. The
+//! paper's abstract claims LRU-K "can approach the behavior of buffering
+//! algorithms in which page sets with known access frequencies are manually
+//! assigned to different buffer pools of specifically tuned sizes" *without*
+//! the manual effort — the pool-tuning experiment quantifies exactly that.
+
+use lruk_policy::linked_list::LruList;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// A DBA-style domain partitioning of the buffer pool.
+pub struct DomainSeparation {
+    /// One LRU list per domain.
+    domains: Vec<LruList>,
+    /// Frame quota per domain (the DBA's tuning decision).
+    quotas: Vec<usize>,
+    /// Page → domain mapping (the DBA's classification).
+    assign: Box<dyn Fn(PageId) -> usize + Send>,
+    pins: PinSet,
+}
+
+impl std::fmt::Debug for DomainSeparation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DomainSeparation")
+            .field("quotas", &self.quotas)
+            .field(
+                "occupancy",
+                &self.domains.iter().map(|d| d.len()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl DomainSeparation {
+    /// Build from quotas and a page classifier. `quotas.len()` fixes the
+    /// number of domains; `assign` must return an index below that.
+    pub fn new(quotas: Vec<usize>, assign: impl Fn(PageId) -> usize + Send + 'static) -> Self {
+        assert!(!quotas.is_empty());
+        assert!(quotas.iter().all(|&q| q >= 1), "every domain needs a frame");
+        DomainSeparation {
+            domains: quotas.iter().map(|_| LruList::new()).collect(),
+            quotas,
+            assign: Box::new(assign),
+            pins: PinSet::new(),
+        }
+    }
+
+    /// The Example 1.1 / §4.1 two-pool tuning: pages `0..n1` (the index
+    /// pool) get `pool1_frames` frames, everything else shares the rest.
+    /// `total_frames` must match the driving buffer's capacity.
+    pub fn two_pool(n1: u64, pool1_frames: usize, total_frames: usize) -> Self {
+        assert!(pool1_frames >= 1 && pool1_frames < total_frames);
+        DomainSeparation::new(
+            vec![pool1_frames, total_frames - pool1_frames],
+            move |p: PageId| usize::from(p.raw() >= n1),
+        )
+    }
+
+    /// Occupancy per domain (diagnostics).
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.domains.iter().map(|d| d.len()).collect()
+    }
+
+    fn domain_of(&self, page: PageId) -> usize {
+        let d = (self.assign)(page);
+        assert!(d < self.domains.len(), "classifier returned bad domain {d}");
+        d
+    }
+}
+
+impl ReplacementPolicy for DomainSeparation {
+    fn name(&self) -> String {
+        format!("DOMAINS{:?}", self.quotas)
+    }
+
+    fn on_hit(&mut self, page: PageId, _now: Tick) {
+        let d = self.domain_of(page);
+        self.domains[d].touch(page);
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        let d = self.domain_of(page);
+        self.domains[d].push_back(page);
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        let d = self.domain_of(page);
+        self.domains[d].remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.domains.iter().all(|d| d.is_empty()) {
+            return Err(VictimError::Empty);
+        }
+        // Evict from the domain most over its quota (ratio order), i.e. the
+        // domain that must shed pages to respect the DBA's partitioning.
+        let mut order: Vec<usize> = (0..self.domains.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ra = self.domains[a].len() as f64 / self.quotas[a] as f64;
+            let rb = self.domains[b].len() as f64 / self.quotas[b] as f64;
+            rb.partial_cmp(&ra).unwrap()
+        });
+        for d in order {
+            if let Some(v) = self.domains[d].find_from_front(|p| !self.pins.is_pinned(p)) {
+                return Ok(v);
+            }
+        }
+        Err(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        let d = self.domain_of(page);
+        self.domains[d].remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.domains.iter().map(|d| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn victims_come_from_the_over_quota_domain() {
+        // Domain 0: pages < 100, quota 2; domain 1: rest, quota 2.
+        let mut ds = DomainSeparation::two_pool(100, 2, 4);
+        ds.on_admit(p(1), Tick(1));
+        ds.on_admit(p(2), Tick(2));
+        ds.on_admit(p(200), Tick(3));
+        ds.on_admit(p(3), Tick(4)); // domain 0 now over quota (3 > 2)
+        assert_eq!(ds.select_victim(Tick(5)), Ok(p(1)), "domain-0 LRU");
+        ds.on_evict(p(1), Tick(5));
+        assert_eq!(ds.occupancy(), vec![2, 1]);
+    }
+
+    #[test]
+    fn domains_protect_each_other() {
+        // A flood of domain-1 pages must never evict domain-0 pages while
+        // domain 1 is the one over quota.
+        let mut ds = DomainSeparation::two_pool(100, 2, 4);
+        ds.on_admit(p(1), Tick(1));
+        ds.on_admit(p(2), Tick(2));
+        let mut t = 3;
+        for i in 0..50u64 {
+            ds.on_admit(p(200 + i), Tick(t));
+            t += 1;
+            if ds.resident_len() > 4 {
+                let v = ds.select_victim(Tick(t)).unwrap();
+                assert!(v.raw() >= 100, "flood evicted protected page {v:?}");
+                ds.on_evict(v, Tick(t));
+                t += 1;
+            }
+        }
+        assert_eq!(ds.occupancy()[0], 2, "domain 0 untouched");
+    }
+
+    #[test]
+    fn lru_within_a_domain() {
+        let mut ds = DomainSeparation::two_pool(100, 3, 6);
+        ds.on_admit(p(1), Tick(1));
+        ds.on_admit(p(2), Tick(2));
+        ds.on_admit(p(3), Tick(3));
+        ds.on_hit(p(1), Tick(4));
+        ds.on_admit(p(4), Tick(5)); // over quota
+        assert_eq!(ds.select_victim(Tick(6)), Ok(p(2)));
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut ds = DomainSeparation::two_pool(10, 1, 2);
+        assert_eq!(ds.select_victim(Tick(1)), Err(VictimError::Empty));
+        ds.on_admit(p(1), Tick(1));
+        ds.pin(p(1));
+        assert_eq!(ds.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        ds.unpin(p(1));
+        assert_eq!(ds.select_victim(Tick(2)), Ok(p(1)));
+        ds.forget(p(1));
+        assert_eq!(ds.resident_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad domain")]
+    fn bad_classifier_is_caught() {
+        let mut ds = DomainSeparation::new(vec![1], |_| 7);
+        ds.on_admit(p(1), Tick(1));
+    }
+}

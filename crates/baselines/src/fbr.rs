@@ -1,0 +1,259 @@
+//! FBR — Frequency-Based Replacement (Robinson & Devarakonda, SIGMETRICS
+//! '90), the paper's \[ROBDEV\] citation.
+//!
+//! The paper credits FBR's §2.1 with the idea behind its Correlated
+//! Reference Period: "Factoring out Locality". FBR keeps an LRU list split
+//! into *new*, *middle* and *old* sections. A hit bumps the page's
+//! reference count **only if the page is outside the new section** — hits on
+//! very recently used pages are locality, not popularity (the same insight
+//! LRU-K implements with the CRP). The victim is the page with the smallest
+//! count within the old section, breaking ties by recency.
+//!
+//! Counts are halved whenever the average count exceeds `c_max`, bounding
+//! the memory of old frequencies (FBR's aging — another workload-dependent
+//! knob the paper's §1.2 contrasts with LRU-K's self-tuning).
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::linked_list::LruList;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// Frequency-Based Replacement.
+#[derive(Debug)]
+pub struct Fbr {
+    /// Recency order over resident pages (front = LRU).
+    list: LruList,
+    count: FxHashMap<PageId, u32>,
+    pins: PinSet,
+    capacity: usize,
+    /// Fraction of the list forming the "new" section (counts frozen).
+    new_fraction: f64,
+    /// Fraction forming the "old" section (victims come from here).
+    old_fraction: f64,
+    /// Average-count ceiling triggering a halving pass.
+    c_max: u32,
+}
+
+impl Fbr {
+    /// FBR with the original paper's suggested section sizes (new ≈ 25%,
+    /// old ≈ 75%... the SIGMETRICS paper explores several; 25/50 is a
+    /// reasonable middle) and `c_max = 64`.
+    pub fn new(capacity: usize) -> Self {
+        Fbr::with_params(capacity, 0.25, 0.5, 64)
+    }
+
+    /// Fully parameterized constructor.
+    pub fn with_params(capacity: usize, new_fraction: f64, old_fraction: f64, c_max: u32) -> Self {
+        assert!(capacity >= 1);
+        assert!((0.0..1.0).contains(&new_fraction));
+        assert!((0.0..=1.0).contains(&old_fraction));
+        assert!(new_fraction + old_fraction <= 1.0 + 1e-9);
+        assert!(c_max >= 1);
+        Fbr {
+            list: LruList::with_capacity(capacity),
+            count: FxHashMap::default(),
+            pins: PinSet::new(),
+            capacity,
+            new_fraction,
+            old_fraction,
+            c_max,
+        }
+    }
+
+    /// Number of list positions (from the MRU end) inside the new section.
+    fn new_section_len(&self) -> usize {
+        ((self.capacity as f64) * self.new_fraction).floor() as usize
+    }
+
+    /// Number of list positions (from the LRU end) inside the old section.
+    fn old_section_len(&self) -> usize {
+        (((self.capacity as f64) * self.old_fraction).ceil() as usize).max(1)
+    }
+
+    /// Is `page` currently inside the new (MRU-side) section?
+    fn in_new_section(&self, page: PageId) -> bool {
+        let n = self.new_section_len();
+        if n == 0 {
+            return false;
+        }
+        // Walk from the hot end; the list is small (≤ capacity).
+        let len = self.list.len();
+        self.list
+            .iter()
+            .enumerate()
+            .any(|(i, p)| p == page && i >= len.saturating_sub(n))
+    }
+
+    fn maybe_age(&mut self) {
+        let n = self.count.len().max(1) as u64;
+        let total: u64 = self.count.values().map(|&c| c as u64).sum();
+        if total / n >= self.c_max as u64 {
+            for c in self.count.values_mut() {
+                *c /= 2;
+            }
+        }
+    }
+
+    /// Current count of a resident page (diagnostics).
+    pub fn count_of(&self, page: PageId) -> Option<u32> {
+        self.count.get(&page).copied()
+    }
+}
+
+impl ReplacementPolicy for Fbr {
+    fn name(&self) -> String {
+        format!(
+            "FBR(new={},old={})",
+            self.new_fraction, self.old_fraction
+        )
+    }
+
+    fn on_hit(&mut self, page: PageId, _now: Tick) {
+        // Factoring out locality: only count re-references from outside the
+        // new section.
+        if !self.in_new_section(page) {
+            if let Some(c) = self.count.get_mut(&page) {
+                *c = c.saturating_add(1);
+            }
+            self.maybe_age();
+        }
+        self.list.touch(page);
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        self.list.push_back(page);
+        self.count.insert(page, 1);
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        self.list.remove(page);
+        self.count.remove(&page);
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.list.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        // Least count within the old section (front of the list), ties by
+        // recency (the scan goes LRU-first so the first minimum wins).
+        let old_len = self.old_section_len();
+        let mut best: Option<(u32, PageId)> = None;
+        for (i, page) in self.list.iter().enumerate() {
+            if i >= old_len {
+                break;
+            }
+            if self.pins.is_pinned(page) {
+                continue;
+            }
+            let c = self.count[&page];
+            if best.map(|(bc, _)| c < bc).unwrap_or(true) {
+                best = Some((c, page));
+            }
+        }
+        if let Some((_, page)) = best {
+            return Ok(page);
+        }
+        // Old section entirely pinned: fall back to the rest of the list.
+        self.list
+            .find_from_front(|p| !self.pins.is_pinned(p))
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.list.remove(page);
+        self.count.remove(&page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.list.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn new_section_hits_do_not_count() {
+        // Full cache of 4, new section = the 2 MRU-most positions.
+        let mut f = Fbr::with_params(4, 0.5, 0.5, 1000);
+        for i in 1..=4 {
+            f.on_admit(p(i), Tick(i));
+        }
+        // p4 is at the MRU end (new section = {p3, p4}): hit must not count.
+        f.on_hit(p(4), Tick(5));
+        assert_eq!(f.count_of(p(4)), Some(1));
+        // p1 sits at the LRU end, outside the new section: hit counts.
+        f.on_hit(p(1), Tick(6));
+        assert_eq!(f.count_of(p(1)), Some(2));
+    }
+
+    #[test]
+    fn victim_is_least_frequent_old_page() {
+        let mut f = Fbr::with_params(4, 0.25, 0.75, 1000);
+        for i in 1..=4 {
+            f.on_admit(p(i), Tick(i));
+        }
+        // Bump p1's count from the old section.
+        f.on_hit(p(1), Tick(5));
+        // Old section = 3 LRU-most pages = [2, 3, 4]; all count 1; ties by
+        // recency -> p2.
+        assert_eq!(f.select_victim(Tick(6)), Ok(p(2)));
+    }
+
+    #[test]
+    fn aging_halves_counts() {
+        let mut f = Fbr::with_params(2, 0.0, 1.0, 4);
+        f.on_admit(p(1), Tick(1));
+        for t in 0..8 {
+            f.on_hit(p(1), Tick(2 + t));
+        }
+        // Average count would exceed 4 -> halving kicked in along the way.
+        assert!(f.count_of(p(1)).unwrap() < 9);
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut f = Fbr::new(4);
+        assert_eq!(f.select_victim(Tick(1)), Err(VictimError::Empty));
+        f.on_admit(p(1), Tick(1));
+        f.pin(p(1));
+        assert_eq!(f.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        f.unpin(p(1));
+        assert_eq!(f.select_victim(Tick(2)), Ok(p(1)));
+        f.on_evict(p(1), Tick(3));
+        assert_eq!(f.resident_len(), 0);
+        assert_eq!(f.count_of(p(1)), None);
+    }
+
+    #[test]
+    fn locality_burst_does_not_inflate_priority() {
+        // A page hammered while in the new section keeps count 1 and is
+        // still evictable; a page with spaced references accumulates count.
+        let mut f = Fbr::with_params(4, 0.5, 0.5, 1000);
+        for i in 1..=4 {
+            f.on_admit(p(i), Tick(i));
+        }
+        // p4 is MRU: burst of hits, all inside the new section.
+        for t in 5..10 {
+            f.on_hit(p(4), Tick(t));
+        }
+        assert_eq!(f.count_of(p(4)), Some(1), "burst must not count");
+        // p1 referenced from deep in the list: counts.
+        f.on_hit(p(1), Tick(10));
+        assert_eq!(f.count_of(p(1)), Some(2));
+    }
+}

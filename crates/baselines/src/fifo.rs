@@ -1,0 +1,107 @@
+//! First-In First-Out replacement.
+
+use lruk_policy::linked_list::LruList;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// FIFO: evict the page that has been resident longest, ignoring references
+/// entirely. Classical comparator from the buffer-management literature
+/// (\[EFFEHAER\], \[DANTOWS\]); vulnerable to Belady's anomaly.
+#[derive(Clone, Default, Debug)]
+pub struct Fifo {
+    queue: LruList,
+    pins: PinSet,
+}
+
+impl Fifo {
+    /// New empty FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admission order, oldest first (diagnostics).
+    pub fn queue_order(&self) -> Vec<PageId> {
+        self.queue.iter().collect()
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn on_hit(&mut self, _page: PageId, _now: Tick) {
+        // References do not reorder a FIFO queue.
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        let inserted = self.queue.push_back(page);
+        debug_assert!(inserted, "on_admit for already-resident page");
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        self.queue.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.queue.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        self.queue
+            .find_from_front(|p| !self.pins.is_pinned(p))
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.queue.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn eviction_ignores_hits() {
+        let mut f = Fifo::new();
+        f.on_admit(p(1), Tick(1));
+        f.on_admit(p(2), Tick(2));
+        f.on_hit(p(1), Tick(3)); // must NOT save p1
+        assert_eq!(f.select_victim(Tick(4)), Ok(p(1)));
+        f.on_evict(p(1), Tick(4));
+        assert_eq!(f.queue_order(), vec![p(2)]);
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut f = Fifo::new();
+        assert_eq!(f.select_victim(Tick(1)), Err(VictimError::Empty));
+        f.on_admit(p(1), Tick(1));
+        f.pin(p(1));
+        assert_eq!(f.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        f.on_admit(p(2), Tick(2));
+        assert_eq!(f.select_victim(Tick(3)), Ok(p(2)));
+        f.unpin(p(1));
+        assert_eq!(f.select_victim(Tick(3)), Ok(p(1)));
+        f.forget(p(1));
+        assert_eq!(f.resident_len(), 1);
+        assert_eq!(f.name(), "FIFO");
+    }
+}

@@ -1,0 +1,161 @@
+//! A hint-driven policy representing the paper's §1.1 second alternative:
+//! "Query Execution Plan Analysis" (the Hot Set Model \[SACSCH\], DBMIN
+//! \[CHOUDEW\], and the hint-passing approaches).
+//!
+//! [`HintedLru`] is classical LRU *plus* an access-kind hint channel: pages
+//! touched by a `Sequential` plan operator are inserted at the cold end of
+//! the recency list (the optimizer knows a scan will not re-reference
+//! them), so scans cannot flood the buffer. This reproduces what the paper
+//! concedes hints do well ("In Example 1.2 … we would presumably know
+//! enough to drop pages read in by sequential scans") — and, in the hint
+//! experiment, what they cannot do: discriminate the index pages of
+//! Example 1.1, where "each page is referenced exactly once during the
+//! plan" and only cross-plan, multi-user history tells the pools apart.
+
+use lruk_policy::linked_list::LruList;
+use lruk_policy::{AccessKind, PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// LRU with optimizer hints for sequential scans.
+#[derive(Debug)]
+pub struct HintedLru {
+    list: LruList,
+    pins: PinSet,
+    current_kind: AccessKind,
+}
+
+impl HintedLru {
+    /// New empty policy.
+    pub fn new() -> Self {
+        HintedLru {
+            list: LruList::new(),
+            pins: PinSet::new(),
+            current_kind: AccessKind::Random,
+        }
+    }
+}
+
+impl Default for HintedLru {
+    fn default() -> Self {
+        HintedLru::new()
+    }
+}
+
+impl ReplacementPolicy for HintedLru {
+    fn name(&self) -> String {
+        "LRU+hints".into()
+    }
+
+    fn note_kind(&mut self, kind: AccessKind) {
+        self.current_kind = kind;
+    }
+
+    fn on_hit(&mut self, page: PageId, _now: Tick) {
+        if self.current_kind == AccessKind::Sequential {
+            // Scan touch: no recency credit; keep the page at the cold end.
+            self.list.demote(page);
+        } else {
+            self.list.touch(page);
+        }
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        if self.current_kind == AccessKind::Sequential {
+            // The plan says this page won't be re-referenced: first out.
+            self.list.push_front(page);
+        } else {
+            self.list.push_back(page);
+        }
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        self.list.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.list.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        self.list
+            .find_from_front(|p| !self.pins.is_pinned(p))
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.list.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.list.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn scan_pages_are_first_victims() {
+        let mut h = HintedLru::new();
+        h.note_kind(AccessKind::Random);
+        h.on_admit(p(1), Tick(1));
+        h.note_kind(AccessKind::Sequential);
+        h.on_admit(p(2), Tick(2)); // scan page: cold end
+        h.on_admit(p(3), Tick(3));
+        // Victims: scan pages first (LIFO among them at the cold end),
+        // interactive page last.
+        assert_eq!(h.select_victim(Tick(4)), Ok(p(3)));
+        h.on_evict(p(3), Tick(4));
+        assert_eq!(h.select_victim(Tick(5)), Ok(p(2)));
+        h.on_evict(p(2), Tick(5));
+        assert_eq!(h.select_victim(Tick(6)), Ok(p(1)));
+    }
+
+    #[test]
+    fn scan_hits_grant_no_recency() {
+        let mut h = HintedLru::new();
+        h.note_kind(AccessKind::Random);
+        h.on_admit(p(1), Tick(1));
+        h.on_admit(p(2), Tick(2));
+        h.note_kind(AccessKind::Sequential);
+        h.on_hit(p(1), Tick(3)); // scan re-touch: p1 demoted, still coldest
+        assert_eq!(h.select_victim(Tick(4)), Ok(p(1)));
+    }
+
+    #[test]
+    fn without_hints_its_plain_lru() {
+        let mut h = HintedLru::new();
+        h.note_kind(AccessKind::Random);
+        for i in 1..=3 {
+            h.on_admit(p(i), Tick(i));
+        }
+        h.on_hit(p(1), Tick(4));
+        assert_eq!(h.select_victim(Tick(5)), Ok(p(2)));
+        assert_eq!(h.name(), "LRU+hints");
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut h = HintedLru::default();
+        assert_eq!(h.select_victim(Tick(1)), Err(VictimError::Empty));
+        h.on_admit(p(1), Tick(1));
+        h.pin(p(1));
+        assert_eq!(h.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        h.unpin(p(1));
+        h.forget(p(1));
+        assert_eq!(h.resident_len(), 0);
+    }
+}

@@ -1,0 +1,357 @@
+//! LFU and LFU with periodic aging.
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+use std::collections::BTreeSet;
+
+/// Least Frequently Used.
+///
+/// Evicts the resident page with the lowest reference count, breaking ties by
+/// least recent reference and then page id. Following the paper's §4.3
+/// characterization ("the inherent drawback of LFU is that it never
+/// 'forgets' any previous references"), reference counts are by default
+/// **retained across evictions** — a re-admitted page resumes its old count.
+/// Construct with [`Lfu::resident_only`] to drop counts on eviction instead.
+#[derive(Clone, Debug)]
+pub struct Lfu {
+    counts: FxHashMap<PageId, u64>,
+    last: FxHashMap<PageId, u64>,
+    /// Resident pages keyed by (count, last-reference, page): min = victim.
+    queue: BTreeSet<(u64, u64, PageId)>,
+    pins: PinSet,
+    retain_counts: bool,
+}
+
+impl Lfu {
+    /// Full-history LFU (counts survive eviction), as contrasted in §4.3.
+    pub fn new() -> Self {
+        Lfu {
+            counts: FxHashMap::default(),
+            last: FxHashMap::default(),
+            queue: BTreeSet::new(),
+            pins: PinSet::new(),
+            retain_counts: true,
+        }
+    }
+
+    /// LFU that forgets a page's count when the page is evicted.
+    pub fn resident_only() -> Self {
+        Lfu {
+            retain_counts: false,
+            ..Lfu::new()
+        }
+    }
+
+    /// Current reference count for `page` (resident or retained).
+    pub fn count(&self, page: PageId) -> u64 {
+        self.counts.get(&page).copied().unwrap_or(0)
+    }
+
+    fn key(&self, page: PageId) -> (u64, u64, PageId) {
+        (self.counts[&page], self.last[&page], page)
+    }
+
+    fn bump(&mut self, page: PageId, now: Tick) {
+        let resident = self.queue.contains(&self.key(page));
+        if resident {
+            let old = self.key(page);
+            self.queue.remove(&old);
+        }
+        *self.counts.get_mut(&page).unwrap() += 1;
+        *self.last.get_mut(&page).unwrap() = now.raw();
+        if resident {
+            let new = self.key(page);
+            self.queue.insert(new);
+        }
+    }
+}
+
+impl Default for Lfu {
+    fn default() -> Self {
+        Lfu::new()
+    }
+}
+
+impl ReplacementPolicy for Lfu {
+    fn name(&self) -> String {
+        "LFU".into()
+    }
+
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        self.bump(page, now);
+    }
+
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        let count = self.counts.entry(page).or_insert(0);
+        *count += 1;
+        let count = *count;
+        self.last.insert(page, now.raw());
+        self.queue.insert((count, now.raw(), page));
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        let key = self.key(page);
+        let removed = self.queue.remove(&key);
+        debug_assert!(removed, "on_evict for non-resident page");
+        if !self.retain_counts {
+            self.counts.remove(&page);
+            self.last.remove(&page);
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.queue.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        self.queue
+            .iter()
+            .map(|&(_, _, page)| page)
+            .find(|&page| !self.pins.is_pinned(page))
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        if self.counts.contains_key(&page) && self.last.contains_key(&page) {
+            let key = self.key(page);
+            self.queue.remove(&key);
+        }
+        self.counts.remove(&page);
+        self.last.remove(&page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.counts.len() - self.queue.len()
+    }
+}
+
+/// LFU with periodic exponential aging: every `aging_interval` ticks all
+/// reference counts are halved. This is the class of "aging schemes based on
+/// reference counters" (§1.2) that require workload-dependent tuning — the
+/// interval *is* that tuning knob. With a well-chosen interval it tracks
+/// moving hot spots far better than pure LFU (see the adaptivity ablation).
+#[derive(Clone, Debug)]
+pub struct AgedLfu {
+    inner: Lfu,
+    aging_interval: u64,
+    next_aging: u64,
+}
+
+impl AgedLfu {
+    /// LFU whose counts are halved every `aging_interval` ticks.
+    pub fn new(aging_interval: u64) -> Self {
+        assert!(aging_interval > 0, "aging interval must be positive");
+        AgedLfu {
+            inner: Lfu::new(),
+            aging_interval,
+            next_aging: aging_interval,
+        }
+    }
+
+    /// Current reference count for `page`.
+    pub fn count(&self, page: PageId) -> u64 {
+        self.inner.count(page)
+    }
+
+    fn maybe_age(&mut self, now: Tick) {
+        if now.raw() < self.next_aging {
+            return;
+        }
+        // Halve every count and rebuild the eviction queue.
+        let resident: Vec<(u64, u64, PageId)> = self.inner.queue.iter().copied().collect();
+        self.inner.queue.clear();
+        for c in self.inner.counts.values_mut() {
+            *c /= 2;
+        }
+        for (_, last, page) in resident {
+            self.inner.queue.insert((self.inner.counts[&page], last, page));
+        }
+        self.next_aging = now.raw() + self.aging_interval;
+    }
+}
+
+impl ReplacementPolicy for AgedLfu {
+    fn name(&self) -> String {
+        format!("LFU-aged({})", self.aging_interval)
+    }
+
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        self.maybe_age(now);
+        self.inner.on_hit(page, now);
+    }
+
+    fn on_miss(&mut self, page: PageId, now: Tick) {
+        self.maybe_age(now);
+        self.inner.on_miss(page, now);
+    }
+
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        self.maybe_age(now);
+        self.inner.on_admit(page, now);
+    }
+
+    fn on_evict(&mut self, page: PageId, now: Tick) {
+        self.inner.on_evict(page, now);
+    }
+
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+        self.inner.select_victim(now)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.inner.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.inner.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.inner.forget(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.inner.resident_len()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.inner.retained_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequent() {
+        let mut l = Lfu::new();
+        l.on_admit(p(1), Tick(1));
+        l.on_admit(p(2), Tick(2));
+        l.on_hit(p(1), Tick(3));
+        l.on_hit(p(1), Tick(4));
+        l.on_hit(p(2), Tick(5));
+        // counts: p1=3, p2=2
+        assert_eq!(l.select_victim(Tick(6)), Ok(p(2)));
+        assert_eq!(l.count(p(1)), 3);
+    }
+
+    #[test]
+    fn lfu_ties_break_by_recency() {
+        let mut l = Lfu::new();
+        l.on_admit(p(1), Tick(1));
+        l.on_admit(p(2), Tick(2));
+        // Both count 1; p1 least recently referenced.
+        assert_eq!(l.select_victim(Tick(3)), Ok(p(1)));
+        l.on_hit(p(1), Tick(3));
+        l.on_hit(p(2), Tick(4));
+        // Both count 2; p1 older again.
+        assert_eq!(l.select_victim(Tick(5)), Ok(p(1)));
+    }
+
+    #[test]
+    fn lfu_never_forgets_across_eviction() {
+        let mut l = Lfu::new();
+        l.on_admit(p(1), Tick(1));
+        l.on_hit(p(1), Tick(2));
+        l.on_hit(p(1), Tick(3));
+        l.on_evict(p(1), Tick(4));
+        assert_eq!(l.retained_len(), 1);
+        l.on_admit(p(1), Tick(10));
+        assert_eq!(l.count(p(1)), 4, "count must survive eviction");
+        // Fresh page loses the frequency fight against the old-timer even
+        // though the old-timer's references are stale — the §4.3 drawback.
+        l.on_admit(p(2), Tick(11));
+        l.on_hit(p(2), Tick(12));
+        l.on_hit(p(2), Tick(13));
+        assert_eq!(l.select_victim(Tick(14)), Ok(p(2)));
+    }
+
+    #[test]
+    fn resident_only_variant_forgets() {
+        let mut l = Lfu::resident_only();
+        l.on_admit(p(1), Tick(1));
+        l.on_hit(p(1), Tick(2));
+        l.on_evict(p(1), Tick(3));
+        assert_eq!(l.count(p(1)), 0);
+        assert_eq!(l.retained_len(), 0);
+    }
+
+    #[test]
+    fn lfu_pins_and_errors() {
+        let mut l = Lfu::new();
+        assert_eq!(l.select_victim(Tick(1)), Err(VictimError::Empty));
+        l.on_admit(p(1), Tick(1));
+        l.on_admit(p(2), Tick(2));
+        l.pin(p(1));
+        assert_eq!(l.select_victim(Tick(3)), Ok(p(2)));
+        l.pin(p(2));
+        assert_eq!(l.select_victim(Tick(3)), Err(VictimError::AllPinned));
+        l.forget(p(1));
+        l.unpin(p(2));
+        assert_eq!(l.select_victim(Tick(4)), Ok(p(2)));
+        assert_eq!(l.resident_len(), 1);
+    }
+
+    #[test]
+    fn aged_lfu_halves_counts() {
+        let mut a = AgedLfu::new(100);
+        a.on_admit(p(1), Tick(1));
+        for t in 2..=9 {
+            a.on_hit(p(1), Tick(t));
+        }
+        assert_eq!(a.count(p(1)), 9);
+        // Crossing tick 100 triggers aging before processing the event.
+        a.on_admit(p(2), Tick(100));
+        assert_eq!(a.count(p(1)), 4); // 9/2
+        assert_eq!(a.count(p(2)), 1); // admitted after aging
+        assert_eq!(a.name(), "LFU-aged(100)");
+    }
+
+    #[test]
+    fn aged_lfu_adapts_where_lfu_does_not() {
+        // Phase 1: p1 very hot. Phase 2: p2 hot. After aging, p1's stale
+        // counts decay and p2 wins residence priority.
+        let mut a = AgedLfu::new(50);
+        a.on_admit(p(1), Tick(1));
+        for t in 2..=20 {
+            a.on_hit(p(1), Tick(t));
+        }
+        a.on_admit(p(2), Tick(21));
+        for t in 22..=40 {
+            a.on_hit(p(2), Tick(t));
+        }
+        // Let two aging periods elapse while only p2 is referenced.
+        for t in 41..=160 {
+            a.on_hit(p(2), Tick(t));
+        }
+        assert!(
+            a.count(p(2)) > a.count(p(1)),
+            "aged counts must favor the currently hot page"
+        );
+        assert_eq!(a.select_victim(Tick(161)), Ok(p(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "aging interval must be positive")]
+    fn aged_lfu_rejects_zero_interval() {
+        let _ = AgedLfu::new(0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # lruk-baselines — comparator replacement policies
+//!
+//! Every policy the paper compares against (or that its §4 methodology
+//! implies), plus the post-1993 lineage LRU-K spawned, all implementing
+//! [`lruk_policy::ReplacementPolicy`]:
+//!
+//! | Policy | Module | Role in the paper |
+//! |--------|--------|-------------------|
+//! | LRU (a.k.a. LRU-1) | [`lru`] | the classical algorithm of Tables 4.1–4.3 |
+//! | MRU | [`lru`] | degenerate recency policy (sanity baseline) |
+//! | FIFO | [`fifo`] | classical comparator from \[EFFEHAER\] |
+//! | Clock / second chance | [`clock`] | LRU approximation used by real systems |
+//! | GCLOCK | [`clock`] | counter-based aging scheme the paper contrasts (§1.2) |
+//! | LFU | [`lfu`] | Table 4.3 comparator; "never forgets" |
+//! | LFU-aged | [`lfu`] | LFU with periodic halving, the tunable aging LRU-K avoids |
+//! | LRD | [`lrd`] | least reference density \[EFFEHAER\] |
+//! | Random | [`random`] | lower-bound sanity baseline |
+//! | Domain Separation | [`domains`] | \[REITER\], the §1.1 "page pool tuning" alternative |
+//! | LRU+hints | [`hinted`] | the §1.1 "query execution plan analysis" alternative |
+//! | FBR | [`fbr`] | \[ROBDEV\], the paper's source for "Factoring out Locality" |
+//! | SLRU | [`slru`] | segmented LRU, a timestamp-free contemporary of LRU-2 |
+//! | 2Q | [`two_q`] | direct descendant of LRU-2 (Johnson & Shasha '94) |
+//! | LIRS | [`lirs`] | inter-reference-recency descendant (Jiang & Zhang '02) |
+//! | ARC | [`arc`] | adaptive descendant (Megiddo & Modha '03) |
+//! | A0 | [`oracle`] | the optimal *probabilistic* policy of Theorem 3.2 |
+//! | Belady OPT (B0) | [`oracle`] | the clairvoyant optimum \[BELADY\] |
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arc;
+pub mod clock;
+pub mod domains;
+pub mod fbr;
+pub mod fifo;
+pub mod hinted;
+pub mod lfu;
+pub mod lirs;
+pub mod lrd;
+pub mod lru;
+pub mod oracle;
+pub mod random;
+pub mod slru;
+pub mod two_q;
+
+pub use arc::Arc;
+pub use clock::{Clock, GClock};
+pub use domains::DomainSeparation;
+pub use fbr::Fbr;
+pub use fifo::Fifo;
+pub use hinted::HintedLru;
+pub use lirs::Lirs;
+pub use lfu::{AgedLfu, Lfu};
+pub use lrd::Lrd;
+pub use lru::{Lru, Mru};
+pub use oracle::{BeladyOpt, ProbOracle};
+pub use random::RandomPolicy;
+pub use slru::Slru;
+pub use two_q::TwoQ;

@@ -1,0 +1,383 @@
+//! LIRS — Low Inter-reference Recency Set (Jiang & Zhang, SIGMETRICS '02).
+//!
+//! The third major descendant of LRU-2's idea: instead of the time between
+//! the last two references (LRU-2's backward 2-distance), LIRS ranks pages
+//! by *Inter-Reference Recency* (IRR) — the number of distinct pages seen
+//! between consecutive references. Pages with low IRR are "LIR" and own
+//! most of the cache; the rest ("HIR") transit through a small queue. Like
+//! LRU-K, LIRS keeps history for evicted pages (non-resident HIR entries on
+//! its stack).
+//!
+//! Data structures, following the original paper:
+//!
+//! * stack `S` — recency stack of resident LIR pages, resident HIR pages
+//!   and *non-resident* HIR ghosts; the bottom is always LIR (maintained by
+//!   pruning);
+//! * queue `Q` — the resident HIR pages, FIFO-ordered for eviction.
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::linked_list::LruList;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum State {
+    /// Low inter-reference recency: protected.
+    Lir,
+    /// High IRR, buffer resident (in Q).
+    HirResident,
+    /// High IRR ghost: history only (on S, not resident).
+    HirGhost,
+}
+
+/// The LIRS replacement policy.
+#[derive(Debug)]
+pub struct Lirs {
+    /// Recency stack S (front = oldest).
+    stack: LruList,
+    /// Resident-HIR queue Q (front = next eviction candidate).
+    queue: LruList,
+    state: FxHashMap<PageId, State>,
+    pins: PinSet,
+    /// Target number of LIR pages (≈ 99% of capacity in the original; we
+    /// use a slightly larger HIR share for small caches).
+    lir_cap: usize,
+    /// Current LIR count.
+    lir_len: usize,
+    /// Ghost bound: |S| may not exceed this (stack pruning + ghost trim).
+    stack_cap: usize,
+}
+
+impl Lirs {
+    /// LIRS for `capacity` frames: 90% LIR share, ghosts bounded at 2×
+    /// capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2);
+        let lir_cap = ((capacity * 9) / 10).clamp(1, capacity - 1);
+        Lirs {
+            stack: LruList::with_capacity(3 * capacity),
+            queue: LruList::with_capacity(capacity),
+            state: FxHashMap::default(),
+            pins: PinSet::new(),
+            lir_cap,
+            lir_len: 0,
+            stack_cap: 3 * capacity,
+        }
+    }
+
+    /// (LIR, resident HIR, ghosts) — diagnostics.
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        let ghosts = self
+            .state
+            .values()
+            .filter(|&&s| s == State::HirGhost)
+            .count();
+        (self.lir_len, self.queue.len(), ghosts)
+    }
+
+    /// Remove non-LIR entries from the stack bottom so the bottom is LIR.
+    fn prune(&mut self) {
+        while let Some(bottom) = self.stack.front() {
+            match self.state.get(&bottom) {
+                Some(State::Lir) => break,
+                Some(State::HirResident) => {
+                    self.stack.pop_front();
+                }
+                Some(State::HirGhost) => {
+                    self.stack.pop_front();
+                    self.state.remove(&bottom);
+                }
+                None => {
+                    self.stack.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Enforce the ghost bound by dropping the oldest ghost entries.
+    fn trim_ghosts(&mut self) {
+        while self.stack.len() > self.stack_cap {
+            // Drop the oldest non-LIR stack entry above the bottom.
+            let victim = self
+                .stack
+                .iter()
+                .find(|p| matches!(self.state.get(p), Some(State::HirGhost)));
+            match victim {
+                Some(page) => {
+                    self.stack.remove(page);
+                    self.state.remove(&page);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Demote the stack-bottom LIR page to resident HIR (tail of Q).
+    fn demote_bottom_lir(&mut self) {
+        if let Some(bottom) = self.stack.pop_front() {
+            debug_assert_eq!(self.state.get(&bottom), Some(&State::Lir));
+            self.state.insert(bottom, State::HirResident);
+            self.lir_len -= 1;
+            self.queue.push_back(bottom);
+            self.prune();
+        }
+    }
+}
+
+impl ReplacementPolicy for Lirs {
+    fn name(&self) -> String {
+        "LIRS".into()
+    }
+
+    fn on_hit(&mut self, page: PageId, _now: Tick) {
+        match self.state.get(&page).copied() {
+            Some(State::Lir) => {
+                let was_bottom = self.stack.front() == Some(page);
+                self.stack.touch(page);
+                if was_bottom {
+                    self.prune();
+                }
+            }
+            Some(State::HirResident) => {
+                if self.stack.contains(page) {
+                    // Low IRR proven: promote to LIR, demote a bottom LIR.
+                    self.stack.touch(page);
+                    self.queue.remove(page);
+                    self.state.insert(page, State::Lir);
+                    self.lir_len += 1;
+                    if self.lir_len > self.lir_cap {
+                        self.demote_bottom_lir();
+                    }
+                } else {
+                    // Not on the stack: stays HIR, refreshed in both orders.
+                    self.stack.push_back(page);
+                    self.queue.touch(page);
+                }
+            }
+            _ => debug_assert!(false, "on_hit for non-resident page"),
+        }
+        self.trim_ghosts();
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        let on_stack = self.stack.contains(page);
+        let was_ghost = matches!(self.state.get(&page), Some(State::HirGhost));
+        if self.lir_len < self.lir_cap && !on_stack {
+            // Cold start: fill the LIR set first.
+            self.state.insert(page, State::Lir);
+            self.lir_len += 1;
+            self.stack.push_back(page);
+            return;
+        }
+        if was_ghost && on_stack {
+            // Re-reference within the ghost window: low IRR -> LIR.
+            self.stack.touch(page);
+            self.state.insert(page, State::Lir);
+            self.lir_len += 1;
+            if self.lir_len > self.lir_cap {
+                self.demote_bottom_lir();
+            }
+        } else {
+            // Fresh page: resident HIR.
+            self.stack.remove(page);
+            self.stack.push_back(page);
+            self.state.insert(page, State::HirResident);
+            self.queue.push_back(page);
+        }
+        self.trim_ghosts();
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        match self.state.get(&page).copied() {
+            Some(State::HirResident) => {
+                self.queue.remove(page);
+                if self.stack.contains(page) {
+                    // Keep history: becomes a ghost.
+                    self.state.insert(page, State::HirGhost);
+                } else {
+                    self.state.remove(&page);
+                }
+            }
+            Some(State::Lir) => {
+                // Forced eviction of a LIR page (e.g. all HIR pinned).
+                self.stack.remove(page);
+                self.state.remove(&page);
+                self.lir_len -= 1;
+                self.prune();
+            }
+            _ => debug_assert!(false, "on_evict for non-resident page"),
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.queue.is_empty() && self.lir_len == 0 {
+            return Err(VictimError::Empty);
+        }
+        // HIR queue first; fall back to LIR from the stack bottom upwards.
+        if let Some(v) = self.queue.find_from_front(|p| !self.pins.is_pinned(p)) {
+            return Ok(v);
+        }
+        self.stack
+            .find_from_front(|p| {
+                matches!(self.state.get(&p), Some(State::Lir)) && !self.pins.is_pinned(p)
+            })
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        if matches!(self.state.get(&page), Some(State::Lir)) {
+            self.lir_len -= 1;
+        }
+        self.stack.remove(page);
+        self.queue.remove(page);
+        self.state.remove(&page);
+        self.pins.clear_page(page);
+        self.prune();
+    }
+
+    fn resident_len(&self) -> usize {
+        self.lir_len + self.queue.len()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.state
+            .values()
+            .filter(|&&s| s == State::HirGhost)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    /// Drive one full reference at fixed capacity.
+    fn reference(l: &mut Lirs, page: PageId, t: u64, cap: usize) {
+        let now = Tick(t);
+        let resident = matches!(
+            l.state.get(&page),
+            Some(State::Lir) | Some(State::HirResident)
+        );
+        if resident {
+            l.on_hit(page, now);
+        } else {
+            l.on_miss(page, now);
+            if l.resident_len() >= cap {
+                let v = l.select_victim(now).unwrap();
+                l.on_evict(v, now);
+            }
+            l.on_admit(page, now);
+        }
+        assert!(l.resident_len() <= cap);
+    }
+
+    #[test]
+    fn cold_start_fills_lir_first() {
+        let mut l = Lirs::new(10); // lir_cap = 9
+        for i in 0..9 {
+            reference(&mut l, p(i), i + 1, 10);
+        }
+        let (lir, hir, _) = l.sizes();
+        assert_eq!((lir, hir), (9, 0));
+        // Next new page becomes resident HIR.
+        reference(&mut l, p(100), 20, 10);
+        let (lir, hir, _) = l.sizes();
+        assert_eq!((lir, hir), (9, 1));
+    }
+
+    #[test]
+    fn hir_queue_feeds_evictions() {
+        let mut l = Lirs::new(4); // lir_cap = 3
+        for i in 0..3 {
+            reference(&mut l, p(i), i + 1, 4);
+        }
+        reference(&mut l, p(10), 5, 4); // HIR
+        reference(&mut l, p(11), 6, 4); // evicts p10 (HIR queue front)
+        assert_eq!(l.state.get(&p(10)), Some(&State::HirGhost));
+        let (lir, hir, ghosts) = l.sizes();
+        assert_eq!((lir, hir), (3, 1));
+        assert_eq!(ghosts, 1);
+    }
+
+    #[test]
+    fn ghost_rereference_promotes_to_lir() {
+        let mut l = Lirs::new(4);
+        for i in 0..3 {
+            reference(&mut l, p(i), i + 1, 4);
+        }
+        reference(&mut l, p(10), 5, 4); // HIR
+        reference(&mut l, p(11), 6, 4); // p10 ghosted
+        reference(&mut l, p(10), 7, 4); // ghost hit: p10 back as LIR
+        assert_eq!(l.state.get(&p(10)), Some(&State::Lir));
+        // A LIR page was demoted to keep the target.
+        let (lir, _, _) = l.sizes();
+        assert_eq!(lir, 3);
+    }
+
+    #[test]
+    fn scan_does_not_displace_lir_set() {
+        let cap = 10;
+        let mut l = Lirs::new(cap);
+        let mut t = 1;
+        // Establish a LIR set with re-references.
+        for round in 0..3 {
+            for i in 0..9u64 {
+                reference(&mut l, p(i), t, cap);
+                t += 1;
+            }
+            let _ = round;
+        }
+        // One-shot scan of 200 cold pages.
+        for i in 0..200u64 {
+            reference(&mut l, p(1000 + i), t, cap);
+            t += 1;
+        }
+        // All original LIR pages still resident.
+        for i in 0..9u64 {
+            assert!(
+                matches!(l.state.get(&p(i)), Some(State::Lir)),
+                "hot page {i} lost LIR status"
+            );
+        }
+    }
+
+    #[test]
+    fn ghosts_are_bounded() {
+        let cap = 8;
+        let mut l = Lirs::new(cap);
+        for i in 0..5000u64 {
+            reference(&mut l, p(i), i + 1, cap);
+        }
+        assert!(
+            l.retained_len() <= 3 * cap,
+            "ghosts {} exceed bound",
+            l.retained_len()
+        );
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut l = Lirs::new(4);
+        assert_eq!(l.select_victim(Tick(1)), Err(VictimError::Empty));
+        reference(&mut l, p(1), 1, 4);
+        l.pin(p(1));
+        assert_eq!(l.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        l.unpin(p(1));
+        assert!(l.select_victim(Tick(3)).is_ok());
+        l.forget(p(1));
+        assert_eq!(l.resident_len(), 0);
+        assert_eq!(l.name(), "LIRS");
+    }
+}

@@ -1,0 +1,250 @@
+//! LRD — Least Reference Density (Effelsberg & Haerder).
+//!
+//! Reference density is the page's reference count divided by its age. The
+//! \[EFFEHAER\] taxonomy defines two variants:
+//!
+//! * **V1**: age is measured from the page's first load; density only ever
+//!   dilutes, so old hot pages keep high absolute counts (like LFU).
+//! * **V2**: a periodic aging step multiplies every count by a decay factor,
+//!   bounding the memory of old references — at the cost of two tuning
+//!   parameters (interval and factor), which is precisely the kind of manual
+//!   tuning the paper's §1.2 argues LRU-K makes unnecessary.
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// Which LRD variant to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LrdVariant {
+    /// Age from first load, no decay.
+    V1,
+    /// Periodic multiplicative decay of reference counts.
+    V2 {
+        /// Ticks between aging steps.
+        interval: u64,
+        /// Multiplicative decay applied to every count per step (0..1).
+        factor: f64,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct PageState {
+    count: f64,
+    first_load: u64,
+}
+
+/// Least Reference Density replacement.
+///
+/// Victim selection scans resident pages (O(B)), mirroring the textbook
+/// formulation; densities change continuously with time, so an index would
+/// need rebuilding each tick anyway.
+#[derive(Clone, Debug)]
+pub struct Lrd {
+    variant: LrdVariant,
+    pages: FxHashMap<PageId, PageState>,
+    pins: PinSet,
+    next_aging: u64,
+}
+
+impl Lrd {
+    /// New LRD policy of the given variant.
+    pub fn new(variant: LrdVariant) -> Self {
+        let next_aging = match variant {
+            LrdVariant::V1 => u64::MAX,
+            LrdVariant::V2 { interval, factor } => {
+                assert!(interval > 0, "aging interval must be positive");
+                assert!(
+                    (0.0..1.0).contains(&factor),
+                    "decay factor must be in [0, 1)"
+                );
+                interval
+            }
+        };
+        Lrd {
+            variant,
+            pages: FxHashMap::default(),
+            pins: PinSet::new(),
+            next_aging,
+        }
+    }
+
+    /// V1 constructor shorthand.
+    pub fn v1() -> Self {
+        Lrd::new(LrdVariant::V1)
+    }
+
+    /// V2 constructor shorthand.
+    pub fn v2(interval: u64, factor: f64) -> Self {
+        Lrd::new(LrdVariant::V2 { interval, factor })
+    }
+
+    /// Reference density of a resident page at `now` (diagnostics).
+    pub fn density(&self, page: PageId, now: Tick) -> Option<f64> {
+        let st = self.pages.get(&page)?;
+        let age = now.raw().saturating_sub(st.first_load).max(1);
+        Some(st.count / age as f64)
+    }
+
+    fn maybe_age(&mut self, now: Tick) {
+        let LrdVariant::V2 { interval, factor } = self.variant else {
+            return;
+        };
+        while now.raw() >= self.next_aging {
+            for st in self.pages.values_mut() {
+                st.count *= factor;
+            }
+            self.next_aging += interval;
+        }
+    }
+}
+
+impl ReplacementPolicy for Lrd {
+    fn name(&self) -> String {
+        match self.variant {
+            LrdVariant::V1 => "LRD-V1".into(),
+            LrdVariant::V2 { interval, factor } => {
+                format!("LRD-V2({interval},{factor})")
+            }
+        }
+    }
+
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        self.maybe_age(now);
+        if let Some(st) = self.pages.get_mut(&page) {
+            st.count += 1.0;
+        } else {
+            debug_assert!(false, "on_hit for non-resident page");
+        }
+    }
+
+    fn on_miss(&mut self, _page: PageId, now: Tick) {
+        self.maybe_age(now);
+    }
+
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        self.maybe_age(now);
+        self.pages.insert(
+            page,
+            PageState {
+                count: 1.0,
+                first_load: now.raw(),
+            },
+        );
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        self.pages.remove(&page);
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+        if self.pages.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        let mut best: Option<(f64, PageId)> = None;
+        for (&page, st) in &self.pages {
+            if self.pins.is_pinned(page) {
+                continue;
+            }
+            let age = now.raw().saturating_sub(st.first_load).max(1);
+            let density = st.count / age as f64;
+            let better = match best {
+                None => true,
+                Some((d, bp)) => density < d || (density == d && page < bp),
+            };
+            if better {
+                best = Some((density, page));
+            }
+        }
+        best.map(|(_, p)| p).ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.pages.remove(&page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn low_density_page_is_victim() {
+        let mut l = Lrd::v1();
+        l.on_admit(p(1), Tick(1));
+        l.on_admit(p(2), Tick(1));
+        for t in 2..=10 {
+            l.on_hit(p(1), Tick(t));
+        }
+        // p1 density ~10/now, p2 ~1/now.
+        assert!(l.density(p(1), Tick(11)).unwrap() > l.density(p(2), Tick(11)).unwrap());
+        assert_eq!(l.select_victim(Tick(11)), Ok(p(2)));
+    }
+
+    #[test]
+    fn young_page_gets_grace_via_small_age() {
+        let mut l = Lrd::v1();
+        l.on_admit(p(1), Tick(1));
+        l.on_hit(p(1), Tick(2)); // count 2 over age ~big
+        l.on_admit(p(2), Tick(100)); // count 1 over age 1 -> density 1.0
+        let d1 = l.density(p(1), Tick(101)).unwrap();
+        let d2 = l.density(p(2), Tick(101)).unwrap();
+        assert!(d2 > d1);
+        assert_eq!(l.select_victim(Tick(101)), Ok(p(1)));
+    }
+
+    #[test]
+    fn v2_decay_fades_old_counts() {
+        let mut l = Lrd::v2(10, 0.5);
+        l.on_admit(p(1), Tick(1));
+        for t in 2..=9 {
+            l.on_hit(p(1), Tick(t));
+        }
+        let before = l.pages[&p(1)].count;
+        l.on_miss(p(2), Tick(30)); // crosses aging boundaries 10, 20, 30
+        let after = l.pages[&p(1)].count;
+        assert!(after < before / 4.0, "three decays of 0.5 expected");
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut l = Lrd::v1();
+        assert_eq!(l.select_victim(Tick(1)), Err(VictimError::Empty));
+        l.on_admit(p(1), Tick(1));
+        l.pin(p(1));
+        assert_eq!(l.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        l.unpin(p(1));
+        assert_eq!(l.select_victim(Tick(2)), Ok(p(1)));
+        l.on_evict(p(1), Tick(3));
+        assert_eq!(l.resident_len(), 0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Lrd::v1().name(), "LRD-V1");
+        assert_eq!(Lrd::v2(100, 0.5).name(), "LRD-V2(100,0.5)");
+    }
+
+    #[test]
+    #[should_panic(expected = "decay factor")]
+    fn v2_rejects_bad_factor() {
+        let _ = Lrd::v2(10, 1.5);
+    }
+}

@@ -1,0 +1,316 @@
+//! Oracle policies: `A_0` (probabilistic optimum) and Belady's OPT (`B_0`).
+//!
+//! * [`ProbOracle`] implements Definition 3.1: with the page reference
+//!   probabilities β known, always evict the resident page with the smallest
+//!   β. Theorem 3.2 (citing \[COFFDENN\] Theorem 6.3) shows this is optimal
+//!   among all policies *without* clairvoyance; the paper uses it as the
+//!   yardstick `A_0` in Tables 4.1 and 4.2.
+//! * [`BeladyOpt`] implements the clairvoyant `B_0` \[BELADY\]: evict the
+//!   resident page whose next reference lies farthest in the future. It
+//!   needs the full reference string up front, which the paper argues makes
+//!   it "unapproachable in real situations" — here it serves as an absolute
+//!   upper bound in tests and ablations.
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+use std::collections::BTreeSet;
+
+/// Map a non-negative finite `f64` to a sort-preserving `u64`.
+///
+/// For IEEE-754 doubles `>= 0.0`, the raw bit pattern orders identically to
+/// the numeric value, so probabilities can key a `BTreeSet` without a
+/// wrapper type.
+fn ordered_bits(x: f64) -> u64 {
+    assert!(x.is_finite() && x >= 0.0, "probability must be finite and >= 0");
+    x.to_bits()
+}
+
+/// The `A_0` oracle: evicts the resident page with minimal known reference
+/// probability β.
+#[derive(Clone, Debug)]
+pub struct ProbOracle {
+    /// β_p for every page the workload can reference.
+    beta: FxHashMap<PageId, f64>,
+    /// Resident pages keyed by (β bits, page): min = victim.
+    queue: BTreeSet<(u64, PageId)>,
+    pins: PinSet,
+}
+
+impl ProbOracle {
+    /// Build from the workload's reference probability vector. Pages missing
+    /// from `beta` are treated as probability 0 (evicted first).
+    pub fn new(beta: impl IntoIterator<Item = (PageId, f64)>) -> Self {
+        ProbOracle {
+            beta: beta.into_iter().collect(),
+            queue: BTreeSet::new(),
+            pins: PinSet::new(),
+        }
+    }
+
+    fn key(&self, page: PageId) -> (u64, PageId) {
+        let b = self.beta.get(&page).copied().unwrap_or(0.0);
+        (ordered_bits(b), page)
+    }
+
+    /// The probability the oracle assumes for `page`.
+    pub fn beta(&self, page: PageId) -> f64 {
+        self.beta.get(&page).copied().unwrap_or(0.0)
+    }
+}
+
+impl ReplacementPolicy for ProbOracle {
+    fn name(&self) -> String {
+        "A0".into()
+    }
+
+    fn on_hit(&mut self, _page: PageId, _now: Tick) {
+        // β is static: references carry no new information for A0.
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        let inserted = self.queue.insert(self.key(page));
+        debug_assert!(inserted, "on_admit for already-resident page");
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        let removed = self.queue.remove(&self.key(page));
+        debug_assert!(removed, "on_evict for non-resident page");
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.queue.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        self.queue
+            .iter()
+            .map(|&(_, page)| page)
+            .find(|&page| !self.pins.is_pinned(page))
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.queue.remove(&self.key(page));
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Sentinel next-use position for "never referenced again".
+const NEVER: u64 = u64::MAX;
+
+/// Belady's clairvoyant OPT.
+///
+/// Construction requires the complete reference string; the driver must then
+/// present reference `r_t` with `now == Tick(t)` (1-based), which both the
+/// simulator and the property tests do. Evicts the unpinned resident page
+/// whose next use is farthest (ties: larger page id, deterministically).
+#[derive(Clone, Debug)]
+pub struct BeladyOpt {
+    /// For 0-based trace position `i`, the 0-based position of the next
+    /// reference to the same page (`NEVER` if none).
+    next_occurrence: Vec<u64>,
+    trace: Vec<PageId>,
+    /// Resident pages keyed by (next-use position, page): max = victim.
+    queue: BTreeSet<(u64, PageId)>,
+    /// Current next-use key per resident page.
+    current: FxHashMap<PageId, u64>,
+    pins: PinSet,
+}
+
+impl BeladyOpt {
+    /// Precompute next-use positions for `trace`.
+    pub fn for_trace(trace: &[PageId]) -> Self {
+        let mut next_occurrence = vec![NEVER; trace.len()];
+        let mut last_seen: FxHashMap<PageId, u64> = FxHashMap::default();
+        for i in (0..trace.len()).rev() {
+            if let Some(&n) = last_seen.get(&trace[i]) {
+                next_occurrence[i] = n;
+            }
+            last_seen.insert(trace[i], i as u64);
+        }
+        BeladyOpt {
+            next_occurrence,
+            trace: trace.to_vec(),
+            queue: BTreeSet::new(),
+            current: FxHashMap::default(),
+            pins: PinSet::new(),
+        }
+    }
+
+    fn reposition(&mut self, page: PageId, now: Tick) {
+        let pos = (now.raw() - 1) as usize;
+        assert!(
+            pos < self.trace.len(),
+            "reference beyond the precomputed trace"
+        );
+        debug_assert_eq!(
+            self.trace[pos], page,
+            "driver reference diverges from the precomputed trace"
+        );
+        let next = self.next_occurrence[pos];
+        if let Some(old) = self.current.insert(page, next) {
+            self.queue.remove(&(old, page));
+        }
+        self.queue.insert((next, page));
+    }
+}
+
+impl ReplacementPolicy for BeladyOpt {
+    fn name(&self) -> String {
+        "OPT".into()
+    }
+
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        self.reposition(page, now);
+    }
+
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        self.reposition(page, now);
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        if let Some(key) = self.current.remove(&page) {
+            self.queue.remove(&(key, page));
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.queue.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        self.queue
+            .iter()
+            .rev()
+            .map(|&(_, page)| page)
+            .find(|&page| !self.pins.is_pinned(page))
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        if let Some(key) = self.current.remove(&page) {
+            self.queue.remove(&(key, page));
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn a0_evicts_smallest_probability() {
+        let mut o = ProbOracle::new([(p(1), 0.5), (p(2), 0.1), (p(3), 0.4)]);
+        o.on_admit(p(1), Tick(1));
+        o.on_admit(p(2), Tick(2));
+        o.on_admit(p(3), Tick(3));
+        assert_eq!(o.select_victim(Tick(4)), Ok(p(2)));
+        o.on_evict(p(2), Tick(4));
+        assert_eq!(o.select_victim(Tick(5)), Ok(p(3)));
+        assert!((o.beta(p(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn a0_unknown_pages_evicted_first() {
+        let mut o = ProbOracle::new([(p(1), 0.5)]);
+        o.on_admit(p(1), Tick(1));
+        o.on_admit(p(9), Tick(2)); // β = 0
+        assert_eq!(o.select_victim(Tick(3)), Ok(p(9)));
+    }
+
+    #[test]
+    fn a0_pins() {
+        let mut o = ProbOracle::new([(p(1), 0.1), (p(2), 0.9)]);
+        o.on_admit(p(1), Tick(1));
+        o.on_admit(p(2), Tick(2));
+        o.pin(p(1));
+        assert_eq!(o.select_victim(Tick(3)), Ok(p(2)));
+        o.pin(p(2));
+        assert_eq!(o.select_victim(Tick(3)), Err(VictimError::AllPinned));
+        o.forget(p(1));
+        o.forget(p(2));
+        assert_eq!(o.select_victim(Tick(4)), Err(VictimError::Empty));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be finite")]
+    fn a0_rejects_negative_probability() {
+        let mut o = ProbOracle::new([(p(1), -0.5)]);
+        o.on_admit(p(1), Tick(1));
+    }
+
+    #[test]
+    fn opt_evicts_farthest_next_use() {
+        // trace:   t=1  2  3  4  5  6
+        let trace = [p(1), p(2), p(3), p(1), p(2), p(3)];
+        let mut o = BeladyOpt::for_trace(&trace);
+        o.on_admit(p(1), Tick(1)); // next use at t=4
+        o.on_admit(p(2), Tick(2)); // next use at t=5
+        // Buffer of 2, reference r_3 = p3: OPT evicts p2 (farther next use).
+        assert_eq!(o.select_victim(Tick(3)), Ok(p(2)));
+        o.on_evict(p(2), Tick(3));
+        o.on_admit(p(3), Tick(3)); // next use at t=6
+        assert_eq!(o.select_victim(Tick(4)), Ok(p(3)));
+    }
+
+    #[test]
+    fn opt_never_referenced_again_goes_first() {
+        let trace = [p(1), p(2), p(1)];
+        let mut o = BeladyOpt::for_trace(&trace);
+        o.on_admit(p(1), Tick(1));
+        o.on_admit(p(2), Tick(2)); // never again
+        assert_eq!(o.select_victim(Tick(3)), Ok(p(2)));
+    }
+
+    #[test]
+    fn opt_hit_refreshes_next_use() {
+        let trace = [p(1), p(2), p(1), p(2), p(1)];
+        let mut o = BeladyOpt::for_trace(&trace);
+        o.on_admit(p(1), Tick(1));
+        o.on_admit(p(2), Tick(2));
+        o.on_hit(p(1), Tick(3)); // p1 next use now t=5; p2 next use t=4
+        assert_eq!(o.select_victim(Tick(4)), Ok(p(1)));
+        assert_eq!(o.name(), "OPT");
+        assert_eq!(o.resident_len(), 2);
+    }
+
+    #[test]
+    fn opt_pins_and_forget() {
+        let trace = [p(1), p(2)];
+        let mut o = BeladyOpt::for_trace(&trace);
+        o.on_admit(p(1), Tick(1));
+        o.pin(p(1));
+        assert_eq!(o.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        o.forget(p(1));
+        assert_eq!(o.select_victim(Tick(2)), Err(VictimError::Empty));
+    }
+}

@@ -1,0 +1,150 @@
+//! Uniform-random replacement.
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random replacement: the victim is drawn uniformly from the unpinned
+/// resident pages. Deterministic given the seed; serves as a sanity floor
+/// for the experiments (any informed policy should beat it on skewed
+/// workloads).
+#[derive(Debug)]
+pub struct RandomPolicy {
+    resident: Vec<PageId>,
+    slot: FxHashMap<PageId, usize>,
+    pins: PinSet,
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// New policy with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            resident: Vec::new(),
+            slot: FxHashMap::default(),
+            pins: PinSet::new(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomPolicy {
+    fn name(&self) -> String {
+        "RANDOM".into()
+    }
+
+    fn on_hit(&mut self, _page: PageId, _now: Tick) {}
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        debug_assert!(!self.slot.contains_key(&page));
+        self.slot.insert(page, self.resident.len());
+        self.resident.push(page);
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        if let Some(idx) = self.slot.remove(&page) {
+            self.resident.swap_remove(idx);
+            if idx < self.resident.len() {
+                let moved = self.resident[idx];
+                self.slot.insert(moved, idx);
+            }
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.resident.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        // A few random probes, then a deterministic sweep if unlucky with
+        // pins (keeps worst case bounded while staying O(1) typically).
+        for _ in 0..8 {
+            let idx = self.rng.random_range(0..self.resident.len());
+            let page = self.resident[idx];
+            if !self.pins.is_pinned(page) {
+                return Ok(page);
+            }
+        }
+        let start = self.rng.random_range(0..self.resident.len());
+        for off in 0..self.resident.len() {
+            let page = self.resident[(start + off) % self.resident.len()];
+            if !self.pins.is_pinned(page) {
+                return Ok(page);
+            }
+        }
+        Err(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.on_evict(page, Tick::ZERO);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn victim_is_resident_and_unpinned() {
+        let mut r = RandomPolicy::new(7);
+        for i in 0..20 {
+            r.on_admit(p(i), Tick(i + 1));
+        }
+        for i in 0..19 {
+            r.pin(p(i));
+        }
+        for _ in 0..50 {
+            assert_eq!(r.select_victim(Tick(100)), Ok(p(19)));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = RandomPolicy::new(42);
+        let mut b = RandomPolicy::new(42);
+        for i in 0..100 {
+            a.on_admit(p(i), Tick(i + 1));
+            b.on_admit(p(i), Tick(i + 1));
+        }
+        for t in 0..50 {
+            assert_eq!(a.select_victim(Tick(200 + t)), b.select_victim(Tick(200 + t)));
+        }
+    }
+
+    #[test]
+    fn eviction_bookkeeping() {
+        let mut r = RandomPolicy::new(1);
+        r.on_admit(p(1), Tick(1));
+        r.on_admit(p(2), Tick(2));
+        r.on_evict(p(1), Tick(3));
+        assert_eq!(r.resident_len(), 1);
+        assert_eq!(r.select_victim(Tick(4)), Ok(p(2)));
+        r.forget(p(2));
+        assert_eq!(r.select_victim(Tick(5)), Err(VictimError::Empty));
+    }
+
+    #[test]
+    fn all_pinned_detected() {
+        let mut r = RandomPolicy::new(3);
+        r.on_admit(p(1), Tick(1));
+        r.pin(p(1));
+        assert_eq!(r.select_victim(Tick(2)), Err(VictimError::AllPinned));
+    }
+}

@@ -1,0 +1,186 @@
+//! SLRU — Segmented LRU (Karedla, Love & Wherry '94).
+//!
+//! A contemporary of LRU-2 attacking the same weakness of LRU: a
+//! *probationary* segment receives new pages and a *protected* segment
+//! receives pages re-referenced while probationary. Victims always come
+//! from the probationary segment, so once-touched pages (sequential scans,
+//! cold reads) cannot displace the protected working set — an LRU-2-like
+//! effect achieved with two plain LRU lists and no timestamps, but also
+//! without LRU-K's retained history (an evicted page starts from scratch).
+
+use lruk_policy::linked_list::LruList;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// Segmented LRU.
+#[derive(Debug)]
+pub struct Slru {
+    probationary: LruList,
+    protected: LruList,
+    /// Maximum protected-segment size.
+    protected_cap: usize,
+    pins: PinSet,
+}
+
+impl Slru {
+    /// SLRU with the conventional 80% protected share.
+    pub fn new(capacity: usize) -> Self {
+        Slru::with_protected_cap(capacity, (capacity * 4 / 5).max(1))
+    }
+
+    /// Explicit protected-segment capacity.
+    pub fn with_protected_cap(capacity: usize, protected_cap: usize) -> Self {
+        assert!(capacity >= 1 && protected_cap >= 1);
+        Slru {
+            probationary: LruList::with_capacity(capacity),
+            protected: LruList::with_capacity(protected_cap + 1),
+            protected_cap,
+            pins: PinSet::new(),
+        }
+    }
+
+    /// (probationary, protected) sizes — diagnostics.
+    pub fn segment_sizes(&self) -> (usize, usize) {
+        (self.probationary.len(), self.protected.len())
+    }
+}
+
+impl ReplacementPolicy for Slru {
+    fn name(&self) -> String {
+        "SLRU".into()
+    }
+
+    fn on_hit(&mut self, page: PageId, _now: Tick) {
+        if self.protected.contains(page) {
+            self.protected.touch(page);
+            return;
+        }
+        // Promotion: probationary hit moves to protected MRU; the
+        // protected LRU overflows back to probationary MRU.
+        let present = self.probationary.remove(page);
+        debug_assert!(present, "on_hit for non-resident page");
+        self.protected.push_back(page);
+        if self.protected.len() > self.protected_cap {
+            if let Some(demoted) = self.protected.pop_front() {
+                self.probationary.push_back(demoted);
+            }
+        }
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        self.probationary.push_back(page);
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        if !self.probationary.remove(page) {
+            self.protected.remove(page);
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.probationary.is_empty() && self.protected.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        self.probationary
+            .find_from_front(|p| !self.pins.is_pinned(p))
+            .or_else(|| self.protected.find_from_front(|p| !self.pins.is_pinned(p)))
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.probationary.remove(page);
+        self.protected.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.probationary.len() + self.protected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn promotion_on_second_reference() {
+        let mut s = Slru::new(8);
+        s.on_admit(p(1), Tick(1));
+        assert_eq!(s.segment_sizes(), (1, 0));
+        s.on_hit(p(1), Tick(2));
+        assert_eq!(s.segment_sizes(), (0, 1));
+    }
+
+    #[test]
+    fn victims_come_from_probationary_first() {
+        let mut s = Slru::new(4);
+        s.on_admit(p(1), Tick(1));
+        s.on_hit(p(1), Tick(2)); // protected
+        s.on_admit(p(2), Tick(3));
+        s.on_admit(p(3), Tick(4));
+        assert_eq!(s.select_victim(Tick(5)), Ok(p(2)));
+        // Protected page is only victimized when no probationary exists.
+        s.on_evict(p(2), Tick(5));
+        s.on_evict(p(3), Tick(6));
+        assert_eq!(s.select_victim(Tick(7)), Ok(p(1)));
+    }
+
+    #[test]
+    fn protected_overflow_demotes() {
+        let mut s = Slru::with_protected_cap(8, 2);
+        for i in 1..=3 {
+            s.on_admit(p(i), Tick(i));
+            s.on_hit(p(i), Tick(10 + i)); // promote all three
+        }
+        // Protected cap 2: p1 (oldest promoted) demoted back.
+        let (prob, prot) = s.segment_sizes();
+        assert_eq!((prob, prot), (1, 2));
+        assert_eq!(s.select_victim(Tick(20)), Ok(p(1)));
+    }
+
+    #[test]
+    fn scan_resistance() {
+        // Hot page promoted; a parade of one-shot pages never displaces it.
+        let mut s = Slru::new(4);
+        s.on_admit(p(100), Tick(1));
+        s.on_hit(p(100), Tick(2));
+        let mut t = 3;
+        for i in 0..50 {
+            let page = p(i);
+            s.on_admit(page, Tick(t));
+            t += 1;
+            if s.resident_len() > 4 {
+                let v = s.select_victim(Tick(t)).unwrap();
+                assert_ne!(v, p(100), "scan evicted the protected page");
+                s.on_evict(v, Tick(t));
+                t += 1;
+            }
+        }
+        assert!(s.protected.contains(p(100)));
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut s = Slru::new(4);
+        assert_eq!(s.select_victim(Tick(1)), Err(VictimError::Empty));
+        s.on_admit(p(1), Tick(1));
+        s.pin(p(1));
+        assert_eq!(s.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        s.unpin(p(1));
+        s.forget(p(1));
+        assert_eq!(s.resident_len(), 0);
+        assert_eq!(s.name(), "SLRU");
+    }
+}

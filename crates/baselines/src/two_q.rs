@@ -1,0 +1,254 @@
+//! 2Q (Johnson & Shasha, VLDB '94) — the direct descendant of LRU-2.
+//!
+//! 2Q was proposed one year after the paper as a constant-overhead
+//! approximation of LRU-2: instead of timestamps it keeps a short FIFO
+//! admission queue `A1in`, a ghost queue of recently-evicted ids `A1out`
+//! (playing the role of LRU-2's Retained Information), and a main LRU `Am`
+//! that pages enter only on their *second* reference within the ghost window.
+//! We include it to situate LRU-K in the lineage it spawned (see the
+//! adaptivity and scan-resistance ablations).
+
+use lruk_policy::linked_list::LruList;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// The full (two-queue + ghost) version of 2Q.
+#[derive(Clone, Debug)]
+pub struct TwoQ {
+    /// FIFO of once-referenced resident pages.
+    a1in: LruList,
+    /// Ghost FIFO of ids evicted from `a1in` (no page data).
+    a1out: LruList,
+    /// Main LRU of re-referenced resident pages.
+    am: LruList,
+    pins: PinSet,
+    /// Max length of `a1in` before it feeds the victim choice (tunable
+    /// `Kin`; the 2Q paper suggests c/4).
+    kin: usize,
+    /// Max length of the ghost queue (`Kout`; suggested c/2).
+    kout: usize,
+    /// Pages whose pending admission should land in `Am` (ghost hits).
+    pending_am: Option<PageId>,
+}
+
+impl TwoQ {
+    /// 2Q for a buffer of `capacity` frames with the canonical parameter
+    /// choices `Kin = capacity/4`, `Kout = capacity/2`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Self::with_params(
+            capacity,
+            (capacity / 4).max(1),
+            (capacity / 2).max(1),
+        )
+    }
+
+    /// 2Q with explicit `Kin`/`Kout`.
+    pub fn with_params(capacity: usize, kin: usize, kout: usize) -> Self {
+        assert!(capacity >= 1 && kin >= 1 && kout >= 1);
+        TwoQ {
+            a1in: LruList::with_capacity(kin + 1),
+            a1out: LruList::with_capacity(kout + 1),
+            am: LruList::with_capacity(capacity),
+            pins: PinSet::new(),
+            kin,
+            kout,
+            pending_am: None,
+        }
+    }
+
+    /// (|A1in|, |A1out|, |Am|) — diagnostics.
+    pub fn queue_sizes(&self) -> (usize, usize, usize) {
+        (self.a1in.len(), self.a1out.len(), self.am.len())
+    }
+
+    fn pick(&self, list: &LruList) -> Option<PageId> {
+        list.find_from_front(|p| !self.pins.is_pinned(p))
+    }
+}
+
+impl ReplacementPolicy for TwoQ {
+    fn name(&self) -> String {
+        "2Q".into()
+    }
+
+    fn on_hit(&mut self, page: PageId, _now: Tick) {
+        if self.am.contains(page) {
+            self.am.touch(page);
+        }
+        // A hit in A1in deliberately does nothing: correlated references
+        // shortly after admission must not promote the page (2Q's answer to
+        // the paper's Correlated Reference Period).
+    }
+
+    fn on_miss(&mut self, page: PageId, _now: Tick) {
+        if self.a1out.remove(page) {
+            // Second (uncorrelated) reference within the ghost window:
+            // admit straight into the main queue.
+            self.pending_am = Some(page);
+        } else {
+            self.pending_am = None;
+        }
+    }
+
+    fn on_admit(&mut self, page: PageId, _now: Tick) {
+        if self.pending_am.take() == Some(page) {
+            self.am.push_back(page);
+        } else {
+            self.a1in.push_back(page);
+        }
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        if self.a1in.remove(page) {
+            // Remember the id in the ghost queue.
+            self.a1out.push_back(page);
+            if self.a1out.len() > self.kout {
+                self.a1out.pop_front();
+            }
+        } else {
+            self.am.remove(page);
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.a1in.is_empty() && self.am.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        // Reclaim from A1in while it is over quota, else from Am; fall back
+        // to the other queue when the preferred one has no eligible page.
+        let victim = if self.a1in.len() > self.kin {
+            self.pick(&self.a1in).or_else(|| self.pick(&self.am))
+        } else {
+            self.pick(&self.am).or_else(|| self.pick(&self.a1in))
+        };
+        victim.ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.a1in.remove(page);
+        self.a1out.remove(page);
+        self.am.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.a1in.len() + self.am.len()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.a1out.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    fn miss_admit(q: &mut TwoQ, page: PageId, t: u64) {
+        q.on_miss(page, Tick(t));
+        q.on_admit(page, Tick(t));
+    }
+
+    #[test]
+    fn first_reference_lands_in_a1in() {
+        let mut q = TwoQ::new(8);
+        miss_admit(&mut q, p(1), 1);
+        assert_eq!(q.queue_sizes(), (1, 0, 0));
+    }
+
+    #[test]
+    fn ghost_hit_promotes_to_am() {
+        let mut q = TwoQ::new(8);
+        miss_admit(&mut q, p(1), 1);
+        q.on_evict(p(1), Tick(2));
+        assert_eq!(q.queue_sizes(), (0, 1, 0)); // id remembered in A1out
+        miss_admit(&mut q, p(1), 3);
+        assert_eq!(q.queue_sizes(), (0, 0, 1)); // promoted to Am
+    }
+
+    #[test]
+    fn a1in_hits_do_not_promote() {
+        let mut q = TwoQ::new(8);
+        miss_admit(&mut q, p(1), 1);
+        q.on_hit(p(1), Tick(2));
+        q.on_hit(p(1), Tick(3));
+        assert_eq!(q.queue_sizes(), (1, 0, 0), "stays in A1in");
+    }
+
+    #[test]
+    fn over_quota_a1in_feeds_victims() {
+        let mut q = TwoQ::with_params(8, 2, 4);
+        miss_admit(&mut q, p(1), 1);
+        miss_admit(&mut q, p(2), 2);
+        miss_admit(&mut q, p(3), 3); // |A1in| = 3 > Kin = 2
+        assert_eq!(q.select_victim(Tick(4)), Ok(p(1)));
+        // Under quota: victims come from Am (empty) -> fall back to A1in.
+        let mut q2 = TwoQ::with_params(8, 4, 4);
+        miss_admit(&mut q2, p(1), 1);
+        assert_eq!(q2.select_victim(Tick(2)), Ok(p(1)));
+    }
+
+    #[test]
+    fn ghost_queue_is_bounded() {
+        let mut q = TwoQ::with_params(8, 1, 3);
+        for i in 0..10 {
+            miss_admit(&mut q, p(i), i + 1);
+            q.on_evict(p(i), Tick(i + 1));
+        }
+        assert!(q.retained_len() <= 3);
+    }
+
+    #[test]
+    fn scan_does_not_flush_am() {
+        // Hot pages in Am; a long scan of cold pages cycles through A1in
+        // without touching Am.
+        let mut q = TwoQ::with_params(4, 1, 4);
+        // Establish two hot pages in Am via ghost promotion.
+        for &hp in &[p(100), p(101)] {
+            miss_admit(&mut q, hp, 1);
+            q.on_evict(hp, Tick(1));
+            miss_admit(&mut q, hp, 2);
+        }
+        assert_eq!(q.queue_sizes().2, 2);
+        // Scan 50 cold pages with a full buffer of 4: evict the selected
+        // victim each time.
+        for i in 0..50u64 {
+            let page = p(i);
+            q.on_miss(page, Tick(10 + i));
+            if q.resident_len() == 4 {
+                let v = q.select_victim(Tick(10 + i)).unwrap();
+                q.on_evict(v, Tick(10 + i));
+                assert!(v != p(100) && v != p(101), "scan must not evict Am pages");
+            }
+            q.on_admit(page, Tick(10 + i));
+        }
+        assert_eq!(q.queue_sizes().2, 2, "hot pages survive the scan");
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut q = TwoQ::new(4);
+        assert_eq!(q.select_victim(Tick(1)), Err(VictimError::Empty));
+        miss_admit(&mut q, p(1), 1);
+        q.pin(p(1));
+        assert_eq!(q.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        q.unpin(p(1));
+        assert_eq!(q.select_victim(Tick(2)), Ok(p(1)));
+        q.forget(p(1));
+        assert_eq!(q.resident_len(), 0);
+        assert_eq!(q.name(), "2Q");
+    }
+}

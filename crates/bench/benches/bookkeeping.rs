@@ -1,0 +1,66 @@
+//! The cost of K: per-reference HIST maintenance as K grows.
+//!
+//! The paper claims LRU-K "incurs little bookkeeping overhead"; the shift
+//! in Figure 2.1's hit path is O(K). This bench isolates that cost — hits
+//! into a resident working set — for K from 1 to 16, plus the effect of a
+//! nonzero Correlated Reference Period (whose correlated arm skips the
+//! shift entirely).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lruk_core::{LruK, LruKConfig};
+use lruk_policy::{PageId, ReplacementPolicy, Tick};
+use std::hint::black_box;
+
+fn bench_hist_maintenance(c: &mut Criterion) {
+    let resident = 1024u64;
+    // Pre-generated skewed hit sequence over the resident set.
+    let mut state = 0x853C_49E6_748F_EA9Bu64;
+    let hits: Vec<PageId> = (0..50_000)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            PageId((state >> 33) % resident)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("hist_maintenance");
+    group.throughput(Throughput::Elements(hits.len() as u64));
+    for k in [1usize, 2, 3, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("uncorrelated", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut p = LruK::new(LruKConfig::new(k));
+                for i in 0..resident {
+                    p.on_admit(PageId(i), Tick(i + 1));
+                }
+                let mut t = resident;
+                for &page in &hits {
+                    t += 1;
+                    p.on_hit(page, Tick(t));
+                }
+                black_box(p.resident_len())
+            });
+        });
+    }
+    // CRP large enough that most hits take the cheap correlated arm.
+    group.bench_with_input(BenchmarkId::new("correlated_arm", 8usize), &8, |b, &k| {
+        b.iter(|| {
+            let mut p = LruK::new(LruKConfig::new(k).with_crp(1_000_000));
+            for i in 0..resident {
+                p.on_admit(PageId(i), Tick(i + 1));
+            }
+            let mut t = resident;
+            for &page in &hits {
+                t += 1;
+                p.on_hit(page, Tick(t));
+            }
+            black_box(p.resident_len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hist_maintenance
+}
+criterion_main!(benches);

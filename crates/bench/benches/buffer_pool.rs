@@ -1,0 +1,63 @@
+//! End-to-end buffer pool throughput with pluggable policies: fetch/unpin
+//! cycles over a Zipfian page working set, including eviction and dirty
+//! write-back traffic on the simulated disk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lruk_buffer::{BufferPoolManager, DiskManager, InMemoryDisk};
+use lruk_policy::PageId;
+use lruk_sim::PolicySpec;
+use lruk_workloads::{Workload, Zipfian};
+use std::hint::black_box;
+
+fn bench_pool(c: &mut Criterion) {
+    let disk_pages = 4_096usize;
+    let capacity = 256usize;
+    let ops = 20_000usize;
+    let mut group = c.benchmark_group("buffer_pool_fetch");
+    group.throughput(Throughput::Elements(ops as u64));
+    for (name, spec) in [
+        ("LRU-1", PolicySpec::Lru),
+        ("LRU-2", PolicySpec::LruK { k: 2 }),
+        ("CLOCK", PolicySpec::Clock),
+        ("2Q", PolicySpec::TwoQ),
+        ("ARC", PolicySpec::Arc),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            // Pre-generate the access pattern (page indices into the disk).
+            let pattern: Vec<u64> = Zipfian::new(disk_pages as u64, 0.8, 0.2, 11)
+                .generate(ops)
+                .pages()
+                .into_iter()
+                .map(|p| p.raw())
+                .collect();
+            b.iter(|| {
+                let mut disk = InMemoryDisk::new(disk_pages);
+                let ids: Vec<PageId> = (0..disk_pages)
+                    .map(|_| disk.allocate_page().unwrap())
+                    .collect();
+                let mut pool =
+                    BufferPoolManager::new(capacity, disk, spec.build(capacity, None, None));
+                let mut checksum = 0u64;
+                for (i, &idx) in pattern.iter().enumerate() {
+                    let page = ids[idx as usize];
+                    if i % 4 == 0 {
+                        let mut g = pool.fetch_page_mut(page).unwrap();
+                        g.data_mut()[0] = g.data()[0].wrapping_add(1);
+                    } else {
+                        let g = pool.fetch_page(page).unwrap();
+                        checksum = checksum.wrapping_add(g.data()[0] as u64);
+                    }
+                }
+                black_box((checksum, pool.stats().hits))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pool
+}
+criterion_main!(benches);

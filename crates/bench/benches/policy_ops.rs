@@ -1,0 +1,75 @@
+//! Per-reference bookkeeping cost of each policy.
+//!
+//! The paper claims LRU-K "is fairly simple and incurs little bookkeeping
+//! overhead"; this bench quantifies that claim against every baseline. Each
+//! iteration drives one pre-generated Zipfian reference through a policy
+//! with a full buffer (hit and miss paths mixed naturally).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lruk_policy::fxhash::FxHashSet;
+use lruk_policy::{PageId, ReplacementPolicy};
+use lruk_sim::PolicySpec;
+use lruk_workloads::{Workload, Zipfian};
+use std::hint::black_box;
+
+/// Drive `refs` through a fresh policy with `capacity` frames; returns the
+/// number of hits so the optimizer cannot discard the work.
+fn drive(policy: &mut dyn ReplacementPolicy, refs: &[PageId], capacity: usize) -> u64 {
+    let mut resident: FxHashSet<PageId> = FxHashSet::default();
+    let mut hits = 0u64;
+    for (i, &page) in refs.iter().enumerate() {
+        let now = lruk_policy::Tick(i as u64 + 1);
+        if resident.contains(&page) {
+            policy.on_hit(page, now);
+            hits += 1;
+        } else {
+            policy.on_miss(page, now);
+            if resident.len() == capacity {
+                let v = policy.select_victim(now).expect("victim");
+                resident.remove(&v);
+                policy.on_evict(v, now);
+            }
+            policy.on_admit(page, now);
+            resident.insert(page);
+        }
+    }
+    hits
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let capacity = 512;
+    let trace: Vec<PageId> = Zipfian::new(8_192, 0.8, 0.2, 7)
+        .generate(100_000)
+        .pages();
+    let specs: Vec<(&str, PolicySpec)> = vec![
+        ("LRU-1", PolicySpec::Lru),
+        ("LRU-2", PolicySpec::LruK { k: 2 }),
+        ("LRU-3", PolicySpec::LruK { k: 3 }),
+        ("LRU-2-classic", PolicySpec::ClassicLruK { k: 2 }),
+        ("FIFO", PolicySpec::Fifo),
+        ("CLOCK", PolicySpec::Clock),
+        ("GCLOCK", PolicySpec::GClock(1, 3)),
+        ("LFU", PolicySpec::Lfu),
+        ("LRD", PolicySpec::LrdV1),
+        ("2Q", PolicySpec::TwoQ),
+        ("ARC", PolicySpec::Arc),
+    ];
+    let mut group = c.benchmark_group("policy_ops");
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    for (name, spec) in specs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut policy = spec.build(capacity, None, None);
+                black_box(drive(policy.as_mut(), &trace, capacity))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_policies
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! The §2.1.3 footnote, quantified: "finding the page with the maximum
+//! Backward K-distance would actually be based on a search tree".
+//!
+//! Compares the literal Figure 2.1 O(B) victim scan ([`ClassicLruK`])
+//! against the indexed O(log B) engine ([`LruK`]) as the buffer grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lruk_core::{ClassicLruK, LruK, LruKConfig};
+use lruk_policy::{PageId, ReplacementPolicy, Tick};
+use std::hint::black_box;
+
+/// Populate a policy with `b` resident pages, each with two references.
+fn populate(policy: &mut dyn ReplacementPolicy, b: usize) {
+    let mut t = 0u64;
+    for i in 0..b as u64 {
+        t += 1;
+        policy.on_miss(PageId(i), Tick(t));
+        policy.on_admit(PageId(i), Tick(t));
+    }
+    for i in 0..b as u64 {
+        t += 1;
+        policy.on_hit(PageId(i), Tick(t));
+    }
+}
+
+fn bench_victim_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("victim_search");
+    for b in [64usize, 256, 1024, 4096, 16_384] {
+        group.bench_with_input(BenchmarkId::new("classic_scan", b), &b, |bench, &b| {
+            let mut p = ClassicLruK::new(LruKConfig::new(2));
+            populate(&mut p, b);
+            let now = Tick(3 * b as u64);
+            bench.iter(|| black_box(p.select_victim(now).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_tree", b), &b, |bench, &b| {
+            let mut p = LruK::new(LruKConfig::new(2));
+            populate(&mut p, b);
+            let now = Tick(3 * b as u64);
+            bench.iter(|| black_box(p.select_victim(now).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_victim_search
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! §4.3/§5 adaptivity: a moving hot spot. LFU "never forgets" and stays
+//! stuck on the previous phase; LRU-2 tracks recent frequencies.
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::adaptivity;
+use lruk_sim::report::render_adaptivity;
+
+fn main() {
+    let args = BinArgs::parse();
+    let r = if args.quick {
+        adaptivity(2_000, 60, 8_000, 4, 70, 2_000, args.seed)
+    } else {
+        adaptivity(20_000, 200, 50_000, 6, 240, 10_000, args.seed)
+    };
+    print!("{}", render_adaptivity(&r));
+}

@@ -1,0 +1,16 @@
+//! §2.1.1 Correlated Reference Period ablation: LRU-2 on a bursty two-pool
+//! workload for several CRP values, with LRU-1 as a reference point.
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::crp_sweep;
+use lruk_sim::report::render_sweep;
+
+fn main() {
+    let args = BinArgs::parse();
+    let r = if args.quick {
+        crp_sweep(30, 3_000, 0.5, 3, 40, &[0, 2, 4, 8], args.seed)
+    } else {
+        crp_sweep(100, 10_000, 0.4, 3, 130, &[0, 1, 2, 4, 8, 16, 32], args.seed)
+    };
+    print!("{}", render_sweep(&r));
+}

@@ -1,0 +1,16 @@
+//! §4.1 claim: "LRU-K approaches A0 with increasing value of K" (at the
+//! cost of responsiveness — see ablation_adaptivity).
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::k_sweep;
+use lruk_sim::report::render_sweep;
+
+fn main() {
+    let args = BinArgs::parse();
+    let r = if args.quick {
+        k_sweep(30, 3_000, 36, 3, args.seed)
+    } else {
+        k_sweep(100, 10_000, 100, 5, args.seed)
+    };
+    print!("{}", render_sweep(&r));
+}

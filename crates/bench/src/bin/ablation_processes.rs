@@ -1,0 +1,23 @@
+//! §2.1.1's process refinement: Time-Out Correlation with and without
+//! distinguishing the issuing process, on a two-process bursty workload.
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::process_refinement;
+
+fn main() {
+    let args = BinArgs::parse();
+    let (blind, aware, lru1) = if args.quick {
+        process_refinement(40, 4_000, 0.5, 3, 50, 6, args.seed)
+    } else {
+        process_refinement(100, 10_000, 0.4, 3, 130, 8, args.seed)
+    };
+    println!("Inter-process correlation (two processes, shared pages, bursty):");
+    println!("  LRU-1                      {lru1:.4}");
+    println!("  LRU-2, pid-blind CRP       {blind:.4}");
+    println!("  LRU-2, per-process CRP     {aware:.4}");
+    println!();
+    println!("\"It is clearly possible to distinguish processes making page references\"");
+    println!("(§2.1.1): with the refinement, a near-coincident reference from a *different*");
+    println!("process counts as a genuine interarrival observation instead of being");
+    println!("swallowed by the time-out, so popular pages are recognized sooner.");
+}

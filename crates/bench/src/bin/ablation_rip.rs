@@ -1,0 +1,34 @@
+//! §2.1.2 Retained Information Period ablation on the paper's "metronome"
+//! worst case: hot pages recurring at intervals just above their residence
+//! period. Shows the hit-ratio cliff when RIP + residence < interarrival,
+//! and the history memory cost (peak retained entries) as RIP grows — the
+//! paper's open question about history space.
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::rip_sweep;
+use lruk_sim::report::render_sweep;
+
+fn main() {
+    let args = BinArgs::parse();
+    let r = if args.quick {
+        rip_sweep(40, 10_000, 60, &[Some(40), Some(300), None], args.seed)
+    } else {
+        rip_sweep(
+            100,
+            50_000,
+            150,
+            &[
+                Some(50),
+                Some(100),
+                Some(200),
+                Some(400),
+                Some(600),
+                Some(1200),
+                Some(2400),
+                None,
+            ],
+            args.seed,
+        )
+    };
+    print!("{}", render_sweep(&r));
+}

@@ -1,0 +1,21 @@
+//! §1.1 alternative 2: query-plan hints vs reference history.
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::hints;
+
+fn main() {
+    let args = BinArgs::parse();
+    let r = hints(args.seed);
+    for (workload, rows) in &r.sections {
+        println!("workload: {workload}");
+        println!("  {:<12}{:<14}interactive hit", "policy", "overall hit");
+        for (label, overall, interactive) in rows {
+            println!("  {label:<12}{overall:<14.4}{interactive:.4}");
+        }
+        println!();
+    }
+    println!("Hints fix Example 1.2 (the optimizer knows scans won't re-reference) but");
+    println!("are blind in the two-pool/Example 1.1 case: within one keyed-lookup plan");
+    println!("\"each page is referenced exactly once\", so only cross-plan history — ");
+    println!("what LRU-2 keeps — separates index pages from record pages.");
+}

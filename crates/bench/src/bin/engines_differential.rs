@@ -1,0 +1,26 @@
+//! Sanity harness: drives the classic Figure 2.1 engine and the indexed
+//! engine over the same trace and confirms identical hit counts (the full
+//! decision-level differential test lives in tests/).
+
+use lruk_bench::BinArgs;
+use lruk_sim::{simulate, PolicySpec};
+use lruk_workloads::{Workload, Zipfian};
+
+fn main() {
+    let args = BinArgs::parse();
+    let refs = if args.quick { 50_000 } else { 500_000 };
+    let trace = Zipfian::new(2_000, 0.8, 0.2, args.seed).generate(refs);
+    for b in [50usize, 200, 800] {
+        let mut classic = PolicySpec::ClassicLruK { k: 2 }.build(b, None, None);
+        let rc = simulate(classic.as_mut(), trace.refs(), b, refs / 10);
+        let mut indexed = PolicySpec::LruK { k: 2 }.build(b, None, None);
+        let ri = simulate(indexed.as_mut(), trace.refs(), b, refs / 10);
+        println!(
+            "B={b:<5} classic hit {:.6}  indexed hit {:.6}  {}",
+            rc.hit_ratio(),
+            ri.hit_ratio(),
+            if rc.stats == ri.stats { "IDENTICAL" } else { "DIVERGED!" }
+        );
+        assert_eq!(rc.stats, ri.stats, "engines diverged at B={b}");
+    }
+}

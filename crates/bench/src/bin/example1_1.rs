@@ -1,0 +1,22 @@
+//! Runs the paper's Example 1.1 on a physically built B-tree database:
+//! 20 000 customers, 2000-byte records, B = 101 frames.
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::example1_1;
+use lruk_sim::report::render_example11;
+
+fn main() {
+    let args = BinArgs::parse();
+    let (customers, lookups, buffer) = if args.quick {
+        (2_000u64, 8_000usize, 12usize)
+    } else {
+        (20_000, 120_000, 101)
+    };
+    let r = example1_1(customers, lookups, buffer, args.seed);
+    print!("{}", render_example11(&r));
+    println!();
+    println!(
+        "Paper's prediction: under LRU the buffer holds \"50 B-tree leaf pages and 50\n\
+         record pages\" (even slightly more record pages); LRU-2 should hold the leaf pages."
+    );
+}

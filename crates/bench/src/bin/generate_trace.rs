@@ -1,0 +1,38 @@
+//! Generate a reference trace to a file in the text format of
+//! `lruk_workloads::Trace`, for external analysis or replay with
+//! `simulate_trace`.
+//!
+//! ```sh
+//! generate_trace <workload> <refs> <output-file> [--seed N]
+//! workloads: two-pool | zipfian | scan-flood | hotspot | metronome | oltp
+//! ```
+
+use lruk_workloads::{
+    BankWorkload, Metronome, MovingHotspot, ScanFlood, Trace, TwoPool, Workload, Zipfian,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        eprintln!("usage: generate_trace <two-pool|zipfian|scan-flood|hotspot|metronome|oltp> <refs> <file> [seed]");
+        std::process::exit(2);
+    }
+    let refs: usize = args[1].parse().expect("refs must be an integer");
+    let seed: u64 = args.get(3).map(|s| s.parse().expect("seed")).unwrap_or(42);
+    let trace: Trace = match args[0].as_str() {
+        "two-pool" => TwoPool::paper(seed).generate(refs),
+        "zipfian" => Zipfian::paper(seed).generate(refs),
+        "scan-flood" => ScanFlood::example_1_2(seed).generate(refs),
+        "hotspot" => MovingHotspot::new(20_000, 200, 0.9, 50_000, seed).generate(refs),
+        "metronome" => Metronome::new(100, 50_000, 4, seed).generate(refs),
+        "oltp" => BankWorkload::paper_scale(seed).generate_trace(refs),
+        other => {
+            eprintln!("unknown workload {other}");
+            std::process::exit(2);
+        }
+    };
+    let f = std::fs::File::create(&args[2]).expect("create output file");
+    let mut w = std::io::BufWriter::new(f);
+    trace.save_text(&mut w).expect("write trace");
+    eprintln!("wrote {} references ({}) to {}", trace.len(), trace.name(), args[2]);
+}

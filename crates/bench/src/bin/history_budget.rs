@@ -1,0 +1,41 @@
+//! §5's open question: trade buffer frames for history control blocks under
+//! a fixed memory budget, on the §2.1.2 metronome workload.
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::{history_budget, FRAME_BYTES};
+
+fn main() {
+    let args = BinArgs::parse();
+    let (budget_frames, counts): (usize, Vec<usize>) = if args.quick {
+        (160, vec![159, 155, 150, 140, 120])
+    } else {
+        (300, vec![299, 295, 290, 280, 260, 230, 200, 150])
+    };
+    let r = history_budget(
+        if args.quick { 100 } else { 200 },
+        50_000,
+        budget_frames * FRAME_BYTES,
+        &counts,
+        args.seed,
+    );
+    println!(
+        "History budget sweep: {} (budget = {} KiB = {budget_frames} frames)",
+        r.workload,
+        r.budget_bytes / 1024
+    );
+    println!(
+        "{:<8}{:<16}{:<10}{:<11}retained (peak)",
+        "frames", "history budget", "RIP", "hit ratio"
+    );
+    for p in &r.points {
+        println!(
+            "{:<8}{:<16}{:<10}{:<11.4}{}",
+            p.frames, p.history_budget, p.rip, p.hit_ratio, p.peak_retained
+        );
+    }
+    println!();
+    println!("The paper's §5: \"It is an open issue how much space we should set aside for");
+    println!("history control blocks … a better approach would be to turn buffer frames into");
+    println!("history control blocks dynamically.\" At ~100 blocks per 4 KiB frame, giving up");
+    println!("a few frames unlocks RIPs long enough to recognize the whole hot set.");
+}

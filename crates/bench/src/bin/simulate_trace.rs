@@ -1,0 +1,77 @@
+//! Replay a trace file (text format) against one or more policies.
+//!
+//! ```sh
+//! simulate_trace <trace-file> <frames> [warmup] [policy,policy,...]
+//! policies: lru | lru2 | lru3 | lfu | lfu-fh | fifo | clock | gclock |
+//!           2q | arc | slru | lirs | fbr | lrd | mru | random | hints | opt
+//! ```
+
+use lruk_sim::{simulate, PolicySpec};
+use lruk_workloads::Trace;
+
+fn spec_of(name: &str) -> PolicySpec {
+    match name {
+        "lru" | "lru1" => PolicySpec::Lru,
+        "lru2" => PolicySpec::LruK { k: 2 },
+        "lru3" => PolicySpec::LruK { k: 3 },
+        "lfu" => PolicySpec::Lfu,
+        "lfu-fh" => PolicySpec::LfuFullHistory,
+        "fifo" => PolicySpec::Fifo,
+        "clock" => PolicySpec::Clock,
+        "gclock" => PolicySpec::GClock(1, 3),
+        "2q" => PolicySpec::TwoQ,
+        "arc" => PolicySpec::Arc,
+        "slru" => PolicySpec::Slru,
+        "lirs" => PolicySpec::Lirs,
+        "fbr" => PolicySpec::Fbr,
+        "lrd" => PolicySpec::LrdV1,
+        "mru" => PolicySpec::Mru,
+        "random" => PolicySpec::Random { seed: 42 },
+        "hints" => PolicySpec::HintedLru,
+        "opt" => PolicySpec::Opt,
+        other => {
+            eprintln!("unknown policy {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: simulate_trace <trace-file> <frames> [warmup] [policy,...]");
+        std::process::exit(2);
+    }
+    let file = std::fs::File::open(&args[0]).expect("open trace file");
+    let trace = Trace::load_text(&mut std::io::BufReader::new(file)).expect("parse trace");
+    let frames: usize = args[1].parse().expect("frames");
+    let warmup: usize = args
+        .get(2)
+        .map(|s| s.parse().expect("warmup"))
+        .unwrap_or(trace.len() / 10);
+    let policies: Vec<PolicySpec> = args
+        .get(3)
+        .map(|s| s.split(',').map(spec_of).collect())
+        .unwrap_or_else(|| vec![PolicySpec::Lru, PolicySpec::LruK { k: 2 }]);
+
+    println!(
+        "trace {} ({} refs), B = {frames}, warmup {warmup}",
+        trace.name(),
+        trace.len()
+    );
+    println!("{:<12}{:<11}{:<11}{:<12}retained(peak)", "policy", "hit ratio", "evictions", "writebacks");
+    let pages = trace.pages();
+    for spec in &policies {
+        let trace_ctx = matches!(spec, PolicySpec::Opt).then_some(&pages[..]);
+        let mut policy = spec.build(frames, None, trace_ctx);
+        let r = simulate(policy.as_mut(), trace.refs(), frames, warmup);
+        println!(
+            "{:<12}{:<11.4}{:<11}{:<12}{}",
+            spec.label(),
+            r.hit_ratio(),
+            r.stats.evictions,
+            r.stats.dirty_writebacks,
+            r.peak_retained
+        );
+    }
+}

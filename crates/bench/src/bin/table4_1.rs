@@ -1,0 +1,41 @@
+//! Regenerates the paper's Table 4.1 (two-pool experiment).
+//!
+//! Paper values for comparison are printed alongside; see EXPERIMENTS.md.
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::{table4_1, ExperimentScale};
+use lruk_sim::report::render_table;
+
+fn main() {
+    let args = BinArgs::parse();
+    let mut scale = ExperimentScale {
+        seed: args.seed,
+        ..Default::default()
+    };
+    let (n1, n2, sizes): (u64, u64, &[usize]) = if args.quick {
+        scale.repetitions = 2;
+        (100, 10_000, &[60, 100, 200, 450])
+    } else {
+        scale.repetitions = 7;
+        scale.measure_mult = 3;
+        (100, 10_000, lruk_sim::experiments::TABLE_4_1_SIZES)
+    };
+    let t = table4_1(n1, n2, sizes, &scale);
+    print!("{}", render_table(&t));
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/table4_1.csv", lruk_sim::csv::table_to_csv(&t)))
+    {
+        eprintln!("note: could not write results/table4_1.csv: {e}");
+    }
+    println!();
+    println!("Paper (Table 4.1) reference rows:");
+    println!("B      LRU-1   LRU-2   LRU-3   A0      B(1)/B(2)");
+    for (b, r1, r2, r3, a0, ratio) in [
+        (60, 0.14, 0.291, 0.300, 0.300, 2.3),
+        (100, 0.22, 0.459, 0.495, 0.500, 3.0),
+        (200, 0.37, 0.505, 0.505, 0.505, 2.3),
+        (450, 0.50, 0.517, 0.518, 0.518, 1.8),
+    ] {
+        println!("{b:<7}{r1:<8}{r2:<8}{r3:<8}{a0:<8}{ratio}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates the paper's Table 4.2 (Zipfian random access).
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::{table4_2, ExperimentScale};
+use lruk_sim::report::render_table;
+
+fn main() {
+    let args = BinArgs::parse();
+    let mut scale = ExperimentScale {
+        seed: args.seed,
+        ..Default::default()
+    };
+    let (n, sizes): (u64, &[usize]) = if args.quick {
+        scale.repetitions = 2;
+        (1000, &[40, 100, 200, 500])
+    } else {
+        scale.repetitions = 5;
+        scale.measure_mult = 2;
+        (1000, lruk_sim::experiments::TABLE_4_2_SIZES)
+    };
+    let t = table4_2(n, sizes, &scale);
+    print!("{}", render_table(&t));
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/table4_2.csv", lruk_sim::csv::table_to_csv(&t)))
+    {
+        eprintln!("note: could not write results/table4_2.csv: {e}");
+    }
+    println!();
+    println!("Paper (Table 4.2) reference rows:");
+    println!("B      LRU-1   LRU-2   A0      B(1)/B(2)");
+    for (b, r1, r2, a0, ratio) in [
+        (40, 0.53, 0.61, 0.640, 2.0),
+        (100, 0.63, 0.68, 0.727, 1.6),
+        (200, 0.72, 0.76, 0.825, 1.3),
+        (500, 0.87, 0.87, 0.908, 1.0),
+    ] {
+        println!("{b:<7}{r1:<8}{r2:<8}{a0:<8}{ratio}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates the paper's Table 4.3 (OLTP bank trace) over the synthetic
+//! CODASYL substitute trace (DESIGN.md §5).
+
+use lruk_bench::BinArgs;
+use lruk_sim::experiments::{table4_3, Table43Params};
+use lruk_sim::report::render_table;
+
+fn main() {
+    let args = BinArgs::parse();
+    let params = if args.quick {
+        let mut p = Table43Params::tiny();
+        p.seed = args.seed;
+        p
+    } else {
+        Table43Params {
+            seed: args.seed,
+            ..Default::default()
+        }
+    };
+    let t = table4_3(&params);
+    print!("{}", render_table(&t));
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/table4_3.csv", lruk_sim::csv::table_to_csv(&t)))
+    {
+        eprintln!("note: could not write results/table4_3.csv: {e}");
+    }
+    println!();
+    println!("Paper (Table 4.3) reference rows:");
+    println!("B      LRU-1   LRU-2   LFU     B(1)/B(2)");
+    for (b, r1, r2, lfu, ratio) in [
+        (100, 0.005, 0.07, 0.07, 4.5),
+        (600, 0.13, 0.25, 0.20, 2.16),
+        (1400, 0.26, 0.33, 0.30, 1.5),
+        (5000, 0.46, 0.47, 0.44, 1.05),
+    ] {
+        println!("{b:<7}{r1:<8}{r2:<8}{lfu:<8}{ratio}");
+    }
+}

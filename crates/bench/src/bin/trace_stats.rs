@@ -1,0 +1,61 @@
+//! Prints the skew fingerprint of the synthetic OLTP trace, for comparison
+//! against the paper's §4.3 characterization: "40% of the references access
+//! only 3% of the database pages … 90% of the references access 65% of the
+//! pages … only about 1400 pages satisfy the criterion of the Five Minute
+//! Rule".
+
+use lruk_bench::BinArgs;
+use lruk_workloads::{BankWorkload, TraceStats};
+
+fn main() {
+    let args = BinArgs::parse();
+    let (w, refs) = if args.quick {
+        (
+            BankWorkload::new(
+                lruk_storage::BankConfig {
+                    branches: 80,
+                    tellers_per_branch: 4,
+                    accounts_per_branch: 100,
+                    history_pages: 300,
+                },
+                args.seed,
+            ),
+            60_000,
+        )
+    } else {
+        (BankWorkload::paper_scale(args.seed), 470_000)
+    };
+    let trace = w.generate_trace(refs);
+    let s = TraceStats::analyze(&trace);
+    println!("trace: {}", trace.name());
+    println!("references:      {}", s.references);
+    println!("distinct pages:  {}", s.distinct_pages);
+    let (r, seq, nav, idx) = s.kind_counts;
+    println!("kinds:           random {r}, sequential {seq}, navigational {nav}, index {idx}");
+    println!();
+    println!("skew fingerprint (paper: 40% of refs on 3% of pages; 90% on 65%):");
+    for frac in [0.01, 0.03, 0.05, 0.10, 0.20, 0.65] {
+        println!(
+            "  hottest {:>5.1}% of pages absorb {:>5.1}% of references",
+            frac * 100.0,
+            s.refs_fraction_of_hottest(frac) * 100.0
+        );
+    }
+    for refs_frac in [0.40, 0.90] {
+        println!(
+            "  {:>5.1}% of references fit in the hottest {:>5.1}% of pages",
+            refs_frac * 100.0,
+            s.pages_fraction_for_refs(refs_frac) * 100.0
+        );
+    }
+    println!();
+    // Five Minute Rule census: the paper's trace was one hour / 470k refs
+    // -> ~130 refs/s, so 100 seconds ≈ 13000 ticks. Scale to our trace len.
+    let window = s.references as f64 / 3600.0 * 100.0;
+    println!(
+        "five-minute-rule census (window {:.0} ticks ≈ 100 s at this trace's rate): {} pages\n\
+         (paper: about 1400 pages)",
+        window,
+        s.five_minute_rule_pages(window)
+    );
+}

@@ -1,0 +1,55 @@
+//! Shared helpers for the benchmark/table binaries.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Parse the standard binary flags: `--quick` scales an experiment down for
+/// a fast smoke run; `--seed N` overrides the default seed.
+pub struct BinArgs {
+    /// Run a scaled-down version.
+    pub quick: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BinArgs {
+    /// Parse from `std::env::args`, panicking with usage on unknown flags.
+    pub fn parse() -> Self {
+        let mut quick = false;
+        let mut seed = 42u64;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--help" | "-h" => {
+                    eprintln!("flags: --quick (scaled-down run), --seed N");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; try --help"),
+            }
+        }
+        BinArgs { quick, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        // parse() reads real argv; just check the struct is constructible.
+        let a = BinArgs {
+            quick: false,
+            seed: 42,
+        };
+        assert!(!a.quick);
+        assert_eq!(a.seed, 42);
+    }
+}

@@ -1,0 +1,146 @@
+//! A thread-safe buffer pool wrapper.
+//!
+//! The paper's multi-user arguments (inter-transaction locality, §2.1.1 case
+//! 4) need concurrent clients. This wrapper takes the simple, obviously
+//! correct route: one `parking_lot::Mutex` around the pool and closure-scoped
+//! page access, so a page is pinned, used and unpinned while the latch is
+//! held. That serializes page *access* but still exercises every policy and
+//! pin path under concurrency (the stress tests hammer it from many
+//! threads). Per-frame latching, which real engines layer on top, is
+//! orthogonal to replacement policy behaviour and intentionally out of scope
+//! — see `DESIGN.md`.
+
+use crate::disk::DiskManager;
+use crate::pool::{BufferError, BufferPoolManager};
+use lruk_policy::{CacheStats, PageId};
+use parking_lot::Mutex;
+
+/// Shareable (`Send + Sync`) buffer pool.
+pub struct ConcurrentBufferPool<D: DiskManager> {
+    inner: Mutex<BufferPoolManager<D>>,
+}
+
+impl<D: DiskManager> ConcurrentBufferPool<D> {
+    /// Wrap a pool for shared use.
+    pub fn new(pool: BufferPoolManager<D>) -> Self {
+        ConcurrentBufferPool {
+            inner: Mutex::new(pool),
+        }
+    }
+
+    /// Run `f` over the contents of `page` (read-only).
+    pub fn with_page<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, BufferError> {
+        let mut pool = self.inner.lock();
+        let fid = pool.pin_page(page)?;
+        let out = f(pool.frame_data(fid));
+        pool.unpin_page(page, false)?;
+        Ok(out)
+    }
+
+    /// Run `f` over the contents of `page` (read-write; marks it dirty).
+    pub fn with_page_mut<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, BufferError> {
+        let mut pool = self.inner.lock();
+        let fid = pool.pin_page(page)?;
+        let out = f(pool.frame_data_mut(fid));
+        pool.unpin_page(page, true)?;
+        Ok(out)
+    }
+
+    /// Allocate a fresh disk page.
+    pub fn allocate_page(&self) -> Result<PageId, BufferError> {
+        self.inner.lock().allocate_page()
+    }
+
+    /// Flush all dirty pages.
+    pub fn flush_all(&self) -> Result<(), BufferError> {
+        self.inner.lock().flush_all()
+    }
+
+    /// Hit/miss statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats()
+    }
+
+    /// Run an arbitrary operation while holding the pool latch.
+    pub fn with_pool<R>(&self, f: impl FnOnce(&mut BufferPoolManager<D>) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+    use lruk_core::LruK;
+    use std::sync::Arc;
+
+    fn make(capacity: usize, disk_pages: usize) -> (Arc<ConcurrentBufferPool<InMemoryDisk>>, Vec<PageId>) {
+        let mut disk = InMemoryDisk::new(disk_pages);
+        let pages: Vec<PageId> = (0..disk_pages)
+            .map(|_| disk.allocate_page().unwrap())
+            .collect();
+        let pool = BufferPoolManager::new(capacity, disk, Box::new(LruK::lru2()));
+        (Arc::new(ConcurrentBufferPool::new(pool)), pages)
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let (pool, pages) = make(2, 4);
+        pool.with_page_mut(pages[0], |d| d[0] = 9).unwrap();
+        let v = pool.with_page(pages[0], |d| d[0]).unwrap();
+        assert_eq!(v, 9);
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_all_applied() {
+        // 8 threads × 500 increments on a page counter; tiny pool so pages
+        // are evicted and re-fetched constantly, exercising write-back.
+        let (pool, pages) = make(2, 16);
+        let threads = 8;
+        let per_thread = 500u64;
+        crossbeam::scope(|s| {
+            for t in 0..threads {
+                let pool = Arc::clone(&pool);
+                let target = pages[0];
+                let noise: Vec<PageId> = pages[1..].to_vec();
+                s.spawn(move |_| {
+                    for i in 0..per_thread {
+                        pool.with_page_mut(target, |d| {
+                            let mut c = u64::from_le_bytes(d[..8].try_into().unwrap());
+                            c += 1;
+                            d[..8].copy_from_slice(&c.to_le_bytes());
+                        })
+                        .unwrap();
+                        // Touch noise pages to force churn.
+                        let n = noise[(t * 7 + i as usize) % noise.len()];
+                        pool.with_page(n, |_| ()).unwrap();
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let total = pool
+            .with_page(pages[0], |d| u64::from_le_bytes(d[..8].try_into().unwrap()))
+            .unwrap();
+        assert_eq!(total, threads as u64 * per_thread);
+        assert!(pool.stats().evictions > 0, "churn must cause evictions");
+    }
+
+    #[test]
+    fn stats_and_flush() {
+        let (pool, pages) = make(2, 2);
+        pool.with_page_mut(pages[0], |d| d[0] = 1).unwrap();
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().misses, 1);
+        pool.with_pool(|p| assert_eq!(p.disk_stats().writes, 1));
+        assert!(pool.allocate_page().is_err(), "disk is full");
+    }
+}

@@ -1,0 +1,301 @@
+//! Disk abstraction and the simulated in-memory disk.
+
+use lruk_policy::PageId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Physical page size in bytes.
+///
+/// The paper's Example 1.1 assumes "disk pages contain 4000 bytes of usable
+/// space"; we use a 4 KiB physical page, with the storage layer's headers
+/// accounting for the difference.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Errors surfaced by a disk manager.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DiskError {
+    /// The page id does not name an allocated page.
+    PageNotAllocated(PageId),
+    /// The disk has no free page slots left.
+    DiskFull,
+    /// A buffer of the wrong length was supplied.
+    BadBufferLength {
+        /// Expected byte count (always [`PAGE_SIZE`]).
+        expected: usize,
+        /// Supplied byte count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DiskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiskError::PageNotAllocated(p) => write!(f, "page {p} is not allocated"),
+            DiskError::DiskFull => write!(f, "disk is full"),
+            DiskError::BadBufferLength { expected, got } => {
+                write!(f, "bad buffer length: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// I/O counters, the primary cost metric of the paper's experiments.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskStats {
+    /// Pages read from disk.
+    pub reads: u64,
+    /// Pages written to disk.
+    pub writes: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+    /// Pages deallocated.
+    pub deallocations: u64,
+}
+
+impl DiskStats {
+    /// Total I/O operations (reads + writes).
+    pub fn total_io(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// A source and sink of fixed-size pages.
+///
+/// Implementations must be deterministic; the simulator relies on replaying
+/// identical workloads against identical disks.
+pub trait DiskManager: Send {
+    /// Read page `page` into `buf` (`buf.len() == PAGE_SIZE`).
+    fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError>;
+
+    /// Write `data` (`PAGE_SIZE` bytes) as page `page`.
+    fn write_page(&mut self, page: PageId, data: &[u8]) -> Result<(), DiskError>;
+
+    /// Allocate a fresh zeroed page and return its id.
+    fn allocate_page(&mut self) -> Result<PageId, DiskError>;
+
+    /// Release `page` back to the allocator.
+    fn deallocate_page(&mut self, page: PageId) -> Result<(), DiskError>;
+
+    /// True if `page` is currently allocated.
+    fn is_allocated(&self, page: PageId) -> bool;
+
+    /// Number of currently allocated pages.
+    fn allocated_pages(&self) -> usize;
+
+    /// I/O counters so far.
+    fn stats(&self) -> DiskStats;
+}
+
+/// A simulated disk backed by heap memory.
+///
+/// Page ids are dense (`0, 1, 2, …`) with deallocated ids reused in LIFO
+/// order. Reads of pages that were allocated but never written return
+/// zeroes, like a freshly formatted volume.
+#[derive(Debug, Default)]
+pub struct InMemoryDisk {
+    pages: Vec<Option<Box<[u8]>>>,
+    free: Vec<u64>,
+    stats: DiskStats,
+    capacity: Option<usize>,
+}
+
+impl InMemoryDisk {
+    /// Disk with a maximum of `capacity` simultaneously allocated pages.
+    pub fn new(capacity: usize) -> Self {
+        InMemoryDisk {
+            pages: Vec::new(),
+            free: Vec::new(),
+            stats: DiskStats::default(),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Disk without an allocation limit.
+    pub fn unbounded() -> Self {
+        InMemoryDisk::default()
+    }
+
+    fn check_buf(len: usize) -> Result<(), DiskError> {
+        if len != PAGE_SIZE {
+            Err(DiskError::BadBufferLength {
+                expected: PAGE_SIZE,
+                got: len,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl DiskManager for InMemoryDisk {
+    fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError> {
+        Self::check_buf(buf.len())?;
+        let slot = self
+            .pages
+            .get(page.raw() as usize)
+            .ok_or(DiskError::PageNotAllocated(page))?;
+        match slot {
+            Some(data) => buf.copy_from_slice(data),
+            None => return Err(DiskError::PageNotAllocated(page)),
+        }
+        self.stats.reads += 1;
+        Ok(())
+    }
+
+    fn write_page(&mut self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
+        Self::check_buf(data.len())?;
+        let slot = self
+            .pages
+            .get_mut(page.raw() as usize)
+            .ok_or(DiskError::PageNotAllocated(page))?;
+        match slot {
+            Some(stored) => stored.copy_from_slice(data),
+            None => return Err(DiskError::PageNotAllocated(page)),
+        }
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId, DiskError> {
+        if let Some(cap) = self.capacity {
+            if self.allocated_pages() >= cap {
+                return Err(DiskError::DiskFull);
+            }
+        }
+        self.stats.allocations += 1;
+        if let Some(id) = self.free.pop() {
+            self.pages[id as usize] = Some(vec![0u8; PAGE_SIZE].into_boxed_slice());
+            return Ok(PageId(id));
+        }
+        let id = self.pages.len() as u64;
+        self.pages
+            .push(Some(vec![0u8; PAGE_SIZE].into_boxed_slice()));
+        Ok(PageId(id))
+    }
+
+    fn deallocate_page(&mut self, page: PageId) -> Result<(), DiskError> {
+        let slot = self
+            .pages
+            .get_mut(page.raw() as usize)
+            .ok_or(DiskError::PageNotAllocated(page))?;
+        if slot.is_none() {
+            return Err(DiskError::PageNotAllocated(page));
+        }
+        *slot = None;
+        self.free.push(page.raw());
+        self.stats.deallocations += 1;
+        Ok(())
+    }
+
+    fn is_allocated(&self, page: PageId) -> bool {
+        self.pages
+            .get(page.raw() as usize)
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    fn allocated_pages(&self) -> usize {
+        self.pages.len() - self.free.len()
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let mut d = InMemoryDisk::new(10);
+        let p = d.allocate_page().unwrap();
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 0xAB;
+        data[PAGE_SIZE - 1] = 0xCD;
+        d.write_page(p, &data).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        d.read_page(p, &mut out).unwrap();
+        assert_eq!(out, data);
+        let s = d.stats();
+        assert_eq!((s.reads, s.writes, s.allocations), (1, 1, 1));
+    }
+
+    #[test]
+    fn fresh_page_reads_zeroes() {
+        let mut d = InMemoryDisk::new(10);
+        let p = d.allocate_page().unwrap();
+        let mut out = vec![0xFFu8; PAGE_SIZE];
+        d.read_page(p, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn unallocated_access_fails() {
+        let mut d = InMemoryDisk::new(10);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert_eq!(
+            d.read_page(PageId(0), &mut buf),
+            Err(DiskError::PageNotAllocated(PageId(0)))
+        );
+        assert_eq!(
+            d.write_page(PageId(3), &buf),
+            Err(DiskError::PageNotAllocated(PageId(3)))
+        );
+        assert_eq!(
+            d.deallocate_page(PageId(0)),
+            Err(DiskError::PageNotAllocated(PageId(0)))
+        );
+    }
+
+    #[test]
+    fn capacity_enforced_and_ids_reused() {
+        let mut d = InMemoryDisk::new(2);
+        let a = d.allocate_page().unwrap();
+        let _b = d.allocate_page().unwrap();
+        assert_eq!(d.allocate_page(), Err(DiskError::DiskFull));
+        d.deallocate_page(a).unwrap();
+        assert!(!d.is_allocated(a));
+        let c = d.allocate_page().unwrap();
+        assert_eq!(c, a, "freed id must be reused");
+        assert_eq!(d.allocated_pages(), 2);
+    }
+
+    #[test]
+    fn reallocated_page_is_zeroed() {
+        let mut d = InMemoryDisk::new(2);
+        let a = d.allocate_page().unwrap();
+        d.write_page(a, &vec![7u8; PAGE_SIZE]).unwrap();
+        d.deallocate_page(a).unwrap();
+        let b = d.allocate_page().unwrap();
+        assert_eq!(a, b);
+        let mut out = vec![1u8; PAGE_SIZE];
+        d.read_page(b, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn bad_buffer_length_rejected() {
+        let mut d = InMemoryDisk::new(2);
+        let p = d.allocate_page().unwrap();
+        let mut small = vec![0u8; 16];
+        assert_eq!(
+            d.read_page(p, &mut small),
+            Err(DiskError::BadBufferLength {
+                expected: PAGE_SIZE,
+                got: 16
+            })
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(DiskError::DiskFull.to_string().contains("full"));
+        assert!(DiskError::PageNotAllocated(PageId(5))
+            .to_string()
+            .contains('5'));
+    }
+}

@@ -1,0 +1,106 @@
+//! Buffer frames.
+
+use crate::disk::PAGE_SIZE;
+use bytes::{BufMut, BytesMut};
+use lruk_policy::PageId;
+
+/// Index of a frame within the buffer pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct FrameId(pub u32);
+
+impl FrameId {
+    /// Raw index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// One buffer frame: a page-sized byte buffer plus residency metadata.
+#[derive(Debug)]
+pub struct Frame {
+    data: BytesMut,
+    /// The disk page currently held, if any.
+    pub page: Option<PageId>,
+    /// Nested pin count; only zero-pin frames may be victimized.
+    pub pin_count: u32,
+    /// True if the contents diverge from the on-disk copy.
+    pub dirty: bool,
+}
+
+impl Frame {
+    /// A fresh zeroed frame.
+    pub fn new() -> Self {
+        let mut data = BytesMut::with_capacity(PAGE_SIZE);
+        data.put_bytes(0, PAGE_SIZE);
+        Frame {
+            data,
+            page: None,
+            pin_count: 0,
+            dirty: false,
+        }
+    }
+
+    /// Page contents (always exactly [`PAGE_SIZE`] bytes).
+    #[inline]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable page contents. The caller is responsible for setting
+    /// [`Frame::dirty`]; the pool's guard API does this automatically.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Reset the frame for reuse by a new page: zero metadata, keep the
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.page = None;
+        self.pin_count = 0;
+        self.dirty = false;
+    }
+
+    /// Zero the contents (used for newly allocated pages).
+    pub fn zero(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+impl Default for Frame {
+    fn default() -> Self {
+        Frame::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_has_page_size_bytes() {
+        let f = Frame::new();
+        assert_eq!(f.data().len(), PAGE_SIZE);
+        assert!(f.page.is_none());
+        assert_eq!(f.pin_count, 0);
+        assert!(!f.dirty);
+    }
+
+    #[test]
+    fn mutation_and_reset() {
+        let mut f = Frame::new();
+        f.data_mut()[10] = 99;
+        f.page = Some(PageId(7));
+        f.pin_count = 2;
+        f.dirty = true;
+        f.reset();
+        assert!(f.page.is_none());
+        assert_eq!(f.pin_count, 0);
+        assert!(!f.dirty);
+        // reset keeps the bytes; zero clears them
+        assert_eq!(f.data()[10], 99);
+        f.zero();
+        assert_eq!(f.data()[10], 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! # lruk-buffer — a database buffer pool with pluggable replacement
+//!
+//! The paper's prototype was a buffer manager inside the Huron database
+//! product; this crate is the corresponding substrate here. It provides:
+//!
+//! * [`DiskManager`] — the disk abstraction, with [`InMemoryDisk`] simulating
+//!   a disk with per-operation cost accounting (the experiments measure I/O
+//!   counts, not wall-clock latency);
+//! * [`BufferPoolManager`] — frames, a page table, pin/unpin reference
+//!   counting, dirty-page write-back, and a pluggable
+//!   [`ReplacementPolicy`](lruk_policy::ReplacementPolicy) (LRU-K or any
+//!   baseline);
+//! * [`PageGuard`] — RAII pin guard for straightforward single-page access;
+//! * [`ConcurrentBufferPool`] — a thread-safe wrapper (single pool latch via
+//!   `parking_lot`, closure-scoped page access) used by the multi-user
+//!   examples and stress tests;
+//! * [`ShardedBufferPool`] — a page-hash-partitioned pool with per-shard
+//!   latches and policy instances, the deployment shape real multi-user
+//!   buffer managers use.
+//!
+//! ```
+//! use lruk_buffer::{BufferPoolManager, InMemoryDisk};
+//! use lruk_core::LruK;
+//!
+//! let disk = InMemoryDisk::new(100);
+//! let mut pool = BufferPoolManager::new(4, disk, Box::new(LruK::lru2()));
+//! let page = pool.allocate_page().unwrap();
+//! {
+//!     let mut guard = pool.fetch_page_mut(page).unwrap();
+//!     guard.data_mut()[0] = 42;
+//! } // guard drop unpins and marks dirty
+//! let guard = pool.fetch_page(page).unwrap();
+//! assert_eq!(guard.data()[0], 42);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod concurrent;
+pub mod disk;
+pub mod frame;
+pub mod pool;
+pub mod sharded;
+
+pub use concurrent::ConcurrentBufferPool;
+pub use disk::{DiskError, DiskManager, DiskStats, InMemoryDisk, PAGE_SIZE};
+pub use frame::{Frame, FrameId};
+pub use pool::{BufferError, BufferPoolManager, PageGuard, PageGuardMut};
+pub use sharded::ShardedBufferPool;

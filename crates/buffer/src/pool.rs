@@ -1,0 +1,515 @@
+//! The buffer pool manager.
+
+use crate::disk::{DiskError, DiskManager, DiskStats, InMemoryDisk};
+use crate::frame::{Frame, FrameId};
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{CacheStats, PageId, ReplacementPolicy, Tick, VictimError};
+use std::fmt;
+
+/// Errors surfaced by the buffer pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BufferError {
+    /// Underlying disk failure.
+    Disk(DiskError),
+    /// No frame could be reclaimed for a new page.
+    NoVictim(VictimError),
+    /// The page is not resident (for operations that require residency).
+    PageNotResident(PageId),
+    /// The operation requires the page to be unpinned.
+    PagePinned(PageId),
+    /// Unpin called on a page with a zero pin count.
+    NotPinned(PageId),
+}
+
+impl fmt::Display for BufferError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferError::Disk(e) => write!(f, "disk error: {e}"),
+            BufferError::NoVictim(e) => write!(f, "cannot reclaim a frame: {e}"),
+            BufferError::PageNotResident(p) => write!(f, "page {p} is not resident"),
+            BufferError::PagePinned(p) => write!(f, "page {p} is pinned"),
+            BufferError::NotPinned(p) => write!(f, "page {p} is not pinned"),
+        }
+    }
+}
+
+impl std::error::Error for BufferError {}
+
+impl From<DiskError> for BufferError {
+    fn from(e: DiskError) -> Self {
+        BufferError::Disk(e)
+    }
+}
+
+/// A buffer pool manager in the style of the paper's prototype: a fixed set
+/// of frames, a page table, pin-based residency control and a pluggable
+/// replacement policy consulted whenever a frame must be reclaimed.
+///
+/// Every `fetch`/`pin` advances the pool's logical clock by one tick — the
+/// paper's timebase of "counts of successive page accesses" — and reports
+/// the reference to the policy.
+pub struct BufferPoolManager<D: DiskManager = InMemoryDisk> {
+    disk: D,
+    frames: Vec<Frame>,
+    page_table: FxHashMap<PageId, FrameId>,
+    free_frames: Vec<FrameId>,
+    policy: Box<dyn ReplacementPolicy>,
+    clock: Tick,
+    stats: CacheStats,
+}
+
+impl<D: DiskManager> BufferPoolManager<D> {
+    /// Pool with `capacity` frames over `disk`, replacing via `policy`.
+    pub fn new(capacity: usize, disk: D, policy: Box<dyn ReplacementPolicy>) -> Self {
+        assert!(capacity >= 1, "buffer pool needs at least one frame");
+        let frames = (0..capacity).map(|_| Frame::new()).collect();
+        let free_frames = (0..capacity as u32).rev().map(FrameId).collect();
+        BufferPoolManager {
+            disk,
+            frames,
+            page_table: FxHashMap::default(),
+            free_frames,
+            policy,
+            clock: Tick::ZERO,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// True if `page` is currently resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.page_table.contains_key(&page)
+    }
+
+    /// The pool's logical clock (ticks = references so far).
+    pub fn clock(&self) -> Tick {
+        self.clock
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset hit/miss statistics (e.g. after a warmup phase).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Disk I/O statistics.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    /// The replacement policy (for diagnostics).
+    pub fn policy(&self) -> &dyn ReplacementPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The underlying disk (for diagnostics).
+    pub fn disk(&self) -> &D {
+        &self.disk
+    }
+
+    /// Allocate a fresh page on disk (not yet fetched into the pool).
+    pub fn allocate_page(&mut self) -> Result<PageId, BufferError> {
+        Ok(self.disk.allocate_page()?)
+    }
+
+    /// Pin `page` into a frame, fetching from disk on a miss, and return the
+    /// frame id. Low-level API for callers that must hold several pages at
+    /// once (e.g. a B-tree splitting a node); pair every call with
+    /// [`unpin_page`](Self::unpin_page). Prefer the RAII
+    /// [`fetch_page`](Self::fetch_page)/[`fetch_page_mut`](Self::fetch_page_mut)
+    /// for single-page access.
+    pub fn pin_page(&mut self, page: PageId) -> Result<FrameId, BufferError> {
+        self.clock = self.clock.next();
+        if let Some(&fid) = self.page_table.get(&page) {
+            self.stats.record_hit();
+            self.policy.on_hit(page, self.clock);
+            self.policy.pin(page);
+            self.frames[fid.raw() as usize].pin_count += 1;
+            return Ok(fid);
+        }
+        self.stats.record_miss();
+        self.policy.on_miss(page, self.clock);
+        let fid = self.acquire_frame()?;
+        let frame = &mut self.frames[fid.raw() as usize];
+        if let Err(e) = self.disk.read_page(page, frame.data_mut()) {
+            // Hand the frame back; the pool stays consistent.
+            self.free_frames.push(fid);
+            return Err(e.into());
+        }
+        frame.page = Some(page);
+        frame.pin_count = 1;
+        frame.dirty = false;
+        self.page_table.insert(page, fid);
+        self.policy.on_admit(page, self.clock);
+        self.policy.pin(page);
+        Ok(fid)
+    }
+
+    /// Release one pin of `page`; `dirty` marks the frame as modified.
+    pub fn unpin_page(&mut self, page: PageId, dirty: bool) -> Result<(), BufferError> {
+        let &fid = self
+            .page_table
+            .get(&page)
+            .ok_or(BufferError::PageNotResident(page))?;
+        let frame = &mut self.frames[fid.raw() as usize];
+        if frame.pin_count == 0 {
+            return Err(BufferError::NotPinned(page));
+        }
+        frame.pin_count -= 1;
+        frame.dirty |= dirty;
+        self.policy.unpin(page);
+        Ok(())
+    }
+
+    /// Immutable view of a pinned frame's contents.
+    pub fn frame_data(&self, fid: FrameId) -> &[u8] {
+        self.frames[fid.raw() as usize].data()
+    }
+
+    /// Mutable view of a pinned frame's contents. The caller must pass
+    /// `dirty = true` when unpinning.
+    pub fn frame_data_mut(&mut self, fid: FrameId) -> &mut [u8] {
+        self.frames[fid.raw() as usize].data_mut()
+    }
+
+    /// Fetch `page` for reading; the guard unpins on drop.
+    pub fn fetch_page(&mut self, page: PageId) -> Result<PageGuard<'_, D>, BufferError> {
+        let fid = self.pin_page(page)?;
+        Ok(PageGuard {
+            pool: self,
+            page,
+            fid,
+        })
+    }
+
+    /// Fetch `page` for writing; the guard marks the page dirty and unpins
+    /// on drop.
+    pub fn fetch_page_mut(&mut self, page: PageId) -> Result<PageGuardMut<'_, D>, BufferError> {
+        let fid = self.pin_page(page)?;
+        Ok(PageGuardMut {
+            pool: self,
+            page,
+            fid,
+        })
+    }
+
+    /// Write `page` back to disk if resident and dirty.
+    pub fn flush_page(&mut self, page: PageId) -> Result<(), BufferError> {
+        let &fid = self
+            .page_table
+            .get(&page)
+            .ok_or(BufferError::PageNotResident(page))?;
+        let frame = &mut self.frames[fid.raw() as usize];
+        if frame.dirty {
+            self.disk.write_page(page, frame.data())?;
+            frame.dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Flush every dirty resident page.
+    pub fn flush_all(&mut self) -> Result<(), BufferError> {
+        let pages: Vec<PageId> = self.page_table.keys().copied().collect();
+        for page in pages {
+            self.flush_page(page)?;
+        }
+        Ok(())
+    }
+
+    /// Delete `page`: drop it from the pool (it must be unpinned), discard
+    /// any policy history, and deallocate it on disk.
+    pub fn delete_page(&mut self, page: PageId) -> Result<(), BufferError> {
+        if let Some(&fid) = self.page_table.get(&page) {
+            let frame = &mut self.frames[fid.raw() as usize];
+            if frame.pin_count > 0 {
+                return Err(BufferError::PagePinned(page));
+            }
+            frame.reset();
+            frame.zero();
+            self.page_table.remove(&page);
+            self.free_frames.push(fid);
+        }
+        self.policy.forget(page);
+        self.disk.deallocate_page(page)?;
+        Ok(())
+    }
+
+    /// Reclaim a frame: from the free list, else by evicting the policy's
+    /// victim (writing it back first if dirty).
+    fn acquire_frame(&mut self) -> Result<FrameId, BufferError> {
+        if let Some(fid) = self.free_frames.pop() {
+            return Ok(fid);
+        }
+        let victim = self
+            .policy
+            .select_victim(self.clock)
+            .map_err(BufferError::NoVictim)?;
+        let fid = *self
+            .page_table
+            .get(&victim)
+            .expect("policy victim must be resident");
+        let frame = &mut self.frames[fid.raw() as usize];
+        debug_assert_eq!(frame.pin_count, 0, "policy returned a pinned victim");
+        let dirty = frame.dirty;
+        if dirty {
+            // "if victim is dirty then write victim back into the database"
+            self.disk.write_page(victim, frame.data())?;
+        }
+        self.stats.record_eviction(dirty);
+        frame.reset();
+        self.page_table.remove(&victim);
+        self.policy.on_evict(victim, self.clock);
+        Ok(fid)
+    }
+}
+
+impl<D: DiskManager> fmt::Debug for BufferPoolManager<D> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BufferPoolManager")
+            .field("capacity", &self.capacity())
+            .field("resident", &self.resident_pages())
+            .field("policy", &self.policy.name())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+/// RAII read pin: dereferences to the page bytes, unpins (clean) on drop.
+pub struct PageGuard<'a, D: DiskManager> {
+    pool: &'a mut BufferPoolManager<D>,
+    page: PageId,
+    fid: FrameId,
+}
+
+impl<D: DiskManager> PageGuard<'_, D> {
+    /// Page contents.
+    pub fn data(&self) -> &[u8] {
+        self.pool.frame_data(self.fid)
+    }
+
+    /// The guarded page id.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+}
+
+impl<D: DiskManager> Drop for PageGuard<'_, D> {
+    fn drop(&mut self) {
+        let _ = self.pool.unpin_page(self.page, false);
+    }
+}
+
+/// RAII write pin: like [`PageGuard`] but unpins dirty on drop.
+pub struct PageGuardMut<'a, D: DiskManager> {
+    pool: &'a mut BufferPoolManager<D>,
+    page: PageId,
+    fid: FrameId,
+}
+
+impl<D: DiskManager> PageGuardMut<'_, D> {
+    /// Page contents.
+    pub fn data(&self) -> &[u8] {
+        self.pool.frame_data(self.fid)
+    }
+
+    /// Mutable page contents.
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        self.pool.frame_data_mut(self.fid)
+    }
+
+    /// The guarded page id.
+    pub fn page(&self) -> PageId {
+        self.page
+    }
+}
+
+impl<D: DiskManager> Drop for PageGuardMut<'_, D> {
+    fn drop(&mut self) {
+        let _ = self.pool.unpin_page(self.page, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lruk_core::LruK;
+
+    fn pool_with(capacity: usize, disk_pages: usize) -> (BufferPoolManager, Vec<PageId>) {
+        let mut disk = InMemoryDisk::new(disk_pages);
+        let pages: Vec<PageId> = (0..disk_pages).map(|_| disk.allocate_page().unwrap()).collect();
+        let pool = BufferPoolManager::new(capacity, disk, Box::new(LruK::lru2()));
+        (pool, pages)
+    }
+
+    #[test]
+    fn fetch_miss_then_hit() {
+        let (mut pool, pages) = pool_with(2, 4);
+        {
+            let g = pool.fetch_page(pages[0]).unwrap();
+            assert_eq!(g.data().len(), crate::PAGE_SIZE);
+            assert_eq!(g.page(), pages[0]);
+        }
+        let _ = pool.fetch_page(pages[0]).unwrap();
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(pool.clock(), Tick(2));
+    }
+
+    #[test]
+    fn writes_survive_eviction() {
+        let (mut pool, pages) = pool_with(1, 3);
+        {
+            let mut g = pool.fetch_page_mut(pages[0]).unwrap();
+            g.data_mut()[0] = 0x5A;
+        }
+        // Force eviction of page 0 by touching two other pages.
+        let _ = pool.fetch_page(pages[1]).unwrap();
+        assert!(!pool.contains(pages[0]));
+        assert_eq!(pool.stats().dirty_writebacks, 1);
+        // Refetch: the write must have hit the disk.
+        let g = pool.fetch_page(pages[0]).unwrap();
+        assert_eq!(g.data()[0], 0x5A);
+    }
+
+    #[test]
+    fn clean_evictions_skip_writeback() {
+        let (mut pool, pages) = pool_with(1, 3);
+        let _ = pool.fetch_page(pages[0]).unwrap();
+        let _ = pool.fetch_page(pages[1]).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.dirty_writebacks, 0);
+        assert_eq!(pool.disk_stats().writes, 0);
+    }
+
+    #[test]
+    fn pinned_pages_never_evicted() {
+        let (mut pool, pages) = pool_with(2, 4);
+        let fid0 = pool.pin_page(pages[0]).unwrap();
+        let _fid1 = pool.pin_page(pages[1]).unwrap();
+        // Pool full, everything pinned: the next fetch must fail.
+        assert!(matches!(
+            pool.pin_page(pages[2]),
+            Err(BufferError::NoVictim(VictimError::AllPinned))
+        ));
+        pool.unpin_page(pages[0], false).unwrap();
+        // Now page 0 is the only eviction candidate.
+        let _ = pool.pin_page(pages[2]).unwrap();
+        assert!(!pool.contains(pages[0]));
+        assert!(pool.contains(pages[1]));
+        let _ = fid0;
+    }
+
+    #[test]
+    fn nested_pins() {
+        let (mut pool, pages) = pool_with(1, 2);
+        pool.pin_page(pages[0]).unwrap();
+        pool.pin_page(pages[0]).unwrap();
+        pool.unpin_page(pages[0], false).unwrap();
+        // Still pinned once: cannot evict.
+        assert!(matches!(
+            pool.pin_page(pages[1]),
+            Err(BufferError::NoVictim(VictimError::AllPinned))
+        ));
+        pool.unpin_page(pages[0], false).unwrap();
+        assert!(pool.pin_page(pages[1]).is_ok());
+    }
+
+    #[test]
+    fn unpin_errors() {
+        let (mut pool, pages) = pool_with(2, 2);
+        assert_eq!(
+            pool.unpin_page(pages[0], false),
+            Err(BufferError::PageNotResident(pages[0]))
+        );
+        let _ = pool.fetch_page(pages[0]).unwrap(); // guard dropped: unpinned
+        assert_eq!(
+            pool.unpin_page(pages[0], false),
+            Err(BufferError::NotPinned(pages[0]))
+        );
+    }
+
+    #[test]
+    fn flush_page_and_all() {
+        let (mut pool, pages) = pool_with(2, 2);
+        {
+            let mut g = pool.fetch_page_mut(pages[0]).unwrap();
+            g.data_mut()[1] = 7;
+        }
+        assert_eq!(pool.disk_stats().writes, 0);
+        pool.flush_page(pages[0]).unwrap();
+        assert_eq!(pool.disk_stats().writes, 1);
+        // Already clean: second flush is a no-op.
+        pool.flush_page(pages[0]).unwrap();
+        assert_eq!(pool.disk_stats().writes, 1);
+        {
+            let mut g = pool.fetch_page_mut(pages[1]).unwrap();
+            g.data_mut()[1] = 8;
+        }
+        pool.flush_all().unwrap();
+        assert_eq!(pool.disk_stats().writes, 2);
+    }
+
+    #[test]
+    fn delete_page_requires_unpinned() {
+        let (mut pool, pages) = pool_with(2, 2);
+        pool.pin_page(pages[0]).unwrap();
+        assert_eq!(
+            pool.delete_page(pages[0]),
+            Err(BufferError::PagePinned(pages[0]))
+        );
+        pool.unpin_page(pages[0], false).unwrap();
+        pool.delete_page(pages[0]).unwrap();
+        assert!(!pool.contains(pages[0]));
+        assert!(!pool.disk().is_allocated(pages[0]));
+        // Frame is reusable.
+        let _ = pool.fetch_page(pages[1]).unwrap();
+        assert_eq!(pool.resident_pages(), 1);
+    }
+
+    #[test]
+    fn fetch_unallocated_page_fails_cleanly() {
+        let (mut pool, pages) = pool_with(1, 1);
+        let bogus = PageId(999);
+        assert!(matches!(
+            pool.fetch_page(bogus),
+            Err(BufferError::Disk(DiskError::PageNotAllocated(_)))
+        ));
+        // The single frame must still be usable afterwards.
+        assert!(pool.fetch_page(pages[0]).is_ok());
+        assert_eq!(pool.resident_pages(), 1);
+    }
+
+    #[test]
+    fn policy_drives_eviction_order() {
+        // LRU-2 keeps the doubly-referenced page over the newer page.
+        let (mut pool, pages) = pool_with(2, 3);
+        let _ = pool.fetch_page(pages[0]).unwrap(); // t1
+        let _ = pool.fetch_page(pages[1]).unwrap(); // t2
+        let _ = pool.fetch_page(pages[0]).unwrap(); // t3: p0 has 2 refs
+        let _ = pool.fetch_page(pages[2]).unwrap(); // t4: evicts p1 (∞, older LAST)
+        assert!(pool.contains(pages[0]));
+        assert!(!pool.contains(pages[1]));
+        assert!(pool.contains(pages[2]));
+    }
+
+    #[test]
+    fn debug_format_mentions_policy() {
+        let (pool, _) = pool_with(2, 2);
+        let s = format!("{pool:?}");
+        assert!(s.contains("LRU-2"));
+    }
+}

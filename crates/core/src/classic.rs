@@ -1,0 +1,342 @@
+//! A literal transcription of the paper's Figure 2.1.
+//!
+//! [`ClassicLruK`] implements the pseudo-code outline exactly as printed:
+//! per-page `HIST`/`LAST` blocks in a hash map and an **O(B) scan** over the
+//! buffered pages to find the replacement victim ("this outline disregards
+//! additional data structures that are needed to speed up search loops").
+//!
+//! It exists for two reasons:
+//!
+//! 1. as executable documentation of the paper's algorithm, and
+//! 2. as the differential-testing oracle for the indexed engine
+//!    ([`LruK`](crate::LruK)) — a property test in `tests/` drives both with
+//!    identical traces and asserts identical victim decisions.
+//!
+//! Deviations from the printed pseudo-code, shared with the indexed engine
+//! and documented in `DESIGN.md`:
+//!
+//! * the shift `for i := 2 to K do HIST(p,i) := HIST(p,i-1) + correl` is read
+//!   with simultaneous-assignment semantics (we iterate descending);
+//! * ties on `HIST(q,K)` — including the all-zero "∞ distance" pages — break
+//!   on smaller `LAST(q)` (the subsidiary classical-LRU policy of
+//!   Definition 2.2) and then on `PageId` for determinism;
+//! * when no page passes the `t - LAST(q) > CRP` eligibility test and a
+//!   victim is still demanded, the configured fall-back (see
+//!   [`LruKConfig::crp_fallback`]) re-runs the scan without the test;
+//! * pinned pages are never victims (the outline has no pin concept).
+
+use crate::config::LruKConfig;
+use crate::history::HistorySnapshot;
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+#[derive(Clone, Debug)]
+struct Block {
+    /// `HIST(p, i)` at index `i-1`; 0 = unknown.
+    hist: Vec<u64>,
+    /// `LAST(p)`.
+    last: u64,
+    /// Process of the most recent reference (§2.1.1 refinement).
+    last_pid: u64,
+    resident: bool,
+}
+
+/// Scan-based LRU-K, exactly as outlined in Figure 2.1 of the paper.
+#[derive(Clone, Debug)]
+pub struct ClassicLruK {
+    cfg: LruKConfig,
+    blocks: FxHashMap<PageId, Block>,
+    resident: usize,
+    pins: PinSet,
+    purge_interval: Option<u64>,
+    next_purge: u64,
+    current_pid: u64,
+}
+
+impl ClassicLruK {
+    /// Build from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    pub fn new(cfg: LruKConfig) -> Self {
+        cfg.validate().expect("invalid LRU-K configuration");
+        let purge_interval = cfg.effective_purge_interval();
+        ClassicLruK {
+            cfg,
+            blocks: FxHashMap::default(),
+            resident: 0,
+            pins: PinSet::new(),
+            purge_interval,
+            next_purge: purge_interval.unwrap_or(0),
+            current_pid: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LruKConfig {
+        &self.cfg
+    }
+
+    /// Snapshot the history block of `page`.
+    pub fn history(&self, page: PageId) -> Option<HistorySnapshot> {
+        self.blocks.get(&page).map(|b| HistorySnapshot {
+            page,
+            hist: b.hist.iter().map(|&t| Tick(t)).collect(),
+            last: Tick(b.last),
+            resident: b.resident,
+        })
+    }
+
+    fn maybe_purge(&mut self, now: Tick) {
+        let Some(interval) = self.purge_interval else {
+            return;
+        };
+        if now.raw() < self.next_purge {
+            return;
+        }
+        let rip = self
+            .cfg
+            .retained_information_period
+            .expect("purge interval implies RIP");
+        self.blocks
+            .retain(|_, b| b.resident || now.since(Tick(b.last)) <= rip);
+        self.next_purge = now.raw() + interval;
+    }
+
+    /// One pass of the Figure 2.1 victim scan. `require_eligible` applies the
+    /// `t - LAST(q) > CRP` test.
+    fn scan_for_victim(&self, now: Tick, require_eligible: bool) -> Option<PageId> {
+        let crp = self.cfg.correlated_reference_period;
+        let k = self.cfg.k;
+        // Figure 2.1: min := t; for all pages q in the buffer …
+        // We track the full (HIST(q,K), LAST(q), q) key so ties are broken by
+        // the subsidiary classical-LRU policy deterministically.
+        let mut best: Option<(u64, u64, PageId)> = None;
+        for (&page, block) in &self.blocks {
+            if !block.resident || self.pins.is_pinned(page) {
+                continue;
+            }
+            if require_eligible && now.since(Tick(block.last)) <= crp {
+                continue; // not "eligible for replacement"
+            }
+            let key = (block.hist[k - 1], block.last, page);
+            if best.map(|b| key < b).unwrap_or(true) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, page)| page)
+    }
+}
+
+impl ReplacementPolicy for ClassicLruK {
+    fn name(&self) -> String {
+        format!("{} (classic)", self.cfg.display_name())
+    }
+
+    fn note_process(&mut self, pid: u64) {
+        self.current_pid = pid;
+    }
+
+    /// The `p is already in the buffer` arm of Figure 2.1.
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        let crp = self.cfg.correlated_reference_period;
+        let pid = self.current_pid;
+        let block = self
+            .blocks
+            .get_mut(&page)
+            .expect("on_hit for unknown page");
+        debug_assert!(block.resident);
+        let same_process = block.last_pid == pid;
+        block.last_pid = pid;
+        if now.since(Tick(block.last)) > crp || !same_process {
+            // a new, uncorrelated reference
+            let correl = block.last.saturating_sub(block.hist[0]);
+            for i in (1..block.hist.len()).rev() {
+                block.hist[i] = if block.hist[i - 1] == 0 {
+                    0
+                } else {
+                    block.hist[i - 1] + correl
+                };
+            }
+            block.hist[0] = now.raw();
+            block.last = now.raw();
+        } else {
+            // a correlated reference
+            block.last = now.raw();
+        }
+        self.maybe_purge(now);
+    }
+
+    fn on_miss(&mut self, _page: PageId, now: Tick) {
+        self.maybe_purge(now);
+    }
+
+    /// The fetch arm of Figure 2.1: `if HIST(p) does not exist … else …`.
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        let k = self.cfg.k;
+        let pid = self.current_pid;
+        let block = self.blocks.entry(page).or_insert_with(|| Block {
+            hist: vec![0; k],
+            last: 0,
+            last_pid: 0,
+            resident: false,
+        });
+        block.last_pid = pid;
+        debug_assert!(!block.resident, "on_admit for already-resident page");
+        if block.last != 0 {
+            // HIST(p) existed: plain shift, no correlation adjustment.
+            for i in (1..k).rev() {
+                block.hist[i] = block.hist[i - 1];
+            }
+        }
+        block.hist[0] = now.raw();
+        block.last = now.raw();
+        block.resident = true;
+        self.resident += 1;
+        self.maybe_purge(now);
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        let block = self
+            .blocks
+            .get_mut(&page)
+            .expect("on_evict for unknown page");
+        assert!(block.resident, "on_evict for non-resident page");
+        block.resident = false;
+        self.resident -= 1;
+        self.pins.clear_page(page);
+    }
+
+    /// The `select replacement victim` loop of Figure 2.1.
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+        if self.resident == 0 {
+            return Err(VictimError::Empty);
+        }
+        if let Some(v) = self.scan_for_victim(now, true) {
+            return Ok(v);
+        }
+        // Nothing passed the eligibility test.
+        match self.scan_for_victim(now, false) {
+            Some(v) if self.cfg.crp_fallback => Ok(v),
+            Some(_) => Err(VictimError::NoneEligible),
+            None => Err(VictimError::AllPinned),
+        }
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        if let Some(b) = self.blocks.remove(&page) {
+            if b.resident {
+                self.resident -= 1;
+            }
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.resident
+    }
+
+    fn retained_len(&self) -> usize {
+        self.blocks.len() - self.resident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    fn admit(l: &mut ClassicLruK, page: PageId, t: u64) {
+        l.on_miss(page, Tick(t));
+        l.on_admit(page, Tick(t));
+    }
+
+    #[test]
+    fn figure_2_1_hit_path_hand_example() {
+        // Same hand-computed example as the HistoryTable test.
+        let cfg = LruKConfig::new(2).with_crp(2);
+        let mut l = ClassicLruK::new(cfg);
+        admit(&mut l, p(1), 10);
+        l.on_hit(p(1), Tick(11)); // correlated
+        l.on_hit(p(1), Tick(20)); // closes burst: HIST = [20, 11]
+        let s = l.history(p(1)).unwrap();
+        assert_eq!(s.hist, vec![Tick(20), Tick(11)]);
+        assert_eq!(s.last, Tick(20));
+    }
+
+    #[test]
+    fn victim_is_max_backward_distance() {
+        let mut l = ClassicLruK::new(LruKConfig::new(2));
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        l.on_hit(p(2), Tick(4));
+        l.on_hit(p(1), Tick(10));
+        assert_eq!(l.select_victim(Tick(11)), Ok(p(1)));
+    }
+
+    #[test]
+    fn subsidiary_lru_breaks_infinite_ties() {
+        let mut l = ClassicLruK::new(LruKConfig::new(2));
+        admit(&mut l, p(5), 1);
+        admit(&mut l, p(3), 2);
+        admit(&mut l, p(9), 3);
+        // All ∞; least recently used (p5) goes first regardless of page id.
+        assert_eq!(l.select_victim(Tick(4)), Ok(p(5)));
+    }
+
+    #[test]
+    fn retained_history_used_on_readmission() {
+        let mut l = ClassicLruK::new(LruKConfig::new(2));
+        admit(&mut l, p(1), 1);
+        l.on_evict(p(1), Tick(2));
+        admit(&mut l, p(1), 5);
+        let s = l.history(p(1)).unwrap();
+        assert_eq!(s.hist, vec![Tick(5), Tick(1)]);
+    }
+
+    #[test]
+    fn purge_drops_expired_blocks() {
+        let cfg = LruKConfig::new(2).with_rip(10).with_purge_interval(5);
+        let mut l = ClassicLruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        l.on_evict(p(1), Tick(2));
+        assert_eq!(l.retained_len(), 1);
+        admit(&mut l, p(2), 30);
+        assert_eq!(l.retained_len(), 0);
+    }
+
+    #[test]
+    fn pin_and_fallback_paths() {
+        let cfg = LruKConfig::new(2).with_crp(100);
+        let mut l = ClassicLruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        // Both within CRP at t=3: fallback picks the subsidiary-LRU minimum.
+        assert_eq!(l.select_victim(Tick(3)), Ok(p(1)));
+        l.pin(p(1));
+        assert_eq!(l.select_victim(Tick(3)), Ok(p(2)));
+        l.pin(p(2));
+        assert_eq!(l.select_victim(Tick(3)), Err(VictimError::AllPinned));
+    }
+
+    #[test]
+    fn empty_buffer_errors() {
+        let mut l = ClassicLruK::new(LruKConfig::new(2));
+        assert_eq!(l.select_victim(Tick(1)), Err(VictimError::Empty));
+        admit(&mut l, p(1), 1);
+        l.on_evict(p(1), Tick(2));
+        // history retained but nothing resident
+        assert_eq!(l.select_victim(Tick(3)), Err(VictimError::Empty));
+    }
+}

@@ -1,0 +1,244 @@
+//! LRU-K configuration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Configuration of an LRU-K policy instance.
+///
+/// ### Timebase
+///
+/// All periods are denominated in **ticks** — positions in the reference
+/// string — following the paper's convention of measuring "all time intervals
+/// in terms of counts of successive page accesses". The paper's canonical
+/// wall-clock values (a ~5 s Correlated Reference Period, a ~200 s Retained
+/// Information Period from twice the Five Minute Rule interval) map to ticks
+/// via the system's reference rate; [`LruKConfig::from_seconds`] performs
+/// that mapping.
+/// ```
+/// use lruk_core::LruKConfig;
+/// let cfg = LruKConfig::new(2).with_crp(5).with_rip(20_000);
+/// assert_eq!(cfg.display_name(), "LRU-2");
+/// assert!(cfg.validate().is_ok());
+/// // Wall-clock mapping: the paper's canonical 5 s / 200 s at 100 refs/s.
+/// let wall = LruKConfig::from_seconds(2, 5.0, 200.0, 100.0).unwrap();
+/// assert_eq!(wall.correlated_reference_period, 500);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LruKConfig {
+    /// K: how many most-recent uncorrelated references are tracked per page.
+    /// `k = 1` is classical LRU; the paper advocates `k = 2` as the general
+    /// choice and studies `k = 3` for stable workloads.
+    pub k: usize,
+    /// Correlated Reference Period in ticks. A reference within this period
+    /// of the page's previous reference is correlated: it refreshes `LAST(p)`
+    /// but does not count as a new interarrival observation, and the page is
+    /// not eligible for replacement while within the period. `0` disables
+    /// correlation handling (every reference is uncorrelated, every resident
+    /// page is eligible), which is the setting of the paper's §3 analysis and
+    /// §4 experiments.
+    pub correlated_reference_period: u64,
+    /// Retained Information Period in ticks: how long `HIST(p)` survives
+    /// after the last reference to a non-resident `p`. `None` retains history
+    /// forever (useful for experiments; unbounded memory).
+    pub retained_information_period: Option<u64>,
+    /// How often (in ticks) the simulated asynchronous demon sweeps the
+    /// history table for expired blocks. `None` derives `RIP / 4`
+    /// (minimum 1) at construction time.
+    pub purge_interval: Option<u64>,
+    /// When every resident page is inside its CRP window (so none is
+    /// "eligible for replacement" by Figure 2.1's criterion) and a victim is
+    /// still required, fall back to ignoring the CRP eligibility test rather
+    /// than failing. The paper leaves this boundary case unspecified; a real
+    /// buffer manager cannot refuse to evict. Default `true`.
+    pub crp_fallback: bool,
+}
+
+/// Invalid [`LruKConfig`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `k` must be at least 1.
+    ZeroK,
+    /// The Retained Information Period must be at least the Correlated
+    /// Reference Period, otherwise history for a page could be purged while
+    /// the page is still inside a correlated burst.
+    RipShorterThanCrp,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroK => write!(f, "LRU-K requires k >= 1"),
+            ConfigError::RipShorterThanCrp => write!(
+                f,
+                "retained information period must be >= correlated reference period"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl LruKConfig {
+    /// LRU-K with the given `k`, no correlation collapsing (CRP = 0) and
+    /// history retained forever. This is the configuration of the paper's
+    /// simulation experiments (§4) and mathematical analysis (§3, "we will
+    /// assume for simplicity that the Correlated Reference Period is zero").
+    ///
+    /// # Panics
+    /// Panics if `k == 0`; use [`LruKConfig::try_new`] for fallible
+    /// construction.
+    pub fn new(k: usize) -> Self {
+        Self::try_new(k).expect("k must be >= 1")
+    }
+
+    /// Fallible constructor.
+    pub fn try_new(k: usize) -> Result<Self, ConfigError> {
+        if k == 0 {
+            return Err(ConfigError::ZeroK);
+        }
+        Ok(LruKConfig {
+            k,
+            correlated_reference_period: 0,
+            retained_information_period: None,
+            purge_interval: None,
+            crp_fallback: true,
+        })
+    }
+
+    /// Set the Correlated Reference Period (ticks).
+    #[must_use]
+    pub fn with_crp(mut self, ticks: u64) -> Self {
+        self.correlated_reference_period = ticks;
+        self
+    }
+
+    /// Set the Retained Information Period (ticks).
+    #[must_use]
+    pub fn with_rip(mut self, ticks: u64) -> Self {
+        self.retained_information_period = Some(ticks);
+        self
+    }
+
+    /// Set the demon sweep interval (ticks).
+    #[must_use]
+    pub fn with_purge_interval(mut self, ticks: u64) -> Self {
+        self.purge_interval = Some(ticks);
+        self
+    }
+
+    /// Disable the fall-back victim search (strict Figure 2.1 eligibility).
+    #[must_use]
+    pub fn strict_crp(mut self) -> Self {
+        self.crp_fallback = false;
+        self
+    }
+
+    /// Build a config from wall-clock periods.
+    ///
+    /// `refs_per_second` is the system's aggregate reference rate, which
+    /// converts the paper's canonical 5-second CRP and 200-second RIP into
+    /// tick counts.
+    pub fn from_seconds(
+        k: usize,
+        crp_seconds: f64,
+        rip_seconds: f64,
+        refs_per_second: f64,
+    ) -> Result<Self, ConfigError> {
+        let cfg = Self::try_new(k)?
+            .with_crp((crp_seconds * refs_per_second).round() as u64)
+            .with_rip((rip_seconds * refs_per_second).round() as u64);
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Check internal consistency.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.k == 0 {
+            return Err(ConfigError::ZeroK);
+        }
+        if let Some(rip) = self.retained_information_period {
+            if rip < self.correlated_reference_period {
+                return Err(ConfigError::RipShorterThanCrp);
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective demon sweep interval in ticks, if purging is active.
+    pub fn effective_purge_interval(&self) -> Option<u64> {
+        let rip = self.retained_information_period?;
+        Some(self.purge_interval.unwrap_or((rip / 4).max(1)))
+    }
+
+    /// Display name in the paper's taxonomy, e.g. `"LRU-2"`.
+    pub fn display_name(&self) -> String {
+        format!("LRU-{}", self.k)
+    }
+}
+
+impl Default for LruKConfig {
+    /// The paper's advocated general-purpose policy: LRU-2, CRP = 0,
+    /// unbounded history.
+    fn default() -> Self {
+        LruKConfig::new(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_lru2() {
+        let c = LruKConfig::default();
+        assert_eq!(c.k, 2);
+        assert_eq!(c.correlated_reference_period, 0);
+        assert_eq!(c.retained_information_period, None);
+        assert_eq!(c.display_name(), "LRU-2");
+    }
+
+    #[test]
+    fn zero_k_rejected() {
+        assert_eq!(LruKConfig::try_new(0), Err(ConfigError::ZeroK));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be >= 1")]
+    fn new_panics_on_zero_k() {
+        let _ = LruKConfig::new(0);
+    }
+
+    #[test]
+    fn rip_must_cover_crp() {
+        let c = LruKConfig::new(2).with_crp(100).with_rip(50);
+        assert_eq!(c.validate(), Err(ConfigError::RipShorterThanCrp));
+        let ok = LruKConfig::new(2).with_crp(100).with_rip(100);
+        assert_eq!(ok.validate(), Ok(()));
+    }
+
+    #[test]
+    fn seconds_mapping() {
+        // 100 refs/s: 5 s CRP -> 500 ticks, 200 s RIP -> 20_000 ticks.
+        let c = LruKConfig::from_seconds(2, 5.0, 200.0, 100.0).unwrap();
+        assert_eq!(c.correlated_reference_period, 500);
+        assert_eq!(c.retained_information_period, Some(20_000));
+    }
+
+    #[test]
+    fn purge_interval_defaults_to_quarter_rip() {
+        let c = LruKConfig::new(2).with_rip(1000);
+        assert_eq!(c.effective_purge_interval(), Some(250));
+        let c2 = LruKConfig::new(2).with_rip(2).with_purge_interval(7);
+        assert_eq!(c2.effective_purge_interval(), Some(7));
+        let c3 = LruKConfig::new(2); // no RIP -> no purging
+        assert_eq!(c3.effective_purge_interval(), None);
+        let c4 = LruKConfig::new(2).with_rip(1); // rip/4 == 0 -> clamped to 1
+        assert_eq!(c4.effective_purge_interval(), Some(1));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ConfigError::ZeroK.to_string().contains("k >= 1"));
+        assert!(ConfigError::RipShorterThanCrp.to_string().contains("retained"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Brute-force Backward K-distance computation (Definition 2.1) and a
+//! reference model, used as test oracles for the incremental engines.
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, Tick};
+
+/// Backward K-distance `b_t(p, K)` computed directly from the raw reference
+/// string, with no Correlated Reference Period (the §3 setting).
+///
+/// `trace[i]` is reference `r_{i+1}` (reference strings are 1-based);
+/// `t` is the 1-based length of the observed prefix (`t <= trace.len()`).
+/// Returns `None` for the paper's `∞` (fewer than `k` occurrences of `page`
+/// in `r_1 ..= r_t`).
+///
+/// Definition 2.1: `b_t(p,K) = x` if `r_{t-x} = p` and exactly `K-1` other
+/// references to `p` occur in positions `t-x < i <= t`.
+pub fn backward_k_distance_raw(trace: &[PageId], t: usize, page: PageId, k: usize) -> Option<u64> {
+    assert!(k >= 1);
+    assert!(t <= trace.len());
+    let mut seen = 0usize;
+    for pos in (1..=t).rev() {
+        if trace[pos - 1] == page {
+            seen += 1;
+            if seen == k {
+                return Some((t - pos) as u64);
+            }
+        }
+    }
+    None
+}
+
+/// An execution-independent model of the LRU-K history state.
+///
+/// Records every reference to every page and recomputes `HIST`/`LAST` from
+/// scratch on demand by folding the Figure 2.1 *hit-path* recurrence over the
+/// full per-page reference sequence. Because the model has no notion of
+/// residency, it matches the engines exactly when `crp = 0` (where the hit
+/// and miss arms of Figure 2.1 coincide); tests use it in that setting.
+#[derive(Clone, Debug)]
+pub struct ReferenceModel {
+    k: usize,
+    crp: u64,
+    refs: FxHashMap<PageId, Vec<u64>>,
+}
+
+impl ReferenceModel {
+    /// New model for LRU-`k` with the given Correlated Reference Period.
+    pub fn new(k: usize, crp: u64) -> Self {
+        assert!(k >= 1);
+        ReferenceModel {
+            k,
+            crp,
+            refs: FxHashMap::default(),
+        }
+    }
+
+    /// Record reference `r_t = page` (ticks must be fed in increasing order).
+    pub fn record(&mut self, page: PageId, t: Tick) {
+        self.refs.entry(page).or_default().push(t.raw());
+    }
+
+    /// Recompute `(HIST(p,1..=K), LAST(p))` by folding over all recorded
+    /// references to `page`. Returns `None` if the page was never referenced.
+    pub fn hist(&self, page: PageId) -> Option<(Vec<u64>, u64)> {
+        let times = self.refs.get(&page)?;
+        let mut hist = vec![0u64; self.k];
+        let mut last = 0u64;
+        for &t in times {
+            if last == 0 {
+                hist[0] = t;
+            } else if t - last > self.crp {
+                let correl = last - hist[0];
+                for i in (1..self.k).rev() {
+                    hist[i] = if hist[i - 1] == 0 { 0 } else { hist[i - 1] + correl };
+                }
+                hist[0] = t;
+            }
+            last = t;
+        }
+        Some((hist, last))
+    }
+
+    /// Backward K-distance at `now` per the model (`None` = ∞).
+    pub fn backward_k_distance(&self, page: PageId, now: Tick) -> Option<u64> {
+        let (hist, _) = self.hist(page)?;
+        let oldest = hist[self.k - 1];
+        if oldest == 0 {
+            None
+        } else {
+            Some(now.since(Tick(oldest)))
+        }
+    }
+
+    /// Number of pages ever referenced.
+    pub fn pages(&self) -> usize {
+        self.refs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn raw_distance_matches_definition() {
+        // trace:      r1 r2 r3 r4 r5 r6
+        let trace = vec![p(1), p(2), p(1), p(3), p(1), p(2)];
+        // Most recent ref to p1 at position 5: b_6(p1,1) = 1.
+        assert_eq!(backward_k_distance_raw(&trace, 6, p(1), 1), Some(1));
+        // 2nd most recent at position 3: b_6(p1,2) = 3.
+        assert_eq!(backward_k_distance_raw(&trace, 6, p(1), 2), Some(3));
+        // 3rd most recent at position 1: b_6(p1,3) = 5.
+        assert_eq!(backward_k_distance_raw(&trace, 6, p(1), 3), Some(5));
+        // Only two refs to p2: b_6(p2,3) = ∞.
+        assert_eq!(backward_k_distance_raw(&trace, 6, p(2), 3), None);
+        // Prefix t=4: p1 occurs at 1 and 3.
+        assert_eq!(backward_k_distance_raw(&trace, 4, p(1), 2), Some(3));
+        // Never-referenced page.
+        assert_eq!(backward_k_distance_raw(&trace, 6, p(9), 1), None);
+    }
+
+    #[test]
+    fn model_with_crp_zero_equals_raw_last_k_times() {
+        let trace = vec![p(1), p(2), p(1), p(1), p(2), p(1)];
+        let mut m = ReferenceModel::new(2, 0);
+        for (i, &pg) in trace.iter().enumerate() {
+            m.record(pg, Tick(i as u64 + 1));
+        }
+        // p1 referenced at t = 1, 3, 4, 6 -> HIST = [6, 4].
+        assert_eq!(m.hist(p(1)), Some((vec![6, 4], 6)));
+        let now = Tick(trace.len() as u64);
+        assert_eq!(
+            m.backward_k_distance(p(1), now),
+            backward_k_distance_raw(&trace, trace.len(), p(1), 2)
+        );
+        assert_eq!(
+            m.backward_k_distance(p(2), now),
+            backward_k_distance_raw(&trace, trace.len(), p(2), 2)
+        );
+    }
+
+    #[test]
+    fn model_collapses_bursts() {
+        let mut m = ReferenceModel::new(2, 2);
+        m.record(p(1), Tick(10));
+        m.record(p(1), Tick(11)); // correlated
+        m.record(p(1), Tick(20)); // closes burst
+        assert_eq!(m.hist(p(1)), Some((vec![20, 11], 20)));
+        assert_eq!(m.pages(), 1);
+        assert_eq!(m.hist(p(2)), None);
+    }
+}

@@ -1,0 +1,542 @@
+//! The page history table: `HIST(p)` and `LAST(p)` control blocks.
+//!
+//! The paper (§2.1.3) bases LRU-K on two data structures:
+//!
+//! * `HIST(p)` — the times of the K most recent *uncorrelated* references to
+//!   page `p` (`HIST(p,1)` the most recent … `HIST(p,K)` the oldest);
+//! * `LAST(p)` — the time of the most recent reference of any kind.
+//!
+//! Blocks are kept in a slab (`Vec`) with a free list so that the purge demon
+//! and page churn do not fragment the allocator; the per-page timestamps live
+//! in one flat array (`k` slots per block) for cache-friendly access. A value
+//! of `0` in a `HIST` slot means "no such reference is known", i.e. the page
+//! has been referenced fewer than that many times — reference strings are
+//! 1-based (`t >= 1`), exactly as in the paper.
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, Tick};
+use serde::{Deserialize, Serialize};
+
+/// A read-only copy of one page's history block.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistorySnapshot {
+    /// The page this block describes.
+    pub page: PageId,
+    /// `HIST(p, i)` for `i = 1..=K` (index 0 is the most recent). Zero means
+    /// "unknown" (fewer than `i` uncorrelated references on record).
+    pub hist: Vec<Tick>,
+    /// `LAST(p)`: most recent reference of any kind (correlated or not).
+    pub last: Tick,
+    /// Whether the page is currently buffer resident.
+    pub resident: bool,
+}
+
+impl HistorySnapshot {
+    /// Backward K-distance `b_t(p, K)` at time `now`: `None` encodes the
+    /// paper's `∞` (the page does not have K uncorrelated references on
+    /// record).
+    pub fn backward_k_distance(&self, now: Tick) -> Option<u64> {
+        let oldest = *self.hist.last().expect("k >= 1");
+        if oldest.raw() == 0 {
+            None
+        } else {
+            Some(now.since(oldest))
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Block {
+    page: PageId,
+    last: u64,
+    /// Process that issued the most recent reference (§2.1.1 refinement).
+    last_pid: u64,
+    resident: bool,
+    occupied: bool,
+}
+
+/// Slab of history control blocks for all tracked pages.
+#[derive(Clone, Debug)]
+pub struct HistoryTable {
+    k: usize,
+    blocks: Vec<Block>,
+    /// Flat timestamp storage: block `s` owns `hists[s*k .. (s+1)*k]`,
+    /// index 0 within a block being `HIST(p,1)`.
+    hists: Vec<u64>,
+    free: Vec<u32>,
+    map: FxHashMap<PageId, u32>,
+    resident: usize,
+}
+
+impl HistoryTable {
+    /// New table for LRU-`k` (`k >= 1`).
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "k must be >= 1");
+        HistoryTable {
+            k,
+            blocks: Vec::new(),
+            hists: Vec::new(),
+            free: Vec::new(),
+            map: FxHashMap::default(),
+            resident: 0,
+        }
+    }
+
+    /// The K of this table.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of pages with a history block (resident or retained).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no page is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Number of resident pages tracked.
+    #[inline]
+    pub fn resident_len(&self) -> usize {
+        self.resident
+    }
+
+    /// Number of *retained* blocks: history kept for non-resident pages.
+    #[inline]
+    pub fn retained_len(&self) -> usize {
+        self.map.len() - self.resident
+    }
+
+    /// True if `page` has a history block.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// True if `page` is marked resident.
+    pub fn is_resident(&self, page: PageId) -> bool {
+        self.slot(page)
+            .map(|s| self.blocks[s as usize].resident)
+            .unwrap_or(false)
+    }
+
+    #[inline]
+    fn slot(&self, page: PageId) -> Option<u32> {
+        self.map.get(&page).copied()
+    }
+
+    #[inline]
+    fn hist(&self, slot: u32) -> &[u64] {
+        let base = slot as usize * self.k;
+        &self.hists[base..base + self.k]
+    }
+
+    #[inline]
+    fn hist_mut(&mut self, slot: u32) -> &mut [u64] {
+        let base = slot as usize * self.k;
+        &mut self.hists[base..base + self.k]
+    }
+
+    /// `HIST(p, K)` — the raw timestamp of the K-th most recent uncorrelated
+    /// reference (0 = unknown, i.e. infinite backward distance).
+    pub fn hist_k(&self, page: PageId) -> Option<u64> {
+        self.slot(page).map(|s| self.hist(s)[self.k - 1])
+    }
+
+    /// `HIST(p, 1)` — the most recent uncorrelated reference time.
+    pub fn hist_1(&self, page: PageId) -> Option<u64> {
+        self.slot(page).map(|s| self.hist(s)[0])
+    }
+
+    /// `LAST(p)` — the most recent reference of any kind.
+    pub fn last(&self, page: PageId) -> Option<Tick> {
+        self.slot(page).map(|s| Tick(self.blocks[s as usize].last))
+    }
+
+    /// Snapshot the block for `page`.
+    pub fn get(&self, page: PageId) -> Option<HistorySnapshot> {
+        let s = self.slot(page)?;
+        let b = &self.blocks[s as usize];
+        Some(HistorySnapshot {
+            page,
+            hist: self.hist(s).iter().map(|&t| Tick(t)).collect(),
+            last: Tick(b.last),
+            resident: b.resident,
+        })
+    }
+
+    fn alloc(&mut self, page: PageId) -> u32 {
+        let slot = if let Some(s) = self.free.pop() {
+            let base = s as usize * self.k;
+            self.hists[base..base + self.k].fill(0);
+            self.blocks[s as usize] = Block {
+                page,
+                last: 0,
+                last_pid: 0,
+                resident: false,
+                occupied: true,
+            };
+            s
+        } else {
+            self.blocks.push(Block {
+                page,
+                last: 0,
+                last_pid: 0,
+                resident: false,
+                occupied: true,
+            });
+            self.hists.extend(std::iter::repeat_n(0, self.k));
+            (self.blocks.len() - 1) as u32
+        };
+        self.map.insert(page, slot);
+        slot
+    }
+
+    /// Apply the Figure 2.1 **hit** path for a reference to resident `page`
+    /// at `now`, with Correlated Reference Period `crp`.
+    ///
+    /// Returns `true` when the reference was *uncorrelated* (it opened a new
+    /// interarrival observation), `false` when it merely extended the current
+    /// correlated burst.
+    ///
+    /// The uncorrelated arm performs the paper's history collapse: the closed
+    /// burst spanned `HIST(p,1) ..= LAST(p)`; its duration
+    /// (`correlation_period_of_referenced_page = LAST(p) - HIST(p,1)`) is
+    /// added to every older timestamp while shifting, so that a burst
+    /// contributes a single point in (adjusted) time. Note that Figure 2.1
+    /// writes the shift as an ascending loop `for i := 2 to K`, which must be
+    /// read with simultaneous-assignment semantics — we shift descending so
+    /// each `HIST(p,i)` receives the *old* `HIST(p,i-1)`.
+    ///
+    /// # Panics
+    /// Panics if `page` has no history block (the driver must have admitted
+    /// the page first).
+    pub fn touch_hit(&mut self, page: PageId, now: Tick, crp: u64) -> bool {
+        self.touch_hit_by(page, now, crp, 0)
+    }
+
+    /// [`touch_hit`](Self::touch_hit) with the §2.1.1 process refinement: a
+    /// reference is correlated only when it falls within the Correlated
+    /// Reference Period **and** comes from the same process as the previous
+    /// reference ("at least while we do not have a great deal of
+    /// communication between processes … we can assume references by
+    /// different processes are independent"). Passing a constant `pid`
+    /// reproduces the undistinguished behaviour.
+    pub fn touch_hit_by(&mut self, page: PageId, now: Tick, crp: u64, pid: u64) -> bool {
+        let slot = self.slot(page).expect("touch_hit: page has no history block");
+        let last = self.blocks[slot as usize].last;
+        let last_pid = self.blocks[slot as usize].last_pid;
+        debug_assert!(now.raw() >= last, "ticks must be monotone");
+        self.blocks[slot as usize].last_pid = pid;
+        if now.since(Tick(last)) > crp || pid != last_pid {
+            // A new, uncorrelated reference: close the burst.
+            let k = self.k;
+            let hist = self.hist_mut(slot);
+            let correl = last.saturating_sub(hist[0]);
+            for i in (1..k).rev() {
+                // Zero still means "unknown"; shifting an unknown stays unknown.
+                hist[i] = if hist[i - 1] == 0 {
+                    0
+                } else {
+                    hist[i - 1] + correl
+                };
+            }
+            hist[0] = now.raw();
+            self.blocks[slot as usize].last = now.raw();
+            true
+        } else {
+            // A correlated reference: only LAST moves.
+            self.blocks[slot as usize].last = now.raw();
+            false
+        }
+    }
+
+    /// Record the process of an admission (miss-path references are always
+    /// uncorrelated, but the pid seeds the next correlation check).
+    pub fn set_last_pid(&mut self, page: PageId, pid: u64) {
+        if let Some(slot) = self.slot(page) {
+            self.blocks[slot as usize].last_pid = pid;
+        }
+    }
+
+    /// Apply the Figure 2.1 **miss** path: `page` has just been fetched into
+    /// the buffer at `now`. Creates the history block if none is retained,
+    /// otherwise performs the plain (no correlation adjustment) shift the
+    /// paper specifies for this arm, and marks the page resident.
+    pub fn admit(&mut self, page: PageId, now: Tick) {
+        debug_assert!(now.raw() >= 1, "reference strings are 1-based");
+        let slot = match self.slot(page) {
+            Some(s) => {
+                let k = self.k;
+                let hist = self.hist_mut(s);
+                for i in (1..k).rev() {
+                    hist[i] = hist[i - 1];
+                }
+                s
+            }
+            None => self.alloc(page),
+        };
+        self.hist_mut(slot)[0] = now.raw();
+        let b = &mut self.blocks[slot as usize];
+        b.last = now.raw();
+        if !b.resident {
+            b.resident = true;
+            self.resident += 1;
+        }
+    }
+
+    /// Mark `page` non-resident, retaining its history block.
+    ///
+    /// # Panics
+    /// Panics if the page has no block or is not resident.
+    pub fn mark_evicted(&mut self, page: PageId) {
+        let slot = self.slot(page).expect("mark_evicted: unknown page");
+        let b = &mut self.blocks[slot as usize];
+        assert!(b.resident, "mark_evicted: page was not resident");
+        b.resident = false;
+        self.resident -= 1;
+    }
+
+    /// Drop the block for `page` entirely (page deleted from the database).
+    pub fn remove(&mut self, page: PageId) -> bool {
+        let Some(slot) = self.map.remove(&page) else {
+            return false;
+        };
+        let b = &mut self.blocks[slot as usize];
+        if b.resident {
+            self.resident -= 1;
+        }
+        b.occupied = false;
+        self.free.push(slot);
+        true
+    }
+
+    /// Re-create a block from persisted state, marked **retained**
+    /// (non-resident). `hist[0]` is `HIST(p,1)`. Replaces any existing
+    /// block for `page`.
+    pub fn restore_block(&mut self, page: PageId, hist: &[u64], last: Tick) {
+        assert_eq!(hist.len(), self.k, "restore_block: wrong K");
+        self.remove(page);
+        let slot = self.alloc(page);
+        self.hist_mut(slot).copy_from_slice(hist);
+        let b = &mut self.blocks[slot as usize];
+        b.last = last.raw();
+        b.resident = false;
+    }
+
+    /// The purge demon: drop blocks of **non-resident** pages whose most
+    /// recent reference is more than `rip` ticks in the past. Returns the
+    /// number of blocks purged.
+    pub fn purge_expired(&mut self, now: Tick, rip: u64) -> usize {
+        let mut purged = 0;
+        for slot in 0..self.blocks.len() as u32 {
+            let b = &self.blocks[slot as usize];
+            if b.occupied && !b.resident && now.since(Tick(b.last)) > rip {
+                let page = b.page;
+                self.map.remove(&page);
+                self.blocks[slot as usize].occupied = false;
+                self.free.push(slot);
+                purged += 1;
+            }
+        }
+        purged
+    }
+
+    /// Iterate snapshots of all tracked pages (diagnostics; unordered).
+    pub fn iter(&self) -> impl Iterator<Item = HistorySnapshot> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.occupied)
+            .map(move |(s, b)| HistorySnapshot {
+                page: b.page,
+                hist: self.hist(s as u32).iter().map(|&t| Tick(t)).collect(),
+                last: Tick(b.last),
+                resident: b.resident,
+            })
+    }
+
+    /// The largest timestamp on record (`LAST` over all blocks); a driver
+    /// resuming with restored history must continue its clock *past* this
+    /// value (ticks never rewind in a real system).
+    pub fn max_timestamp(&self) -> Tick {
+        Tick(
+            self.blocks
+                .iter()
+                .filter(|b| b.occupied)
+                .map(|b| b.last)
+                .max()
+                .unwrap_or(0),
+        )
+    }
+
+    /// Approximate heap footprint of the table in bytes (for the paper's
+    /// open question about history space; see `EXPERIMENTS.md`).
+    pub fn footprint_bytes(&self) -> usize {
+        self.blocks.capacity() * std::mem::size_of::<Block>()
+            + self.hists.capacity() * std::mem::size_of::<u64>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.map.capacity()
+                * (std::mem::size_of::<PageId>() + std::mem::size_of::<u32>() + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn admit_initializes_block() {
+        let mut t = HistoryTable::new(3);
+        t.admit(p(1), Tick(5));
+        let s = t.get(p(1)).unwrap();
+        assert_eq!(s.hist, vec![Tick(5), Tick(0), Tick(0)]);
+        assert_eq!(s.last, Tick(5));
+        assert!(s.resident);
+        assert_eq!(t.resident_len(), 1);
+        assert_eq!(t.retained_len(), 0);
+        // Fewer than 3 references on record -> infinite distance.
+        assert_eq!(s.backward_k_distance(Tick(10)), None);
+    }
+
+    #[test]
+    fn uncorrelated_hits_shift_history() {
+        let mut t = HistoryTable::new(2);
+        t.admit(p(1), Tick(10));
+        assert!(t.touch_hit(p(1), Tick(20), 0)); // CRP=0: always uncorrelated
+        let s = t.get(p(1)).unwrap();
+        assert_eq!(s.hist, vec![Tick(20), Tick(10)]);
+        assert_eq!(s.backward_k_distance(Tick(25)), Some(15));
+    }
+
+    #[test]
+    fn correlated_burst_collapses_per_figure_2_1() {
+        // Hand-computed example: K=2, CRP=2.
+        // t=10 admit  -> HIST=[10,0], LAST=10
+        // t=11 hit    -> 11-10=1 <= 2: correlated, LAST=11
+        // t=20 hit    -> 20-11=9 > 2: uncorrelated;
+        //                correl = LAST - HIST1 = 1;
+        //                HIST2 = HIST1 + correl = 11; HIST1 = 20; LAST = 20.
+        let mut t = HistoryTable::new(2);
+        t.admit(p(1), Tick(10));
+        assert!(!t.touch_hit(p(1), Tick(11), 2));
+        assert_eq!(t.get(p(1)).unwrap().hist, vec![Tick(10), Tick(0)]);
+        assert_eq!(t.last(p(1)), Some(Tick(11)));
+        assert!(t.touch_hit(p(1), Tick(20), 2));
+        let s = t.get(p(1)).unwrap();
+        assert_eq!(s.hist, vec![Tick(20), Tick(11)]);
+        assert_eq!(s.last, Tick(20));
+    }
+
+    #[test]
+    fn descending_shift_uses_old_values() {
+        // K=3: three uncorrelated refs at 10, 20, 30 must yield [30,20,10],
+        // not the corrupted ascending-loop result.
+        let mut t = HistoryTable::new(3);
+        t.admit(p(1), Tick(10));
+        t.touch_hit(p(1), Tick(20), 0);
+        t.touch_hit(p(1), Tick(30), 0);
+        assert_eq!(t.get(p(1)).unwrap().hist, vec![Tick(30), Tick(20), Tick(10)]);
+    }
+
+    #[test]
+    fn unknown_slots_stay_unknown_through_collapse() {
+        // A burst-closing shift must not turn the sentinel 0 into `0+correl`.
+        let mut t = HistoryTable::new(3);
+        t.admit(p(1), Tick(10));
+        t.touch_hit(p(1), Tick(12), 5); // correlated (12-10 <= 5)
+        assert!(t.touch_hit(p(1), Tick(100), 5)); // closes burst
+        let s = t.get(p(1)).unwrap();
+        assert_eq!(s.hist[0], Tick(100));
+        assert_eq!(s.hist[1], Tick(12)); // 10 + correl(2)
+        assert_eq!(s.hist[2], Tick(0)); // still unknown
+    }
+
+    #[test]
+    fn miss_path_shift_has_no_correlation_adjustment() {
+        // Figure 2.1's miss arm shifts plainly.
+        let mut t = HistoryTable::new(2);
+        t.admit(p(1), Tick(10));
+        t.mark_evicted(p(1));
+        t.admit(p(1), Tick(50)); // re-fetch: HIST = [50, 10]
+        assert_eq!(t.get(p(1)).unwrap().hist, vec![Tick(50), Tick(10)]);
+        assert!(t.is_resident(p(1)));
+    }
+
+    #[test]
+    fn evict_retains_history() {
+        let mut t = HistoryTable::new(2);
+        t.admit(p(1), Tick(1));
+        t.mark_evicted(p(1));
+        assert_eq!(t.resident_len(), 0);
+        assert_eq!(t.retained_len(), 1);
+        assert!(t.contains(p(1)));
+        assert!(!t.is_resident(p(1)));
+    }
+
+    #[test]
+    fn purge_respects_rip_and_residency() {
+        let mut t = HistoryTable::new(2);
+        t.admit(p(1), Tick(10));
+        t.admit(p(2), Tick(10));
+        t.admit(p(3), Tick(100));
+        t.mark_evicted(p(1));
+        t.mark_evicted(p(3));
+        // RIP 50 at t=100: p1 (last=10, gone 90 ticks) expires; p3 (last=100)
+        // survives; p2 is resident and must never be purged.
+        let purged = t.purge_expired(Tick(100), 50);
+        assert_eq!(purged, 1);
+        assert!(!t.contains(p(1)));
+        assert!(t.contains(p(2)));
+        assert!(t.contains(p(3)));
+    }
+
+    #[test]
+    fn slots_are_reused_after_purge() {
+        let mut t = HistoryTable::new(2);
+        for i in 0..100 {
+            t.admit(p(i), Tick(i + 1));
+            t.mark_evicted(p(i));
+        }
+        assert_eq!(t.purge_expired(Tick(10_000), 10), 100);
+        let blocks_before = t.blocks.len();
+        for i in 100..200 {
+            t.admit(p(i), Tick(20_000 + i));
+        }
+        assert_eq!(t.blocks.len(), blocks_before, "free slots must be reused");
+    }
+
+    #[test]
+    fn remove_drops_resident_page() {
+        let mut t = HistoryTable::new(2);
+        t.admit(p(1), Tick(1));
+        assert!(t.remove(p(1)));
+        assert!(!t.remove(p(1)));
+        assert_eq!(t.resident_len(), 0);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn footprint_is_nonzero_once_populated() {
+        let mut t = HistoryTable::new(2);
+        t.admit(p(1), Tick(1));
+        assert!(t.footprint_bytes() > 0);
+    }
+
+    #[test]
+    fn k1_table_works() {
+        let mut t = HistoryTable::new(1);
+        t.admit(p(1), Tick(3));
+        t.touch_hit(p(1), Tick(9), 0);
+        let s = t.get(p(1)).unwrap();
+        assert_eq!(s.hist, vec![Tick(9)]);
+        assert_eq!(s.backward_k_distance(Tick(10)), Some(1));
+    }
+}

@@ -1,0 +1,470 @@
+//! The production LRU-K engine with an ordered victim index.
+//!
+//! Figure 2.1 of the paper selects the victim with a full scan over the
+//! buffer; the paper notes that a real implementation "would actually be
+//! based on a search tree". [`LruK`] is that implementation: resident pages
+//! are kept in a `BTreeSet` ordered by `(HIST(p,K), LAST(p), p)`, so the page
+//! with **maximal Backward K-distance** (= minimal `HIST(p,K)`) is found in
+//! O(log B + s), where `s` is the number of index entries skipped because
+//! they are pinned or inside their Correlated Reference Period.
+//!
+//! Ordering rationale:
+//!
+//! * minimal `HIST(p,K)` first — maximal backward K-distance; the sentinel
+//!   `0` ("fewer than K references known", i.e. `b_t(p,K) = ∞`) sorts before
+//!   every real timestamp, so ∞-distance pages are preferred exactly as
+//!   Definition 2.2 requires;
+//! * ties (including all the ∞ pages) break on minimal `LAST(p)` — this *is*
+//!   the paper's suggested subsidiary policy, classical LRU;
+//! * final tie-break on `PageId` for full determinism.
+
+use crate::config::LruKConfig;
+use crate::history::{HistorySnapshot, HistoryTable};
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+use std::collections::BTreeSet;
+
+type IndexKey = (u64, u64, PageId);
+
+/// The LRU-K replacement policy (indexed engine). See the crate docs for the
+/// algorithm and [`ClassicLruK`](crate::ClassicLruK) for the literal
+/// Figure 2.1 transcription this engine is differentially tested against.
+#[derive(Clone, Debug)]
+pub struct LruK {
+    cfg: LruKConfig,
+    table: HistoryTable,
+    /// Resident pages ordered by eviction priority.
+    index: BTreeSet<IndexKey>,
+    pins: PinSet,
+    purge_interval: Option<u64>,
+    next_purge: u64,
+    /// Issuing process of the upcoming reference (§2.1.1 refinement; stays
+    /// 0 when the driver does not distinguish processes).
+    current_pid: u64,
+}
+
+impl LruK {
+    /// Build an LRU-K policy from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (`k == 0` or RIP < CRP).
+    pub fn new(cfg: LruKConfig) -> Self {
+        cfg.validate().expect("invalid LRU-K configuration");
+        let purge_interval = cfg.effective_purge_interval();
+        LruK {
+            table: HistoryTable::new(cfg.k),
+            index: BTreeSet::new(),
+            pins: PinSet::new(),
+            purge_interval,
+            next_purge: purge_interval.unwrap_or(0),
+            cfg,
+            current_pid: 0,
+        }
+    }
+
+    /// LRU-2 with CRP = 0 and unbounded history — the paper's advocated
+    /// general-purpose configuration.
+    pub fn lru2() -> Self {
+        LruK::new(LruKConfig::new(2))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LruKConfig {
+        &self.cfg
+    }
+
+    /// Read access to the history table (persistence, diagnostics).
+    pub fn table(&self) -> &HistoryTable {
+        &self.table
+    }
+
+    /// Build a policy around an existing (e.g. restored) history table.
+    /// Blocks marked resident in `table` are demoted to retained — a fresh
+    /// policy starts with an empty buffer.
+    ///
+    /// # Panics
+    /// Panics if `cfg` is invalid or `table.k() != cfg.k`.
+    pub fn from_table(cfg: LruKConfig, mut table: HistoryTable) -> Self {
+        cfg.validate().expect("invalid LRU-K configuration");
+        assert_eq!(table.k(), cfg.k, "history table K mismatch");
+        let residents: Vec<PageId> = table
+            .iter()
+            .filter(|s| s.resident)
+            .map(|s| s.page)
+            .collect();
+        for page in residents {
+            table.mark_evicted(page);
+        }
+        let purge_interval = cfg.effective_purge_interval();
+        LruK {
+            table,
+            index: BTreeSet::new(),
+            pins: PinSet::new(),
+            purge_interval,
+            next_purge: purge_interval.unwrap_or(0),
+            cfg,
+            current_pid: 0,
+        }
+    }
+
+    /// Snapshot the history block of `page`, if tracked.
+    pub fn history(&self, page: PageId) -> Option<HistorySnapshot> {
+        self.table.get(page)
+    }
+
+    /// Backward K-distance of `page` at `now` (`None` = ∞ or untracked).
+    pub fn backward_k_distance(&self, page: PageId, now: Tick) -> Option<u64> {
+        self.table.get(page)?.backward_k_distance(now)
+    }
+
+    /// Approximate heap footprint of the history metadata in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.table.footprint_bytes() + self.index.len() * std::mem::size_of::<IndexKey>()
+    }
+
+    /// Run the purge demon immediately, regardless of schedule. Returns the
+    /// number of retained blocks dropped.
+    pub fn purge_now(&mut self, now: Tick) -> usize {
+        match self.cfg.retained_information_period {
+            Some(rip) => self.table.purge_expired(now, rip),
+            None => 0,
+        }
+    }
+
+    fn key_of(&self, page: PageId) -> IndexKey {
+        let hist_k = self
+            .table
+            .hist_k(page)
+            .expect("indexed page must have a history block");
+        let last = self
+            .table
+            .last(page)
+            .expect("indexed page must have a history block")
+            .raw();
+        (hist_k, last, page)
+    }
+
+    fn maybe_purge(&mut self, now: Tick) {
+        if let Some(interval) = self.purge_interval {
+            if now.raw() >= self.next_purge {
+                let rip = self
+                    .cfg
+                    .retained_information_period
+                    .expect("purge interval implies RIP");
+                self.table.purge_expired(now, rip);
+                self.next_purge = now.raw() + interval;
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for LruK {
+    fn name(&self) -> String {
+        self.cfg.display_name()
+    }
+
+    fn note_process(&mut self, pid: u64) {
+        self.current_pid = pid;
+    }
+
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        debug_assert!(self.table.is_resident(page), "on_hit for non-resident page");
+        let old = self.key_of(page);
+        self.index.remove(&old);
+        self.table.touch_hit_by(
+            page,
+            now,
+            self.cfg.correlated_reference_period,
+            self.current_pid,
+        );
+        let new = self.key_of(page);
+        self.index.insert(new);
+        self.maybe_purge(now);
+    }
+
+    fn on_miss(&mut self, _page: PageId, now: Tick) {
+        self.maybe_purge(now);
+    }
+
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        debug_assert!(
+            !self.table.is_resident(page),
+            "on_admit for already-resident page"
+        );
+        self.table.admit(page, now);
+        self.table.set_last_pid(page, self.current_pid);
+        let key = self.key_of(page);
+        self.index.insert(key);
+        self.maybe_purge(now);
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        let key = self.key_of(page);
+        let removed = self.index.remove(&key);
+        debug_assert!(removed, "on_evict for page missing from index");
+        self.table.mark_evicted(page);
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+        if self.index.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        let crp = self.cfg.correlated_reference_period;
+        let mut fallback: Option<PageId> = None;
+        for &(_hist_k, last, page) in self.index.iter() {
+            if self.pins.is_pinned(page) {
+                continue;
+            }
+            // Figure 2.1 eligibility: t - LAST(q) > Correlated Reference Period.
+            if now.since(Tick(last)) > crp {
+                return Ok(page);
+            }
+            if fallback.is_none() {
+                fallback = Some(page);
+            }
+        }
+        match fallback {
+            Some(page) if self.cfg.crp_fallback => Ok(page),
+            Some(_) => Err(VictimError::NoneEligible),
+            None => Err(VictimError::AllPinned),
+        }
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        if self.table.is_resident(page) {
+            let key = self.key_of(page);
+            self.index.remove(&key);
+        }
+        self.table.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.table.resident_len()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.table.retained_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    /// Drive a miss (no capacity pressure).
+    fn admit(policy: &mut LruK, page: PageId, t: u64) {
+        policy.on_miss(page, Tick(t));
+        policy.on_admit(page, Tick(t));
+    }
+
+    #[test]
+    fn infinite_distance_pages_evicted_first_with_lru_tiebreak() {
+        let mut l = LruK::new(LruKConfig::new(2));
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        admit(&mut l, p(3), 3);
+        // p1 gets a second reference -> finite distance; p2, p3 are ∞.
+        l.on_hit(p(1), Tick(4));
+        // Subsidiary classical LRU among ∞ pages: p2 (older LAST) first.
+        assert_eq!(l.select_victim(Tick(5)), Ok(p(2)));
+        l.on_evict(p(2), Tick(5));
+        assert_eq!(l.select_victim(Tick(6)), Ok(p(3)));
+        l.on_evict(p(3), Tick(6));
+        assert_eq!(l.select_victim(Tick(7)), Ok(p(1)));
+    }
+
+    #[test]
+    fn max_backward_distance_wins_among_finite() {
+        let mut l = LruK::new(LruKConfig::new(2));
+        // p1: refs at 1, 10 -> HIST(p1,2) = 1.
+        // p2: refs at 2, 4  -> HIST(p2,2) = 2.
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        l.on_hit(p(2), Tick(4));
+        l.on_hit(p(1), Tick(10));
+        // b_t(p1,2) = t-1 > b_t(p2,2) = t-2: p1 is the victim even though it
+        // was referenced more recently — the LRU-1/LRU-2 divergence.
+        assert_eq!(l.select_victim(Tick(11)), Ok(p(1)));
+    }
+
+    #[test]
+    fn pinned_pages_are_skipped() {
+        let mut l = LruK::new(LruKConfig::new(2));
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        l.pin(p(1));
+        assert_eq!(l.select_victim(Tick(3)), Ok(p(2)));
+        l.pin(p(2));
+        assert_eq!(l.select_victim(Tick(3)), Err(VictimError::AllPinned));
+        l.unpin(p(1));
+        assert_eq!(l.select_victim(Tick(3)), Ok(p(1)));
+    }
+
+    #[test]
+    fn crp_protects_recent_pages() {
+        let cfg = LruKConfig::new(2).with_crp(5);
+        let mut l = LruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 10);
+        // At t=12: p2 is within CRP (12-10 <= 5) so p1 is chosen even though
+        // p1's key does not sort first is irrelevant here — both ∞, p1 older.
+        assert_eq!(l.select_victim(Tick(12)), Ok(p(1)));
+        l.on_evict(p(1), Tick(12));
+        // Only p2 remains and it is CRP-protected: fallback returns it.
+        assert_eq!(l.select_victim(Tick(12)), Ok(p(2)));
+    }
+
+    #[test]
+    fn strict_crp_refuses_when_none_eligible() {
+        let cfg = LruKConfig::new(2).with_crp(5).strict_crp();
+        let mut l = LruK::new(cfg);
+        admit(&mut l, p(1), 10);
+        assert_eq!(l.select_victim(Tick(12)), Err(VictimError::NoneEligible));
+        // After the CRP passes, p1 becomes eligible.
+        assert_eq!(l.select_victim(Tick(16)), Ok(p(1)));
+    }
+
+    #[test]
+    fn empty_policy_reports_empty() {
+        let mut l = LruK::lru2();
+        assert_eq!(l.select_victim(Tick(1)), Err(VictimError::Empty));
+    }
+
+    #[test]
+    fn history_survives_eviction_and_influences_readmission() {
+        let mut l = LruK::new(LruKConfig::new(2));
+        admit(&mut l, p(1), 1);
+        l.on_hit(p(1), Tick(2));
+        l.on_evict(p(1), Tick(3));
+        assert_eq!(l.resident_len(), 0);
+        assert_eq!(l.retained_len(), 1);
+        // Re-admission finds the retained block: HIST = [t, 2] -> finite
+        // distance immediately (the Retained Information benefit, §2.1.2).
+        admit(&mut l, p(1), 10);
+        admit(&mut l, p(2), 11);
+        l.on_hit(p(2), Tick(12));
+        // p1 hist = [10, 2] -> HIST(p1,2)=2 ; p2 hist = [12, 11] -> 11.
+        // Max backward distance: p1.
+        assert_eq!(l.select_victim(Tick(13)), Ok(p(1)));
+        assert_eq!(l.backward_k_distance(p(1), Tick(13)), Some(11));
+    }
+
+    #[test]
+    fn purge_demon_runs_on_schedule() {
+        let cfg = LruKConfig::new(2).with_rip(10).with_purge_interval(5);
+        let mut l = LruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        l.on_evict(p(1), Tick(2));
+        assert_eq!(l.retained_len(), 1);
+        // Purge fires on the next event with now >= next_purge and drops the
+        // expired block (last=2, now=20, RIP=10).
+        admit(&mut l, p(2), 20);
+        assert_eq!(l.retained_len(), 0);
+        assert!(l.history(p(1)).is_none());
+    }
+
+    #[test]
+    fn purge_now_respects_rip() {
+        let cfg = LruKConfig::new(2).with_rip(100);
+        let mut l = LruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        l.on_evict(p(1), Tick(2));
+        assert_eq!(l.purge_now(Tick(50)), 0); // 50-2 < 100
+        assert_eq!(l.purge_now(Tick(200)), 1); // expired
+        assert_eq!(l.retained_len(), 0);
+    }
+
+    #[test]
+    fn forget_drops_everything() {
+        let mut l = LruK::lru2();
+        admit(&mut l, p(1), 1);
+        l.pin(p(1));
+        l.forget(p(1));
+        assert_eq!(l.resident_len(), 0);
+        assert_eq!(l.retained_len(), 0);
+        assert!(l.history(p(1)).is_none());
+        assert_eq!(l.select_victim(Tick(2)), Err(VictimError::Empty));
+    }
+
+    #[test]
+    fn k1_behaves_like_classical_lru() {
+        let mut l = LruK::new(LruKConfig::new(1));
+        assert_eq!(l.name(), "LRU-1");
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        admit(&mut l, p(3), 3);
+        l.on_hit(p(1), Tick(4));
+        // LRU order: p2 (2), p3 (3), p1 (4).
+        assert_eq!(l.select_victim(Tick(5)), Ok(p(2)));
+        l.on_evict(p(2), Tick(5));
+        assert_eq!(l.select_victim(Tick(5)), Ok(p(3)));
+    }
+
+    #[test]
+    fn correlated_hit_still_updates_index_last() {
+        // A correlated hit changes LAST (and thus the tie-break key); the
+        // index must stay consistent or later removals would miss.
+        let cfg = LruKConfig::new(2).with_crp(100);
+        let mut l = LruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        l.on_hit(p(1), Tick(2)); // correlated
+        l.on_evict(p(1), Tick(3)); // would panic if index were stale
+        assert_eq!(l.resident_len(), 0);
+    }
+
+    #[test]
+    fn process_refinement_breaks_cross_process_correlation() {
+        // §2.1.1: same-process re-reference within CRP = correlated (LAST
+        // moves, HIST does not); different process = independent (HIST
+        // shifts even inside the CRP window).
+        let cfg = LruKConfig::new(2).with_crp(100);
+        let mut l = LruK::new(cfg);
+        l.note_process(1);
+        admit(&mut l, p(1), 10);
+        l.note_process(1);
+        l.on_hit(p(1), Tick(12)); // same process, in CRP: correlated
+        assert_eq!(l.history(p(1)).unwrap().hist, vec![Tick(10), Tick(0)]);
+        l.note_process(2);
+        l.on_hit(p(1), Tick(14)); // different process: uncorrelated
+        let s = l.history(p(1)).unwrap();
+        assert_eq!(s.hist[0], Tick(14));
+        assert_ne!(s.hist[1], Tick(0), "cross-process hit must open an interarrival");
+    }
+
+    #[test]
+    fn undistinguished_processes_reproduce_default_behaviour() {
+        let cfg = LruKConfig::new(2).with_crp(100);
+        let mut a = LruK::new(cfg);
+        let mut b = LruK::new(cfg);
+        // a never calls note_process; b always passes pid 7.
+        b.note_process(7);
+        admit(&mut a, p(1), 10);
+        admit(&mut b, p(1), 10);
+        a.on_hit(p(1), Tick(12));
+        b.on_hit(p(1), Tick(12));
+        assert_eq!(a.history(p(1)), b.history(p(1)));
+    }
+
+    #[test]
+    fn footprint_grows_with_tracked_pages() {
+        let mut l = LruK::lru2();
+        let before = l.footprint_bytes();
+        for i in 0..1000 {
+            admit(&mut l, p(i), i + 1);
+        }
+        assert!(l.footprint_bytes() > before);
+    }
+}

@@ -1,0 +1,190 @@
+//! History persistence: save the `HIST`/`LAST` table across restarts.
+//!
+//! The paper's central "new concept … is that page history information is
+//! kept past page residence". A production system restarting its buffer
+//! manager loses every frame but has no reason to lose the history — a
+//! warm-restarted LRU-K recognizes its old hot set on the *first* lap
+//! instead of the second. The format is a small explicit binary layout
+//! (little-endian, versioned), not a serde format, so it stays stable and
+//! dependency-free.
+//!
+//! **Clock contract**: timestamps never rewind. A driver resuming with
+//! restored history must continue its tick counter past
+//! [`LruK::resume_tick`] — restarting ticks at 1 would make every stale
+//! block look infinitely recent (its `HIST` values dwarf the new clock) and
+//! invert the policy's decisions. The simulator's
+//! `simulate_from(…, first_tick)` exists for exactly this.
+
+use crate::config::LruKConfig;
+use crate::history::HistoryTable;
+use crate::indexed::LruK;
+use lruk_policy::{PageId, Tick};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"LRUKHIS1";
+
+/// Serialize the history table: magic, K, block count, then per block
+/// `page u64, last u64, K× hist u64` (resident flags are not persisted —
+/// after a restart nothing is resident).
+pub fn save_history(table: &HistoryTable, w: &mut impl Write) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(table.k() as u64).to_le_bytes())?;
+    let blocks: Vec<_> = table.iter().collect();
+    w.write_all(&(blocks.len() as u64).to_le_bytes())?;
+    for snap in blocks {
+        w.write_all(&snap.page.raw().to_le_bytes())?;
+        w.write_all(&snap.last.raw().to_le_bytes())?;
+        for t in &snap.hist {
+            w.write_all(&t.raw().to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Deserialize a history table saved by [`save_history`]. Every block comes
+/// back *retained* (non-resident).
+pub fn load_history(r: &mut impl Read) -> io::Result<HistoryTable> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad history file magic",
+        ));
+    }
+    let k = read_u64(r)? as usize;
+    if !(1..=64).contains(&k) {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad K"));
+    }
+    let count = read_u64(r)?;
+    let mut table = HistoryTable::new(k);
+    for _ in 0..count {
+        let page = PageId(read_u64(r)?);
+        let last = read_u64(r)?;
+        let mut hist = Vec::with_capacity(k);
+        for _ in 0..k {
+            hist.push(read_u64(r)?);
+        }
+        table.restore_block(page, &hist, Tick(last));
+    }
+    Ok(table)
+}
+
+impl LruK {
+    /// Persist the current history (resident and retained blocks alike; the
+    /// restore side treats everything as retained).
+    pub fn save_history(&self, w: &mut impl Write) -> io::Result<()> {
+        save_history(self.table(), w)
+    }
+
+    /// First tick a resuming driver may use: one past the largest
+    /// timestamp on record (see the module docs' clock contract).
+    pub fn resume_tick(&self) -> Tick {
+        Tick(self.table().max_timestamp().raw() + 1)
+    }
+
+    /// Build a policy that starts with the persisted history as Retained
+    /// Information: an empty buffer, but a warm memory.
+    ///
+    /// # Errors
+    /// I/O or format errors; also rejects a history whose K differs from
+    /// `cfg.k`.
+    pub fn with_restored_history(cfg: LruKConfig, r: &mut impl Read) -> io::Result<Self> {
+        let table = load_history(r)?;
+        if table.k() != cfg.k {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("history was saved for K={}, config wants K={}", table.k(), cfg.k),
+            ));
+        }
+        Ok(LruK::from_table(cfg, table))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lruk_policy::ReplacementPolicy;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn roundtrip_preserves_hist_and_last() {
+        let mut l = LruK::new(LruKConfig::new(3));
+        for (page, t) in [(1u64, 1u64), (2, 2), (3, 3)] {
+            l.on_miss(p(page), Tick(t));
+            l.on_admit(p(page), Tick(t));
+        }
+        l.on_hit(p(1), Tick(10));
+        l.on_hit(p(1), Tick(20));
+        l.on_evict(p(2), Tick(21));
+        let mut buf = Vec::new();
+        l.save_history(&mut buf).unwrap();
+
+        let restored = LruK::with_restored_history(LruKConfig::new(3), &mut buf.as_slice()).unwrap();
+        // Everything is retained, nothing resident.
+        assert_eq!(restored.resident_len(), 0);
+        assert_eq!(restored.retained_len(), 3);
+        let s = restored.history(p(1)).unwrap();
+        assert_eq!(s.hist, vec![Tick(20), Tick(10), Tick(1)]);
+        assert_eq!(s.last, Tick(20));
+        assert!(!s.resident);
+    }
+
+    #[test]
+    fn warm_restart_recognizes_the_old_hot_set() {
+        // Cold policy: page 1 (two historic refs) readmitted next to a
+        // fresh page would be ∞-vs-∞. Warm policy: page 1 is finite
+        // immediately and outranks the newcomer.
+        let mut l = LruK::new(LruKConfig::new(2));
+        l.on_miss(p(1), Tick(1));
+        l.on_admit(p(1), Tick(1));
+        l.on_hit(p(1), Tick(2));
+        let mut buf = Vec::new();
+        l.save_history(&mut buf).unwrap();
+
+        let mut warm = LruK::with_restored_history(LruKConfig::new(2), &mut buf.as_slice()).unwrap();
+        // The clock contract: resume past the saved horizon.
+        let t0 = warm.resume_tick().raw();
+        assert_eq!(t0, 3);
+        warm.on_miss(p(1), Tick(t0 + 97));
+        warm.on_admit(p(1), Tick(t0 + 97)); // HIST = [100, 2]: finite
+        warm.on_miss(p(9), Tick(t0 + 98));
+        warm.on_admit(p(9), Tick(t0 + 98)); // ∞
+        assert_eq!(warm.select_victim(Tick(t0 + 99)), Ok(p(9)));
+    }
+
+    #[test]
+    fn k_mismatch_rejected() {
+        let l = LruK::new(LruKConfig::new(2));
+        let mut buf = Vec::new();
+        l.save_history(&mut buf).unwrap();
+        let err = LruK::with_restored_history(LruKConfig::new(3), &mut buf.as_slice());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let garbage = b"NOTMAGIC\0\0\0\0";
+        assert!(load_history(&mut &garbage[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut l = LruK::new(LruKConfig::new(2));
+        l.on_miss(p(1), Tick(1));
+        l.on_admit(p(1), Tick(1));
+        let mut buf = Vec::new();
+        l.save_history(&mut buf).unwrap();
+        buf.truncate(buf.len() - 4);
+        assert!(load_history(&mut buf.as_slice()).is_err());
+    }
+}

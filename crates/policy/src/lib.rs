@@ -1,0 +1,31 @@
+//! Shared infrastructure for page-replacement policies.
+//!
+//! This crate defines the vocabulary used by every policy in the workspace:
+//!
+//! * [`PageId`] / [`Tick`] — page identity and the logical timebase of the
+//!   paper (time measured in counts of successive page references).
+//! * [`ReplacementPolicy`] — the object-safe trait that the buffer pool
+//!   manager ([`lruk-buffer`]) and the cache simulator ([`lruk-sim`]) drive.
+//! * [`fxhash`] — a tiny, fast, non-cryptographic hasher for the hot
+//!   `PageId`-keyed maps (page ids are dense integers; SipHash is overkill).
+//! * [`linked_list`] — a slab-backed intrusive doubly-linked list giving
+//!   O(1) LRU operations, reused by LRU / FIFO / 2Q / ARC implementations.
+//! * [`stats`] — hit/miss/eviction accounting shared by all drivers.
+//!
+//! [`lruk-buffer`]: ../lruk_buffer/index.html
+//! [`lruk-sim`]: ../lruk_sim/index.html
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fxhash;
+pub mod linked_list;
+pub mod pin;
+pub mod policy;
+pub mod stats;
+pub mod types;
+
+pub use pin::PinSet;
+pub use policy::{PolicyEvent, ReplacementPolicy, VictimError};
+pub use stats::CacheStats;
+pub use types::{AccessKind, PageId, Tick};

@@ -1,0 +1,480 @@
+//! A slab-backed doubly-linked recency list with O(1) operations.
+//!
+//! This is the workhorse behind the classical-LRU subsidiary policy, the
+//! LRU-1/FIFO/MRU baselines, and the queue components of 2Q and ARC. Nodes
+//! live in a contiguous slab (`Vec`) and are addressed by index, so the list
+//! needs no `unsafe` and stays cache-friendly; a hash index maps a page id to
+//! its slab slot for O(1) `touch`/`remove`.
+
+use crate::fxhash::FxHashMap;
+use crate::types::PageId;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node {
+    page: PageId,
+    prev: u32,
+    next: u32,
+}
+
+/// Ordered list of distinct pages supporting O(1) push/pop/move/remove.
+///
+/// Convention used by the policies in this workspace: the **front** of the
+/// list is the *coldest* end (next victim) and the **back** is the *hottest*
+/// (most recently touched). `touch` is therefore "move to back".
+#[derive(Clone, Debug)]
+pub struct LruList {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    index: FxHashMap<PageId, u32>,
+}
+
+impl Default for LruList {
+    /// Equivalent to [`LruList::new`]. (A derived `Default` would zero the
+    /// head/tail cursors instead of using the `NIL` sentinel and corrupt the
+    /// list — caught by `default_equals_new`.)
+    fn default() -> Self {
+        LruList::new()
+    }
+}
+
+impl LruList {
+    /// New empty list.
+    pub fn new() -> Self {
+        LruList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// New empty list with room for `cap` pages before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        LruList {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            index: FxHashMap::with_capacity_and_hasher(cap, Default::default()),
+        }
+    }
+
+    /// Number of pages in the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the list holds no pages.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// True if `page` is in the list.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.index.contains_key(&page)
+    }
+
+    /// The coldest page (front), if any.
+    #[inline]
+    pub fn front(&self) -> Option<PageId> {
+        (self.head != NIL).then(|| self.nodes[self.head as usize].page)
+    }
+
+    /// The hottest page (back), if any.
+    #[inline]
+    pub fn back(&self) -> Option<PageId> {
+        (self.tail != NIL).then(|| self.nodes[self.tail as usize].page)
+    }
+
+    fn alloc(&mut self, page: PageId) -> u32 {
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            };
+            slot
+        } else {
+            self.nodes.push(Node {
+                page,
+                prev: NIL,
+                next: NIL,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn unlink(&mut self, slot: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[slot as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        let n = &mut self.nodes[slot as usize];
+        n.prev = NIL;
+        n.next = NIL;
+    }
+
+    fn link_back(&mut self, slot: u32) {
+        let old_tail = self.tail;
+        self.nodes[slot as usize].prev = old_tail;
+        self.nodes[slot as usize].next = NIL;
+        if old_tail != NIL {
+            self.nodes[old_tail as usize].next = slot;
+        } else {
+            self.head = slot;
+        }
+        self.tail = slot;
+    }
+
+    fn link_front(&mut self, slot: u32) {
+        let old_head = self.head;
+        self.nodes[slot as usize].next = old_head;
+        self.nodes[slot as usize].prev = NIL;
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
+    }
+
+    /// Insert `page` at the hot end. Returns `false` (and does nothing) if
+    /// the page is already present.
+    pub fn push_back(&mut self, page: PageId) -> bool {
+        if self.index.contains_key(&page) {
+            return false;
+        }
+        let slot = self.alloc(page);
+        self.link_back(slot);
+        self.index.insert(page, slot);
+        true
+    }
+
+    /// Insert `page` at the cold end. Returns `false` if already present.
+    pub fn push_front(&mut self, page: PageId) -> bool {
+        if self.index.contains_key(&page) {
+            return false;
+        }
+        let slot = self.alloc(page);
+        self.link_front(slot);
+        self.index.insert(page, slot);
+        true
+    }
+
+    /// Move an existing page to the hot end; returns `false` if absent.
+    pub fn touch(&mut self, page: PageId) -> bool {
+        let Some(&slot) = self.index.get(&page) else {
+            return false;
+        };
+        if self.tail != slot {
+            self.unlink(slot);
+            self.link_back(slot);
+        }
+        true
+    }
+
+    /// Move an existing page to the cold end; returns `false` if absent.
+    pub fn demote(&mut self, page: PageId) -> bool {
+        let Some(&slot) = self.index.get(&page) else {
+            return false;
+        };
+        if self.head != slot {
+            self.unlink(slot);
+            self.link_front(slot);
+        }
+        true
+    }
+
+    /// Remove and return the coldest page.
+    pub fn pop_front(&mut self) -> Option<PageId> {
+        let slot = self.head;
+        if slot == NIL {
+            return None;
+        }
+        let page = self.nodes[slot as usize].page;
+        self.unlink(slot);
+        self.index.remove(&page);
+        self.free.push(slot);
+        Some(page)
+    }
+
+    /// Remove and return the hottest page.
+    pub fn pop_back(&mut self) -> Option<PageId> {
+        let slot = self.tail;
+        if slot == NIL {
+            return None;
+        }
+        let page = self.nodes[slot as usize].page;
+        self.unlink(slot);
+        self.index.remove(&page);
+        self.free.push(slot);
+        Some(page)
+    }
+
+    /// Remove a specific page; returns `true` if it was present.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        let Some(slot) = self.index.remove(&page) else {
+            return false;
+        };
+        self.unlink(slot);
+        self.free.push(slot);
+        true
+    }
+
+    /// Remove everything.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.index.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Iterate pages from coldest (front) to hottest (back).
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            list: self,
+            cursor: self.head,
+        }
+    }
+
+    /// First page from the cold end for which `pred` returns `true`.
+    ///
+    /// Used for pin-aware victim selection: the caller passes a predicate
+    /// rejecting pinned or CRP-protected pages.
+    pub fn find_from_front(&self, mut pred: impl FnMut(PageId) -> bool) -> Option<PageId> {
+        self.iter().find(|&p| pred(p))
+    }
+}
+
+/// Front-to-back iterator over a [`LruList`].
+pub struct Iter<'a> {
+    list: &'a LruList,
+    cursor: u32,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = PageId;
+
+    fn next(&mut self) -> Option<PageId> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.list.nodes[self.cursor as usize];
+        self.cursor = node.next;
+        Some(node.page)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn push_pop_order() {
+        let mut l = LruList::new();
+        assert!(l.push_back(p(1)));
+        assert!(l.push_back(p(2)));
+        assert!(l.push_back(p(3)));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.front(), Some(p(1)));
+        assert_eq!(l.back(), Some(p(3)));
+        assert_eq!(l.pop_front(), Some(p(1)));
+        assert_eq!(l.pop_front(), Some(p(2)));
+        assert_eq!(l.pop_front(), Some(p(3)));
+        assert_eq!(l.pop_front(), None);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn duplicate_push_rejected() {
+        let mut l = LruList::new();
+        assert!(l.push_back(p(1)));
+        assert!(!l.push_back(p(1)));
+        assert!(!l.push_front(p(1)));
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn touch_moves_to_back() {
+        let mut l = LruList::new();
+        for i in 1..=4 {
+            l.push_back(p(i));
+        }
+        assert!(l.touch(p(2)));
+        let order: Vec<_> = l.iter().collect();
+        assert_eq!(order, vec![p(1), p(3), p(4), p(2)]);
+        // touching the tail is a no-op
+        assert!(l.touch(p(2)));
+        assert_eq!(l.back(), Some(p(2)));
+        assert!(!l.touch(p(99)));
+    }
+
+    #[test]
+    fn demote_moves_to_front() {
+        let mut l = LruList::new();
+        for i in 1..=3 {
+            l.push_back(p(i));
+        }
+        assert!(l.demote(p(3)));
+        assert_eq!(l.front(), Some(p(3)));
+        assert!(l.demote(p(3))); // already front: no-op
+        assert_eq!(l.front(), Some(p(3)));
+    }
+
+    #[test]
+    fn remove_middle_and_ends() {
+        let mut l = LruList::new();
+        for i in 1..=5 {
+            l.push_back(p(i));
+        }
+        assert!(l.remove(p(3)));
+        assert!(l.remove(p(1)));
+        assert!(l.remove(p(5)));
+        assert!(!l.remove(p(3)));
+        let order: Vec<_> = l.iter().collect();
+        assert_eq!(order, vec![p(2), p(4)]);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut l = LruList::new();
+        for i in 0..100 {
+            l.push_back(p(i));
+        }
+        for _ in 0..100 {
+            l.pop_front();
+        }
+        for i in 100..200 {
+            l.push_back(p(i));
+        }
+        // slab should not have grown past 100 nodes
+        assert!(l.nodes.len() <= 100);
+        assert_eq!(l.len(), 100);
+    }
+
+    #[test]
+    fn find_from_front_skips() {
+        let mut l = LruList::new();
+        for i in 1..=5 {
+            l.push_back(p(i));
+        }
+        let v = l.find_from_front(|pg| pg.raw() % 2 == 0);
+        assert_eq!(v, Some(p(2)));
+        let none = l.find_from_front(|_| false);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn pop_back_works() {
+        let mut l = LruList::new();
+        l.push_back(p(1));
+        l.push_back(p(2));
+        assert_eq!(l.pop_back(), Some(p(2)));
+        assert_eq!(l.pop_back(), Some(p(1)));
+        assert_eq!(l.pop_back(), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = LruList::new();
+        l.push_back(p(1));
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.front(), None);
+        assert_eq!(l.back(), None);
+        l.push_back(p(2));
+        assert_eq!(l.front(), Some(p(2)));
+    }
+
+    #[test]
+    fn default_equals_new() {
+        // Regression: a derived Default zeroed head/tail (slot 0 instead of
+        // the NIL sentinel), self-linking the first inserted node.
+        let mut l = LruList::default();
+        l.push_back(p(1));
+        let order: Vec<_> = l.iter().collect();
+        assert_eq!(order, vec![p(1)]);
+        assert_eq!(l.pop_front(), Some(p(1)));
+        assert_eq!(l.pop_front(), None);
+    }
+
+    /// Differential test against VecDeque as a model.
+    #[test]
+    fn model_check_random_ops() {
+        use std::collections::VecDeque;
+        let mut l = LruList::new();
+        let mut model: VecDeque<PageId> = VecDeque::new();
+        // simple deterministic LCG so the test needs no external rng
+        let mut state: u64 = 0x243F_6A88_85A3_08D3;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for _ in 0..20_000 {
+            let op = rnd() % 6;
+            let page = p(rnd() % 50);
+            match op {
+                0 => {
+                    if !model.contains(&page) {
+                        model.push_back(page);
+                    }
+                    l.push_back(page);
+                }
+                1 => {
+                    if !model.contains(&page) {
+                        model.push_front(page);
+                    }
+                    l.push_front(page);
+                }
+                2 => {
+                    if let Some(pos) = model.iter().position(|&x| x == page) {
+                        model.remove(pos);
+                        model.push_back(page);
+                    }
+                    l.touch(page);
+                }
+                3 => {
+                    if let Some(pos) = model.iter().position(|&x| x == page) {
+                        model.remove(pos);
+                    }
+                    l.remove(page);
+                }
+                4 => {
+                    assert_eq!(l.pop_front(), model.pop_front());
+                }
+                _ => {
+                    assert_eq!(l.pop_back(), model.pop_back());
+                }
+            }
+            assert_eq!(l.len(), model.len());
+            assert_eq!(l.front(), model.front().copied());
+            assert_eq!(l.back(), model.back().copied());
+        }
+        let got: Vec<_> = l.iter().collect();
+        let want: Vec<_> = model.iter().copied().collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,99 @@
+//! Pin bookkeeping shared by all policies.
+
+use crate::fxhash::FxHashMap;
+use crate::types::PageId;
+
+/// Reference-counted pin tracking.
+///
+/// The buffer pool pins a page while a client holds it; a pinned page must
+/// never be chosen as a replacement victim. Pins nest (`pin` twice requires
+/// `unpin` twice), matching standard buffer-manager semantics.
+#[derive(Clone, Default, Debug)]
+pub struct PinSet {
+    counts: FxHashMap<PageId, u32>,
+}
+
+impl PinSet {
+    /// New empty pin set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment the pin count of `page`.
+    pub fn pin(&mut self, page: PageId) {
+        *self.counts.entry(page).or_insert(0) += 1;
+    }
+
+    /// Decrement the pin count; returns `true` if the page was pinned.
+    /// Unpinning an unpinned page is a no-op returning `false`.
+    pub fn unpin(&mut self, page: PageId) -> bool {
+        match self.counts.get_mut(&page) {
+            Some(c) => {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&page);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// True if the page currently has a nonzero pin count.
+    #[inline]
+    pub fn is_pinned(&self, page: PageId) -> bool {
+        self.counts.contains_key(&page)
+    }
+
+    /// Current pin count for `page`.
+    pub fn count(&self, page: PageId) -> u32 {
+        self.counts.get(&page).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct pinned pages.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True if no page is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Drop all pins for `page` (used when a page is deleted outright).
+    pub fn clear_page(&mut self, page: PageId) {
+        self.counts.remove(&page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pins_nest() {
+        let mut s = PinSet::new();
+        let p = PageId(1);
+        assert!(!s.is_pinned(p));
+        s.pin(p);
+        s.pin(p);
+        assert_eq!(s.count(p), 2);
+        assert!(s.unpin(p));
+        assert!(s.is_pinned(p));
+        assert!(s.unpin(p));
+        assert!(!s.is_pinned(p));
+        assert!(!s.unpin(p));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_page_drops_all_pins() {
+        let mut s = PinSet::new();
+        let p = PageId(7);
+        s.pin(p);
+        s.pin(p);
+        s.clear_page(p);
+        assert!(!s.is_pinned(p));
+        assert_eq!(s.len(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The replacement-policy trait driven by the buffer pool and the simulator.
+
+use crate::types::{AccessKind, PageId, Tick};
+use std::fmt;
+
+/// Why victim selection failed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VictimError {
+    /// The policy tracks no resident pages.
+    Empty,
+    /// Every resident page is pinned (or otherwise ineligible forever).
+    AllPinned,
+    /// Unpinned pages exist but none satisfies the policy's eligibility
+    /// criterion (e.g. all are inside their Correlated Reference Period and
+    /// the policy is configured without a fall-back).
+    NoneEligible,
+}
+
+impl fmt::Display for VictimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VictimError::Empty => write!(f, "no resident pages to evict"),
+            VictimError::AllPinned => write!(f, "all resident pages are pinned"),
+            VictimError::NoneEligible => {
+                write!(f, "no resident page satisfies the eligibility criterion")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VictimError {}
+
+/// Lifecycle events a driver may replay into a policy (used by trace tools).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PolicyEvent {
+    /// Reference to a resident page.
+    Hit(PageId, Tick),
+    /// Reference to a non-resident page (observed before admission).
+    Miss(PageId, Tick),
+    /// Page became resident.
+    Admit(PageId, Tick),
+    /// Page left the buffer.
+    Evict(PageId, Tick),
+}
+
+/// A page replacement policy.
+///
+/// ### Driving contract
+///
+/// For every reference `r_t = p` the driver must do exactly one of:
+///
+/// * **hit** — `p` resident: call [`on_hit`](ReplacementPolicy::on_hit)`(p, t)`;
+/// * **miss** — `p` not resident: call [`on_miss`](ReplacementPolicy::on_miss)`(p, t)`,
+///   then (if the pool is full) obtain a victim via
+///   [`select_victim`](ReplacementPolicy::select_victim)`(t)` and report its
+///   removal with [`on_evict`](ReplacementPolicy::on_evict), then report the
+///   admission of `p` with [`on_admit`](ReplacementPolicy::on_admit)`(p, t)`.
+///
+/// Ticks are monotonically non-decreasing. The policy maintains its own
+/// resident-set bookkeeping from `on_admit`/`on_evict`; the driver is the
+/// single source of truth for capacity.
+///
+/// ### Pinning
+///
+/// [`pin`](ReplacementPolicy::pin)/[`unpin`](ReplacementPolicy::unpin) bracket
+/// client use of a page; `select_victim` must never return a pinned page.
+/// Pins nest.
+pub trait ReplacementPolicy: Send {
+    /// Human-readable policy name, e.g. `"LRU-2"`.
+    fn name(&self) -> String;
+
+    /// Advisory channel: the kind of access about to be performed. Most
+    /// policies are *self-reliant* (the paper's term) and ignore this;
+    /// hint-driven comparators (the §1.1 "query execution plan analysis"
+    /// category, e.g. `HintedLru`) act on it. Default: no-op.
+    fn note_kind(&mut self, kind: AccessKind) {
+        let _ = kind;
+    }
+
+    /// Advisory channel: the process issuing the upcoming reference. The
+    /// paper's §2.1.1 refines the Time-Out Correlation method by treating
+    /// only *same-process* references within the Correlated Reference
+    /// Period as correlated ("each successive access by the same process
+    /// within a time-out period is assumed to be correlated"); LRU-K
+    /// engines use this when the driver distinguishes processes. Default:
+    /// no-op (all references count as one process, the paper's simplified
+    /// assumption).
+    fn note_process(&mut self, pid: u64) {
+        let _ = pid;
+    }
+
+    /// A reference hit a resident page.
+    fn on_hit(&mut self, page: PageId, now: Tick);
+
+    /// A reference missed (page not resident). Called before any eviction or
+    /// admission for this reference. Default: no-op (most policies act on
+    /// `on_admit`).
+    fn on_miss(&mut self, page: PageId, now: Tick) {
+        let _ = (page, now);
+    }
+
+    /// `page` became resident at `now` (fetched from disk).
+    fn on_admit(&mut self, page: PageId, now: Tick);
+
+    /// `page` left the buffer at `now` (selected victim, flush-and-drop, or
+    /// explicit deletion).
+    fn on_evict(&mut self, page: PageId, now: Tick);
+
+    /// Choose a replacement victim among resident, unpinned pages.
+    ///
+    /// The policy must *not* remove the page from its own resident set — the
+    /// driver confirms the eviction via [`on_evict`](Self::on_evict). (The
+    /// driver may decline, e.g. when it finds the page is being re-pinned
+    /// concurrently.)
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError>;
+
+    /// Pin a page (must be resident). Pinned pages are never victims.
+    fn pin(&mut self, page: PageId);
+
+    /// Release one pin of `page`.
+    fn unpin(&mut self, page: PageId);
+
+    /// Discard *all* metadata about `page`, including any retained history
+    /// (used when a page is deleted from the database).
+    fn forget(&mut self, page: PageId);
+
+    /// Number of pages the policy currently believes are resident.
+    fn resident_len(&self) -> usize;
+
+    /// Approximate count of history/metadata entries retained for
+    /// **non-resident** pages (the paper's "Page Reference Retained
+    /// Information"; zero for history-free policies like LRU-1).
+    fn retained_len(&self) -> usize {
+        0
+    }
+
+    /// Replay a [`PolicyEvent`] (trace tooling convenience).
+    fn apply(&mut self, ev: PolicyEvent) {
+        match ev {
+            PolicyEvent::Hit(p, t) => self.on_hit(p, t),
+            PolicyEvent::Miss(p, t) => self.on_miss(p, t),
+            PolicyEvent::Admit(p, t) => self.on_admit(p, t),
+            PolicyEvent::Evict(p, t) => self.on_evict(p, t),
+        }
+    }
+}
+
+impl fmt::Debug for dyn ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ReplacementPolicy({})", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pin::PinSet;
+    use crate::types::{PageId, Tick};
+
+    /// Minimal FIFO used to exercise the trait object surface.
+    struct TinyFifo {
+        order: Vec<PageId>,
+        pins: PinSet,
+    }
+
+    impl ReplacementPolicy for TinyFifo {
+        fn name(&self) -> String {
+            "tiny-fifo".into()
+        }
+        fn on_hit(&mut self, _p: PageId, _t: Tick) {}
+        fn on_admit(&mut self, p: PageId, _t: Tick) {
+            self.order.push(p);
+        }
+        fn on_evict(&mut self, p: PageId, _t: Tick) {
+            self.order.retain(|&q| q != p);
+        }
+        fn select_victim(&mut self, _t: Tick) -> Result<PageId, VictimError> {
+            if self.order.is_empty() {
+                return Err(VictimError::Empty);
+            }
+            self.order
+                .iter()
+                .copied()
+                .find(|&p| !self.pins.is_pinned(p))
+                .ok_or(VictimError::AllPinned)
+        }
+        fn pin(&mut self, p: PageId) {
+            self.pins.pin(p);
+        }
+        fn unpin(&mut self, p: PageId) {
+            self.pins.unpin(p);
+        }
+        fn forget(&mut self, p: PageId) {
+            self.on_evict(p, Tick::ZERO);
+        }
+        fn resident_len(&self) -> usize {
+            self.order.len()
+        }
+    }
+
+    #[test]
+    fn trait_object_dispatch_and_events() {
+        let mut p: Box<dyn ReplacementPolicy> = Box::new(TinyFifo {
+            order: vec![],
+            pins: PinSet::new(),
+        });
+        p.apply(PolicyEvent::Admit(PageId(1), Tick(1)));
+        p.apply(PolicyEvent::Admit(PageId(2), Tick(2)));
+        assert_eq!(p.resident_len(), 2);
+        assert_eq!(p.select_victim(Tick(3)), Ok(PageId(1)));
+        p.pin(PageId(1));
+        assert_eq!(p.select_victim(Tick(3)), Ok(PageId(2)));
+        p.pin(PageId(2));
+        assert_eq!(p.select_victim(Tick(3)), Err(VictimError::AllPinned));
+        p.unpin(PageId(1));
+        assert_eq!(p.select_victim(Tick(4)), Ok(PageId(1)));
+        assert_eq!(format!("{:?}", &*p), "ReplacementPolicy(tiny-fifo)");
+    }
+
+    #[test]
+    fn victim_error_display() {
+        assert_eq!(VictimError::Empty.to_string(), "no resident pages to evict");
+        assert_eq!(
+            VictimError::AllPinned.to_string(),
+            "all resident pages are pinned"
+        );
+    }
+}

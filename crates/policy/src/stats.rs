@@ -1,0 +1,128 @@
+//! Hit/miss accounting shared by the simulator and the buffer pool.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing one run of a cache/buffer pool.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// References that found the page resident.
+    pub hits: u64,
+    /// References that required a disk fetch.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Evicted pages that were dirty and had to be written back first.
+    pub dirty_writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total references observed.
+    #[inline]
+    pub fn references(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Cache hit ratio `C = h / T` (the paper's §4.1 definition); zero when
+    /// no references have been observed.
+    pub fn hit_ratio(&self) -> f64 {
+        let t = self.references();
+        if t == 0 {
+            0.0
+        } else {
+            self.hits as f64 / t as f64
+        }
+    }
+
+    /// Miss ratio `1 - C`.
+    pub fn miss_ratio(&self) -> f64 {
+        let t = self.references();
+        if t == 0 {
+            0.0
+        } else {
+            self.misses as f64 / t as f64
+        }
+    }
+
+    /// Record a hit.
+    #[inline]
+    pub fn record_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Record a miss.
+    #[inline]
+    pub fn record_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Record an eviction; `dirty` adds a write-back.
+    #[inline]
+    pub fn record_eviction(&mut self, dirty: bool) {
+        self.evictions += 1;
+        if dirty {
+            self.dirty_writebacks += 1;
+        }
+    }
+
+    /// Reset all counters (used at the warmup→measure transition).
+    pub fn reset(&mut self) {
+        *self = CacheStats::default();
+    }
+
+    /// Merge counters from another run segment.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.dirty_writebacks += other.dirty_writebacks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.miss_ratio(), 0.0);
+        for _ in 0..3 {
+            s.record_hit();
+        }
+        s.record_miss();
+        assert_eq!(s.references(), 4);
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eviction_accounting_and_merge() {
+        let mut a = CacheStats::default();
+        a.record_eviction(true);
+        a.record_eviction(false);
+        assert_eq!(a.evictions, 2);
+        assert_eq!(a.dirty_writebacks, 1);
+        let mut b = CacheStats::default();
+        b.record_hit();
+        b.merge(&a);
+        assert_eq!(b.hits, 1);
+        assert_eq!(b.evictions, 2);
+        b.reset();
+        assert_eq!(b, CacheStats::default());
+    }
+
+    #[test]
+    fn hits_and_misses_conserve_references() {
+        let mut s = CacheStats::default();
+        for i in 0..100u64 {
+            if i % 3 == 0 {
+                s.record_miss();
+            } else {
+                s.record_hit();
+            }
+        }
+        assert_eq!(s.references(), s.hits + s.misses);
+        assert!((s.hit_ratio() + s.miss_ratio() - 1.0).abs() < 1e-12);
+    }
+}

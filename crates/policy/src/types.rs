@@ -1,0 +1,144 @@
+//! Core identifier and timebase types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a disk page.
+///
+/// The paper models the database as a set `N = {1, 2, ..., n}` of disk pages
+/// denoted by positive integers. We use a `u64` newtype; generators are free
+/// to use any dense or sparse numbering.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Convenience constructor.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PageId(raw)
+    }
+
+    /// Raw integer value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for PageId {
+    fn from(raw: u64) -> Self {
+        PageId(raw)
+    }
+}
+
+/// Logical time, measured — exactly as in the paper — in counts of successive
+/// page references in the reference string ("we will measure all time
+/// intervals in terms of counts of successive page accesses").
+///
+/// A `Tick` is the subscript `t` of the reference string `r_1, r_2, …, r_t`.
+/// Wall-clock periods such as the canonical 5-second Correlated Reference
+/// Period are mapped onto ticks by the caller (see `lruk-core`'s
+/// `LruKConfig` documentation for the mapping used in the examples).
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default, Debug,
+)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// Time zero: no reference has been observed yet.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The following tick.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> Tick {
+        Tick(self.0 + 1)
+    }
+
+    /// Saturating distance `self - earlier` in ticks.
+    #[inline]
+    pub const fn since(self, earlier: Tick) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Add a number of ticks.
+    #[inline]
+    #[must_use]
+    pub const fn advance(self, by: u64) -> Tick {
+        Tick(self.0 + by)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The kind of access that produced a reference.
+///
+/// The paper's OLTP trace "contained … random, sequential, and navigational
+/// references to a CODASYL database"; workload generators tag each reference
+/// so trace analytics (and hint-aware extensions) can distinguish them.
+/// Policies in this workspace are *self-reliant* and ignore the tag — that is
+/// the point of the paper — but it is kept in the trace format for analysis.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Debug, Default)]
+pub enum AccessKind {
+    /// Random (point) access, e.g. an indexed key lookup.
+    #[default]
+    Random,
+    /// Sequential scan access.
+    Sequential,
+    /// Navigational access (CODASYL set traversal / chain walk).
+    Navigational,
+    /// Index (B-tree) node access.
+    Index,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_arithmetic() {
+        let t = Tick::ZERO;
+        assert_eq!(t.next(), Tick(1));
+        assert_eq!(Tick(10).since(Tick(4)), 6);
+        // saturating: never underflows
+        assert_eq!(Tick(4).since(Tick(10)), 0);
+        assert_eq!(Tick(4).advance(6), Tick(10));
+    }
+
+    #[test]
+    fn page_id_roundtrip() {
+        let p = PageId::new(42);
+        assert_eq!(p.raw(), 42);
+        assert_eq!(PageId::from(42u64), p);
+        assert_eq!(format!("{p:?}"), "p42");
+        assert_eq!(format!("{p}"), "42");
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        assert!(PageId(1) < PageId(2));
+        assert!(Tick(1) < Tick(2));
+    }
+}

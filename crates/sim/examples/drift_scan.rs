@@ -1,0 +1,18 @@
+use lruk_sim::experiments::{table4_3, Table43Params};
+
+fn main() {
+    let drift: u64 = std::env::args().nth(1).unwrap().parse().unwrap();
+    let params = Table43Params {
+        buffer_sizes: vec![100, 600, 1400, 5000],
+        drift_interval: if drift == 0 { None } else { Some(drift) },
+        ..Default::default()
+    };
+    let t = table4_3(&params);
+    println!("drift={drift}");
+    for r in &t.rows {
+        println!(
+            "  B={:<5} LRU-1 {:.3}  LRU-2 {:.3}  LFU {:.3}  ratio {:?}",
+            r.b, r.hit_ratios[0], r.hit_ratios[1], r.hit_ratios[2], r.b1_over_b2.map(|x| (x*100.0).round()/100.0)
+        );
+    }
+}

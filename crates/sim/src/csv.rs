@@ -1,0 +1,123 @@
+//! CSV export of experiment results, for plotting outside the repo.
+//!
+//! Minimal RFC-4180-ish writer (quotes fields containing commas, quotes or
+//! newlines); no external dependency, round-trip tested.
+
+use crate::experiments::{AdaptivityResult, SweepResult, TableResult};
+use std::fmt::Write as _;
+
+/// Quote one CSV field if needed.
+fn field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// A hit-ratio table as CSV: header `B,<policy...>,B1_over_B2`, one row per
+/// buffer size.
+pub fn table_to_csv(t: &TableResult) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "B");
+    for p in &t.policies {
+        let _ = write!(out, ",{}", field(p));
+    }
+    let _ = writeln!(out, ",B1_over_B2");
+    for row in &t.rows {
+        let _ = write!(out, "{}", row.b);
+        for c in &row.hit_ratios {
+            let _ = write!(out, ",{c:.6}");
+        }
+        match row.b1_over_b2 {
+            Some(r) => {
+                let _ = writeln!(out, ",{r:.4}");
+            }
+            None => {
+                let _ = writeln!(out, ",");
+            }
+        }
+    }
+    out
+}
+
+/// A sweep as CSV: `point,hit_ratio,peak_retained`.
+pub fn sweep_to_csv(s: &SweepResult) -> String {
+    let mut out = String::from("point,hit_ratio,peak_retained\n");
+    for (label, hit, retained) in &s.points {
+        let _ = writeln!(out, "{},{hit:.6},{retained}", field(label));
+    }
+    out
+}
+
+/// Adaptivity windows as CSV: `policy,window,hit_ratio` (long format).
+pub fn adaptivity_to_csv(r: &AdaptivityResult) -> String {
+    let mut out = String::from("policy,window,hit_ratio\n");
+    for row in &r.rows {
+        for (i, w) in row.windows.iter().enumerate() {
+            let _ = writeln!(out, "{},{i},{w:.6}", field(&row.policy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{AdaptivityResult, TableRow};
+
+    #[test]
+    fn table_csv_shape() {
+        let t = TableResult {
+            title: "x".into(),
+            policies: vec!["LRU-1".into(), "LRU-2".into()],
+            rows: vec![
+                TableRow {
+                    b: 60,
+                    hit_ratios: vec![0.14, 0.291],
+                    b1_over_b2: Some(2.33),
+                },
+                TableRow {
+                    b: 80,
+                    hit_ratios: vec![0.18, 0.38],
+                    b1_over_b2: None,
+                },
+            ],
+        };
+        let csv = table_to_csv(&t);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "B,LRU-1,LRU-2,B1_over_B2");
+        assert_eq!(lines[1], "60,0.140000,0.291000,2.3300");
+        assert_eq!(lines[2], "80,0.180000,0.380000,");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn quoting() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn sweep_and_adaptivity_csv() {
+        let s = crate::experiments::SweepResult {
+            title: "t".into(),
+            points: vec![("K=1".into(), 0.25, 7)],
+        };
+        assert!(sweep_to_csv(&s).contains("K=1,0.250000,7"));
+        let a = AdaptivityResult {
+            workload: "w".into(),
+            window: 10,
+            phase_len: 100,
+            rows: vec![crate::experiments::AdaptivityRow {
+                policy: "LRU-2".into(),
+                overall: 0.5,
+                windows: vec![0.4, 0.6],
+            }],
+        };
+        let csv = adaptivity_to_csv(&a);
+        assert!(csv.contains("LRU-2,0,0.400000"));
+        assert!(csv.contains("LRU-2,1,0.600000"));
+    }
+}

@@ -1,0 +1,350 @@
+//! Ablations over the design choices the paper calls out: K, the
+//! Correlated Reference Period, the Retained Information Period, and
+//! adaptivity to moving hot spots.
+
+use crate::policies::PolicySpec;
+use crate::simulator::{simulate, simulate_windowed};
+use lruk_core::LruKConfig;
+use lruk_workloads::{CorrelatedBursts, Metronome, MovingHotspot, TwoPool, Workload};
+use serde::{Deserialize, Serialize};
+
+/// A one-dimensional parameter sweep result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// What is being swept.
+    pub title: String,
+    /// (parameter label, hit ratio, peak retained-history entries).
+    pub points: Vec<(String, f64, usize)>,
+}
+
+/// **K sweep** (§4.1's "it is possible to prove, with stable page access
+/// patterns, that LRU-K approaches A0 with increasing value of K"):
+/// two-pool hit ratio for K = 1..=k_max and the A0 bound.
+pub fn k_sweep(n1: u64, n2: u64, buffer: usize, k_max: usize, seed: u64) -> SweepResult {
+    let warmup = 10 * n1 as usize;
+    let measure = 300 * n1 as usize; // long measurement: K>3 gains are small
+    let reps = 3u64;
+    let traces: Vec<_> = (0..reps)
+        .map(|r| TwoPool::new(n1, n2, seed + r).generate(warmup + measure))
+        .collect();
+    let beta = TwoPool::new(n1, n2, 0).beta().unwrap();
+    let mean = |spec: &PolicySpec, beta: Option<&[(lruk_policy::PageId, f64)]>| {
+        let mut hit = 0.0;
+        let mut retained = 0usize;
+        for trace in &traces {
+            let mut policy = spec.build(buffer, beta, None);
+            let r = simulate(policy.as_mut(), trace.refs(), buffer, warmup);
+            hit += r.hit_ratio();
+            retained = retained.max(r.peak_retained);
+        }
+        (hit / reps as f64, retained)
+    };
+    let mut points = Vec::new();
+    for k in 1..=k_max {
+        let spec = PolicySpec::LruK { k };
+        let (hit, retained) = mean(&spec, None);
+        points.push((spec.label(), hit, retained));
+    }
+    let (hit, _) = mean(&PolicySpec::A0, Some(&beta));
+    points.push(("A0".into(), hit, 0));
+    SweepResult {
+        title: format!("K sweep (two-pool {n1}/{n2}, B={buffer})"),
+        points,
+    }
+}
+
+/// **CRP sweep** (§2.1.1): LRU-2 hit ratio on a two-pool workload with
+/// injected correlated bursts, for several Correlated Reference Periods.
+/// With CRP = 0 a cold page's burst masquerades as genuine re-reference and
+/// displaces hot pages; a CRP covering the burst span collapses it.
+pub fn crp_sweep(
+    n1: u64,
+    n2: u64,
+    burst_prob: f64,
+    burst_len: u64,
+    buffer: usize,
+    crps: &[u64],
+    seed: u64,
+) -> SweepResult {
+    let warmup = 20 * n1 as usize;
+    let measure = 60 * n1 as usize;
+    let trace = CorrelatedBursts::new(TwoPool::new(n1, n2, seed), burst_prob, burst_len, seed ^ 1)
+        .generate(warmup + measure);
+    let mut points = Vec::new();
+    for &crp in crps {
+        let cfg = LruKConfig::new(2).with_crp(crp);
+        let mut policy = PolicySpec::LruKConfigured(cfg).build(buffer, None, None);
+        let r = simulate(policy.as_mut(), trace.refs(), buffer, warmup);
+        points.push((format!("CRP={crp}"), r.hit_ratio(), r.peak_retained));
+    }
+    // LRU-1 reference point on the same bursty trace.
+    let mut lru = PolicySpec::Lru.build(buffer, None, None);
+    let r = simulate(lru.as_mut(), trace.refs(), buffer, warmup);
+    points.push(("LRU-1".into(), r.hit_ratio(), 0));
+    SweepResult {
+        title: format!(
+            "CRP sweep (two-pool {n1}/{n2} with bursts p={burst_prob}, len={burst_len}, B={buffer})"
+        ),
+        points,
+    }
+}
+
+/// **RIP sweep** (§2.1.2): LRU-2 hit ratio and history footprint for
+/// several Retained Information Periods, on the paper's own worst case: a
+/// hot set "referenced with metronome-like regularity at intervals just
+/// above its residence period". Each of the `hot` pages recurs exactly
+/// every `hot · (1 + cold_per_hot)` ticks while one-shot cold pages churn
+/// the buffer; when residence + RIP < interarrival, LRU-2 can never record
+/// two references and the hot set is invisible. Above the threshold the
+/// whole hot set is recognized on the second lap. `None` in `rips` means
+/// "retain forever".
+pub fn rip_sweep(
+    hot: u64,
+    cold: u64,
+    buffer: usize,
+    rips: &[Option<u64>],
+    seed: u64,
+) -> SweepResult {
+    let cold_per_hot = 4;
+    let mut workload = Metronome::new(hot, cold, cold_per_hot, seed);
+    let interarrival = workload.hot_interarrival() as usize;
+    let warmup = 6 * interarrival;
+    let measure = 20 * interarrival;
+    let trace = workload.generate(warmup + measure);
+    let mut points = Vec::new();
+    for &rip in rips {
+        let cfg = match rip {
+            Some(r) => LruKConfig::new(2).with_rip(r).with_purge_interval((r / 4).max(1)),
+            None => LruKConfig::new(2),
+        };
+        let mut policy = PolicySpec::LruKConfigured(cfg).build(buffer, None, None);
+        let r = simulate(policy.as_mut(), trace.refs(), buffer, warmup);
+        let label = match rip {
+            Some(x) => format!("RIP={x}"),
+            None => "RIP=inf".into(),
+        };
+        points.push((label, r.hit_ratio(), r.peak_retained));
+    }
+    SweepResult {
+        title: format!(
+            "RIP sweep (metronome hot={hot} interarrival={interarrival}, cold={cold}, B={buffer})"
+        ),
+        points,
+    }
+}
+
+/// **Inter-process correlation** (§2.1.1 case 4): two processes share a hot
+/// set; each process's own accesses arrive in short bursts. A pid-blind
+/// CRP misclassifies *cross-process* coincidences as correlated and discards
+/// genuine interarrival evidence; the paper's process refinement ("each
+/// successive access by the same process within a time-out period is
+/// assumed to be correlated" — by the *same* process) recovers it.
+///
+/// Returns (pid-blind hit ratio, pid-aware hit ratio, LRU-1 reference).
+pub fn process_refinement(
+    n1: u64,
+    n2: u64,
+    burst_prob: f64,
+    burst_len: u64,
+    buffer: usize,
+    crp: u64,
+    seed: u64,
+) -> (f64, f64, f64) {
+    use lruk_workloads::{InterleavedProcesses, PageRef, Trace};
+    let warmup = 20 * n1 as usize;
+    let measure = 100 * n1 as usize;
+    // Two processes running the same bursty two-pool application over the
+    // SAME page universe.
+    let mut w = InterleavedProcesses::new(
+        vec![
+            Box::new(CorrelatedBursts::new(
+                TwoPool::new(n1, n2, seed),
+                burst_prob,
+                burst_len,
+                seed ^ 1,
+            )),
+            Box::new(CorrelatedBursts::new(
+                TwoPool::new(n1, n2, seed ^ 2),
+                burst_prob,
+                burst_len,
+                seed ^ 3,
+            )),
+        ],
+        seed ^ 4,
+    );
+    let trace = w.generate(warmup + measure);
+    // pid-blind: strip the process tags before simulating.
+    let blind_refs: Vec<PageRef> = trace.refs().iter().map(|r| PageRef::new(r.page, r.kind)).collect();
+    let blind_trace = Trace::new("blind", blind_refs);
+    let cfg = LruKConfig::new(2).with_crp(crp);
+    let run = |t: &Trace| {
+        let mut p = PolicySpec::LruKConfigured(cfg).build(buffer, None, None);
+        simulate(p.as_mut(), t.refs(), buffer, warmup).hit_ratio()
+    };
+    let blind = run(&blind_trace);
+    let aware = run(&trace);
+    let mut lru = PolicySpec::Lru.build(buffer, None, None);
+    let lru1 = simulate(lru.as_mut(), trace.refs(), buffer, warmup).hit_ratio();
+    (blind, aware, lru1)
+}
+
+/// Windowed hit ratios of one policy on the moving-hotspot workload.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaptivityRow {
+    /// Policy label.
+    pub policy: String,
+    /// Overall measured hit ratio.
+    pub overall: f64,
+    /// Hit ratio per window of `window` references.
+    pub windows: Vec<f64>,
+}
+
+/// Result of the adaptivity experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AdaptivityResult {
+    /// Workload description.
+    pub workload: String,
+    /// Window length in references.
+    pub window: usize,
+    /// References per hotspot phase.
+    pub phase_len: u64,
+    /// One row per policy.
+    pub rows: Vec<AdaptivityRow>,
+}
+
+/// **Adaptivity** (§4.3, §5): a moving hot spot. LFU "never forgets" and
+/// keeps favoring the previous phase's pages; LRU-2 tracks the *recent*
+/// reference frequencies and recovers after each phase shift.
+pub fn adaptivity(
+    total_pages: u64,
+    hot_size: u64,
+    phase_len: u64,
+    phases: u64,
+    buffer: usize,
+    window: usize,
+    seed: u64,
+) -> AdaptivityResult {
+    let mut w = MovingHotspot::new(total_pages, hot_size, 0.9, phase_len, seed);
+    let trace = w.generate((phase_len * phases) as usize);
+    let specs = [
+        PolicySpec::LruK { k: 2 },
+        PolicySpec::Lru,
+        PolicySpec::Lfu,
+        PolicySpec::AgedLfu {
+            interval: phase_len / 2,
+        },
+        PolicySpec::Arc,
+    ];
+    let warmup = (phase_len / 2) as usize;
+    let rows = specs
+        .iter()
+        .map(|spec| {
+            let mut policy = spec.build(buffer, None, None);
+            let (r, windows) =
+                simulate_windowed(policy.as_mut(), trace.refs(), buffer, warmup, window);
+            AdaptivityRow {
+                policy: spec.label(),
+                overall: r.hit_ratio(),
+                windows,
+            }
+        })
+        .collect();
+    AdaptivityResult {
+        workload: w.name(),
+        window,
+        phase_len,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_sweep_is_monotone_toward_a0() {
+        let r = k_sweep(30, 3_000, 36, 3, 11);
+        assert_eq!(r.points.len(), 4);
+        let ratios: Vec<f64> = r.points.iter().map(|p| p.1).collect();
+        // K=2 clearly beats K=1; A0 tops everything (small noise allowed).
+        assert!(ratios[1] > ratios[0] + 0.05, "{ratios:?}");
+        let a0 = ratios[3];
+        assert!(ratios.iter().all(|&c| c <= a0 + 0.02), "{ratios:?}");
+        // LRU-K retains history for non-resident pages at every K (even
+        // K=1 keeps HIST(p,1) for the Retained Information Period).
+        assert!(r.points[1].2 > 0);
+    }
+
+    #[test]
+    fn crp_sweep_rewards_burst_collapsing() {
+        let r = crp_sweep(30, 3_000, 0.5, 3, 40, &[0, 4, 8], 13);
+        let at = |label: &str| {
+            r.points
+                .iter()
+                .find(|p| p.0 == label)
+                .unwrap_or_else(|| panic!("{label} missing"))
+                .1
+        };
+        // A CRP covering the burst (bursts are adjacent, so span ≈ len)
+        // must not hurt, and should help against CRP=0.
+        assert!(
+            at("CRP=4") >= at("CRP=0") - 0.005,
+            "CRP=4 {} vs CRP=0 {}",
+            at("CRP=4"),
+            at("CRP=0")
+        );
+    }
+
+    #[test]
+    fn rip_sweep_degrades_when_history_dies_early() {
+        // Metronome: 40 hot pages, interarrival 200 ticks, buffer 60
+        // (residence ≈ 75 ticks under the ~0.8/tick cold miss churn).
+        // RIP=40: residence + RIP < 200, hot set never recognized.
+        // RIP=300: second lap recognizes everything.
+        let r = rip_sweep(40, 10_000, 60, &[Some(40), Some(300), None], 17);
+        let short = r.points[0].1;
+        let long = r.points[1].1;
+        let inf = r.points[2].1;
+        assert!(
+            long > short + 0.08,
+            "RIP past the interarrival must win: long {long} vs short {short}"
+        );
+        assert!((inf - long).abs() < 0.05, "plateau: inf {inf} vs long {long}");
+        // Retention footprint grows with RIP.
+        assert!(r.points[2].2 >= r.points[1].2);
+        assert!(r.points[1].2 > r.points[0].2);
+    }
+
+    #[test]
+    fn process_refinement_recovers_cross_process_evidence() {
+        let (blind, aware, lru1) = process_refinement(40, 4_000, 0.5, 3, 50, 6, 23);
+        // Both LRU-2 variants beat LRU-1 …
+        assert!(aware > lru1, "aware {aware} vs LRU-1 {lru1}");
+        // … and distinguishing processes must not hurt (cross-process
+        // coincidences are rare but only carry real information).
+        assert!(
+            aware >= blind - 0.01,
+            "pid-aware {aware} vs pid-blind {blind}"
+        );
+    }
+
+    #[test]
+    fn adaptivity_lru2_beats_lfu_on_moving_hotspot() {
+        let r = adaptivity(2_000, 60, 8_000, 4, 70, 2_000, 19);
+        let overall = |name: &str| {
+            r.rows
+                .iter()
+                .find(|row| row.policy == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .overall
+        };
+        assert!(
+            overall("LRU-2") > overall("LFU") + 0.02,
+            "LRU-2 {} must beat LFU {}",
+            overall("LRU-2"),
+            overall("LFU")
+        );
+        // Every row carries windows.
+        assert!(r.rows.iter().all(|row| row.windows.len() >= 4));
+    }
+}

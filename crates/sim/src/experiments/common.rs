@@ -1,0 +1,214 @@
+//! Shared experiment scaffolding.
+
+use crate::equi::equi_effective_buffer_size;
+use crate::policies::PolicySpec;
+use crate::simulator::simulate;
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::PageId;
+use lruk_workloads::{Trace, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Scale/replication settings for the synthetic experiments.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Independent repetitions averaged per cell (the paper's single
+    /// 30·N₁-reference measurement is noisy; replication tightens it
+    /// without changing the protocol).
+    pub repetitions: u64,
+    /// Base RNG seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+    /// Multiplier on the paper's warmup length (1 = paper protocol).
+    pub warmup_mult: usize,
+    /// Multiplier on the paper's measurement length (1 = paper protocol).
+    pub measure_mult: usize,
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        ExperimentScale {
+            repetitions: 5,
+            seed: 42,
+            warmup_mult: 1,
+            measure_mult: 1,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// A fast setting for integration tests.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            repetitions: 2,
+            seed: 42,
+            warmup_mult: 1,
+            measure_mult: 1,
+        }
+    }
+}
+
+/// One row of a paper-style table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableRow {
+    /// Buffer size B.
+    pub b: usize,
+    /// Mean hit ratio per policy, in the table's policy order.
+    pub hit_ratios: Vec<f64>,
+    /// The equi-effective buffer size ratio B(1)/B(2), when the table
+    /// reports one.
+    pub b1_over_b2: Option<f64>,
+}
+
+/// A full table: policies × buffer sizes (+ the B(1)/B(2) column).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TableResult {
+    /// Table title (e.g. "Table 4.1").
+    pub title: String,
+    /// Policy labels, column order.
+    pub policies: Vec<String>,
+    /// Rows, ascending B.
+    pub rows: Vec<TableRow>,
+}
+
+impl TableResult {
+    /// Hit ratio of `policy` at buffer size `b`, if present.
+    pub fn hit_ratio(&self, policy: &str, b: usize) -> Option<f64> {
+        let col = self.policies.iter().position(|p| p == policy)?;
+        let row = self.rows.iter().find(|r| r.b == b)?;
+        row.hit_ratios.get(col).copied()
+    }
+
+    /// Column of hit ratios for `policy`, ascending B.
+    pub fn column(&self, policy: &str) -> Option<Vec<f64>> {
+        let col = self.policies.iter().position(|p| p == policy)?;
+        Some(self.rows.iter().map(|r| r.hit_ratios[col]).collect())
+    }
+}
+
+/// Run `spec` against pre-generated repetition traces and return the mean
+/// measured hit ratio.
+pub(crate) fn mean_hit_ratio(
+    spec: &PolicySpec,
+    traces: &[Trace],
+    beta: Option<&[(PageId, f64)]>,
+    capacity: usize,
+    warmup: usize,
+) -> f64 {
+    let mut total = 0.0;
+    for trace in traces {
+        let pages;
+        let trace_pages = if matches!(spec, PolicySpec::Opt) {
+            pages = trace.pages();
+            Some(&pages[..])
+        } else {
+            None
+        };
+        let mut policy = spec.build(capacity, beta, trace_pages);
+        let r = simulate(policy.as_mut(), trace.refs(), capacity, warmup);
+        total += r.hit_ratio();
+    }
+    total / traces.len() as f64
+}
+
+/// Generate `reps` traces of `len` references from a workload factory.
+pub(crate) fn repetition_traces(
+    scale: &ExperimentScale,
+    len: usize,
+    mut make: impl FnMut(u64) -> Box<dyn Workload>,
+) -> Vec<Trace> {
+    (0..scale.repetitions)
+        .map(|r| make(scale.seed + r).generate(len))
+        .collect()
+}
+
+/// Build a standard table: for each buffer size, the mean hit ratio of each
+/// policy, plus `B(1)/B(2)` comparing `baseline` (column 0 by convention)
+/// against `improved`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_table(
+    title: &str,
+    specs: &[PolicySpec],
+    buffer_sizes: &[usize],
+    traces: &[Trace],
+    beta: Option<&[(PageId, f64)]>,
+    warmup: usize,
+    baseline: &PolicySpec,
+    improved: &PolicySpec,
+    equi_hi: usize,
+) -> TableResult {
+    // Memoized baseline hit-ratio curve for the equi-effective search.
+    let mut baseline_cache: FxHashMap<usize, f64> = FxHashMap::default();
+    let mut baseline_at = |b: usize, traces: &[Trace]| -> f64 {
+        if let Some(&c) = baseline_cache.get(&b) {
+            return c;
+        }
+        let c = mean_hit_ratio(baseline, traces, beta, b, warmup);
+        baseline_cache.insert(b, c);
+        c
+    };
+
+    let mut rows = Vec::with_capacity(buffer_sizes.len());
+    for &b in buffer_sizes {
+        let hit_ratios: Vec<f64> = specs
+            .iter()
+            .map(|s| {
+                if s == baseline {
+                    baseline_at(b, traces)
+                } else {
+                    mean_hit_ratio(s, traces, beta, b, warmup)
+                }
+            })
+            .collect();
+        let improved_idx = specs.iter().position(|s| s == improved).expect("improved in specs");
+        let target = hit_ratios[improved_idx];
+        let b1 =
+            equi_effective_buffer_size(target, 1, equi_hi, |bb| baseline_at(bb, traces));
+        rows.push(TableRow {
+            b,
+            hit_ratios,
+            b1_over_b2: b1.map(|x| x / b as f64),
+        });
+    }
+    TableResult {
+        title: title.to_string(),
+        policies: specs.iter().map(|s| s.label()).collect(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_result_lookup() {
+        let t = TableResult {
+            title: "t".into(),
+            policies: vec!["LRU-1".into(), "LRU-2".into()],
+            rows: vec![
+                TableRow {
+                    b: 10,
+                    hit_ratios: vec![0.1, 0.2],
+                    b1_over_b2: Some(2.0),
+                },
+                TableRow {
+                    b: 20,
+                    hit_ratios: vec![0.3, 0.4],
+                    b1_over_b2: None,
+                },
+            ],
+        };
+        assert_eq!(t.hit_ratio("LRU-2", 10), Some(0.2));
+        assert_eq!(t.hit_ratio("LRU-1", 20), Some(0.3));
+        assert_eq!(t.hit_ratio("LFU", 10), None);
+        assert_eq!(t.hit_ratio("LRU-1", 99), None);
+        assert_eq!(t.column("LRU-2"), Some(vec![0.2, 0.4]));
+    }
+
+    #[test]
+    fn scale_defaults() {
+        let s = ExperimentScale::default();
+        assert_eq!(s.repetitions, 5);
+        let q = ExperimentScale::quick();
+        assert!(q.repetitions < s.repetitions);
+    }
+}

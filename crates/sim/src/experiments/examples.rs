@@ -1,0 +1,244 @@
+//! The narrative examples of the paper's introduction, run for real.
+
+use crate::policies::PolicySpec;
+use crate::simulator::{simulate, SimResult};
+use lruk_buffer::{BufferPoolManager, InMemoryDisk};
+use lruk_policy::{AccessKind, PageId};
+use lruk_storage::{BTree, CustomerRecord, HeapFile, Rid};
+use lruk_workloads::{RecordingPolicy, ScanFlood, Trace, Workload};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Per-policy outcome of the Example 1.1 experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Example11Row {
+    /// Policy label.
+    pub policy: String,
+    /// Hit ratio over the measured lookups.
+    pub hit_ratio: f64,
+    /// Index pages (root + leaves) resident at the end.
+    pub index_resident: usize,
+    /// Customer data pages resident at the end.
+    pub data_resident: usize,
+}
+
+/// Result of the Example 1.1 experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Example11Result {
+    /// Number of B-tree leaf pages in the built database.
+    pub leaf_pages: usize,
+    /// Number of customer data pages.
+    pub data_pages: usize,
+    /// Buffer size used (the paper's 101).
+    pub buffer_size: usize,
+    /// One row per policy.
+    pub rows: Vec<Example11Row>,
+}
+
+/// **Example 1.1** — random customer lookups through a clustered B-tree.
+///
+/// Builds the example's database *physically* (customers of
+/// [`CUSTOMER_RECORD_SIZE`](lruk_storage::record::CUSTOMER_RECORD_SIZE)
+/// bytes in a heap file, a B+tree index on CUST-ID), records the page
+/// reference trace of `lookups` random keyed reads, and replays it against
+/// each policy with the paper's 101-frame buffer. The paper's prediction:
+/// LRU-1 holds "to a first approximation … 50 B-tree leaf pages and 50
+/// record pages", while LRU-2 discriminates and holds the leaf pages.
+pub fn example1_1(customers: u64, lookups: usize, buffer: usize, seed: u64) -> Example11Result {
+    // ---- build the physical database under a recording pool ----
+    let (rec, handle) = RecordingPolicy::new(PolicySpec::Lru.build(0, None, None));
+    let est_pages = (customers / 2 + customers / 200 + 64) as usize;
+    let mut pool = BufferPoolManager::new(est_pages, InMemoryDisk::unbounded(), Box::new(rec));
+    let mut heap = HeapFile::new();
+    let mut index = BTree::create(&mut pool).expect("btree");
+    let mut rids: Vec<Rid> = Vec::with_capacity(customers as usize);
+    for id in 0..customers {
+        let rid = heap
+            .insert(&mut pool, &CustomerRecord::synthetic(id).encode())
+            .expect("insert");
+        index.insert(&mut pool, id, rid.to_u64()).expect("index");
+        rids.push(rid);
+    }
+    let _ = handle.take("build"); // exclude the build phase
+
+    let index_pages: std::collections::HashSet<PageId> = index
+        .leaf_pages(&mut pool)
+        .expect("leaves")
+        .into_iter()
+        .chain(std::iter::once(index.root()))
+        .collect();
+    let leaf_count = index_pages.len() - 1;
+    let data_pages = heap.pages().len();
+
+    // ---- record the lookup trace: I1, R1, I2, R2, … ----
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..lookups {
+        let id = rng.random_range(0..customers);
+        handle.set_kind(AccessKind::Index);
+        let rid = Rid::from_u64(index.search(&mut pool, id).expect("search").expect("present"));
+        handle.set_kind(AccessKind::Random);
+        heap.get(&mut pool, rid, |d| {
+            debug_assert_eq!(CustomerRecord::decode(d).cust_id, id);
+        })
+        .expect("fetch");
+    }
+    let trace = handle.take("example-1.1");
+
+    // ---- replay against each policy ----
+    let warmup = trace.len() / 4;
+    let specs = [PolicySpec::Lru, PolicySpec::LruK { k: 2 }, PolicySpec::LruK { k: 3 }];
+    let rows = specs
+        .iter()
+        .map(|spec| {
+            let mut policy = spec.build(buffer, None, None);
+            let r = simulate(policy.as_mut(), trace.refs(), buffer, warmup);
+            let index_resident = r
+                .final_resident
+                .iter()
+                .filter(|p| index_pages.contains(p))
+                .count();
+            Example11Row {
+                policy: spec.label(),
+                hit_ratio: r.hit_ratio(),
+                index_resident,
+                data_resident: r.final_resident.len() - index_resident,
+            }
+        })
+        .collect();
+    Example11Result {
+        leaf_pages: leaf_count,
+        data_pages,
+        buffer_size: buffer,
+        rows,
+    }
+}
+
+/// Per-policy outcome of the scan-flood (Example 1.2) experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScanFloodRow {
+    /// Policy label.
+    pub policy: String,
+    /// Hit ratio over all measured references.
+    pub overall_hit_ratio: f64,
+    /// Hit ratio of the *interactive* (random) references only — the
+    /// response-time proxy the paper's Example 1.2 is about.
+    pub interactive_hit_ratio: f64,
+}
+
+/// Result of the scan-flood experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScanFloodResult {
+    /// Workload description.
+    pub workload: String,
+    /// Buffer size used.
+    pub buffer_size: usize,
+    /// One row per policy.
+    pub rows: Vec<ScanFloodRow>,
+}
+
+/// **Example 1.2** — sequential scans flooding a hot working set.
+///
+/// Interactive traffic (95 % on a small hot set) interleaved with batch
+/// scans; the paper's complaint is that under LRU "cache swamping by
+/// sequential scans causes interactive response time to deteriorate".
+/// The experiment measures the interactive hit ratio under each policy.
+pub fn scan_flood(
+    hot_pages: u64,
+    total_pages: u64,
+    scan_period: u64,
+    scan_len: u64,
+    refs: usize,
+    buffer: usize,
+    seed: u64,
+) -> ScanFloodResult {
+    let mut w = ScanFlood::new(hot_pages, total_pages, 0.95, scan_period, scan_len, seed);
+    let trace: Trace = w.generate(refs);
+    let warmup = refs / 5;
+    let specs = [
+        PolicySpec::Lru,
+        PolicySpec::LruK { k: 2 },
+        PolicySpec::TwoQ,
+        PolicySpec::Arc,
+        PolicySpec::Lfu,
+        PolicySpec::Mru,
+    ];
+    let rows = specs
+        .iter()
+        .map(|spec| {
+            let mut policy = spec.build(buffer, None, None);
+            let r: SimResult = simulate(policy.as_mut(), trace.refs(), buffer, warmup);
+            ScanFloodRow {
+                policy: spec.label(),
+                overall_hit_ratio: r.hit_ratio(),
+                interactive_hit_ratio: r.kind_hit_ratio(AccessKind::Random),
+            }
+        })
+        .collect();
+    ScanFloodResult {
+        workload: w.name(),
+        buffer_size: buffer,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example1_1_lru2_prefers_index_pages() {
+        // Scaled down: 2000 customers -> 1000 data pages, ~8 leaves.
+        let r = example1_1(2_000, 4_000, 12, 7);
+        assert!(r.leaf_pages >= 4);
+        assert_eq!(r.data_pages, 1_000);
+        let lru1 = &r.rows[0];
+        let lru2 = &r.rows[1];
+        assert_eq!(lru1.policy, "LRU-1");
+        assert_eq!(lru2.policy, "LRU-2");
+        // LRU-2 keeps more of the index resident than LRU-1 …
+        assert!(
+            lru2.index_resident > lru1.index_resident,
+            "LRU-2 index {} !> LRU-1 index {}",
+            lru2.index_resident,
+            lru1.index_resident
+        );
+        // … and converts that into a better hit ratio.
+        assert!(
+            lru2.hit_ratio > lru1.hit_ratio,
+            "LRU-2 {} !> LRU-1 {}",
+            lru2.hit_ratio,
+            lru1.hit_ratio
+        );
+        // LRU-1 keeps roughly as many data pages as index pages (the
+        // paper's 50/50 approximation) — allow slack, but data pages must
+        // be a large share for LRU-1.
+        assert!(
+            lru1.data_resident as f64 >= 0.3 * (r.buffer_size as f64),
+            "LRU-1 should waste frames on data pages, kept {}",
+            lru1.data_resident
+        );
+    }
+
+    #[test]
+    fn scan_flood_lru2_protects_interactive_traffic() {
+        let r = scan_flood(100, 20_000, 2_000, 4_000, 60_000, 120, 5);
+        let get = |name: &str| {
+            r.rows
+                .iter()
+                .find(|row| row.policy == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let lru1 = get("LRU-1");
+        let lru2 = get("LRU-2");
+        assert!(
+            lru2.interactive_hit_ratio > lru1.interactive_hit_ratio + 0.04,
+            "LRU-2 interactive {} must clearly beat LRU-1 {}",
+            lru2.interactive_hit_ratio,
+            lru1.interactive_hit_ratio
+        );
+        // The scan-resistant descendants also beat LRU-1.
+        assert!(get("2Q").interactive_hit_ratio > lru1.interactive_hit_ratio);
+        assert!(get("ARC").interactive_hit_ratio > lru1.interactive_hit_ratio);
+    }
+}

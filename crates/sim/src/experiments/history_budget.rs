@@ -1,0 +1,146 @@
+//! The paper's §5 open question, measured: "It is an open issue how much
+//! space we should set aside for history control blocks of non-resident
+//! pages. … a better approach would be to turn buffer frames into history
+//! control blocks dynamically, and vice versa."
+//!
+//! This experiment fixes a total memory budget and sweeps the split between
+//! page frames (4 KiB each) and retained history blocks (~40 bytes each,
+//! the size of a `HIST`/`LAST` entry at K = 2), bounding the history side
+//! with the Retained Information Period. On history-sensitive workloads
+//! (the §2.1.2 metronome), giving up a handful of frames buys orders of
+//! magnitude more recognizable hot pages — quantifying how cheap the
+//! paper's "new concept" really is.
+
+use crate::policies::PolicySpec;
+use crate::simulator::simulate;
+use lruk_core::LruKConfig;
+use lruk_workloads::{Metronome, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Bytes of one buffer frame.
+pub const FRAME_BYTES: usize = lruk_buffer::PAGE_SIZE;
+/// Approximate bytes of one retained history block (K = 2: two timestamps,
+/// LAST, page id, map overhead).
+pub const HIST_BLOCK_BYTES: usize = 40;
+
+/// One point of the frames-vs-history sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BudgetPoint {
+    /// Frames allocated.
+    pub frames: usize,
+    /// Retained-history entries the remaining budget can hold.
+    pub history_budget: usize,
+    /// RIP chosen to keep peak retention within the budget.
+    pub rip: u64,
+    /// Measured hit ratio.
+    pub hit_ratio: f64,
+    /// Measured peak retained entries (must respect the budget).
+    pub peak_retained: usize,
+}
+
+/// Result of the history-budget experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HistoryBudgetResult {
+    /// Workload description.
+    pub workload: String,
+    /// Total memory budget in bytes.
+    pub budget_bytes: usize,
+    /// Sweep points, most frames first.
+    pub points: Vec<BudgetPoint>,
+}
+
+/// Sweep frame counts under a fixed byte budget on the metronome workload.
+///
+/// For each frame count `B`, the leftover budget becomes history entries;
+/// the RIP is set so that steady-state retention stays within it (retention
+/// grows ~1 entry per cold miss, i.e. ≈ `cold_rate · RIP`).
+pub fn history_budget(
+    hot: u64,
+    cold: u64,
+    budget_bytes: usize,
+    frame_counts: &[usize],
+    seed: u64,
+) -> HistoryBudgetResult {
+    let mut workload = Metronome::new(hot, cold, 4, seed);
+    let interarrival = workload.hot_interarrival() as usize;
+    let warmup = 8 * interarrival;
+    let measure = 20 * interarrival;
+    let trace = workload.generate(warmup + measure);
+    // Cold misses arrive at ~0.8/tick on this workload (4 of 5 refs are
+    // one-shot cold pages).
+    let cold_rate = 0.8;
+
+    let points = frame_counts
+        .iter()
+        .map(|&frames| {
+            let frame_bytes = frames * FRAME_BYTES;
+            assert!(
+                frame_bytes < budget_bytes,
+                "frame count {frames} exceeds the budget"
+            );
+            let history_budget = (budget_bytes - frame_bytes) / HIST_BLOCK_BYTES;
+            // RIP that keeps ~cold_rate·RIP retained entries within budget.
+            let rip = ((history_budget as f64 / cold_rate) as u64).max(1);
+            let cfg = LruKConfig::new(2)
+                .with_rip(rip)
+                .with_purge_interval((rip / 4).max(1));
+            let mut policy = PolicySpec::LruKConfigured(cfg).build(frames, None, None);
+            let r = simulate(policy.as_mut(), trace.refs(), frames, warmup);
+            BudgetPoint {
+                frames,
+                history_budget,
+                rip,
+                hit_ratio: r.hit_ratio(),
+                peak_retained: r.peak_retained,
+            }
+        })
+        .collect();
+    HistoryBudgetResult {
+        workload: workload.name(),
+        budget_bytes,
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trading_frames_for_history_wins_on_the_metronome() {
+        // 100 hot pages, interarrival 500, budget = 160 frames' worth.
+        let budget = 160 * FRAME_BYTES;
+        let r = history_budget(100, 50_000, budget, &[159, 150, 120], 3);
+        // 159 frames leave ~100 history entries -> RIP ~128 << 500: the hot
+        // set is invisible. 150 frames leave ~1000 entries -> RIP ~1280 >
+        // 500: recognized.
+        let all_frames = &r.points[0];
+        let traded = &r.points[1];
+        assert!(
+            traded.hit_ratio > all_frames.hit_ratio + 0.1,
+            "history trade must win: {} vs {}",
+            traded.hit_ratio,
+            all_frames.hit_ratio
+        );
+        // Retention stays within each point's budget (with purge slack: the
+        // demon sweeps every RIP/4 ticks, so peak can overshoot ~25%).
+        for p in &r.points {
+            assert!(
+                p.peak_retained as f64 <= 1.35 * p.history_budget as f64 + 50.0,
+                "frames={}: retained {} exceeded budget {}",
+                p.frames,
+                p.peak_retained,
+                p.history_budget
+            );
+        }
+        // Too-aggressive trading eventually costs more frames than the
+        // history pays back — the curve has an interior optimum.
+        let aggressive = &r.points[2];
+        assert!(
+            traded.hit_ratio >= aggressive.hit_ratio - 0.02,
+            "moderate trade {} should at least match aggressive {}",
+            traded.hit_ratio,
+            aggressive.hit_ratio
+        );
+    }
+}

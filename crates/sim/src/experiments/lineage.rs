@@ -1,0 +1,104 @@
+//! Epilogue experiment: LRU-2 among its descendants.
+//!
+//! The paper closes (§5) predicting LRU-K-style self-reliant buffering
+//! would "meet the challenges of next-generation buffer management"; the
+//! field answered with 2Q ('94), SLRU ('94), LIRS ('02) and ARC ('03), all
+//! built on the same one-reference-is-not-enough insight. This experiment
+//! lines the family up (plus FBR, the contemporary the paper credits for
+//! correlated-reference thinking, and Belady's OPT as the ceiling) on a
+//! mixed workload: skewed random traffic with periodic sequential floods —
+//! both of the paper's §1.1 failure modes at once.
+
+use crate::policies::PolicySpec;
+use crate::simulator::simulate;
+use lruk_workloads::{ScanFlood, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Result of the lineage comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LineageResult {
+    /// Workload description.
+    pub workload: String,
+    /// Buffer sizes (columns).
+    pub buffers: Vec<usize>,
+    /// (policy, hit ratio per buffer size).
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+/// Run the family comparison. `refs` references of hot-set traffic with
+/// scan floods; each policy measured at each buffer size.
+pub fn lineage(refs: usize, buffers: &[usize], seed: u64) -> LineageResult {
+    let mut w = ScanFlood::new(400, 50_000, 0.9, 4_000, 6_000, seed);
+    let trace = w.generate(refs);
+    let warmup = refs / 5;
+    let pages = trace.pages();
+    let specs = [
+        PolicySpec::Lru,
+        PolicySpec::LruK { k: 2 },
+        PolicySpec::LruK { k: 3 },
+        PolicySpec::Fbr,
+        PolicySpec::Slru,
+        PolicySpec::TwoQ,
+        PolicySpec::Lirs,
+        PolicySpec::Arc,
+        PolicySpec::Opt,
+    ];
+    let rows = specs
+        .iter()
+        .map(|spec| {
+            let hits = buffers
+                .iter()
+                .map(|&b| {
+                    let trace_ctx = matches!(spec, PolicySpec::Opt).then_some(&pages[..]);
+                    let mut policy = spec.build(b, None, trace_ctx);
+                    simulate(policy.as_mut(), trace.refs(), b, warmup).hit_ratio()
+                })
+                .collect();
+            (spec.label(), hits)
+        })
+        .collect();
+    LineageResult {
+        workload: w.name(),
+        buffers: buffers.to_vec(),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_beats_lru_and_bows_to_opt() {
+        let r = lineage(60_000, &[300, 600], 11);
+        let get = |label: &str| {
+            r.rows
+                .iter()
+                .find(|(l, _)| l == label)
+                .unwrap_or_else(|| panic!("{label} missing"))
+                .1
+                .clone()
+        };
+        let lru = get("LRU-1");
+        let opt = get("OPT");
+        for name in ["LRU-2", "2Q", "SLRU", "LIRS", "ARC"] {
+            let h = get(name);
+            for (i, (&ours, (&base, &ceiling))) in
+                h.iter().zip(lru.iter().zip(opt.iter())).enumerate()
+            {
+                assert!(
+                    ours > base - 0.01,
+                    "{name} at B={}: {ours} should at least match LRU {base}",
+                    r.buffers[i]
+                );
+                assert!(
+                    ours <= ceiling + 1e-9,
+                    "{name} at B={}: {ours} cannot beat OPT {ceiling}",
+                    r.buffers[i]
+                );
+            }
+        }
+        // The scan-resistant family must clearly beat plain LRU somewhere.
+        assert!(get("LRU-2")[0] > lru[0] + 0.02);
+    }
+}

@@ -1,0 +1,21 @@
+//! One function per table/figure of the paper (see `DESIGN.md` §3 for the
+//! experiment index). Each returns a serializable result that
+//! [`crate::report`] renders in the paper's row format; the `lruk-bench`
+//! binaries call these at paper scale, the integration tests at reduced
+//! scale.
+
+mod ablations;
+mod alternatives;
+mod common;
+mod examples;
+mod history_budget;
+mod lineage;
+mod tables;
+
+pub use ablations::{adaptivity, crp_sweep, k_sweep, process_refinement, rip_sweep, AdaptivityResult, AdaptivityRow, SweepResult};
+pub use alternatives::{hints, pool_tuning, HintsResult, PoolTuningResult};
+pub use common::{ExperimentScale, TableResult, TableRow};
+pub use examples::{example1_1, scan_flood, Example11Result, ScanFloodResult};
+pub use history_budget::{history_budget, BudgetPoint, HistoryBudgetResult, FRAME_BYTES, HIST_BLOCK_BYTES};
+pub use lineage::{lineage, LineageResult};
+pub use tables::{table4_1, table4_2, table4_3, Table43Params, TABLE_4_1_SIZES, TABLE_4_2_SIZES, TABLE_4_3_SIZES};

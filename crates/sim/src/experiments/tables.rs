@@ -1,0 +1,248 @@
+//! Tables 4.1, 4.2 and 4.3.
+
+use super::common::{build_table, repetition_traces, ExperimentScale, TableResult};
+use crate::policies::PolicySpec;
+use lruk_workloads::{BankWorkload, TwoPool, Workload, Zipfian};
+use serde::{Deserialize, Serialize};
+
+/// The paper's Table 4.1 buffer sizes.
+pub const TABLE_4_1_SIZES: &[usize] = &[60, 80, 100, 120, 140, 160, 180, 200, 250, 300, 350, 400, 450];
+
+/// **Table 4.1** — the two-pool experiment (N₁ = 100, N₂ = 10 000):
+/// LRU-1 / LRU-2 / LRU-3 / A0 hit ratios and B(1)/B(2) across buffer sizes.
+///
+/// Protocol per the paper: warmup 10·N₁ references dropped, T = 30·N₁
+/// measured (multipliers in `scale` stretch both), averaged over
+/// `scale.repetitions` seeds.
+pub fn table4_1(n1: u64, n2: u64, buffer_sizes: &[usize], scale: &ExperimentScale) -> TableResult {
+    let warmup = 10 * n1 as usize * scale.warmup_mult;
+    let measure = 30 * n1 as usize * scale.measure_mult;
+    let traces = repetition_traces(scale, warmup + measure, |seed| {
+        Box::new(TwoPool::new(n1, n2, seed))
+    });
+    let beta = TwoPool::new(n1, n2, 0).beta().unwrap();
+    let specs = [
+        PolicySpec::Lru,
+        PolicySpec::LruK { k: 2 },
+        PolicySpec::LruK { k: 3 },
+        PolicySpec::A0,
+    ];
+    build_table(
+        "Table 4.1 (two-pool experiment)",
+        &specs,
+        buffer_sizes,
+        &traces,
+        Some(&beta),
+        warmup,
+        &PolicySpec::Lru,
+        &PolicySpec::LruK { k: 2 },
+        ((n1 + n2) as usize).min(20 * buffer_sizes[buffer_sizes.len() - 1]),
+    )
+}
+
+/// The paper's Table 4.2 buffer sizes.
+pub const TABLE_4_2_SIZES: &[usize] = &[40, 60, 80, 100, 120, 140, 160, 180, 200, 300, 500];
+
+/// **Table 4.2** — Zipfian random access (N = 1000, α = 0.8, β = 0.2):
+/// LRU-1 / LRU-2 / A0 hit ratios and B(1)/B(2).
+///
+/// The paper does not state this experiment's warmup/measure lengths; we
+/// use the §4.1 protocol scaled to N (warmup 10·N, measure 30·N).
+pub fn table4_2(n: u64, buffer_sizes: &[usize], scale: &ExperimentScale) -> TableResult {
+    let warmup = 10 * n as usize * scale.warmup_mult;
+    let measure = 30 * n as usize * scale.measure_mult;
+    let traces = repetition_traces(scale, warmup + measure, |seed| {
+        Box::new(Zipfian::new(n, 0.8, 0.2, seed))
+    });
+    let beta = Zipfian::new(n, 0.8, 0.2, 0).beta().unwrap();
+    let specs = [PolicySpec::Lru, PolicySpec::LruK { k: 2 }, PolicySpec::A0];
+    build_table(
+        "Table 4.2 (Zipfian random access)",
+        &specs,
+        buffer_sizes,
+        &traces,
+        Some(&beta),
+        warmup,
+        &PolicySpec::Lru,
+        &PolicySpec::LruK { k: 2 },
+        n as usize,
+    )
+}
+
+/// The paper's Table 4.3 buffer sizes.
+pub const TABLE_4_3_SIZES: &[usize] = &[
+    100, 200, 300, 400, 500, 600, 800, 1000, 1200, 1400, 1600, 2000, 3000, 5000,
+];
+
+/// Parameters of the OLTP trace experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table43Params {
+    /// The bank workload generating the trace.
+    pub branches: u64,
+    /// Tellers per branch.
+    pub tellers_per_branch: u64,
+    /// Accounts per branch.
+    pub accounts_per_branch: u64,
+    /// Trace length (the paper's trace: ~470 000 references).
+    pub trace_len: usize,
+    /// References dropped before measuring.
+    pub warmup: usize,
+    /// Buffer sizes.
+    pub buffer_sizes: Vec<usize>,
+    /// Self-similar (α, β) skew of account selection.
+    pub account_skew: (f64, f64),
+    /// Popularity drift interval in operations (`None` = stationary); see
+    /// [`BankWorkload::drift_interval`].
+    pub drift_interval: Option<u64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Table43Params {
+    /// Paper-scale defaults (see `DESIGN.md` §5 on the trace substitution).
+    fn default() -> Self {
+        Table43Params {
+            branches: 2_000,
+            tellers_per_branch: 5,
+            accounts_per_branch: 150,
+            trace_len: 470_000,
+            warmup: 70_000,
+            buffer_sizes: TABLE_4_3_SIZES.to_vec(),
+            account_skew: (0.75, 0.25),
+            drift_interval: Some(1_500),
+            seed: 42,
+        }
+    }
+}
+
+impl Table43Params {
+    /// A drastically reduced configuration for integration tests.
+    pub fn tiny() -> Self {
+        Table43Params {
+            branches: 80,
+            tellers_per_branch: 4,
+            accounts_per_branch: 100,
+            trace_len: 60_000,
+            warmup: 10_000,
+            buffer_sizes: vec![20, 40, 80, 160],
+            account_skew: (0.75, 0.25),
+            drift_interval: Some(1_500),
+            seed: 42,
+        }
+    }
+}
+
+/// **Table 4.3** — the OLTP bank trace experiment: LRU-1 / LRU-2 / LFU hit
+/// ratios and B(1)/B(2) over the synthetic CODASYL bank trace.
+///
+/// A single trace is generated (the paper replays one fixed production
+/// trace) and all policies are replayed over it.
+pub fn table4_3(params: &Table43Params) -> TableResult {
+    let mut workload = BankWorkload::new(
+        lruk_storage::BankConfig {
+            branches: params.branches,
+            tellers_per_branch: params.tellers_per_branch,
+            accounts_per_branch: params.accounts_per_branch,
+            // CALC extent sized to the expected history volume (~1 history
+            // record per 6 trace references, ~56 records per page).
+            history_pages: (params.trace_len as u64 / 6 / 56).max(8) * 3 / 2,
+        },
+        params.seed,
+    );
+    workload.account_skew = params.account_skew;
+    workload.drift_interval = params.drift_interval;
+    let trace = workload.generate_trace(params.trace_len);
+    let traces = vec![trace];
+    // LFU = the paper's comparator (counts dropped at eviction; the paper
+    // presents retained-past-residence information as novel to LRU-K).
+    // LFU-fh = the anachronistic full-history variant, reported for
+    // transparency since the paper's implementation details are not stated.
+    let specs = [
+        PolicySpec::Lru,
+        PolicySpec::LruK { k: 2 },
+        PolicySpec::Lfu,
+        PolicySpec::LfuFullHistory,
+    ];
+    build_table(
+        "Table 4.3 (OLTP trace experiment)",
+        &specs,
+        &params.buffer_sizes,
+        &traces,
+        None,
+        params.warmup,
+        &PolicySpec::Lru,
+        &PolicySpec::LruK { k: 2 },
+        64 * params.buffer_sizes[params.buffer_sizes.len() - 1],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_1_reduced_shape() {
+        // Scaled-down two-pool (N₁=20, N₂=2000) — same qualitative shape.
+        let mut scale = ExperimentScale::quick();
+        scale.repetitions = 4;
+        scale.measure_mult = 3;
+        let t = table4_1(20, 2_000, &[12, 20, 40], &scale);
+        assert_eq!(t.policies, vec!["LRU-1", "LRU-2", "LRU-3", "A0"]);
+        for row in &t.rows {
+            let (lru1, lru2, lru3, a0) = (
+                row.hit_ratios[0],
+                row.hit_ratios[1],
+                row.hit_ratios[2],
+                row.hit_ratios[3],
+            );
+            assert!(lru2 > lru1, "B={}: LRU-2 {lru2} !> LRU-1 {lru1}", row.b);
+            // A0 is optimal under the IRM up to measurement noise (the
+            // two-pool string is alternating, not IRM, so small inversions
+            // occur at this reduced scale).
+            assert!(a0 >= lru2 - 0.04, "B={}: A0 {a0} < LRU-2 {lru2}", row.b);
+            assert!(a0 >= lru3 - 0.04, "B={}: A0 {a0} < LRU-3 {lru3}", row.b);
+            if let Some(r) = row.b1_over_b2 {
+                assert!(r > 1.0, "B={}: B(1)/B(2) = {r} should exceed 1", row.b);
+            }
+        }
+    }
+
+    #[test]
+    fn table4_2_reduced_shape() {
+        let scale = ExperimentScale::quick();
+        let t = table4_2(200, &[10, 30, 60], &scale);
+        for row in &t.rows {
+            let (lru1, lru2, a0) = (row.hit_ratios[0], row.hit_ratios[1], row.hit_ratios[2]);
+            assert!(lru2 >= lru1 - 0.01, "B={}: LRU-2 {lru2} vs LRU-1 {lru1}", row.b);
+            assert!(a0 >= lru2 - 0.02, "B={}: A0 {a0} vs LRU-2 {lru2}", row.b);
+        }
+        // Gains shrink as B grows (the paper's B(1)/B(2) trend).
+        let first = t.rows.first().unwrap().hit_ratios[1] - t.rows.first().unwrap().hit_ratios[0];
+        let last = t.rows.last().unwrap().hit_ratios[1] - t.rows.last().unwrap().hit_ratios[0];
+        assert!(first >= last - 0.03, "gain should shrink: first {first}, last {last}");
+    }
+
+    #[test]
+    fn table4_3_tiny_shape() {
+        let t = table4_3(&Table43Params::tiny());
+        assert_eq!(t.policies, vec!["LRU-1", "LRU-2", "LFU", "LFU-fh"]);
+        // LRU-2 at least matches LRU-1 everywhere on the OLTP trace.
+        for row in &t.rows {
+            assert!(
+                row.hit_ratios[1] >= row.hit_ratios[0] - 0.01,
+                "B={}: LRU-2 {} vs LRU-1 {}",
+                row.b,
+                row.hit_ratios[1],
+                row.hit_ratios[0]
+            );
+        }
+        // And strictly wins somewhere in the small-buffer regime.
+        assert!(
+            t.rows
+                .iter()
+                .any(|r| r.hit_ratios[1] > r.hit_ratios[0] + 0.002),
+            "LRU-2 never strictly beat LRU-1: {:?}",
+            t.rows.iter().map(|r| (r.b, r.hit_ratios.clone())).collect::<Vec<_>>()
+        );
+    }
+}

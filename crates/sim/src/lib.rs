@@ -1,0 +1,29 @@
+//! # lruk-sim — the simulation harness of the paper's §4
+//!
+//! * [`simulator`] — drives a reference string into a policy with a fixed
+//!   number of frames, using the paper's warmup/measure protocol ("dropping
+//!   the initial set of 10·N₁ references, and then measuring the next
+//!   T = 30·N₁ references"; `C = h / T`).
+//! * [`equi`] — the equi-effective buffer size search behind the paper's
+//!   `B(1)/B(2)` cost/performance metric.
+//! * [`policies`] — a declarative [`PolicySpec`](policies::PolicySpec) so
+//!   experiments can name the policies they compare.
+//! * [`experiments`] — one module-level function per table/figure
+//!   (`table4_1`, `table4_2`, `table4_3`, `example1_1`, `scan_flood`,
+//!   ablations); each returns serializable results.
+//! * [`report`] — renders results in the same row layout the paper prints.
+//! * [`csv`] — CSV export of results for external plotting.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod equi;
+pub mod experiments;
+pub mod policies;
+pub mod report;
+pub mod simulator;
+
+pub use equi::equi_effective_buffer_size;
+pub use policies::PolicySpec;
+pub use simulator::{simulate, simulate_from, simulate_windowed, SimResult};

@@ -1,0 +1,227 @@
+//! Declarative policy construction for experiments.
+
+use lruk_baselines::{
+    AgedLfu, Arc, BeladyOpt, Clock, DomainSeparation, Fbr, Fifo, GClock, HintedLru, Lfu, Lirs,
+    Lrd, Lru, Mru, ProbOracle, RandomPolicy, Slru, TwoQ,
+};
+use lruk_core::{ClassicLruK, LruK, LruKConfig};
+use lruk_policy::{PageId, ReplacementPolicy};
+use serde::{Deserialize, Serialize};
+
+/// A policy the experiments can name.
+///
+/// `build` resolves the spec against run context (buffer capacity, the
+/// workload's β vector for `A0`, the full trace for `Opt`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// LRU-K with CRP = 0 and unbounded history (the paper's §4 setting).
+    LruK {
+        /// The K.
+        k: usize,
+    },
+    /// LRU-K with an explicit configuration.
+    LruKConfigured(LruKConfig),
+    /// The scan-based Figure 2.1 engine (differential runs).
+    ClassicLruK {
+        /// The K.
+        k: usize,
+    },
+    /// Classical LRU (= LRU-1).
+    Lru,
+    /// Most recently used.
+    Mru,
+    /// First-in first-out.
+    Fifo,
+    /// Clock / second chance.
+    Clock,
+    /// GCLOCK with (admission, hit) weights.
+    GClock(u32, u32),
+    /// LFU with counts dropped on eviction — the paper's §4.3 comparator
+    /// (the paper presents retained-past-residence history as novel to
+    /// LRU-K, so its LFU necessarily forgot counts at eviction; "never
+    /// forgets" refers to the lack of *aging* while counts live).
+    Lfu,
+    /// LFU whose counts survive eviction (full history) — a strictly
+    /// stronger, anachronistic variant used in the ablations.
+    LfuFullHistory,
+    /// LFU with periodic halving.
+    AgedLfu {
+        /// Ticks between halvings.
+        interval: u64,
+    },
+    /// Least reference density, variant 1.
+    LrdV1,
+    /// Random replacement.
+    Random {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// 2Q (capacity-derived Kin/Kout).
+    TwoQ,
+    /// ARC.
+    Arc,
+    /// FBR (Robinson & Devarakonda) with default sections.
+    Fbr,
+    /// Segmented LRU with the conventional 80% protected share.
+    Slru,
+    /// LIRS (Jiang & Zhang).
+    Lirs,
+    /// Reiter's Domain Separation, tuned for a two-pool workload: pages
+    /// `0..n1` get `pool1_frames` dedicated frames (requires the DBA-style
+    /// foreknowledge LRU-K makes unnecessary).
+    TunedTwoPool {
+        /// Size of the hot pool (page-id threshold).
+        n1: u64,
+        /// Frames dedicated to the hot pool.
+        pool1_frames: usize,
+    },
+    /// LRU with optimizer hints (drops sequential-scan pages early).
+    HintedLru,
+    /// The A0 probabilistic oracle (needs workload β).
+    A0,
+    /// Belady's OPT (needs the full trace).
+    Opt,
+}
+
+impl PolicySpec {
+    /// Short label used in result tables.
+    pub fn label(&self) -> String {
+        match self {
+            PolicySpec::LruK { k } => format!("LRU-{k}"),
+            PolicySpec::LruKConfigured(cfg) => format!(
+                "LRU-{}(crp={},rip={:?})",
+                cfg.k, cfg.correlated_reference_period, cfg.retained_information_period
+            ),
+            PolicySpec::ClassicLruK { k } => format!("LRU-{k}c"),
+            PolicySpec::Lru => "LRU-1".into(),
+            PolicySpec::Mru => "MRU".into(),
+            PolicySpec::Fifo => "FIFO".into(),
+            PolicySpec::Clock => "CLOCK".into(),
+            PolicySpec::GClock(i, h) => format!("GCLOCK({i},{h})"),
+            PolicySpec::Lfu => "LFU".into(),
+            PolicySpec::LfuFullHistory => "LFU-fh".into(),
+            PolicySpec::AgedLfu { interval } => format!("LFU-aged({interval})"),
+            PolicySpec::LrdV1 => "LRD".into(),
+            PolicySpec::Random { .. } => "RANDOM".into(),
+            PolicySpec::TwoQ => "2Q".into(),
+            PolicySpec::Arc => "ARC".into(),
+            PolicySpec::Fbr => "FBR".into(),
+            PolicySpec::Slru => "SLRU".into(),
+            PolicySpec::Lirs => "LIRS".into(),
+            PolicySpec::TunedTwoPool { pool1_frames, .. } => {
+                format!("TUNED({pool1_frames})")
+            }
+            PolicySpec::HintedLru => "LRU+hints".into(),
+            PolicySpec::A0 => "A0".into(),
+            PolicySpec::Opt => "OPT".into(),
+        }
+    }
+
+    /// Instantiate the policy.
+    ///
+    /// # Panics
+    /// Panics if `A0` is requested without `beta`, or `Opt` without `trace`.
+    pub fn build(
+        &self,
+        capacity: usize,
+        beta: Option<&[(PageId, f64)]>,
+        trace: Option<&[PageId]>,
+    ) -> Box<dyn ReplacementPolicy> {
+        match self {
+            PolicySpec::LruK { k } => Box::new(LruK::new(LruKConfig::new(*k))),
+            PolicySpec::LruKConfigured(cfg) => Box::new(LruK::new(*cfg)),
+            PolicySpec::ClassicLruK { k } => Box::new(ClassicLruK::new(LruKConfig::new(*k))),
+            PolicySpec::Lru => Box::new(Lru::with_capacity(capacity)),
+            PolicySpec::Mru => Box::new(Mru::new()),
+            PolicySpec::Fifo => Box::new(Fifo::new()),
+            PolicySpec::Clock => Box::new(Clock::new()),
+            PolicySpec::GClock(i, h) => Box::new(GClock::new(*i, *h)),
+            PolicySpec::Lfu => Box::new(Lfu::resident_only()),
+            PolicySpec::LfuFullHistory => Box::new(Lfu::new()),
+            PolicySpec::AgedLfu { interval } => Box::new(AgedLfu::new(*interval)),
+            PolicySpec::LrdV1 => Box::new(Lrd::v1()),
+            PolicySpec::Random { seed } => Box::new(RandomPolicy::new(*seed)),
+            PolicySpec::TwoQ => Box::new(TwoQ::new(capacity)),
+            PolicySpec::Arc => Box::new(Arc::new(capacity)),
+            PolicySpec::Fbr => Box::new(Fbr::new(capacity)),
+            PolicySpec::Slru => Box::new(Slru::new(capacity)),
+            PolicySpec::Lirs => Box::new(Lirs::new(capacity.max(2))),
+            PolicySpec::TunedTwoPool { n1, pool1_frames } => {
+                if capacity < 2 {
+                    // A single frame cannot be partitioned; degenerate to LRU.
+                    return Box::new(Lru::with_capacity(capacity));
+                }
+                let p1 = (*pool1_frames).clamp(1, capacity - 1);
+                Box::new(DomainSeparation::two_pool(*n1, p1, capacity))
+            }
+            PolicySpec::HintedLru => Box::new(HintedLru::new()),
+            PolicySpec::A0 => {
+                let beta = beta.expect("A0 needs the workload's β vector");
+                Box::new(ProbOracle::new(beta.iter().copied()))
+            }
+            PolicySpec::Opt => {
+                let trace = trace.expect("OPT needs the full trace");
+                Box::new(BeladyOpt::for_trace(trace))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(PolicySpec::LruK { k: 2 }.label(), "LRU-2");
+        assert_eq!(PolicySpec::Lru.label(), "LRU-1");
+        assert_eq!(PolicySpec::A0.label(), "A0");
+        assert_eq!(PolicySpec::GClock(1, 3).label(), "GCLOCK(1,3)");
+    }
+
+    #[test]
+    fn builds_every_context_free_policy() {
+        let specs = [
+            PolicySpec::LruK { k: 2 },
+            PolicySpec::LruKConfigured(LruKConfig::new(3).with_crp(2)),
+            PolicySpec::ClassicLruK { k: 2 },
+            PolicySpec::Lru,
+            PolicySpec::Mru,
+            PolicySpec::Fifo,
+            PolicySpec::Clock,
+            PolicySpec::GClock(1, 3),
+            PolicySpec::Lfu,
+            PolicySpec::LfuFullHistory,
+            PolicySpec::AgedLfu { interval: 100 },
+            PolicySpec::LrdV1,
+            PolicySpec::Random { seed: 1 },
+            PolicySpec::TwoQ,
+            PolicySpec::Arc,
+            PolicySpec::Fbr,
+            PolicySpec::Slru,
+            PolicySpec::Lirs,
+            PolicySpec::TunedTwoPool { n1: 100, pool1_frames: 8 },
+            PolicySpec::HintedLru,
+        ];
+        for s in specs {
+            let p = s.build(16, None, None);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn oracles_get_their_context() {
+        let beta = vec![(PageId(1), 0.5), (PageId(2), 0.5)];
+        let p = PolicySpec::A0.build(4, Some(&beta), None);
+        assert_eq!(p.name(), "A0");
+        let trace = vec![PageId(1), PageId(2)];
+        let p = PolicySpec::Opt.build(4, None, Some(&trace));
+        assert_eq!(p.name(), "OPT");
+    }
+
+    #[test]
+    #[should_panic(expected = "A0 needs")]
+    fn a0_without_beta_panics() {
+        let _ = PolicySpec::A0.build(4, None, None);
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text rendering of experiment results, matching the paper's layout.
+
+use crate::experiments::{AdaptivityResult, Example11Result, ScanFloodResult, SweepResult, TableResult};
+use std::fmt::Write as _;
+
+/// Render a hit-ratio table in the paper's row format:
+///
+/// ```text
+/// B     LRU-1  LRU-2  LRU-3  A0     B(1)/B(2)
+/// 60    0.140  0.291  0.300  0.300  2.3
+/// ```
+pub fn render_table(t: &TableResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", t.title);
+    let _ = write!(out, "{:<7}", "B");
+    for p in &t.policies {
+        let _ = write!(out, "{p:<8}");
+    }
+    let _ = writeln!(out, "B(1)/B(2)");
+    for row in &t.rows {
+        let _ = write!(out, "{:<7}", row.b);
+        for c in &row.hit_ratios {
+            let _ = write!(out, "{c:<8.3}");
+        }
+        match row.b1_over_b2 {
+            Some(r) => {
+                let _ = writeln!(out, "{r:.2}");
+            }
+            None => {
+                let _ = writeln!(out, "-");
+            }
+        }
+    }
+    out
+}
+
+/// Render a one-dimensional sweep.
+pub fn render_sweep(s: &SweepResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", s.title);
+    let _ = writeln!(out, "{:<12}{:<12}retained (peak)", "point", "hit ratio");
+    for (label, hit, retained) in &s.points {
+        let _ = writeln!(out, "{label:<12}{hit:<12.4}{retained}");
+    }
+    out
+}
+
+/// Render the Example 1.1 residency composition.
+pub fn render_example11(r: &Example11Result) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Example 1.1: {} leaf pages + root, {} data pages, B = {}",
+        r.leaf_pages, r.data_pages, r.buffer_size
+    );
+    let _ = writeln!(
+        out,
+        "{:<10}{:<12}{:<16}data resident",
+        "policy", "hit ratio", "index resident"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:<10}{:<12.4}{:<16}{}",
+            row.policy, row.hit_ratio, row.index_resident, row.data_resident
+        );
+    }
+    out
+}
+
+/// Render the scan-flood comparison.
+pub fn render_scan_flood(r: &ScanFloodResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Example 1.2 scan flood: {} (B = {})", r.workload, r.buffer_size);
+    let _ = writeln!(
+        out,
+        "{:<10}{:<14}interactive hit",
+        "policy", "overall hit"
+    );
+    for row in &r.rows {
+        let _ = writeln!(
+            out,
+            "{:<10}{:<14.4}{:.4}",
+            row.policy, row.overall_hit_ratio, row.interactive_hit_ratio
+        );
+    }
+    out
+}
+
+/// Render windowed adaptivity curves.
+pub fn render_adaptivity(r: &AdaptivityResult) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Adaptivity: {} (window = {}, phase = {})",
+        r.workload, r.window, r.phase_len
+    );
+    for row in &r.rows {
+        let _ = write!(out, "{:<14} overall {:<8.4} windows:", row.policy, row.overall);
+        for w in &row.windows {
+            let _ = write!(out, " {w:.3}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::TableRow;
+
+    #[test]
+    fn table_rendering_contains_all_cells() {
+        let t = TableResult {
+            title: "Table X".into(),
+            policies: vec!["LRU-1".into(), "LRU-2".into()],
+            rows: vec![TableRow {
+                b: 60,
+                hit_ratios: vec![0.14, 0.291],
+                b1_over_b2: Some(2.33),
+            }],
+        };
+        let s = render_table(&t);
+        assert!(s.contains("Table X"));
+        assert!(s.contains("LRU-2"));
+        assert!(s.contains("0.291"));
+        assert!(s.contains("2.33"));
+        let t2 = TableResult {
+            rows: vec![TableRow {
+                b: 60,
+                hit_ratios: vec![0.1, 0.2],
+                b1_over_b2: None,
+            }],
+            ..t
+        };
+        assert!(render_table(&t2).trim_end().ends_with('-'));
+    }
+
+    #[test]
+    fn sweep_rendering() {
+        let s = SweepResult {
+            title: "sweep".into(),
+            points: vec![("K=1".into(), 0.25, 0), ("K=2".into(), 0.5, 123)],
+        };
+        let out = render_sweep(&s);
+        assert!(out.contains("K=2"));
+        assert!(out.contains("123"));
+    }
+}

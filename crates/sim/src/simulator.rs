@@ -1,0 +1,304 @@
+//! The page-fault simulator.
+
+use lruk_policy::fxhash::FxHashSet;
+use lruk_policy::{AccessKind, CacheStats, PageId, ReplacementPolicy, Tick};
+use lruk_workloads::PageRef;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Policy display name.
+    pub policy: String,
+    /// Buffer capacity in frames.
+    pub capacity: usize,
+    /// Hit/miss counters over the *measured* portion (post-warmup).
+    pub stats: CacheStats,
+    /// Measured-portion counters split by access kind:
+    /// (random, sequential, navigational, index).
+    pub per_kind: [CacheStats; 4],
+    /// Resident pages when the run ended.
+    pub final_resident: Vec<PageId>,
+    /// Peak count of retained (non-resident) history entries the policy
+    /// held — the memory cost of the Retained Information Period.
+    pub peak_retained: usize,
+}
+
+impl SimResult {
+    /// Overall hit ratio `C = h / T`.
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio()
+    }
+
+    /// Hit ratio over one access kind only (e.g. the interactive traffic in
+    /// the Example 1.2 experiment).
+    pub fn kind_hit_ratio(&self, kind: AccessKind) -> f64 {
+        self.per_kind[kind_index(kind)].hit_ratio()
+    }
+}
+
+fn kind_index(kind: AccessKind) -> usize {
+    match kind {
+        AccessKind::Random => 0,
+        AccessKind::Sequential => 1,
+        AccessKind::Navigational => 2,
+        AccessKind::Index => 3,
+    }
+}
+
+/// Run `policy` over `refs` with `capacity` frames.
+///
+/// The first `warmup` references are executed but excluded from the
+/// statistics, per the paper's protocol. Ticks are 1-based reference-string
+/// positions, so clairvoyant policies built with
+/// [`BeladyOpt::for_trace`](lruk_baselines::BeladyOpt::for_trace) on the
+/// same reference string see consistent positions.
+///
+/// ```
+/// use lruk_sim::simulate;
+/// use lruk_core::LruK;
+/// use lruk_workloads::{Workload, Zipfian};
+///
+/// let trace = Zipfian::new(100, 0.8, 0.2, 1).generate(5_000);
+/// let mut policy = LruK::lru2();
+/// let result = simulate(&mut policy, trace.refs(), 20, 500);
+/// assert!(result.hit_ratio() > 0.3); // the hot head fits in 20 frames
+/// ```
+pub fn simulate(
+    policy: &mut dyn ReplacementPolicy,
+    refs: &[PageRef],
+    capacity: usize,
+    warmup: usize,
+) -> SimResult {
+    let (result, _) = run(policy, refs, capacity, warmup, None, 1);
+    result
+}
+
+/// Like [`simulate`], but the first reference carries tick `first_tick`
+/// instead of 1. Required when driving a policy with *restored* history
+/// (see `lruk_core::persist`): timestamps never rewind, so the new epoch
+/// must start past the saved horizon
+/// ([`HistoryTable::max_timestamp`](lruk_core::HistoryTable::max_timestamp)).
+pub fn simulate_from(
+    policy: &mut dyn ReplacementPolicy,
+    refs: &[PageRef],
+    capacity: usize,
+    warmup: usize,
+    first_tick: u64,
+) -> SimResult {
+    let (result, _) = run(policy, refs, capacity, warmup, None, first_tick);
+    result
+}
+
+/// Like [`simulate`], additionally returning the hit ratio of each
+/// consecutive `window`-reference segment (warmup included in the first
+/// windows) — used by the adaptivity experiments to watch policies react to
+/// a moving hot spot.
+pub fn simulate_windowed(
+    policy: &mut dyn ReplacementPolicy,
+    refs: &[PageRef],
+    capacity: usize,
+    warmup: usize,
+    window: usize,
+) -> (SimResult, Vec<f64>) {
+    let (result, windows) = run(policy, refs, capacity, warmup, Some(window), 1);
+    (result, windows)
+}
+
+fn run(
+    policy: &mut dyn ReplacementPolicy,
+    refs: &[PageRef],
+    capacity: usize,
+    warmup: usize,
+    window: Option<usize>,
+    first_tick: u64,
+) -> (SimResult, Vec<f64>) {
+    assert!(capacity >= 1, "capacity must be at least one frame");
+    assert!(first_tick >= 1, "reference strings are 1-based");
+    let mut resident: FxHashSet<PageId> = FxHashSet::default();
+    let mut stats = CacheStats::default();
+    let mut per_kind = [CacheStats::default(); 4];
+    let mut peak_retained = 0usize;
+    let mut windows = Vec::new();
+    let mut window_stats = CacheStats::default();
+
+    for (i, r) in refs.iter().enumerate() {
+        let now = Tick(first_tick + i as u64);
+        policy.note_kind(r.kind);
+        policy.note_process(r.pid);
+        if i == warmup {
+            // Warmup ends: statistics start fresh (paper: "dropping the
+            // initial set of … references").
+            stats.reset();
+            per_kind = [CacheStats::default(); 4];
+        }
+        let hit = resident.contains(&r.page);
+        if hit {
+            policy.on_hit(r.page, now);
+            stats.record_hit();
+            per_kind[kind_index(r.kind)].record_hit();
+            window_stats.record_hit();
+        } else {
+            policy.on_miss(r.page, now);
+            if resident.len() == capacity {
+                let victim = policy
+                    .select_victim(now)
+                    .expect("simulator never pins; victim must exist");
+                let removed = resident.remove(&victim);
+                assert!(removed, "policy evicted a non-resident page {victim:?}");
+                policy.on_evict(victim, now);
+                stats.record_eviction(false);
+            }
+            policy.on_admit(r.page, now);
+            resident.insert(r.page);
+            stats.record_miss();
+            per_kind[kind_index(r.kind)].record_miss();
+            window_stats.record_miss();
+        }
+        debug_assert!(resident.len() <= capacity, "capacity invariant violated");
+        debug_assert_eq!(
+            resident.len(),
+            policy.resident_len(),
+            "policy resident-set bookkeeping diverged at tick {now}"
+        );
+        peak_retained = peak_retained.max(policy.retained_len());
+        if let Some(w) = window {
+            if window_stats.references() == w as u64 {
+                windows.push(window_stats.hit_ratio());
+                window_stats.reset();
+            }
+        }
+    }
+    if window.is_some() && window_stats.references() > 0 {
+        windows.push(window_stats.hit_ratio());
+    }
+    let result = SimResult {
+        policy: policy.name(),
+        capacity,
+        stats,
+        per_kind,
+        final_resident: resident.into_iter().collect(),
+        peak_retained,
+    };
+    (result, windows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lruk_baselines::{BeladyOpt, Lru};
+    use lruk_core::{LruK, LruKConfig};
+    use lruk_workloads::{PageRef, TwoPool, Workload, Zipfian};
+
+    fn p(i: u64) -> PageRef {
+        PageRef::random(PageId(i))
+    }
+
+    #[test]
+    fn counts_hits_and_misses() {
+        // refs: 1 2 1 2 3 1, capacity 2, LRU.
+        let refs = vec![p(1), p(2), p(1), p(2), p(3), p(1)];
+        let mut lru = Lru::new();
+        let r = simulate(&mut lru, &refs, 2, 0);
+        // misses: 1, 2; hits: 1, 2; miss 3 (evict 1); miss 1 (evict 2).
+        assert_eq!(r.stats.hits, 2);
+        assert_eq!(r.stats.misses, 4);
+        assert_eq!(r.stats.evictions, 2);
+        assert!((r.hit_ratio() - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(r.final_resident.len(), 2);
+    }
+
+    #[test]
+    fn warmup_excluded_from_stats() {
+        let refs = vec![p(1), p(2), p(1), p(1), p(1)];
+        let mut lru = Lru::new();
+        let r = simulate(&mut lru, &refs, 2, 2);
+        // Measured portion: refs 3..5, all hits on page 1.
+        assert_eq!(r.stats.references(), 3);
+        assert_eq!(r.stats.hits, 3);
+        assert_eq!(r.hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn capacity_one_works() {
+        let refs = vec![p(1), p(1), p(2), p(1)];
+        let mut lru = Lru::new();
+        let r = simulate(&mut lru, &refs, 1, 0);
+        assert_eq!(r.stats.hits, 1);
+        assert_eq!(r.stats.misses, 3);
+        assert_eq!(r.final_resident, vec![PageId(1)]);
+    }
+
+    #[test]
+    fn per_kind_accounting() {
+        use lruk_policy::AccessKind;
+        let refs = vec![
+            PageRef::new(PageId(1), AccessKind::Sequential),
+            PageRef::new(PageId(1), AccessKind::Random),
+            PageRef::new(PageId(1), AccessKind::Navigational),
+        ];
+        let mut lru = Lru::new();
+        let r = simulate(&mut lru, &refs, 2, 0);
+        assert_eq!(r.per_kind[1].misses, 1); // sequential miss
+        assert_eq!(r.per_kind[0].hits, 1); // random hit
+        assert_eq!(r.per_kind[2].hits, 1); // navigational hit
+        assert_eq!(r.kind_hit_ratio(AccessKind::Random), 1.0);
+        assert_eq!(r.kind_hit_ratio(AccessKind::Sequential), 0.0);
+    }
+
+    #[test]
+    fn windowed_hit_ratios() {
+        let refs: Vec<PageRef> = (0..10).map(|i| p(i % 2)).collect();
+        let mut lru = Lru::new();
+        let (_, w) = simulate_windowed(&mut lru, &refs, 2, 0, 5);
+        assert_eq!(w.len(), 2);
+        // First window has the two cold misses.
+        assert!(w[0] < w[1] || (w[0] - w[1]).abs() < 1e-12);
+        assert_eq!(w[1], 1.0);
+    }
+
+    #[test]
+    fn opt_dominates_lru_on_random_traces() {
+        let trace = Zipfian::new(200, 0.8, 0.2, 17).generate(20_000);
+        let refs = trace.refs();
+        for cap in [10, 25, 50] {
+            let mut lru = Lru::new();
+            let lru_r = simulate(&mut lru, refs, cap, 1000);
+            let mut opt = BeladyOpt::for_trace(&trace.pages());
+            let opt_r = simulate(&mut opt, refs, cap, 1000);
+            assert!(
+                opt_r.hit_ratio() >= lru_r.hit_ratio() - 1e-9,
+                "OPT {} < LRU {} at cap {cap}",
+                opt_r.hit_ratio(),
+                lru_r.hit_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn lru2_beats_lru1_on_two_pool() {
+        let trace = TwoPool::new(50, 5_000, 23).generate(30_000);
+        let refs = trace.refs();
+        let mut lru1 = Lru::new();
+        let r1 = simulate(&mut lru1, refs, 60, 500);
+        let mut lru2 = LruK::new(LruKConfig::new(2));
+        let r2 = simulate(&mut lru2, refs, 60, 500);
+        assert!(
+            r2.hit_ratio() > r1.hit_ratio() + 0.05,
+            "LRU-2 {} must clearly beat LRU-1 {}",
+            r2.hit_ratio(),
+            r1.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn retained_peak_reported_for_lruk() {
+        let trace = TwoPool::new(20, 2_000, 3).generate(5_000);
+        let mut lru2 = LruK::new(LruKConfig::new(2));
+        let r = simulate(&mut lru2, trace.refs(), 20, 0);
+        assert!(r.peak_retained > 0, "LRU-2 must retain history past residence");
+        let mut lru1 = Lru::new();
+        let r1 = simulate(&mut lru1, trace.refs(), 20, 0);
+        assert_eq!(r1.peak_retained, 0, "LRU-1 retains nothing");
+    }
+}

@@ -1,0 +1,780 @@
+//! A B+tree over the buffer pool, keyed by `u64`.
+//!
+//! This is the clustered index of the paper's Example 1.1: customer ids at
+//! the leaf level pointing at record RIDs. The node layout is fixed-width
+//! (16-byte entries), giving ~250-way fan-out on 4 KiB pages — the paper's
+//! "100 pages to hold the leaf level nodes … (there is a single B-tree root
+//! node)" geometry arises naturally at 20 000 keys.
+//!
+//! Simplifications, standard for evaluation substrates: single-threaded
+//! access (the pool serializes), and deletion removes the key from its leaf
+//! without rebalancing (pages never merge — as in several production
+//! engines' default behaviour).
+//!
+//! Node layouts (all integers little-endian):
+//!
+//! ```text
+//! leaf:      [type u16][count u16][pad u32][next_leaf u64] then count × (key u64, value u64)
+//! internal:  [type u16][count u16][pad u32][child_0  u64] then count × (key u64, child u64)
+//! ```
+//!
+//! In an internal node, keys are separators: subtree `child_i` holds keys
+//! `< key_i`; subtree `child_count` holds keys `>= key_{count-1}`.
+
+use crate::layout::{get_u16, get_u64, put_u16, put_u64};
+use crate::slotted::PageType;
+use lruk_buffer::{BufferError, BufferPoolManager, DiskManager, PAGE_SIZE};
+use lruk_policy::PageId;
+use std::fmt;
+
+const OFF_TYPE: usize = 0;
+const OFF_COUNT: usize = 2;
+const OFF_LINK: usize = 8; // next_leaf (leaf) or child_0 (internal)
+const HEADER: usize = 16;
+const ENTRY: usize = 16;
+/// Sentinel for "no next leaf".
+const NO_LEAF: u64 = u64::MAX;
+
+/// Hard capacity implied by the page size.
+pub const MAX_ENTRIES: usize = (PAGE_SIZE - HEADER) / ENTRY;
+
+/// B+tree errors.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BTreeError {
+    /// Buffer pool / disk failure.
+    Buffer(BufferError),
+}
+
+impl fmt::Display for BTreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BTreeError::Buffer(e) => write!(f, "buffer error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BTreeError {}
+
+impl From<BufferError> for BTreeError {
+    fn from(e: BufferError) -> Self {
+        BTreeError::Buffer(e)
+    }
+}
+
+/// A B+tree index. The struct holds only the root id and fan-out settings;
+/// all data lives in pages.
+///
+/// ```
+/// use lruk_buffer::{BufferPoolManager, InMemoryDisk};
+/// use lruk_core::LruK;
+/// use lruk_storage::BTree;
+///
+/// let mut pool = BufferPoolManager::new(8, InMemoryDisk::unbounded(), Box::new(LruK::lru2()));
+/// let mut tree = BTree::create(&mut pool).unwrap();
+/// tree.insert(&mut pool, 42, 4200).unwrap();
+/// assert_eq!(tree.search(&mut pool, 42).unwrap(), Some(4200));
+/// assert_eq!(tree.search(&mut pool, 7).unwrap(), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BTree {
+    root: PageId,
+    leaf_cap: usize,
+    internal_cap: usize,
+    len: usize,
+}
+
+// ---- raw node accessors (operate on a page byte slice) ----
+
+fn node_type(buf: &[u8]) -> PageType {
+    PageType::from_u16(get_u16(buf, OFF_TYPE))
+}
+
+fn count(buf: &[u8]) -> usize {
+    get_u16(buf, OFF_COUNT) as usize
+}
+
+fn set_count(buf: &mut [u8], n: usize) {
+    put_u16(buf, OFF_COUNT, n as u16);
+}
+
+fn entry_key(buf: &[u8], i: usize) -> u64 {
+    get_u64(buf, HEADER + i * ENTRY)
+}
+
+fn entry_val(buf: &[u8], i: usize) -> u64 {
+    get_u64(buf, HEADER + i * ENTRY + 8)
+}
+
+fn set_entry(buf: &mut [u8], i: usize, key: u64, val: u64) {
+    put_u64(buf, HEADER + i * ENTRY, key);
+    put_u64(buf, HEADER + i * ENTRY + 8, val);
+}
+
+/// Shift entries `[i, n)` one slot right to open slot `i`.
+fn open_gap(buf: &mut [u8], i: usize, n: usize) {
+    let start = HEADER + i * ENTRY;
+    let end = HEADER + n * ENTRY;
+    buf.copy_within(start..end, start + ENTRY);
+}
+
+/// Shift entries `[i+1, n)` one slot left, erasing slot `i`.
+fn close_gap(buf: &mut [u8], i: usize, n: usize) {
+    let start = HEADER + (i + 1) * ENTRY;
+    let end = HEADER + n * ENTRY;
+    buf.copy_within(start..end, start - ENTRY);
+}
+
+fn link(buf: &[u8]) -> u64 {
+    get_u64(buf, OFF_LINK)
+}
+
+fn set_link(buf: &mut [u8], v: u64) {
+    put_u64(buf, OFF_LINK, v);
+}
+
+fn format_node(buf: &mut [u8], ty: PageType) {
+    buf[..HEADER].fill(0);
+    put_u16(buf, OFF_TYPE, ty as u16);
+    set_count(buf, 0);
+    set_link(buf, NO_LEAF);
+}
+
+/// Binary search for the first entry with `entry_key >= key`.
+fn lower_bound(buf: &[u8], key: u64) -> usize {
+    let (mut lo, mut hi) = (0usize, count(buf));
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if entry_key(buf, mid) < key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Child page to descend into for `key` in an internal node.
+fn child_for(buf: &[u8], key: u64) -> PageId {
+    // separators: child_i holds keys < key_i. Find first key_i > key.
+    let n = count(buf);
+    let (mut lo, mut hi) = (0usize, n);
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if entry_key(buf, mid) <= key {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo == 0 {
+        PageId(link(buf)) // child_0
+    } else {
+        PageId(entry_val(buf, lo - 1))
+    }
+}
+
+impl BTree {
+    /// Create an empty tree (allocates the root leaf) with default fan-out.
+    pub fn create<D: DiskManager>(pool: &mut BufferPoolManager<D>) -> Result<Self, BTreeError> {
+        // One entry slot is kept spare: a node may hold cap+1 entries for the
+        // instant between insertion and split.
+        Self::create_with_caps(pool, MAX_ENTRIES - 1, MAX_ENTRIES - 1)
+    }
+
+    /// Create with reduced node capacities (used by tests to force deep
+    /// trees and exercise splits with few keys).
+    pub fn create_with_caps<D: DiskManager>(
+        pool: &mut BufferPoolManager<D>,
+        leaf_cap: usize,
+        internal_cap: usize,
+    ) -> Result<Self, BTreeError> {
+        assert!((4..MAX_ENTRIES).contains(&leaf_cap), "leaf_cap out of range");
+        assert!(
+            (4..MAX_ENTRIES).contains(&internal_cap),
+            "internal_cap out of range"
+        );
+        let root = pool.allocate_page()?;
+        let fid = pool.pin_page(root)?;
+        format_node(pool.frame_data_mut(fid), PageType::BTreeLeaf);
+        pool.unpin_page(root, true)?;
+        Ok(BTree {
+            root,
+            leaf_cap,
+            internal_cap,
+            len: 0,
+        })
+    }
+
+    /// Root page id (the page every lookup touches — Example 1.1's
+    /// "the B-tree root node is automatic").
+    pub fn root(&self) -> PageId {
+        self.root
+    }
+
+    /// Number of keys in the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Look up `key`.
+    pub fn search<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        key: u64,
+    ) -> Result<Option<u64>, BTreeError> {
+        let mut page = self.root;
+        loop {
+            let fid = pool.pin_page(page)?;
+            let buf = pool.frame_data(fid);
+            match node_type(buf) {
+                PageType::BTreeLeaf => {
+                    let i = lower_bound(buf, key);
+                    let found = (i < count(buf) && entry_key(buf, i) == key)
+                        .then(|| entry_val(buf, i));
+                    pool.unpin_page(page, false)?;
+                    return Ok(found);
+                }
+                PageType::BTreeInternal => {
+                    let child = child_for(buf, key);
+                    pool.unpin_page(page, false)?;
+                    page = child;
+                }
+                other => panic!("b-tree descent hit a {other:?} page"),
+            }
+        }
+    }
+
+    /// Insert or replace; returns the previous value for `key`, if any.
+    pub fn insert<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPoolManager<D>,
+        key: u64,
+        value: u64,
+    ) -> Result<Option<u64>, BTreeError> {
+        let (old, split) = self.insert_rec(pool, self.root, key, value)?;
+        if let Some((sep, right)) = split {
+            // Grow the tree: new root with two children.
+            let new_root = pool.allocate_page()?;
+            let fid = pool.pin_page(new_root)?;
+            let buf = pool.frame_data_mut(fid);
+            format_node(buf, PageType::BTreeInternal);
+            set_link(buf, self.root.raw()); // child_0 = old root
+            set_entry(buf, 0, sep, right.raw());
+            set_count(buf, 1);
+            pool.unpin_page(new_root, true)?;
+            self.root = new_root;
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        Ok(old)
+    }
+
+    /// Recursive insert; returns (replaced value, optional split
+    /// `(separator, new right sibling)` to install in the parent).
+    #[allow(clippy::type_complexity)]
+    fn insert_rec<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        page: PageId,
+        key: u64,
+        value: u64,
+    ) -> Result<(Option<u64>, Option<(u64, PageId)>), BTreeError> {
+        let fid = pool.pin_page(page)?;
+        let ty = node_type(pool.frame_data(fid));
+        match ty {
+            PageType::BTreeLeaf => {
+                let buf = pool.frame_data_mut(fid);
+                let n = count(buf);
+                let i = lower_bound(buf, key);
+                if i < n && entry_key(buf, i) == key {
+                    let old = entry_val(buf, i);
+                    set_entry(buf, i, key, value);
+                    pool.unpin_page(page, true)?;
+                    return Ok((Some(old), None));
+                }
+                open_gap(buf, i, n);
+                set_entry(buf, i, key, value);
+                set_count(buf, n + 1);
+                let split = if n + 1 > self.leaf_cap {
+                    Some(self.split_leaf(pool, page, fid)?)
+                } else {
+                    None
+                };
+                pool.unpin_page(page, true)?;
+                Ok((None, split))
+            }
+            PageType::BTreeInternal => {
+                let child = child_for(pool.frame_data(fid), key);
+                // Release the parent while recursing (single-threaded, so
+                // re-pinning afterwards is safe) to keep at most two pins.
+                pool.unpin_page(page, false)?;
+                let (old, child_split) = self.insert_rec(pool, child, key, value)?;
+                let Some((sep, right)) = child_split else {
+                    return Ok((old, None));
+                };
+                let fid = pool.pin_page(page)?;
+                let buf = pool.frame_data_mut(fid);
+                let n = count(buf);
+                let i = lower_bound(buf, sep);
+                open_gap(buf, i, n);
+                set_entry(buf, i, sep, right.raw());
+                set_count(buf, n + 1);
+                let split = if n + 1 > self.internal_cap {
+                    Some(self.split_internal(pool, fid)?)
+                } else {
+                    None
+                };
+                pool.unpin_page(page, true)?;
+                Ok((old, split))
+            }
+            other => panic!("b-tree descent hit a {other:?} page"),
+        }
+    }
+
+    /// Split an over-full leaf (pinned as `fid`); returns the separator and
+    /// the new right sibling.
+    fn split_leaf<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        left_page: PageId,
+        left_fid: lruk_buffer::FrameId,
+    ) -> Result<(u64, PageId), BTreeError> {
+        let right_page = pool.allocate_page()?;
+        // Copy out the upper half before touching the new page (pinning the
+        // new page may not evict the left one — it is pinned).
+        let (upper, next_link): (Vec<(u64, u64)>, u64) = {
+            let buf = pool.frame_data(left_fid);
+            let n = count(buf);
+            let mid = n / 2;
+            (
+                (mid..n).map(|i| (entry_key(buf, i), entry_val(buf, i))).collect(),
+                link(buf),
+            )
+        };
+        {
+            let buf = pool.frame_data_mut(left_fid);
+            let n = count(buf);
+            set_count(buf, n - upper.len());
+            set_link(buf, right_page.raw());
+        }
+        let rfid = pool.pin_page(right_page)?;
+        let rbuf = pool.frame_data_mut(rfid);
+        format_node(rbuf, PageType::BTreeLeaf);
+        for (i, &(k, v)) in upper.iter().enumerate() {
+            set_entry(rbuf, i, k, v);
+        }
+        set_count(rbuf, upper.len());
+        set_link(rbuf, next_link);
+        pool.unpin_page(right_page, true)?;
+        let _ = left_page;
+        Ok((upper[0].0, right_page))
+    }
+
+    /// Split an over-full internal node (pinned as `fid`); the middle key
+    /// moves up as the separator.
+    fn split_internal<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        left_fid: lruk_buffer::FrameId,
+    ) -> Result<(u64, PageId), BTreeError> {
+        let right_page = pool.allocate_page()?;
+        let (sep, right_child0, upper): (u64, u64, Vec<(u64, u64)>) = {
+            let buf = pool.frame_data(left_fid);
+            let n = count(buf);
+            let mid = n / 2;
+            (
+                entry_key(buf, mid),
+                entry_val(buf, mid),
+                (mid + 1..n).map(|i| (entry_key(buf, i), entry_val(buf, i))).collect(),
+            )
+        };
+        {
+            let buf = pool.frame_data_mut(left_fid);
+            let n = count(buf);
+            set_count(buf, n - upper.len() - 1);
+        }
+        let rfid = pool.pin_page(right_page)?;
+        let rbuf = pool.frame_data_mut(rfid);
+        format_node(rbuf, PageType::BTreeInternal);
+        set_link(rbuf, right_child0);
+        for (i, &(k, v)) in upper.iter().enumerate() {
+            set_entry(rbuf, i, k, v);
+        }
+        set_count(rbuf, upper.len());
+        pool.unpin_page(right_page, true)?;
+        Ok((sep, right_page))
+    }
+
+    /// Remove `key`; returns its value if present. Leaves are not merged.
+    pub fn delete<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPoolManager<D>,
+        key: u64,
+    ) -> Result<Option<u64>, BTreeError> {
+        let mut page = self.root;
+        loop {
+            let fid = pool.pin_page(page)?;
+            let ty = node_type(pool.frame_data(fid));
+            match ty {
+                PageType::BTreeLeaf => {
+                    let buf = pool.frame_data_mut(fid);
+                    let n = count(buf);
+                    let i = lower_bound(buf, key);
+                    if i < n && entry_key(buf, i) == key {
+                        let old = entry_val(buf, i);
+                        close_gap(buf, i, n);
+                        set_count(buf, n - 1);
+                        pool.unpin_page(page, true)?;
+                        self.len -= 1;
+                        return Ok(Some(old));
+                    }
+                    pool.unpin_page(page, false)?;
+                    return Ok(None);
+                }
+                PageType::BTreeInternal => {
+                    let child = child_for(pool.frame_data(fid), key);
+                    pool.unpin_page(page, false)?;
+                    page = child;
+                }
+                other => panic!("b-tree descent hit a {other:?} page"),
+            }
+        }
+    }
+
+    /// Visit `(key, value)` for every key in `[lo, hi]`, ascending.
+    pub fn range_scan<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        lo: u64,
+        hi: u64,
+        mut f: impl FnMut(u64, u64),
+    ) -> Result<(), BTreeError> {
+        // Descend to the leaf containing lo.
+        let mut page = self.root;
+        loop {
+            let fid = pool.pin_page(page)?;
+            let buf = pool.frame_data(fid);
+            if node_type(buf) == PageType::BTreeLeaf {
+                pool.unpin_page(page, false)?;
+                break;
+            }
+            let child = child_for(buf, lo);
+            pool.unpin_page(page, false)?;
+            page = child;
+        }
+        // Walk the leaf chain.
+        loop {
+            let fid = pool.pin_page(page)?;
+            let buf = pool.frame_data(fid);
+            let n = count(buf);
+            let mut past_hi = false;
+            for i in lower_bound(buf, lo)..n {
+                let k = entry_key(buf, i);
+                if k > hi {
+                    past_hi = true;
+                    break;
+                }
+                f(k, entry_val(buf, i));
+            }
+            let next = link(buf);
+            pool.unpin_page(page, false)?;
+            if past_hi || next == NO_LEAF {
+                return Ok(());
+            }
+            page = PageId(next);
+        }
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+    ) -> Result<usize, BTreeError> {
+        let mut h = 1;
+        let mut page = self.root;
+        loop {
+            let fid = pool.pin_page(page)?;
+            let buf = pool.frame_data(fid);
+            if node_type(buf) == PageType::BTreeLeaf {
+                pool.unpin_page(page, false)?;
+                return Ok(h);
+            }
+            let child = PageId(link(buf));
+            pool.unpin_page(page, false)?;
+            page = child;
+            h += 1;
+        }
+    }
+
+    /// Leaf-level page ids, left to right (Example 1.1's "index leaf pages").
+    pub fn leaf_pages<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+    ) -> Result<Vec<PageId>, BTreeError> {
+        let mut page = self.root;
+        loop {
+            let fid = pool.pin_page(page)?;
+            let buf = pool.frame_data(fid);
+            if node_type(buf) == PageType::BTreeLeaf {
+                pool.unpin_page(page, false)?;
+                break;
+            }
+            let child = PageId(link(buf));
+            pool.unpin_page(page, false)?;
+            page = child;
+        }
+        let mut out = Vec::new();
+        loop {
+            out.push(page);
+            let fid = pool.pin_page(page)?;
+            let next = link(pool.frame_data(fid));
+            pool.unpin_page(page, false)?;
+            if next == NO_LEAF {
+                return Ok(out);
+            }
+            page = PageId(next);
+        }
+    }
+
+    /// Check every structural invariant; panics with a description on
+    /// violation. Test-oriented (walks the whole tree).
+    pub fn validate<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+    ) -> Result<(), BTreeError> {
+        let mut leaf_depths = Vec::new();
+        self.validate_rec(pool, self.root, u64::MIN, u64::MAX, 1, &mut leaf_depths)?;
+        assert!(
+            leaf_depths.windows(2).all(|w| w[0] == w[1]),
+            "leaves at differing depths: {leaf_depths:?}"
+        );
+        // Leaf chain must produce all keys in ascending order.
+        let mut prev: Option<u64> = None;
+        let mut seen = 0usize;
+        self.range_scan(pool, u64::MIN, u64::MAX, |k, _| {
+            if let Some(p) = prev {
+                assert!(p < k, "leaf chain out of order: {p} !< {k}");
+            }
+            prev = Some(k);
+            seen += 1;
+        })?;
+        assert_eq!(seen, self.len, "len mismatch: scanned {seen}, len {}", self.len);
+        Ok(())
+    }
+
+    fn validate_rec<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        page: PageId,
+        lo: u64,
+        hi: u64,
+        depth: usize,
+        leaf_depths: &mut Vec<usize>,
+    ) -> Result<(), BTreeError> {
+        let fid = pool.pin_page(page)?;
+        let buf = pool.frame_data(fid);
+        let n = count(buf);
+        let ty = node_type(buf);
+        // Keys sorted and within (lo, hi].
+        for i in 0..n {
+            let k = entry_key(buf, i);
+            assert!(k >= lo && k <= hi, "key {k} outside [{lo}, {hi}] in {page:?}");
+            if i > 0 {
+                assert!(entry_key(buf, i - 1) < k, "unsorted node {page:?}");
+            }
+        }
+        match ty {
+            PageType::BTreeLeaf => {
+                assert!(n <= self.leaf_cap, "leaf {page:?} over capacity");
+                leaf_depths.push(depth);
+                pool.unpin_page(page, false)?;
+            }
+            PageType::BTreeInternal => {
+                assert!(n >= 1, "empty internal node {page:?}");
+                assert!(n <= self.internal_cap, "internal {page:?} over capacity");
+                let children: Vec<(PageId, u64, u64)> = {
+                    let mut v = Vec::with_capacity(n + 1);
+                    let mut low = lo;
+                    for i in 0..n {
+                        let sep = entry_key(buf, i);
+                        let child = if i == 0 {
+                            PageId(link(buf))
+                        } else {
+                            PageId(entry_val(buf, i - 1))
+                        };
+                        v.push((child, low, sep.saturating_sub(1)));
+                        low = sep;
+                    }
+                    v.push((PageId(entry_val(buf, n - 1)), low, hi));
+                    v
+                };
+                pool.unpin_page(page, false)?;
+                for (child, clo, chi) in children {
+                    self.validate_rec(pool, child, clo, chi, depth + 1, leaf_depths)?;
+                }
+            }
+            other => panic!("b-tree validate hit a {other:?} page"),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lruk_buffer::InMemoryDisk;
+    use lruk_core::LruK;
+
+    fn pool(frames: usize) -> BufferPoolManager {
+        BufferPoolManager::new(frames, InMemoryDisk::unbounded(), Box::new(LruK::lru2()))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let mut pool = pool(8);
+        let t = BTree::create(&mut pool).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.search(&mut pool, 42).unwrap(), None);
+        assert_eq!(t.height(&mut pool).unwrap(), 1);
+        t.validate(&mut pool).unwrap();
+    }
+
+    #[test]
+    fn insert_search_small() {
+        let mut pool = pool(8);
+        let mut t = BTree::create(&mut pool).unwrap();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert_eq!(t.insert(&mut pool, k, k * 10).unwrap(), None);
+        }
+        assert_eq!(t.len(), 5);
+        for k in [1u64, 3, 5, 7, 9] {
+            assert_eq!(t.search(&mut pool, k).unwrap(), Some(k * 10));
+        }
+        assert_eq!(t.search(&mut pool, 4).unwrap(), None);
+        t.validate(&mut pool).unwrap();
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut pool = pool(8);
+        let mut t = BTree::create(&mut pool).unwrap();
+        assert_eq!(t.insert(&mut pool, 1, 10).unwrap(), None);
+        assert_eq!(t.insert(&mut pool, 1, 20).unwrap(), Some(10));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.search(&mut pool, 1).unwrap(), Some(20));
+    }
+
+    #[test]
+    fn splits_build_a_deep_tree() {
+        let mut pool = pool(8);
+        let mut t = BTree::create_with_caps(&mut pool, 4, 4).unwrap();
+        for k in 0..200u64 {
+            t.insert(&mut pool, k, k).unwrap();
+        }
+        assert!(t.height(&mut pool).unwrap() >= 3);
+        t.validate(&mut pool).unwrap();
+        for k in 0..200u64 {
+            assert_eq!(t.search(&mut pool, k).unwrap(), Some(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn random_order_inserts() {
+        use rand::seq::SliceRandom;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut keys: Vec<u64> = (0..500).collect();
+        keys.shuffle(&mut rng);
+        let mut pool = pool(16);
+        let mut t = BTree::create_with_caps(&mut pool, 6, 6).unwrap();
+        for &k in &keys {
+            t.insert(&mut pool, k, k + 1).unwrap();
+        }
+        t.validate(&mut pool).unwrap();
+        for k in 0..500u64 {
+            assert_eq!(t.search(&mut pool, k).unwrap(), Some(k + 1));
+        }
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let mut pool = pool(8);
+        let mut t = BTree::create_with_caps(&mut pool, 4, 4).unwrap();
+        for k in (0..100u64).map(|x| x * 2) {
+            t.insert(&mut pool, k, k).unwrap();
+        }
+        let mut got = Vec::new();
+        t.range_scan(&mut pool, 10, 20, |k, _| got.push(k)).unwrap();
+        assert_eq!(got, vec![10, 12, 14, 16, 18, 20]);
+        // Empty range.
+        let mut none = Vec::new();
+        t.range_scan(&mut pool, 11, 11, |k, _| none.push(k)).unwrap();
+        assert!(none.is_empty());
+        // Full scan is sorted and complete.
+        let mut all = Vec::new();
+        t.range_scan(&mut pool, 0, u64::MAX, |k, _| all.push(k)).unwrap();
+        assert_eq!(all.len(), 100);
+    }
+
+    #[test]
+    fn delete_removes_keys() {
+        let mut pool = pool(8);
+        let mut t = BTree::create_with_caps(&mut pool, 4, 4).unwrap();
+        for k in 0..50u64 {
+            t.insert(&mut pool, k, k).unwrap();
+        }
+        assert_eq!(t.delete(&mut pool, 25).unwrap(), Some(25));
+        assert_eq!(t.delete(&mut pool, 25).unwrap(), None);
+        assert_eq!(t.search(&mut pool, 25).unwrap(), None);
+        assert_eq!(t.len(), 49);
+        t.validate(&mut pool).unwrap();
+        // Delete everything; structure stays valid (no merging).
+        for k in 0..50u64 {
+            t.delete(&mut pool, k).unwrap();
+        }
+        assert!(t.is_empty());
+        t.validate(&mut pool).unwrap();
+    }
+
+    #[test]
+    fn works_with_tiny_buffer_pool() {
+        // The pool holds 3 frames; the tree spans dozens of pages, so most
+        // accesses go through eviction and write-back.
+        let mut pool = pool(3);
+        let mut t = BTree::create_with_caps(&mut pool, 4, 4).unwrap();
+        for k in 0..300u64 {
+            t.insert(&mut pool, k, k * 3).unwrap();
+        }
+        assert!(pool.stats().evictions > 0);
+        for k in 0..300u64 {
+            assert_eq!(t.search(&mut pool, k).unwrap(), Some(k * 3));
+        }
+        t.validate(&mut pool).unwrap();
+    }
+
+    #[test]
+    fn example_1_1_geometry() {
+        // 20 000 keys at full fan-out: a single root over ~100+ leaves, as
+        // in the paper's Example 1.1 sizing (its 200/page vs our 255/page
+        // changes the count slightly; the 2-level shape is what matters).
+        let mut pool = pool(64);
+        let mut t = BTree::create(&mut pool).unwrap();
+        for k in 0..20_000u64 {
+            t.insert(&mut pool, k, k).unwrap();
+        }
+        assert_eq!(t.height(&mut pool).unwrap(), 2);
+        let leaves = t.leaf_pages(&mut pool).unwrap();
+        assert!(
+            (78..=160).contains(&leaves.len()),
+            "expected ~100 leaves, got {}",
+            leaves.len()
+        );
+        t.validate(&mut pool).unwrap();
+    }
+}

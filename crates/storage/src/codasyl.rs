@@ -1,0 +1,506 @@
+//! A CODASYL-style (network model) bank database.
+//!
+//! The paper's §4.3 trace came from "a one-hour page reference trace of the
+//! production OLTP system of a large bank … to a CODASYL database". That
+//! trace is proprietary; this module is the substitute substrate
+//! (`DESIGN.md` §5): a network-model schema with owner/member *set chains*,
+//! whose operations generate the same three reference kinds the paper names
+//! — random (B-tree keyed lookups), sequential (heap scans) and navigational
+//! (chain walks).
+//!
+//! Schema (a TPC-A-flavoured bank):
+//!
+//! ```text
+//! BRANCH 1──< ACCOUNT 1──< HISTORY        TELLER >──1 BRANCH
+//!        (set: branch-accounts)   (set: account-history, newest first)
+//! ```
+//!
+//! Every record type is fixed-layout in its own heap file; set membership is
+//! a singly-linked RID chain threaded through the records, exactly how
+//! CODASYL implementations materialized sets on disk — following a chain
+//! touches the *pages* of successive members, which is what makes
+//! navigational workloads distinctive for a buffer manager.
+
+use crate::btree::BTree;
+use crate::heap::{HeapError, HeapFile, Rid};
+use crate::layout::{get_f64, get_u64, put_f64, put_u64};
+use lruk_buffer::{BufferPoolManager, DiskManager};
+use serde::{Deserialize, Serialize};
+
+/// "No RID" sentinel in chain pointers.
+const NIL: u64 = u64::MAX;
+
+// Record sizes follow TPC-A-style row widths (branch and teller rows carry
+// sizeable filler in the benchmark definitions), which also spreads the
+// record types over realistic page counts — 3 branches, 7 tellers,
+// 31 accounts or 63 history entries per 4 KiB page.
+const BRANCH_SIZE: usize = 1024;
+const TELLER_SIZE: usize = 512;
+const ACCOUNT_SIZE: usize = 128;
+const HISTORY_SIZE: usize = 64;
+
+// Branch layout.
+const B_ID: usize = 0;
+const B_BALANCE: usize = 8;
+const B_FIRST_ACCT: usize = 16;
+const B_ACCT_COUNT: usize = 24;
+// Teller layout.
+const T_ID: usize = 0;
+const T_BRANCH: usize = 8;
+const T_BALANCE: usize = 16;
+// Account layout.
+const A_ID: usize = 0;
+const A_BRANCH: usize = 8;
+const A_BALANCE: usize = 16;
+const A_NEXT: usize = 24;
+const A_FIRST_HIST: usize = 32;
+const A_HIST_COUNT: usize = 40;
+// History layout.
+const H_ACCT: usize = 0;
+const H_TELLER: usize = 8;
+const H_BRANCH: usize = 16;
+const H_DELTA: usize = 24;
+const H_TS: usize = 32;
+const H_NEXT: usize = 40;
+
+/// Sizing of the synthetic bank.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankConfig {
+    /// Number of branch records.
+    pub branches: u64,
+    /// Tellers per branch.
+    pub tellers_per_branch: u64,
+    /// Accounts per branch.
+    pub accounts_per_branch: u64,
+    /// Pages pre-allocated for the history file's CALC placement area
+    /// (history records are *placed* by hashed account id, CODASYL-style,
+    /// not appended — see [`HeapFile::insert_at`]). The extent grows when
+    /// exhausted; size it to the expected history volume to keep placement
+    /// clustered.
+    pub history_pages: u64,
+}
+
+impl Default for BankConfig {
+    /// A small bank suitable for tests; experiments scale this up.
+    fn default() -> Self {
+        BankConfig {
+            branches: 4,
+            tellers_per_branch: 10,
+            accounts_per_branch: 250,
+            history_pages: 16,
+        }
+    }
+}
+
+impl BankConfig {
+    /// Total number of accounts.
+    pub fn total_accounts(&self) -> u64 {
+        self.branches * self.accounts_per_branch
+    }
+
+    /// Total number of tellers.
+    pub fn total_tellers(&self) -> u64 {
+        self.branches * self.tellers_per_branch
+    }
+}
+
+/// One logical transaction's page-level outcome (for tests/diagnostics).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TxnResult {
+    /// Balance of the account after the update.
+    pub account_balance: f64,
+}
+
+/// The bank database handle. Heap directories and the account index root
+/// live in memory; every record access goes through the buffer pool.
+#[derive(Debug)]
+pub struct BankDb {
+    cfg: BankConfig,
+    branches: HeapFile,
+    tellers: HeapFile,
+    accounts: HeapFile,
+    history: HeapFile,
+    branch_rids: Vec<Rid>,
+    teller_rids: Vec<Rid>,
+    /// CODASYL "database keys": direct record addresses, the network
+    /// model's native access path. Transactions address accounts through
+    /// these (no index traversal), as a CODASYL application would.
+    account_rids: Vec<Rid>,
+    /// Clustered index: account id → RID (as u64) — the *keyed* access
+    /// path, used by applications that look accounts up by key.
+    account_index: BTree,
+    txn_counter: u64,
+}
+
+impl BankDb {
+    /// Build and populate the bank.
+    pub fn build<D: DiskManager>(
+        pool: &mut BufferPoolManager<D>,
+        cfg: BankConfig,
+    ) -> Result<Self, HeapError> {
+        assert!(cfg.branches >= 1 && cfg.accounts_per_branch >= 1 && cfg.tellers_per_branch >= 1);
+        let mut branches = HeapFile::new();
+        let mut tellers = HeapFile::new();
+        let mut accounts = HeapFile::new();
+        let mut history = HeapFile::new();
+        let mut account_index =
+            BTree::create(pool).map_err(|crate::btree::BTreeError::Buffer(e)| HeapError::Buffer(e))?;
+
+        let mut branch_rids = Vec::with_capacity(cfg.branches as usize);
+        for b in 0..cfg.branches {
+            let mut rec = vec![0u8; BRANCH_SIZE];
+            put_u64(&mut rec, B_ID, b);
+            put_f64(&mut rec, B_BALANCE, 0.0);
+            put_u64(&mut rec, B_FIRST_ACCT, NIL);
+            put_u64(&mut rec, B_ACCT_COUNT, 0);
+            branch_rids.push(branches.insert(pool, &rec)?);
+        }
+
+        let mut teller_rids = Vec::with_capacity(cfg.total_tellers() as usize);
+        for t in 0..cfg.total_tellers() {
+            let mut rec = vec![0u8; TELLER_SIZE];
+            put_u64(&mut rec, T_ID, t);
+            put_u64(&mut rec, T_BRANCH, t / cfg.tellers_per_branch);
+            put_f64(&mut rec, T_BALANCE, 0.0);
+            teller_rids.push(tellers.insert(pool, &rec)?);
+        }
+
+        let mut account_rids = Vec::with_capacity(cfg.total_accounts() as usize);
+        for a in 0..cfg.total_accounts() {
+            let branch = a / cfg.accounts_per_branch;
+            // Link at the head of the branch's account chain.
+            let brid = branch_rids[branch as usize];
+            let old_head = branches.get(pool, brid, |d| get_u64(d, B_FIRST_ACCT))?;
+            let mut rec = vec![0u8; ACCOUNT_SIZE];
+            put_u64(&mut rec, A_ID, a);
+            put_u64(&mut rec, A_BRANCH, branch);
+            put_f64(&mut rec, A_BALANCE, 100.0);
+            put_u64(&mut rec, A_NEXT, old_head);
+            put_u64(&mut rec, A_FIRST_HIST, NIL);
+            put_u64(&mut rec, A_HIST_COUNT, 0);
+            let rid = accounts.insert(pool, &rec)?;
+            branches.update(pool, brid, |d| {
+                put_u64(d, B_FIRST_ACCT, rid.to_u64());
+                let c = get_u64(d, B_ACCT_COUNT);
+                put_u64(d, B_ACCT_COUNT, c + 1);
+            })?;
+            account_index
+                .insert(pool, a, rid.to_u64())
+                .map_err(|crate::btree::BTreeError::Buffer(e)| HeapError::Buffer(e))?;
+            account_rids.push(rid);
+        }
+        history.preallocate(pool, cfg.history_pages as usize)?;
+
+        Ok(BankDb {
+            cfg,
+            branches,
+            tellers,
+            accounts,
+            history,
+            branch_rids,
+            teller_rids,
+            account_rids,
+            account_index,
+            txn_counter: 0,
+        })
+    }
+
+    /// Sizing of this bank.
+    pub fn config(&self) -> &BankConfig {
+        &self.cfg
+    }
+
+    /// The account index (for page-geometry inspection in experiments).
+    pub fn account_index(&self) -> &BTree {
+        &self.account_index
+    }
+
+    /// Data pages of each heap file (for trace analytics).
+    pub fn heap_pages(&self) -> [&[lruk_policy::PageId]; 4] {
+        [
+            self.branches.pages(),
+            self.tellers.pages(),
+            self.accounts.pages(),
+            self.history.pages(),
+        ]
+    }
+
+    /// Look up an account's RID through the clustered index (random access
+    /// path: root + leaf + data page, the Example 1.1 pattern).
+    pub fn account_rid<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        account_id: u64,
+    ) -> Result<Option<Rid>, HeapError> {
+        let found = self
+            .account_index
+            .search(pool, account_id)
+            .map_err(|crate::btree::BTreeError::Buffer(e)| HeapError::Buffer(e))?;
+        Ok(found.map(Rid::from_u64))
+    }
+
+    /// The TPC-A-style transaction: update account, teller and branch
+    /// balances by `delta` and append a history record to the account's
+    /// history chain.
+    pub fn transaction<D: DiskManager>(
+        &mut self,
+        pool: &mut BufferPoolManager<D>,
+        account_id: u64,
+        teller_id: u64,
+        delta: f64,
+    ) -> Result<TxnResult, HeapError> {
+        assert!(account_id < self.cfg.total_accounts(), "unknown account");
+        assert!(teller_id < self.cfg.total_tellers(), "unknown teller");
+        // Direct database-key addressing (the CODASYL access path): no
+        // index pages are touched on the transaction path.
+        let arid = self.account_rids[account_id as usize];
+
+        // Account: read-modify-write; capture chain head and branch.
+        let (branch_id, old_hist_head) = self.accounts.update(pool, arid, |d| {
+            let bal = get_f64(d, A_BALANCE);
+            put_f64(d, A_BALANCE, bal + delta);
+            (get_u64(d, A_BRANCH), get_u64(d, A_FIRST_HIST))
+        })?;
+        // Teller.
+        let trid = self.teller_rids[teller_id as usize];
+        self.tellers.update(pool, trid, |d| {
+            let bal = get_f64(d, T_BALANCE);
+            put_f64(d, T_BALANCE, bal + delta);
+        })?;
+        // Branch.
+        let brid = self.branch_rids[branch_id as usize];
+        self.branches.update(pool, brid, |d| {
+            let bal = get_f64(d, B_BALANCE);
+            put_f64(d, B_BALANCE, bal + delta);
+        })?;
+        // History insert + chain link.
+        self.txn_counter += 1;
+        let mut hist = vec![0u8; HISTORY_SIZE];
+        put_u64(&mut hist, H_ACCT, account_id);
+        put_u64(&mut hist, H_TELLER, teller_id);
+        put_u64(&mut hist, H_BRANCH, branch_id);
+        put_f64(&mut hist, H_DELTA, delta);
+        put_u64(&mut hist, H_TS, self.txn_counter);
+        put_u64(&mut hist, H_NEXT, old_hist_head);
+        // CALC placement: hash the owning account so an account's history
+        // clusters (VIA-SET locality) instead of hammering one tail page.
+        let calc = (account_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize;
+        let hrid = self.history.insert_at(pool, calc, &hist)?;
+        let balance = self.accounts.update(pool, arid, |d| {
+            put_u64(d, A_FIRST_HIST, hrid.to_u64());
+            let c = get_u64(d, A_HIST_COUNT);
+            put_u64(d, A_HIST_COUNT, c + 1);
+            get_f64(d, A_BALANCE)
+        })?;
+        Ok(TxnResult {
+            account_balance: balance,
+        })
+    }
+
+    /// Navigational walk: visit every account of `branch_id` along the
+    /// branch-accounts set chain, calling `f(account_id, balance)`.
+    pub fn walk_branch_accounts<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        branch_id: u64,
+        mut f: impl FnMut(u64, f64),
+    ) -> Result<usize, HeapError> {
+        let brid = self.branch_rids[branch_id as usize];
+        let mut cursor = self.branches.get(pool, brid, |d| get_u64(d, B_FIRST_ACCT))?;
+        let mut visited = 0;
+        while cursor != NIL {
+            let rid = Rid::from_u64(cursor);
+            cursor = self.accounts.get(pool, rid, |d| {
+                f(get_u64(d, A_ID), get_f64(d, A_BALANCE));
+                get_u64(d, A_NEXT)
+            })?;
+            visited += 1;
+        }
+        Ok(visited)
+    }
+
+    /// Navigational walk of an account's history chain (newest first), up to
+    /// `limit` entries; calls `f(timestamp, delta)`.
+    pub fn walk_account_history<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+        account_id: u64,
+        limit: usize,
+        mut f: impl FnMut(u64, f64),
+    ) -> Result<usize, HeapError> {
+        let arid = self
+            .account_rid(pool, account_id)?
+            .expect("indexed account must exist");
+        let mut cursor = self.accounts.get(pool, arid, |d| get_u64(d, A_FIRST_HIST))?;
+        let mut visited = 0;
+        while cursor != NIL && visited < limit {
+            let rid = Rid::from_u64(cursor);
+            cursor = self.history.get(pool, rid, |d| {
+                f(get_u64(d, H_TS), get_f64(d, H_DELTA));
+                get_u64(d, H_NEXT)
+            })?;
+            visited += 1;
+        }
+        Ok(visited)
+    }
+
+    /// Sequential scan over all account records (the batch job of
+    /// Example 1.2); returns the sum of balances.
+    pub fn scan_account_balances<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+    ) -> Result<f64, HeapError> {
+        let mut total = 0.0;
+        self.accounts.scan(pool, |_, d| total += get_f64(d, A_BALANCE))?;
+        Ok(total)
+    }
+
+    /// Consistency check: branch balance == Σ teller balances of the branch
+    /// == Σ history deltas of its accounts, and chain counts match record
+    /// counts. Panics with a description on violation (test-oriented).
+    pub fn validate<D: DiskManager>(
+        &self,
+        pool: &mut BufferPoolManager<D>,
+    ) -> Result<(), HeapError> {
+        for b in 0..self.cfg.branches {
+            let brid = self.branch_rids[b as usize];
+            let (bal, count) = self
+                .branches
+                .get(pool, brid, |d| (get_f64(d, B_BALANCE), get_u64(d, B_ACCT_COUNT)))?;
+            assert_eq!(
+                count, self.cfg.accounts_per_branch,
+                "branch {b} chain count mismatch"
+            );
+            let mut chain_len = 0;
+            let mut delta_sum = 0.0;
+            self.walk_branch_accounts(pool, b, |_, acct_bal| {
+                chain_len += 1;
+                delta_sum += acct_bal - 100.0; // initial balance
+            })?;
+            assert_eq!(chain_len as u64, count, "branch {b} walk length mismatch");
+            assert!(
+                (bal - delta_sum).abs() < 1e-6,
+                "branch {b} balance {bal} != account delta sum {delta_sum}"
+            );
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lruk_buffer::InMemoryDisk;
+    use lruk_core::LruK;
+
+    fn pool(frames: usize) -> BufferPoolManager {
+        BufferPoolManager::new(frames, InMemoryDisk::unbounded(), Box::new(LruK::lru2()))
+    }
+
+    fn small_cfg() -> BankConfig {
+        BankConfig {
+            branches: 3,
+            tellers_per_branch: 2,
+            accounts_per_branch: 40,
+            history_pages: 4,
+        }
+    }
+
+    #[test]
+    fn build_links_all_chains() {
+        let mut pool = pool(32);
+        let db = BankDb::build(&mut pool, small_cfg()).unwrap();
+        for b in 0..3 {
+            let mut ids = Vec::new();
+            let n = db.walk_branch_accounts(&mut pool, b, |id, _| ids.push(id)).unwrap();
+            assert_eq!(n, 40);
+            // All ids belong to the branch.
+            assert!(ids.iter().all(|&id| id / 40 == b));
+            // Chain is head-inserted: descending ids.
+            assert!(ids.windows(2).all(|w| w[0] > w[1]));
+        }
+        db.validate(&mut pool).unwrap();
+    }
+
+    #[test]
+    fn index_lookup_finds_every_account() {
+        let mut pool = pool(32);
+        let db = BankDb::build(&mut pool, small_cfg()).unwrap();
+        for a in 0..db.config().total_accounts() {
+            let rid = db.account_rid(&mut pool, a).unwrap();
+            assert!(rid.is_some(), "account {a} missing from index");
+        }
+        assert_eq!(db.account_rid(&mut pool, 9999).unwrap(), None);
+    }
+
+    #[test]
+    fn transactions_move_money_consistently() {
+        let mut pool = pool(32);
+        let mut db = BankDb::build(&mut pool, small_cfg()).unwrap();
+        let r1 = db.transaction(&mut pool, 0, 0, 25.0).unwrap();
+        assert_eq!(r1.account_balance, 125.0);
+        let r2 = db.transaction(&mut pool, 0, 1, -5.0).unwrap();
+        assert_eq!(r2.account_balance, 120.0);
+        db.transaction(&mut pool, 41, 2, 10.0).unwrap();
+        db.validate(&mut pool).unwrap();
+    }
+
+    #[test]
+    fn history_chain_is_newest_first() {
+        let mut pool = pool(32);
+        let mut db = BankDb::build(&mut pool, small_cfg()).unwrap();
+        for i in 0..5 {
+            db.transaction(&mut pool, 7, 0, i as f64).unwrap();
+        }
+        let mut ts = Vec::new();
+        let n = db
+            .walk_account_history(&mut pool, 7, 100, |t, _| ts.push(t))
+            .unwrap();
+        assert_eq!(n, 5);
+        assert!(ts.windows(2).all(|w| w[0] > w[1]), "newest first: {ts:?}");
+        // Limit respected.
+        let n2 = db.walk_account_history(&mut pool, 7, 2, |_, _| ()).unwrap();
+        assert_eq!(n2, 2);
+        // Untouched account has no history.
+        let n3 = db.walk_account_history(&mut pool, 8, 100, |_, _| ()).unwrap();
+        assert_eq!(n3, 0);
+    }
+
+    #[test]
+    fn sequential_scan_sums_balances() {
+        let mut pool = pool(32);
+        let mut db = BankDb::build(&mut pool, small_cfg()).unwrap();
+        let total0 = db.scan_account_balances(&mut pool).unwrap();
+        assert_eq!(total0, 120.0 * 100.0); // 120 accounts × 100.0
+        db.transaction(&mut pool, 3, 0, 50.0).unwrap();
+        let total1 = db.scan_account_balances(&mut pool).unwrap();
+        assert_eq!(total1, total0 + 50.0);
+    }
+
+    #[test]
+    fn survives_tiny_buffer_pool() {
+        // Build and run with pool smaller than the database: constant eviction.
+        let mut pool = pool(4);
+        let mut db = BankDb::build(&mut pool, small_cfg()).unwrap();
+        for i in 0..50 {
+            db.transaction(&mut pool, i % 120, i % 6, 1.0).unwrap();
+        }
+        assert!(pool.stats().evictions > 0);
+        db.validate(&mut pool).unwrap();
+    }
+
+    #[test]
+    fn heap_pages_partition_by_record_type() {
+        let mut pool = pool(32);
+        let db = BankDb::build(&mut pool, small_cfg()).unwrap();
+        let [b, t, a, h] = db.heap_pages();
+        assert!(!b.is_empty() && !t.is_empty() && !a.is_empty());
+        assert_eq!(h.len(), 4, "history CALC extent is preallocated");
+        // No page id is shared across files.
+        let mut all: Vec<_> = b.iter().chain(t).chain(a).chain(h).collect();
+        let len = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), len);
+    }
+}

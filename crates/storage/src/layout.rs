@@ -1,0 +1,80 @@
+//! Little-endian field accessors for on-page byte layouts.
+//!
+//! All page structures in this crate use explicit little-endian encodings
+//! read and written through these helpers, so layouts are
+//! platform-independent and there is no `unsafe` transmuting anywhere.
+
+/// Read a `u16` at `off`.
+#[inline]
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+/// Write a `u16` at `off`.
+#[inline]
+pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u32` at `off`.
+#[inline]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+/// Write a `u32` at `off`.
+#[inline]
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read a `u64` at `off`.
+#[inline]
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// Write a `u64` at `off`.
+#[inline]
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Read an `f64` at `off`.
+#[inline]
+pub fn get_f64(buf: &[u8], off: usize) -> f64 {
+    f64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+/// Write an `f64` at `off`.
+#[inline]
+pub fn put_f64(buf: &mut [u8], off: usize, v: f64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let mut buf = vec![0u8; 64];
+        put_u16(&mut buf, 0, 0xBEEF);
+        put_u32(&mut buf, 2, 0xDEAD_BEEF);
+        put_u64(&mut buf, 6, 0x0123_4567_89AB_CDEF);
+        put_f64(&mut buf, 14, -12.5);
+        assert_eq!(get_u16(&buf, 0), 0xBEEF);
+        assert_eq!(get_u32(&buf, 2), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&buf, 6), 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_f64(&buf, 14), -12.5);
+    }
+
+    #[test]
+    fn unaligned_access_is_fine() {
+        let mut buf = vec![0u8; 32];
+        put_u64(&mut buf, 3, u64::MAX);
+        assert_eq!(get_u64(&buf, 3), u64::MAX);
+        assert_eq!(buf[2], 0);
+        assert_eq!(buf[11], 0);
+    }
+}

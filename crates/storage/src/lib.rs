@@ -1,0 +1,40 @@
+//! # lruk-storage — the storage substrate under the experiments
+//!
+//! The paper's workloads are not abstract page streams: Example 1.1 is a
+//! clustered B-tree over customer records, and the §4.3 trace comes from a
+//! CODASYL (network-model) bank database with "random, sequential, and
+//! navigational references". This crate builds those access-path structures
+//! on top of [`lruk_buffer::BufferPoolManager`], so the workload generators
+//! produce reference strings from *real* page structures rather than
+//! hand-waved distributions:
+//!
+//! * [`slotted`] — slotted page layout (variable-length records + slot
+//!   directory) used by every higher structure;
+//! * [`heap`] — heap files: unordered record storage with RIDs and scans;
+//! * [`btree`] — a B+tree keyed by `u64`, the clustered index of
+//!   Example 1.1;
+//! * [`record`] — the 2000-byte customer record codec of Example 1.1;
+//! * [`codasyl`] — a network-model bank database (owner/member chains and
+//!   navigational walks), the substitute for the paper's proprietary trace
+//!   source (`DESIGN.md` §5);
+//! * [`wal`] — write-ahead logging and ARIES-lite restart recovery, making
+//!   the buffer pool's steal/write-back discipline (Figure 2.1's "if victim
+//!   is dirty then write victim back") protocol-correct.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod btree;
+pub mod codasyl;
+pub mod heap;
+pub mod layout;
+pub mod record;
+pub mod slotted;
+pub mod wal;
+
+pub use btree::BTree;
+pub use codasyl::{BankConfig, BankDb};
+pub use heap::{HeapFile, Rid};
+pub use record::CustomerRecord;
+pub use slotted::{PageType, SlottedPage};
+pub use wal::{recover, LogRecord, Lsn, TxnId, Wal, WalDisk};

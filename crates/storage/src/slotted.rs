@@ -1,0 +1,327 @@
+//! Slotted page layout.
+//!
+//! Classic design: a header and a slot directory grow from the start of the
+//! page, record bodies grow backwards from the end. Deleting a record leaves
+//! a dead slot (so RIDs of other records stay stable); the space is
+//! reclaimed by [`SlottedPage::compact`].
+//!
+//! ```text
+//! 0        2         4          8                8+4n          free_ptr      PAGE_SIZE
+//! +--------+---------+----------+---------------+--- free ----+--- cells ---+
+//! | type   | n slots | free_ptr | slot dir (4B) |             |             |
+//! +--------+---------+----------+---------------+-------------+-------------+
+//! ```
+
+use crate::layout::{get_u16, put_u16};
+use lruk_buffer::PAGE_SIZE;
+
+/// Discriminates the structure stored on a page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u16)]
+pub enum PageType {
+    /// Unformatted / free.
+    Free = 0,
+    /// Heap-file data page.
+    Heap = 1,
+    /// B+tree leaf node.
+    BTreeLeaf = 2,
+    /// B+tree internal node.
+    BTreeInternal = 3,
+    /// CODASYL record page.
+    Codasyl = 4,
+}
+
+impl PageType {
+    /// Decode from the on-page tag; unknown tags map to `Free`.
+    pub fn from_u16(v: u16) -> PageType {
+        match v {
+            1 => PageType::Heap,
+            2 => PageType::BTreeLeaf,
+            3 => PageType::BTreeInternal,
+            4 => PageType::Codasyl,
+            _ => PageType::Free,
+        }
+    }
+}
+
+const OFF_TYPE: usize = 0;
+const OFF_NSLOTS: usize = 2;
+const OFF_FREE_PTR: usize = 4;
+const HEADER: usize = 8;
+const SLOT_BYTES: usize = 4;
+
+/// Index of a record within its page.
+pub type SlotId = u16;
+
+/// A typed view over a page-sized byte buffer.
+///
+/// The view borrows the buffer mutably for the duration of an operation;
+/// all state lives on the page itself, so views are free to construct.
+pub struct SlottedPage<'a> {
+    buf: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap an existing formatted page.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        SlottedPage { buf }
+    }
+
+    /// Format `buf` as an empty slotted page of the given type.
+    pub fn format(buf: &'a mut [u8], ty: PageType) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        buf[..HEADER].fill(0);
+        put_u16(buf, OFF_TYPE, ty as u16);
+        put_u16(buf, OFF_NSLOTS, 0);
+        put_u16(buf, OFF_FREE_PTR, PAGE_SIZE as u16);
+        SlottedPage { buf }
+    }
+
+    /// The page's type tag.
+    pub fn page_type(&self) -> PageType {
+        PageType::from_u16(get_u16(self.buf, OFF_TYPE))
+    }
+
+    /// Number of slots (including dead ones).
+    pub fn slot_count(&self) -> u16 {
+        get_u16(self.buf, OFF_NSLOTS)
+    }
+
+    /// Number of live records.
+    pub fn live_count(&self) -> u16 {
+        (0..self.slot_count())
+            .filter(|&s| self.slot(s).is_some())
+            .count() as u16
+    }
+
+    fn free_ptr(&self) -> usize {
+        get_u16(self.buf, OFF_FREE_PTR) as usize
+    }
+
+    fn slot_entry(&self, slot: SlotId) -> (usize, usize) {
+        let base = HEADER + slot as usize * SLOT_BYTES;
+        (
+            get_u16(self.buf, base) as usize,
+            get_u16(self.buf, base + 2) as usize,
+        )
+    }
+
+    fn set_slot_entry(&mut self, slot: SlotId, off: usize, len: usize) {
+        let base = HEADER + slot as usize * SLOT_BYTES;
+        put_u16(self.buf, base, off as u16);
+        put_u16(self.buf, base + 2, len as u16);
+    }
+
+    /// Contiguous free bytes available for one more record of any size.
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER + self.slot_count() as usize * SLOT_BYTES;
+        self.free_ptr().saturating_sub(dir_end)
+    }
+
+    /// Can a record of `len` bytes be inserted without compaction?
+    pub fn fits(&self, len: usize) -> bool {
+        // A new record needs its bytes plus (worst case) a new slot entry.
+        self.free_space() >= len + SLOT_BYTES
+    }
+
+    /// Insert a record, returning its slot, or `None` if it does not fit.
+    /// Dead slots are reused (their RIDs were already invalidated).
+    pub fn insert(&mut self, record: &[u8]) -> Option<SlotId> {
+        assert!(!record.is_empty(), "empty records are not representable");
+        assert!(record.len() <= u16::MAX as usize);
+        let n = self.slot_count();
+        // Reuse a dead slot when possible (doesn't grow the directory).
+        let reuse = (0..n).find(|&s| self.slot(s).is_none());
+        let needs_dir = reuse.is_none();
+        let dir_end = HEADER + (n as usize + usize::from(needs_dir)) * SLOT_BYTES;
+        if self.free_ptr() < dir_end + record.len() {
+            return None;
+        }
+        let new_ptr = self.free_ptr() - record.len();
+        self.buf[new_ptr..new_ptr + record.len()].copy_from_slice(record);
+        put_u16(self.buf, OFF_FREE_PTR, new_ptr as u16);
+        let slot = reuse.unwrap_or(n);
+        self.set_slot_entry(slot, new_ptr, record.len());
+        if reuse.is_none() {
+            put_u16(self.buf, OFF_NSLOTS, n + 1);
+        }
+        Some(slot)
+    }
+
+    /// Read the record in `slot`, if live.
+    pub fn slot(&self, slot: SlotId) -> Option<&[u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot_entry(slot);
+        if len == 0 {
+            None
+        } else {
+            Some(&self.buf[off..off + len])
+        }
+    }
+
+    /// Mutable access to the record in `slot` (in-place update only; the
+    /// length cannot change).
+    pub fn slot_mut(&mut self, slot: SlotId) -> Option<&mut [u8]> {
+        if slot >= self.slot_count() {
+            return None;
+        }
+        let (off, len) = self.slot_entry(slot);
+        if len == 0 {
+            None
+        } else {
+            Some(&mut self.buf[off..off + len])
+        }
+    }
+
+    /// Delete the record in `slot`; returns `true` if it was live. Space is
+    /// reclaimed lazily by [`compact`](Self::compact).
+    pub fn delete(&mut self, slot: SlotId) -> bool {
+        if slot >= self.slot_count() {
+            return false;
+        }
+        let (_, len) = self.slot_entry(slot);
+        if len == 0 {
+            return false;
+        }
+        self.set_slot_entry(slot, 0, 0);
+        true
+    }
+
+    /// Compact live records to the end of the page, squeezing out holes left
+    /// by deletions. Slot ids are preserved.
+    pub fn compact(&mut self) {
+        let n = self.slot_count();
+        // Collect live records (slot, bytes) — small copies, page-local.
+        let mut live: Vec<(SlotId, Vec<u8>)> = Vec::new();
+        for s in 0..n {
+            if let Some(data) = self.slot(s) {
+                live.push((s, data.to_vec()));
+            }
+        }
+        let mut ptr = PAGE_SIZE;
+        for (s, data) in &live {
+            ptr -= data.len();
+            self.buf[ptr..ptr + data.len()].copy_from_slice(data);
+            self.set_slot_entry(*s, ptr, data.len());
+        }
+        put_u16(self.buf, OFF_FREE_PTR, ptr as u16);
+    }
+
+    /// Iterate `(slot, record)` over live records.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| self.slot(s).map(|d| (s, d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Vec<u8> {
+        vec![0u8; PAGE_SIZE]
+    }
+
+    #[test]
+    fn format_and_type() {
+        let mut buf = page();
+        let p = SlottedPage::format(&mut buf, PageType::Heap);
+        assert_eq!(p.page_type(), PageType::Heap);
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.free_space(), PAGE_SIZE - HEADER);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut buf = page();
+        let mut p = SlottedPage::format(&mut buf, PageType::Heap);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.slot(a), Some(&b"hello"[..]));
+        assert_eq!(p.slot(b), Some(&b"world!"[..]));
+        assert_eq!(p.live_count(), 2);
+        assert_eq!(p.slot(99), None);
+    }
+
+    #[test]
+    fn delete_and_slot_reuse() {
+        let mut buf = page();
+        let mut p = SlottedPage::format(&mut buf, PageType::Heap);
+        let a = p.insert(b"aaaa").unwrap();
+        let b = p.insert(b"bbbb").unwrap();
+        assert!(p.delete(a));
+        assert!(!p.delete(a), "double delete");
+        assert_eq!(p.slot(a), None);
+        assert_eq!(p.slot(b), Some(&b"bbbb"[..]));
+        // New insert reuses the dead slot id.
+        let c = p.insert(b"cccc").unwrap();
+        assert_eq!(c, a);
+        assert_eq!(p.slot_count(), 2);
+    }
+
+    #[test]
+    fn fills_up_and_rejects() {
+        let mut buf = page();
+        let mut p = SlottedPage::format(&mut buf, PageType::Heap);
+        let rec = vec![7u8; 100];
+        let mut inserted = 0;
+        while p.insert(&rec).is_some() {
+            inserted += 1;
+        }
+        // 104 bytes per record (100 + 4-byte slot): ~39 fit in 4088.
+        assert_eq!(inserted, (PAGE_SIZE - HEADER) / (100 + SLOT_BYTES));
+        assert!(!p.fits(100));
+        // Records are intact after filling.
+        assert!(p.iter().all(|(_, d)| d == &rec[..]));
+    }
+
+    #[test]
+    fn compact_reclaims_space() {
+        let mut buf = page();
+        let mut p = SlottedPage::format(&mut buf, PageType::Heap);
+        let rec = vec![1u8; 1300];
+        let a = p.insert(&rec).unwrap();
+        let b = p.insert(&rec).unwrap();
+        let c = p.insert(&rec).unwrap();
+        assert!(p.insert(&rec).is_none(), "4th 1300-byte record cannot fit");
+        p.delete(b);
+        assert!(!p.fits(1300), "space is fragmented until compaction");
+        p.compact();
+        assert!(p.fits(1300));
+        let d = p.insert(&rec).unwrap();
+        assert_eq!(d, b, "dead slot reused after compact");
+        // Survivors unharmed.
+        assert_eq!(p.slot(a).unwrap(), &rec[..]);
+        assert_eq!(p.slot(c).unwrap(), &rec[..]);
+    }
+
+    #[test]
+    fn in_place_update() {
+        let mut buf = page();
+        let mut p = SlottedPage::format(&mut buf, PageType::Heap);
+        let a = p.insert(b"xxxx").unwrap();
+        p.slot_mut(a).unwrap().copy_from_slice(b"yyyy");
+        assert_eq!(p.slot(a), Some(&b"yyyy"[..]));
+        assert_eq!(p.slot_mut(99), None);
+    }
+
+    #[test]
+    fn iter_skips_dead() {
+        let mut buf = page();
+        let mut p = SlottedPage::format(&mut buf, PageType::Heap);
+        let _a = p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        let _c = p.insert(b"c").unwrap();
+        p.delete(b);
+        let all: Vec<_> = p.iter().map(|(s, d)| (s, d.to_vec())).collect();
+        assert_eq!(all, vec![(0, b"a".to_vec()), (2, b"c".to_vec())]);
+    }
+
+    #[test]
+    fn page_type_decode() {
+        assert_eq!(PageType::from_u16(2), PageType::BTreeLeaf);
+        assert_eq!(PageType::from_u16(999), PageType::Free);
+    }
+}

@@ -1,0 +1,442 @@
+//! Write-ahead logging and crash recovery (ARIES-lite).
+//!
+//! The paper's Figure 2.1 ends with "if victim is dirty then write victim
+//! back into the database" — the *steal* policy every real buffer manager
+//! pairs with a write-ahead log, since an evicted dirty page may carry
+//! uncommitted updates. This module supplies that protocol for the storage
+//! substrate:
+//!
+//! * [`Wal`] — an append-only log of physical before/after images with an
+//!   explicit stable/volatile boundary (`flush`);
+//! * [`WalDisk`] — a [`DiskManager`] decorator enforcing the WAL rule: the
+//!   log is flushed before any page write reaches the disk, so a stolen
+//!   page can always be undone;
+//! * [`recover`] — restart recovery: *redo history* (every logged update in
+//!   LSN order, committed or not), then *undo losers* (reverse-order
+//!   before-images of uncommitted transactions) — the ARIES structure,
+//!   simplified to full physical images so no per-page LSN is needed.
+//!
+//! The log is in-memory (the "disk" is simulated anyway); the crash model
+//! for tests is: stable log and disk contents survive, the volatile log
+//! tail and the buffer pool are lost.
+
+use crate::layout::get_u64;
+use lruk_buffer::{DiskError, DiskManager, DiskStats, PAGE_SIZE};
+use lruk_policy::PageId;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// Log sequence number (1-based; 0 = "nothing").
+pub type Lsn = u64;
+/// Transaction identifier.
+pub type TxnId = u64;
+
+/// One log record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogRecord {
+    /// Transaction start.
+    Begin {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Physical update: `before`/`after` images of `len = before.len()`
+    /// bytes at `offset` within `page`.
+    Update {
+        /// The transaction.
+        txn: TxnId,
+        /// Updated page.
+        page: PageId,
+        /// Byte offset within the page.
+        offset: u16,
+        /// Pre-image.
+        before: Vec<u8>,
+        /// Post-image (same length as `before`).
+        after: Vec<u8>,
+    },
+    /// Transaction commit: its updates are durable once this record is
+    /// stable.
+    Commit {
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Transaction abort (its updates must be undone like a loser's).
+    Abort {
+        /// The transaction.
+        txn: TxnId,
+    },
+}
+
+/// The write-ahead log.
+#[derive(Debug, Default)]
+pub struct Wal {
+    /// Stable records (survive a crash), LSN-ordered.
+    stable: Vec<(Lsn, LogRecord)>,
+    /// Volatile tail (lost in a crash).
+    tail: Vec<(Lsn, LogRecord)>,
+    next_lsn: Lsn,
+}
+
+impl Wal {
+    /// New empty log.
+    pub fn new() -> Self {
+        Wal {
+            stable: Vec::new(),
+            tail: Vec::new(),
+            next_lsn: 1,
+        }
+    }
+
+    /// Append a record to the volatile tail; returns its LSN.
+    pub fn append(&mut self, record: LogRecord) -> Lsn {
+        if let LogRecord::Update { before, after, .. } = &record {
+            assert_eq!(before.len(), after.len(), "image length mismatch");
+        }
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        self.tail.push((lsn, record));
+        lsn
+    }
+
+    /// Force the volatile tail to stable storage.
+    pub fn flush(&mut self) {
+        self.stable.append(&mut self.tail);
+    }
+
+    /// Highest stable LSN (0 if none).
+    pub fn flushed_lsn(&self) -> Lsn {
+        self.stable.last().map(|&(l, _)| l).unwrap_or(0)
+    }
+
+    /// The stable records — what recovery sees after a crash.
+    pub fn stable_records(&self) -> &[(Lsn, LogRecord)] {
+        &self.stable
+    }
+
+    /// Number of stable + volatile records (diagnostics).
+    pub fn len(&self) -> usize {
+        self.stable.len() + self.tail.len()
+    }
+
+    /// True if nothing has ever been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Convenience: log a physical update captured from a page buffer.
+    pub fn log_update(
+        &mut self,
+        txn: TxnId,
+        page: PageId,
+        offset: usize,
+        before: &[u8],
+        after: &[u8],
+    ) -> Lsn {
+        self.append(LogRecord::Update {
+            txn,
+            page,
+            offset: offset as u16,
+            before: before.to_vec(),
+            after: after.to_vec(),
+        })
+    }
+}
+
+/// A [`DiskManager`] decorator enforcing write-ahead logging: every
+/// `write_page` first forces the log ("no page reaches disk before the log
+/// records describing its changes").
+pub struct WalDisk<D: DiskManager> {
+    inner: D,
+    wal: Arc<Mutex<Wal>>,
+}
+
+impl<D: DiskManager> WalDisk<D> {
+    /// Wrap `inner`, forcing `wal` on every page write.
+    pub fn new(inner: D, wal: Arc<Mutex<Wal>>) -> Self {
+        WalDisk { inner, wal }
+    }
+
+    /// Take the inner disk back (e.g. to simulate a crash: the disk
+    /// survives, the pool is dropped).
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+}
+
+impl<D: DiskManager> DiskManager for WalDisk<D> {
+    fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.inner.read_page(page, buf)
+    }
+
+    fn write_page(&mut self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
+        // The WAL rule.
+        self.wal.lock().unwrap().flush();
+        self.inner.write_page(page, data)
+    }
+
+    fn allocate_page(&mut self) -> Result<PageId, DiskError> {
+        self.inner.allocate_page()
+    }
+
+    fn deallocate_page(&mut self, page: PageId) -> Result<(), DiskError> {
+        self.inner.deallocate_page(page)
+    }
+
+    fn is_allocated(&self, page: PageId) -> bool {
+        self.inner.is_allocated(page)
+    }
+
+    fn allocated_pages(&self) -> usize {
+        self.inner.allocated_pages()
+    }
+
+    fn stats(&self) -> DiskStats {
+        self.inner.stats()
+    }
+}
+
+/// Restart recovery over a crashed disk image and the stable log.
+///
+/// 1. **Analysis**: committed = transactions with a stable `Commit`.
+/// 2. **Redo history**: apply every stable `Update`'s after-image in LSN
+///    order (idempotent; reconstructs the exact pre-crash page states that
+///    the log knows about, whether or not the page version on disk already
+///    contains them).
+/// 3. **Undo losers**: apply before-images of non-committed transactions'
+///    updates in reverse LSN order.
+///
+/// Returns the set of committed transactions.
+pub fn recover<D: DiskManager>(disk: &mut D, wal: &Wal) -> Vec<TxnId> {
+    use std::collections::BTreeSet;
+    let mut committed: BTreeSet<TxnId> = BTreeSet::new();
+    for (_, rec) in wal.stable_records() {
+        if let LogRecord::Commit { txn } = rec {
+            committed.insert(*txn);
+        }
+    }
+    let mut buf = vec![0u8; PAGE_SIZE];
+    // Redo history.
+    for (_, rec) in wal.stable_records() {
+        if let LogRecord::Update {
+            page, offset, after, ..
+        } = rec
+        {
+            if !disk.is_allocated(*page) {
+                continue; // page vanished with an unflushed allocation
+            }
+            disk.read_page(*page, &mut buf).expect("redo read");
+            buf[*offset as usize..*offset as usize + after.len()].copy_from_slice(after);
+            disk.write_page(*page, &buf).expect("redo write");
+        }
+    }
+    // Undo losers, newest first.
+    for (_, rec) in wal.stable_records().iter().rev() {
+        if let LogRecord::Update {
+            txn,
+            page,
+            offset,
+            before,
+            ..
+        } = rec
+        {
+            if committed.contains(txn) || !disk.is_allocated(*page) {
+                continue;
+            }
+            disk.read_page(*page, &mut buf).expect("undo read");
+            buf[*offset as usize..*offset as usize + before.len()].copy_from_slice(before);
+            disk.write_page(*page, &buf).expect("undo write");
+        }
+    }
+    committed.into_iter().collect()
+}
+
+/// A logged read-modify-write of one `u64` counter at `offset` in `page`,
+/// through the buffer pool — the transactional building block used by the
+/// tests and the recovery example.
+pub fn logged_counter_add<D: DiskManager>(
+    pool: &mut lruk_buffer::BufferPoolManager<D>,
+    wal: &Arc<Mutex<Wal>>,
+    txn: TxnId,
+    page: PageId,
+    offset: usize,
+    delta: u64,
+) -> Result<u64, lruk_buffer::BufferError> {
+    let fid = pool.pin_page(page)?;
+    let data = pool.frame_data_mut(fid);
+    let before = data[offset..offset + 8].to_vec();
+    let value = get_u64(data, offset).wrapping_add(delta);
+    data[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
+    let after = data[offset..offset + 8].to_vec();
+    wal.lock()
+        .unwrap()
+        .log_update(txn, page, offset, &before, &after);
+    pool.unpin_page(page, true)?;
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lruk_buffer::{BufferPoolManager, InMemoryDisk};
+    use lruk_core::LruK;
+
+    fn setup(pages: usize, frames: usize) -> (BufferPoolManager<WalDisk<InMemoryDisk>>, Arc<Mutex<Wal>>, Vec<PageId>) {
+        let wal = Arc::new(Mutex::new(Wal::new()));
+        let mut disk = InMemoryDisk::unbounded();
+        let ids: Vec<PageId> = (0..pages).map(|_| disk.allocate_page().unwrap()).collect();
+        let pool = BufferPoolManager::new(
+            frames,
+            WalDisk::new(disk, Arc::clone(&wal)),
+            Box::new(LruK::lru2()),
+        );
+        (pool, wal, ids)
+    }
+
+    #[test]
+    fn lsn_ordering_and_flush_boundary() {
+        let mut wal = Wal::new();
+        let a = wal.append(LogRecord::Begin { txn: 1 });
+        let b = wal.append(LogRecord::Commit { txn: 1 });
+        assert!(a < b);
+        assert_eq!(wal.flushed_lsn(), 0);
+        wal.flush();
+        assert_eq!(wal.flushed_lsn(), b);
+        assert_eq!(wal.stable_records().len(), 2);
+        assert!(!wal.is_empty());
+    }
+
+    #[test]
+    fn wal_disk_forces_log_before_page_writes() {
+        let (mut pool, wal, ids) = setup(4, 2);
+        wal.lock().unwrap().append(LogRecord::Begin { txn: 1 });
+        logged_counter_add(&mut pool, &wal, 1, ids[0], 0, 7).unwrap();
+        assert_eq!(wal.lock().unwrap().flushed_lsn(), 0, "nothing written yet");
+        // Evict the dirty page by touching two others: the write-back must
+        // flush the log first.
+        let _ = pool.fetch_page(ids[1]).unwrap();
+        let _ = pool.fetch_page(ids[2]).unwrap();
+        assert!(
+            wal.lock().unwrap().flushed_lsn() >= 2,
+            "steal write-back must force the WAL"
+        );
+    }
+
+    #[test]
+    fn committed_effects_survive_a_crash() {
+        let (mut pool, wal, ids) = setup(4, 2);
+        wal.lock().unwrap().append(LogRecord::Begin { txn: 1 });
+        logged_counter_add(&mut pool, &wal, 1, ids[0], 0, 10).unwrap();
+        logged_counter_add(&mut pool, &wal, 1, ids[1], 8, 20).unwrap();
+        {
+            let mut w = wal.lock().unwrap();
+            w.append(LogRecord::Commit { txn: 1 });
+            w.flush(); // commit = force the log
+        }
+        // CRASH: drop the pool without flushing pages.
+        drop(pool);
+        // The disk may or may not contain the updates; recovery must redo.
+        let wal_guard = wal.lock().unwrap();
+        let mut disk = InMemoryDisk::unbounded();
+        // Rebuild a disk with the same allocations (the original inner disk
+        // is owned by the dropped pool; emulate the surviving medium by
+        // re-allocating and redoing from an empty image — redo history
+        // reconstructs committed state regardless of what reached disk).
+        let _ids2: Vec<PageId> = (0..4).map(|_| disk.allocate_page().unwrap()).collect();
+        let committed = recover(&mut disk, &wal_guard);
+        assert_eq!(committed, vec![1]);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        disk.read_page(ids[0], &mut buf).unwrap();
+        assert_eq!(get_u64(&buf, 0), 10);
+        disk.read_page(ids[1], &mut buf).unwrap();
+        assert_eq!(get_u64(&buf, 8), 20);
+    }
+
+    #[test]
+    fn uncommitted_effects_are_undone() {
+        let (mut pool, wal, ids) = setup(3, 1);
+        // Committed baseline.
+        wal.lock().unwrap().append(LogRecord::Begin { txn: 1 });
+        logged_counter_add(&mut pool, &wal, 1, ids[0], 0, 100).unwrap();
+        {
+            let mut w = wal.lock().unwrap();
+            w.append(LogRecord::Commit { txn: 1 });
+            w.flush();
+        }
+        // Loser transaction updates the same counter; the 1-frame pool
+        // steals the dirty page to disk when other pages are touched.
+        wal.lock().unwrap().append(LogRecord::Begin { txn: 2 });
+        logged_counter_add(&mut pool, &wal, 2, ids[0], 0, 999).unwrap();
+        let _ = pool.fetch_page(ids[1]).unwrap(); // forces the steal
+        pool.flush_all().unwrap();
+        // CRASH before txn 2 commits.
+        drop(pool);
+        let wal_guard = wal.lock().unwrap();
+        let mut disk = InMemoryDisk::unbounded();
+        let _ids2: Vec<PageId> = (0..3).map(|_| disk.allocate_page().unwrap()).collect();
+        // Simulate the stolen page being on disk already.
+        let mut dirty = vec![0u8; PAGE_SIZE];
+        dirty[..8].copy_from_slice(&1099u64.to_le_bytes());
+        disk.write_page(ids[0], &dirty).unwrap();
+        let committed = recover(&mut disk, &wal_guard);
+        assert_eq!(committed, vec![1]);
+        let mut buf = vec![0u8; PAGE_SIZE];
+        disk.read_page(ids[0], &mut buf).unwrap();
+        assert_eq!(get_u64(&buf, 0), 100, "loser's update must be undone");
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let (mut pool, wal, ids) = setup(2, 1);
+        wal.lock().unwrap().append(LogRecord::Begin { txn: 1 });
+        logged_counter_add(&mut pool, &wal, 1, ids[0], 0, 5).unwrap();
+        {
+            let mut w = wal.lock().unwrap();
+            w.append(LogRecord::Commit { txn: 1 });
+            w.flush();
+        }
+        drop(pool);
+        let wal_guard = wal.lock().unwrap();
+        let mut disk = InMemoryDisk::unbounded();
+        let _ = disk.allocate_page().unwrap();
+        let _ = disk.allocate_page().unwrap();
+        recover(&mut disk, &wal_guard);
+        recover(&mut disk, &wal_guard); // run twice
+        let mut buf = vec![0u8; PAGE_SIZE];
+        disk.read_page(ids[0], &mut buf).unwrap();
+        assert_eq!(get_u64(&buf, 0), 5);
+    }
+
+    #[test]
+    fn aborted_transactions_are_losers() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Begin { txn: 3 });
+        wal.append(LogRecord::Update {
+            txn: 3,
+            page: PageId(0),
+            offset: 0,
+            before: vec![0; 8],
+            after: 42u64.to_le_bytes().to_vec(),
+        });
+        wal.append(LogRecord::Abort { txn: 3 });
+        wal.flush();
+        let mut disk = InMemoryDisk::unbounded();
+        let p = disk.allocate_page().unwrap();
+        let committed = recover(&mut disk, &wal);
+        assert!(committed.is_empty());
+        let mut buf = vec![0u8; PAGE_SIZE];
+        disk.read_page(p, &mut buf).unwrap();
+        assert_eq!(get_u64(&buf, 0), 0, "aborted update undone");
+    }
+
+    #[test]
+    #[should_panic(expected = "image length mismatch")]
+    fn mismatched_images_rejected() {
+        let mut wal = Wal::new();
+        wal.append(LogRecord::Update {
+            txn: 1,
+            page: PageId(0),
+            offset: 0,
+            before: vec![0; 4],
+            after: vec![0; 8],
+        });
+    }
+}

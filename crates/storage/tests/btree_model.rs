@@ -1,0 +1,81 @@
+//! Model-based property test: the B+tree must behave exactly like a
+//! `BTreeMap<u64, u64>` for arbitrary operation sequences, under small node
+//! capacities (forcing deep trees and frequent splits) and a small buffer
+//! pool (forcing eviction during structural changes).
+
+use lruk_buffer::{BufferPoolManager, InMemoryDisk};
+use lruk_core::LruK;
+use lruk_storage::BTree;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Delete(u64),
+    Search(u64),
+    RangeScan(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // A compact key space maximizes collisions/overwrites.
+    let key = 0u64..120;
+    prop_oneof![
+        5 => (key.clone(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        2 => key.clone().prop_map(Op::Delete),
+        3 => key.clone().prop_map(Op::Search),
+        1 => (key.clone(), key).prop_map(|(a, b)| Op::RangeScan(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn btree_matches_btreemap_model(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        leaf_cap in 4usize..8,
+        internal_cap in 4usize..8,
+        pool_frames in 3usize..8,
+    ) {
+        let mut pool = BufferPoolManager::new(
+            pool_frames,
+            InMemoryDisk::unbounded(),
+            Box::new(LruK::lru2()),
+        );
+        let mut tree = BTree::create_with_caps(&mut pool, leaf_cap, internal_cap).unwrap();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let old = tree.insert(&mut pool, k, v).unwrap();
+                    prop_assert_eq!(old, model.insert(k, v), "insert({}) old value", k);
+                }
+                Op::Delete(k) => {
+                    let old = tree.delete(&mut pool, k).unwrap();
+                    prop_assert_eq!(old, model.remove(&k), "delete({})", k);
+                }
+                Op::Search(k) => {
+                    let got = tree.search(&mut pool, k).unwrap();
+                    prop_assert_eq!(got, model.get(&k).copied(), "search({})", k);
+                }
+                Op::RangeScan(lo, hi) => {
+                    let mut got = Vec::new();
+                    tree.range_scan(&mut pool, lo, hi, |k, v| got.push((k, v))).unwrap();
+                    let want: Vec<(u64, u64)> =
+                        model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(got, want, "range_scan({}, {})", lo, hi);
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+        }
+        // Structural invariants hold at the end of every sequence.
+        tree.validate(&mut pool).unwrap();
+        // Full scan equals the model.
+        let mut all = Vec::new();
+        tree.range_scan(&mut pool, 0, u64::MAX, |k, v| all.push((k, v))).unwrap();
+        let want: Vec<(u64, u64)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(all, want);
+    }
+}

@@ -1,0 +1,89 @@
+//! Model-based property test for the slotted page: arbitrary
+//! insert/delete/update/compact sequences must match a `HashMap<SlotId,
+//! Vec<u8>>` model, and the page must never lose or corrupt a live record.
+
+use lruk_buffer::PAGE_SIZE;
+use lruk_storage::{PageType, SlottedPage};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Overwrite(usize, u8),
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => proptest::collection::vec(any::<u8>(), 1..400).prop_map(Op::Insert),
+        2 => any::<usize>().prop_map(Op::Delete),
+        2 => (any::<usize>(), any::<u8>()).prop_map(|(i, v)| Op::Overwrite(i, v)),
+        1 => Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slotted_page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut page = SlottedPage::format(&mut buf, PageType::Heap);
+        let mut model: HashMap<u16, Vec<u8>> = HashMap::new();
+        let mut live_slots: Vec<u16> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(data) => {
+                    match page.insert(&data) {
+                        Some(slot) => {
+                            // The page may reuse a dead slot id.
+                            prop_assert!(!model.contains_key(&slot), "slot {} double-booked", slot);
+                            model.insert(slot, data);
+                            live_slots.push(slot);
+                        }
+                        None => {
+                            // Rejection must be justified: free space (after a
+                            // hypothetical compact) can't fit the record.
+                            page.compact();
+                            if page.fits(data.len()) {
+                                let slot = page.insert(&data).expect("fits after compact");
+                                model.insert(slot, data);
+                                live_slots.push(slot);
+                            }
+                        }
+                    }
+                }
+                Op::Delete(i) => {
+                    if live_slots.is_empty() { continue; }
+                    let slot = live_slots.swap_remove(i % live_slots.len());
+                    prop_assert!(page.delete(slot));
+                    model.remove(&slot);
+                    prop_assert!(!page.delete(slot), "double delete succeeded");
+                }
+                Op::Overwrite(i, v) => {
+                    if live_slots.is_empty() { continue; }
+                    let slot = live_slots[i % live_slots.len()];
+                    let data = page.slot_mut(slot).expect("live slot");
+                    data.fill(v);
+                    model.get_mut(&slot).unwrap().fill(v);
+                }
+                Op::Compact => page.compact(),
+            }
+            // Full audit after every operation.
+            prop_assert_eq!(page.live_count() as usize, model.len());
+            for (&slot, data) in &model {
+                let got = page.slot(slot).map(|d| d.to_vec());
+                prop_assert_eq!(got.as_deref(), Some(data.as_slice()), "slot {} content", slot);
+            }
+            // Iteration covers exactly the live set.
+            let seen: Vec<u16> = page.iter().map(|(s, _)| s).collect();
+            prop_assert_eq!(seen.len(), model.len());
+            for s in seen {
+                prop_assert!(model.contains_key(&s));
+            }
+        }
+    }
+}

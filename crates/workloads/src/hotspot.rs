@@ -1,0 +1,142 @@
+//! Moving-hotspot workload for the adaptivity experiments.
+//!
+//! §4.3: "the inherent drawback of LFU is that it never 'forgets' any
+//! previous references … so it does not adapt itself to evolving access
+//! patterns. … In applications with dynamically moving hot spots, the LRU-2
+//! algorithm would outperform LFU even more significantly." This generator
+//! realizes those moving hot spots.
+
+use crate::trace::PageRef;
+use crate::Workload;
+use lruk_policy::{AccessKind, PageId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A hot set of `hot_size` contiguous pages receiving `hot_fraction` of all
+/// references; the hot set's base address jumps to a fresh region every
+/// `phase_len` references.
+#[derive(Debug)]
+pub struct MovingHotspot {
+    total_pages: u64,
+    hot_size: u64,
+    hot_fraction: f64,
+    phase_len: u64,
+    rng: StdRng,
+    seed: u64,
+    emitted: u64,
+    phase: u64,
+}
+
+impl MovingHotspot {
+    /// See the type docs.
+    pub fn new(
+        total_pages: u64,
+        hot_size: u64,
+        hot_fraction: f64,
+        phase_len: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(hot_size >= 1 && hot_size <= total_pages);
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        assert!(phase_len >= 1);
+        MovingHotspot {
+            total_pages,
+            hot_size,
+            hot_fraction,
+            phase_len,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            emitted: 0,
+            phase: 0,
+        }
+    }
+
+    /// Base page of the current hot region (deterministic in the phase
+    /// number, so hot sets never accidentally coincide between phases).
+    fn hot_base(&self) -> u64 {
+        // Stride the hot set across the database, wrapping.
+        (self.phase * self.hot_size * 7 + self.phase * 13) % (self.total_pages - self.hot_size + 1)
+    }
+
+    /// Pages of the current hot set (diagnostics / assertions).
+    pub fn current_hot_set(&self) -> std::ops::Range<u64> {
+        let b = self.hot_base();
+        b..b + self.hot_size
+    }
+
+    /// Current phase number.
+    pub fn phase(&self) -> u64 {
+        self.phase
+    }
+}
+
+impl Workload for MovingHotspot {
+    fn name(&self) -> String {
+        format!(
+            "hotspot(total={},hot={},f={},phase={},seed={})",
+            self.total_pages, self.hot_size, self.hot_fraction, self.phase_len, self.seed
+        )
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        if self.emitted > 0 && self.emitted.is_multiple_of(self.phase_len) {
+            self.phase += 1;
+        }
+        self.emitted += 1;
+        let page = if self.rng.random_bool(self.hot_fraction) {
+            self.hot_base() + self.rng.random_range(0..self.hot_size)
+        } else {
+            self.rng.random_range(0..self.total_pages)
+        };
+        PageRef::new(PageId(page), AccessKind::Random)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_set_dominates_within_a_phase() {
+        let mut w = MovingHotspot::new(10_000, 100, 0.9, 100_000, 1);
+        let hot = w.current_hot_set();
+        let t = w.generate(20_000);
+        let in_hot = t
+            .refs()
+            .iter()
+            .filter(|r| hot.contains(&r.page.raw()))
+            .count();
+        let frac = in_hot as f64 / t.len() as f64;
+        assert!(frac > 0.88, "hot fraction {frac:.3}");
+    }
+
+    #[test]
+    fn hot_set_moves_between_phases() {
+        let mut w = MovingHotspot::new(10_000, 100, 0.9, 1_000, 2);
+        let first = w.current_hot_set();
+        let _ = w.generate(1_001); // cross the phase boundary
+        let second = w.current_hot_set();
+        assert_ne!(first, second);
+        assert_eq!(w.phase(), 1);
+        // Disjoint (stride ensures separation for early phases).
+        assert!(first.end <= second.start || second.end <= first.start);
+    }
+
+    #[test]
+    fn phase_counter_advances_on_schedule() {
+        let mut w = MovingHotspot::new(1_000, 10, 1.0, 100, 3);
+        let _ = w.generate(100);
+        assert_eq!(w.phase(), 0, "boundary crossed on the *next* ref");
+        let _ = w.next_ref();
+        assert_eq!(w.phase(), 1);
+        let _ = w.generate(199);
+        assert_eq!(w.phase(), 2);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = MovingHotspot::new(1000, 50, 0.8, 500, 7).generate(5000);
+        let b = MovingHotspot::new(1000, 50, 0.8, 500, 7).generate(5000);
+        assert_eq!(a, b);
+    }
+}

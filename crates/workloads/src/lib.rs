@@ -1,0 +1,100 @@
+//! # lruk-workloads — reference strings for every experiment in the paper
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`uniform`] | the Theorem 3.2 null control (no policy can win on uniform traffic) |
+//! | [`two_pool`] | §4.1 two-pool experiment (Table 4.1), modelling Example 1.1's alternating index/record references |
+//! | [`zipf`] | §4.2 Zipfian random access (Table 4.2), `Pr(page ≤ i) = (i/N)^(log α / log β)` |
+//! | [`scan`] | Example 1.2: a hot working set flooded by batch sequential scans |
+//! | [`metronome`] | §2.1.2's page "referenced with metronome-like regularity" (RIP ablation) |
+//! | [`hotspot`] | "evolving access patterns": a hot set that moves between phases (§4.3's LFU critique) |
+//! | [`processes`] | §2.1.1 case 4: multiple processes issuing independent references |
+//! | [`correlated`] | §2.1.1 correlated reference pairs (intra-transaction bursts) for the CRP ablation |
+//! | [`oltp`] | §4.3's OLTP bank trace — regenerated from the CODASYL substrate in `lruk-storage` |
+//! | [`trace`] | trace container, text serialization, recording policy |
+//! | [`stats`] | trace analytics: skew fingerprint, interarrival, five-minute-rule page count |
+//!
+//! All generators are deterministic given their seed, so every table in
+//! `EXPERIMENTS.md` is reproducible bit-for-bit.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod correlated;
+pub mod hotspot;
+pub mod metronome;
+pub mod oltp;
+pub mod processes;
+pub mod scan;
+pub mod stats;
+pub mod trace;
+pub mod two_pool;
+pub mod uniform;
+pub mod zipf;
+
+pub use correlated::CorrelatedBursts;
+pub use hotspot::MovingHotspot;
+pub use metronome::Metronome;
+pub use oltp::{BankWorkload, OltpMix};
+pub use processes::InterleavedProcesses;
+pub use scan::ScanFlood;
+pub use stats::TraceStats;
+pub use trace::{PageRef, RecordingPolicy, Trace};
+pub use two_pool::TwoPool;
+pub use uniform::Uniform;
+pub use zipf::Zipfian;
+
+use lruk_policy::PageId;
+
+/// A source of page references.
+///
+/// Implementations are infinite streams; [`Workload::generate`] materializes
+/// a finite prefix as a [`Trace`].
+pub trait Workload {
+    /// Human-readable workload name with parameters.
+    fn name(&self) -> String;
+
+    /// Produce the next reference.
+    fn next_ref(&mut self) -> PageRef;
+
+    /// Reference probabilities `β_p`, when the workload is stationary with
+    /// known per-page probabilities (used to drive the `A_0` oracle).
+    /// `None` for non-stationary or substrate-driven workloads.
+    fn beta(&self) -> Option<Vec<(PageId, f64)>> {
+        None
+    }
+
+    /// Materialize the next `n` references.
+    fn generate(&mut self, n: usize) -> Trace {
+        let refs = (0..n).map(|_| self.next_ref()).collect();
+        Trace::new(self.name(), refs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lruk_policy::AccessKind;
+
+    struct Cycler(u64);
+    impl Workload for Cycler {
+        fn name(&self) -> String {
+            "cycler".into()
+        }
+        fn next_ref(&mut self) -> PageRef {
+            self.0 += 1;
+            PageRef::new(PageId(self.0 % 3), AccessKind::Random)
+        }
+    }
+
+    #[test]
+    fn generate_materializes_prefix() {
+        let mut w = Cycler(0);
+        let t = w.generate(7);
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.name(), "cycler");
+        assert_eq!(t.refs()[0].page, PageId(1));
+        assert_eq!(t.refs()[3].page, PageId(1));
+        assert!(w.beta().is_none());
+    }
+}

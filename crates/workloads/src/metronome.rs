@@ -1,0 +1,112 @@
+//! The §2.1.2 "metronome" workload for the Retained Information ablation.
+//!
+//! "… this is the only way we can guarantee that a page referenced with
+//! metronome-like regularity at intervals just above its residence period
+//! will ever be noticed as referenced twice."
+//!
+//! `hot` pages are referenced in strict round-robin, each reference
+//! followed by `cold_per_hot` one-shot references to a long parade of cold
+//! pages. Every hot page therefore has a *deterministic* interarrival of
+//! `hot · (1 + cold_per_hot)` ticks. If that exceeds a page's buffer
+//! residence period plus the Retained Information Period, LRU-2 can never
+//! observe two references on record and the hot set is invisible; with a
+//! sufficient RIP the second lap recognizes every hot page.
+
+use crate::trace::PageRef;
+use crate::Workload;
+use lruk_policy::{AccessKind, PageId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Round-robin hot set drowned in one-shot cold references.
+#[derive(Debug)]
+pub struct Metronome {
+    hot: u64,
+    cold: u64,
+    cold_per_hot: u64,
+    rng: StdRng,
+    seed: u64,
+    position: u64,
+}
+
+impl Metronome {
+    /// `hot` pages (ids `0..hot`) round-robin, each followed by
+    /// `cold_per_hot` uniform references into `cold` cold pages
+    /// (ids `hot..hot+cold`).
+    pub fn new(hot: u64, cold: u64, cold_per_hot: u64, seed: u64) -> Self {
+        assert!(hot >= 1 && cold >= 1);
+        Metronome {
+            hot,
+            cold,
+            cold_per_hot,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            position: 0,
+        }
+    }
+
+    /// Deterministic interarrival of each hot page, in ticks.
+    pub fn hot_interarrival(&self) -> u64 {
+        self.hot * (1 + self.cold_per_hot)
+    }
+}
+
+impl Workload for Metronome {
+    fn name(&self) -> String {
+        format!(
+            "metronome(hot={},cold={},ratio={},seed={})",
+            self.hot, self.cold, self.cold_per_hot, self.seed
+        )
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        let cycle = 1 + self.cold_per_hot;
+        let r = if self.position.is_multiple_of(cycle) {
+            let idx = (self.position / cycle) % self.hot;
+            PageRef::new(PageId(idx), AccessKind::Random)
+        } else {
+            PageRef::new(
+                PageId(self.hot + self.rng.random_range(0..self.cold)),
+                AccessKind::Random,
+            )
+        };
+        self.position += 1;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_pages_are_periodic() {
+        let mut w = Metronome::new(4, 100, 2, 1);
+        let t = w.generate(48);
+        // Positions 0, 3, 6, … are hot, cycling 0,1,2,3,0,1,…
+        for (i, r) in t.refs().iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(r.page.raw(), (i as u64 / 3) % 4, "position {i}");
+            } else {
+                assert!(r.page.raw() >= 4);
+            }
+        }
+        assert_eq!(w.hot_interarrival(), 12);
+        // Page 0 appears exactly every 12 ticks.
+        let zero_positions: Vec<usize> = t
+            .refs()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.page.raw() == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(zero_positions, vec![0, 12, 24, 36]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Metronome::new(10, 1000, 3, 5).generate(5000);
+        let b = Metronome::new(10, 1000, 3, 5).generate(5000);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Multi-process composition (§2.1.1 case 4, "Inter-Process").
+//!
+//! The paper's Time-Out Correlation method is process-aware: "each
+//! successive access by the same process within a time-out period is
+//! assumed to be correlated" while "references by different processes are
+//! independent". This wrapper interleaves several workloads as distinct
+//! processes, tagging every reference with its process id so the LRU-K
+//! engines' `note_process` channel can apply the refinement.
+
+use crate::trace::PageRef;
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Interleaves child workloads as processes `1, 2, …` (process 0 is the
+/// "undistinguished" convention), choosing the next issuer uniformly at
+/// random — the concurrency model of the paper's multi-user examples.
+pub struct InterleavedProcesses {
+    sources: Vec<Box<dyn Workload>>,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl InterleavedProcesses {
+    /// Compose `sources` as independent processes.
+    pub fn new(sources: Vec<Box<dyn Workload>>, seed: u64) -> Self {
+        assert!(!sources.is_empty());
+        InterleavedProcesses {
+            sources,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+impl Workload for InterleavedProcesses {
+    fn name(&self) -> String {
+        format!(
+            "processes(n={},seed={},[{}])",
+            self.sources.len(),
+            self.seed,
+            self.sources
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join("; ")
+        )
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        let i = self.rng.random_range(0..self.sources.len());
+        self.sources[i].next_ref().with_pid(i as u64 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_pool::TwoPool;
+    use crate::zipf::Zipfian;
+
+    #[test]
+    fn references_carry_process_ids() {
+        let mut w = InterleavedProcesses::new(
+            vec![
+                Box::new(TwoPool::new(5, 50, 1)),
+                Box::new(Zipfian::new(100, 0.8, 0.2, 2)),
+            ],
+            9,
+        );
+        assert_eq!(w.processes(), 2);
+        let t = w.generate(2_000);
+        let pids: std::collections::BTreeSet<u64> = t.refs().iter().map(|r| r.pid).collect();
+        assert_eq!(pids, [1u64, 2].into_iter().collect());
+        // Both processes get a meaningful share.
+        let p1 = t.refs().iter().filter(|r| r.pid == 1).count();
+        assert!(p1 > 500 && p1 < 1_500, "share {p1}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let make = || {
+            InterleavedProcesses::new(
+                vec![
+                    Box::new(TwoPool::new(5, 50, 1)) as Box<dyn Workload>,
+                    Box::new(TwoPool::new(5, 50, 2)),
+                ],
+                3,
+            )
+        };
+        assert_eq!(make().generate(500), make().generate(500));
+    }
+
+    #[test]
+    fn pid_survives_text_roundtrip() {
+        let mut w = InterleavedProcesses::new(
+            vec![
+                Box::new(TwoPool::new(5, 50, 1)) as Box<dyn Workload>,
+                Box::new(TwoPool::new(5, 50, 2)),
+            ],
+            3,
+        );
+        let t = w.generate(100);
+        let mut buf = Vec::new();
+        t.save_text(&mut buf).unwrap();
+        let parsed = crate::Trace::load_text(&mut buf.as_slice()).unwrap();
+        assert_eq!(parsed, t);
+    }
+}

@@ -1,0 +1,184 @@
+//! Example 1.2: a hot working set flooded by sequential scans.
+//!
+//! "Consider a multi-process database application with good 'locality' …
+//! 5000 buffered pages out of 1 million disk pages get 95% of the
+//! references … Now if a few batch processes begin sequential scans through
+//! all pages of the database, the pages read in by the sequential scans will
+//! replace commonly referenced pages in buffer."
+
+use crate::trace::PageRef;
+use crate::Workload;
+use lruk_policy::{AccessKind, PageId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hot-set traffic with periodic sequential-scan bursts.
+///
+/// Pages `0 .. hot_pages` receive `hot_fraction` of the interactive
+/// references; the rest go uniformly to the cold region
+/// `hot_pages .. total_pages`. Every `scan_period` interactive references, a
+/// batch scan of `scan_len` consecutive cold pages is interleaved (the scan
+/// cursor persists across bursts, sweeping the database circularly).
+#[derive(Debug)]
+pub struct ScanFlood {
+    hot_pages: u64,
+    total_pages: u64,
+    hot_fraction: f64,
+    scan_period: u64,
+    scan_len: u64,
+    rng: StdRng,
+    seed: u64,
+    interactive_since_scan: u64,
+    scan_cursor: u64,
+    scan_remaining: u64,
+}
+
+impl ScanFlood {
+    /// See the type docs. `hot_fraction` in `[0,1]`.
+    pub fn new(
+        hot_pages: u64,
+        total_pages: u64,
+        hot_fraction: f64,
+        scan_period: u64,
+        scan_len: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(hot_pages >= 1 && hot_pages < total_pages);
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        assert!(scan_period >= 1);
+        ScanFlood {
+            hot_pages,
+            total_pages,
+            hot_fraction,
+            scan_period,
+            scan_len,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            interactive_since_scan: 0,
+            scan_cursor: 0,
+            scan_remaining: 0,
+        }
+    }
+
+    /// A scaled-down Example 1.2: 500 hot of 100 000 pages at 95% locality,
+    /// with a 10 000-page scan every 5 000 interactive references.
+    pub fn example_1_2(seed: u64) -> Self {
+        ScanFlood::new(500, 100_000, 0.95, 5_000, 10_000, seed)
+    }
+
+    /// Pure interactive traffic, no scans (control arm of the ablation).
+    pub fn without_scans(hot: u64, total: u64, hot_fraction: f64, seed: u64) -> Self {
+        ScanFlood::new(hot, total, hot_fraction, u64::MAX, 0, seed)
+    }
+
+    /// Number of hot pages.
+    pub fn hot_pages(&self) -> u64 {
+        self.hot_pages
+    }
+}
+
+impl Workload for ScanFlood {
+    fn name(&self) -> String {
+        format!(
+            "scan-flood(hot={}/{},f={},period={},len={},seed={})",
+            self.hot_pages,
+            self.total_pages,
+            self.hot_fraction,
+            self.scan_period,
+            self.scan_len,
+            self.seed
+        )
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        if self.scan_remaining > 0 {
+            // Mid-scan: emit the next sequential page (cold region only).
+            self.scan_remaining -= 1;
+            let cold_span = self.total_pages - self.hot_pages;
+            let page = self.hot_pages + (self.scan_cursor % cold_span);
+            self.scan_cursor += 1;
+            return PageRef::new(PageId(page), AccessKind::Sequential);
+        }
+        self.interactive_since_scan += 1;
+        if self.interactive_since_scan >= self.scan_period && self.scan_len > 0 {
+            self.interactive_since_scan = 0;
+            self.scan_remaining = self.scan_len;
+        }
+        if self.rng.random_bool(self.hot_fraction) {
+            PageRef::new(
+                PageId(self.rng.random_range(0..self.hot_pages)),
+                AccessKind::Random,
+            )
+        } else {
+            PageRef::new(
+                PageId(self.rng.random_range(self.hot_pages..self.total_pages)),
+                AccessKind::Random,
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_holds_without_scans() {
+        let mut w = ScanFlood::without_scans(100, 10_000, 0.95, 1);
+        let t = w.generate(50_000);
+        let hot = t.refs().iter().filter(|r| r.page.raw() < 100).count();
+        let frac = hot as f64 / t.len() as f64;
+        assert!((0.94..0.96).contains(&frac), "hot fraction {frac:.3}");
+        assert!(t.refs().iter().all(|r| r.kind == AccessKind::Random));
+    }
+
+    #[test]
+    fn scans_are_sequential_and_cold() {
+        let mut w = ScanFlood::new(100, 1_000, 0.9, 50, 200, 2);
+        let t = w.generate(5_000);
+        let scans: Vec<_> = t
+            .refs()
+            .iter()
+            .filter(|r| r.kind == AccessKind::Sequential)
+            .collect();
+        assert!(!scans.is_empty());
+        // All sequential refs are in the cold region.
+        assert!(scans.iter().all(|r| r.page.raw() >= 100));
+        // Consecutive scan refs are consecutive pages.
+        let mut runs = 0;
+        for pair in t.refs().windows(2) {
+            if pair[0].kind == AccessKind::Sequential && pair[1].kind == AccessKind::Sequential {
+                let (a, b) = (pair[0].page.raw(), pair[1].page.raw());
+                assert!(
+                    b == a + 1 || (a == 999 && b == 100),
+                    "scan must advance sequentially (with circular wrap): {a} -> {b}"
+                );
+                runs += 1;
+            }
+        }
+        assert!(runs > 100);
+    }
+
+    #[test]
+    fn scan_cursor_wraps_circularly() {
+        let mut w = ScanFlood::new(10, 20, 1.0, 1, 25, 3); // cold span 10 < scan 25
+        let t = w.generate(100);
+        let scan_pages: Vec<u64> = t
+            .refs()
+            .iter()
+            .filter(|r| r.kind == AccessKind::Sequential)
+            .map(|r| r.page.raw())
+            .collect();
+        assert!(scan_pages.iter().all(|&p| (10..20).contains(&p)));
+        // The sweep revisits pages (wrapped).
+        let first = scan_pages[0];
+        assert!(scan_pages[1..].contains(&first));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ScanFlood::example_1_2(4).generate(10_000);
+        let b = ScanFlood::example_1_2(4).generate(10_000);
+        assert_eq!(a, b);
+    }
+}

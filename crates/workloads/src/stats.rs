@@ -1,0 +1,196 @@
+//! Trace analytics: the skew fingerprint and five-minute-rule census the
+//! paper uses to characterize its OLTP trace (§4.3).
+
+use crate::trace::Trace;
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::AccessKind;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a trace.
+///
+/// ```
+/// use lruk_workloads::{TraceStats, Workload, Zipfian};
+/// let trace = Zipfian::new(1000, 0.8, 0.2, 1).generate(50_000);
+/// let stats = TraceStats::analyze(&trace);
+/// // The 80-20 law, recovered from the raw trace:
+/// assert!(stats.refs_fraction_of_hottest(0.2) > 0.75);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total references.
+    pub references: usize,
+    /// Distinct pages touched.
+    pub distinct_pages: usize,
+    /// References per [`AccessKind`]: (random, sequential, navigational, index).
+    pub kind_counts: (usize, usize, usize, usize),
+    /// Per-page reference counts, hottest first.
+    counts_desc: Vec<u64>,
+    /// For each page (hottest-first order), mean interarrival distance in
+    /// ticks (`None` if referenced once).
+    mean_interarrival_desc: Vec<Option<f64>>,
+}
+
+impl TraceStats {
+    /// Analyze a trace.
+    pub fn analyze(trace: &Trace) -> Self {
+        let mut counts: FxHashMap<u64, u64> = FxHashMap::default();
+        let mut first: FxHashMap<u64, usize> = FxHashMap::default();
+        let mut last: FxHashMap<u64, usize> = FxHashMap::default();
+        let mut kinds = (0usize, 0usize, 0usize, 0usize);
+        for (i, r) in trace.refs().iter().enumerate() {
+            let p = r.page.raw();
+            *counts.entry(p).or_default() += 1;
+            first.entry(p).or_insert(i);
+            last.insert(p, i);
+            match r.kind {
+                AccessKind::Random => kinds.0 += 1,
+                AccessKind::Sequential => kinds.1 += 1,
+                AccessKind::Navigational => kinds.2 += 1,
+                AccessKind::Index => kinds.3 += 1,
+            }
+        }
+        // Hottest-first ordering of (count, mean interarrival).
+        let mut per_page: Vec<(u64, Option<f64>)> = counts
+            .iter()
+            .map(|(&p, &c)| {
+                let mi = if c >= 2 {
+                    Some((last[&p] - first[&p]) as f64 / (c - 1) as f64)
+                } else {
+                    None
+                };
+                (c, mi)
+            })
+            .collect();
+        per_page.sort_unstable_by_key(|&(c, _)| std::cmp::Reverse(c));
+        TraceStats {
+            references: trace.len(),
+            distinct_pages: counts.len(),
+            kind_counts: kinds,
+            counts_desc: per_page.iter().map(|&(c, _)| c).collect(),
+            mean_interarrival_desc: per_page.iter().map(|&(_, m)| m).collect(),
+        }
+    }
+
+    /// Fraction of references absorbed by the hottest `page_fraction` of
+    /// touched pages — the paper's "40% of the references access only 3% of
+    /// the database pages" fingerprint.
+    pub fn refs_fraction_of_hottest(&self, page_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&page_fraction));
+        if self.references == 0 {
+            return 0.0;
+        }
+        let k = ((self.distinct_pages as f64 * page_fraction).ceil() as usize)
+            .min(self.distinct_pages);
+        let hot: u64 = self.counts_desc[..k].iter().sum();
+        hot as f64 / self.references as f64
+    }
+
+    /// Inverse fingerprint: the smallest fraction of (hottest) pages that
+    /// absorbs at least `refs_fraction` of references.
+    pub fn pages_fraction_for_refs(&self, refs_fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&refs_fraction));
+        let target = (self.references as f64 * refs_fraction).ceil() as u64;
+        let mut acc = 0u64;
+        for (i, &c) in self.counts_desc.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return (i + 1) as f64 / self.distinct_pages as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Number of pages whose mean reference interarrival is at most
+    /// `window` ticks — the paper's five-minute-rule census ("only about
+    /// 1400 pages satisfy the criterion … to be kept in memory (i.e., are
+    /// re-referenced within 100 seconds)"). `window` should be the tick
+    /// equivalent of the rule's 100 seconds for the trace's reference rate.
+    pub fn five_minute_rule_pages(&self, window: f64) -> usize {
+        self.mean_interarrival_desc
+            .iter()
+            .filter(|m| matches!(m, Some(x) if *x <= window))
+            .count()
+    }
+
+    /// The skew curve: for each of `points` evenly spaced page fractions
+    /// `x`, the reference fraction `y` captured by the hottest `x` pages.
+    pub fn skew_curve(&self, points: usize) -> Vec<(f64, f64)> {
+        (1..=points)
+            .map(|i| {
+                let x = i as f64 / points as f64;
+                (x, self.refs_fraction_of_hottest(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::PageRef;
+    use crate::zipf::Zipfian;
+    use crate::Workload;
+    use lruk_policy::PageId;
+
+    fn uniform_trace() -> Trace {
+        let refs = (0..1000u64)
+            .map(|i| PageRef::random(PageId(i % 10)))
+            .collect();
+        Trace::new("u", refs)
+    }
+
+    #[test]
+    fn basic_counts() {
+        let s = TraceStats::analyze(&uniform_trace());
+        assert_eq!(s.references, 1000);
+        assert_eq!(s.distinct_pages, 10);
+        assert_eq!(s.kind_counts.0, 1000);
+    }
+
+    #[test]
+    fn uniform_trace_has_linear_skew() {
+        let s = TraceStats::analyze(&uniform_trace());
+        let f = s.refs_fraction_of_hottest(0.5);
+        assert!((f - 0.5).abs() < 0.01, "uniform: hottest half gets half");
+        assert!((s.pages_fraction_for_refs(0.5) - 0.5).abs() < 0.11);
+    }
+
+    #[test]
+    fn zipf_trace_is_skewed() {
+        let t = Zipfian::new(1000, 0.8, 0.2, 3).generate(100_000);
+        let s = TraceStats::analyze(&t);
+        let f = s.refs_fraction_of_hottest(0.2);
+        assert!(f > 0.75, "hottest 20% should get ~80%, got {f:.3}");
+        assert!(s.pages_fraction_for_refs(0.8) < 0.25);
+        // The curve is monotone.
+        let curve = s.skew_curve(10);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1 + 1e-12));
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_minute_rule_census() {
+        // Page 0 referenced every 2 ticks, page 1 every 100 ticks, pages
+        // 2+ once each.
+        let mut refs = Vec::new();
+        for i in 0..200u64 {
+            refs.push(PageRef::random(PageId(0)));
+            refs.push(PageRef::random(PageId(if i % 50 == 0 { 1 } else { 100 + i })));
+        }
+        let s = TraceStats::analyze(&Trace::new("m", refs));
+        // window 3: only page 0 qualifies (interarrival 2).
+        assert_eq!(s.five_minute_rule_pages(3.0), 1);
+        // window 150: pages 0 and 1 qualify.
+        assert_eq!(s.five_minute_rule_pages(150.0), 2);
+        // singletons never qualify
+        assert!(s.five_minute_rule_pages(f64::MAX) <= 2);
+    }
+
+    #[test]
+    fn empty_trace_is_safe() {
+        let s = TraceStats::analyze(&Trace::new("e", vec![]));
+        assert_eq!(s.references, 0);
+        assert_eq!(s.refs_fraction_of_hottest(0.5), 0.0);
+        assert_eq!(s.five_minute_rule_pages(10.0), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! The §4.1 two-pool workload.
+//!
+//! "Alternating references are made to Pool 1 and Pool 2; then a page from
+//! that pool is randomly chosen … each page of Pool 1 has a probability of
+//! reference β₁ = 1/(2N₁) … each page of Pool 2 has probability
+//! β₂ = 1/(2N₂)." This models Example 1.1's `I1, R1, I2, R2, …` pattern of
+//! index-leaf / record-page references.
+
+use crate::trace::PageRef;
+use crate::Workload;
+use lruk_policy::{AccessKind, PageId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Alternating-pool reference generator.
+///
+/// Pages `0 .. n1` form the hot Pool 1 (think B-tree leaves); pages
+/// `n1 .. n1+n2` form the cold Pool 2 (record pages). Even positions
+/// (1st, 3rd, …) reference Pool 1, odd positions Pool 2.
+#[derive(Debug)]
+pub struct TwoPool {
+    n1: u64,
+    n2: u64,
+    rng: StdRng,
+    next_is_pool1: bool,
+    seed: u64,
+}
+
+impl TwoPool {
+    /// Two pools of `n1` and `n2` pages; deterministic in `seed`.
+    pub fn new(n1: u64, n2: u64, seed: u64) -> Self {
+        assert!(n1 >= 1 && n2 >= 1);
+        TwoPool {
+            n1,
+            n2,
+            rng: StdRng::seed_from_u64(seed),
+            next_is_pool1: true,
+            seed,
+        }
+    }
+
+    /// The paper's Table 4.1 sizing: N₁ = 100, N₂ = 10 000.
+    pub fn paper(seed: u64) -> Self {
+        TwoPool::new(100, 10_000, seed)
+    }
+
+    /// Pool 1 page ids (the hot set an ideal policy keeps resident).
+    pub fn pool1_pages(&self) -> impl Iterator<Item = PageId> {
+        (0..self.n1).map(PageId)
+    }
+
+    /// (N₁, N₂).
+    pub fn sizes(&self) -> (u64, u64) {
+        (self.n1, self.n2)
+    }
+}
+
+impl Workload for TwoPool {
+    fn name(&self) -> String {
+        format!("two-pool(n1={},n2={},seed={})", self.n1, self.n2, self.seed)
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        let r = if self.next_is_pool1 {
+            PageRef::new(PageId(self.rng.random_range(0..self.n1)), AccessKind::Index)
+        } else {
+            PageRef::new(
+                PageId(self.n1 + self.rng.random_range(0..self.n2)),
+                AccessKind::Random,
+            )
+        };
+        self.next_is_pool1 = !self.next_is_pool1;
+        r
+    }
+
+    fn beta(&self) -> Option<Vec<(PageId, f64)>> {
+        let b1 = 1.0 / (2.0 * self.n1 as f64);
+        let b2 = 1.0 / (2.0 * self.n2 as f64);
+        Some(
+            (0..self.n1)
+                .map(|p| (PageId(p), b1))
+                .chain((0..self.n2).map(|p| (PageId(self.n1 + p), b2)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alternates_pools() {
+        let mut w = TwoPool::new(10, 100, 1);
+        let t = w.generate(1000);
+        for (i, r) in t.refs().iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(r.page.raw() < 10, "even positions hit pool 1");
+                assert_eq!(r.kind, AccessKind::Index);
+            } else {
+                assert!((10..110).contains(&r.page.raw()), "odd positions hit pool 2");
+                assert_eq!(r.kind, AccessKind::Random);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_matches_paper_formula() {
+        let w = TwoPool::new(100, 10_000, 0);
+        let beta = w.beta().unwrap();
+        assert_eq!(beta.len(), 10_100);
+        let (p0, b0) = beta[0];
+        assert_eq!(p0, PageId(0));
+        assert!((b0 - 1.0 / 200.0).abs() < 1e-12, "pool-1 pages: β = .005");
+        let (_, b_cold) = beta[100];
+        assert!((b_cold - 1.0 / 20_000.0).abs() < 1e-15, "pool-2 pages: β = .00005");
+        let total: f64 = beta.iter().map(|(_, b)| b).sum();
+        assert!((total - 1.0).abs() < 1e-9, "probabilities sum to 1");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TwoPool::new(5, 50, 7).generate(100);
+        let b = TwoPool::new(5, 50, 7).generate(100);
+        assert_eq!(a, b);
+        let c = TwoPool::new(5, 50, 8).generate(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pool1_hit_frequency_is_half() {
+        let mut w = TwoPool::new(100, 10_000, 3);
+        let t = w.generate(20_000);
+        let pool1 = t.refs().iter().filter(|r| r.page.raw() < 100).count();
+        assert_eq!(pool1, 10_000, "exactly half by construction");
+    }
+}

@@ -1,0 +1,170 @@
+//! Uniform random references — the unskewed control workload.
+//!
+//! Under a uniform distribution every page has `β = 1/N`, so by Theorem 3.2
+//! *no* replacement policy can beat any other in expectation (the resident
+//! set's probability mass is `m/N` regardless of which pages it holds).
+//! The experiments use it as a null control: a policy "winning" on uniform
+//! traffic is measuring noise.
+
+use crate::trace::PageRef;
+use crate::Workload;
+use lruk_policy::{AccessKind, PageId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform i.i.d. references over pages `0..n`.
+#[derive(Debug)]
+pub struct Uniform {
+    n: u64,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl Uniform {
+    /// Uniform over `n` pages; deterministic in `seed`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n >= 1);
+        Uniform {
+            n,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Number of pages.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Workload for Uniform {
+    fn name(&self) -> String {
+        format!("uniform(n={},seed={})", self.n, self.seed)
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        PageRef::new(
+            PageId(self.rng.random_range(0..self.n)),
+            AccessKind::Random,
+        )
+    }
+
+    fn beta(&self) -> Option<Vec<(PageId, f64)>> {
+        let b = 1.0 / self.n as f64;
+        Some((0..self.n).map(|p| (PageId(p), b)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_are_flat() {
+        let mut w = Uniform::new(50, 3);
+        let t = w.generate(100_000);
+        let mut counts = vec![0u64; 50];
+        for r in t.refs() {
+            counts[r.page.raw() as usize] += 1;
+        }
+        let expect = 100_000.0 / 50.0;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.15,
+                "page {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_is_constant_and_normalized() {
+        let w = Uniform::new(8, 0);
+        let beta = w.beta().unwrap();
+        assert!(beta.iter().all(|&(_, b)| (b - 0.125).abs() < 1e-12));
+        let total: f64 = beta.iter().map(|(_, b)| b).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(w.universe(), 8);
+    }
+
+    #[test]
+    fn no_policy_can_win_on_uniform() {
+        // The Theorem 3.2 null result, empirically: LRU-1, LRU-2 and RANDOM
+        // land within noise of the analytic hit ratio m/N.
+        use lruk_policy::{PinSet, ReplacementPolicy, Tick, VictimError};
+        struct SimpleRandom {
+            v: Vec<PageId>,
+            pins: PinSet,
+            state: u64,
+        }
+        impl ReplacementPolicy for SimpleRandom {
+            fn name(&self) -> String {
+                "r".into()
+            }
+            fn on_hit(&mut self, _p: PageId, _t: Tick) {}
+            fn on_admit(&mut self, p: PageId, _t: Tick) {
+                self.v.push(p);
+            }
+            fn on_evict(&mut self, p: PageId, _t: Tick) {
+                self.v.retain(|&q| q != p);
+            }
+            fn select_victim(&mut self, _t: Tick) -> Result<PageId, VictimError> {
+                if self.v.is_empty() {
+                    return Err(VictimError::Empty);
+                }
+                self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                Ok(self.v[(self.state >> 33) as usize % self.v.len()])
+            }
+            fn pin(&mut self, p: PageId) {
+                self.pins.pin(p);
+            }
+            fn unpin(&mut self, p: PageId) {
+                self.pins.unpin(p);
+            }
+            fn forget(&mut self, p: PageId) {
+                self.v.retain(|&q| q != p);
+            }
+            fn resident_len(&self) -> usize {
+                self.v.len()
+            }
+        }
+
+        let trace = Uniform::new(200, 7).generate(60_000);
+        let capacity = 50;
+        // Hand-rolled driver (the sim crate depends on this one).
+        let run = |policy: &mut dyn ReplacementPolicy| {
+            let mut resident = std::collections::BTreeSet::new();
+            let (mut hits, mut total) = (0u64, 0u64);
+            for (i, r) in trace.refs().iter().enumerate() {
+                let now = Tick(i as u64 + 1);
+                if resident.contains(&r.page) {
+                    policy.on_hit(r.page, now);
+                    if i >= 10_000 {
+                        hits += 1;
+                    }
+                } else {
+                    if resident.len() == capacity {
+                        let v = policy.select_victim(now).unwrap();
+                        resident.remove(&v);
+                        policy.on_evict(v, now);
+                    }
+                    policy.on_admit(r.page, now);
+                    resident.insert(r.page);
+                }
+                if i >= 10_000 {
+                    total += 1;
+                }
+            }
+            hits as f64 / total as f64
+        };
+        let rand_hit = run(&mut SimpleRandom {
+            v: vec![],
+            pins: PinSet::new(),
+            state: 5,
+        });
+        let analytic = capacity as f64 / 200.0;
+        assert!(
+            (rand_hit - analytic).abs() < 0.02,
+            "uniform null: {rand_hit} vs analytic {analytic}"
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! The §4.2 Zipfian workload.
+//!
+//! The paper parameterizes skew by the self-similar (α, β) law of \[CKS\] and
+//! Knuth: "the probability for referencing a page with page number less than
+//! or equal to i is `(i/N)^(log α / log β)` … a fraction α of the references
+//! accesses a fraction β of the N pages (and the same relationship holds
+//! recursively)". Table 4.2 uses α = 0.8, β = 0.2 (the 80–20 rule).
+
+use crate::trace::PageRef;
+use crate::Workload;
+use lruk_policy::{AccessKind, PageId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Self-similar Zipf-like generator over pages `0 .. n`.
+///
+/// Page 0 is the hottest. Sampling is by inverse transform:
+/// `page = ⌈N · u^(log β / log α)⌉ - 1` for `u ~ U(0,1]`, which realizes the
+/// paper's CDF exactly.
+#[derive(Debug)]
+pub struct Zipfian {
+    n: u64,
+    alpha: f64,
+    beta: f64,
+    /// `log α / log β` — the CDF exponent.
+    theta: f64,
+    rng: StdRng,
+    seed: u64,
+}
+
+impl Zipfian {
+    /// Pages `0..n` with self-similar skew (α, β); deterministic in `seed`.
+    pub fn new(n: u64, alpha: f64, beta: f64, seed: u64) -> Self {
+        assert!(n >= 1);
+        assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "α in (0,1)");
+        assert!((0.0..1.0).contains(&beta) && beta > 0.0, "β in (0,1)");
+        Zipfian {
+            n,
+            alpha,
+            beta,
+            theta: alpha.ln() / beta.ln(),
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The paper's Table 4.2 setting: N = 1000, α = 0.8, β = 0.2.
+    pub fn paper(seed: u64) -> Self {
+        Zipfian::new(1000, 0.8, 0.2, seed)
+    }
+
+    /// The CDF `Pr(page < i pages)` for the first `i` (hottest) pages.
+    pub fn cdf(&self, i: u64) -> f64 {
+        if i >= self.n {
+            1.0
+        } else {
+            (i as f64 / self.n as f64).powf(self.theta)
+        }
+    }
+
+    /// Number of pages.
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Workload for Zipfian {
+    fn name(&self) -> String {
+        format!(
+            "zipf(n={},a={},b={},seed={})",
+            self.n, self.alpha, self.beta, self.seed
+        )
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        // u in (0, 1]: complement of [0,1) keeps the hottest page reachable
+        // and avoids u = 0 (which would map past the last page).
+        let u: f64 = 1.0 - self.rng.random::<f64>();
+        let page = ((self.n as f64) * u.powf(1.0 / self.theta)).ceil() as u64 - 1;
+        PageRef::new(PageId(page.min(self.n - 1)), AccessKind::Random)
+    }
+
+    fn beta(&self) -> Option<Vec<(PageId, f64)>> {
+        Some(
+            (0..self.n)
+                .map(|i| (PageId(i), self.cdf(i + 1) - self.cdf(i)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighty_twenty_rule_holds_empirically() {
+        let mut w = Zipfian::new(1000, 0.8, 0.2, 11);
+        let t = w.generate(200_000);
+        let hot_cut = 200; // hottest 20% of pages
+        let hot_refs = t.refs().iter().filter(|r| r.page.raw() < hot_cut).count();
+        let frac = hot_refs as f64 / t.len() as f64;
+        assert!(
+            (0.78..0.82).contains(&frac),
+            "expected ~80% of refs on hottest 20% of pages, got {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn recursion_within_the_hot_set() {
+        // Self-similarity: 80% of the refs *within* the hottest 20% hit the
+        // hottest 20%-of-20% = 4% of pages.
+        let mut w = Zipfian::new(1000, 0.8, 0.2, 13);
+        let t = w.generate(300_000);
+        let hot: Vec<_> = t.refs().iter().filter(|r| r.page.raw() < 200).collect();
+        let hotter = hot.iter().filter(|r| r.page.raw() < 40).count();
+        let frac = hotter as f64 / hot.len() as f64;
+        assert!(
+            (0.77..0.83).contains(&frac),
+            "recursive 80-20 violated: {frac:.3}"
+        );
+    }
+
+    #[test]
+    fn cdf_formula() {
+        let w = Zipfian::new(1000, 0.8, 0.2, 0);
+        assert!((w.cdf(200) - 0.8).abs() < 1e-12, "cdf(0.2·N) = 0.8");
+        assert_eq!(w.cdf(1000), 1.0);
+        assert_eq!(w.cdf(2000), 1.0);
+        assert_eq!(w.cdf(0), 0.0);
+    }
+
+    #[test]
+    fn beta_sums_to_one_and_is_monotone() {
+        let w = Zipfian::new(500, 0.8, 0.2, 0);
+        let beta = w.beta().unwrap();
+        let total: f64 = beta.iter().map(|(_, b)| b).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for pair in beta.windows(2) {
+            assert!(
+                pair[0].1 >= pair[1].1,
+                "lower page numbers must be at least as hot"
+            );
+        }
+    }
+
+    #[test]
+    fn pages_stay_in_range() {
+        let mut w = Zipfian::new(50, 0.8, 0.2, 5);
+        for _ in 0..10_000 {
+            assert!(w.next_ref().page.raw() < 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Zipfian::paper(9).generate(1000);
+        let b = Zipfian::paper(9).generate(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "α in (0,1)")]
+    fn rejects_bad_alpha() {
+        let _ = Zipfian::new(10, 1.5, 0.2, 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Evolving access patterns (§4.3/§5): a hot spot that moves, and how each
+//! policy's hit ratio tracks it over time. LFU "never forgets" and stays
+//! loyal to dead hot spots; LRU-2 adapts within a phase.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_hotspot
+//! ```
+
+use lruk::sim::experiments::adaptivity;
+use lruk::sim::report::render_adaptivity;
+
+fn main() {
+    // 5 phases of 10 000 references; each phase moves the 80-page hot set
+    // (90% of traffic) to a fresh region of the 5 000-page database.
+    let result = adaptivity(5_000, 80, 10_000, 5, 100, 2_500, 9);
+    print!("{}", render_adaptivity(&result));
+    println!();
+    println!("Read each row left to right: every phase boundary (every 4 windows) dents");
+    println!("all policies, but LRU-2 and ARC recover within a window or two, while LFU's");
+    println!("stale counters keep defending pages from the previous phase. LFU-aged");
+    println!("recovers too — *if* its halving interval is hand-tuned to the phase length,");
+    println!("which is precisely the manual tuning the paper's §1.2 argues against.");
+}

@@ -1,0 +1,68 @@
+//! Using the buffer pool and storage substrate directly: a small table with
+//! a clustered B-tree index, managed by an LRU-2 buffer pool, with I/O
+//! accounting.
+//!
+//! ```sh
+//! cargo run --release --example buffer_pool
+//! ```
+
+use lruk::buffer::{BufferPoolManager, InMemoryDisk};
+use lruk::core::{LruK, LruKConfig};
+use lruk::storage::{BTree, CustomerRecord, HeapFile, Rid};
+
+fn main() {
+    // A 64-frame pool (256 KiB of buffer) over an unbounded simulated disk,
+    // replacing with LRU-2 under a 3-tick Correlated Reference Period: the
+    // record-then-index touch pattern of a single insert is one burst.
+    let policy = LruK::new(LruKConfig::new(2).with_crp(3).with_rip(100_000));
+    let mut pool = BufferPoolManager::new(64, InMemoryDisk::unbounded(), Box::new(policy));
+
+    let mut table = HeapFile::new();
+    let mut index = BTree::create(&mut pool).expect("create index");
+
+    println!("loading 5 000 customers (2 000-byte records, 2 per 4 KiB page) ...");
+    for id in 0..5_000u64 {
+        let record = CustomerRecord::synthetic(id);
+        let rid = table.insert(&mut pool, &record.encode()).expect("insert");
+        index.insert(&mut pool, id, rid.to_u64()).expect("index");
+    }
+    pool.flush_all().expect("flush");
+    println!(
+        "  {} heap pages, {} B-tree levels, root {:?}",
+        table.pages().len(),
+        index.height(&mut pool).expect("height"),
+        index.root()
+    );
+
+    // Keyed reads through the index.
+    println!("reading 20 000 random customers through the index ...");
+    let mut rng_state = 0x9E3779B97F4A7C15u64;
+    let mut balance_total = 0.0;
+    for _ in 0..20_000 {
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let id = (rng_state >> 33) % 5_000;
+        let rid = Rid::from_u64(
+            index
+                .search(&mut pool, id)
+                .expect("search")
+                .expect("customer exists"),
+        );
+        balance_total += table
+            .get(&mut pool, rid, |bytes| CustomerRecord::decode(bytes).balance)
+            .expect("fetch");
+    }
+
+    let stats = pool.stats();
+    let disk = pool.disk_stats();
+    println!();
+    println!("buffer pool: {} (capacity {})", pool.policy().name(), pool.capacity());
+    println!("  references:   {}", stats.references());
+    println!("  hit ratio:    {:.4}", stats.hit_ratio());
+    println!("  evictions:    {} ({} dirty write-backs)", stats.evictions, stats.dirty_writebacks);
+    println!("  disk I/O:     {} reads, {} writes", disk.reads, disk.writes);
+    println!("  sum(balance): {balance_total:.2}");
+    println!();
+    println!("The index pages are re-referenced ~25x more often than any record page;");
+    println!("LRU-2's interarrival estimates keep them resident, so most of the 64");
+    println!("frames' hits come from the B-tree while record fetches stream through.");
+}

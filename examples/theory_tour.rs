@@ -1,0 +1,86 @@
+//! A tour of the paper's Section 3 mathematics, numerically: the Bayesian
+//! estimate behind LRU-K's eviction rule, the expected-cost comparison of
+//! Theorem 3.8, and the Five Minute Rule economics behind the Retained
+//! Information Period.
+//!
+//! ```sh
+//! cargo run --release --example theory_tour
+//! ```
+
+use lruk::analysis::{
+    estimated_cost, expected_probability, five_minute::CostModel, Geometric, IrmSampler,
+};
+use lruk::policy::PageId;
+use lruk::sim::{simulate, PolicySpec};
+use lruk::workloads::PageRef;
+
+fn main() {
+    // The two-pool probability vector of Example 1.1 / Table 4.1:
+    // 100 hot pages at β = 1/200, 10 000 cold at β = 1/20 000.
+    let mut beta = vec![1.0 / 200.0; 100];
+    beta.extend(std::iter::repeat_n(1.0 / 20_000.0, 10_000));
+
+    println!("== Lemma 3.5/3.6: E_t(P(i)) as a function of the backward 2-distance ==");
+    println!("(the estimate LRU-2 implicitly ranks pages by; strictly decreasing)");
+    for bdist in [2u64, 10, 50, 100, 200, 500, 1_000, 5_000, 20_000] {
+        let e = expected_probability(&beta, 2, bdist);
+        let verdict = if e > 1.0 / 2_000.0 { "looks hot" } else { "looks cold" };
+        println!("  b_t(p,2) = {bdist:>6}  ->  E_t(P) = {e:.6}   {verdict}");
+    }
+    println!();
+
+    println!("== Theorem 3.8: the min-distance resident set minimizes estimated cost ==");
+    // 20 resident candidates with assorted observed distances; keep 10.
+    let observations: Vec<u64> = (0..20u64).map(|i| 2 + i * i * 7 % 3_000).collect();
+    let mut sorted = observations.clone();
+    sorted.sort_unstable();
+    let lruk_cost = estimated_cost(&beta, 2, &sorted[..10]);
+    let worst = estimated_cost(&beta, 2, &sorted[10..]);
+    println!("  LRU-2's choice (10 smallest distances): expected miss cost {lruk_cost:.4}");
+    println!("  the complementary set:                  expected miss cost {worst:.4}");
+    println!();
+
+    println!("== Eq. 3.1: geometric interarrival, checked against an IRM sample ==");
+    let g = Geometric::new(1.0 / 200.0);
+    println!("  hot page: I_p = 1/β = {} references", g.mean());
+    let mut sampler = IrmSampler::new(&beta, 9);
+    let string = sampler.string(400_000);
+    let gaps: Vec<f64> = string
+        .iter()
+        .enumerate()
+        .filter(|(_, &p)| p == PageId(0))
+        .map(|(i, _)| i as f64)
+        .collect::<Vec<_>>()
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    println!("  empirical mean interarrival of page 0 over 400k refs: {mean:.1}");
+    println!();
+
+    println!("== A0 under the IRM: simulation meets eq. 3.8 ==");
+    let refs: Vec<PageRef> = sampler.string(200_000).into_iter().map(PageRef::random).collect();
+    let beta_pairs: Vec<(PageId, f64)> = beta
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| (PageId(i as u64), b))
+        .collect();
+    let capacity = 120;
+    let mut a0 = PolicySpec::A0.build(capacity, Some(&beta_pairs), None);
+    let r = simulate(a0.as_mut(), &refs, capacity, 40_000);
+    let theory: f64 = 0.5 + 20.0 * (1.0 / 20_000.0); // 100 hot + 20 cold frames
+    println!("  A0 with {capacity} frames: simulated hit {:.4}, eq. 3.8 predicts {theory:.4}", r.hit_ratio());
+    println!();
+
+    println!("== The Five Minute Rule (GRAYPUT) behind the paper's constants ==");
+    let m = CostModel::circa_1987();
+    println!("  1987 price book break-even interval: {:.0} s", m.breakeven_seconds());
+    println!(
+        "  paper's Retained Information Period guideline (2x): {:.0} s",
+        m.retained_information_period_seconds()
+    );
+    println!(
+        "  at 130 refs/s (the paper's trace rate) that is ~{:.0} references",
+        m.retained_information_period_seconds() * 130.0
+    );
+}

@@ -1,0 +1,28 @@
+//! # lruk — a reproduction of "The LRU-K Page Replacement Algorithm For Database Disk Buffering"
+//!
+//! Facade crate re-exporting the workspace:
+//!
+//! * [`policy`] — policy trait, page ids, logical time, shared structures.
+//! * [`core`] — the LRU-K algorithm itself (classic Figure-2.1 engine and an
+//!   indexed O(log B) engine), with Correlated Reference Period and Retained
+//!   Information Period support.
+//! * [`baselines`] — LRU-1, FIFO, Clock, GCLOCK, LFU, LFU-aged, LRD, MRU,
+//!   Random, 2Q, ARC, the `A_0` probabilistic oracle and Belady's OPT.
+//! * [`buffer`] — a buffer pool manager with pluggable replacement policy.
+//! * [`storage`] — simulated disk, slotted pages, heap files, a B+tree, and a
+//!   CODASYL-style network database emulation.
+//! * [`workloads`] — reference-string generators and trace tooling for every
+//!   experiment in the paper.
+//! * [`sim`] — the simulation harness reproducing the paper's methodology.
+//! * [`analysis`] — the Bayesian machinery of the paper's Section 3.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use lruk_analysis as analysis;
+pub use lruk_baselines as baselines;
+pub use lruk_buffer as buffer;
+pub use lruk_core as core;
+pub use lruk_policy as policy;
+pub use lruk_sim as sim;
+pub use lruk_storage as storage;
+pub use lruk_workloads as workloads;

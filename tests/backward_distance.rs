@@ -1,0 +1,102 @@
+//! The incremental engine's Backward K-distance must match Definition 2.1
+//! computed by brute force from the raw reference string (CRP = 0, where
+//! the hit and miss arms of Figure 2.1 coincide and correlation collapsing
+//! is inactive), and must match the independent `ReferenceModel` fold.
+
+use lruk::core::{backward_k_distance_raw, LruK, LruKConfig, ReferenceModel};
+use lruk::policy::{PageId, ReplacementPolicy, Tick};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_distance_matches_brute_force(
+        trace in proptest::collection::vec(0u64..25, 1..250),
+        k in 1usize..5,
+    ) {
+        // Infinite capacity: every page stays resident, so the engine's
+        // HIST blocks see the exact same reference stream as Definition 2.1.
+        let mut engine = LruK::new(LruKConfig::new(k));
+        let mut model = ReferenceModel::new(k, 0);
+        let pages: Vec<PageId> = trace.iter().map(|&p| PageId(p)).collect();
+        let mut seen: std::collections::BTreeSet<PageId> = Default::default();
+        for (i, &page) in pages.iter().enumerate() {
+            let now = Tick(i as u64 + 1);
+            if seen.contains(&page) {
+                engine.on_hit(page, now);
+            } else {
+                engine.on_miss(page, now);
+                engine.on_admit(page, now);
+                seen.insert(page);
+            }
+            model.record(page, now);
+        }
+        let t = pages.len();
+        let now = Tick(t as u64);
+        for &page in &seen {
+            let brute = backward_k_distance_raw(&pages, t, page, k);
+            let eng = engine.backward_k_distance(page, now);
+            prop_assert_eq!(eng, brute, "page {} (k={})", page, k);
+            let mod_d = model.backward_k_distance(page, now);
+            prop_assert_eq!(mod_d, brute, "model diverged for page {}", page);
+        }
+    }
+
+    #[test]
+    fn model_matches_engine_with_crp(
+        trace in proptest::collection::vec(0u64..10, 1..150),
+        k in 1usize..4,
+        crp in 0u64..5,
+    ) {
+        // Without evictions, the engine's hit path and the model's fold are
+        // the same recurrence for any CRP.
+        let mut engine = LruK::new(LruKConfig::new(k).with_crp(crp));
+        let mut model = ReferenceModel::new(k, crp);
+        let mut seen: std::collections::BTreeSet<PageId> = Default::default();
+        for (i, &p) in trace.iter().enumerate() {
+            let page = PageId(p);
+            let now = Tick(i as u64 + 1);
+            if seen.contains(&page) {
+                engine.on_hit(page, now);
+            } else {
+                engine.on_miss(page, now);
+                engine.on_admit(page, now);
+                seen.insert(page);
+            }
+            model.record(page, now);
+        }
+        for &page in &seen {
+            let snap = engine.history(page).expect("resident page has history");
+            let (hist, last) = model.hist(page).expect("model tracked page");
+            let engine_hist: Vec<u64> = snap.hist.iter().map(|t| t.raw()).collect();
+            prop_assert_eq!(engine_hist, hist, "HIST mismatch for {}", page);
+            prop_assert_eq!(snap.last.raw(), last, "LAST mismatch for {}", page);
+        }
+    }
+}
+
+#[test]
+fn paper_definition_example() {
+    // Definition 2.1 on a concrete string, checked against the engine.
+    // r = p1 p2 p3 p1 p2 p1   (t = 1..6)
+    let pages: Vec<PageId> = [1u64, 2, 3, 1, 2, 1].iter().map(|&p| PageId(p)).collect();
+    let mut engine = LruK::new(LruKConfig::new(2));
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, &page) in pages.iter().enumerate() {
+        let now = Tick(i as u64 + 1);
+        if !seen.insert(page) {
+            engine.on_hit(page, now);
+        } else {
+            engine.on_miss(page, now);
+            engine.on_admit(page, now);
+        }
+    }
+    let now = Tick(6);
+    // b_6(p1, 2): 2nd most recent ref to p1 is at t=4 -> distance 2.
+    assert_eq!(engine.backward_k_distance(PageId(1), now), Some(2));
+    // b_6(p2, 2): refs at 2 and 5 -> distance 4.
+    assert_eq!(engine.backward_k_distance(PageId(2), now), Some(4));
+    // b_6(p3, 2): only one ref -> ∞.
+    assert_eq!(engine.backward_k_distance(PageId(3), now), None);
+}

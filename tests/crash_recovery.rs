@@ -1,0 +1,148 @@
+//! Crash-recovery property test: commit durability and loser rollback must
+//! hold for arbitrary transaction schedules, arbitrary crash points and a
+//! steal-happy (tiny) buffer pool.
+//!
+//! Crash model: the disk and the *flushed* portion of the WAL survive; the
+//! buffer pool and the volatile log tail are lost. Transactions execute
+//! serially (commit before the next begins), so physical before-image undo
+//! is sound; the crash may land mid-transaction, leaving one loser.
+
+use lruk::buffer::{BufferPoolManager, DiskManager, InMemoryDisk, PAGE_SIZE};
+use lruk::core::LruK;
+use lruk::policy::PageId;
+use lruk::storage::wal::{logged_counter_add, recover, LogRecord, Wal, WalDisk};
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// A disk handle the test keeps across the "crash" (the medium survives;
+/// the pool that wrote to it does not).
+#[derive(Clone)]
+struct SurvivingDisk(Arc<Mutex<InMemoryDisk>>);
+
+impl DiskManager for SurvivingDisk {
+    fn read_page(&mut self, p: PageId, b: &mut [u8]) -> Result<(), lruk::buffer::DiskError> {
+        self.0.lock().unwrap().read_page(p, b)
+    }
+    fn write_page(&mut self, p: PageId, d: &[u8]) -> Result<(), lruk::buffer::DiskError> {
+        self.0.lock().unwrap().write_page(p, d)
+    }
+    fn allocate_page(&mut self) -> Result<PageId, lruk::buffer::DiskError> {
+        self.0.lock().unwrap().allocate_page()
+    }
+    fn deallocate_page(&mut self, p: PageId) -> Result<(), lruk::buffer::DiskError> {
+        self.0.lock().unwrap().deallocate_page(p)
+    }
+    fn is_allocated(&self, p: PageId) -> bool {
+        self.0.lock().unwrap().is_allocated(p)
+    }
+    fn allocated_pages(&self) -> usize {
+        self.0.lock().unwrap().allocated_pages()
+    }
+    fn stats(&self) -> lruk::buffer::DiskStats {
+        self.0.lock().unwrap().stats()
+    }
+}
+
+/// One transaction: counter increments at (page, slot), committed or not
+/// (the last transaction may be cut by the crash).
+#[derive(Clone, Debug)]
+struct TxnPlan {
+    updates: Vec<(usize, usize, u64)>, // (page idx, slot idx, delta)
+}
+
+fn txn_strategy(pages: usize) -> impl Strategy<Value = TxnPlan> {
+    proptest::collection::vec((0..pages, 0usize..8, 1u64..100), 1..4)
+        .prop_map(|updates| TxnPlan { updates })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn committed_survive_losers_vanish(
+        txns in proptest::collection::vec(txn_strategy(6), 1..12),
+        crash_after_updates in 0usize..30,
+        frames in 1usize..4,
+    ) {
+        // ---- run until the crash ----
+        let medium = SurvivingDisk(Arc::new(Mutex::new(InMemoryDisk::unbounded())));
+        let page_ids: Vec<PageId> = {
+            let mut d = medium.clone();
+            (0..6).map(|_| d.allocate_page().unwrap()).collect()
+        };
+        let wal = Arc::new(Mutex::new(Wal::new()));
+        let mut pool = BufferPoolManager::new(
+            frames,
+            WalDisk::new(medium.clone(), Arc::clone(&wal)),
+            Box::new(LruK::lru2()),
+        );
+
+        // Model: expected counter values from *committed* transactions.
+        let mut model = vec![[0u64; 8]; 6];
+        let mut budget = crash_after_updates;
+        let mut crashed = false;
+        'outer: for (ti, txn) in txns.iter().enumerate() {
+            let id = ti as u64 + 1;
+            wal.lock().unwrap().append(LogRecord::Begin { txn: id });
+            for &(p, s, delta) in &txn.updates {
+                if budget == 0 {
+                    crashed = true;
+                    break 'outer; // crash mid-transaction: this txn loses
+                }
+                budget -= 1;
+                logged_counter_add(&mut pool, &wal, id, page_ids[p], s * 8, delta).unwrap();
+            }
+            {
+                let mut w = wal.lock().unwrap();
+                w.append(LogRecord::Commit { txn: id });
+                w.flush(); // commit forces the log
+            }
+            for &(p, s, delta) in &txn.updates {
+                model[p][s] = model[p][s].wrapping_add(delta);
+            }
+        }
+        let _ = crashed;
+        // CRASH: pool (and volatile WAL tail) vanish; medium + stable log
+        // survive.
+        drop(pool);
+
+        // ---- recover ----
+        let committed = {
+            let w = wal.lock().unwrap();
+            let mut d = medium.clone();
+            recover(&mut d, &w)
+        };
+        // Every committed transaction id is reported.
+        for (ti, _) in txns.iter().enumerate() {
+            let id = ti as u64 + 1;
+            let expect_committed = {
+                // txn committed iff all its updates fit before the crash —
+                // equivalently the model received its deltas.
+                let mut seen = 0;
+                for t in txns.iter().take(ti + 1) {
+                    seen += t.updates.len();
+                }
+                seen <= crash_after_updates
+            };
+            prop_assert_eq!(
+                committed.contains(&id),
+                expect_committed,
+                "txn {} commit status", id
+            );
+        }
+
+        // ---- audit every counter ----
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut d = medium.clone();
+        for (p, &page) in page_ids.iter().enumerate() {
+            d.read_page(page, &mut buf).unwrap();
+            for s in 0..8 {
+                let got = u64::from_le_bytes(buf[s * 8..s * 8 + 8].try_into().unwrap());
+                prop_assert_eq!(
+                    got, model[p][s],
+                    "page {} slot {} after recovery", p, s
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Differential testing: the literal Figure 2.1 engine (`ClassicLruK`) and
+//! the indexed production engine (`LruK`) must take identical decisions on
+//! arbitrary traces, for arbitrary K / CRP / RIP; and LRU-K with K = 1 and
+//! CRP = 0 must coincide with the classical LRU baseline.
+
+use lruk::baselines::Lru;
+use lruk::core::{ClassicLruK, LruK, LruKConfig};
+use lruk::policy::{PageId, ReplacementPolicy, Tick, VictimError};
+use proptest::prelude::*;
+
+/// Drive both policies in lockstep, asserting identical victim choices at
+/// every eviction. Returns the number of evictions compared.
+fn lockstep(
+    a: &mut dyn ReplacementPolicy,
+    b: &mut dyn ReplacementPolicy,
+    trace: &[PageId],
+    capacity: usize,
+) -> usize {
+    lockstep_with_pids(a, b, trace, &[], capacity)
+}
+
+/// [`lockstep`] with per-reference process ids (§2.1.1 refinement); an
+/// empty `pids` slice means "undistinguished".
+fn lockstep_with_pids(
+    a: &mut dyn ReplacementPolicy,
+    b: &mut dyn ReplacementPolicy,
+    trace: &[PageId],
+    pids: &[u64],
+    capacity: usize,
+) -> usize {
+    let mut resident: std::collections::BTreeSet<PageId> = Default::default();
+    let mut evictions = 0;
+    for (i, &page) in trace.iter().enumerate() {
+        let now = Tick(i as u64 + 1);
+        if let Some(&pid) = pids.get(i) {
+            a.note_process(pid);
+            b.note_process(pid);
+        }
+        if resident.contains(&page) {
+            a.on_hit(page, now);
+            b.on_hit(page, now);
+        } else {
+            a.on_miss(page, now);
+            b.on_miss(page, now);
+            if resident.len() == capacity {
+                let va = a.select_victim(now).expect("victim a");
+                let vb = b.select_victim(now).expect("victim b");
+                assert_eq!(
+                    va, vb,
+                    "engines disagree at tick {now}: {} vs {}",
+                    a.name(),
+                    b.name()
+                );
+                resident.remove(&va);
+                a.on_evict(va, now);
+                b.on_evict(vb, now);
+                evictions += 1;
+            }
+            a.on_admit(page, now);
+            b.on_admit(page, now);
+            resident.insert(page);
+        }
+        assert_eq!(a.resident_len(), b.resident_len());
+    }
+    evictions
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn classic_and_indexed_agree(
+        trace in proptest::collection::vec(0u64..40, 50..400),
+        k in 1usize..4,
+        crp in 0u64..6,
+        capacity in 2usize..12,
+        rip in proptest::option::of(8u64..64),
+    ) {
+        let mut cfg = LruKConfig::new(k).with_crp(crp);
+        if let Some(r) = rip {
+            if r >= crp {
+                cfg = cfg.with_rip(r);
+            }
+        }
+        if cfg.validate().is_err() {
+            return Ok(());
+        }
+        let pages: Vec<PageId> = trace.iter().map(|&p| PageId(p)).collect();
+        let mut classic = ClassicLruK::new(cfg);
+        let mut indexed = LruK::new(cfg);
+        let evictions = lockstep(&mut classic, &mut indexed, &pages, capacity);
+        // Most runs must actually exercise eviction to be meaningful.
+        prop_assert!(evictions > 0 || trace.len() < capacity * 2);
+        prop_assert_eq!(classic.retained_len(), indexed.retained_len());
+    }
+
+    #[test]
+    fn classic_and_indexed_agree_with_processes(
+        trace in proptest::collection::vec((0u64..30, 0u64..4), 50..350),
+        k in 1usize..4,
+        crp in 1u64..8,
+        capacity in 2usize..10,
+    ) {
+        // The per-process CRP refinement must be implemented identically by
+        // both engines: random pid per reference, correlation-relevant CRP.
+        let cfg = LruKConfig::new(k).with_crp(crp);
+        let pages: Vec<PageId> = trace.iter().map(|&(p, _)| PageId(p)).collect();
+        let pids: Vec<u64> = trace.iter().map(|&(_, pid)| pid).collect();
+        let mut classic = ClassicLruK::new(cfg);
+        let mut indexed = LruK::new(cfg);
+        lockstep_with_pids(&mut classic, &mut indexed, &pages, &pids, capacity);
+        prop_assert_eq!(classic.retained_len(), indexed.retained_len());
+    }
+
+    #[test]
+    fn lru1_equals_classical_lru(
+        trace in proptest::collection::vec(0u64..30, 50..300),
+        capacity in 2usize..10,
+    ) {
+        let pages: Vec<PageId> = trace.iter().map(|&p| PageId(p)).collect();
+        let mut lruk1 = LruK::new(LruKConfig::new(1));
+        let mut lru = Lru::new();
+        lockstep(&mut lruk1, &mut lru, &pages, capacity);
+    }
+}
+
+#[test]
+fn engines_agree_with_pins() {
+    // Deterministic pin/unpin interleaving on both engines.
+    let cfg = LruKConfig::new(2).with_crp(2);
+    let mut classic = ClassicLruK::new(cfg);
+    let mut indexed = LruK::new(cfg);
+    let p = |i: u64| PageId(i);
+    for (t, page) in [(1u64, 1u64), (2, 2), (3, 3)] {
+        classic.on_miss(p(page), Tick(t));
+        indexed.on_miss(p(page), Tick(t));
+        classic.on_admit(p(page), Tick(t));
+        indexed.on_admit(p(page), Tick(t));
+    }
+    classic.pin(p(1));
+    indexed.pin(p(1));
+    assert_eq!(
+        classic.select_victim(Tick(10)),
+        indexed.select_victim(Tick(10))
+    );
+    classic.pin(p(2));
+    indexed.pin(p(2));
+    classic.pin(p(3));
+    indexed.pin(p(3));
+    assert_eq!(classic.select_victim(Tick(10)), Err(VictimError::AllPinned));
+    assert_eq!(indexed.select_victim(Tick(10)), Err(VictimError::AllPinned));
+    classic.unpin(p(2));
+    indexed.unpin(p(2));
+    assert_eq!(
+        classic.select_victim(Tick(11)),
+        indexed.select_victim(Tick(11))
+    );
+}

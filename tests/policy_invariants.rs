@@ -1,0 +1,144 @@
+//! Cross-policy invariants on arbitrary traces: accounting conservation,
+//! capacity bounds, OPT dominance, and pinned-page safety.
+
+use lruk::baselines::BeladyOpt;
+use lruk::policy::{PageId, ReplacementPolicy, Tick};
+use lruk::sim::{simulate, PolicySpec};
+use lruk::workloads::{PageRef, Trace};
+use proptest::prelude::*;
+
+fn policy_zoo(capacity: usize) -> Vec<Box<dyn ReplacementPolicy>> {
+    [
+        PolicySpec::Lru,
+        PolicySpec::LruK { k: 2 },
+        PolicySpec::LruK { k: 3 },
+        PolicySpec::ClassicLruK { k: 2 },
+        PolicySpec::Mru,
+        PolicySpec::Fifo,
+        PolicySpec::Clock,
+        PolicySpec::GClock(1, 3),
+        PolicySpec::Lfu,
+        PolicySpec::LfuFullHistory,
+        PolicySpec::AgedLfu { interval: 50 },
+        PolicySpec::LrdV1,
+        PolicySpec::Random { seed: 5 },
+        PolicySpec::TwoQ,
+        PolicySpec::Arc,
+        PolicySpec::Fbr,
+        PolicySpec::Slru,
+        PolicySpec::Lirs,
+        PolicySpec::TunedTwoPool { n1: 15, pool1_frames: 3 },
+        PolicySpec::HintedLru,
+    ]
+    .iter()
+    .map(|s| s.build(capacity, None, None))
+    .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_policy_respects_the_simulator_contract(
+        raw in proptest::collection::vec(0u64..30, 30..250),
+        capacity in 1usize..10,
+    ) {
+        let refs: Vec<PageRef> = raw.iter().map(|&p| PageRef::random(PageId(p))).collect();
+        let distinct = raw.iter().collect::<std::collections::BTreeSet<_>>().len();
+        for mut policy in policy_zoo(capacity) {
+            // The simulator itself asserts: victims are resident, resident
+            // set tracks the policy's bookkeeping, capacity is never
+            // exceeded. A panic fails the test.
+            let r = simulate(policy.as_mut(), &refs, capacity, 0);
+            prop_assert_eq!(
+                r.stats.references(),
+                refs.len() as u64,
+                "{} lost references", r.policy
+            );
+            prop_assert!(r.final_resident.len() <= capacity);
+            prop_assert!(r.final_resident.len() <= distinct);
+            // Misses at least cover the distinct pages that fit.
+            prop_assert!(
+                r.stats.misses >= distinct.min(capacity) as u64,
+                "{}: {} misses for {} distinct pages", r.policy, r.stats.misses, distinct
+            );
+        }
+    }
+
+    #[test]
+    fn belady_opt_dominates_every_online_policy(
+        raw in proptest::collection::vec(0u64..20, 50..250),
+        capacity in 2usize..8,
+    ) {
+        let refs: Vec<PageRef> = raw.iter().map(|&p| PageRef::random(PageId(p))).collect();
+        let pages: Vec<PageId> = raw.iter().map(|&p| PageId(p)).collect();
+        let mut opt = BeladyOpt::for_trace(&pages);
+        let opt_result = simulate(&mut opt, &refs, capacity, 0);
+        for mut policy in policy_zoo(capacity) {
+            let r = simulate(policy.as_mut(), &refs, capacity, 0);
+            prop_assert!(
+                opt_result.stats.hits >= r.stats.hits,
+                "OPT ({} hits) beaten by {} ({} hits) on {:?}",
+                opt_result.stats.hits, r.policy, r.stats.hits, raw
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_text_roundtrip_through_file() {
+    use lruk::workloads::{Workload, Zipfian};
+    let trace = Zipfian::new(100, 0.8, 0.2, 3).generate(1000);
+    let path = std::env::temp_dir().join("lruk_trace_roundtrip.txt");
+    {
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path).unwrap());
+        trace.save_text(&mut f).unwrap();
+    }
+    let mut f = std::io::BufReader::new(std::fs::File::open(&path).unwrap());
+    let loaded = Trace::load_text(&mut f).unwrap();
+    assert_eq!(loaded, trace);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lruk_victim_maximizes_backward_distance() {
+    // Direct link between implementation and Definition 2.2: at any point,
+    // the selected victim's backward K-distance is maximal among resident
+    // unpinned pages (∞ counts as larger than any finite distance, ties
+    // broken by the subsidiary LRU rule).
+    use lruk::core::{LruK, LruKConfig};
+    use lruk::workloads::{Workload, Zipfian};
+    let mut engine = LruK::new(LruKConfig::new(2));
+    let trace = Zipfian::new(50, 0.8, 0.2, 9).generate(2_000);
+    let capacity = 10;
+    let mut resident: std::collections::BTreeSet<PageId> = Default::default();
+    for (i, r) in trace.refs().iter().enumerate() {
+        let now = Tick(i as u64 + 1);
+        if resident.contains(&r.page) {
+            engine.on_hit(r.page, now);
+            continue;
+        }
+        engine.on_miss(r.page, now);
+        if resident.len() == capacity {
+            let victim = engine.select_victim(now).unwrap();
+            let vd = engine.backward_k_distance(victim, now);
+            for &q in &resident {
+                let qd = engine.backward_k_distance(q, now);
+                match (vd, qd) {
+                    (None, _) => {} // victim at ∞: maximal by definition
+                    (Some(_), None) => panic!(
+                        "victim {victim:?} has finite distance but {q:?} is ∞ at {now}"
+                    ),
+                    (Some(v), Some(q_dist)) => assert!(
+                        v >= q_dist,
+                        "victim {victim:?} ({v}) not maximal vs {q:?} ({q_dist}) at {now}"
+                    ),
+                }
+            }
+            resident.remove(&victim);
+            engine.on_evict(victim, now);
+        }
+        engine.on_admit(r.page, now);
+        resident.insert(r.page);
+    }
+}

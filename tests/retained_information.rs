@@ -1,0 +1,88 @@
+//! End-to-end checks of §2.1.2's Retained Information behaviour under the
+//! simulator, and of the B(1)/B(2) search against real measured curves.
+
+use lruk::core::{LruK, LruKConfig};
+use lruk::sim::{equi_effective_buffer_size, simulate, PolicySpec};
+use lruk::workloads::{Metronome, TwoPool, Workload};
+
+#[test]
+fn retention_bounds_memory_under_long_simulation() {
+    // A long cold-heavy run: the purge demon must keep retained blocks
+    // near cold_rate × RIP regardless of how many distinct pages flow by.
+    let mut w = Metronome::new(50, 200_000, 4, 5);
+    let trace = w.generate(120_000);
+    let rip = 2_000u64;
+    let cfg = LruKConfig::new(2).with_rip(rip).with_purge_interval(rip / 4);
+    let mut policy = LruK::new(cfg);
+    let r = simulate(&mut policy, trace.refs(), 100, 10_000);
+    // ~0.8 cold misses/tick → steady state ≈ 1600 retained; the demon
+    // sweeps every rip/4, so peak may overshoot by ~25% plus slack.
+    assert!(
+        r.peak_retained < 2 * (0.8 * rip as f64) as usize,
+        "retention unbounded: {}",
+        r.peak_retained
+    );
+    // And infinite RIP on the same trace retains orders of magnitude more.
+    let mut unbounded = LruK::new(LruKConfig::new(2));
+    let ru = simulate(&mut unbounded, trace.refs(), 100, 10_000);
+    assert!(
+        ru.peak_retained > 10 * r.peak_retained,
+        "unbounded {} vs bounded {}",
+        ru.peak_retained,
+        r.peak_retained
+    );
+}
+
+#[test]
+fn rip_zero_window_degrades_toward_lru() {
+    // With RIP well below every interarrival, LRU-2's history dies before
+    // it can ever matter: measured hit ratio falls to (or below) LRU-1's
+    // on the metronome workload, while a generous RIP clearly wins.
+    let mut w = Metronome::new(100, 50_000, 4, 9);
+    let interarrival = w.hot_interarrival(); // 500
+    let trace = w.generate(30_000);
+    let run = |cfg: LruKConfig| {
+        let mut p = LruK::new(cfg);
+        simulate(&mut p, trace.refs(), 150, 5_000).hit_ratio()
+    };
+    let tiny_rip = run(LruKConfig::new(2).with_rip(interarrival / 10).with_purge_interval(10));
+    let ample_rip = run(LruKConfig::new(2).with_rip(4 * interarrival).with_purge_interval(100));
+    let mut lru1 = PolicySpec::Lru.build(150, None, None);
+    let lru1_hit = simulate(lru1.as_mut(), trace.refs(), 150, 5_000).hit_ratio();
+    assert!(
+        ample_rip > tiny_rip + 0.1,
+        "ample {ample_rip} vs tiny {tiny_rip}"
+    );
+    assert!(
+        (tiny_rip - lru1_hit).abs() < 0.05,
+        "history-starved LRU-2 ({tiny_rip}) should sit near LRU-1 ({lru1_hit})"
+    );
+}
+
+#[test]
+fn equi_effective_size_closes_the_loop() {
+    // Find B(1) for an LRU-2 target on a real two-pool trace, then verify
+    // running LRU-1 at ⌈B(1)⌉ actually reaches the target hit ratio.
+    let trace = TwoPool::new(50, 5_000, 31).generate(40_000);
+    let warmup = 5_000;
+    let b2 = 40usize;
+    let mut lru2 = LruK::lru2();
+    let target = simulate(&mut lru2, trace.refs(), b2, warmup).hit_ratio();
+
+    let mut lru1_at = |b: usize| {
+        let mut p = PolicySpec::Lru.build(b, None, None);
+        simulate(p.as_mut(), trace.refs(), b, warmup).hit_ratio()
+    };
+    let b1 = equi_effective_buffer_size(target, 1, 5_050, &mut lru1_at)
+        .expect("target must be reachable");
+    assert!(
+        b1 > b2 as f64,
+        "LRU-1 must need more frames: B(1)={b1} vs B(2)={b2}"
+    );
+    let achieved = lru1_at(b1.ceil() as usize);
+    assert!(
+        achieved >= target - 0.01,
+        "LRU-1 at ⌈B(1)⌉ = {} achieves {achieved}, target {target}",
+        b1.ceil()
+    );
+}

@@ -1,0 +1,46 @@
+//! The two drivers must agree: replaying a reference string through the
+//! bare simulator and through the real buffer pool (fetch/unpin per
+//! reference) must produce identical hit/miss statistics for the same
+//! policy, since the pool is "the simulator plus page data".
+
+use lruk::buffer::{BufferPoolManager, InMemoryDisk};
+use lruk::policy::PageId;
+use lruk::sim::{simulate, PolicySpec};
+use lruk::workloads::{Workload, Zipfian};
+
+#[test]
+fn simulator_and_buffer_pool_agree_on_hit_counts() {
+    for spec in [
+        PolicySpec::Lru,
+        PolicySpec::LruK { k: 2 },
+        PolicySpec::Clock,
+        PolicySpec::TwoQ,
+        PolicySpec::Arc,
+        PolicySpec::Slru,
+    ] {
+        let capacity = 32;
+        let trace = Zipfian::new(256, 0.8, 0.2, 21).generate(20_000);
+
+        // Driver 1: the simulator.
+        let mut policy = spec.build(capacity, None, None);
+        let sim_result = simulate(policy.as_mut(), trace.refs(), capacity, 0);
+
+        // Driver 2: the buffer pool (one fetch per reference).
+        let mut disk = InMemoryDisk::unbounded();
+        use lruk::buffer::DiskManager;
+        let ids: Vec<PageId> = (0..256).map(|_| disk.allocate_page().unwrap()).collect();
+        let mut pool = BufferPoolManager::new(capacity, disk, spec.build(capacity, None, None));
+        for r in trace.refs() {
+            let _ = pool.fetch_page(ids[r.page.raw() as usize]).unwrap();
+        }
+        let pool_stats = pool.stats();
+
+        assert_eq!(
+            (sim_result.stats.hits, sim_result.stats.misses),
+            (pool_stats.hits, pool_stats.misses),
+            "{}: simulator vs buffer pool disagree",
+            spec.label()
+        );
+        assert_eq!(sim_result.stats.evictions, pool_stats.evictions, "{}", spec.label());
+    }
+}
