@@ -1,0 +1,41 @@
+//! Multi-threaded buffer pool throughput across the three concurrency
+//! tiers: global-latch (`ConcurrentBufferPool`), sharded
+//! (`ShardedBufferPool`), and per-frame latched (`LatchedBufferPool`),
+//! at 1/2/4/8 worker threads over read-mostly Zipfian traffic.
+//!
+//! The latched pool's claim — closures run outside every shard latch — only
+//! shows up under real thread contention, so each measurement spawns its own
+//! `std::thread::scope` of workers replaying pre-generated per-thread
+//! patterns (seeded by thread index: deterministic, schedule-independent).
+//! The measurement machinery is shared with `bin/bench_concurrency.rs`,
+//! which saves the same experiment as `results/BENCH_concurrency.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lruk_bench::concurrency::{run_once, PoolKind, THREAD_COUNTS};
+use std::hint::black_box;
+
+const OPS_PER_THREAD: usize = 10_000;
+
+fn bench_concurrent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrent_throughput");
+    for threads in THREAD_COUNTS {
+        group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+        for kind in [PoolKind::Global, PoolKind::Sharded, PoolKind::PerFrame] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| black_box(run_once(kind, threads, OPS_PER_THREAD)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_concurrent
+}
+criterion_main!(benches);

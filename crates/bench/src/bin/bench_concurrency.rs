@@ -1,0 +1,116 @@
+//! Concurrency scaling baseline: replays the read-mostly Zipfian workload
+//! of `benches/concurrent_throughput.rs` through the three pool tiers at
+//! 1/2/4/8 threads and saves the numbers as `results/BENCH_concurrency.json`
+//! (a criterion `--save-baseline`-style artifact, but in a stable,
+//! hand-rendered JSON shape so plots and CI diffs don't depend on criterion
+//! internals; the workspace deliberately has no serde_json).
+//!
+//! ```sh
+//! cargo run -p lruk-bench --release --bin bench_concurrency [-- --quick]
+//! ```
+
+use lruk_bench::concurrency::{
+    run_once, sequential_hit_ratio, PoolKind, DISK_PAGES, FRAMES, SHARDS, THREAD_COUNTS,
+};
+use lruk_bench::BinArgs;
+use std::fmt::Write as _;
+
+/// One measured cell.
+struct Cell {
+    pool: &'static str,
+    threads: usize,
+    refs_per_sec: f64,
+    hit_ratio: f64,
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    let ops_per_thread: usize = if args.quick { 20_000 } else { 100_000 };
+    let reps = if args.quick { 2 } else { 3 };
+
+    println!(
+        "concurrency scaling: {DISK_PAGES} pages, {FRAMES} frames, {SHARDS} shards, \
+         {ops_per_thread} refs/thread, best of {reps}"
+    );
+    let seq_hit = sequential_hit_ratio(ops_per_thread);
+    println!("sequential pool hit ratio (parity reference): {seq_hit:.4}\n");
+    println!("{:<10} {:>7} {:>14} {:>10} {:>10}", "pool", "threads", "refs/s", "hit", "vs 1t");
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for kind in [PoolKind::Global, PoolKind::Sharded, PoolKind::PerFrame] {
+        let mut one_thread_rate = 0.0f64;
+        for threads in THREAD_COUNTS {
+            // Best-of-reps wall clock: throughput baselines want the least
+            // scheduler-disturbed run, not the mean.
+            let mut best_secs = f64::INFINITY;
+            let mut stats = None;
+            for _ in 0..reps {
+                let (secs, s) = run_once(kind, threads, ops_per_thread);
+                if secs < best_secs {
+                    best_secs = secs;
+                    stats = Some(s);
+                }
+            }
+            let stats = stats.expect("at least one rep");
+            let total = (threads * ops_per_thread) as f64;
+            let rate = total / best_secs;
+            if threads == 1 {
+                one_thread_rate = rate;
+            }
+            println!(
+                "{:<10} {:>7} {:>14.0} {:>10.4} {:>9.2}x",
+                kind.label(),
+                threads,
+                rate,
+                stats.hit_ratio(),
+                rate / one_thread_rate
+            );
+            cells.push(Cell {
+                pool: kind.label(),
+                threads,
+                refs_per_sec: rate,
+                hit_ratio: stats.hit_ratio(),
+            });
+        }
+    }
+
+    let json = render_json(&cells, seq_hit, ops_per_thread, reps);
+    match std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::write("results/BENCH_concurrency.json", &json))
+    {
+        Ok(()) => println!("\nwrote results/BENCH_concurrency.json"),
+        Err(e) => eprintln!("\nnote: could not write results/BENCH_concurrency.json: {e}"),
+    }
+}
+
+/// Render the baseline by hand: a stable field order and fixed float
+/// formatting keep the artifact diffable across runs.
+fn render_json(cells: &[Cell], seq_hit: f64, ops_per_thread: usize, reps: usize) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"concurrent_throughput\",");
+    let _ = writeln!(out, "  \"workload\": \"zipfian(0.8,0.2) read-mostly, 1/16 writes\",");
+    let _ = writeln!(out, "  \"config\": {{");
+    let _ = writeln!(out, "    \"disk_pages\": {DISK_PAGES},");
+    let _ = writeln!(out, "    \"frames\": {FRAMES},");
+    let _ = writeln!(out, "    \"shards\": {SHARDS},");
+    let _ = writeln!(out, "    \"ops_per_thread\": {ops_per_thread},");
+    let _ = writeln!(out, "    \"reps\": {reps},");
+    // Scaling numbers are only meaningful relative to the host's real
+    // parallelism: on a 1-core box every thread count serializes.
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let _ = writeln!(out, "    \"host_cpus\": {cpus}");
+    let _ = writeln!(out, "  }},");
+    let _ = writeln!(out, "  \"sequential_hit_ratio\": {seq_hit:.6},");
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"pool\": \"{}\", \"threads\": {}, \"refs_per_sec\": {:.1}, \"hit_ratio\": {:.6}}}{comma}",
+            c.pool, c.threads, c.refs_per_sec, c.hit_ratio
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}

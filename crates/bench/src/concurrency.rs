@@ -1,0 +1,173 @@
+//! Shared driver for the concurrent-pool throughput measurements: the
+//! criterion bench (`benches/concurrent_throughput.rs`) and the baseline
+//! harness binary (`bin/bench_concurrency.rs`) replay exactly the same
+//! deterministic traffic through the same three pool tiers, so the JSON
+//! baseline and the criterion numbers describe the same experiment.
+
+use lruk_buffer::{
+    BufferPoolManager, ConcurrentBufferPool, ConcurrentDiskManager, ConcurrentInMemoryDisk,
+    DiskManager, InMemoryDisk, LatchedBufferPool, ShardedBufferPool,
+};
+use lruk_core::{LruK, LruKConfig};
+use lruk_policy::{CacheStats, PageId, ReplacementPolicy};
+use lruk_workloads::{Workload, Zipfian};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Pages on the simulated disk.
+pub const DISK_PAGES: usize = 2_048;
+/// Buffer frames (≈12% of the disk — eviction stays hot).
+pub const FRAMES: usize = 256;
+/// Shards for the sharded and per-frame tiers.
+pub const SHARDS: usize = 8;
+/// Worker-thread counts measured.
+pub const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The replacement policy every tier runs: LRU-2 with a small CRP.
+pub fn policy() -> Box<dyn ReplacementPolicy> {
+    Box::new(LruK::new(LruKConfig::new(2).with_crp(2)))
+}
+
+/// The three pool tiers under measurement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolKind {
+    /// One mutex around the whole pool (`ConcurrentBufferPool`).
+    Global,
+    /// Per-shard mutexes, closures inside the shard latch (`ShardedBufferPool`).
+    Sharded,
+    /// Per-frame latches, closures outside every shard latch (`LatchedBufferPool`).
+    PerFrame,
+}
+
+impl PoolKind {
+    /// Label used in bench ids and the JSON baseline.
+    pub fn label(self) -> &'static str {
+        match self {
+            PoolKind::Global => "global",
+            PoolKind::Sharded => "sharded",
+            PoolKind::PerFrame => "per-frame",
+        }
+    }
+}
+
+/// Read-mostly per-thread access pattern: `(page index, is_write)`, 1/16
+/// writes, Zipf-skewed pages. Seeded by thread index only — deterministic
+/// and schedule-independent.
+pub fn pattern(thread: usize, ops: usize) -> Vec<(u64, bool)> {
+    Zipfian::new(DISK_PAGES as u64, 0.8, 0.2, 101 + thread as u64)
+        .generate(ops)
+        .pages()
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| (p.raw(), i % 16 == 0))
+        .collect()
+}
+
+/// Replay one scoped worker thread per pattern against a closure-API pool.
+pub fn replay<F, G>(patterns: &[Vec<(u64, bool)>], read: F, write: G)
+where
+    F: Fn(PageId) + Sync,
+    G: Fn(PageId) + Sync,
+{
+    std::thread::scope(|s| {
+        for pat in patterns {
+            let (read, write) = (&read, &write);
+            s.spawn(move || {
+                for &(idx, is_write) in pat {
+                    if is_write {
+                        write(PageId(idx));
+                    } else {
+                        read(PageId(idx));
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// A fully allocated mutex-guarded in-memory disk.
+pub fn mutex_disk() -> InMemoryDisk {
+    let mut disk = InMemoryDisk::new(DISK_PAGES);
+    for _ in 0..DISK_PAGES {
+        disk.allocate_page().unwrap();
+    }
+    disk
+}
+
+/// A fully allocated lock-free-directory in-memory disk.
+pub fn shared_disk() -> ConcurrentInMemoryDisk {
+    let disk = ConcurrentInMemoryDisk::new(DISK_PAGES);
+    for _ in 0..DISK_PAGES {
+        disk.allocate_page().unwrap();
+    }
+    disk
+}
+
+/// Build the pool tier, replay `threads` × `ops` references through it, and
+/// return `(replay seconds, stats)`. Pool construction is excluded from the
+/// timed region.
+pub fn run_once(kind: PoolKind, threads: usize, ops: usize) -> (f64, CacheStats) {
+    let patterns: Vec<Vec<(u64, bool)>> = (0..threads).map(|t| pattern(t, ops)).collect();
+    match kind {
+        PoolKind::Global => {
+            let pool =
+                ConcurrentBufferPool::new(BufferPoolManager::new(FRAMES, mutex_disk(), policy()));
+            let start = Instant::now();
+            replay(
+                &patterns,
+                |p| {
+                    pool.with_page(p, |d| black_box(d[0])).unwrap();
+                },
+                |p| {
+                    pool.with_page_mut(p, |d| d[0] = d[0].wrapping_add(1)).unwrap();
+                },
+            );
+            (start.elapsed().as_secs_f64(), pool.stats())
+        }
+        PoolKind::Sharded => {
+            let pool = ShardedBufferPool::new(SHARDS, FRAMES, mutex_disk(), policy);
+            let start = Instant::now();
+            replay(
+                &patterns,
+                |p| {
+                    pool.with_page(p, |d| black_box(d[0])).unwrap();
+                },
+                |p| {
+                    pool.with_page_mut(p, |d| d[0] = d[0].wrapping_add(1)).unwrap();
+                },
+            );
+            (start.elapsed().as_secs_f64(), pool.stats())
+        }
+        PoolKind::PerFrame => {
+            let pool = LatchedBufferPool::new(SHARDS, FRAMES, shared_disk(), policy);
+            let start = Instant::now();
+            replay(
+                &patterns,
+                |p| {
+                    pool.with_page(p, |d| black_box(d[0])).unwrap();
+                },
+                |p| {
+                    pool.with_page_mut(p, |d| d[0] = d[0].wrapping_add(1)).unwrap();
+                },
+            );
+            (start.elapsed().as_secs_f64(), pool.stats())
+        }
+    }
+}
+
+/// Hit ratio of the *sequential* pool on the 1-thread pattern — the parity
+/// reference for the "hit ratio within 1% of the sequential pool" check.
+pub fn sequential_hit_ratio(ops: usize) -> f64 {
+    let mut pool = BufferPoolManager::new(FRAMES, mutex_disk(), policy());
+    for &(idx, is_write) in &pattern(0, ops) {
+        let page = PageId(idx);
+        if is_write {
+            let mut g = pool.fetch_page_mut(page).unwrap();
+            g.data_mut()[0] = g.data()[0].wrapping_add(1);
+        } else {
+            let g = pool.fetch_page(page).unwrap();
+            black_box(g.data()[0]);
+        }
+    }
+    pool.stats().hit_ratio()
+}

@@ -3,6 +3,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod concurrency;
+
 /// Parse the standard binary flags: `--quick` scales an experiment down for
 /// a fast smoke run; `--seed N` overrides the default seed.
 pub struct BinArgs {

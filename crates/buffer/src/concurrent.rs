@@ -4,11 +4,14 @@
 //! 4) need concurrent clients. This wrapper takes the simple, obviously
 //! correct route: one `parking_lot::Mutex` around the pool and closure-scoped
 //! page access, so a page is pinned, used and unpinned while the latch is
-//! held. That serializes page *access* but still exercises every policy and
-//! pin path under concurrency (the stress tests hammer it from many
-//! threads). Per-frame latching, which real engines layer on top, is
-//! orthogonal to replacement policy behaviour and intentionally out of scope
-//! — see `DESIGN.md`.
+//! held. That serializes page *access*, which makes this pool the
+//! differential baseline of the concurrency stack, not its production tier:
+//! new callers should reach for [`LatchedBufferPool`](crate::LatchedBufferPool)
+//! (sharded page table, per-frame data latches, closures running outside
+//! every shard latch) and keep this pool for correctness comparisons — its
+//! single latch makes behaviour easy to reason about, and the stress tests
+//! drive both pools with the same traffic to pin down lost updates and
+//! hit-ratio drift. See `DESIGN.md` for the three-tier trade-off discussion.
 
 use crate::disk::DiskManager;
 use crate::pool::{BufferError, BufferPoolManager};

@@ -11,12 +11,18 @@
 //!   [`ReplacementPolicy`](lruk_policy::ReplacementPolicy) (LRU-K or any
 //!   baseline);
 //! * [`PageGuard`] — RAII pin guard for straightforward single-page access;
-//! * [`ConcurrentBufferPool`] — a thread-safe wrapper (single pool latch via
-//!   `parking_lot`, closure-scoped page access) used by the multi-user
-//!   examples and stress tests;
-//! * [`ShardedBufferPool`] — a page-hash-partitioned pool with per-shard
-//!   latches and policy instances, the deployment shape real multi-user
-//!   buffer managers use.
+//! * three concurrency tiers of thread-safe pool (see `DESIGN.md` for the
+//!   trade-off discussion):
+//!   [`ConcurrentBufferPool`] — one global latch, closure-scoped page access,
+//!   the obviously-correct baseline;
+//!   [`ShardedBufferPool`] — a page-hash-partitioned pool with per-shard
+//!   latches and policy instances;
+//!   [`LatchedBufferPool`] — sharded page table **plus** per-frame `RwLock`
+//!   data latches and atomic pin counts, so user closures run outside every
+//!   shard latch and concurrent readers of the same page proceed in parallel;
+//! * [`ConcurrentDiskManager`] — the `&self` disk trait the latched pool does
+//!   I/O through ([`ConcurrentInMemoryDisk`] with per-page latches, or any
+//!   sequential disk via [`MutexDisk`]).
 //!
 //! ```
 //! use lruk_buffer::{BufferPoolManager, InMemoryDisk};
@@ -39,11 +45,15 @@
 pub mod concurrent;
 pub mod disk;
 pub mod frame;
+pub mod latched;
 pub mod pool;
+pub mod shared_disk;
 pub mod sharded;
 
 pub use concurrent::ConcurrentBufferPool;
 pub use disk::{DiskError, DiskManager, DiskStats, InMemoryDisk, PAGE_SIZE};
 pub use frame::{Frame, FrameId};
+pub use latched::LatchedBufferPool;
 pub use pool::{BufferError, BufferPoolManager, PageGuard, PageGuardMut};
+pub use shared_disk::{ConcurrentDiskManager, ConcurrentInMemoryDisk, MutexDisk};
 pub use sharded::ShardedBufferPool;

@@ -17,12 +17,17 @@
 
 use crate::disk::{DiskError, DiskManager, PAGE_SIZE};
 use crate::pool::{BufferError, BufferPoolManager};
+use lruk_policy::fxhash;
 use lruk_policy::{CacheStats, PageId, ReplacementPolicy};
 use parking_lot::Mutex;
 
-/// A disk shared by every shard through a latch (the disk itself is a
-/// simulated device; one latch keeps it simple and the contention is
-/// negligible next to page processing).
+/// A disk shared by every shard through a latch. For genuinely parallel
+/// per-shard I/O use [`LatchedBufferPool`](crate::LatchedBufferPool) over a
+/// [`ConcurrentDiskManager`](crate::ConcurrentDiskManager); this adapter
+/// keeps the sharded pool generic over any sequential [`DiskManager`], and
+/// keeps its critical sections as narrow as that allows: the read path
+/// stages through a stack buffer so the frame-resident copy happens after
+/// the disk latch is released.
 struct SharedDisk<D: DiskManager> {
     inner: std::sync::Arc<Mutex<D>>,
 }
@@ -35,7 +40,16 @@ impl<D: DiskManager> SharedDisk<D> {
 
 impl<D: DiskManager> DiskManager for SharedDisk<D> {
     fn read_page(&mut self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError> {
-        self.inner.lock().read_page(page, buf)
+        // Stage through a stack buffer: the disk latch covers only the
+        // device read, not the copy into the (possibly cache-cold) frame.
+        let mut staged = [0u8; PAGE_SIZE];
+        if buf.len() != PAGE_SIZE {
+            // Let the device report its canonical error for bad lengths.
+            return self.inner.lock().read_page(page, buf);
+        }
+        self.inner.lock().read_page(page, &mut staged)?;
+        buf.copy_from_slice(&staged);
+        Ok(())
     }
     fn write_page(&mut self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
         self.inner.lock().write_page(page, data)
@@ -98,8 +112,9 @@ impl<D: DiskManager> ShardedBufferPool<D> {
     }
 
     fn shard_of(&self, page: PageId) -> usize {
-        // Multiplicative hash: consecutive page ids spread across shards.
-        (page.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % self.shards.len()
+        // The shared Fx hash — the same mixing the page tables use — so
+        // shard choice and in-shard hashing agree.
+        (fxhash::hash_u64(page.raw()) >> 32) as usize % self.shards.len()
     }
 
     /// Allocate a fresh disk page.

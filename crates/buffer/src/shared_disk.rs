@@ -1,0 +1,379 @@
+//! Concurrent disk access: a `&self` disk trait and two implementations.
+//!
+//! [`DiskManager`](crate::DiskManager) takes `&mut self`, which forces every
+//! caller to serialize behind one latch — fine for the sequential pool, fatal
+//! for a pool whose whole point is that shards do I/O independently.
+//! [`ConcurrentDiskManager`] is the shared-access counterpart: all methods
+//! take `&self` and implementations synchronize internally, so an
+//! evict-writeback issued by one shard never blocks a read issued by another.
+//!
+//! Two implementations:
+//!
+//! * [`ConcurrentInMemoryDisk`] — per-page `RwLock`s over the page directory
+//!   plus atomic I/O counters: reads of distinct pages (and concurrent reads
+//!   of the same page) proceed fully in parallel;
+//! * [`MutexDisk`] — wraps any sequential [`DiskManager`](crate::DiskManager)
+//!   behind one mutex. The degenerate adapter, useful when determinism of the
+//!   underlying device matters more than I/O parallelism (differential
+//!   hit-ratio tests) or the device is inherently serial.
+
+use crate::disk::{DiskError, DiskManager, DiskStats, PAGE_SIZE};
+use lruk_policy::PageId;
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A source and sink of fixed-size pages, shareable across threads.
+///
+/// The contract matches [`DiskManager`](crate::DiskManager) method for
+/// method; only the receiver changes from `&mut self` to `&self`.
+pub trait ConcurrentDiskManager: Send + Sync {
+    /// Read page `page` into `buf` (`buf.len() == PAGE_SIZE`).
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError>;
+
+    /// Write `data` (`PAGE_SIZE` bytes) as page `page`.
+    fn write_page(&self, page: PageId, data: &[u8]) -> Result<(), DiskError>;
+
+    /// Allocate a fresh zeroed page and return its id.
+    fn allocate_page(&self) -> Result<PageId, DiskError>;
+
+    /// Release `page` back to the allocator.
+    fn deallocate_page(&self, page: PageId) -> Result<(), DiskError>;
+
+    /// True if `page` is currently allocated.
+    fn is_allocated(&self, page: PageId) -> bool;
+
+    /// Number of currently allocated pages.
+    fn allocated_pages(&self) -> usize;
+
+    /// I/O counters so far.
+    fn stats(&self) -> DiskStats;
+}
+
+/// Every shared handle to a concurrent disk is itself a concurrent disk.
+impl<C: ConcurrentDiskManager + ?Sized> ConcurrentDiskManager for Arc<C> {
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError> {
+        (**self).read_page(page, buf)
+    }
+    fn write_page(&self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
+        (**self).write_page(page, data)
+    }
+    fn allocate_page(&self) -> Result<PageId, DiskError> {
+        (**self).allocate_page()
+    }
+    fn deallocate_page(&self, page: PageId) -> Result<(), DiskError> {
+        (**self).deallocate_page(page)
+    }
+    fn is_allocated(&self, page: PageId) -> bool {
+        (**self).is_allocated(page)
+    }
+    fn allocated_pages(&self) -> usize {
+        (**self).allocated_pages()
+    }
+    fn stats(&self) -> DiskStats {
+        (**self).stats()
+    }
+}
+
+/// One page slot: `None` = unallocated.
+type Slot = Arc<RwLock<Option<Box<[u8]>>>>;
+
+/// A simulated disk with per-page latching and atomic counters.
+///
+/// The directory (`Vec` of slots) grows under a directory write lock;
+/// steady-state I/O takes a directory *read* lock just long enough to clone
+/// the slot's `Arc`, then copies bytes under that page's own `RwLock` — two
+/// threads touching different pages never contend, and readers of the same
+/// page share its lock.
+///
+/// Semantics match [`InMemoryDisk`](crate::InMemoryDisk): dense ids, LIFO id
+/// reuse, reallocated pages zeroed.
+pub struct ConcurrentInMemoryDisk {
+    directory: RwLock<Vec<Slot>>,
+    /// Guards the free list **and** the allocated-count/capacity check, so
+    /// allocation stays atomic.
+    alloc: Mutex<AllocState>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+    deallocations: AtomicU64,
+}
+
+struct AllocState {
+    free: Vec<u64>,
+    allocated: usize,
+    capacity: Option<usize>,
+}
+
+impl ConcurrentInMemoryDisk {
+    /// Disk with a maximum of `capacity` simultaneously allocated pages.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_capacity(Some(capacity))
+    }
+
+    /// Disk without an allocation limit.
+    pub fn unbounded() -> Self {
+        Self::with_capacity(None)
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Self {
+        ConcurrentInMemoryDisk {
+            directory: RwLock::new(Vec::new()),
+            alloc: Mutex::new(AllocState {
+                free: Vec::new(),
+                allocated: 0,
+                capacity,
+            }),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            allocations: AtomicU64::new(0),
+            deallocations: AtomicU64::new(0),
+        }
+    }
+
+    fn check_buf(len: usize) -> Result<(), DiskError> {
+        if len != PAGE_SIZE {
+            Err(DiskError::BadBufferLength {
+                expected: PAGE_SIZE,
+                got: len,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Clone the slot handle for `page` under a short directory read lock.
+    fn slot(&self, page: PageId) -> Result<Slot, DiskError> {
+        self.directory
+            .read()
+            .get(page.raw() as usize)
+            .cloned()
+            .ok_or(DiskError::PageNotAllocated(page))
+    }
+}
+
+impl ConcurrentDiskManager for ConcurrentInMemoryDisk {
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError> {
+        Self::check_buf(buf.len())?;
+        let slot = self.slot(page)?;
+        let guard = slot.read();
+        match guard.as_ref() {
+            Some(data) => buf.copy_from_slice(data),
+            None => return Err(DiskError::PageNotAllocated(page)),
+        }
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn write_page(&self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
+        Self::check_buf(data.len())?;
+        let slot = self.slot(page)?;
+        let mut guard = slot.write();
+        match guard.as_mut() {
+            Some(stored) => stored.copy_from_slice(data),
+            None => return Err(DiskError::PageNotAllocated(page)),
+        }
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> Result<PageId, DiskError> {
+        let mut alloc = self.alloc.lock();
+        if let Some(cap) = alloc.capacity {
+            if alloc.allocated >= cap {
+                return Err(DiskError::DiskFull);
+            }
+        }
+        let id = if let Some(id) = alloc.free.pop() {
+            let slot = self.slot(PageId(id)).expect("freed id is in directory");
+            *slot.write() = Some(vec![0u8; PAGE_SIZE].into_boxed_slice());
+            id
+        } else {
+            let mut dir = self.directory.write();
+            let id = dir.len() as u64;
+            dir.push(Arc::new(RwLock::new(Some(
+                vec![0u8; PAGE_SIZE].into_boxed_slice(),
+            ))));
+            id
+        };
+        alloc.allocated += 1;
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        Ok(PageId(id))
+    }
+
+    fn deallocate_page(&self, page: PageId) -> Result<(), DiskError> {
+        let mut alloc = self.alloc.lock();
+        let slot = self.slot(page)?;
+        let mut guard = slot.write();
+        if guard.is_none() {
+            return Err(DiskError::PageNotAllocated(page));
+        }
+        *guard = None;
+        drop(guard);
+        alloc.free.push(page.raw());
+        alloc.allocated -= 1;
+        self.deallocations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn is_allocated(&self, page: PageId) -> bool {
+        self.slot(page).map(|s| s.read().is_some()).unwrap_or(false)
+    }
+
+    fn allocated_pages(&self) -> usize {
+        self.alloc.lock().allocated
+    }
+
+    fn stats(&self) -> DiskStats {
+        DiskStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+            deallocations: self.deallocations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Any sequential [`DiskManager`](crate::DiskManager) behind one mutex.
+///
+/// All I/O serializes on the mutex; use [`ConcurrentInMemoryDisk`] when the
+/// device can genuinely take parallel requests.
+pub struct MutexDisk<D: DiskManager> {
+    inner: Mutex<D>,
+}
+
+impl<D: DiskManager> MutexDisk<D> {
+    /// Wrap `disk` for shared access.
+    pub fn new(disk: D) -> Self {
+        MutexDisk {
+            inner: Mutex::new(disk),
+        }
+    }
+
+    /// Consume the wrapper and return the inner disk.
+    pub fn into_inner(self) -> D {
+        self.inner.into_inner()
+    }
+
+    /// Run `f` with exclusive access to the inner disk.
+    pub fn with_disk<R>(&self, f: impl FnOnce(&mut D) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+impl<D: DiskManager> ConcurrentDiskManager for MutexDisk<D> {
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.inner.lock().read_page(page, buf)
+    }
+    fn write_page(&self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
+        self.inner.lock().write_page(page, data)
+    }
+    fn allocate_page(&self) -> Result<PageId, DiskError> {
+        self.inner.lock().allocate_page()
+    }
+    fn deallocate_page(&self, page: PageId) -> Result<(), DiskError> {
+        self.inner.lock().deallocate_page(page)
+    }
+    fn is_allocated(&self, page: PageId) -> bool {
+        self.inner.lock().is_allocated(page)
+    }
+    fn allocated_pages(&self) -> usize {
+        self.inner.lock().allocated_pages()
+    }
+    fn stats(&self) -> DiskStats {
+        self.inner.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::InMemoryDisk;
+
+    #[test]
+    fn concurrent_disk_roundtrip_matches_sequential_semantics() {
+        let d = ConcurrentInMemoryDisk::new(2);
+        let a = d.allocate_page().unwrap();
+        let _b = d.allocate_page().unwrap();
+        assert_eq!(d.allocate_page(), Err(DiskError::DiskFull));
+        let mut data = vec![0u8; PAGE_SIZE];
+        data[0] = 0xAB;
+        d.write_page(a, &data).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        d.read_page(a, &mut out).unwrap();
+        assert_eq!(out, data);
+        d.deallocate_page(a).unwrap();
+        assert!(!d.is_allocated(a));
+        let c = d.allocate_page().unwrap();
+        assert_eq!(c, a, "freed id must be reused");
+        d.read_page(c, &mut out).unwrap();
+        assert!(out.iter().all(|&x| x == 0), "reallocated page is zeroed");
+        assert_eq!(d.allocated_pages(), 2);
+        let s = d.stats();
+        assert_eq!((s.reads, s.writes), (2, 1));
+        assert_eq!((s.allocations, s.deallocations), (3, 1));
+    }
+
+    #[test]
+    fn concurrent_disk_parallel_writers_do_not_interleave() {
+        let d = Arc::new(ConcurrentInMemoryDisk::unbounded());
+        let pages: Vec<PageId> = (0..8).map(|_| d.allocate_page().unwrap()).collect();
+        std::thread::scope(|s| {
+            for (t, &page) in pages.iter().enumerate() {
+                let d = Arc::clone(&d);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        // Whole-page constant fill: a torn write would leave
+                        // mixed bytes for the reader below to catch.
+                        let fill = (t as u8) ^ (i as u8);
+                        d.write_page(page, &vec![fill; PAGE_SIZE]).unwrap();
+                        let mut buf = vec![0u8; PAGE_SIZE];
+                        d.read_page(page, &mut buf).unwrap();
+                        let first = buf[0];
+                        assert!(buf.iter().all(|&x| x == first), "torn page");
+                    }
+                });
+            }
+        });
+        assert_eq!(d.stats().writes, 8 * 200);
+    }
+
+    #[test]
+    fn mutex_disk_adapts_sequential_disk() {
+        let d = MutexDisk::new(InMemoryDisk::new(4));
+        let p = d.allocate_page().unwrap();
+        let data = vec![7u8; PAGE_SIZE];
+        d.write_page(p, &data).unwrap();
+        let mut out = vec![0u8; PAGE_SIZE];
+        d.read_page(p, &mut out).unwrap();
+        assert_eq!(out, data);
+        assert!(d.is_allocated(p));
+        assert_eq!(d.allocated_pages(), 1);
+        assert_eq!(d.stats().writes, 1);
+        d.with_disk(|inner| assert_eq!(inner.stats().reads, 1));
+        assert_eq!(d.into_inner().stats().writes, 1);
+    }
+
+    #[test]
+    fn bad_buffer_and_unallocated_errors() {
+        let d = ConcurrentInMemoryDisk::new(1);
+        let mut small = vec![0u8; 3];
+        assert!(matches!(
+            d.read_page(PageId(0), &mut small),
+            Err(DiskError::BadBufferLength { .. })
+        ));
+        let mut buf = vec![0u8; PAGE_SIZE];
+        assert_eq!(
+            d.read_page(PageId(9), &mut buf),
+            Err(DiskError::PageNotAllocated(PageId(9)))
+        );
+        assert_eq!(
+            d.write_page(PageId(9), &buf),
+            Err(DiskError::PageNotAllocated(PageId(9)))
+        );
+        assert_eq!(
+            d.deallocate_page(PageId(9)),
+            Err(DiskError::PageNotAllocated(PageId(9)))
+        );
+    }
+}

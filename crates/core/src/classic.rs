@@ -18,8 +18,12 @@
 //! * the shift `for i := 2 to K do HIST(p,i) := HIST(p,i-1) + correl` is read
 //!   with simultaneous-assignment semantics (we iterate descending);
 //! * ties on `HIST(q,K)` — including the all-zero "∞ distance" pages — break
-//!   on smaller `LAST(q)` (the subsidiary classical-LRU policy of
-//!   Definition 2.2) and then on `PageId` for determinism;
+//!   on smaller `HIST(q,1)` (the subsidiary classical-LRU policy of
+//!   Definition 2.2, measured on the *uncorrelated* reference clock — §2.1.1
+//!   says correlated references "neither credit nor penalize" a page, so the
+//!   tie-break ignores `LAST(q)`) and then on `PageId` for determinism; the
+//!   indexed engine keys its search tree on the same triple, which is what
+//!   lets it skip reindexing on correlated hits;
 //! * when no page passes the `t - LAST(q) > CRP` eligibility test and a
 //!   victim is still demanded, the configured fall-back (see
 //!   [`LruKConfig::crp_fallback`]) re-runs the scan without the test;
@@ -109,8 +113,9 @@ impl ClassicLruK {
         let crp = self.cfg.correlated_reference_period;
         let k = self.cfg.k;
         // Figure 2.1: min := t; for all pages q in the buffer …
-        // We track the full (HIST(q,K), LAST(q), q) key so ties are broken by
-        // the subsidiary classical-LRU policy deterministically.
+        // We track the full (HIST(q,K), HIST(q,1), q) key so ties are broken
+        // by the subsidiary classical-LRU policy deterministically — on the
+        // uncorrelated clock, matching the indexed engine's search-tree key.
         let mut best: Option<(u64, u64, PageId)> = None;
         for (&page, block) in &self.blocks {
             if !block.resident || self.pins.is_pinned(page) {
@@ -119,7 +124,7 @@ impl ClassicLruK {
             if require_eligible && now.since(Tick(block.last)) <= crp {
                 continue; // not "eligible for replacement"
             }
-            let key = (block.hist[k - 1], block.last, page);
+            let key = (block.hist[k - 1], block.hist[0], page);
             if best.map(|b| key < b).unwrap_or(true) {
                 best = Some(key);
             }

@@ -3,7 +3,7 @@
 //! Figure 2.1 of the paper selects the victim with a full scan over the
 //! buffer; the paper notes that a real implementation "would actually be
 //! based on a search tree". [`LruK`] is that implementation: resident pages
-//! are kept in a `BTreeSet` ordered by `(HIST(p,K), LAST(p), p)`, so the page
+//! are kept in a `BTreeSet` ordered by `(HIST(p,K), HIST(p,1), p)`, so the page
 //! with **maximal Backward K-distance** (= minimal `HIST(p,K)`) is found in
 //! O(log B + s), where `s` is the number of index entries skipped because
 //! they are pinned or inside their Correlated Reference Period.
@@ -14,9 +14,21 @@
 //!   `0` ("fewer than K references known", i.e. `b_t(p,K) = ∞`) sorts before
 //!   every real timestamp, so ∞-distance pages are preferred exactly as
 //!   Definition 2.2 requires;
-//! * ties (including all the ∞ pages) break on minimal `LAST(p)` — this *is*
-//!   the paper's suggested subsidiary policy, classical LRU;
+//! * ties (including all the ∞ pages) break on minimal `HIST(p,1)` — the
+//!   most recent *uncorrelated* reference — the paper's subsidiary
+//!   classical-LRU policy measured on the uncorrelated clock. §2.1.1 says a
+//!   correlated re-reference must "neither credit nor penalize" a page, so
+//!   the tie-break deliberately ignores `LAST(p)`;
 //! * final tie-break on `PageId` for full determinism.
+//!
+//! Keying the index on `(HIST(p,K), HIST(p,1), p)` rather than on `LAST(p)`
+//! is what licenses the **correlated-hit fast path** in
+//! [`ReplacementPolicy::on_hit`]: a re-reference inside the Correlated
+//! Reference Period moves only `LAST(p)`, which is not part of the ordering
+//! key, so the `BTreeSet` remove/insert pair is skipped entirely and the
+//! common hit costs O(1) amortized (two hash-map probes, no tree
+//! rebalancing). The Figure 2.1 eligibility test `t - LAST(q) > CRP` still
+//! consults the *live* `LAST` in the history table during victim selection.
 
 use crate::config::LruKConfig;
 use crate::history::{HistorySnapshot, HistoryTable};
@@ -135,12 +147,13 @@ impl LruK {
             .table
             .hist_k(page)
             .expect("indexed page must have a history block");
-        let last = self
+        // HIST(p,1), not LAST(p): the key must be invariant under correlated
+        // re-references so `on_hit` can skip the reindex (see module docs).
+        let hist_1 = self
             .table
-            .last(page)
-            .expect("indexed page must have a history block")
-            .raw();
-        (hist_k, last, page)
+            .hist_1(page)
+            .expect("indexed page must have a history block");
+        (hist_k, hist_1, page)
     }
 
     fn maybe_purge(&mut self, now: Tick) {
@@ -169,15 +182,21 @@ impl ReplacementPolicy for LruK {
     fn on_hit(&mut self, page: PageId, now: Tick) {
         debug_assert!(self.table.is_resident(page), "on_hit for non-resident page");
         let old = self.key_of(page);
-        self.index.remove(&old);
-        self.table.touch_hit_by(
+        let uncorrelated = self.table.touch_hit_by(
             page,
             now,
             self.cfg.correlated_reference_period,
             self.current_pid,
         );
-        let new = self.key_of(page);
-        self.index.insert(new);
+        if uncorrelated {
+            self.index.remove(&old);
+            self.index.insert(self.key_of(page));
+        } else {
+            // Correlated re-reference (§2.1.1): only LAST(p) moved, and LAST
+            // is not part of the ordering key, so the index entry is already
+            // correct — the common hit skips both BTreeSet operations.
+            debug_assert_eq!(old, self.key_of(page));
+        }
         self.maybe_purge(now);
     }
 
@@ -211,12 +230,18 @@ impl ReplacementPolicy for LruK {
         }
         let crp = self.cfg.correlated_reference_period;
         let mut fallback: Option<PageId> = None;
-        for &(_hist_k, last, page) in self.index.iter() {
+        for &(_hist_k, _hist_1, page) in self.index.iter() {
             if self.pins.is_pinned(page) {
                 continue;
             }
-            // Figure 2.1 eligibility: t - LAST(q) > Correlated Reference Period.
-            if now.since(Tick(last)) > crp {
+            // Figure 2.1 eligibility: t - LAST(q) > Correlated Reference
+            // Period. LAST is deliberately not the index key (correlated hits
+            // move it without reindexing), so consult the live history block.
+            let last = self
+                .table
+                .last(page)
+                .expect("indexed page must have a history block");
+            if now.since(last) > crp {
                 return Ok(page);
             }
             if fallback.is_none() {
@@ -414,15 +439,62 @@ mod tests {
     }
 
     #[test]
-    fn correlated_hit_still_updates_index_last() {
-        // A correlated hit changes LAST (and thus the tie-break key); the
-        // index must stay consistent or later removals would miss.
+    fn correlated_hit_skips_reindex_but_index_stays_consistent() {
+        // A correlated hit moves only LAST, which is not part of the index
+        // key: the BTreeSet must be untouched (the O(1) fast path), and the
+        // entry must still match `key_of` so later removals find it.
         let cfg = LruKConfig::new(2).with_crp(100);
         let mut l = LruK::new(cfg);
         admit(&mut l, p(1), 1);
+        let before = l.index.clone();
         l.on_hit(p(1), Tick(2)); // correlated
+        assert_eq!(l.index, before, "correlated hit must not reindex");
+        assert_eq!(l.history(p(1)).unwrap().last, Tick(2), "LAST still moves");
         l.on_evict(p(1), Tick(3)); // would panic if index were stale
         assert_eq!(l.resident_len(), 0);
+    }
+
+    #[test]
+    fn uncorrelated_hit_reindexes() {
+        let cfg = LruKConfig::new(2).with_crp(5);
+        let mut l = LruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        let before = l.index.clone();
+        l.on_hit(p(1), Tick(20)); // 20-1 > CRP: uncorrelated
+        assert_ne!(l.index, before, "uncorrelated hit must reindex");
+        // hist is now [20, 1]: HIST(p,2)=1 (finite), HIST(p,1)=20.
+        assert!(l.index.contains(&(1, 20, p(1))), "expected (1,20,p1): {:?}", l.index);
+    }
+
+    #[test]
+    fn correlated_hit_neither_credits_nor_penalizes_ordering() {
+        // §2.1.1: a burst of correlated re-references must not rescue a page
+        // from the subsidiary-LRU tie-break once its CRP expires. p1 gets a
+        // correlated re-reference after p2's admission, yet p1 (older
+        // HIST(·,1)) is still the victim when both are outside their CRPs.
+        let cfg = LruKConfig::new(2).with_crp(100);
+        let mut l = LruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        l.on_hit(p(1), Tick(3)); // correlated: LAST(p1)=3 > LAST(p2)=2
+        assert_eq!(l.select_victim(Tick(200)), Ok(p(1)));
+    }
+
+    #[test]
+    fn crp_eligibility_uses_live_last_not_index_key() {
+        // A correlated hit moves LAST without reindexing; eligibility must
+        // see the *live* LAST and keep protecting the page within its CRP.
+        let cfg = LruKConfig::new(2).with_crp(10);
+        let mut l = LruK::new(cfg);
+        // p1: finite backward distance (hist [20, 1]); p2: ∞, so p2 sorts
+        // first and the scan must decide its eligibility before reaching p1.
+        admit(&mut l, p(1), 1);
+        l.on_hit(p(1), Tick(20)); // 20-1 > CRP: uncorrelated
+        admit(&mut l, p(2), 40);
+        l.on_hit(p(2), Tick(45)); // correlated; HIST(p2,1) stays 40
+        // t=52: p2's index key time (40) is 12 ticks back (> CRP) but its
+        // live LAST (45) is 7 ticks back (<= CRP) — p2 is protected; p1 wins.
+        assert_eq!(l.select_victim(Tick(52)), Ok(p(1)));
     }
 
     #[test]

@@ -69,6 +69,16 @@ impl Hasher for FxHasher {
     }
 }
 
+/// One-shot Fx hash of a `u64` — the same mixing the `FxHashMap` page tables
+/// use for `u64`-backed keys. Shard selectors should derive their shard from
+/// this so shard choice and page-table hashing agree.
+#[inline]
+pub fn hash_u64(word: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(word);
+    h.finish()
+}
+
 /// `BuildHasher` for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 

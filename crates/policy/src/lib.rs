@@ -27,5 +27,5 @@ pub mod types;
 
 pub use pin::PinSet;
 pub use policy::{PolicyEvent, ReplacementPolicy, VictimError};
-pub use stats::CacheStats;
+pub use stats::{AtomicCacheStats, CacheStats};
 pub use types::{AccessKind, PageId, Tick};

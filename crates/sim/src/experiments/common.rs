@@ -120,6 +120,55 @@ pub(crate) fn repetition_traces(
         .collect()
 }
 
+/// Everything a table driver needs, bundled so the sequential
+/// [`build_table_from`] and the parallel
+/// [`build_table_parallel`](crate::parallel) paths are guaranteed to run
+/// the *same* experiment: same pre-generated traces (seeds derived from
+/// `ExperimentScale::seed` + repetition index, never from thread identity),
+/// same policy order, same equi-effective search bounds.
+pub(crate) struct TableSetup {
+    /// Table title.
+    pub title: String,
+    /// Policies, column order.
+    pub specs: Vec<PolicySpec>,
+    /// Buffer sizes, row order.
+    pub buffer_sizes: Vec<usize>,
+    /// Pre-generated repetition traces (shared read-only by every cell).
+    pub traces: Vec<Trace>,
+    /// Workload β vector for `A0`, if any.
+    pub beta: Option<Vec<(PageId, f64)>>,
+    /// References dropped before measuring.
+    pub warmup: usize,
+    /// Baseline policy of the `B(1)/B(2)` search.
+    pub baseline: PolicySpec,
+    /// Improved policy whose hit ratio the search targets.
+    pub improved: PolicySpec,
+    /// Upper bound of the equi-effective search.
+    pub equi_hi: usize,
+}
+
+impl TableSetup {
+    /// The β vector as the slice shape [`mean_hit_ratio`] takes.
+    pub fn beta_slice(&self) -> Option<&[(PageId, f64)]> {
+        self.beta.as_deref()
+    }
+}
+
+/// Sequential driver over a [`TableSetup`].
+pub(crate) fn build_table_from(setup: &TableSetup) -> TableResult {
+    build_table(
+        &setup.title,
+        &setup.specs,
+        &setup.buffer_sizes,
+        &setup.traces,
+        setup.beta_slice(),
+        setup.warmup,
+        &setup.baseline,
+        &setup.improved,
+        setup.equi_hi,
+    )
+}
+
 /// Build a standard table: for each buffer size, the mean hit ratio of each
 /// policy, plus `B(1)/B(2)` comparing `baseline` (column 0 by convention)
 /// against `improved`.

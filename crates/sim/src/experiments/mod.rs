@@ -15,6 +15,8 @@ mod tables;
 pub use ablations::{adaptivity, crp_sweep, k_sweep, process_refinement, rip_sweep, AdaptivityResult, AdaptivityRow, SweepResult};
 pub use alternatives::{hints, pool_tuning, HintsResult, PoolTuningResult};
 pub use common::{ExperimentScale, TableResult, TableRow};
+pub(crate) use common::{mean_hit_ratio, TableSetup};
+pub(crate) use tables::{table4_1_setup, table4_2_setup, table4_3_setup};
 pub use examples::{example1_1, scan_flood, Example11Result, ScanFloodResult};
 pub use history_budget::{history_budget, BudgetPoint, HistoryBudgetResult, FRAME_BYTES, HIST_BLOCK_BYTES};
 pub use lineage::{lineage, LineageResult};

@@ -1,6 +1,6 @@
 //! Tables 4.1, 4.2 and 4.3.
 
-use super::common::{build_table, repetition_traces, ExperimentScale, TableResult};
+use super::common::{build_table_from, repetition_traces, ExperimentScale, TableResult, TableSetup};
 use crate::policies::PolicySpec;
 use lruk_workloads::{BankWorkload, TwoPool, Workload, Zipfian};
 use serde::{Deserialize, Serialize};
@@ -15,29 +15,39 @@ pub const TABLE_4_1_SIZES: &[usize] = &[60, 80, 100, 120, 140, 160, 180, 200, 25
 /// measured (multipliers in `scale` stretch both), averaged over
 /// `scale.repetitions` seeds.
 pub fn table4_1(n1: u64, n2: u64, buffer_sizes: &[usize], scale: &ExperimentScale) -> TableResult {
+    build_table_from(&table4_1_setup(n1, n2, buffer_sizes, scale))
+}
+
+/// The Table 4.1 experiment inputs, shared by the sequential and
+/// [`crate::parallel`] drivers.
+pub(crate) fn table4_1_setup(
+    n1: u64,
+    n2: u64,
+    buffer_sizes: &[usize],
+    scale: &ExperimentScale,
+) -> TableSetup {
     let warmup = 10 * n1 as usize * scale.warmup_mult;
     let measure = 30 * n1 as usize * scale.measure_mult;
     let traces = repetition_traces(scale, warmup + measure, |seed| {
         Box::new(TwoPool::new(n1, n2, seed))
     });
     let beta = TwoPool::new(n1, n2, 0).beta().unwrap();
-    let specs = [
-        PolicySpec::Lru,
-        PolicySpec::LruK { k: 2 },
-        PolicySpec::LruK { k: 3 },
-        PolicySpec::A0,
-    ];
-    build_table(
-        "Table 4.1 (two-pool experiment)",
-        &specs,
-        buffer_sizes,
-        &traces,
-        Some(&beta),
+    TableSetup {
+        title: "Table 4.1 (two-pool experiment)".into(),
+        specs: vec![
+            PolicySpec::Lru,
+            PolicySpec::LruK { k: 2 },
+            PolicySpec::LruK { k: 3 },
+            PolicySpec::A0,
+        ],
+        buffer_sizes: buffer_sizes.to_vec(),
+        traces,
+        beta: Some(beta),
         warmup,
-        &PolicySpec::Lru,
-        &PolicySpec::LruK { k: 2 },
-        ((n1 + n2) as usize).min(20 * buffer_sizes[buffer_sizes.len() - 1]),
-    )
+        baseline: PolicySpec::Lru,
+        improved: PolicySpec::LruK { k: 2 },
+        equi_hi: ((n1 + n2) as usize).min(20 * buffer_sizes[buffer_sizes.len() - 1]),
+    }
 }
 
 /// The paper's Table 4.2 buffer sizes.
@@ -49,24 +59,29 @@ pub const TABLE_4_2_SIZES: &[usize] = &[40, 60, 80, 100, 120, 140, 160, 180, 200
 /// The paper does not state this experiment's warmup/measure lengths; we
 /// use the §4.1 protocol scaled to N (warmup 10·N, measure 30·N).
 pub fn table4_2(n: u64, buffer_sizes: &[usize], scale: &ExperimentScale) -> TableResult {
+    build_table_from(&table4_2_setup(n, buffer_sizes, scale))
+}
+
+/// The Table 4.2 experiment inputs, shared by the sequential and
+/// [`crate::parallel`] drivers.
+pub(crate) fn table4_2_setup(n: u64, buffer_sizes: &[usize], scale: &ExperimentScale) -> TableSetup {
     let warmup = 10 * n as usize * scale.warmup_mult;
     let measure = 30 * n as usize * scale.measure_mult;
     let traces = repetition_traces(scale, warmup + measure, |seed| {
         Box::new(Zipfian::new(n, 0.8, 0.2, seed))
     });
     let beta = Zipfian::new(n, 0.8, 0.2, 0).beta().unwrap();
-    let specs = [PolicySpec::Lru, PolicySpec::LruK { k: 2 }, PolicySpec::A0];
-    build_table(
-        "Table 4.2 (Zipfian random access)",
-        &specs,
-        buffer_sizes,
-        &traces,
-        Some(&beta),
+    TableSetup {
+        title: "Table 4.2 (Zipfian random access)".into(),
+        specs: vec![PolicySpec::Lru, PolicySpec::LruK { k: 2 }, PolicySpec::A0],
+        buffer_sizes: buffer_sizes.to_vec(),
+        traces,
+        beta: Some(beta),
         warmup,
-        &PolicySpec::Lru,
-        &PolicySpec::LruK { k: 2 },
-        n as usize,
-    )
+        baseline: PolicySpec::Lru,
+        improved: PolicySpec::LruK { k: 2 },
+        equi_hi: n as usize,
+    }
 }
 
 /// The paper's Table 4.3 buffer sizes.
@@ -138,6 +153,12 @@ impl Table43Params {
 /// A single trace is generated (the paper replays one fixed production
 /// trace) and all policies are replayed over it.
 pub fn table4_3(params: &Table43Params) -> TableResult {
+    build_table_from(&table4_3_setup(params))
+}
+
+/// The Table 4.3 experiment inputs, shared by the sequential and
+/// [`crate::parallel`] drivers.
+pub(crate) fn table4_3_setup(params: &Table43Params) -> TableSetup {
     let mut workload = BankWorkload::new(
         lruk_storage::BankConfig {
             branches: params.branches,
@@ -152,28 +173,26 @@ pub fn table4_3(params: &Table43Params) -> TableResult {
     workload.account_skew = params.account_skew;
     workload.drift_interval = params.drift_interval;
     let trace = workload.generate_trace(params.trace_len);
-    let traces = vec![trace];
     // LFU = the paper's comparator (counts dropped at eviction; the paper
     // presents retained-past-residence information as novel to LRU-K).
     // LFU-fh = the anachronistic full-history variant, reported for
     // transparency since the paper's implementation details are not stated.
-    let specs = [
-        PolicySpec::Lru,
-        PolicySpec::LruK { k: 2 },
-        PolicySpec::Lfu,
-        PolicySpec::LfuFullHistory,
-    ];
-    build_table(
-        "Table 4.3 (OLTP trace experiment)",
-        &specs,
-        &params.buffer_sizes,
-        &traces,
-        None,
-        params.warmup,
-        &PolicySpec::Lru,
-        &PolicySpec::LruK { k: 2 },
-        64 * params.buffer_sizes[params.buffer_sizes.len() - 1],
-    )
+    TableSetup {
+        title: "Table 4.3 (OLTP trace experiment)".into(),
+        specs: vec![
+            PolicySpec::Lru,
+            PolicySpec::LruK { k: 2 },
+            PolicySpec::Lfu,
+            PolicySpec::LfuFullHistory,
+        ],
+        buffer_sizes: params.buffer_sizes.clone(),
+        traces: vec![trace],
+        beta: None,
+        warmup: params.warmup,
+        baseline: PolicySpec::Lru,
+        improved: PolicySpec::LruK { k: 2 },
+        equi_hi: 64 * params.buffer_sizes[params.buffer_sizes.len() - 1],
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,10 @@
 //! * [`experiments`] — one module-level function per table/figure
 //!   (`table4_1`, `table4_2`, `table4_3`, `example1_1`, `scan_flood`,
 //!   ablations); each returns serializable results.
+//! * [`parallel`] — fans the policy × buffer-size grid of a table across
+//!   cores with `std::thread::scope`; deterministic per-cell seeds and
+//!   grid-order merging make the output byte-identical to the sequential
+//!   run.
 //! * [`report`] — renders results in the same row layout the paper prints.
 //! * [`csv`] — CSV export of results for external plotting.
 
@@ -20,10 +24,14 @@
 pub mod csv;
 pub mod equi;
 pub mod experiments;
+pub mod parallel;
 pub mod policies;
 pub mod report;
 pub mod simulator;
 
 pub use equi::equi_effective_buffer_size;
+pub use parallel::{
+    available_threads, run_in_order, table4_1_parallel, table4_2_parallel, table4_3_parallel,
+};
 pub use policies::PolicySpec;
 pub use simulator::{simulate, simulate_from, simulate_windowed, SimResult};

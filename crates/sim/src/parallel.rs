@@ -1,0 +1,280 @@
+//! Parallel experiment driver — fans the policy × buffer-size grid of a
+//! table experiment across cores with `std::thread::scope`, merging results
+//! in grid order so the output (and its CSV rendering) is **byte-identical**
+//! to the sequential run.
+//!
+//! # Determinism
+//!
+//! Every cell of a table is a pure function of `(policy spec, traces,
+//! capacity, warmup)`. The traces are generated once, sequentially, from
+//! seeds derived from grid coordinates (`ExperimentScale::seed` +
+//! repetition index) — never from thread identity or execution order — and
+//! are then shared read-only by every worker. The thread schedule therefore
+//! only decides *which worker* computes a cell, never *what the cell
+//! contains*; [`run_in_order`] tags each result with its grid index and
+//! merges by index, so the assembled [`TableResult`] is the same regardless
+//! of worker count or interleaving.
+//!
+//! The `B(1)/B(2)` searches share a memoized baseline hit-ratio curve. The
+//! memo makes the *set* of buffer sizes evaluated schedule-dependent (a
+//! worker may find a probe already cached by another row's search), but the
+//! cached quantity is the same pure function of the buffer size, so every
+//! search walks the same probe sequence and lands on the same bracket as
+//! the sequential driver — bit-equal ratios, not merely close ones.
+
+use crate::equi::equi_effective_buffer_size;
+use crate::experiments::{
+    mean_hit_ratio, table4_1_setup, table4_2_setup, table4_3_setup, ExperimentScale, Table43Params,
+    TableResult, TableRow, TableSetup,
+};
+use lruk_policy::fxhash::FxHashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count for "use the whole machine": `available_parallelism`,
+/// falling back to 1 when the runtime cannot tell.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Apply `f` to every item of `items` using up to `threads` scoped worker
+/// threads, returning the results **in item order** regardless of how the
+/// work interleaved.
+///
+/// Workers claim items through a shared atomic cursor (cheap dynamic load
+/// balancing — no per-item channel, no chunk skew when cell costs vary by
+/// orders of magnitude, as policy × buffer-size cells do), tag each result
+/// with its index, and the tags are merged after the scope joins. With
+/// `threads <= 1` the loop runs inline with no thread machinery at all.
+///
+/// ```
+/// let squares = lruk_sim::parallel::run_in_order(&[1u64, 2, 3, 4], 4, |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn run_in_order<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("experiment worker panicked"));
+        }
+    });
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Parallel counterpart of the sequential table driver: phase 1 fans the
+/// policy × buffer-size grid across workers, phase 2 fans the per-row
+/// `B(1)/B(2)` searches (each search is internally sequential — it is an
+/// adaptive bisection — but rows are independent given the shared memo).
+pub(crate) fn build_table_parallel(setup: &TableSetup, threads: usize) -> TableResult {
+    let beta = setup.beta_slice();
+    let n_specs = setup.specs.len();
+
+    // Phase 1: every (buffer size, policy) cell, row-major.
+    let cells: Vec<(usize, usize)> = (0..setup.buffer_sizes.len())
+        .flat_map(|bi| (0..n_specs).map(move |si| (bi, si)))
+        .collect();
+    let grid = run_in_order(&cells, threads, |_, &(bi, si)| {
+        mean_hit_ratio(
+            &setup.specs[si],
+            &setup.traces,
+            beta,
+            setup.buffer_sizes[bi],
+            setup.warmup,
+        )
+    });
+
+    let baseline_idx = setup
+        .specs
+        .iter()
+        .position(|s| *s == setup.baseline)
+        .expect("baseline in specs");
+    let improved_idx = setup
+        .specs
+        .iter()
+        .position(|s| *s == setup.improved)
+        .expect("improved in specs");
+
+    // Shared baseline memo, pre-seeded with the grid's baseline column so
+    // the searches never recompute what phase 1 already measured.
+    let memo: Mutex<FxHashMap<usize, f64>> = Mutex::new(
+        setup
+            .buffer_sizes
+            .iter()
+            .enumerate()
+            .map(|(bi, &b)| (b, grid[bi * n_specs + baseline_idx]))
+            .collect(),
+    );
+    let baseline_at = |b: usize| -> f64 {
+        if let Some(&c) = memo.lock().unwrap().get(&b) {
+            return c;
+        }
+        // Computed outside the lock: a racing duplicate evaluation is pure
+        // and yields the identical value, so last-write-wins is harmless.
+        let c = mean_hit_ratio(&setup.baseline, &setup.traces, beta, b, setup.warmup);
+        memo.lock().unwrap().insert(b, c);
+        c
+    };
+
+    // Phase 2: one equi-effective search per row.
+    let ratios = run_in_order(&setup.buffer_sizes, threads, |bi, &b| {
+        let target = grid[bi * n_specs + improved_idx];
+        equi_effective_buffer_size(target, 1, setup.equi_hi, &baseline_at).map(|x| x / b as f64)
+    });
+
+    let rows = setup
+        .buffer_sizes
+        .iter()
+        .enumerate()
+        .map(|(bi, &b)| TableRow {
+            b,
+            hit_ratios: grid[bi * n_specs..(bi + 1) * n_specs].to_vec(),
+            b1_over_b2: ratios[bi],
+        })
+        .collect();
+    TableResult {
+        title: setup.title.clone(),
+        policies: setup.specs.iter().map(|s| s.label()).collect(),
+        rows,
+    }
+}
+
+/// [`table4_1`](crate::experiments::table4_1) fanned across `threads`
+/// workers; the result is byte-identical to the sequential run.
+pub fn table4_1_parallel(
+    n1: u64,
+    n2: u64,
+    buffer_sizes: &[usize],
+    scale: &ExperimentScale,
+    threads: usize,
+) -> TableResult {
+    build_table_parallel(&table4_1_setup(n1, n2, buffer_sizes, scale), threads)
+}
+
+/// [`table4_2`](crate::experiments::table4_2) fanned across `threads`
+/// workers; the result is byte-identical to the sequential run.
+pub fn table4_2_parallel(
+    n: u64,
+    buffer_sizes: &[usize],
+    scale: &ExperimentScale,
+    threads: usize,
+) -> TableResult {
+    build_table_parallel(&table4_2_setup(n, buffer_sizes, scale), threads)
+}
+
+/// [`table4_3`](crate::experiments::table4_3) fanned across `threads`
+/// workers; the result is byte-identical to the sequential run.
+pub fn table4_3_parallel(params: &Table43Params, threads: usize) -> TableResult {
+    build_table_parallel(&table4_3_setup(params), threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::table_to_csv;
+    use crate::experiments::{table4_1, table4_2, table4_3};
+
+    #[test]
+    fn run_in_order_preserves_item_order() {
+        // Skewed per-item cost so fast items finish far out of order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = run_in_order(&items, 8, |i, &x| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_in_order_handles_edges() {
+        let empty: Vec<u32> = vec![];
+        assert!(run_in_order(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(run_in_order(&[5u32], 4, |_, &x| x + 1), vec![6]);
+        // More threads than items must not hang or duplicate work.
+        assert_eq!(run_in_order(&[1u32, 2], 16, |_, &x| x), vec![1, 2]);
+        // threads == 0 degrades to the inline path.
+        assert_eq!(run_in_order(&[1u32, 2, 3], 0, |_, &x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn run_in_order_index_matches_item() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = run_in_order(&items, 4, |i, &x| {
+            assert_eq!(i, x, "index must address the item it was called with");
+            i
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn table4_1_parallel_is_byte_identical_to_sequential() {
+        let scale = ExperimentScale::quick();
+        let sizes = [8, 16];
+        let seq = table4_1(20, 500, &sizes, &scale);
+        for threads in [1, 4] {
+            let par = table4_1_parallel(20, 500, &sizes, &scale, threads);
+            assert_eq!(
+                table_to_csv(&seq),
+                table_to_csv(&par),
+                "CSV must be byte-identical at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn table4_2_parallel_is_byte_identical_to_sequential() {
+        let scale = ExperimentScale::quick();
+        let sizes = [8, 16, 32];
+        let seq = table4_2(100, &sizes, &scale);
+        let par = table4_2_parallel(100, &sizes, &scale, available_threads());
+        assert_eq!(table_to_csv(&seq), table_to_csv(&par));
+    }
+
+    #[test]
+    fn table4_3_parallel_is_byte_identical_to_sequential() {
+        let params = Table43Params {
+            branches: 20,
+            tellers_per_branch: 2,
+            accounts_per_branch: 40,
+            trace_len: 6_000,
+            warmup: 1_000,
+            buffer_sizes: vec![8, 16],
+            account_skew: (0.75, 0.25),
+            drift_interval: Some(500),
+            seed: 7,
+        };
+        let seq = table4_3(&params);
+        let par = table4_3_parallel(&params, 4);
+        assert_eq!(table_to_csv(&seq), table_to_csv(&par));
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

@@ -8,7 +8,8 @@
 //!   Information Period support.
 //! * [`baselines`] — LRU-1, FIFO, Clock, GCLOCK, LFU, LFU-aged, LRD, MRU,
 //!   Random, 2Q, ARC, the `A_0` probabilistic oracle and Belady's OPT.
-//! * [`buffer`] — a buffer pool manager with pluggable replacement policy.
+//! * [`buffer`] — a buffer pool manager with pluggable replacement policy
+//!   and three concurrency tiers (global-latch, sharded, per-frame latched).
 //! * [`storage`] — simulated disk, slotted pages, heap files, a B+tree, and a
 //!   CODASYL-style network database emulation.
 //! * [`workloads`] — reference-string generators and trace tooling for every

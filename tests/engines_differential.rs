@@ -113,6 +113,28 @@ proptest! {
     }
 
     #[test]
+    fn fast_path_agrees_on_correlated_bursts(
+        bursts in proptest::collection::vec((0u64..20, 1usize..6), 30..150),
+        k in 1usize..4,
+        crp in 1u64..10,
+        capacity in 2usize..8,
+    ) {
+        // Burst-heavy traces: each (page, len) entry becomes `len` adjacent
+        // references, so nearly every hit lands inside the CRP and takes the
+        // indexed engine's O(1) correlated-hit fast path. The scan engine,
+        // which has no fast path to skip, must still pick identical victims.
+        let cfg = LruKConfig::new(k).with_crp(crp);
+        let pages: Vec<PageId> = bursts
+            .iter()
+            .flat_map(|&(p, len)| std::iter::repeat(PageId(p)).take(len))
+            .collect();
+        let mut classic = ClassicLruK::new(cfg);
+        let mut indexed = LruK::new(cfg);
+        lockstep(&mut classic, &mut indexed, &pages, capacity);
+        prop_assert_eq!(classic.retained_len(), indexed.retained_len());
+    }
+
+    #[test]
     fn lru1_equals_classical_lru(
         trace in proptest::collection::vec(0u64..30, 50..300),
         capacity in 2usize..10,
@@ -121,6 +143,30 @@ proptest! {
         let mut lruk1 = LruK::new(LruKConfig::new(1));
         let mut lru = Lru::new();
         lockstep(&mut lruk1, &mut lru, &pages, capacity);
+    }
+}
+
+#[test]
+fn simulated_stats_identical_across_engines() {
+    // Full-pipeline equivalence: same victims *and* same stats through the
+    // simulator, on a workload wrapped in correlated bursts so the indexed
+    // engine's O(1) hit fast path fires constantly.
+    use lruk::sim::simulate;
+    use lruk::workloads::{CorrelatedBursts, Workload, Zipfian};
+    for (k, crp) in [(2usize, 0u64), (2, 8), (3, 4)] {
+        let trace = CorrelatedBursts::new(Zipfian::new(120, 0.8, 0.2, 11), 0.4, 3, 5).generate(15_000);
+        let cfg = LruKConfig::new(k).with_crp(crp);
+        let mut classic = ClassicLruK::new(cfg);
+        let mut indexed = LruK::new(cfg);
+        let ra = simulate(&mut classic, trace.refs(), 24, 1_000);
+        let rb = simulate(&mut indexed, trace.refs(), 24, 1_000);
+        assert_eq!(ra.stats, rb.stats, "stats diverged at k={k} crp={crp}");
+        let mut fa = ra.final_resident.clone();
+        let mut fb = rb.final_resident.clone();
+        fa.sort_unstable();
+        fb.sort_unstable();
+        assert_eq!(fa, fb, "resident sets diverged at k={k} crp={crp}");
+        assert_eq!(ra.peak_retained, rb.peak_retained);
     }
 }
 

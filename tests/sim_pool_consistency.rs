@@ -44,3 +44,37 @@ fn simulator_and_buffer_pool_agree_on_hit_counts() {
         assert_eq!(sim_result.stats.evictions, pool_stats.evictions, "{}", spec.label());
     }
 }
+
+#[test]
+fn simulator_and_latched_pool_agree_on_hit_counts() {
+    // Same contract for the per-frame latched pool: with a single shard and
+    // single-threaded traffic its event order is identical to the sequential
+    // pool's, so the statistics must match the simulator exactly, fast path
+    // and all.
+    use lruk::buffer::{ConcurrentDiskManager, ConcurrentInMemoryDisk, LatchedBufferPool};
+    use lruk::core::{LruK, LruKConfig};
+    for crp in [0u64, 4] {
+        let capacity = 32;
+        let trace = Zipfian::new(256, 0.8, 0.2, 33).generate(20_000);
+
+        let mut policy = LruK::new(LruKConfig::new(2).with_crp(crp));
+        let sim_result = simulate(&mut policy, trace.refs(), capacity, 0);
+
+        let disk = ConcurrentInMemoryDisk::unbounded();
+        let ids: Vec<PageId> = (0..256).map(|_| disk.allocate_page().unwrap()).collect();
+        let pool = LatchedBufferPool::new(1, capacity, disk, || {
+            Box::new(LruK::new(LruKConfig::new(2).with_crp(crp)))
+        });
+        for r in trace.refs() {
+            pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+        }
+        let pool_stats = pool.stats();
+
+        assert_eq!(
+            (sim_result.stats.hits, sim_result.stats.misses),
+            (pool_stats.hits, pool_stats.misses),
+            "crp={crp}: simulator vs latched pool disagree"
+        );
+        assert_eq!(sim_result.stats.evictions, pool_stats.evictions, "crp={crp}");
+    }
+}
