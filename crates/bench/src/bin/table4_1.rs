@@ -22,8 +22,9 @@ fn main() {
     };
     let t = table4_1(n1, n2, sizes, &scale);
     print!("{}", render_table(&t));
+    let csv_text = lruk_sim::csv::table_to_csv(&t).map_err(std::io::Error::other);
     if let Err(e) = std::fs::create_dir_all("results")
-        .and_then(|_| std::fs::write("results/table4_1.csv", lruk_sim::csv::table_to_csv(&t)))
+        .and_then(|_| csv_text.and_then(|text| std::fs::write("results/table4_1.csv", text)))
     {
         eprintln!("note: could not write results/table4_1.csv: {e}");
     }

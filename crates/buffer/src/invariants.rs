@@ -1,0 +1,235 @@
+//! Debug-build runtime enforcement of the latched pool's latch protocol.
+//!
+//! The static `lock-order` rule (`cargo run -p xtask -- analyze`) checks the
+//! declared hierarchy lexically; this module checks the *dynamic* order every
+//! debug run actually takes, per thread, and panics at the acquisition that
+//! would violate the protocol — turning a would-be deadlock or data race
+//! into an immediate, attributable failure in tests.
+//!
+//! The tracked classes mirror the protocol in [`crate::latched`]:
+//!
+//! * [`LatchClass::ShardCore`] — a shard's `Mutex<ShardCore>`. Never nested:
+//!   a thread holding any core (or any latch taken *under* a core) must not
+//!   take another. The one exception, documented in the module protocol, is
+//!   re-entry: a user closure that still holds a **user** frame latch may
+//!   re-enter the pool and take a core (pin/unpin of a different page).
+//! * [`LatchClass::FrameUser`] — a frame data latch taken on behalf of a
+//!   user closure (`with_page` / `with_page_mut`), strictly after the core
+//!   has been released. Nesting user latches is allowed (recursive shared
+//!   reads of the same page, reads of distinct pages).
+//! * [`LatchClass::FrameEvict`] — an exclusive frame latch taken *under* the
+//!   core for eviction write-back or miss fill; legal only while the core is
+//!   held and only on a frame with `pins == 0`.
+//! * [`LatchClass::FrameFlush`] — a shared frame latch taken under the core
+//!   by `flush_all`. Holding a user frame latch on the same thread is a
+//!   self-deadlock risk (the flushed frame may be the held one), so it is
+//!   rejected outright.
+//!
+//! Everything here compiles to nothing in release builds: the check
+//! functions are empty and [`LatchToken`] is a zero-sized type.
+
+#[cfg(debug_assertions)]
+use std::cell::RefCell;
+
+/// The latch classes of the latched pool's protocol, in declaration order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LatchClass {
+    /// A shard's core mutex (page table, policy, pin bookkeeping).
+    ShardCore,
+    /// A frame data latch held across a user closure (core released).
+    FrameUser,
+    /// An exclusive frame latch taken under the core (eviction / miss fill).
+    FrameEvict,
+    /// A shared frame latch taken under the core (`flush_all` write-back).
+    FrameFlush,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Per-thread stack of latches currently held, in acquisition order.
+    static HELD: RefCell<Vec<LatchClass>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII record of one tracked acquisition; releases its stack slot on drop
+/// (including during unwinding, so a panicking closure does not poison the
+/// tracker for the next test on the same thread).
+///
+/// Drop removes the *most recent* entry of its class rather than asserting
+/// strict LIFO: destructors must never panic (a panic while unwinding
+/// aborts), and out-of-order drops are legal Rust even though the pool
+/// itself always releases in LIFO order.
+#[must_use = "the token must live as long as the latch it tracks"]
+#[derive(Debug)]
+pub struct LatchToken {
+    #[cfg(debug_assertions)]
+    class: LatchClass,
+}
+
+#[cfg(debug_assertions)]
+impl Drop for LatchToken {
+    fn drop(&mut self) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|&x| x == self.class) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+/// Record — and validate — an acquisition of `class` by this thread.
+///
+/// Call **before** blocking on the underlying lock, so a protocol violation
+/// panics immediately instead of deadlocking.
+///
+/// # Panics
+/// In debug builds, when the acquisition violates the latch protocol
+/// described at module level.
+#[cfg(debug_assertions)]
+pub fn acquiring(class: LatchClass) -> LatchToken {
+    HELD.with(|h| {
+        let held = h.borrow();
+        let holds = |c: LatchClass| held.iter().any(|&x| x == c);
+        match class {
+            LatchClass::ShardCore => {
+                assert!(
+                    !holds(LatchClass::ShardCore),
+                    "latch protocol: shard cores never nest (held {held:?})"
+                );
+                assert!(
+                    !holds(LatchClass::FrameEvict) && !holds(LatchClass::FrameFlush),
+                    "latch protocol: core-held frame latches must be released \
+                     before taking a core (held {held:?})"
+                );
+                // FrameUser in the stack is the documented re-entry exception.
+            }
+            LatchClass::FrameUser => {
+                assert!(
+                    !holds(LatchClass::ShardCore),
+                    "latch protocol: user frame latches are taken only after \
+                     the core is released (held {held:?})"
+                );
+                assert!(
+                    !holds(LatchClass::FrameEvict) && !holds(LatchClass::FrameFlush),
+                    "latch protocol: user frame latch under an internal frame \
+                     latch (held {held:?})"
+                );
+            }
+            LatchClass::FrameEvict => {
+                assert_eq!(
+                    held.last(),
+                    Some(&LatchClass::ShardCore),
+                    "latch protocol: eviction/fill latches are taken directly \
+                     under the core (held {held:?})"
+                );
+            }
+            LatchClass::FrameFlush => {
+                assert_eq!(
+                    held.last(),
+                    Some(&LatchClass::ShardCore),
+                    "latch protocol: flush latches are taken directly under \
+                     the core (held {held:?})"
+                );
+                assert!(
+                    !holds(LatchClass::FrameUser),
+                    "latch protocol: flush_all while holding a user frame \
+                     latch can self-deadlock (held {held:?})"
+                );
+            }
+        }
+        drop(held);
+        h.borrow_mut().push(class);
+    });
+    LatchToken { class }
+}
+
+/// Release-build no-op; see the debug variant.
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+pub fn acquiring(_class: LatchClass) -> LatchToken {
+    LatchToken {}
+}
+
+/// Assert that a frame chosen for eviction/fill has no outstanding pins
+/// (the protocol's proof that its latch is uncontended).
+#[inline]
+pub fn assert_unpinned(pins: u32) {
+    debug_assert_eq!(pins, 0, "pin invariant: eviction chose a pinned frame");
+}
+
+/// Assert that a pin release observed a positive count (`prev` is the value
+/// *before* the decrement).
+#[inline]
+pub fn assert_pin_release(prev: u32) {
+    debug_assert!(prev > 0, "pin invariant: unpin drove a pin count below zero");
+}
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_order_is_clean() {
+        let core = acquiring(LatchClass::ShardCore);
+        let frame = acquiring(LatchClass::FrameEvict);
+        drop(frame);
+        drop(core);
+        // User latch after the core is gone, then legal re-entry.
+        let user = acquiring(LatchClass::FrameUser);
+        let core2 = acquiring(LatchClass::ShardCore);
+        drop(core2);
+        drop(user);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard cores never nest")]
+    fn nested_cores_panic() {
+        let _a = acquiring(LatchClass::ShardCore);
+        let _b = acquiring(LatchClass::ShardCore);
+    }
+
+    #[test]
+    #[should_panic(expected = "eviction/fill latches are taken directly under the core")]
+    fn inverted_order_panics() {
+        // The deliberate inversion: frame latch first, then the core —
+        // the acceptance scenario for the runtime tracker.
+        let _frame = acquiring(LatchClass::FrameEvict);
+        let _core = acquiring(LatchClass::ShardCore);
+    }
+
+    #[test]
+    #[should_panic(expected = "core-held frame latches must be released")]
+    fn core_under_evict_latch_panics() {
+        let core = acquiring(LatchClass::ShardCore);
+        let _evict = acquiring(LatchClass::FrameEvict);
+        drop(core);
+        let _core2 = acquiring(LatchClass::ShardCore);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush_all while holding a user frame latch")]
+    fn flush_under_user_latch_panics() {
+        let _user = acquiring(LatchClass::FrameUser);
+        let _core = acquiring(LatchClass::ShardCore);
+        let _flush = acquiring(LatchClass::FrameFlush);
+    }
+
+    #[test]
+    fn tracker_recovers_after_unwind() {
+        // A panicking acquisition must not leave its class on the stack.
+        let r = std::panic::catch_unwind(|| {
+            let _a = acquiring(LatchClass::ShardCore);
+            let _b = acquiring(LatchClass::ShardCore);
+        });
+        assert!(r.is_err());
+        // Clean slate: the same thread can run the forward order again.
+        let core = acquiring(LatchClass::ShardCore);
+        drop(core);
+    }
+
+    #[test]
+    #[should_panic(expected = "below zero")]
+    fn pin_underflow_panics() {
+        assert_pin_release(0);
+    }
+}

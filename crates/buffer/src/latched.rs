@@ -51,6 +51,7 @@
 //! hash that spreads hot pages, per-shard LRU-K closely tracks global LRU-K.
 
 use crate::disk::{DiskStats, PAGE_SIZE};
+use crate::invariants::{self, LatchClass};
 use crate::pool::BufferError;
 use crate::shared_disk::ConcurrentDiskManager;
 use lruk_policy::fxhash::{self, FxHashMap};
@@ -65,6 +66,12 @@ struct LatchedFrame {
     /// with `Release` ordering so `pins == 0` read under that latch implies
     /// the frame latch has been released (see the module-level protocol).
     pins: AtomicU32,
+    /// Debug-only: set while this frame's bytes are being written back to
+    /// disk. Two overlapping write-backs of one frame, or an eviction racing
+    /// a write-back, are protocol violations the frame latch is supposed to
+    /// exclude — this flag asserts that it actually did.
+    #[cfg(debug_assertions)]
+    write_in_flight: std::sync::atomic::AtomicBool,
 }
 
 impl LatchedFrame {
@@ -72,6 +79,26 @@ impl LatchedFrame {
         LatchedFrame {
             data: RwLock::new(vec![0u8; PAGE_SIZE].into_boxed_slice()),
             pins: AtomicU32::new(0),
+            #[cfg(debug_assertions)]
+            write_in_flight: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Mark a write-back as started (debug builds assert none was running).
+    fn begin_writeback(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let was = self.write_in_flight.swap(true, Ordering::AcqRel);
+            assert!(!was, "pin invariant: overlapping write-backs of one frame");
+        }
+    }
+
+    /// Mark a write-back as finished; must precede dropping the frame latch.
+    fn end_writeback(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let was = self.write_in_flight.swap(false, Ordering::AcqRel);
+            assert!(was, "pin invariant: write-back finished twice");
         }
     }
 }
@@ -192,6 +219,7 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
     /// disk here (frame latch uncontended: the frame was free or victimized
     /// with zero pins).
     fn pin(&self, shard: &Shard, page: PageId) -> Result<u32, BufferError> {
+        let _core_held = invariants::acquiring(LatchClass::ShardCore);
         let mut core = shard.core.lock();
         core.clock = core.clock.next();
         if let Some(&fid) = core.page_table.get(&page) {
@@ -207,7 +235,11 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         core.policy.on_miss(page, now);
         let fid = Self::acquire_frame(shard, &mut core, &self.disk)?;
         {
-            let mut data = shard.frames[fid as usize].data.write();
+            // Miss fill: exclusive latch under the core, pins still zero.
+            let frame = &shard.frames[fid as usize];
+            invariants::assert_unpinned(frame.pins.load(Ordering::Acquire));
+            let _fill_held = invariants::acquiring(LatchClass::FrameEvict);
+            let mut data = frame.data.write();
             if let Err(e) = self.disk.read_page(page, &mut data) {
                 // Hand the frame back; the shard stays consistent.
                 core.free.push(fid);
@@ -225,8 +257,10 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
 
     /// Release one pin; taken only after the frame latch has been dropped.
     fn unpin(&self, shard: &Shard, page: PageId, fid: u32, dirty: bool) {
+        let _core_held = invariants::acquiring(LatchClass::ShardCore);
         let mut core = shard.core.lock();
-        shard.frames[fid as usize].pins.fetch_sub(1, Ordering::AcqRel);
+        let prev = shard.frames[fid as usize].pins.fetch_sub(1, Ordering::AcqRel);
+        invariants::assert_pin_release(prev);
         core.frame_dirty[fid as usize] |= dirty;
         core.policy.unpin(page);
     }
@@ -245,18 +279,18 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         let fid = *core
             .page_table
             .get(&victim)
-            .expect("policy victim must be resident");
+            .ok_or(BufferError::Invariant("policy victim must be resident"))?;
         let frame = &shard.frames[fid as usize];
-        debug_assert_eq!(
-            frame.pins.load(Ordering::Acquire),
-            0,
-            "policy returned a pinned victim"
-        );
+        invariants::assert_unpinned(frame.pins.load(Ordering::Acquire));
         let dirty = core.frame_dirty[fid as usize];
         if dirty {
             // "if victim is dirty then write victim back into the database"
+            let _evict_held = invariants::acquiring(LatchClass::FrameEvict);
             let data = frame.data.read();
-            disk.write_page(victim, &data)?;
+            frame.begin_writeback();
+            let wrote = disk.write_page(victim, &data);
+            frame.end_writeback();
+            wrote?;
         }
         let now = core.clock;
         core.stats.record_eviction(dirty);
@@ -274,7 +308,9 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         let fid = self.pin(shard, page)?;
         // Recursive shared acquisition keeps nested reads of the same page
         // safe even with a writer queued on the latch.
+        let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&shard.frames[fid as usize].data.read_recursive());
+        drop(user_held);
         self.unpin(shard, page, fid, false);
         Ok(out)
     }
@@ -287,7 +323,9 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
     ) -> Result<R, BufferError> {
         let shard = &self.shards[self.shard_of(page)];
         let fid = self.pin(shard, page)?;
+        let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&mut shard.frames[fid as usize].data.write());
+        drop(user_held);
         self.unpin(shard, page, fid, true);
         Ok(out)
     }
@@ -295,17 +333,24 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
     /// Write every dirty resident page back to disk.
     pub fn flush_all(&self) -> Result<(), BufferError> {
         for shard in &self.shards {
+            let _core_held = invariants::acquiring(LatchClass::ShardCore);
             let mut core = shard.core.lock();
             for fid in 0..shard.frames.len() {
                 if !core.frame_dirty[fid] {
                     continue;
                 }
-                let page = core.frame_page[fid].expect("dirty frame must be owned");
+                let page = core.frame_page[fid]
+                    .ok_or(BufferError::Invariant("dirty frame must be owned"))?;
                 // Shared latch: waits out an in-flight writer (who cannot
                 // need the core latch until after releasing), never deadlocks.
+                let flush_held = invariants::acquiring(LatchClass::FrameFlush);
                 let data = shard.frames[fid].data.read();
-                self.disk.write_page(page, &data)?;
+                shard.frames[fid].begin_writeback();
+                let wrote = self.disk.write_page(page, &data);
+                shard.frames[fid].end_writeback();
                 drop(data);
+                drop(flush_held);
+                wrote?;
                 core.frame_dirty[fid] = false;
             }
         }
@@ -413,20 +458,48 @@ mod tests {
         let (pool, pages) = make(2, 4, 16);
         let threads = 8;
         let per_thread = 500u64;
+        // With 8 clients and 2 frames per shard, every frame of a shard can
+        // transiently be pinned at once; the pool then reports
+        // `NoVictim(AllPinned)` (see `pinned_pages_are_not_victimized`) and
+        // the client retries. Each failed pin still records a miss, so count
+        // retries to keep the stats assertion exact.
+        let retries = std::sync::atomic::AtomicU64::new(0);
+        let retrying = |pool: &LatchedBufferPool<ConcurrentInMemoryDisk>,
+                        page: PageId,
+                        mut f: &mut dyn FnMut(&mut [u8])| loop {
+            match pool.with_page_mut(page, &mut f) {
+                Ok(()) => break,
+                Err(BufferError::NoVictim(VictimError::AllPinned)) => {
+                    retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::yield_now();
+                }
+                Err(e) => panic!("unexpected pool error: {e}"),
+            }
+        };
         std::thread::scope(|s| {
             for t in 0..threads {
                 let pool = Arc::clone(&pool);
                 let target = pages[0];
                 let noise: Vec<PageId> = pages[1..].to_vec();
+                let retrying = &retrying;
+                let retries = &retries;
                 s.spawn(move || {
                     for i in 0..per_thread {
-                        pool.with_page_mut(target, |d| {
+                        retrying(&pool, target, &mut |d| {
                             let c = u64::from_le_bytes(d[..8].try_into().unwrap());
                             d[..8].copy_from_slice(&(c + 1).to_le_bytes());
-                        })
-                        .unwrap();
+                        });
                         let n = noise[(t * 7 + i as usize) % noise.len()];
-                        pool.with_page(n, |_| ()).unwrap();
+                        loop {
+                            match pool.with_page(n, |_| ()) {
+                                Ok(()) => break,
+                                Err(BufferError::NoVictim(VictimError::AllPinned)) => {
+                                    retries.fetch_add(1, Ordering::Relaxed);
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("unexpected pool error: {e}"),
+                            }
+                        }
                     }
                 });
             }
@@ -437,8 +510,12 @@ mod tests {
         assert_eq!(total, threads as u64 * per_thread);
         assert!(pool.stats().evictions > 0, "churn must cause evictions");
         let s = pool.stats();
-        // 2 refs per loop iteration, +1 for the verification read above.
-        assert_eq!(s.hits + s.misses, (threads as u64 * per_thread) * 2 + 1);
+        // 2 refs per loop iteration, +1 for the verification read above,
+        // plus one recorded miss per AllPinned retry.
+        assert_eq!(
+            s.hits + s.misses,
+            (threads as u64 * per_thread) * 2 + 1 + retries.load(Ordering::Relaxed)
+        );
     }
 
     #[test]
@@ -463,6 +540,20 @@ mod tests {
         assert_eq!(err, BufferError::NoVictim(VictimError::AllPinned));
         // After the pin is released the fetch succeeds.
         pool.with_page(pages[1], |_| ()).unwrap();
+    }
+
+    /// The debug-build latch tracker rejects `flush_all` from inside a page
+    /// closure: the user still holds a frame latch, and the flushed frame
+    /// could be that very frame (self-deadlock). The tracker is deliberately
+    /// conservative — it panics even when, as here, the dirty frame happens
+    /// to be a different one that would have flushed fine.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "flush_all while holding a user frame latch")]
+    fn debug_tracker_rejects_flush_inside_page_closure() {
+        let (pool, pages) = make(1, 2, 2);
+        pool.with_page_mut(pages[1], |d| d[0] = 7).unwrap(); // dirty a frame
+        pool.with_page(pages[0], |_| pool.flush_all().unwrap()).unwrap();
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod concurrent;
 pub mod disk;
 pub mod frame;
+pub mod invariants;
 pub mod latched;
 pub mod pool;
 pub mod shared_disk;

@@ -19,6 +19,11 @@ pub enum BufferError {
     PagePinned(PageId),
     /// Unpin called on a page with a zero pin count.
     NotPinned(PageId),
+    /// An internal bookkeeping invariant was violated (page table, frame
+    /// ownership, or disk directory out of sync). Indicates a pool bug, but
+    /// is surfaced as a typed error so a latch-holding caller can release
+    /// cleanly instead of unwinding through shared state.
+    Invariant(&'static str),
 }
 
 impl fmt::Display for BufferError {
@@ -29,6 +34,7 @@ impl fmt::Display for BufferError {
             BufferError::PageNotResident(p) => write!(f, "page {p} is not resident"),
             BufferError::PagePinned(p) => write!(f, "page {p} is pinned"),
             BufferError::NotPinned(p) => write!(f, "page {p} is not pinned"),
+            BufferError::Invariant(what) => write!(f, "pool invariant violated: {what}"),
         }
     }
 }
@@ -260,7 +266,7 @@ impl<D: DiskManager> BufferPoolManager<D> {
         let fid = *self
             .page_table
             .get(&victim)
-            .expect("policy victim must be resident");
+            .ok_or(BufferError::Invariant("policy victim must be resident"))?;
         let frame = &mut self.frames[fid.raw() as usize];
         debug_assert_eq!(frame.pin_count, 0, "policy returned a pinned victim");
         let dirty = frame.dirty;

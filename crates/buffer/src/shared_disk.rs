@@ -185,7 +185,10 @@ impl ConcurrentDiskManager for ConcurrentInMemoryDisk {
             }
         }
         let id = if let Some(id) = alloc.free.pop() {
-            let slot = self.slot(PageId(id)).expect("freed id is in directory");
+            // A free-list id missing from the directory is an allocator bug;
+            // surface it as PageNotAllocated rather than unwinding with the
+            // alloc mutex held.
+            let slot = self.slot(PageId(id))?;
             *slot.write() = Some(vec![0u8; PAGE_SIZE].into_boxed_slice());
             id
         } else {

@@ -63,6 +63,7 @@ impl ClassicLruK {
     /// # Panics
     /// Panics if the configuration is invalid.
     pub fn new(cfg: LruKConfig) -> Self {
+        // xtask-allow: no-panic -- documented `# Panics` constructor contract
         cfg.validate().expect("invalid LRU-K configuration");
         let purge_interval = cfg.effective_purge_interval();
         ClassicLruK {
@@ -101,6 +102,7 @@ impl ClassicLruK {
         let rip = self
             .cfg
             .retained_information_period
+            // xtask-allow: no-panic -- purge is only scheduled when a RIP is configured
             .expect("purge interval implies RIP");
         self.blocks
             .retain(|_, b| b.resident || now.since(Tick(b.last)) <= rip);
@@ -124,6 +126,7 @@ impl ClassicLruK {
             if require_eligible && now.since(Tick(block.last)) <= crp {
                 continue; // not "eligible for replacement"
             }
+            // xtask-allow: no-panic -- hist is vec![0; k] with k >= 1 by cfg.validate()
             let key = (block.hist[k - 1], block.hist[0], page);
             if best.map(|b| key < b).unwrap_or(true) {
                 best = Some(key);
@@ -149,12 +152,14 @@ impl ReplacementPolicy for ClassicLruK {
         let block = self
             .blocks
             .get_mut(&page)
+            // xtask-allow: no-panic -- ReplacementPolicy contract: hits are reported only for resident pages
             .expect("on_hit for unknown page");
         debug_assert!(block.resident);
         let same_process = block.last_pid == pid;
         block.last_pid = pid;
         if now.since(Tick(block.last)) > crp || !same_process {
             // a new, uncorrelated reference
+            // xtask-allow: no-panic -- hist is vec![0; k] with k >= 1 by cfg.validate()
             let correl = block.last.saturating_sub(block.hist[0]);
             for i in (1..block.hist.len()).rev() {
                 block.hist[i] = if block.hist[i - 1] == 0 {
@@ -163,6 +168,7 @@ impl ReplacementPolicy for ClassicLruK {
                     block.hist[i - 1] + correl
                 };
             }
+            // xtask-allow: no-panic -- hist is vec![0; k] with k >= 1 by cfg.validate()
             block.hist[0] = now.raw();
             block.last = now.raw();
         } else {
@@ -194,6 +200,7 @@ impl ReplacementPolicy for ClassicLruK {
                 block.hist[i] = block.hist[i - 1];
             }
         }
+        // xtask-allow: no-panic -- hist is vec![0; k] with k >= 1 by cfg.validate()
         block.hist[0] = now.raw();
         block.last = now.raw();
         block.resident = true;
@@ -205,6 +212,7 @@ impl ReplacementPolicy for ClassicLruK {
         let block = self
             .blocks
             .get_mut(&page)
+            // xtask-allow: no-panic -- ReplacementPolicy contract: evictions name a resident page
             .expect("on_evict for unknown page");
         assert!(block.resident, "on_evict for non-resident page");
         block.resident = false;

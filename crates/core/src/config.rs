@@ -88,6 +88,7 @@ impl LruKConfig {
     /// Panics if `k == 0`; use [`LruKConfig::try_new`] for fallible
     /// construction.
     pub fn new(k: usize) -> Self {
+        // xtask-allow: no-panic -- documented `# Panics` contract; try_new is the fallible path
         Self::try_new(k).expect("k must be >= 1")
     }
 

@@ -36,6 +36,7 @@ impl HistorySnapshot {
     /// paper's `∞` (the page does not have K uncorrelated references on
     /// record).
     pub fn backward_k_distance(&self, now: Tick) -> Option<u64> {
+        // xtask-allow: no-panic -- hist has exactly K entries and K >= 1 is asserted in new()
         let oldest = *self.hist.last().expect("k >= 1");
         if oldest.raw() == 0 {
             None
@@ -148,6 +149,7 @@ impl HistoryTable {
 
     /// `HIST(p, 1)` — the most recent uncorrelated reference time.
     pub fn hist_1(&self, page: PageId) -> Option<u64> {
+        // xtask-allow: no-panic -- hist slices are exactly K long and K >= 1 is asserted in new()
         self.slot(page).map(|s| self.hist(s)[0])
     }
 
@@ -226,6 +228,7 @@ impl HistoryTable {
     /// different processes are independent"). Passing a constant `pid`
     /// reproduces the undistinguished behaviour.
     pub fn touch_hit_by(&mut self, page: PageId, now: Tick, crp: u64, pid: u64) -> bool {
+        // xtask-allow: no-panic -- documented `# Panics` contract: hits require an existing block
         let slot = self.slot(page).expect("touch_hit: page has no history block");
         let last = self.blocks[slot as usize].last;
         let last_pid = self.blocks[slot as usize].last_pid;
@@ -235,6 +238,7 @@ impl HistoryTable {
             // A new, uncorrelated reference: close the burst.
             let k = self.k;
             let hist = self.hist_mut(slot);
+            // xtask-allow: no-panic -- hist slices are exactly K long and K >= 1 is asserted in new()
             let correl = last.saturating_sub(hist[0]);
             for i in (1..k).rev() {
                 // Zero still means "unknown"; shifting an unknown stays unknown.
@@ -244,6 +248,7 @@ impl HistoryTable {
                     hist[i - 1] + correl
                 };
             }
+            // xtask-allow: no-panic -- hist slices are exactly K long and K >= 1 is asserted in new()
             hist[0] = now.raw();
             self.blocks[slot as usize].last = now.raw();
             true
@@ -279,6 +284,7 @@ impl HistoryTable {
             }
             None => self.alloc(page),
         };
+        // xtask-allow: no-panic -- hist slices are exactly K long and K >= 1 is asserted in new()
         self.hist_mut(slot)[0] = now.raw();
         let b = &mut self.blocks[slot as usize];
         b.last = now.raw();
@@ -293,6 +299,7 @@ impl HistoryTable {
     /// # Panics
     /// Panics if the page has no block or is not resident.
     pub fn mark_evicted(&mut self, page: PageId) {
+        // xtask-allow: no-panic -- documented `# Panics` contract: evictions name a tracked page
         let slot = self.slot(page).expect("mark_evicted: unknown page");
         let b = &mut self.blocks[slot as usize];
         assert!(b.resident, "mark_evicted: page was not resident");

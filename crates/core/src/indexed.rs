@@ -60,6 +60,7 @@ impl LruK {
     /// # Panics
     /// Panics if the configuration is invalid (`k == 0` or RIP < CRP).
     pub fn new(cfg: LruKConfig) -> Self {
+        // xtask-allow: no-panic -- documented `# Panics` constructor contract
         cfg.validate().expect("invalid LRU-K configuration");
         let purge_interval = cfg.effective_purge_interval();
         LruK {
@@ -96,6 +97,7 @@ impl LruK {
     /// # Panics
     /// Panics if `cfg` is invalid or `table.k() != cfg.k`.
     pub fn from_table(cfg: LruKConfig, mut table: HistoryTable) -> Self {
+        // xtask-allow: no-panic -- documented `# Panics` constructor contract
         cfg.validate().expect("invalid LRU-K configuration");
         assert_eq!(table.k(), cfg.k, "history table K mismatch");
         let residents: Vec<PageId> = table
@@ -146,12 +148,14 @@ impl LruK {
         let hist_k = self
             .table
             .hist_k(page)
+            // xtask-allow: no-panic -- key_of is only called for pages present in the index
             .expect("indexed page must have a history block");
         // HIST(p,1), not LAST(p): the key must be invariant under correlated
         // re-references so `on_hit` can skip the reindex (see module docs).
         let hist_1 = self
             .table
             .hist_1(page)
+            // xtask-allow: no-panic -- key_of is only called for pages present in the index
             .expect("indexed page must have a history block");
         (hist_k, hist_1, page)
     }
@@ -162,6 +166,7 @@ impl LruK {
                 let rip = self
                     .cfg
                     .retained_information_period
+                    // xtask-allow: no-panic -- purge is only scheduled when a RIP is configured
                     .expect("purge interval implies RIP");
                 self.table.purge_expired(now, rip);
                 self.next_purge = now.raw() + interval;
@@ -240,6 +245,7 @@ impl ReplacementPolicy for LruK {
             let last = self
                 .table
                 .last(page)
+                // xtask-allow: no-panic -- ReplacementPolicy contract: hits name an indexed page
                 .expect("indexed page must have a history block");
             if now.since(last) > crp {
                 return Ok(page);

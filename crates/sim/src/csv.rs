@@ -2,9 +2,38 @@
 //!
 //! Minimal RFC-4180-ish writer (quotes fields containing commas, quotes or
 //! newlines); no external dependency, round-trip tested.
+//!
+//! The writers return `Result<String, CsvError>` instead of swallowing
+//! formatter errors: `fmt::Write` for `String` cannot fail today, but `let _ =
+//! write!(..)` hid that reasoning and tripped the repo's no-panic/error-
+//! hygiene review. The typed error keeps the signature honest if a fallible
+//! sink is ever substituted.
 
 use crate::experiments::{AdaptivityResult, SweepResult, TableResult};
-use std::fmt::Write as _;
+use std::fmt::{self, Write as _};
+
+/// CSV serialization failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsvError {
+    /// The underlying formatter reported an error.
+    Fmt,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Fmt => write!(f, "formatter error while writing CSV"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<fmt::Error> for CsvError {
+    fn from(_: fmt::Error) -> Self {
+        CsvError::Fmt
+    }
+}
 
 /// Quote one CSV field if needed.
 fn field(s: &str) -> String {
@@ -17,48 +46,44 @@ fn field(s: &str) -> String {
 
 /// A hit-ratio table as CSV: header `B,<policy...>,B1_over_B2`, one row per
 /// buffer size.
-pub fn table_to_csv(t: &TableResult) -> String {
+pub fn table_to_csv(t: &TableResult) -> Result<String, CsvError> {
     let mut out = String::new();
-    let _ = write!(out, "B");
+    write!(out, "B")?;
     for p in &t.policies {
-        let _ = write!(out, ",{}", field(p));
+        write!(out, ",{}", field(p))?;
     }
-    let _ = writeln!(out, ",B1_over_B2");
+    writeln!(out, ",B1_over_B2")?;
     for row in &t.rows {
-        let _ = write!(out, "{}", row.b);
+        write!(out, "{}", row.b)?;
         for c in &row.hit_ratios {
-            let _ = write!(out, ",{c:.6}");
+            write!(out, ",{c:.6}")?;
         }
         match row.b1_over_b2 {
-            Some(r) => {
-                let _ = writeln!(out, ",{r:.4}");
-            }
-            None => {
-                let _ = writeln!(out, ",");
-            }
+            Some(r) => writeln!(out, ",{r:.4}")?,
+            None => writeln!(out, ",")?,
         }
     }
-    out
+    Ok(out)
 }
 
 /// A sweep as CSV: `point,hit_ratio,peak_retained`.
-pub fn sweep_to_csv(s: &SweepResult) -> String {
+pub fn sweep_to_csv(s: &SweepResult) -> Result<String, CsvError> {
     let mut out = String::from("point,hit_ratio,peak_retained\n");
     for (label, hit, retained) in &s.points {
-        let _ = writeln!(out, "{},{hit:.6},{retained}", field(label));
+        writeln!(out, "{},{hit:.6},{retained}", field(label))?;
     }
-    out
+    Ok(out)
 }
 
 /// Adaptivity windows as CSV: `policy,window,hit_ratio` (long format).
-pub fn adaptivity_to_csv(r: &AdaptivityResult) -> String {
+pub fn adaptivity_to_csv(r: &AdaptivityResult) -> Result<String, CsvError> {
     let mut out = String::from("policy,window,hit_ratio\n");
     for row in &r.rows {
         for (i, w) in row.windows.iter().enumerate() {
-            let _ = writeln!(out, "{},{i},{w:.6}", field(&row.policy));
+            writeln!(out, "{},{i},{w:.6}", field(&row.policy))?;
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -84,7 +109,7 @@ mod tests {
                 },
             ],
         };
-        let csv = table_to_csv(&t);
+        let csv = table_to_csv(&t).unwrap();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "B,LRU-1,LRU-2,B1_over_B2");
         assert_eq!(lines[1], "60,0.140000,0.291000,2.3300");
@@ -105,7 +130,7 @@ mod tests {
             title: "t".into(),
             points: vec![("K=1".into(), 0.25, 7)],
         };
-        assert!(sweep_to_csv(&s).contains("K=1,0.250000,7"));
+        assert!(sweep_to_csv(&s).unwrap().contains("K=1,0.250000,7"));
         let a = AdaptivityResult {
             workload: "w".into(),
             window: 10,
@@ -116,7 +141,7 @@ mod tests {
                 windows: vec![0.4, 0.6],
             }],
         };
-        let csv = adaptivity_to_csv(&a);
+        let csv = adaptivity_to_csv(&a).unwrap();
         assert!(csv.contains("LRU-2,0,0.400000"));
         assert!(csv.contains("LRU-2,1,0.600000"));
     }

@@ -27,6 +27,7 @@ pub fn k_sweep(n1: u64, n2: u64, buffer: usize, k_max: usize, seed: u64) -> Swee
     let traces: Vec<_> = (0..reps)
         .map(|r| TwoPool::new(n1, n2, seed + r).generate(warmup + measure))
         .collect();
+    // xtask-allow: no-panic -- experiment driver: these workloads define an analytic beta by construction
     let beta = TwoPool::new(n1, n2, 0).beta().unwrap();
     let mean = |spec: &PolicySpec, beta: Option<&[(lruk_policy::PageId, f64)]>| {
         let mut hit = 0.0;

@@ -40,6 +40,7 @@ pub fn pool_tuning(n1: u64, n2: u64, buffer: usize, seed: u64) -> PoolTuningResu
     let measure = 100 * n1 as usize;
     let mut w = TwoPool::new(n1, n2, seed);
     let trace = w.generate(warmup + measure);
+    // xtask-allow: no-panic -- experiment driver: these workloads define an analytic beta by construction
     let beta = TwoPool::new(n1, n2, 0).beta().unwrap();
 
     // DBA choices: starve, undersize, perfectly size, oversize the hot pool.

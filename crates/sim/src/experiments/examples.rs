@@ -51,12 +51,15 @@ pub fn example1_1(customers: u64, lookups: usize, buffer: usize, seed: u64) -> E
     let est_pages = (customers / 2 + customers / 200 + 64) as usize;
     let mut pool = BufferPoolManager::new(est_pages, InMemoryDisk::unbounded(), Box::new(rec));
     let mut heap = HeapFile::new();
+    // xtask-allow: no-panic -- experiment driver on an unbounded in-memory disk; abort-on-bug is intended
     let mut index = BTree::create(&mut pool).expect("btree");
     let mut rids: Vec<Rid> = Vec::with_capacity(customers as usize);
     for id in 0..customers {
         let rid = heap
             .insert(&mut pool, &CustomerRecord::synthetic(id).encode())
+            // xtask-allow: no-panic -- experiment driver on an unbounded in-memory disk; abort-on-bug is intended
             .expect("insert");
+        // xtask-allow: no-panic -- experiment driver on an unbounded in-memory disk; abort-on-bug is intended
         index.insert(&mut pool, id, rid.to_u64()).expect("index");
         rids.push(rid);
     }
@@ -64,6 +67,7 @@ pub fn example1_1(customers: u64, lookups: usize, buffer: usize, seed: u64) -> E
 
     let index_pages: std::collections::HashSet<PageId> = index
         .leaf_pages(&mut pool)
+        // xtask-allow: no-panic -- experiment driver on an unbounded in-memory disk; abort-on-bug is intended
         .expect("leaves")
         .into_iter()
         .chain(std::iter::once(index.root()))
@@ -76,11 +80,13 @@ pub fn example1_1(customers: u64, lookups: usize, buffer: usize, seed: u64) -> E
     for _ in 0..lookups {
         let id = rng.random_range(0..customers);
         handle.set_kind(AccessKind::Index);
+        // xtask-allow: no-panic -- experiment driver: every key was inserted above; abort-on-bug is intended
         let rid = Rid::from_u64(index.search(&mut pool, id).expect("search").expect("present"));
         handle.set_kind(AccessKind::Random);
         heap.get(&mut pool, rid, |d| {
             debug_assert_eq!(CustomerRecord::decode(d).cust_id, id);
         })
+        // xtask-allow: no-panic -- experiment driver on an unbounded in-memory disk; abort-on-bug is intended
         .expect("fetch");
     }
     let trace = handle.take("example-1.1");

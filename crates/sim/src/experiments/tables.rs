@@ -31,6 +31,7 @@ pub(crate) fn table4_1_setup(
     let traces = repetition_traces(scale, warmup + measure, |seed| {
         Box::new(TwoPool::new(n1, n2, seed))
     });
+    // xtask-allow: no-panic -- experiment driver: these workloads define an analytic beta by construction
     let beta = TwoPool::new(n1, n2, 0).beta().unwrap();
     TableSetup {
         title: "Table 4.1 (two-pool experiment)".into(),
@@ -70,6 +71,7 @@ pub(crate) fn table4_2_setup(n: u64, buffer_sizes: &[usize], scale: &ExperimentS
     let traces = repetition_traces(scale, warmup + measure, |seed| {
         Box::new(Zipfian::new(n, 0.8, 0.2, seed))
     });
+    // xtask-allow: no-panic -- experiment driver: these workloads define an analytic beta by construction
     let beta = Zipfian::new(n, 0.8, 0.2, 0).beta().unwrap();
     TableSetup {
         title: "Table 4.2 (Zipfian random access)".into(),

@@ -156,10 +156,12 @@ impl PolicySpec {
             }
             PolicySpec::HintedLru => Box::new(HintedLru::new()),
             PolicySpec::A0 => {
+                // xtask-allow: no-panic -- documented precondition: A0 is only instantiated for analytic workloads
                 let beta = beta.expect("A0 needs the workload's β vector");
                 Box::new(ProbOracle::new(beta.iter().copied()))
             }
             PolicySpec::Opt => {
+                // xtask-allow: no-panic -- documented precondition: OPT is only instantiated with a full trace
                 let trace = trace.expect("OPT needs the full trace");
                 Box::new(BeladyOpt::for_trace(trace))
             }

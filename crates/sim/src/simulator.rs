@@ -143,6 +143,7 @@ fn run(
             if resident.len() == capacity {
                 let victim = policy
                     .select_victim(now)
+                    // xtask-allow: no-panic -- the simulator never pins, so a full pool always has a victim
                     .expect("simulator never pins; victim must exist");
                 let removed = resident.remove(&victim);
                 assert!(removed, "policy evicted a non-resident page {victim:?}");

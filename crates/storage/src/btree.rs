@@ -43,12 +43,23 @@ pub const MAX_ENTRIES: usize = (PAGE_SIZE - HEADER) / ENTRY;
 pub enum BTreeError {
     /// Buffer pool / disk failure.
     Buffer(BufferError),
+    /// A descent reached a page whose type is neither leaf nor internal —
+    /// the tree structure (or the page table pointing into it) is corrupt.
+    CorruptNode {
+        /// The page holding the unexpected type.
+        page: PageId,
+        /// The page type actually found there.
+        got: PageType,
+    },
 }
 
 impl fmt::Display for BTreeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BTreeError::Buffer(e) => write!(f, "buffer error: {e}"),
+            BTreeError::CorruptNode { page, got } => {
+                write!(f, "b-tree node {page} has unexpected page type {got:?}")
+            }
         }
     }
 }
@@ -244,7 +255,10 @@ impl BTree {
                     pool.unpin_page(page, false)?;
                     page = child;
                 }
-                other => panic!("b-tree descent hit a {other:?} page"),
+                other => {
+                    pool.unpin_page(page, false)?;
+                    return Err(BTreeError::CorruptNode { page, got: other });
+                }
             }
         }
     }
@@ -333,7 +347,10 @@ impl BTree {
                 pool.unpin_page(page, true)?;
                 Ok((old, split))
             }
-            other => panic!("b-tree descent hit a {other:?} page"),
+            other => {
+                pool.unpin_page(page, false)?;
+                Err(BTreeError::CorruptNode { page, got: other })
+            }
         }
     }
 
@@ -373,6 +390,7 @@ impl BTree {
         set_link(rbuf, next_link);
         pool.unpin_page(right_page, true)?;
         let _ = left_page;
+        // xtask-allow: no-panic -- a split always moves at least one entry into `upper`
         Ok((upper[0].0, right_page))
     }
 
@@ -442,7 +460,10 @@ impl BTree {
                     pool.unpin_page(page, false)?;
                     page = child;
                 }
-                other => panic!("b-tree descent hit a {other:?} page"),
+                other => {
+                    pool.unpin_page(page, false)?;
+                    return Err(BTreeError::CorruptNode { page, got: other });
+                }
             }
         }
     }
@@ -551,6 +572,7 @@ impl BTree {
         let mut leaf_depths = Vec::new();
         self.validate_rec(pool, self.root, u64::MIN, u64::MAX, 1, &mut leaf_depths)?;
         assert!(
+            // xtask-allow: no-panic -- windows(2) yields exactly-2-element slices
             leaf_depths.windows(2).all(|w| w[0] == w[1]),
             "leaves at differing depths: {leaf_depths:?}"
         );
@@ -619,7 +641,10 @@ impl BTree {
                     self.validate_rec(pool, child, clo, chi, depth + 1, leaf_depths)?;
                 }
             }
-            other => panic!("b-tree validate hit a {other:?} page"),
+            other => {
+                pool.unpin_page(page, false)?;
+                return Err(BTreeError::CorruptNode { page, got: other });
+            }
         }
         Ok(())
     }

@@ -21,9 +21,23 @@
 //! touches the *pages* of successive members, which is what makes
 //! navigational workloads distinctive for a buffer manager.
 
-use crate::btree::BTree;
+use crate::btree::{BTree, BTreeError};
 use crate::heap::{HeapError, HeapFile, Rid};
 use crate::layout::{get_f64, get_u64, put_f64, put_u64};
+
+/// Map an index (B+tree) failure into the CODASYL emulation's error type.
+/// A corrupt tree node has no heap-level representation; it surfaces as the
+/// buffer-pool invariant failure it fundamentally is.
+fn index_error(e: BTreeError) -> HeapError {
+    match e {
+        BTreeError::Buffer(b) => HeapError::Buffer(b),
+        BTreeError::CorruptNode { .. } => {
+            HeapError::Buffer(lruk_buffer::BufferError::Invariant(
+                "corrupt b-tree index node",
+            ))
+        }
+    }
+}
 use lruk_buffer::{BufferPoolManager, DiskManager};
 use serde::{Deserialize, Serialize};
 
@@ -144,7 +158,7 @@ impl BankDb {
         let mut accounts = HeapFile::new();
         let mut history = HeapFile::new();
         let mut account_index =
-            BTree::create(pool).map_err(|crate::btree::BTreeError::Buffer(e)| HeapError::Buffer(e))?;
+            BTree::create(pool).map_err(index_error)?;
 
         let mut branch_rids = Vec::with_capacity(cfg.branches as usize);
         for b in 0..cfg.branches {
@@ -186,7 +200,7 @@ impl BankDb {
             })?;
             account_index
                 .insert(pool, a, rid.to_u64())
-                .map_err(|crate::btree::BTreeError::Buffer(e)| HeapError::Buffer(e))?;
+                .map_err(index_error)?;
             account_rids.push(rid);
         }
         history.preallocate(pool, cfg.history_pages as usize)?;
@@ -235,7 +249,7 @@ impl BankDb {
         let found = self
             .account_index
             .search(pool, account_id)
-            .map_err(|crate::btree::BTreeError::Buffer(e)| HeapError::Buffer(e))?;
+            .map_err(index_error)?;
         Ok(found.map(Rid::from_u64))
     }
 
@@ -330,6 +344,7 @@ impl BankDb {
     ) -> Result<usize, HeapError> {
         let arid = self
             .account_rid(pool, account_id)?
+            // xtask-allow: no-panic -- account ids come from the generator that populated the index
             .expect("indexed account must exist");
         let mut cursor = self.accounts.get(pool, arid, |d| get_u64(d, A_FIRST_HIST))?;
         let mut visited = 0;

@@ -19,6 +19,7 @@ pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
 /// Read a `u32` at `off`.
 #[inline]
 pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    // xtask-allow: no-panic -- a 4-byte slice always converts to [u8; 4]
     u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
 }
 
@@ -31,6 +32,7 @@ pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
 /// Read a `u64` at `off`.
 #[inline]
 pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    // xtask-allow: no-panic -- an 8-byte slice always converts to [u8; 8]
     u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
 }
 
@@ -43,6 +45,7 @@ pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
 /// Read an `f64` at `off`.
 #[inline]
 pub fn get_f64(buf: &[u8], off: usize) -> f64 {
+    // xtask-allow: no-panic -- an 8-byte slice always converts to [u8; 8]
     f64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
 }
 

@@ -169,6 +169,7 @@ impl<D: DiskManager> DiskManager for WalDisk<D> {
 
     fn write_page(&mut self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
         // The WAL rule.
+        // xtask-allow: no-panic -- std Mutex poisoning only follows another holder's panic, which already aborted
         self.wal.lock().unwrap().flush();
         self.inner.write_page(page, data)
     }
@@ -223,8 +224,10 @@ pub fn recover<D: DiskManager>(disk: &mut D, wal: &Wal) -> Vec<TxnId> {
             if !disk.is_allocated(*page) {
                 continue; // page vanished with an unflushed allocation
             }
+            // xtask-allow: no-panic -- allocation was checked above; recovery aborts on I/O failure by design
             disk.read_page(*page, &mut buf).expect("redo read");
             buf[*offset as usize..*offset as usize + after.len()].copy_from_slice(after);
+            // xtask-allow: no-panic -- recovery aborts on I/O failure by design (no safe partial-redo state)
             disk.write_page(*page, &buf).expect("redo write");
         }
     }
@@ -241,8 +244,10 @@ pub fn recover<D: DiskManager>(disk: &mut D, wal: &Wal) -> Vec<TxnId> {
             if committed.contains(txn) || !disk.is_allocated(*page) {
                 continue;
             }
+            // xtask-allow: no-panic -- allocation was checked above; recovery aborts on I/O failure by design
             disk.read_page(*page, &mut buf).expect("undo read");
             buf[*offset as usize..*offset as usize + before.len()].copy_from_slice(before);
+            // xtask-allow: no-panic -- recovery aborts on I/O failure by design (no safe partial-undo state)
             disk.write_page(*page, &buf).expect("undo write");
         }
     }
@@ -267,6 +272,7 @@ pub fn logged_counter_add<D: DiskManager>(
     data[offset..offset + 8].copy_from_slice(&value.to_le_bytes());
     let after = data[offset..offset + 8].to_vec();
     wal.lock()
+        // xtask-allow: no-panic -- std Mutex poisoning only follows another holder's panic, which already aborted
         .unwrap()
         .log_update(txn, page, offset, &before, &after);
     pool.unpin_page(page, true)?;

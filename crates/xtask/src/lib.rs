@@ -1,0 +1,43 @@
+//! # xtask — the repo-native static-analysis suite
+//!
+//! Invoked as `cargo run -p xtask -- analyze` (or `scripts/analyze.sh`),
+//! this crate is a dependency-free, line/token-level Rust source scanner
+//! with pluggable rules, built for an offline build environment (no `syn`,
+//! no network). It exists because PR 1 made the buffer-pool hot path
+//! concurrent — exactly the point where latent bugs (lock-order inversions,
+//! panics-as-error-handling, nondeterminism in the simulator) stop being
+//! visible to tier-1 tests.
+//!
+//! ## Rules
+//!
+//! | rule | scope | checks |
+//! |------|-------|--------|
+//! | `no-panic` | core, policy, buffer, storage, sim | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/literal indexing in non-test library code |
+//! | `lock-order` | buffer | nested latch acquisitions follow the declared hierarchy (shard latch → frame latch → disk handle) |
+//! | `determinism` | sim, workloads, core | no `SystemTime`/`Instant`/`thread_rng`/std `HashMap` in simulator-result paths |
+//! | `lint-header` | all crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` present |
+//!
+//! ## Suppressions
+//!
+//! `// xtask-allow: <rule>[, <rule>] -- <reason>` on (or directly above) the
+//! offending line; `// xtask-allow-file: <rule> -- <reason>` for a whole
+//! file. The `-- reason` is required by convention: a suppression without an
+//! argument for why the site is infallible will not survive review.
+//!
+//! ## Output
+//!
+//! Human-readable `file:line: [rule] message` diagnostics on stdout plus a
+//! deterministic JSON summary at `results/ANALYZE.json` (schema in
+//! [`report`]); the process exits non-zero iff any diagnostic survived
+//! suppression filtering, which is how `scripts/tier1.sh` gates on it.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod report;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use report::{Diagnostic, Summary};
+pub use workspace::{analyze_root, AnalyzeError};

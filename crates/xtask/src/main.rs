@@ -1,0 +1,107 @@
+//! CLI entry point: `cargo run -p xtask -- analyze [--root DIR] [--json PATH] [--quiet]`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match cmd.as_str() {
+        "analyze" => analyze(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+xtask — repo-native static analysis
+
+USAGE:
+    cargo run -p xtask -- analyze [--root DIR] [--json PATH] [--quiet]
+
+OPTIONS:
+    --root DIR     workspace root to scan (default: this workspace)
+    --json PATH    where to write the JSON summary
+                   (default: <root>/results/ANALYZE.json)
+    --quiet        suppress the per-diagnostic lines, print totals only
+
+Exits 0 when clean, 1 on any diagnostic, 2 on usage/IO errors.";
+
+fn analyze(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => root = it.next().map(PathBuf::from),
+            "--json" => json = it.next().map(PathBuf::from),
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown option `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `cargo run` executes from the invoker's cwd; the compiled-in manifest
+    // dir locates the workspace this binary belongs to. When built outside
+    // cargo (scripts/analyze.sh bootstrap path) fall back to the cwd, which
+    // the script guarantees is the workspace root.
+    let root = root.unwrap_or_else(|| match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir).join("../.."),
+        None => PathBuf::from("."),
+    });
+    let summary = match xtask::analyze_root(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("analyze failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        for d in &summary.diagnostics {
+            println!("{d}");
+        }
+    }
+    let json_path = json.unwrap_or_else(|| root.join("results/ANALYZE.json"));
+    if let Some(parent) = json_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("cannot create {}: {e}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&json_path, summary.to_json()) {
+        eprintln!("cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    let counts: Vec<String> = summary
+        .rule_counts
+        .iter()
+        .map(|(rule, n)| format!("{rule}: {n}"))
+        .collect();
+    println!(
+        "analyze: {} files, {} diagnostics ({}), {} suppressed -> {}",
+        summary.files_scanned,
+        summary.diagnostics.len(),
+        counts.join(", "),
+        summary.suppressed,
+        json_path.display()
+    );
+    if summary.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

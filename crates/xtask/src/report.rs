@@ -1,0 +1,127 @@
+//! Diagnostics and the machine-readable JSON summary.
+//!
+//! The JSON is hand-rolled (the analyzer is dependency-free) and fully
+//! deterministic — diagnostics sorted by `(file, line, rule)`, rule counts in
+//! a sorted map, no timestamps — so `results/ANALYZE.json` can be diffed
+//! across PRs to see exactly which rule counts moved.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One finding: a rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (e.g. `no-panic`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// The result of one full analysis run.
+#[derive(Debug, Default)]
+pub struct Summary {
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Violations that survived suppression filtering, sorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of violations silenced by `xtask-allow` comments.
+    pub suppressed: usize,
+    /// Per-rule violation counts (every registered rule has an entry, even
+    /// at zero, so JSON diffs show rules appearing/disappearing).
+    pub rule_counts: BTreeMap<&'static str, usize>,
+}
+
+impl Summary {
+    /// True when no violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Render the deterministic JSON summary.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"total_diagnostics\": {},", self.diagnostics.len());
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"rule_counts\": {");
+        for (i, (rule, count)) in self.rule_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(rule), count);
+        }
+        out.push_str("\n  },\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(d.rule),
+                json_str(&d.file),
+                d.line,
+                json_str(&d.message)
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Escape `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_escaped() {
+        let mut s = Summary {
+            files_scanned: 2,
+            ..Default::default()
+        };
+        s.rule_counts.insert("no-panic", 1);
+        s.diagnostics.push(Diagnostic {
+            file: "a\\b.rs".into(),
+            line: 3,
+            rule: "no-panic",
+            message: "say \"no\"".into(),
+        });
+        let j = s.to_json();
+        assert_eq!(j, s.to_json());
+        assert!(j.contains("\"a\\\\b.rs\""));
+        assert!(j.contains("say \\\"no\\\""));
+        assert!(j.contains("\"total_diagnostics\": 1"));
+    }
+}

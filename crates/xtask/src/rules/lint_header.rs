@@ -1,0 +1,83 @@
+//! `lint-header`: every crate root must carry the workspace lint policy.
+//!
+//! The policy itself lives in `[workspace.lints]` in the root `Cargo.toml`
+//! (`unsafe_code = "forbid"`, `missing_docs = "deny"`); the crate-root
+//! attributes are the belt-and-suspenders copy this rule enforces, so a
+//! crate that drops `[lints] workspace = true` from its manifest — or is
+//! built outside the workspace — still carries the policy in-source.
+//!
+//! A crate root is `src/lib.rs` or `src/main.rs` of a workspace member
+//! (`src/bin/*.rs` helper binaries inherit the package-level `[lints]` and
+//! are not required to repeat the attributes).
+
+use crate::report::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "lint-header";
+
+/// Attributes every crate root must contain.
+const REQUIRED: &[&str] = &["#![forbid(unsafe_code)]", "#![deny(missing_docs)]"];
+
+/// True when `path` (workspace-relative) is a crate root this rule covers.
+pub fn is_crate_root(path: &str) -> bool {
+    path == "src/lib.rs"
+        || path == "src/main.rs"
+        || (path.starts_with("crates/")
+            && (path.ends_with("/src/lib.rs") || path.ends_with("/src/main.rs"))
+            && path.matches('/').count() == 3)
+}
+
+/// Run the rule over one file (no-op unless it is a crate root).
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_crate_root(&file.path) {
+        return;
+    }
+    for attr in REQUIRED {
+        let present = file.lines.iter().any(|l| l.code.contains(attr));
+        if !present {
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: 1,
+                rule: NAME,
+                message: format!(
+                    "crate root is missing `{attr}` (workspace lint policy, see DESIGN.md §4.2)"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_paths() {
+        assert!(is_crate_root("src/lib.rs"));
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(is_crate_root("crates/xtask/src/main.rs"));
+        assert!(!is_crate_root("crates/core/src/history.rs"));
+        assert!(!is_crate_root("crates/bench/src/bin/table4_1.rs"));
+    }
+
+    #[test]
+    fn missing_attrs_are_flagged_individually() {
+        let f = SourceFile::parse("crates/core/src/lib.rs", "//! Docs.\n#![forbid(unsafe_code)]\n");
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("missing_docs"));
+    }
+
+    #[test]
+    fn complete_header_is_clean() {
+        let f = SourceFile::parse(
+            "crates/core/src/lib.rs",
+            "//! Docs.\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n",
+        );
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! `lock-order`: check nested latch acquisitions against the declared
+//! hierarchy of the buffer crate.
+//!
+//! # The declared hierarchy
+//!
+//! `DESIGN.md` §4.2 declares the buffer-pool lock order as
+//! **shard/pool latch → frame latch → disk handle**, with the disk handle's
+//! internal locks refined into sub-levels (alloc mutex → directory lock →
+//! page-slot lock → whole-disk mutex). A thread holding a latch may only
+//! acquire latches at a *higher* level; acquiring downward — or nesting two
+//! shard latches — is the classic deadlock shape this rule exists to catch
+//! before a stress test ever interleaves it.
+//!
+//! # How it works (and what it cannot see)
+//!
+//! Per function, the rule extracts `.lock()` / `.read()` / `.write()` /
+//! `.read_recursive()` calls, classifies each receiver's final path
+//! component against [`HIERARCHY`], and simulates the held set: `let`-bound
+//! guards live to the end of their block (or an explicit `drop(name)`);
+//! un-bound temporaries live to the end of their statement. Acquiring at a
+//! level ≤ any currently-held level is flagged (equal levels are allowed for
+//! frame latches — `read_recursive` nesting is part of the protocol — but
+//! not for shard latches, where lock-step cross-shard nesting deadlocks).
+//!
+//! The analysis is per-function and lexical: it does not follow calls, so a
+//! callee that re-acquires is checked in its own body, and receivers it
+//! cannot classify are ignored. The `cfg(debug_assertions)` runtime tracker
+//! in `lruk_buffer::invariants` covers the dynamic side — including the
+//! documented pinned-frame re-entry exception that a lexical tool cannot
+//! model.
+
+use crate::report::Diagnostic;
+use crate::rules::{is_ident_char, next_nonspace, token_positions};
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "lock-order";
+
+/// One entry of the declared hierarchy: receiver name -> level.
+pub struct LockClass {
+    /// Restrict the mapping to files whose path ends with this suffix.
+    pub file_suffix: Option<&'static str>,
+    /// Final receiver path component (`core` in `shard.core.lock()`).
+    pub receiver: &'static str,
+    /// Position in the hierarchy; acquisitions must strictly increase
+    /// (except same-level frame latches).
+    pub level: u8,
+    /// Human-readable latch name for diagnostics.
+    pub label: &'static str,
+}
+
+/// Level assigned to frame latches (same-level nesting allowed: recursive
+/// shared reads of the same page are part of the documented protocol).
+const FRAME_LEVEL: u8 = 1;
+
+/// The declared lock hierarchy of `crates/buffer` (see module docs).
+pub const HIERARCHY: &[LockClass] = &[
+    LockClass { file_suffix: None, receiver: "core", level: 0, label: "shard core latch" },
+    LockClass { file_suffix: None, receiver: "shards", level: 0, label: "shard latch" },
+    LockClass { file_suffix: None, receiver: "shard", level: 0, label: "shard latch" },
+    LockClass { file_suffix: Some("concurrent.rs"), receiver: "inner", level: 0, label: "pool-global latch" },
+    LockClass { file_suffix: None, receiver: "data", level: FRAME_LEVEL, label: "frame latch" },
+    LockClass { file_suffix: None, receiver: "frames", level: FRAME_LEVEL, label: "frame latch" },
+    LockClass { file_suffix: None, receiver: "alloc", level: 2, label: "disk alloc mutex" },
+    LockClass { file_suffix: None, receiver: "directory", level: 3, label: "disk directory lock" },
+    LockClass { file_suffix: None, receiver: "dir", level: 3, label: "disk directory lock" },
+    LockClass { file_suffix: None, receiver: "slot", level: 4, label: "disk page-slot lock" },
+    LockClass { file_suffix: None, receiver: "disk", level: 5, label: "disk mutex" },
+    LockClass { file_suffix: None, receiver: "inner", level: 5, label: "disk mutex" },
+];
+
+/// Acquisition method calls recognized on latch receivers.
+const ACQUIRE_METHODS: &[&str] = &["read_recursive", "lock", "read", "write"];
+
+/// A latch currently held in the per-function simulation.
+struct Held {
+    label: &'static str,
+    level: u8,
+    /// Brace depth at acquisition; the guard dies when depth drops below.
+    depth: u32,
+    /// `let`-binding name, for `drop(name)` releases.
+    name: Option<String>,
+    /// Statement-scoped temporary (released at the next `;` at its depth).
+    stmt: bool,
+    line: usize,
+}
+
+/// Per-function simulation state; a `fn` token pushes one, its body's
+/// closing brace pops it. Lock events land in the innermost context.
+struct FnCtx {
+    body_depth: Option<u32>,
+    held: Vec<Held>,
+}
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let mut fns: Vec<FnCtx> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = &line.code;
+        let mut depth = line.depth_start;
+        if !token_positions(code, "fn").is_empty() {
+            fns.push(FnCtx { body_depth: None, held: Vec::new() });
+        }
+        let bytes = code.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    if let Some(f) = fns.last_mut() {
+                        if f.body_depth.is_none() {
+                            f.body_depth = Some(depth);
+                        }
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    for f in &mut fns {
+                        f.held.retain(|h| h.depth <= depth);
+                    }
+                    if fns.last().is_some_and(|f| f.body_depth == Some(depth)) {
+                        fns.pop();
+                    }
+                }
+                b';' => {
+                    if let Some(f) = fns.last_mut() {
+                        f.held.retain(|h| !(h.stmt && h.depth >= depth));
+                    }
+                }
+                b'.' => {
+                    if let Some((method, after)) = acquire_method_at(code, i) {
+                        if !line.exempt {
+                            record_acquisition(file, code, i, lineno, depth, method, &mut fns, out);
+                        }
+                        i = after;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !line.exempt {
+            release_dropped_guards(code, &mut fns);
+        }
+    }
+}
+
+/// `drop(name)` releases the named guard in the innermost function.
+fn release_dropped_guards(code: &str, fns: &mut [FnCtx]) {
+    for pos in token_positions(code, "drop") {
+        if next_nonspace(code, pos + 4) != Some('(') {
+            continue;
+        }
+        let inner: String = code[pos + 4..]
+            .chars()
+            .skip_while(|&c| c != '(')
+            .skip(1)
+            .take_while(|&c| c != ')')
+            .collect();
+        let name = inner.trim().to_string();
+        if let Some(f) = fns.last_mut() {
+            f.held.retain(|h| h.name.as_deref() != Some(name.as_str()));
+        }
+    }
+}
+
+/// If `code[dot..]` starts an `.<acquire-method>()` call, return the method
+/// and the byte index just past the method name.
+fn acquire_method_at(code: &str, dot: usize) -> Option<(&'static str, usize)> {
+    for m in ACQUIRE_METHODS {
+        let start = dot + 1;
+        if code[start..].starts_with(m) && code[start + m.len()..].starts_with("()") {
+            return Some((m, start + m.len()));
+        }
+    }
+    None
+}
+
+/// Classify and diagnose one acquisition, then add it to the held set.
+fn record_acquisition(
+    file: &SourceFile,
+    code: &str,
+    dot: usize,
+    lineno: usize,
+    depth: u32,
+    method: &'static str,
+    fns: &mut [FnCtx],
+    out: &mut Vec<Diagnostic>,
+) {
+    let Some(ctx) = fns.last_mut() else { return };
+    let Some(receiver) = receiver_last_component(code, dot) else {
+        return;
+    };
+    let Some(class) = classify(&file.path, &receiver) else {
+        return;
+    };
+    for h in &ctx.held {
+        let inverted =
+            h.level > class.level || (h.level == class.level && class.level != FRAME_LEVEL);
+        if inverted {
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: lineno,
+                rule: NAME,
+                message: format!(
+                    "lock-order inversion: acquiring {} (level {}) via `.{}()` while holding {} (level {}) taken at line {}; declared hierarchy: shard/pool latch -> frame latch -> disk handle",
+                    class.label, class.level, method, h.label, h.level, h.line
+                ),
+            });
+        }
+    }
+    let (name, stmt) = let_binding_before(code, dot);
+    ctx.held.push(Held {
+        label: class.label,
+        level: class.level,
+        depth,
+        name,
+        stmt,
+        line: lineno,
+    });
+}
+
+/// Walk backwards from the `.` of an acquisition to the receiver's final
+/// path component: `shard.frames[i].data.write()` -> `data`.
+fn receiver_last_component(code: &str, dot: usize) -> Option<String> {
+    let chars: Vec<char> = code[..dot].chars().collect();
+    let mut i = chars.len();
+    // Skip a trailing bracket/paren group (e.g. `shards[self.shard_of(p)]`).
+    while i > 0 {
+        let c = chars[i - 1];
+        if c == ']' || c == ')' {
+            let open = if c == ']' { '[' } else { '(' };
+            let mut nest = 0;
+            while i > 0 {
+                let d = chars[i - 1];
+                if d == c {
+                    nest += 1;
+                } else if d == open {
+                    nest -= 1;
+                    if nest == 0 {
+                        i -= 1;
+                        break;
+                    }
+                }
+                i -= 1;
+            }
+            continue;
+        }
+        break;
+    }
+    let end = i;
+    while i > 0 && is_ident_char(chars[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(chars[i..end].iter().collect())
+}
+
+/// Map `(file, receiver)` to its hierarchy entry (first match wins, so
+/// file-specific entries precede generic ones).
+fn classify(path: &str, receiver: &str) -> Option<&'static LockClass> {
+    HIERARCHY
+        .iter()
+        .find(|c| c.receiver == receiver && c.file_suffix.is_none_or(|suf| path.ends_with(suf)))
+}
+
+/// Detect a `let [mut] name =` governing the acquisition; the bool is
+/// `stmt` (true when the guard is an unbound temporary).
+fn let_binding_before(code: &str, dot: usize) -> (Option<String>, bool) {
+    let stmt_start = code[..dot].rfind([';', '{']).map(|p| p + 1).unwrap_or(0);
+    let seg = &code[stmt_start..dot];
+    for pos in token_positions(seg, "let") {
+        let rest = seg[pos + 3..].trim_start();
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+        let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+        if !name.is_empty() && rest[name.len()..].trim_start().starts_with('=') {
+            return (Some(name), false);
+        }
+    }
+    (None, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn forward_order_is_clean() {
+        let src = "fn pin(&self) {\n    let mut core = self.shards[i].core.lock();\n    {\n        let mut data = shard.frames[fid].data.write();\n        self.disk.lock();\n    }\n}\n";
+        assert!(run("crates/buffer/src/latched.rs", src).is_empty());
+    }
+
+    #[test]
+    fn frame_then_core_is_an_inversion() {
+        let src = "fn bad(&self) {\n    let data = shard.frames[fid].data.read();\n    let mut core = shard.core.lock();\n}\n";
+        let d = run("crates/buffer/src/latched.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("shard core latch"));
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn cross_shard_core_nesting_is_flagged() {
+        let src = "fn bad(&self) {\n    let a = self.shards[0].core.lock();\n    let b = self.shards[1].core.lock();\n}\n";
+        assert_eq!(run("crates/buffer/src/latched.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn drop_releases_named_guard() {
+        let src = "fn ok(&self) {\n    let data = frame.data.read();\n    drop(data);\n    let mut core = shard.core.lock();\n}\n";
+        assert!(run("crates/buffer/src/latched.rs", src).is_empty());
+    }
+
+    #[test]
+    fn statement_temporaries_release_at_semicolon() {
+        let src = "fn ok(&self) {\n    self.disk.lock().write_page(p, d);\n    let c = self.shards[0].core.lock();\n}\n";
+        assert!(run("crates/buffer/src/sharded.rs", src).is_empty());
+    }
+
+    #[test]
+    fn recursive_frame_reads_are_allowed() {
+        let src = "fn ok(&self) {\n    let a = f.data.read_recursive();\n    let b = g.data.read_recursive();\n}\n";
+        assert!(run("crates/buffer/src/latched.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(&self) {\n        let d = f.data.read();\n        let c = s.core.lock();\n    }\n}\n";
+        assert!(run("crates/buffer/src/latched.rs", src).is_empty());
+    }
+}

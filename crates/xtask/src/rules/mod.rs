@@ -1,0 +1,48 @@
+//! The pluggable rule set.
+//!
+//! Every rule scans the lexed [`SourceFile`](crate::source::SourceFile)
+//! model (cleaned code, comments stripped, test regions pre-marked) and
+//! emits [`Diagnostic`](crate::report::Diagnostic)s. Scoping — which crates
+//! a rule applies to — lives in [`crate::workspace`]; suppression filtering
+//! is applied by the driver after the rule runs.
+
+pub mod determinism;
+pub mod lint_header;
+pub mod lock_order;
+pub mod no_panic;
+
+/// True when `c` can be part of an identifier.
+pub(crate) fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Byte positions where `tok` occurs in `code` as a whole token (the
+/// characters on either side, when present, are not identifier characters).
+pub(crate) fn token_positions(code: &str, tok: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(tok) {
+        let pos = from + rel;
+        let before_ok = pos == 0
+            || !is_ident_char(code[..pos].chars().next_back().unwrap_or(' '));
+        let after_ok = code[pos + tok.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + tok.len().max(1);
+    }
+    out
+}
+
+/// The first non-whitespace char at or after byte `pos`.
+pub(crate) fn next_nonspace(code: &str, pos: usize) -> Option<char> {
+    code[pos..].chars().find(|c| !c.is_whitespace())
+}
+
+/// The last non-whitespace char strictly before byte `pos`.
+pub(crate) fn prev_nonspace(code: &str, pos: usize) -> Option<char> {
+    code[..pos].chars().rev().find(|c| !c.is_whitespace())
+}

@@ -1,0 +1,167 @@
+//! `no-panic`: forbid panicking constructs in library code.
+//!
+//! A buffer manager that serves concurrent traffic must degrade through
+//! typed errors, not thread-killing panics — a panic while a shard latch is
+//! poisoned-free (`parking_lot` has no poisoning) leaves shared state
+//! consistent but silently missing a writer. The rule forbids, in non-test
+//! library code:
+//!
+//! * `.unwrap()` and `.expect(...)`,
+//! * `panic!`, `todo!`, `unimplemented!`,
+//! * slice/array indexing with a *literal* index or range (`x[0]`,
+//!   `x[..8]`) — the indexing panics that carry no evidence of a bounds
+//!   check. Variable indexing (`x[i]`) is out of scope: it is usually
+//!   guarded, and flagging it would bury real findings in noise.
+//!
+//! Provably-infallible sites are annotated
+//! `// xtask-allow: no-panic -- <why it cannot fail>`; tests, benches,
+//! examples and `proptest!` bodies are exempt via the source model.
+
+use crate::report::Diagnostic;
+use crate::rules::{next_nonspace, prev_nonspace, token_positions};
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "no-panic";
+
+/// Macro tokens that always panic when reached.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.exempt {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = idx + 1;
+        for pos in token_positions(code, "unwrap") {
+            if prev_nonspace(code, pos) == Some('.')
+                && next_nonspace(code, pos + "unwrap".len()) == Some('(')
+            {
+                push(out, file, lineno, "`.unwrap()` panics on Err/None; return a typed error");
+            }
+        }
+        for pos in token_positions(code, "expect") {
+            if prev_nonspace(code, pos) == Some('.')
+                && next_nonspace(code, pos + "expect".len()) == Some('(')
+            {
+                push(out, file, lineno, "`.expect()` panics on Err/None; return a typed error");
+            }
+        }
+        for mac in PANIC_MACROS {
+            for pos in token_positions(code, mac) {
+                if next_nonspace(code, pos + mac.len()) == Some('!') {
+                    push(out, file, lineno, &format!("`{mac}!` in library code; return a typed error"));
+                }
+            }
+        }
+        check_literal_indexing(code, file, lineno, out);
+    }
+}
+
+/// Flag `expr[<literal>]` / `expr[<literal range>]` indexing.
+fn check_literal_indexing(code: &str, file: &SourceFile, lineno: usize, out: &mut Vec<Diagnostic>) {
+    let bytes = code.as_bytes();
+    for (pos, &b) in bytes.iter().enumerate() {
+        if b != b'[' {
+            continue;
+        }
+        // Indexing only: the receiver ends with an identifier char, a close
+        // bracket or a close paren (rules out array literals, attributes,
+        // `vec![..]`, and type syntax).
+        let Some(prev) = prev_nonspace(code, pos) else {
+            continue;
+        };
+        if !(super::is_ident_char(prev) || prev == ']' || prev == ')') {
+            continue;
+        }
+        let Some(close) = matching_bracket(bytes, pos) else {
+            continue;
+        };
+        let inner = code[pos + 1..close].trim();
+        if is_literal_index(inner) {
+            push(
+                out,
+                file,
+                lineno,
+                &format!("literal index `[{inner}]` can panic; use get()/split-at or prove bounds and annotate"),
+            );
+        }
+    }
+}
+
+/// Find the `]` matching the `[` at `open`.
+fn matching_bracket(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `0`, `17`, `..8`, `2..`, `2..=6` — digits and range dots only, with at
+/// least one digit.
+fn is_literal_index(inner: &str) -> bool {
+    !inner.is_empty()
+        && inner.chars().any(|c| c.is_ascii_digit())
+        && inner
+            .chars()
+            .all(|c| c.is_ascii_digit() || c == '.' || c == '=' || c == '_')
+}
+
+fn push(out: &mut Vec<Diagnostic>, file: &SourceFile, line: usize, message: &str) {
+    out.push(Diagnostic {
+        file: file.path.clone(),
+        line,
+        rule: NAME,
+        message: message.to_string(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let d = run("fn f() { a.unwrap(); b.expect(\"x\"); panic!(\"y\"); todo!(); unimplemented!() }\n");
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn ignores_unwrap_or_and_expect_err() {
+        let d = run("fn f() { a.unwrap_or(0); a.unwrap_or_else(f); r.expect_err(\"x\"); }\n");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn flags_literal_indexing_but_not_variables_or_macros() {
+        let d = run("fn f() { let a = x[0]; let b = y[..8]; let c = z[i]; let v = vec![0u8; 4]; }\n");
+        assert_eq!(d.len(), 2);
+        assert!(d[0].message.contains("[0]"));
+        assert!(d[1].message.contains("[..8]"));
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let d = run("fn f() { let s = \"panic! .unwrap()\"; } // panic! here\n");
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,418 @@
+//! Lexical source model shared by every rule.
+//!
+//! The analyzer deliberately works at the line/token level — no `syn`, no
+//! proc-macro expansion — so it builds offline and stays fast. This module
+//! does the one lexical pass every rule depends on:
+//!
+//! * **cleaning**: string/char-literal contents and comments are blanked out
+//!   of the per-line `code` view, so rules can match tokens without being
+//!   fooled by `"panic!"` inside a string;
+//! * **test-region detection**: items introduced by `#[cfg(test)]`,
+//!   `#[test]`, `#[bench]`, and `proptest!` macro bodies are marked `exempt`
+//!   (brace-matched, so whole `mod tests { .. }` blocks are covered);
+//! * **suppressions**: `// xtask-allow: <rule>[, <rule>...] -- reason`
+//!   applies to the code on the same line, or to the next line when the
+//!   comment stands alone; `// xtask-allow-file: <rule> -- reason` suppresses
+//!   a rule for the whole file.
+//!
+//! Known lexical limitations (documented, acceptable for this codebase):
+//! `#[cfg(any(test, ...))]`-style compound gates are recognized only via the
+//! literal prefixes in [`TEST_TRIGGERS`], and attributes split across lines
+//! from their item are assumed to precede the item's opening brace.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Patterns (matched against cleaned code) that start an exempt region.
+pub const TEST_TRIGGERS: &[&str] = &[
+    "#[cfg(test)]",
+    "#[cfg(test,",
+    "#[cfg(all(test",
+    "#[cfg(any(test",
+    "#[test]",
+    "#[bench]",
+    "proptest!",
+];
+
+/// One physical source line, post-lexing.
+#[derive(Debug)]
+pub struct Line {
+    /// Source text with comments and string/char-literal contents blanked.
+    pub code: String,
+    /// Concatenated comment text found on this line.
+    pub comment: String,
+    /// Brace depth at the start of the line.
+    pub depth_start: u32,
+    /// True when the line is inside test-only code (see module docs).
+    pub exempt: bool,
+}
+
+/// A lexed source file plus its suppression table.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path (used in diagnostics and scoping).
+    pub path: String,
+    /// Lexed lines, in order (line numbers are index + 1).
+    pub lines: Vec<Line>,
+    /// rule name -> 1-based line numbers where it is suppressed.
+    suppressed_lines: BTreeMap<String, BTreeSet<usize>>,
+    /// Rules suppressed for the entire file.
+    suppressed_file: BTreeSet<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum LexState {
+    Code,
+    LineComment,
+    /// Nested block comments; payload is the nesting depth.
+    BlockComment(u32),
+    Str,
+    /// Raw string; payload is the number of `#` marks in the delimiter.
+    RawStr(u32),
+    CharLit,
+}
+
+impl SourceFile {
+    /// Lex `text` into a [`SourceFile`] labelled `path`.
+    pub fn parse(path: &str, text: &str) -> SourceFile {
+        let mut lines = lex(text);
+        mark_exempt_regions(&mut lines);
+        let (suppressed_lines, suppressed_file) = collect_suppressions(&lines);
+        SourceFile {
+            path: path.to_string(),
+            lines,
+            suppressed_lines,
+            suppressed_file,
+        }
+    }
+
+    /// True when `rule` is suppressed at 1-based `line` (or file-wide).
+    pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
+        self.suppressed_file.contains(rule)
+            || self
+                .suppressed_lines
+                .get(rule)
+                .is_some_and(|set| set.contains(&line))
+    }
+}
+
+/// Pass 1: state-machine lex producing cleaned lines + comments + depths.
+fn lex(text: &str) -> Vec<Line> {
+    let chars: Vec<char> = text.chars().collect();
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut depth: u32 = 0;
+    let mut depth_start = 0;
+    let mut state = LexState::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == LexState::LineComment {
+                state = LexState::Code;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+                depth_start,
+                exempt: false,
+            });
+            depth_start = depth;
+            i += 1;
+            continue;
+        }
+        match state {
+            LexState::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    state = LexState::LineComment;
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    state = LexState::BlockComment(1);
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    // A raw-string opener is `r` or `br` plus zero or more
+                    // `#` directly before this quote.
+                    let mut hashes = 0;
+                    let mut j = i;
+                    while j > 0 && chars[j - 1] == '#' {
+                        hashes += 1;
+                        j -= 1;
+                    }
+                    let is_raw = j > 0
+                        && (chars[j - 1] == 'r'
+                            || (chars[j - 1] == 'b' && j > 1 && chars[j - 2] == 'r'));
+                    state = if is_raw && (hashes > 0 || chars[j - 1] == 'r') {
+                        LexState::RawStr(hashes)
+                    } else {
+                        LexState::Str
+                    };
+                    code.push(' ');
+                }
+                '\'' => {
+                    // Distinguish char literals from lifetimes: `'x'` and
+                    // `'\..'` are literals, `'ident` (no closing quote right
+                    // after one char) is a lifetime.
+                    if chars.get(i + 1) == Some(&'\\') {
+                        state = LexState::CharLit;
+                        code.push(' ');
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        code.push_str("   ");
+                        i += 3;
+                        continue;
+                    } else {
+                        code.push(c); // lifetime marker, keep as code
+                    }
+                }
+                '{' => {
+                    depth += 1;
+                    code.push(c);
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    code.push(c);
+                }
+                _ => code.push(c),
+            },
+            LexState::LineComment => comment.push(c),
+            LexState::BlockComment(n) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if n == 1 {
+                        LexState::Code
+                    } else {
+                        LexState::BlockComment(n - 1)
+                    };
+                    code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = LexState::BlockComment(n + 1);
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+            }
+            LexState::Str => {
+                code.push(' ');
+                if c == '\\' {
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = LexState::Code;
+                }
+            }
+            LexState::RawStr(hashes) => {
+                code.push(' ');
+                if c == '"' {
+                    let closed = (1..=hashes as usize)
+                        .all(|k| chars.get(i + k) == Some(&'#'));
+                    if closed {
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        state = LexState::Code;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+            }
+            LexState::CharLit => {
+                code.push(' ');
+                if c == '\\' {
+                    code.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    state = LexState::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line {
+            code,
+            comment,
+            depth_start,
+            exempt: false,
+        });
+    }
+    lines
+}
+
+/// Pass 2: brace-matched exemption of test-only regions.
+fn mark_exempt_regions(lines: &mut [Line]) {
+    // Depths (before the opening `{`) of currently-open exempt blocks.
+    let mut exempt_stack: Vec<u32> = Vec::new();
+    // A trigger has been seen; exempt region starts at its item's `{`.
+    let mut pending: Option<u32> = None;
+    for line in lines.iter_mut() {
+        let mut depth = line.depth_start;
+        let mut exempt = !exempt_stack.is_empty() || pending.is_some();
+        let code: Vec<char> = line.code.chars().collect();
+        let mut idx = 0;
+        while idx < code.len() {
+            if pending.is_none() {
+                for trig in TEST_TRIGGERS {
+                    if line.code[char_byte_idx(&line.code, idx)..].starts_with(trig) {
+                        pending = Some(depth);
+                        exempt = true;
+                        break;
+                    }
+                }
+            }
+            match code[idx] {
+                '{' => {
+                    if let Some(at) = pending.take() {
+                        exempt_stack.push(at);
+                        let _ = at;
+                    }
+                    depth += 1;
+                    exempt = exempt || !exempt_stack.is_empty();
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if exempt_stack.last() == Some(&depth) {
+                        exempt_stack.pop();
+                    }
+                }
+                ';' => {
+                    // `#[cfg(test)] use foo;` — braceless item: only the
+                    // trigger's own statement is exempt.
+                    if let Some(at) = pending {
+                        if depth == at {
+                            pending = None;
+                        }
+                    }
+                }
+                _ => {}
+            }
+            idx += 1;
+        }
+        line.exempt = exempt || !exempt_stack.is_empty();
+    }
+}
+
+/// Translate a char index into a byte index of `s` (lines are short; O(n)
+/// per call is fine at this scale).
+fn char_byte_idx(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map_or(s.len(), |(b, _)| b)
+}
+
+/// Pass 3: collect `xtask-allow` / `xtask-allow-file` suppressions.
+#[allow(clippy::type_complexity)]
+fn collect_suppressions(
+    lines: &[Line],
+) -> (BTreeMap<String, BTreeSet<usize>>, BTreeSet<String>) {
+    let mut per_line: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    let mut per_file: BTreeSet<String> = BTreeSet::new();
+    for (i, line) in lines.iter().enumerate() {
+        for (marker, file_wide) in [("xtask-allow-file:", true), ("xtask-allow:", false)] {
+            let Some(pos) = line.comment.find(marker) else {
+                continue;
+            };
+            let rest = &line.comment[pos + marker.len()..];
+            let spec = rest.split("--").next().unwrap_or("");
+            let rules = spec
+                .split([',', ' '])
+                .map(str::trim)
+                .filter(|r| !r.is_empty());
+            // A standalone comment line suppresses the NEXT line; a trailing
+            // comment suppresses its own line.
+            let target = if line.code.trim().is_empty() {
+                i + 2
+            } else {
+                i + 1
+            };
+            for rule in rules {
+                if file_wide {
+                    per_file.insert(rule.to_string());
+                } else {
+                    per_line.entry(rule.to_string()).or_default().insert(target);
+                }
+            }
+            break; // `xtask-allow-file:` also contains `xtask-allow:`… no, it
+                   // does not, but one marker per comment line is enough.
+        }
+    }
+    (per_line, per_file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = \"panic!\"; // panic! in comment\nlet c = '\\n';\n",
+        );
+        assert!(!f.lines[0].code.contains("panic!"));
+        assert!(f.lines[0].comment.contains("panic!"));
+        assert!(!f.lines[1].code.contains('n'));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = SourceFile::parse("x.rs", "let s = r#\"unwrap() {\"#; let x = 1;\n");
+        assert!(!f.lines[0].code.contains("unwrap"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert_eq!(f.lines[0].depth_start, 0);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_and_depth_matched() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn lib2() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let ex: Vec<bool> = f.lines.iter().map(|l| l.exempt).collect();
+        assert_eq!(ex, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_exempts_one_statement() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn lib() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.lines[0].exempt);
+        assert!(f.lines[1].exempt);
+        assert!(!f.lines[2].exempt);
+    }
+
+    #[test]
+    fn proptest_macro_body_is_exempt() {
+        let src = "fn a() {}\nproptest! {\n  fn prop(x in 0..9) { x.unwrap(); }\n}\nfn b() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].exempt);
+        assert!(f.lines[1].exempt);
+        assert!(f.lines[2].exempt);
+        assert!(!f.lines[4].exempt);
+    }
+
+    #[test]
+    fn suppressions_same_line_and_next_line() {
+        let src = "a.unwrap(); // xtask-allow: no-panic -- fine\n// xtask-allow: no-panic -- next\nb.unwrap();\nc.unwrap();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_suppressed("no-panic", 1));
+        assert!(f.is_suppressed("no-panic", 3));
+        assert!(!f.is_suppressed("no-panic", 4));
+        assert!(!f.is_suppressed("lock-order", 1));
+    }
+
+    #[test]
+    fn file_wide_suppression() {
+        let f = SourceFile::parse("x.rs", "// xtask-allow-file: no-panic -- checker\nx.unwrap();\n");
+        assert!(f.is_suppressed("no-panic", 2));
+        assert!(f.is_suppressed("no-panic", 999));
+    }
+}

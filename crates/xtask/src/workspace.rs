@@ -1,0 +1,162 @@
+//! File discovery, rule scoping, and the analysis driver.
+//!
+//! Scoping is path-based and declarative: each rule names the workspace
+//! subtrees it polices. Only library sources (`src/` trees) are scanned —
+//! `tests/`, `benches/` and `examples/` directories are integration/test
+//! code and exempt by construction, matching the in-file `#[cfg(test)]`
+//! exemption done by the source model.
+
+use crate::report::{Diagnostic, Summary};
+use crate::rules::{determinism, lint_header, lock_order, no_panic};
+use crate::source::SourceFile;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose library code must not panic.
+const NO_PANIC_SCOPE: &[&str] = &[
+    "crates/core/src/",
+    "crates/policy/src/",
+    "crates/buffer/src/",
+    "crates/storage/src/",
+    "crates/sim/src/",
+];
+
+/// Crates on the simulator-result path (byte-identical table reproduction).
+const DETERMINISM_SCOPE: &[&str] = &["crates/sim/src/", "crates/workloads/src/", "crates/core/src/"];
+
+/// The concurrent pool tiers checked against the lock hierarchy.
+const LOCK_ORDER_SCOPE: &[&str] = &["crates/buffer/src/"];
+
+/// Names of all registered rules (used to zero-fill the JSON rule counts).
+pub const ALL_RULES: &[&str] = &[
+    determinism::NAME,
+    lint_header::NAME,
+    lock_order::NAME,
+    no_panic::NAME,
+];
+
+/// Analysis failure (I/O while walking or reading the tree).
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// Reading a source file or directory failed.
+    Io(PathBuf, io::Error),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Io(p, e) => write!(f, "io error at {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
+    let mut files = Vec::new();
+    // Facade crate sources + every workspace member's library sources.
+    collect_rs(root, &root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            fs::read_dir(&crates_dir).map_err(|e| AnalyzeError::Io(crates_dir.clone(), e))?;
+        let mut members: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| AnalyzeError::Io(crates_dir.clone(), e))?;
+            if entry.path().is_dir() {
+                members.push(entry.path());
+            }
+        }
+        members.sort();
+        for member in members {
+            collect_rs(root, &member.join("src"), &mut files)?;
+        }
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+
+    let mut summary = Summary {
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+    for rule in ALL_RULES {
+        summary.rule_counts.insert(rule, 0);
+    }
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for file in &files {
+        if in_scope(&file.path, NO_PANIC_SCOPE) {
+            no_panic::check(file, &mut raw);
+        }
+        if in_scope(&file.path, LOCK_ORDER_SCOPE) {
+            lock_order::check(file, &mut raw);
+        }
+        if in_scope(&file.path, DETERMINISM_SCOPE) {
+            determinism::check(file, &mut raw);
+        }
+        lint_header::check(file, &mut raw);
+    }
+    // Suppression filtering; diagnostics are grouped per file already.
+    for d in raw {
+        let suppressed = files
+            .iter()
+            .find(|f| f.path == d.file)
+            .is_some_and(|f| f.is_suppressed(d.rule, d.line));
+        if suppressed {
+            summary.suppressed += 1;
+        } else {
+            *summary.rule_counts.entry(d.rule).or_insert(0) += 1;
+            summary.diagnostics.push(d);
+        }
+    }
+    summary.diagnostics.sort();
+    Ok(summary)
+}
+
+/// True when `path` is under any of the scope prefixes.
+fn in_scope(path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|prefix| path.starts_with(prefix))
+}
+
+/// Recursively collect `.rs` files under `dir` (if it exists), parsed and
+/// labelled with root-relative paths.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> Result<(), AnalyzeError> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let entries = fs::read_dir(dir).map_err(|e| AnalyzeError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| AnalyzeError::Io(dir.to_path_buf(), e))?;
+        paths.push(entry.path());
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            collect_rs(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let text =
+                fs::read_to_string(&path).map_err(|e| AnalyzeError::Io(path.clone(), e))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile::parse(&rel, &text));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_prefixes() {
+        assert!(in_scope("crates/buffer/src/latched.rs", LOCK_ORDER_SCOPE));
+        assert!(!in_scope("crates/baselines/src/lru.rs", NO_PANIC_SCOPE));
+        assert!(in_scope("crates/workloads/src/zipf.rs", DETERMINISM_SCOPE));
+        assert!(!in_scope("crates/bench/src/lib.rs", DETERMINISM_SCOPE));
+    }
+}

@@ -1,0 +1,39 @@
+//! Fixture for the `determinism` rule. Not compiled — parsed by the tests as
+//! data, under a pretend `crates/sim/src/` path. Expected: exactly 5
+//! diagnostics, 1 suppression.
+
+use std::collections::HashMap; // diagnostic 1
+use std::time::{Instant, SystemTime}; // diagnostics 2 and 3
+
+fn wall_clock_seed() -> u64 {
+    let t = SystemTime::now(); // diagnostic 4
+    t.elapsed().unwrap_or_default().as_nanos() as u64
+}
+
+fn ambient_rng(rng: &mut impl Rng) -> u64 {
+    let r = thread_rng(); // diagnostic 5
+    r.next_u64() ^ rng.next_u64()
+}
+
+fn allowed() {
+    // The fixed-hasher map is deterministic and allowed; seeded StdRng is
+    // the sanctioned randomness source; suppression silences a known site.
+    let m: FxHashMap<u64, u64> = FxHashMap::default();
+    let rng = StdRng::seed_from_u64(42);
+    // xtask-allow: determinism -- fixture: annotated site stays silent
+    let legacy = HashMap::<u64, u64>::new();
+    drop((m, rng, legacy));
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let t = Instant::now();
+        let m: HashMap<u64, u64> = HashMap::new();
+        assert!(m.is_empty() && t.elapsed().as_nanos() > 0);
+    }
+}

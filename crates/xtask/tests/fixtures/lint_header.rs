@@ -1,0 +1,7 @@
+//! Fixture for the `lint-header` rule. Not compiled — parsed by the tests as
+//! data, under a pretend crate-root path. Expected: exactly 2 diagnostics
+//! (both required attributes absent; `deny(unsafe_code)` is not `forbid`).
+
+#![deny(unsafe_code)]
+
+pub fn nothing() {}

@@ -1,0 +1,51 @@
+//! Fixture for the `lock-order` rule. Not compiled — parsed by the tests as
+//! data, under a pretend `crates/buffer/src/` path. Expected: exactly 2
+//! diagnostics.
+
+fn forward_order_is_clean(shard: &Shard, disk: &Disk) {
+    let mut core = shard.core.lock();
+    let data = shard.frames[0].data.write();
+    let mut alloc = disk.alloc.lock();
+    let dir = disk.directory.read();
+    drop(dir);
+    drop(alloc);
+    drop(data);
+    drop(core);
+}
+
+fn inverted_order_is_flagged(shard: &Shard) {
+    let data = shard.frames[0].data.write();
+    let mut core = shard.core.lock(); // diagnostic 1: frame latch -> core
+    core.touch(&data);
+}
+
+fn nested_cores_are_flagged(a: &Shard, b: &Shard) {
+    let first = a.core.lock();
+    let second = b.core.lock(); // diagnostic 2: core -> core
+    first.merge(&second);
+}
+
+fn same_level_frame_latches_are_allowed(shard: &Shard) {
+    let outer = shard.frames[0].data.read_recursive();
+    let inner = shard.frames[1].data.read_recursive();
+    drop(inner);
+    drop(outer);
+}
+
+fn release_by_drop_resets_the_order(shard: &Shard) {
+    let data = shard.frames[0].data.write();
+    drop(data);
+    let core = shard.core.lock();
+    drop(core);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let data = shard.frames[0].data.write();
+        let core = shard.core.lock();
+        drop(core);
+        drop(data);
+    }
+}

@@ -1,0 +1,53 @@
+//! Fixture for the `no-panic` rule. Not compiled — parsed by the tests as
+//! data. Expected: exactly 7 diagnostics, 1 suppression.
+
+fn violations(a: Option<u32>, r: Result<u32, ()>, xs: &[u8]) -> u32 {
+    let one = a.unwrap(); // diagnostic 1
+    let two = r.expect("boom"); // diagnostic 2
+    if one > two {
+        panic!("bad"); // diagnostic 3
+    }
+    if xs.is_empty() {
+        todo!() // diagnostic 4
+    }
+    if one == 0 {
+        unimplemented!() // diagnostic 5
+    }
+    let head = xs[0]; // diagnostic 6
+    let tail = &xs[..4]; // diagnostic 7
+    u32::from(head) + u32::from(tail.len() as u8)
+}
+
+fn allowed(xs: &[u8], i: usize) -> u8 {
+    // Variable indexing, non-panicking combinators, and suppressed sites
+    // must not fire.
+    let v = xs.get(0).copied().unwrap_or(0);
+    let w = xs[i];
+    // xtask-allow: no-panic -- fixture: annotated site stays silent
+    let s = xs[1];
+    let lit = vec![0u8; 4];
+    let text = "contains panic! and .unwrap() in a string";
+    v + w + s + lit.len() as u8 + text.len() as u8
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v: Vec<u8> = Vec::new();
+        assert!(v.get(0).is_none());
+        let _ = "x".parse::<u8>().unwrap_err();
+        Option::<u8>::None.unwrap_or(3);
+        let boom: Option<u8> = None;
+        assert!(boom.unwrap_or_default() == 0);
+        let _ = std::panic::catch_unwind(|| panic!("fine in tests"));
+    }
+}
+
+proptest! {
+    fn proptest_bodies_are_exempt(x in 0u8..10) {
+        let v = vec![x];
+        prop_assert_eq!(v[0], x);
+        v.first().unwrap();
+    }
+}

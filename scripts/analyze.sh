@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Run the repo-native static-analysis suite (crates/xtask) over the
+# workspace. Exits 0 on a clean tree, 1 when diagnostics survive
+# suppression filtering, and writes results/ANALYZE.json either way.
+#
+# Prefers cargo; when the registry is unreachable (offline container) it
+# bootstraps xtask with bare rustc instead — the crate is dependency-free
+# precisely so this works.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cargo build -q -p xtask 2>/dev/null; then
+  exec cargo run -q -p xtask -- analyze "$@"
+fi
+
+echo "analyze.sh: cargo build unavailable; bootstrapping xtask with bare rustc" >&2
+boot=target/xtask-bootstrap
+mkdir -p "$boot"
+rustc --edition 2021 -O --crate-type rlib --crate-name xtask \
+  crates/xtask/src/lib.rs -o "$boot/libxtask.rlib"
+rustc --edition 2021 -O --crate-name xtask \
+  crates/xtask/src/main.rs --extern xtask="$boot/libxtask.rlib" -o "$boot/xtask"
+exec "$boot/xtask" analyze "$@"

@@ -8,4 +8,9 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Repo-native static analysis (lock order, no-panic, determinism, lint
+# headers); any diagnostic that survives suppression filtering fails the
+# gate. Writes results/ANALYZE.json for cross-PR rule-count diffs.
+scripts/analyze.sh
+
 echo "tier1 OK"

@@ -19,6 +19,9 @@
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use lruk_analysis as analysis;
 pub use lruk_baselines as baselines;
 pub use lruk_buffer as buffer;
