@@ -4,7 +4,12 @@
 //! 4) need concurrent clients. This wrapper takes the simple, obviously
 //! correct route: one `parking_lot::Mutex` around the pool and closure-scoped
 //! page access, so a page is pinned, used and unpinned while the latch is
-//! held. That serializes page *access*, which makes this pool the
+//! held. Replacement decisions are not made here: the wrapped
+//! [`BufferPoolManager`] is itself a thin frontend over the shared
+//! [`ReplacementCore`](lruk_policy::ReplacementCore) engine, so this pool
+//! runs the exact same reference lifecycle as every other driver — the latch
+//! only adds mutual exclusion around it. That serializes page *access*,
+//! which makes this pool the
 //! differential baseline of the concurrency stack, not its production tier:
 //! new callers should reach for [`LatchedBufferPool`](crate::LatchedBufferPool)
 //! (sharded page table, per-frame data latches, closures running outside

@@ -2,7 +2,6 @@
 
 use crate::disk::PAGE_SIZE;
 use bytes::{BufMut, BytesMut};
-use lruk_policy::PageId;
 
 /// Index of a frame within the buffer pool.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
@@ -16,16 +15,13 @@ impl FrameId {
     }
 }
 
-/// One buffer frame: a page-sized byte buffer plus residency metadata.
+/// One buffer frame: a page-sized byte buffer. Residency metadata — owner
+/// page, pin count, dirty flag — lives in the shared
+/// [`ReplacementCore`](lruk_policy::ReplacementCore) so it has exactly one
+/// writer; the frame is pure storage.
 #[derive(Debug)]
 pub struct Frame {
     data: BytesMut,
-    /// The disk page currently held, if any.
-    pub page: Option<PageId>,
-    /// Nested pin count; only zero-pin frames may be victimized.
-    pub pin_count: u32,
-    /// True if the contents diverge from the on-disk copy.
-    pub dirty: bool,
 }
 
 impl Frame {
@@ -33,12 +29,7 @@ impl Frame {
     pub fn new() -> Self {
         let mut data = BytesMut::with_capacity(PAGE_SIZE);
         data.put_bytes(0, PAGE_SIZE);
-        Frame {
-            data,
-            page: None,
-            pin_count: 0,
-            dirty: false,
-        }
+        Frame { data }
     }
 
     /// Page contents (always exactly [`PAGE_SIZE`] bytes).
@@ -47,22 +38,15 @@ impl Frame {
         &self.data
     }
 
-    /// Mutable page contents. The caller is responsible for setting
-    /// [`Frame::dirty`]; the pool's guard API does this automatically.
+    /// Mutable page contents. The caller is responsible for reporting
+    /// dirtiness to the engine; the pool's guard API does this
+    /// automatically.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [u8] {
         &mut self.data
     }
 
-    /// Reset the frame for reuse by a new page: zero metadata, keep the
-    /// allocation.
-    pub fn reset(&mut self) {
-        self.page = None;
-        self.pin_count = 0;
-        self.dirty = false;
-    }
-
-    /// Zero the contents (used for newly allocated pages).
+    /// Zero the contents (used when a deleted page frees its frame).
     pub fn zero(&mut self) {
         self.data.fill(0);
     }
@@ -82,25 +66,16 @@ mod tests {
     fn frame_has_page_size_bytes() {
         let f = Frame::new();
         assert_eq!(f.data().len(), PAGE_SIZE);
-        assert!(f.page.is_none());
-        assert_eq!(f.pin_count, 0);
-        assert!(!f.dirty);
+        assert!(f.data().iter().all(|&b| b == 0));
     }
 
     #[test]
-    fn mutation_and_reset() {
+    fn mutation_and_zero() {
         let mut f = Frame::new();
         f.data_mut()[10] = 99;
-        f.page = Some(PageId(7));
-        f.pin_count = 2;
-        f.dirty = true;
-        f.reset();
-        assert!(f.page.is_none());
-        assert_eq!(f.pin_count, 0);
-        assert!(!f.dirty);
-        // reset keeps the bytes; zero clears them
         assert_eq!(f.data()[10], 99);
         f.zero();
         assert_eq!(f.data()[10], 0);
+        assert_eq!(f.data().len(), PAGE_SIZE);
     }
 }

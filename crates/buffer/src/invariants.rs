@@ -8,7 +8,8 @@
 //!
 //! The tracked classes mirror the protocol in [`crate::latched`]:
 //!
-//! * [`LatchClass::ShardCore`] — a shard's `Mutex<ShardCore>`. Never nested:
+//! * [`LatchClass::ShardCore`] — a shard's `Mutex<ReplacementCore>` (the
+//!   shared engine from `lruk_policy::engine`). Never nested:
 //!   a thread holding any core (or any latch taken *under* a core) must not
 //!   take another. The one exception, documented in the module protocol, is
 //!   re-entry: a user closure that still holds a **user** frame latch may
@@ -34,7 +35,7 @@ use std::cell::RefCell;
 /// The latch classes of the latched pool's protocol, in declaration order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum LatchClass {
-    /// A shard's core mutex (page table, policy, pin bookkeeping).
+    /// A shard's core mutex (the engine: page table, policy, pins, stats).
     ShardCore,
     /// A frame data latch held across a user closure (core released).
     FrameUser,

@@ -7,22 +7,25 @@
 //! paper's §2.1.1 inter-transaction locality case — serialize.
 //! [`LatchedBufferPool`] splits residency control from data access:
 //!
-//! * a **sharded page table** (shard chosen by the shared
+//! * a **sharded replacement core** (shard chosen by the shared
 //!   [`fxhash`](lruk_policy::fxhash), so shard selection and page-table
-//!   hashing agree): each shard's `Mutex<ShardCore>` guards its page table,
-//!   free list, replacement policy and statistics — held only long enough to
-//!   pin and locate a frame, never across user code;
+//!   hashing agree): each shard owns a `Mutex<ReplacementCore>` — the same
+//!   engine that drives every other pool in the workspace — guarding its
+//!   page table, free list, replacement policy, pin counts and statistics.
+//!   The core latch is held only long enough to pin and locate a frame,
+//!   never across user code;
 //! * **per-frame `RwLock` data latches**: the user closure runs under the
 //!   frame's own latch, so readers of distinct pages — and concurrent
-//!   readers of the *same* page — proceed in parallel;
-//! * **atomic pin counts** per frame: a frame with `pins > 0` is never
-//!   victimized (the policy's own pin set mirrors the count, so
-//!   `select_victim` simply never returns it).
+//!   readers of the *same* page — proceed in parallel.
 //!
 //! Disk I/O goes through a [`ConcurrentDiskManager`] handle shared by all
 //! shards (`&self` methods, internal synchronization), so an evict-writeback
 //! in one shard never blocks a read in another — there is no global disk
-//! latch to convoy on.
+//! latch to convoy on. The engine performs that I/O through a
+//! [`LatchedBackend`] implementing [`CoreBackend`], which takes the victim's
+//! frame latch around each transfer; the reference lifecycle itself
+//! (hit/miss/evict/admit ordering, stats, pin bookkeeping) lives entirely in
+//! [`ReplacementCore`] and is not re-implemented here.
 //!
 //! # Latch protocol
 //!
@@ -30,42 +33,44 @@
 //! before user code runs and re-taken only *after* the frame latch has been
 //! dropped:
 //!
-//! 1. **Pin** (core held): bump the frame's pin count, run policy
-//!    bookkeeping, release the core.
+//! 1. **Pin** (core held): `ReplacementCore::access` resolves the frame
+//!    (fetching from disk on a miss, victim write-back included), then
+//!    `pin_slot` bumps the engine-owned pin count.
 //! 2. **Access** (no core): take the frame latch (shared for `with_page`,
 //!    exclusive for `with_page_mut`), run the closure, drop the latch.
-//! 3. **Unpin** (core held): decrement the pin count, mark dirty, tell the
-//!    policy.
+//! 3. **Unpin** (core held): `ReplacementCore::unpin` drops the pin count
+//!    and records dirtiness.
 //!
-//! Because step 3 re-takes the core only after the latch is gone, observing
-//! `pins == 0` under the core latch proves nobody holds (or can newly
-//! acquire) that frame's latch — acquisition requires a pin, and pinning
-//! requires the core we hold. Eviction therefore latches its victim without
-//! contention, and no thread ever waits for the core while holding a latch,
-//! so the protocol is deadlock-free. The one caller-facing rule: a closure
-//! that re-enters the pool for the *same page mutably* self-deadlocks, like
-//! any latch (nested shared reads of the same page are fine).
+//! Pin counts are plain integers inside the core, mutated only under the
+//! core latch. Because step 3 re-takes the core only after the frame latch
+//! is gone, observing `pins == 0` under the core latch proves nobody holds
+//! (or can newly acquire) that frame's latch — acquisition requires a pin,
+//! and pinning requires the core we hold. Eviction therefore latches its
+//! victim without contention, and no thread ever waits for the core while
+//! holding a frame latch, so the protocol is deadlock-free. The one
+//! caller-facing rule: a closure that re-enters the pool for the *same page
+//! mutably* self-deadlocks, like any latch (nested shared reads of the same
+//! page are fine).
 //!
 //! Replacement decisions are per-shard, with the same trade-off (and the
 //! same hit-ratio guarantee, tested below) as [`ShardedBufferPool`]: with a
 //! hash that spreads hot pages, per-shard LRU-K closely tracks global LRU-K.
 
-use crate::disk::{DiskStats, PAGE_SIZE};
+use crate::disk::{DiskError, DiskStats, PAGE_SIZE};
 use crate::invariants::{self, LatchClass};
 use crate::pool::BufferError;
 use crate::shared_disk::ConcurrentDiskManager;
-use lruk_policy::fxhash::{self, FxHashMap};
-use lruk_policy::{CacheStats, PageId, ReplacementPolicy, Tick};
+use lruk_policy::fxhash;
+use lruk_policy::{
+    AccessKind, CacheStats, CoreBackend, PageId, ReplacementCore, ReplacementPolicy,
+    WriteBackCause,
+};
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU32, Ordering};
 
-/// One frame: page bytes behind their own latch, plus an atomic pin count.
+/// One frame: page bytes behind their own latch. Residency metadata — owner
+/// page, dirty flag, pin count — lives in the shard's [`ReplacementCore`].
 struct LatchedFrame {
     data: RwLock<Box<[u8]>>,
-    /// Pins outstanding; mutated only under the owning shard's core latch,
-    /// with `Release` ordering so `pins == 0` read under that latch implies
-    /// the frame latch has been released (see the module-level protocol).
-    pins: AtomicU32,
     /// Debug-only: set while this frame's bytes are being written back to
     /// disk. Two overlapping write-backs of one frame, or an eviction racing
     /// a write-back, are protocol violations the frame latch is supposed to
@@ -78,7 +83,6 @@ impl LatchedFrame {
     fn new() -> Self {
         LatchedFrame {
             data: RwLock::new(vec![0u8; PAGE_SIZE].into_boxed_slice()),
-            pins: AtomicU32::new(0),
             #[cfg(debug_assertions)]
             write_in_flight: std::sync::atomic::AtomicBool::new(false),
         }
@@ -88,7 +92,9 @@ impl LatchedFrame {
     fn begin_writeback(&self) {
         #[cfg(debug_assertions)]
         {
-            let was = self.write_in_flight.swap(true, Ordering::AcqRel);
+            let was = self
+                .write_in_flight
+                .swap(true, std::sync::atomic::Ordering::AcqRel);
             assert!(!was, "pin invariant: overlapping write-backs of one frame");
         }
     }
@@ -97,29 +103,62 @@ impl LatchedFrame {
     fn end_writeback(&self) {
         #[cfg(debug_assertions)]
         {
-            let was = self.write_in_flight.swap(false, Ordering::AcqRel);
+            let was = self
+                .write_in_flight
+                .swap(false, std::sync::atomic::Ordering::AcqRel);
             assert!(was, "pin invariant: write-back finished twice");
         }
     }
 }
 
-/// Shard state guarded by the core latch. Frame *data* lives outside, under
-/// the per-frame latches.
-struct ShardCore {
-    page_table: FxHashMap<PageId, u32>,
-    /// Owner page of each frame (`None` = free).
-    frame_page: Vec<Option<PageId>>,
-    /// Diverges-from-disk flag per frame; only touched under the core latch.
-    frame_dirty: Vec<bool>,
-    free: Vec<u32>,
-    policy: Box<dyn ReplacementPolicy>,
-    clock: Tick,
-    stats: CacheStats,
+/// One shard: the shared replacement engine under its core latch, plus the
+/// frame data it controls (outside the latch, under per-frame latches).
+struct Shard {
+    core: Mutex<ReplacementCore<'static>>,
+    frames: Vec<LatchedFrame>,
 }
 
-struct Shard {
-    core: Mutex<ShardCore>,
-    frames: Vec<LatchedFrame>,
+/// The engine's I/O hooks for this pool: each transfer takes the subject
+/// frame's latch. `write_back` runs only on frames the engine proved
+/// unpinned (eviction victims) or while `flush_all` holds the core (so no
+/// new pin can start), which is exactly when the frame latch is free or
+/// held at most by an in-flight reader.
+struct LatchedBackend<'a, C: ConcurrentDiskManager> {
+    frames: &'a [LatchedFrame],
+    disk: &'a C,
+}
+
+impl<C: ConcurrentDiskManager> CoreBackend for LatchedBackend<'_, C> {
+    type Error = DiskError;
+
+    fn write_back(
+        &mut self,
+        page: PageId,
+        slot: u32,
+        cause: WriteBackCause,
+    ) -> Result<(), DiskError> {
+        let frame = &self.frames[slot as usize];
+        let class = match cause {
+            WriteBackCause::Evict => LatchClass::FrameEvict,
+            // Shared latch: waits out an in-flight writer (who cannot need
+            // the core latch until after releasing), never deadlocks.
+            WriteBackCause::Flush => LatchClass::FrameFlush,
+        };
+        let _held = invariants::acquiring(class);
+        let data = frame.data.read();
+        frame.begin_writeback();
+        let wrote = self.disk.write_page(page, &data);
+        frame.end_writeback();
+        wrote
+    }
+
+    fn fill(&mut self, page: PageId, slot: u32) -> Result<(), DiskError> {
+        // Miss fill: exclusive latch under the core, pins still zero.
+        let frame = &self.frames[slot as usize];
+        let _held = invariants::acquiring(LatchClass::FrameEvict);
+        let mut data = frame.data.write();
+        self.disk.read_page(page, &mut data)
+    }
 }
 
 /// A buffer pool with a sharded page table and per-frame data latches.
@@ -144,15 +183,7 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
             .map(|i| {
                 let n = base + usize::from(i < extra);
                 Shard {
-                    core: Mutex::new(ShardCore {
-                        page_table: FxHashMap::default(),
-                        frame_page: vec![None; n],
-                        frame_dirty: vec![false; n],
-                        free: (0..n as u32).rev().collect(),
-                        policy: make_policy(),
-                        clock: Tick::ZERO,
-                        stats: CacheStats::default(),
-                    }),
+                    core: Mutex::new(ReplacementCore::new(n, make_policy())),
                     frames: (0..n).map(|_| LatchedFrame::new()).collect(),
                 }
             })
@@ -191,18 +222,14 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
 
     /// True if `page` is currently resident.
     pub fn contains(&self, page: PageId) -> bool {
-        self.shards[self.shard_of(page)]
-            .core
-            .lock()
-            .page_table
-            .contains_key(&page)
+        self.shards[self.shard_of(page)].core.lock().contains(page)
     }
 
     /// Aggregated hit/miss statistics across shards.
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
         for shard in &self.shards {
-            total.merge(&shard.core.lock().stats);
+            total.merge(&shard.core.lock().stats());
         }
         total
     }
@@ -210,95 +237,28 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
     /// Reset hit/miss statistics (e.g. after a warmup phase).
     pub fn reset_stats(&self) {
         for shard in &self.shards {
-            shard.core.lock().stats.reset();
+            shard.core.lock().reset_stats();
         }
     }
 
     /// Pin `page` in its shard and return its frame index — the only step
-    /// that holds the shard core latch. On a miss the page is fetched from
-    /// disk here (frame latch uncontended: the frame was free or victimized
-    /// with zero pins).
+    /// that holds the shard core latch. On a miss the engine fetches the
+    /// page from disk here (frame latch uncontended: the frame was free or
+    /// victimized with zero pins).
     fn pin(&self, shard: &Shard, page: PageId) -> Result<u32, BufferError> {
         let _core_held = invariants::acquiring(LatchClass::ShardCore);
         let mut core = shard.core.lock();
-        core.clock = core.clock.next();
-        if let Some(&fid) = core.page_table.get(&page) {
-            let now = core.clock;
-            core.stats.record_hit();
-            core.policy.on_hit(page, now);
-            core.policy.pin(page);
-            shard.frames[fid as usize].pins.fetch_add(1, Ordering::AcqRel);
-            return Ok(fid);
-        }
-        let now = core.clock;
-        core.stats.record_miss();
-        core.policy.on_miss(page, now);
-        let fid = Self::acquire_frame(shard, &mut core, &self.disk)?;
-        {
-            // Miss fill: exclusive latch under the core, pins still zero.
-            let frame = &shard.frames[fid as usize];
-            invariants::assert_unpinned(frame.pins.load(Ordering::Acquire));
-            let _fill_held = invariants::acquiring(LatchClass::FrameEvict);
-            let mut data = frame.data.write();
-            if let Err(e) = self.disk.read_page(page, &mut data) {
-                // Hand the frame back; the shard stays consistent.
-                core.free.push(fid);
-                return Err(e.into());
-            }
-        }
-        core.page_table.insert(page, fid);
-        core.frame_page[fid as usize] = Some(page);
-        core.frame_dirty[fid as usize] = false;
-        core.policy.on_admit(page, now);
-        core.policy.pin(page);
-        shard.frames[fid as usize].pins.store(1, Ordering::Release);
-        Ok(fid)
+        let mut io = LatchedBackend { frames: &shard.frames, disk: &self.disk };
+        let slot = core.access(page, AccessKind::Random, 0, &mut io)?.slot();
+        core.pin_slot(slot)?;
+        Ok(slot)
     }
 
     /// Release one pin; taken only after the frame latch has been dropped.
-    fn unpin(&self, shard: &Shard, page: PageId, fid: u32, dirty: bool) {
+    fn unpin(&self, shard: &Shard, page: PageId, dirty: bool) -> Result<(), BufferError> {
         let _core_held = invariants::acquiring(LatchClass::ShardCore);
-        let mut core = shard.core.lock();
-        let prev = shard.frames[fid as usize].pins.fetch_sub(1, Ordering::AcqRel);
-        invariants::assert_pin_release(prev);
-        core.frame_dirty[fid as usize] |= dirty;
-        core.policy.unpin(page);
-    }
-
-    /// Reclaim a frame: from the free list, else by evicting the policy's
-    /// victim (writing it back first if dirty). Runs under the core latch;
-    /// the victim's frame latch is necessarily uncontended (`pins == 0`).
-    fn acquire_frame(shard: &Shard, core: &mut ShardCore, disk: &C) -> Result<u32, BufferError> {
-        if let Some(fid) = core.free.pop() {
-            return Ok(fid);
-        }
-        let victim = core
-            .policy
-            .select_victim(core.clock)
-            .map_err(BufferError::NoVictim)?;
-        let fid = *core
-            .page_table
-            .get(&victim)
-            .ok_or(BufferError::Invariant("policy victim must be resident"))?;
-        let frame = &shard.frames[fid as usize];
-        invariants::assert_unpinned(frame.pins.load(Ordering::Acquire));
-        let dirty = core.frame_dirty[fid as usize];
-        if dirty {
-            // "if victim is dirty then write victim back into the database"
-            let _evict_held = invariants::acquiring(LatchClass::FrameEvict);
-            let data = frame.data.read();
-            frame.begin_writeback();
-            let wrote = disk.write_page(victim, &data);
-            frame.end_writeback();
-            wrote?;
-        }
-        let now = core.clock;
-        core.stats.record_eviction(dirty);
-        core.page_table.remove(&victim);
-        core.frame_page[fid as usize] = None;
-        core.frame_dirty[fid as usize] = false;
-        core.policy.on_evict(victim, now);
-        Ok(fid)
+        shard.core.lock().unpin(page, dirty)?;
+        Ok(())
     }
 
     /// Run `f` over the contents of `page` (read-only). Concurrent readers
@@ -311,7 +271,7 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&shard.frames[fid as usize].data.read_recursive());
         drop(user_held);
-        self.unpin(shard, page, fid, false);
+        self.unpin(shard, page, false)?;
         Ok(out)
     }
 
@@ -326,7 +286,7 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&mut shard.frames[fid as usize].data.write());
         drop(user_held);
-        self.unpin(shard, page, fid, true);
+        self.unpin(shard, page, true)?;
         Ok(out)
     }
 
@@ -335,24 +295,8 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         for shard in &self.shards {
             let _core_held = invariants::acquiring(LatchClass::ShardCore);
             let mut core = shard.core.lock();
-            for fid in 0..shard.frames.len() {
-                if !core.frame_dirty[fid] {
-                    continue;
-                }
-                let page = core.frame_page[fid]
-                    .ok_or(BufferError::Invariant("dirty frame must be owned"))?;
-                // Shared latch: waits out an in-flight writer (who cannot
-                // need the core latch until after releasing), never deadlocks.
-                let flush_held = invariants::acquiring(LatchClass::FrameFlush);
-                let data = shard.frames[fid].data.read();
-                shard.frames[fid].begin_writeback();
-                let wrote = self.disk.write_page(page, &data);
-                shard.frames[fid].end_writeback();
-                drop(data);
-                drop(flush_held);
-                wrote?;
-                core.frame_dirty[fid] = false;
-            }
+            let mut io = LatchedBackend { frames: &shard.frames, disk: &self.disk };
+            core.flush_all(&mut io)?;
         }
         Ok(())
     }
@@ -366,6 +310,7 @@ mod tests {
     use crate::shared_disk::{ConcurrentInMemoryDisk, MutexDisk};
     use lruk_core::LruK;
     use lruk_policy::VictimError;
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
     fn make(

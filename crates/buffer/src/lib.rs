@@ -6,10 +6,12 @@
 //! * [`DiskManager`] — the disk abstraction, with [`InMemoryDisk`] simulating
 //!   a disk with per-operation cost accounting (the experiments measure I/O
 //!   counts, not wall-clock latency);
-//! * [`BufferPoolManager`] — frames, a page table, pin/unpin reference
-//!   counting, dirty-page write-back, and a pluggable
-//!   [`ReplacementPolicy`](lruk_policy::ReplacementPolicy) (LRU-K or any
-//!   baseline);
+//! * [`BufferPoolManager`] — page-sized frames and disk I/O over the shared
+//!   [`ReplacementCore`](lruk_policy::ReplacementCore) engine, which owns
+//!   the page table, pin/unpin reference counting, dirty tracking, stats,
+//!   and a pluggable [`ReplacementPolicy`](lruk_policy::ReplacementPolicy)
+//!   (LRU-K or any baseline). Every pool in this crate is a frontend of
+//!   that one engine — none re-implements the replacement lifecycle;
 //! * [`PageGuard`] — RAII pin guard for straightforward single-page access;
 //! * three concurrency tiers of thread-safe pool (see `DESIGN.md` for the
 //!   trade-off discussion):
@@ -17,9 +19,9 @@
 //!   the obviously-correct baseline;
 //!   [`ShardedBufferPool`] — a page-hash-partitioned pool with per-shard
 //!   latches and policy instances;
-//!   [`LatchedBufferPool`] — sharded page table **plus** per-frame `RwLock`
-//!   data latches and atomic pin counts, so user closures run outside every
-//!   shard latch and concurrent readers of the same page proceed in parallel;
+//!   [`LatchedBufferPool`] — per-shard engine instances **plus** per-frame
+//!   `RwLock` data latches, so user closures run outside every shard latch
+//!   and concurrent readers of the same page proceed in parallel;
 //! * [`ConcurrentDiskManager`] — the `&self` disk trait the latched pool does
 //!   I/O through ([`ConcurrentInMemoryDisk`] with per-page latches, or any
 //!   sequential disk via [`MutexDisk`]).

@@ -1,9 +1,19 @@
-//! The buffer pool manager.
+//! The buffer pool manager — the sequential frontend of the shared
+//! replacement engine.
+//!
+//! All replacement decisions, hit/miss/eviction accounting, pin counts and
+//! the logical clock live in [`lruk_policy::ReplacementCore`]; this module
+//! adds what the core deliberately lacks: page-sized byte frames and a
+//! [`DiskManager`]. Its [`CoreBackend`] implementation wires the core's two
+//! I/O points to the disk — `write_back` persists a dirty victim's frame,
+//! `fill` reads the missed page into the chosen frame.
 
 use crate::disk::{DiskError, DiskManager, DiskStats, InMemoryDisk};
 use crate::frame::{Frame, FrameId};
-use lruk_policy::fxhash::FxHashMap;
-use lruk_policy::{CacheStats, PageId, ReplacementPolicy, Tick, VictimError};
+use lruk_policy::{
+    AccessKind, CacheStats, CoreBackend, CoreError, EngineError, PageId, ReplacementCore,
+    ReplacementPolicy, Tick, VictimError, WriteBackCause,
+};
 use std::fmt;
 
 /// Errors surfaced by the buffer pool.
@@ -47,37 +57,74 @@ impl From<DiskError> for BufferError {
     }
 }
 
+impl From<CoreError> for BufferError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::NoVictim(v) => BufferError::NoVictim(v),
+            CoreError::NotResident(p) => BufferError::PageNotResident(p),
+            CoreError::Pinned(p) => BufferError::PagePinned(p),
+            CoreError::NotPinned(p) => BufferError::NotPinned(p),
+            CoreError::Invariant(what) => BufferError::Invariant(what),
+        }
+    }
+}
+
+impl From<EngineError<DiskError>> for BufferError {
+    fn from(e: EngineError<DiskError>) -> Self {
+        match e {
+            EngineError::Core(c) => c.into(),
+            EngineError::Backend(d) => BufferError::Disk(d),
+        }
+    }
+}
+
+/// The pool's [`CoreBackend`]: page bytes live in `frames`, stable storage
+/// is `disk`. Borrows both fields mutably while the engine holds the third
+/// (`core`), so one `&mut self` splits cleanly across engine and I/O.
+struct IoBackend<'a, D: DiskManager> {
+    disk: &'a mut D,
+    frames: &'a mut [Frame],
+}
+
+impl<D: DiskManager> CoreBackend for IoBackend<'_, D> {
+    type Error = DiskError;
+
+    fn write_back(
+        &mut self,
+        page: PageId,
+        slot: u32,
+        _cause: WriteBackCause,
+    ) -> Result<(), DiskError> {
+        self.disk.write_page(page, self.frames[slot as usize].data())
+    }
+
+    fn fill(&mut self, page: PageId, slot: u32) -> Result<(), DiskError> {
+        self.disk.read_page(page, self.frames[slot as usize].data_mut())
+    }
+}
+
 /// A buffer pool manager in the style of the paper's prototype: a fixed set
-/// of frames, a page table, pin-based residency control and a pluggable
-/// replacement policy consulted whenever a frame must be reclaimed.
+/// of frames over a [`ReplacementCore`] — the shared engine owns the page
+/// table, free list, pin counts, logical clock, replacement policy and
+/// statistics; the pool contributes frames and disk I/O.
 ///
-/// Every `fetch`/`pin` advances the pool's logical clock by one tick — the
+/// Every `fetch`/`pin` advances the engine's logical clock by one tick — the
 /// paper's timebase of "counts of successive page accesses" — and reports
 /// the reference to the policy.
 pub struct BufferPoolManager<D: DiskManager = InMemoryDisk> {
     disk: D,
     frames: Vec<Frame>,
-    page_table: FxHashMap<PageId, FrameId>,
-    free_frames: Vec<FrameId>,
-    policy: Box<dyn ReplacementPolicy>,
-    clock: Tick,
-    stats: CacheStats,
+    core: ReplacementCore<'static>,
 }
 
 impl<D: DiskManager> BufferPoolManager<D> {
     /// Pool with `capacity` frames over `disk`, replacing via `policy`.
     pub fn new(capacity: usize, disk: D, policy: Box<dyn ReplacementPolicy>) -> Self {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
-        let frames = (0..capacity).map(|_| Frame::new()).collect();
-        let free_frames = (0..capacity as u32).rev().map(FrameId).collect();
         BufferPoolManager {
             disk,
-            frames,
-            page_table: FxHashMap::default(),
-            free_frames,
-            policy,
-            clock: Tick::ZERO,
-            stats: CacheStats::default(),
+            frames: (0..capacity).map(|_| Frame::new()).collect(),
+            core: ReplacementCore::new(capacity, policy),
         }
     }
 
@@ -88,27 +135,27 @@ impl<D: DiskManager> BufferPoolManager<D> {
 
     /// Number of resident pages.
     pub fn resident_pages(&self) -> usize {
-        self.page_table.len()
+        self.core.resident_len()
     }
 
     /// True if `page` is currently resident.
     pub fn contains(&self, page: PageId) -> bool {
-        self.page_table.contains_key(&page)
+        self.core.contains(page)
     }
 
     /// The pool's logical clock (ticks = references so far).
     pub fn clock(&self) -> Tick {
-        self.clock
+        self.core.clock()
     }
 
-    /// Hit/miss statistics.
+    /// Hit/miss statistics (recorded by the engine, the single writer).
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.core.stats()
     }
 
     /// Reset hit/miss statistics (e.g. after a warmup phase).
     pub fn reset_stats(&mut self) {
-        self.stats.reset();
+        self.core.reset_stats();
     }
 
     /// Disk I/O statistics.
@@ -118,7 +165,7 @@ impl<D: DiskManager> BufferPoolManager<D> {
 
     /// The replacement policy (for diagnostics).
     pub fn policy(&self) -> &dyn ReplacementPolicy {
-        self.policy.as_ref()
+        self.core.policy()
     }
 
     /// The underlying disk (for diagnostics).
@@ -137,46 +184,23 @@ impl<D: DiskManager> BufferPoolManager<D> {
     /// [`unpin_page`](Self::unpin_page). Prefer the RAII
     /// [`fetch_page`](Self::fetch_page)/[`fetch_page_mut`](Self::fetch_page_mut)
     /// for single-page access.
+    ///
+    /// The hit/miss/evict/admit sequence — including the dirty-victim
+    /// write-back — is [`ReplacementCore::access`]; this method only routes
+    /// the engine's I/O callbacks at the disk and pins the resulting slot.
     pub fn pin_page(&mut self, page: PageId) -> Result<FrameId, BufferError> {
-        self.clock = self.clock.next();
-        if let Some(&fid) = self.page_table.get(&page) {
-            self.stats.record_hit();
-            self.policy.on_hit(page, self.clock);
-            self.policy.pin(page);
-            self.frames[fid.raw() as usize].pin_count += 1;
-            return Ok(fid);
-        }
-        self.stats.record_miss();
-        self.policy.on_miss(page, self.clock);
-        let fid = self.acquire_frame()?;
-        let frame = &mut self.frames[fid.raw() as usize];
-        if let Err(e) = self.disk.read_page(page, frame.data_mut()) {
-            // Hand the frame back; the pool stays consistent.
-            self.free_frames.push(fid);
-            return Err(e.into());
-        }
-        frame.page = Some(page);
-        frame.pin_count = 1;
-        frame.dirty = false;
-        self.page_table.insert(page, fid);
-        self.policy.on_admit(page, self.clock);
-        self.policy.pin(page);
-        Ok(fid)
+        let Self { disk, frames, core } = self;
+        let mut io = IoBackend { disk, frames };
+        let slot = core
+            .access(page, AccessKind::Random, 0, &mut io)?
+            .slot();
+        core.pin_slot(slot)?;
+        Ok(FrameId(slot))
     }
 
     /// Release one pin of `page`; `dirty` marks the frame as modified.
     pub fn unpin_page(&mut self, page: PageId, dirty: bool) -> Result<(), BufferError> {
-        let &fid = self
-            .page_table
-            .get(&page)
-            .ok_or(BufferError::PageNotResident(page))?;
-        let frame = &mut self.frames[fid.raw() as usize];
-        if frame.pin_count == 0 {
-            return Err(BufferError::NotPinned(page));
-        }
-        frame.pin_count -= 1;
-        frame.dirty |= dirty;
-        self.policy.unpin(page);
+        self.core.unpin(page, dirty)?;
         Ok(())
     }
 
@@ -214,71 +238,28 @@ impl<D: DiskManager> BufferPoolManager<D> {
 
     /// Write `page` back to disk if resident and dirty.
     pub fn flush_page(&mut self, page: PageId) -> Result<(), BufferError> {
-        let &fid = self
-            .page_table
-            .get(&page)
-            .ok_or(BufferError::PageNotResident(page))?;
-        let frame = &mut self.frames[fid.raw() as usize];
-        if frame.dirty {
-            self.disk.write_page(page, frame.data())?;
-            frame.dirty = false;
-        }
+        let Self { disk, frames, core } = self;
+        let mut io = IoBackend { disk, frames };
+        core.flush_page(page, &mut io)?;
         Ok(())
     }
 
-    /// Flush every dirty resident page.
+    /// Flush every dirty resident page (in frame order — deterministic).
     pub fn flush_all(&mut self) -> Result<(), BufferError> {
-        let pages: Vec<PageId> = self.page_table.keys().copied().collect();
-        for page in pages {
-            self.flush_page(page)?;
-        }
+        let Self { disk, frames, core } = self;
+        let mut io = IoBackend { disk, frames };
+        core.flush_all(&mut io)?;
         Ok(())
     }
 
     /// Delete `page`: drop it from the pool (it must be unpinned), discard
     /// any policy history, and deallocate it on disk.
     pub fn delete_page(&mut self, page: PageId) -> Result<(), BufferError> {
-        if let Some(&fid) = self.page_table.get(&page) {
-            let frame = &mut self.frames[fid.raw() as usize];
-            if frame.pin_count > 0 {
-                return Err(BufferError::PagePinned(page));
-            }
-            frame.reset();
-            frame.zero();
-            self.page_table.remove(&page);
-            self.free_frames.push(fid);
+        if let Some(slot) = self.core.forget(page)? {
+            self.frames[slot as usize].zero();
         }
-        self.policy.forget(page);
         self.disk.deallocate_page(page)?;
         Ok(())
-    }
-
-    /// Reclaim a frame: from the free list, else by evicting the policy's
-    /// victim (writing it back first if dirty).
-    fn acquire_frame(&mut self) -> Result<FrameId, BufferError> {
-        if let Some(fid) = self.free_frames.pop() {
-            return Ok(fid);
-        }
-        let victim = self
-            .policy
-            .select_victim(self.clock)
-            .map_err(BufferError::NoVictim)?;
-        let fid = *self
-            .page_table
-            .get(&victim)
-            .ok_or(BufferError::Invariant("policy victim must be resident"))?;
-        let frame = &mut self.frames[fid.raw() as usize];
-        debug_assert_eq!(frame.pin_count, 0, "policy returned a pinned victim");
-        let dirty = frame.dirty;
-        if dirty {
-            // "if victim is dirty then write victim back into the database"
-            self.disk.write_page(victim, frame.data())?;
-        }
-        self.stats.record_eviction(dirty);
-        frame.reset();
-        self.page_table.remove(&victim);
-        self.policy.on_evict(victim, self.clock);
-        Ok(fid)
     }
 }
 
@@ -287,8 +268,8 @@ impl<D: DiskManager> fmt::Debug for BufferPoolManager<D> {
         f.debug_struct("BufferPoolManager")
             .field("capacity", &self.capacity())
             .field("resident", &self.resident_pages())
-            .field("policy", &self.policy.name())
-            .field("clock", &self.clock)
+            .field("policy", &self.policy().name())
+            .field("clock", &self.clock())
             .finish()
     }
 }

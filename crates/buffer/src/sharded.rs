@@ -5,9 +5,11 @@
 //! what multi-user systems avoid. [`ShardedBufferPool`] partitions pages
 //! across `shards` independent pools by page-id hash, each with its own
 //! latch, policy instance and frame quota, so disjoint working sets proceed
-//! in parallel. This mirrors how production buffer managers deploy LRU-K-
-//! style policies (per-partition replacement state), and it exercises the
-//! policies under true concurrency in the stress tests.
+//! in parallel. Each shard is a [`BufferPoolManager`] — and therefore a
+//! frontend over the shared [`ReplacementCore`](lruk_policy::ReplacementCore)
+//! engine, one engine instance per shard. This mirrors how production buffer
+//! managers deploy LRU-K-style policies (per-partition replacement state),
+//! and it exercises the policies under true concurrency in the stress tests.
 //!
 //! Trade-off (documented, inherent to sharding): replacement decisions are
 //! per-shard, so a globally-optimal victim in another shard cannot be

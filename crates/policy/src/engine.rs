@@ -1,0 +1,891 @@
+//! The shared replacement engine: one implementation of the paper's
+//! Figure 2.1 reference lifecycle, driven by every frontend.
+//!
+//! Historically each driver — the sequential buffer pool, the three
+//! concurrent pool tiers, and the simulator — re-implemented the same state
+//! machine: probe the page table, bump hit/miss counters, consult
+//! [`ReplacementPolicy::select_victim`], write a dirty victim back, then
+//! admit the new page. Five copies of that sequence drifted in where they
+//! bumped counters and in which order they reported events. This module is
+//! the single surviving copy: [`ReplacementCore`] owns the page table, free
+//! list, logical clock, pin bookkeeping, the boxed policy, and the
+//! [`CacheStats`], and exposes one step function, [`ReplacementCore::access`].
+//!
+//! ## Division of labour
+//!
+//! The core is deliberately **frameless and lock-free**: it tracks *which*
+//! page occupies *which* slot, but never touches page bytes, latches, or
+//! disks. Those belong to the driver, which hands the core a [`CoreBackend`]
+//! — two callbacks the core invokes at the exact points the paper's
+//! pseudo-code performs I/O:
+//!
+//! * [`CoreBackend::write_back`] — "if victim is dirty then write victim
+//!   back into the database" (also used by the flush hooks);
+//! * [`CoreBackend::fill`] — fetch the missed page into the chosen slot.
+//!
+//! A driver that needs no I/O at all (the simulator) passes [`NoopBackend`].
+//! Concurrent drivers hold their own latch around the whole `access` call;
+//! the core itself never blocks, so it slots in under any locking discipline
+//! (it is registered in the `xtask` latch hierarchy as running *under* the
+//! driver's shard/pool latch and acquiring nothing).
+//!
+//! ## Accounting contract (single source of truth)
+//!
+//! * The logical clock advances by one tick at the *entry* of every
+//!   [`access`](ReplacementCore::access), hit or miss — so a failed
+//!   admission (`NoVictim`) still consumes a tick and records a miss,
+//!   exactly as a real pool observes the reference before discovering it
+//!   cannot honour it.
+//! * `record_miss` happens before victim selection; `record_eviction(dirty)`
+//!   happens after a successful write-back and before
+//!   [`ReplacementPolicy::on_evict`].
+//! * A [`CoreBackend::fill`] failure hands the slot back to the free list
+//!   and admits nothing — but the eviction (if one happened) stands, and the
+//!   miss stays counted.
+//! * [`reset_stats`](ReplacementCore::reset_stats) clears *all* counters,
+//!   evictions included (the paper's warmup→measure transition).
+
+use crate::fxhash::FxHashMap;
+use crate::policy::{ReplacementPolicy, VictimError};
+use crate::stats::CacheStats;
+use crate::types::{AccessKind, PageId, Tick};
+use std::fmt;
+
+/// Why the driver is being asked to write a page's bytes to disk.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteBackCause {
+    /// The page is the replacement victim and is dirty (Figure 2.1's
+    /// "write victim back into the database" step). Its slot is about to be
+    /// reused.
+    Evict,
+    /// An explicit [`flush_page`](ReplacementCore::flush_page) /
+    /// [`flush_all`](ReplacementCore::flush_all): the page stays resident.
+    Flush,
+}
+
+/// Driver-side I/O callbacks invoked by the core at the points the paper's
+/// pseudo-code touches the database.
+///
+/// `slot` is the frame index the core assigned (always `< capacity`); a
+/// frameless driver may ignore it.
+pub trait CoreBackend {
+    /// Driver I/O error type, surfaced as [`EngineError::Backend`].
+    type Error;
+
+    /// Write `page`'s current bytes (held in `slot`) back to stable storage.
+    fn write_back(
+        &mut self,
+        page: PageId,
+        slot: u32,
+        cause: WriteBackCause,
+    ) -> Result<(), Self::Error>;
+
+    /// Load `page`'s bytes from stable storage into `slot`.
+    fn fill(&mut self, page: PageId, slot: u32) -> Result<(), Self::Error>;
+}
+
+/// Backend for frameless drivers (the simulator): both callbacks succeed
+/// without doing anything, and the error type is uninhabited.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct NoopBackend;
+
+impl CoreBackend for NoopBackend {
+    type Error = std::convert::Infallible;
+
+    fn write_back(
+        &mut self,
+        _page: PageId,
+        _slot: u32,
+        _cause: WriteBackCause,
+    ) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn fill(&mut self, _page: PageId, _slot: u32) -> Result<(), Self::Error> {
+        Ok(())
+    }
+}
+
+/// A page evicted to make room, as reported in [`Outcome::Admitted`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Evicted {
+    /// The victim page.
+    pub page: PageId,
+    /// True if it was dirty (the backend has already written it back).
+    pub dirty: bool,
+}
+
+/// What one [`access`](ReplacementCore::access) did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The page was resident; `slot` holds it.
+    Hit {
+        /// Frame slot holding the page.
+        slot: u32,
+    },
+    /// The page missed and was admitted into `slot`, evicting `victim` if
+    /// the pool was full (a dirty victim has already been written back via
+    /// the backend).
+    Admitted {
+        /// Frame slot the page was admitted into.
+        slot: u32,
+        /// The evicted page, if a replacement was needed.
+        victim: Option<Evicted>,
+    },
+}
+
+impl Outcome {
+    /// The slot holding the accessed page (valid for both variants).
+    #[inline]
+    pub fn slot(&self) -> u32 {
+        match *self {
+            Outcome::Hit { slot } | Outcome::Admitted { slot, .. } => slot,
+        }
+    }
+
+    /// True for [`Outcome::Hit`].
+    #[inline]
+    pub fn is_hit(&self) -> bool {
+        matches!(self, Outcome::Hit { .. })
+    }
+}
+
+/// Bookkeeping errors from the core's own state machine (no backend I/O
+/// involved).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// No frame could be reclaimed for a new page.
+    NoVictim(VictimError),
+    /// The page is not resident (for operations that require residency).
+    NotResident(PageId),
+    /// The operation requires the page to be unpinned.
+    Pinned(PageId),
+    /// Unpin called on a page with a zero pin count.
+    NotPinned(PageId),
+    /// Internal bookkeeping diverged (page table, slot ownership, or the
+    /// policy's resident set out of sync). Indicates an engine or policy
+    /// bug, surfaced as a typed error so a latch-holding driver can release
+    /// cleanly instead of unwinding through shared state.
+    Invariant(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoVictim(e) => write!(f, "cannot reclaim a frame: {e}"),
+            CoreError::NotResident(p) => write!(f, "page {p} is not resident"),
+            CoreError::Pinned(p) => write!(f, "page {p} is pinned"),
+            CoreError::NotPinned(p) => write!(f, "page {p} is not pinned"),
+            CoreError::Invariant(what) => write!(f, "engine invariant violated: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Error from a core operation that may also perform backend I/O.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineError<E> {
+    /// The core's own state machine refused the operation.
+    Core(CoreError),
+    /// The driver's backend failed (disk error); the core state remains
+    /// consistent as documented on each operation.
+    Backend(E),
+}
+
+impl<E> From<CoreError> for EngineError<E> {
+    fn from(e: CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+impl<E: fmt::Display> fmt::Display for EngineError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "{e}"),
+            EngineError::Backend(e) => write!(f, "backend error: {e}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for EngineError<E> {}
+
+/// Owned or borrowed policy, so pools can own their policy (`'static`) while
+/// the simulator drives a caller-provided `&mut dyn ReplacementPolicy`
+/// without changing its public signature.
+enum PolicyHandle<'p> {
+    Owned(Box<dyn ReplacementPolicy>),
+    Borrowed(&'p mut dyn ReplacementPolicy),
+}
+
+impl PolicyHandle<'_> {
+    #[inline]
+    fn get_mut(&mut self) -> &mut dyn ReplacementPolicy {
+        match self {
+            PolicyHandle::Owned(p) => p.as_mut(),
+            PolicyHandle::Borrowed(p) => *p,
+        }
+    }
+
+    #[inline]
+    fn get(&self) -> &dyn ReplacementPolicy {
+        match self {
+            PolicyHandle::Owned(p) => p.as_ref(),
+            PolicyHandle::Borrowed(p) => *p,
+        }
+    }
+}
+
+/// The one replacement engine behind every frontend.
+///
+/// Owns the page table (page → slot), the free slot list, per-slot pin
+/// counts and dirty flags, the logical clock, the replacement policy, and
+/// the [`CacheStats`]. Drivers add whatever the core deliberately lacks:
+/// page bytes, latches, and disks.
+///
+/// Slots are dense indices `0..capacity`; a fresh core hands them out in
+/// ascending order (slot 0 first), matching the historical pools' free-list
+/// order so replacement decisions are bit-for-bit reproducible.
+pub struct ReplacementCore<'p> {
+    policy: PolicyHandle<'p>,
+    page_table: FxHashMap<PageId, u32>,
+    /// Owner page of each slot (`None` = free).
+    slot_page: Vec<Option<PageId>>,
+    /// Diverges-from-disk flag per slot.
+    slot_dirty: Vec<bool>,
+    /// Nested pin count per slot; only zero-pin slots may be victimized.
+    slot_pins: Vec<u32>,
+    free: Vec<u32>,
+    clock: Tick,
+    stats: CacheStats,
+}
+
+impl ReplacementCore<'static> {
+    /// A core with `capacity` slots, owning `policy`.
+    pub fn new(capacity: usize, policy: Box<dyn ReplacementPolicy>) -> Self {
+        Self::build(capacity, PolicyHandle::Owned(policy))
+    }
+}
+
+impl<'p> ReplacementCore<'p> {
+    /// A core with `capacity` slots over a borrowed policy (the simulator's
+    /// calling convention: the caller keeps the policy afterwards, e.g. to
+    /// persist its history).
+    pub fn with_policy(capacity: usize, policy: &'p mut dyn ReplacementPolicy) -> Self {
+        Self::build(capacity, PolicyHandle::Borrowed(policy))
+    }
+
+    fn build(capacity: usize, policy: PolicyHandle<'p>) -> Self {
+        assert!(capacity >= 1, "replacement core needs at least one slot");
+        ReplacementCore {
+            policy,
+            page_table: FxHashMap::default(),
+            slot_page: vec![None; capacity],
+            slot_dirty: vec![false; capacity],
+            slot_pins: vec![0; capacity],
+            free: (0..capacity as u32).rev().collect(),
+            clock: Tick::ZERO,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of slots.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slot_page.len()
+    }
+
+    /// Number of resident pages.
+    #[inline]
+    pub fn resident_len(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// True if `page` is currently resident.
+    #[inline]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.page_table.contains_key(&page)
+    }
+
+    /// The slot holding `page`, if resident.
+    #[inline]
+    pub fn slot_of(&self, page: PageId) -> Option<u32> {
+        self.page_table.get(&page).copied()
+    }
+
+    /// The page held by `slot`, if any.
+    #[inline]
+    pub fn page_of(&self, slot: u32) -> Option<PageId> {
+        self.slot_page.get(slot as usize).copied().flatten()
+    }
+
+    /// The resident pages, sorted ascending (a deterministic order, unlike
+    /// hash-table iteration).
+    pub fn resident_pages(&self) -> Vec<PageId> {
+        let mut pages: Vec<PageId> = self.page_table.keys().copied().collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// The logical clock (ticks = references so far).
+    #[inline]
+    pub fn clock(&self) -> Tick {
+        self.clock
+    }
+
+    /// Rebase the logical clock: the next [`access`](Self::access) is
+    /// stamped `clock.next()`. Used when driving a policy with restored
+    /// history whose timestamps must never rewind.
+    pub fn rebase_clock(&mut self, clock: Tick) {
+        self.clock = clock;
+    }
+
+    /// Hit/miss/eviction statistics. The core is the only writer.
+    #[inline]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset all statistics, evictions included (the warmup→measure
+    /// transition).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// The replacement policy (for diagnostics).
+    pub fn policy(&self) -> &dyn ReplacementPolicy {
+        self.policy.get()
+    }
+
+    /// One reference — the paper's Figure 2.1 step, the only implementation
+    /// of the hit/miss/evict/admit sequence in the workspace.
+    ///
+    /// Advances the clock, reports `kind`/`pid` to the policy, then:
+    ///
+    /// * **hit** — records the hit, calls [`ReplacementPolicy::on_hit`],
+    ///   returns [`Outcome::Hit`];
+    /// * **miss** — records the miss, calls [`ReplacementPolicy::on_miss`],
+    ///   takes a free slot or evicts the policy's victim (backend write-back
+    ///   first when dirty, then `record_eviction`, then
+    ///   [`ReplacementPolicy::on_evict`]), fills the slot via the backend,
+    ///   and admits ([`ReplacementPolicy::on_admit`]).
+    ///
+    /// Does **not** pin: pinning drivers call
+    /// [`pin_slot`](Self::pin_slot) on the returned slot.
+    ///
+    /// On error the core stays consistent: a failed victim write-back leaves
+    /// the victim resident (and dirty); a failed fill returns the slot to
+    /// the free list with no admission. In both cases the reference has
+    /// still been counted (miss) and the clock has advanced, matching how a
+    /// pool observes a reference before discovering it cannot honour it.
+    pub fn access<B: CoreBackend>(
+        &mut self,
+        page: PageId,
+        kind: AccessKind,
+        pid: u64,
+        backend: &mut B,
+    ) -> Result<Outcome, EngineError<B::Error>> {
+        self.clock = self.clock.next();
+        let now = self.clock;
+        {
+            let policy = self.policy.get_mut();
+            policy.note_kind(kind);
+            policy.note_process(pid);
+        }
+        if let Some(&slot) = self.page_table.get(&page) {
+            self.stats.record_hit();
+            self.policy.get_mut().on_hit(page, now);
+            return Ok(Outcome::Hit { slot });
+        }
+        self.stats.record_miss();
+        self.policy.get_mut().on_miss(page, now);
+        let (slot, victim) = match self.free.pop() {
+            Some(slot) => (slot, None),
+            None => {
+                let evicted = self.evict_victim(now, backend)?;
+                (self.free_slot_after_eviction()?, Some(evicted))
+            }
+        };
+        if let Err(e) = backend.fill(page, slot) {
+            // Hand the slot back; the core stays consistent (the eviction,
+            // if any, stands).
+            self.free.push(slot);
+            return Err(EngineError::Backend(e));
+        }
+        self.page_table.insert(page, slot);
+        self.slot_page[slot as usize] = Some(page);
+        self.slot_dirty[slot as usize] = false;
+        self.policy.get_mut().on_admit(page, now);
+        debug_assert_eq!(
+            self.page_table.len(),
+            self.policy.get().resident_len(),
+            "policy resident-set bookkeeping diverged at tick {now}"
+        );
+        Ok(Outcome::Admitted { slot, victim })
+    }
+
+    /// Evict the policy's victim: write-back if dirty, account, un-map, and
+    /// report. On success the victim's slot sits on the free list.
+    fn evict_victim<B: CoreBackend>(
+        &mut self,
+        now: Tick,
+        backend: &mut B,
+    ) -> Result<Evicted, EngineError<B::Error>> {
+        let victim = self
+            .policy
+            .get_mut()
+            .select_victim(now)
+            .map_err(CoreError::NoVictim)?;
+        let &slot = self
+            .page_table
+            .get(&victim)
+            .ok_or(CoreError::Invariant("policy victim must be resident"))?;
+        debug_assert_eq!(
+            self.slot_pins[slot as usize], 0,
+            "policy returned a pinned victim"
+        );
+        let dirty = self.slot_dirty[slot as usize];
+        if dirty {
+            // "if victim is dirty then write victim back into the database"
+            backend
+                .write_back(victim, slot, WriteBackCause::Evict)
+                .map_err(EngineError::Backend)?;
+        }
+        self.stats.record_eviction(dirty);
+        self.page_table.remove(&victim);
+        self.slot_page[slot as usize] = None;
+        self.slot_dirty[slot as usize] = false;
+        self.free.push(slot);
+        self.policy.get_mut().on_evict(victim, now);
+        Ok(Evicted {
+            page: victim,
+            dirty,
+        })
+    }
+
+    /// Pop the slot just freed by [`evict_victim`](Self::evict_victim).
+    fn free_slot_after_eviction(&mut self) -> Result<u32, CoreError> {
+        self.free
+            .pop()
+            .ok_or(CoreError::Invariant("eviction must free a slot"))
+    }
+
+    /// Pin the page held by `slot` (must be occupied). Pins nest; pinned
+    /// slots are never victimized.
+    pub fn pin_slot(&mut self, slot: u32) -> Result<(), CoreError> {
+        let page = self
+            .page_of(slot)
+            .ok_or(CoreError::Invariant("pin of an unoccupied slot"))?;
+        self.slot_pins[slot as usize] += 1;
+        self.policy.get_mut().pin(page);
+        Ok(())
+    }
+
+    /// Release one pin of `page`; `dirty` marks its slot as modified.
+    /// Returns the slot.
+    pub fn unpin(&mut self, page: PageId, dirty: bool) -> Result<u32, CoreError> {
+        let &slot = self
+            .page_table
+            .get(&page)
+            .ok_or(CoreError::NotResident(page))?;
+        let pins = &mut self.slot_pins[slot as usize];
+        if *pins == 0 {
+            return Err(CoreError::NotPinned(page));
+        }
+        *pins -= 1;
+        self.slot_dirty[slot as usize] |= dirty;
+        self.policy.get_mut().unpin(page);
+        Ok(slot)
+    }
+
+    /// Nested pin count of `slot`.
+    #[inline]
+    pub fn pin_count(&self, slot: u32) -> u32 {
+        self.slot_pins.get(slot as usize).copied().unwrap_or(0)
+    }
+
+    /// True if `slot` holds modifications not yet written back.
+    #[inline]
+    pub fn is_dirty(&self, slot: u32) -> bool {
+        self.slot_dirty.get(slot as usize).copied().unwrap_or(false)
+    }
+
+    /// Drop `page` from the core (it must be unpinned if resident) and
+    /// discard all policy metadata about it, including retained history —
+    /// the page-deletion path. Returns the freed slot when the page was
+    /// resident; the driver zeroes/reuses the bytes.
+    pub fn forget(&mut self, page: PageId) -> Result<Option<u32>, CoreError> {
+        let freed = match self.page_table.get(&page).copied() {
+            Some(slot) => {
+                if self.slot_pins[slot as usize] > 0 {
+                    return Err(CoreError::Pinned(page));
+                }
+                self.page_table.remove(&page);
+                self.slot_page[slot as usize] = None;
+                self.slot_dirty[slot as usize] = false;
+                self.free.push(slot);
+                Some(slot)
+            }
+            None => None,
+        };
+        self.policy.get_mut().forget(page);
+        Ok(freed)
+    }
+
+    /// Write `page` back via the backend if resident and dirty (the dirty
+    /// flag clears only after the backend succeeds).
+    pub fn flush_page<B: CoreBackend>(
+        &mut self,
+        page: PageId,
+        backend: &mut B,
+    ) -> Result<(), EngineError<B::Error>> {
+        let &slot = self
+            .page_table
+            .get(&page)
+            .ok_or(CoreError::NotResident(page))?;
+        self.flush_slot(page, slot, backend)
+    }
+
+    /// Write every dirty resident page back via the backend, in slot order
+    /// (deterministic, unlike page-table iteration). Stops at the first
+    /// backend error; already-flushed slots stay clean.
+    pub fn flush_all<B: CoreBackend>(&mut self, backend: &mut B) -> Result<(), EngineError<B::Error>> {
+        for slot in 0..self.slot_page.len() as u32 {
+            if !self.slot_dirty[slot as usize] {
+                continue;
+            }
+            let page = self
+                .page_of(slot)
+                .ok_or(CoreError::Invariant("dirty slot must be owned"))?;
+            self.flush_slot(page, slot, backend)?;
+        }
+        Ok(())
+    }
+
+    fn flush_slot<B: CoreBackend>(
+        &mut self,
+        page: PageId,
+        slot: u32,
+        backend: &mut B,
+    ) -> Result<(), EngineError<B::Error>> {
+        if self.slot_dirty[slot as usize] {
+            backend
+                .write_back(page, slot, WriteBackCause::Flush)
+                .map_err(EngineError::Backend)?;
+            self.slot_dirty[slot as usize] = false;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for ReplacementCore<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplacementCore")
+            .field("capacity", &self.capacity())
+            .field("resident", &self.resident_len())
+            .field("policy", &self.policy.get().name())
+            .field("clock", &self.clock)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pin::PinSet;
+
+    /// Minimal FIFO policy for driving the engine without `lruk-core`.
+    struct Fifo {
+        order: Vec<PageId>,
+        pins: PinSet,
+    }
+
+    impl Fifo {
+        fn boxed() -> Box<dyn ReplacementPolicy> {
+            Box::new(Fifo {
+                order: vec![],
+                pins: PinSet::new(),
+            })
+        }
+    }
+
+    impl ReplacementPolicy for Fifo {
+        fn name(&self) -> String {
+            "fifo".into()
+        }
+        fn on_hit(&mut self, _p: PageId, _t: Tick) {}
+        fn on_admit(&mut self, p: PageId, _t: Tick) {
+            self.order.push(p);
+        }
+        fn on_evict(&mut self, p: PageId, _t: Tick) {
+            self.order.retain(|&q| q != p);
+        }
+        fn select_victim(&mut self, _t: Tick) -> Result<PageId, VictimError> {
+            if self.order.is_empty() {
+                return Err(VictimError::Empty);
+            }
+            self.order
+                .iter()
+                .copied()
+                .find(|&p| !self.pins.is_pinned(p))
+                .ok_or(VictimError::AllPinned)
+        }
+        fn pin(&mut self, p: PageId) {
+            self.pins.pin(p);
+        }
+        fn unpin(&mut self, p: PageId) {
+            self.pins.unpin(p);
+        }
+        fn forget(&mut self, p: PageId) {
+            self.order.retain(|&q| q != p);
+        }
+        fn resident_len(&self) -> usize {
+            self.order.len()
+        }
+    }
+
+    /// Backend that logs calls and can be told to fail.
+    #[derive(Default)]
+    struct LogBackend {
+        log: Vec<(PageId, u32, &'static str)>,
+        fail_fill: bool,
+        fail_write_back: bool,
+    }
+
+    impl CoreBackend for LogBackend {
+        type Error = &'static str;
+
+        fn write_back(
+            &mut self,
+            page: PageId,
+            slot: u32,
+            cause: WriteBackCause,
+        ) -> Result<(), Self::Error> {
+            if self.fail_write_back {
+                return Err("write_back failed");
+            }
+            self.log.push((
+                page,
+                slot,
+                match cause {
+                    WriteBackCause::Evict => "evict",
+                    WriteBackCause::Flush => "flush",
+                },
+            ));
+            Ok(())
+        }
+
+        fn fill(&mut self, page: PageId, slot: u32) -> Result<(), Self::Error> {
+            if self.fail_fill {
+                return Err("fill failed");
+            }
+            self.log.push((page, slot, "fill"));
+            Ok(())
+        }
+    }
+
+    fn access(
+        core: &mut ReplacementCore<'_>,
+        b: &mut LogBackend,
+        page: u64,
+    ) -> Result<Outcome, EngineError<&'static str>> {
+        core.access(PageId(page), AccessKind::Random, 0, b)
+    }
+
+    #[test]
+    fn hit_miss_evict_sequence_and_clock() {
+        let mut core = ReplacementCore::new(2, Fifo::boxed());
+        let mut b = LogBackend::default();
+        // Miss into slot 0, miss into slot 1, hit, then FIFO-evict page 1.
+        assert_eq!(
+            access(&mut core, &mut b, 1).unwrap(),
+            Outcome::Admitted { slot: 0, victim: None }
+        );
+        assert_eq!(
+            access(&mut core, &mut b, 2).unwrap(),
+            Outcome::Admitted { slot: 1, victim: None }
+        );
+        assert_eq!(access(&mut core, &mut b, 1).unwrap(), Outcome::Hit { slot: 0 });
+        assert_eq!(
+            access(&mut core, &mut b, 3).unwrap(),
+            Outcome::Admitted {
+                slot: 0,
+                victim: Some(Evicted { page: PageId(1), dirty: false })
+            }
+        );
+        assert_eq!(core.clock(), Tick(4));
+        let s = core.stats();
+        assert_eq!((s.hits, s.misses, s.evictions, s.dirty_writebacks), (1, 3, 1, 0));
+        assert_eq!(core.resident_pages(), vec![PageId(2), PageId(3)]);
+        // Clean eviction: no write-back in the log.
+        assert_eq!(
+            b.log,
+            vec![(PageId(1), 0, "fill"), (PageId(2), 1, "fill"), (PageId(3), 0, "fill")]
+        );
+    }
+
+    #[test]
+    fn dirty_victim_written_back_before_eviction() {
+        let mut core = ReplacementCore::new(1, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        core.pin_slot(0).unwrap();
+        core.unpin(PageId(1), true).unwrap();
+        assert!(core.is_dirty(0));
+        let out = access(&mut core, &mut b, 2).unwrap();
+        assert_eq!(
+            out,
+            Outcome::Admitted {
+                slot: 0,
+                victim: Some(Evicted { page: PageId(1), dirty: true })
+            }
+        );
+        assert_eq!(
+            b.log,
+            vec![(PageId(1), 0, "fill"), (PageId(1), 0, "evict"), (PageId(2), 0, "fill")]
+        );
+        assert_eq!(core.stats().dirty_writebacks, 1);
+        assert!(!core.is_dirty(0), "admission resets the dirty flag");
+    }
+
+    #[test]
+    fn pins_nest_and_protect_from_eviction() {
+        let mut core = ReplacementCore::new(1, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        core.pin_slot(0).unwrap();
+        core.pin_slot(0).unwrap();
+        assert_eq!(core.pin_count(0), 2);
+        assert_eq!(
+            access(&mut core, &mut b, 2),
+            Err(EngineError::Core(CoreError::NoVictim(VictimError::AllPinned)))
+        );
+        // The failed admission still counted the reference and the tick.
+        assert_eq!(core.stats().misses, 2);
+        assert_eq!(core.clock(), Tick(2));
+        core.unpin(PageId(1), false).unwrap();
+        assert_eq!(
+            access(&mut core, &mut b, 2),
+            Err(EngineError::Core(CoreError::NoVictim(VictimError::AllPinned)))
+        );
+        core.unpin(PageId(1), false).unwrap();
+        assert!(access(&mut core, &mut b, 2).unwrap().slot() == 0);
+        assert_eq!(
+            core.unpin(PageId(1), false),
+            Err(CoreError::NotResident(PageId(1)))
+        );
+        assert_eq!(
+            core.unpin(PageId(2), false),
+            Err(CoreError::NotPinned(PageId(2)))
+        );
+    }
+
+    #[test]
+    fn failed_fill_returns_slot_and_keeps_miss_counted() {
+        let mut core = ReplacementCore::new(1, Fifo::boxed());
+        let mut b = LogBackend { fail_fill: true, ..Default::default() };
+        assert_eq!(
+            access(&mut core, &mut b, 1),
+            Err(EngineError::Backend("fill failed"))
+        );
+        assert_eq!(core.resident_len(), 0);
+        assert_eq!(core.stats().misses, 1);
+        b.fail_fill = false;
+        // The slot is reusable.
+        assert_eq!(access(&mut core, &mut b, 1).unwrap().slot(), 0);
+        assert_eq!(core.resident_len(), 1);
+    }
+
+    #[test]
+    fn failed_write_back_leaves_victim_resident_and_dirty() {
+        let mut core = ReplacementCore::new(1, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        core.pin_slot(0).unwrap();
+        core.unpin(PageId(1), true).unwrap();
+        b.fail_write_back = true;
+        assert_eq!(
+            access(&mut core, &mut b, 2),
+            Err(EngineError::Backend("write_back failed"))
+        );
+        assert!(core.contains(PageId(1)), "victim must survive a failed write-back");
+        assert!(core.is_dirty(0));
+        assert_eq!(core.stats().evictions, 0);
+        b.fail_write_back = false;
+        assert!(access(&mut core, &mut b, 2).is_ok());
+        assert_eq!(core.stats().dirty_writebacks, 1);
+    }
+
+    #[test]
+    fn flush_hooks_clear_dirty_in_slot_order() {
+        let mut core = ReplacementCore::new(3, Fifo::boxed());
+        let mut b = LogBackend::default();
+        for p in [1u64, 2, 3] {
+            access(&mut core, &mut b, p).unwrap();
+            core.pin_slot(core.slot_of(PageId(p)).unwrap()).unwrap();
+            core.unpin(PageId(p), p != 2).unwrap();
+        }
+        b.log.clear();
+        core.flush_all(&mut b).unwrap();
+        assert_eq!(
+            b.log,
+            vec![(PageId(1), 0, "flush"), (PageId(3), 2, "flush")],
+            "slot order, clean slot skipped"
+        );
+        b.log.clear();
+        core.flush_all(&mut b).unwrap();
+        assert!(b.log.is_empty(), "second flush is a no-op");
+        assert_eq!(
+            core.flush_page(PageId(9), &mut b),
+            Err(EngineError::Core(CoreError::NotResident(PageId(9))))
+        );
+    }
+
+    #[test]
+    fn forget_frees_slot_and_respects_pins() {
+        let mut core = ReplacementCore::new(2, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        core.pin_slot(0).unwrap();
+        assert_eq!(core.forget(PageId(1)), Err(CoreError::Pinned(PageId(1))));
+        core.unpin(PageId(1), false).unwrap();
+        assert_eq!(core.forget(PageId(1)), Ok(Some(0)));
+        assert!(!core.contains(PageId(1)));
+        // Forgetting a non-resident page still reaches the policy (history
+        // discard) and reports no freed slot.
+        assert_eq!(core.forget(PageId(7)), Ok(None));
+        // Freed slot is reused last-in-first-out.
+        assert_eq!(access(&mut core, &mut b, 3).unwrap().slot(), 0);
+    }
+
+    #[test]
+    fn borrowed_policy_core_leaves_policy_usable() {
+        let mut fifo = Fifo {
+            order: vec![],
+            pins: PinSet::new(),
+        };
+        {
+            let mut core = ReplacementCore::with_policy(2, &mut fifo);
+            let mut b = LogBackend::default();
+            access(&mut core, &mut b, 1).unwrap();
+            access(&mut core, &mut b, 2).unwrap();
+        }
+        assert_eq!(fifo.resident_len(), 2, "state survives the core");
+    }
+
+    #[test]
+    fn rebase_clock_offsets_ticks() {
+        let mut core = ReplacementCore::new(1, Fifo::boxed());
+        core.rebase_clock(Tick(99));
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        assert_eq!(core.clock(), Tick(100));
+    }
+
+    #[test]
+    fn debug_format_mentions_policy() {
+        let core = ReplacementCore::new(2, Fifo::boxed());
+        let s = format!("{core:?}");
+        assert!(s.contains("fifo") && s.contains("capacity"));
+    }
+}

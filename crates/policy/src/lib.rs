@@ -4,8 +4,11 @@
 //!
 //! * [`PageId`] / [`Tick`] — page identity and the logical timebase of the
 //!   paper (time measured in counts of successive page references).
-//! * [`ReplacementPolicy`] — the object-safe trait that the buffer pool
-//!   manager ([`lruk-buffer`]) and the cache simulator ([`lruk-sim`]) drive.
+//! * [`ReplacementPolicy`] — the object-safe trait every policy implements.
+//! * [`engine`] — the [`ReplacementCore`] replacement engine: the single
+//!   implementation of the paper's Figure 2.1 hit/miss/evict/admit
+//!   lifecycle, driven by the buffer pools ([`lruk-buffer`]) and the cache
+//!   simulator ([`lruk-sim`]) through per-driver [`CoreBackend`] I/O hooks.
 //! * [`fxhash`] — a tiny, fast, non-cryptographic hasher for the hot
 //!   `PageId`-keyed maps (page ids are dense integers; SipHash is overkill).
 //! * [`linked_list`] — a slab-backed intrusive doubly-linked list giving
@@ -18,6 +21,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod engine;
 pub mod fxhash;
 pub mod linked_list;
 pub mod pin;
@@ -25,6 +29,10 @@ pub mod policy;
 pub mod stats;
 pub mod types;
 
+pub use engine::{
+    CoreBackend, CoreError, EngineError, Evicted, NoopBackend, Outcome, ReplacementCore,
+    WriteBackCause,
+};
 pub use pin::PinSet;
 pub use policy::{PolicyEvent, ReplacementPolicy, VictimError};
 pub use stats::{AtomicCacheStats, CacheStats};

@@ -1,7 +1,15 @@
 //! The page-fault simulator.
+//!
+//! The reference lifecycle — hit detection, victim selection, eviction and
+//! admission accounting — is not implemented here: the simulator is the
+//! frameless frontend of [`lruk_policy::ReplacementCore`], driving it with a
+//! [`NoopBackend`] (no bytes move). What this module adds is *measurement*:
+//! warmup exclusion, per-access-kind counters, windowed hit ratios, and the
+//! retained-history peak.
 
-use lruk_policy::fxhash::FxHashSet;
-use lruk_policy::{AccessKind, CacheStats, PageId, ReplacementPolicy, Tick};
+use lruk_policy::{
+    AccessKind, CacheStats, NoopBackend, PageId, ReplacementCore, ReplacementPolicy, Tick,
+};
 use lruk_workloads::PageRef;
 use serde::{Deserialize, Serialize};
 
@@ -115,54 +123,36 @@ fn run(
 ) -> (SimResult, Vec<f64>) {
     assert!(capacity >= 1, "capacity must be at least one frame");
     assert!(first_tick >= 1, "reference strings are 1-based");
-    let mut resident: FxHashSet<PageId> = FxHashSet::default();
-    let mut stats = CacheStats::default();
+    let mut core = ReplacementCore::with_policy(capacity, policy);
+    // The engine stamps each access `clock.next()`, so rebasing to
+    // `first_tick - 1` makes reference `i` (0-based) carry `first_tick + i`,
+    // keeping clairvoyant policies' 1-based positions consistent.
+    core.rebase_clock(Tick(first_tick - 1));
     let mut per_kind = [CacheStats::default(); 4];
     let mut peak_retained = 0usize;
     let mut windows = Vec::new();
     let mut window_stats = CacheStats::default();
 
     for (i, r) in refs.iter().enumerate() {
-        let now = Tick(first_tick + i as u64);
-        policy.note_kind(r.kind);
-        policy.note_process(r.pid);
         if i == warmup {
             // Warmup ends: statistics start fresh (paper: "dropping the
-            // initial set of … references").
-            stats.reset();
+            // initial set of … references"). Window accounting deliberately
+            // keeps counting: the adaptivity plots include warmup.
+            core.reset_stats();
             per_kind = [CacheStats::default(); 4];
         }
-        let hit = resident.contains(&r.page);
-        if hit {
-            policy.on_hit(r.page, now);
-            stats.record_hit();
+        let outcome = core
+            .access(r.page, r.kind, r.pid, &mut NoopBackend)
+            // xtask-allow: no-panic -- the simulator never pins, so a full pool always has a victim
+            .expect("simulator never pins; victim must exist");
+        if outcome.is_hit() {
             per_kind[kind_index(r.kind)].record_hit();
             window_stats.record_hit();
         } else {
-            policy.on_miss(r.page, now);
-            if resident.len() == capacity {
-                let victim = policy
-                    .select_victim(now)
-                    // xtask-allow: no-panic -- the simulator never pins, so a full pool always has a victim
-                    .expect("simulator never pins; victim must exist");
-                let removed = resident.remove(&victim);
-                assert!(removed, "policy evicted a non-resident page {victim:?}");
-                policy.on_evict(victim, now);
-                stats.record_eviction(false);
-            }
-            policy.on_admit(r.page, now);
-            resident.insert(r.page);
-            stats.record_miss();
             per_kind[kind_index(r.kind)].record_miss();
             window_stats.record_miss();
         }
-        debug_assert!(resident.len() <= capacity, "capacity invariant violated");
-        debug_assert_eq!(
-            resident.len(),
-            policy.resident_len(),
-            "policy resident-set bookkeeping diverged at tick {now}"
-        );
-        peak_retained = peak_retained.max(policy.retained_len());
+        peak_retained = peak_retained.max(core.policy().retained_len());
         if let Some(w) = window {
             if window_stats.references() == w as u64 {
                 windows.push(window_stats.hit_ratio());
@@ -174,11 +164,11 @@ fn run(
         windows.push(window_stats.hit_ratio());
     }
     let result = SimResult {
-        policy: policy.name(),
+        policy: core.policy().name(),
         capacity,
-        stats,
+        stats: core.stats(),
         per_kind,
-        final_resident: resident.into_iter().collect(),
+        final_resident: core.resident_pages(),
         peak_retained,
     };
     (result, windows)

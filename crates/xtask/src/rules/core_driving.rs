@@ -1,0 +1,97 @@
+//! `core-driving`: drivers must go through the shared replacement engine.
+//!
+//! The paper's Figure 2.1 hit/miss/evict/admit lifecycle has exactly one
+//! implementation: `ReplacementCore::access` in `crates/policy/src/engine.rs`.
+//! Before the engine existed, every frontend — the sequential pool, the
+//! three concurrent tiers, and the simulator — drove the
+//! `ReplacementPolicy` callbacks itself, and the five copies drifted in
+//! where they bumped counters and which order they reported events. This
+//! rule keeps that from growing back: in driver code (the buffer and sim
+//! crates), calling a policy's lifecycle methods — `.on_hit()`,
+//! `.on_miss()`, `.on_admit()`, `.on_evict()`, `.select_victim()` —
+//! directly is flagged. Drivers call `ReplacementCore::access` and let the
+//! engine talk to the policy.
+//!
+//! The engine itself (and the policy implementations, which *define* these
+//! methods) are outside the rule's scope; tests, benches and examples are
+//! exempt via the source model, since differential tests legitimately probe
+//! policies directly.
+
+use crate::report::Diagnostic;
+use crate::rules::{next_nonspace, prev_nonspace, token_positions};
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "core-driving";
+
+/// Policy lifecycle methods reserved for the engine.
+const LIFECYCLE_METHODS: &[&str] = &["on_hit", "on_miss", "on_admit", "on_evict", "select_victim"];
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.exempt {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = idx + 1;
+        for method in LIFECYCLE_METHODS {
+            for pos in token_positions(code, method) {
+                if prev_nonspace(code, pos) == Some('.')
+                    && next_nonspace(code, pos + method.len()) == Some('(')
+                {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: lineno,
+                        rule: NAME,
+                        message: format!(
+                            "driver calls `ReplacementPolicy::{method}` directly; the reference \
+                             lifecycle lives in `ReplacementCore::access` — route through the engine"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/buffer/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_direct_lifecycle_calls() {
+        let d = run(
+            "fn f(p: &mut dyn ReplacementPolicy) {\n    p.on_hit(page, now);\n    p.on_miss(page, now);\n    let v = p.select_victim(now);\n}\n",
+        );
+        assert_eq!(d.len(), 3);
+        assert!(d[0].message.contains("on_hit"));
+        assert!(d[2].message.contains("select_victim"));
+        assert_eq!(d[2].line, 4);
+    }
+
+    #[test]
+    fn ignores_definitions_engine_api_and_similar_names() {
+        // Method *definitions*, the engine's own API, and lookalike
+        // identifiers are not calls into a policy.
+        let d = run(
+            "fn on_hit(&mut self, p: PageId, t: Tick) {}\nfn f(core: &mut ReplacementCore) { core.access(p, k, 0, &mut io); }\nfn g() { let on_hit = 3; h(on_hit); select_victim(now); }\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = run(
+            "#[cfg(test)]\nmod tests {\n    fn t(p: &mut dyn ReplacementPolicy) { p.on_evict(page, now); }\n}\n",
+        );
+        assert!(d.is_empty());
+    }
+}

@@ -11,6 +11,12 @@
 //! shard latches — is the classic deadlock shape this rule exists to catch
 //! before a stress test ever interleaves it.
 //!
+//! The shared replacement engine (`crates/policy/src/engine.rs`) is part of
+//! the declared hierarchy too: `ReplacementCore` *is* the state behind the
+//! level-0 shard/pool latch and runs entirely under it, so the engine file
+//! is in the rule's scope and must contain no latch acquisitions at all —
+//! its backend callbacks (which do take frame latches) live in the drivers.
+//!
 //! # How it works (and what it cannot see)
 //!
 //! Per function, the rule extracts `.lock()` / `.read()` / `.write()` /

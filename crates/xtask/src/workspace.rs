@@ -7,7 +7,7 @@
 //! exemption done by the source model.
 
 use crate::report::{Diagnostic, Summary};
-use crate::rules::{determinism, lint_header, lock_order, no_panic};
+use crate::rules::{core_driving, determinism, lint_header, lock_order, no_panic};
 use crate::source::SourceFile;
 use std::fs;
 use std::io;
@@ -25,11 +25,21 @@ const NO_PANIC_SCOPE: &[&str] = &[
 /// Crates on the simulator-result path (byte-identical table reproduction).
 const DETERMINISM_SCOPE: &[&str] = &["crates/sim/src/", "crates/workloads/src/", "crates/core/src/"];
 
-/// The concurrent pool tiers checked against the lock hierarchy.
-const LOCK_ORDER_SCOPE: &[&str] = &["crates/buffer/src/"];
+/// The concurrent pool tiers checked against the lock hierarchy, plus the
+/// shared replacement engine: `ReplacementCore` runs *under* the drivers'
+/// shard/pool latches (it is handed to them already locked) and must itself
+/// acquire nothing, so it is declared in the hierarchy and scanned like the
+/// pools.
+const LOCK_ORDER_SCOPE: &[&str] = &["crates/buffer/src/", "crates/policy/src/engine.rs"];
+
+/// Driver code (buffer pools, simulator) that must route the reference
+/// lifecycle through `ReplacementCore::access` instead of calling the
+/// policy's `on_*`/`select_victim` hooks directly.
+const CORE_DRIVING_SCOPE: &[&str] = &["crates/buffer/src/", "crates/sim/src/"];
 
 /// Names of all registered rules (used to zero-fill the JSON rule counts).
 pub const ALL_RULES: &[&str] = &[
+    core_driving::NAME,
     determinism::NAME,
     lint_header::NAME,
     lock_order::NAME,
@@ -93,6 +103,9 @@ pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
         }
         if in_scope(&file.path, DETERMINISM_SCOPE) {
             determinism::check(file, &mut raw);
+        }
+        if in_scope(&file.path, CORE_DRIVING_SCOPE) {
+            core_driving::check(file, &mut raw);
         }
         lint_header::check(file, &mut raw);
     }
@@ -158,5 +171,10 @@ mod tests {
         assert!(!in_scope("crates/baselines/src/lru.rs", NO_PANIC_SCOPE));
         assert!(in_scope("crates/workloads/src/zipf.rs", DETERMINISM_SCOPE));
         assert!(!in_scope("crates/bench/src/lib.rs", DETERMINISM_SCOPE));
+        // The engine file is lock-order checked; its siblings are not.
+        assert!(in_scope("crates/policy/src/engine.rs", LOCK_ORDER_SCOPE));
+        assert!(!in_scope("crates/policy/src/fxhash.rs", LOCK_ORDER_SCOPE));
+        assert!(in_scope("crates/sim/src/simulator.rs", CORE_DRIVING_SCOPE));
+        assert!(!in_scope("crates/policy/src/engine.rs", CORE_DRIVING_SCOPE));
     }
 }

@@ -9,7 +9,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use xtask::rules::{determinism, lint_header, lock_order, no_panic};
+use xtask::rules::{core_driving, determinism, lint_header, lock_order, no_panic};
 use xtask::source::SourceFile;
 use xtask::{analyze_root, Diagnostic};
 
@@ -103,6 +103,25 @@ fn lock_order_fixture_exact_counts() {
         "core -> core nesting is flagged: {}",
         kept[1].message
     );
+}
+
+#[test]
+fn core_driving_fixture_exact_counts() {
+    let (kept, suppressed) =
+        run_fixture("core_driving.rs", "crates/buffer/src/fixture.rs", core_driving::check);
+    let lines: Vec<usize> = kept.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![4, 5, 6, 7, 8], "diagnostics: {kept:#?}");
+    assert_eq!(suppressed, 1, "the annotated differential probe must be suppressed");
+    for (d, method) in kept
+        .iter()
+        .zip(["on_hit", "on_miss", "select_victim", "on_evict", "on_admit"])
+    {
+        assert!(
+            d.message.contains(method) && d.message.contains("ReplacementCore::access"),
+            "message names the method and the engine: {}",
+            d.message
+        );
+    }
 }
 
 #[test]

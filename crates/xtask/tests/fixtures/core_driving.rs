@@ -1,0 +1,27 @@
+//! Fixture: driver code bypassing the shared replacement engine.
+
+fn drive(policy: &mut dyn ReplacementPolicy, page: PageId, now: Tick) {
+    policy.on_hit(page, now);
+    policy.on_miss(page, now);
+    let v = policy.select_victim(now);
+    policy.on_evict(v, now);
+    policy.on_admit(page, now);
+}
+
+fn legal(core: &mut ReplacementCore, io: &mut IoBackend) {
+    let out = core.access(page, kind, 0, io);
+    let on_hit = out.is_hit();
+    record(on_hit);
+}
+
+fn annotated(policy: &mut dyn ReplacementPolicy, page: PageId, now: Tick) {
+    // xtask-allow: core-driving -- differential probe comparing raw policy behaviour
+    policy.on_hit(page, now);
+}
+
+#[cfg(test)]
+mod tests {
+    fn probe(policy: &mut dyn ReplacementPolicy) {
+        policy.on_evict(page, now); // exempt: test region
+    }
+}

@@ -8,6 +8,11 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Driver parity is the contract the whole buffer/sim stack hangs off (all
+# five frontends are adapters over one ReplacementCore); run it by name so
+# a filter tweak above can never silently drop it.
+cargo test -q --test driver_parity
+
 # Repo-native static analysis (lock order, no-panic, determinism, lint
 # headers); any diagnostic that survives suppression filtering fails the
 # gate. Writes results/ANALYZE.json for cross-PR rule-count diffs.

@@ -1,0 +1,293 @@
+//! Driver-parity differential test: the five reference-lifecycle frontends
+//! (`BufferPoolManager`, `ConcurrentBufferPool`, `ShardedBufferPool`,
+//! `LatchedBufferPool`, the simulator) are all thin adapters over the shared
+//! `ReplacementCore` engine, so replaying the *same* reference string through
+//! each of them must produce the *same* policy-event sequence — every hit,
+//! miss, admission and eviction, page by page, tick by tick — and the same
+//! `CacheStats`.
+//!
+//! Parity is observed from inside: a [`Recorder`] wrapper logs the lifecycle
+//! calls the engine makes into its policy, so any driver that diverged in
+//! ordering, tick assignment, or victim confirmation would produce a
+//! different stream, not just different totals. Coarser cross-driver checks
+//! (stats only) live in `sim_pool_consistency.rs`.
+
+use std::sync::{Arc, Mutex};
+
+use lruk::buffer::{
+    BufferPoolManager, ConcurrentBufferPool, ConcurrentDiskManager, ConcurrentInMemoryDisk,
+    DiskManager, InMemoryDisk, LatchedBufferPool, ShardedBufferPool,
+};
+use lruk::core::{LruK, LruKConfig};
+use lruk::policy::{
+    AccessKind, CacheStats, PageId, PolicyEvent, ReplacementPolicy, Tick, VictimError,
+};
+use lruk::sim::simulate;
+use lruk::workloads::{PageRef, Workload, Zipfian};
+
+const PAGES: u64 = 512;
+const CAPACITY: usize = 64;
+const REFS: usize = 100_000;
+const SEED: u64 = 97;
+
+/// Shared, clonable event log handle (the latched pool requires `Send`
+/// policies, and the sharded/latched factories are called from closures).
+type Log = Arc<Mutex<Vec<PolicyEvent>>>;
+
+/// A `ReplacementPolicy` decorator that records every lifecycle call the
+/// driver (i.e. the engine) makes, then forwards it to the wrapped policy.
+/// Unlike `lruk_workloads::RecordingPolicy` (which captures *references* for
+/// trace export), this captures the full event stream, which is exactly the
+/// engine's observable behaviour.
+struct Recorder {
+    inner: Box<dyn ReplacementPolicy>,
+    log: Log,
+}
+
+impl Recorder {
+    fn lru2(log: Log) -> Self {
+        Recorder {
+            inner: Box::new(LruK::new(LruKConfig::new(2))),
+            log,
+        }
+    }
+
+    fn push(&self, ev: PolicyEvent) {
+        self.log.lock().unwrap().push(ev);
+    }
+}
+
+impl ReplacementPolicy for Recorder {
+    fn name(&self) -> String {
+        format!("recorded({})", self.inner.name())
+    }
+    fn note_kind(&mut self, kind: AccessKind) {
+        self.inner.note_kind(kind);
+    }
+    fn note_process(&mut self, pid: u64) {
+        self.inner.note_process(pid);
+    }
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        self.push(PolicyEvent::Hit(page, now));
+        self.inner.on_hit(page, now);
+    }
+    fn on_miss(&mut self, page: PageId, now: Tick) {
+        self.push(PolicyEvent::Miss(page, now));
+        self.inner.on_miss(page, now);
+    }
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        self.push(PolicyEvent::Admit(page, now));
+        self.inner.on_admit(page, now);
+    }
+    fn on_evict(&mut self, page: PageId, now: Tick) {
+        self.push(PolicyEvent::Evict(page, now));
+        self.inner.on_evict(page, now);
+    }
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+        self.inner.select_victim(now)
+    }
+    fn pin(&mut self, page: PageId) {
+        self.inner.pin(page);
+    }
+    fn unpin(&mut self, page: PageId) {
+        self.inner.unpin(page);
+    }
+    fn forget(&mut self, page: PageId) {
+        self.inner.forget(page);
+    }
+    fn resident_len(&self) -> usize {
+        self.inner.resident_len()
+    }
+    fn retained_len(&self) -> usize {
+        self.inner.retained_len()
+    }
+}
+
+fn trace() -> Vec<PageRef> {
+    Zipfian::new(PAGES, 0.8, 0.2, SEED).generate(REFS).refs().to_vec()
+}
+
+/// Allocate the full page range on `disk` and pin down the id mapping the
+/// comparison relies on: allocation is sequential from zero, so the pool
+/// sees exactly the `PageId`s the raw trace (and the simulator) uses.
+fn allocate_identity_ids(mut alloc: impl FnMut() -> PageId) -> Vec<PageId> {
+    let ids: Vec<PageId> = (0..PAGES).map(|_| alloc()).collect();
+    for (i, id) in ids.iter().enumerate() {
+        assert_eq!(id.raw(), i as u64, "allocation must be sequential from 0");
+    }
+    ids
+}
+
+/// Locate the first divergence instead of dumping two 200k-entry vectors.
+fn assert_same_events(label: &str, expected: &[PolicyEvent], got: &[PolicyEvent]) {
+    for i in 0..expected.len().max(got.len()) {
+        assert_eq!(
+            expected.get(i),
+            got.get(i),
+            "{label}: event streams diverge at index {i} \
+             (expected {} events, got {})",
+            expected.len(),
+            got.len()
+        );
+    }
+}
+
+fn drain(log: &Log) -> Vec<PolicyEvent> {
+    std::mem::take(&mut *log.lock().unwrap())
+}
+
+#[test]
+fn five_frontends_identical_event_sequences_and_stats() {
+    let refs = trace();
+    assert!(refs.len() >= 100_000);
+
+    // Frontend 1 — the simulator (frameless, NoopBackend): the reference
+    // stream it produces is the expectation the four real pools must match.
+    let log = Log::default();
+    let mut rec = Recorder::lru2(Arc::clone(&log));
+    let sim_result = simulate(&mut rec, &refs, CAPACITY, 0);
+    let expected_events = drain(&log);
+    let expected_stats = sim_result.stats;
+    assert!(expected_stats.hits > 0 && expected_stats.evictions > 0);
+
+    // Frontend 2 — the sequential BufferPoolManager.
+    let mut disk = InMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let mut pool =
+        BufferPoolManager::new(CAPACITY, disk, Box::new(Recorder::lru2(Arc::clone(&log))));
+    for r in &refs {
+        let _ = pool.fetch_page(ids[r.page.raw() as usize]).unwrap();
+    }
+    assert_same_events("BufferPoolManager", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "BufferPoolManager stats");
+
+    // Frontend 3 — ConcurrentBufferPool (global-latch wrapper).
+    let mut disk = InMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let pool = ConcurrentBufferPool::new(BufferPoolManager::new(
+        CAPACITY,
+        disk,
+        Box::new(Recorder::lru2(Arc::clone(&log))),
+    ));
+    for r in &refs {
+        pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+    }
+    assert_same_events("ConcurrentBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "ConcurrentBufferPool stats");
+
+    // Frontend 4 — ShardedBufferPool, one shard so the event order is total.
+    let log = Log::default();
+    let pool = ShardedBufferPool::new(1, CAPACITY, InMemoryDisk::unbounded(), || {
+        Box::new(Recorder::lru2(Arc::clone(&log)))
+    });
+    let ids = allocate_identity_ids(|| pool.allocate_page().unwrap());
+    for r in &refs {
+        pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+    }
+    assert_same_events("ShardedBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "ShardedBufferPool stats");
+
+    // Frontend 5 — LatchedBufferPool (per-frame data latches), one shard.
+    let disk = ConcurrentInMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let factory_log = Arc::clone(&log);
+    let pool = LatchedBufferPool::new(1, CAPACITY, disk, move || {
+        Box::new(Recorder::lru2(Arc::clone(&factory_log)))
+    });
+    for r in &refs {
+        pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+    }
+    assert_same_events("LatchedBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "LatchedBufferPool stats");
+}
+
+/// The write path must not perturb parity either: marking every fifth
+/// reference dirty changes what is *written back*, never what is hit,
+/// missed, or evicted, and all four pools must agree on both streams and
+/// the `dirty_writebacks` counter. (The simulator is frameless and has no
+/// write path, so this test compares the pools among themselves.)
+#[test]
+fn four_pools_agree_under_writes() {
+    let refs = trace();
+    let write = |i: usize| i % 5 == 0;
+
+    // Reference pool: sequential BufferPoolManager.
+    let mut disk = InMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let mut pool =
+        BufferPoolManager::new(CAPACITY, disk, Box::new(Recorder::lru2(Arc::clone(&log))));
+    for (i, r) in refs.iter().enumerate() {
+        let id = ids[r.page.raw() as usize];
+        if write(i) {
+            let _ = pool.fetch_page_mut(id).unwrap();
+        } else {
+            let _ = pool.fetch_page(id).unwrap();
+        }
+    }
+    let expected_events = drain(&log);
+    let expected_stats: CacheStats = pool.stats();
+    assert!(
+        expected_stats.dirty_writebacks > 0,
+        "the write mix must force dirty write-backs"
+    );
+
+    // ConcurrentBufferPool.
+    let mut disk = InMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let pool = ConcurrentBufferPool::new(BufferPoolManager::new(
+        CAPACITY,
+        disk,
+        Box::new(Recorder::lru2(Arc::clone(&log))),
+    ));
+    for (i, r) in refs.iter().enumerate() {
+        let id = ids[r.page.raw() as usize];
+        if write(i) {
+            pool.with_page_mut(id, |_| ()).unwrap();
+        } else {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+    }
+    assert_same_events("ConcurrentBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "ConcurrentBufferPool stats");
+
+    // ShardedBufferPool, one shard.
+    let log = Log::default();
+    let pool = ShardedBufferPool::new(1, CAPACITY, InMemoryDisk::unbounded(), || {
+        Box::new(Recorder::lru2(Arc::clone(&log)))
+    });
+    let ids = allocate_identity_ids(|| pool.allocate_page().unwrap());
+    for (i, r) in refs.iter().enumerate() {
+        let id = ids[r.page.raw() as usize];
+        if write(i) {
+            pool.with_page_mut(id, |_| ()).unwrap();
+        } else {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+    }
+    assert_same_events("ShardedBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "ShardedBufferPool stats");
+
+    // LatchedBufferPool, one shard.
+    let disk = ConcurrentInMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let factory_log = Arc::clone(&log);
+    let pool = LatchedBufferPool::new(1, CAPACITY, disk, move || {
+        Box::new(Recorder::lru2(Arc::clone(&factory_log)))
+    });
+    for (i, r) in refs.iter().enumerate() {
+        let id = ids[r.page.raw() as usize];
+        if write(i) {
+            pool.with_page_mut(id, |_| ()).unwrap();
+        } else {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+    }
+    assert_same_events("LatchedBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "LatchedBufferPool stats");
+}

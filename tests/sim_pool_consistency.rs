@@ -1,7 +1,10 @@
 //! The two drivers must agree: replaying a reference string through the
 //! bare simulator and through the real buffer pool (fetch/unpin per
 //! reference) must produce identical hit/miss statistics for the same
-//! policy, since the pool is "the simulator plus page data".
+//! policy. Both are frontends of the shared `ReplacementCore` engine —
+//! the pool is "the simulator plus page data" — so this is a coarse
+//! (stats-level) check across many policies; `driver_parity.rs` asserts
+//! the stronger event-by-event contract across all five frontends.
 
 use lruk::buffer::{BufferPoolManager, InMemoryDisk};
 use lruk::policy::PageId;
