@@ -1,0 +1,420 @@
+//! Deterministic schedule exploration over the buffer-pool drivers.
+//!
+//! Runs the focused concurrency scenarios from `DESIGN.md` §4.4 — concurrent
+//! miss on one page, evict-vs-pin, dirty write-back vs. re-reference during
+//! the CRP, shard-crossing flush — under the `lruk-conc` virtual scheduler,
+//! plus the crate's seeded-buggy self-test models (which must be caught, and
+//! whose reported seeds must replay byte-identically). Writes the outcome as
+//! `results/INTERLEAVE.json` and exits nonzero unless every scenario matches
+//! its expectation.
+//!
+//! The whole dependency stack must be compiled with `--cfg conc_model` so
+//! the pools' latches route through the controlled scheduler; without it the
+//! binary refuses to run (real locks would block virtual threads and hang
+//! the model). Build and run via `cargo xtask interleave` or
+//! `scripts/interleave.sh`.
+
+#[cfg(not(conc_model))]
+fn main() {
+    eprintln!(
+        "interleave: built without `--cfg conc_model`; the pool latches are real locks \
+         and cannot be schedule-controlled.\nRebuild with RUSTFLAGS=\"--cfg conc_model\" \
+         (see `cargo xtask interleave` / scripts/interleave.sh)."
+    );
+    std::process::exit(2);
+}
+
+#[cfg(conc_model)]
+fn main() {
+    std::process::exit(run::main());
+}
+
+#[cfg(conc_model)]
+mod run {
+    use lruk_buffer::{
+        BufferError, ConcurrentDiskManager, ConcurrentInMemoryDisk, LatchedBufferPool, PAGE_SIZE,
+    };
+    use lruk_conc::model::{
+        self, explore, explore_systematic, replay_schedule, replay_seed, Config, RunResult,
+        SystematicConfig,
+    };
+    use lruk_conc::models;
+    use lruk_conc::report::{InterleaveReport, ScenarioReport, ViolationReport};
+    use lruk_core::{LruK, LruKConfig};
+    use lruk_policy::{PageId, VictimError};
+    use std::sync::Arc;
+
+    type Pool = LatchedBufferPool<ConcurrentInMemoryDisk>;
+    type Scenario = Box<dyn Fn() + Send + Sync>;
+
+    /// One model-checked scenario: a fresh closure per exploration/replay.
+    struct Case {
+        name: &'static str,
+        expect_violation: bool,
+        systematic: bool,
+        build: fn() -> Scenario,
+    }
+
+    const CASES: &[Case] = &[
+        // The four pool scenarios: the real tree, expected clean.
+        Case {
+            name: "pool-concurrent-miss-same-page",
+            expect_violation: false,
+            systematic: false,
+            build: concurrent_miss_same_page,
+        },
+        Case {
+            name: "pool-evict-vs-pin",
+            expect_violation: false,
+            systematic: false,
+            build: evict_vs_pin,
+        },
+        Case {
+            name: "pool-writeback-vs-reref-crp",
+            expect_violation: false,
+            systematic: false,
+            build: writeback_vs_reref,
+        },
+        Case {
+            name: "pool-shard-crossing-flush",
+            expect_violation: false,
+            systematic: false,
+            build: shard_crossing_flush,
+        },
+        // Seeded-buggy and known-good self-tests: prove the checker detects
+        // and replays what it claims to.
+        Case {
+            name: "selftest-buggy-pin-check",
+            expect_violation: true,
+            systematic: false,
+            build: || Box::new(models::buggy_pin_check_outside_latch()),
+        },
+        Case {
+            name: "selftest-fixed-pin-check",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::fixed_pin_check_under_latch()),
+        },
+        Case {
+            name: "selftest-relaxed-publish",
+            expect_violation: true,
+            systematic: false,
+            build: || Box::new(models::relaxed_publish_race()),
+        },
+        Case {
+            name: "selftest-lock-inversion-systematic",
+            expect_violation: true,
+            systematic: true,
+            build: || Box::new(models::lock_inversion_deadlock()),
+        },
+    ];
+
+    /// Unwrap a scenario-internal `Result` into the model's violation
+    /// channel instead of panicking.
+    fn ok<T, E: std::fmt::Debug>(what: &str, r: Result<T, E>) -> T {
+        match r {
+            Ok(v) => v,
+            Err(e) => model::fail(&format!("{what} failed: {e:?}")),
+        }
+    }
+
+    fn byte0(d: &[u8]) -> u8 {
+        d.first().copied().unwrap_or(0)
+    }
+
+    fn set_byte0(d: &mut [u8], v: u8) {
+        if let Some(b) = d.first_mut() {
+            *b = v;
+        }
+    }
+
+    fn pool_with(shards: usize, frames: usize, disk_pages: usize, crp: u64) -> Arc<Pool> {
+        Arc::new(LatchedBufferPool::new(
+            shards,
+            frames,
+            ConcurrentInMemoryDisk::new(disk_pages),
+            move || Box::new(LruK::new(LruKConfig::new(2).with_crp(crp))),
+        ))
+    }
+
+    /// Allocate a page and seed its on-disk image (first byte = `tag`)
+    /// without touching the pool, so the page starts non-resident.
+    fn seed_page(pool: &Pool, tag: u8) -> PageId {
+        let p = ok("allocate_page", pool.allocate_page());
+        let mut img = vec![0u8; PAGE_SIZE];
+        set_byte0(&mut img, tag);
+        ok("seed write_page", pool.disk().write_page(p, &img));
+        p
+    }
+
+    /// Two threads miss on the same non-resident page at once. The shard
+    /// core latch must serialize admission: exactly one miss, one hit, one
+    /// disk read — in every interleaving — and both readers see the image.
+    fn concurrent_miss_same_page() -> Scenario {
+        Box::new(|| {
+            let pool = pool_with(1, 2, 4, 0);
+            let p = seed_page(&pool, 0xA5);
+            let reader = |pool: Arc<Pool>| {
+                model::spawn(move || {
+                    let b = ok("with_page", pool.with_page(p, byte0));
+                    model::check(b == 0xA5, "reader sees the seeded page image");
+                })
+            };
+            let t1 = reader(Arc::clone(&pool));
+            let t2 = reader(Arc::clone(&pool));
+            t1.join();
+            t2.join();
+            let s = pool.stats();
+            model::check(
+                s.misses == 1 && s.hits == 1,
+                "one admission miss, one hit, regardless of arrival order",
+            );
+            model::check(pool.disk_stats().reads == 1, "the shared miss reads disk once");
+        })
+    }
+
+    /// One frame, two pages: a reader pins `a` (yielding inside the closure
+    /// to widen the window) while a second thread demands `b`, which needs
+    /// the only frame. The engine must either evict cleanly or refuse with
+    /// `AllPinned` — never corrupt either page.
+    fn evict_vs_pin() -> Scenario {
+        Box::new(|| {
+            let pool = pool_with(1, 1, 4, 0);
+            let a = seed_page(&pool, 0x11);
+            let b = seed_page(&pool, 0x22);
+            let contender = |pool: Arc<Pool>, page: PageId, tag: u8| {
+                model::spawn(move || {
+                    match pool.with_page(page, |d| {
+                        model::yield_now();
+                        byte0(d)
+                    }) {
+                        Ok(v) => model::check(v == tag, "pinned read sees its page's bytes"),
+                        // The other thread held the only frame's pin; a
+                        // legitimate refusal, never corruption.
+                        Err(BufferError::NoVictim(VictimError::AllPinned)) => {}
+                        Err(e) => model::fail(&format!("unexpected pool error: {e:?}")),
+                    }
+                })
+            };
+            let t1 = contender(Arc::clone(&pool), a, 0x11);
+            let t2 = contender(Arc::clone(&pool), b, 0x22);
+            t1.join();
+            t2.join();
+            // All pins released: both pages must be intact through the pool.
+            model::check(
+                ok("post a", pool.with_page(a, byte0)) == 0x11,
+                "page a intact after the contention",
+            );
+            model::check(
+                ok("post b", pool.with_page(b, byte0)) == 0x22,
+                "page b intact after the contention",
+            );
+        })
+    }
+
+    /// Two frames, three pages, nonzero CRP: one thread dirties `a` then
+    /// touches `b` and `c` (forcing an eviction, possibly of dirty `a`,
+    /// possibly mid-write-back) while another re-references `a` mutably
+    /// inside the correlation period. Whatever the interleaving, the last
+    /// write must survive to disk.
+    fn writeback_vs_reref() -> Scenario {
+        Box::new(|| {
+            let pool = pool_with(1, 2, 4, 8);
+            let a = seed_page(&pool, 0);
+            let b = seed_page(&pool, 0x22);
+            let c = seed_page(&pool, 0x33);
+            ok("dirty a", pool.with_page_mut(a, |d| set_byte0(d, 1)));
+            let evictor = {
+                let pool = Arc::clone(&pool);
+                model::spawn(move || {
+                    model::check(
+                        ok("touch b", pool.with_page(b, byte0)) == 0x22,
+                        "page b readable while a churns",
+                    );
+                    model::check(
+                        ok("touch c", pool.with_page(c, byte0)) == 0x33,
+                        "page c readable while a churns",
+                    );
+                })
+            };
+            let rewriter = {
+                let pool = Arc::clone(&pool);
+                model::spawn(move || {
+                    ok("rewrite a", pool.with_page_mut(a, |d| set_byte0(d, 2)));
+                })
+            };
+            evictor.join();
+            rewriter.join();
+            model::check(
+                ok("reread a", pool.with_page(a, byte0)) == 2,
+                "the re-reference's write wins: no lost update across write-back",
+            );
+            ok("flush", pool.flush_all());
+            let mut buf = vec![0u8; PAGE_SIZE];
+            ok("disk reread", pool.disk().read_page(a, &mut buf));
+            model::check(byte0(&buf) == 2, "disk holds the final image after flush");
+        })
+    }
+
+    /// Two shards: a writer walks six pages (spanning shards, churning four
+    /// frames) while another thread runs `flush_all` across shard
+    /// boundaries. Flushing must never tear a page or lose a write.
+    fn shard_crossing_flush() -> Scenario {
+        Box::new(|| {
+            let pool = pool_with(2, 4, 8, 0);
+            let pages: Vec<PageId> = (0..6).map(|_| seed_page(&pool, 0)).collect();
+            let writer = {
+                let pool = Arc::clone(&pool);
+                let pages = pages.clone();
+                model::spawn(move || {
+                    for (i, &p) in pages.iter().enumerate() {
+                        ok("write", pool.with_page_mut(p, |d| set_byte0(d, i as u8 + 1)));
+                    }
+                })
+            };
+            let flusher = {
+                let pool = Arc::clone(&pool);
+                model::spawn(move || {
+                    ok("concurrent flush", pool.flush_all());
+                })
+            };
+            writer.join();
+            flusher.join();
+            ok("final flush", pool.flush_all());
+            let mut buf = vec![0u8; PAGE_SIZE];
+            for (i, &p) in pages.iter().enumerate() {
+                ok("disk readback", pool.disk().read_page(p, &mut buf));
+                model::check(
+                    byte0(&buf) == i as u8 + 1,
+                    "every write survives the cross-shard flush",
+                );
+            }
+        })
+    }
+
+    /// Re-run each violating seed/schedule and confirm it reproduces the
+    /// identical schedule and violation.
+    fn verify_replays(case: &Case, cfg: &Config, runs: &[RunResult]) -> Vec<ViolationReport> {
+        let mut out = Vec::new();
+        for run in runs {
+            let again = if case.systematic {
+                replay_schedule(&run.schedule, cfg.max_steps, (case.build)())
+            } else {
+                replay_seed(run.seed, cfg, (case.build)())
+            };
+            let verified = again.schedule == run.schedule && again.violation == run.violation;
+            if let Some(v) = ViolationReport::from_run(run, verified) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    pub fn main() -> i32 {
+        let mut json_path = String::from("results/INTERLEAVE.json");
+        let mut seeds: u64 = 300;
+        let mut seed_base: u64 = 1;
+        let mut max_steps: usize = 5_000;
+        let mut quiet = false;
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut take = |what: &str| -> Option<String> {
+                let v = it.next().cloned();
+                if v.is_none() {
+                    eprintln!("interleave: {what} needs a value");
+                }
+                v
+            };
+            match a.as_str() {
+                "--json" => match take("--json") {
+                    Some(v) => json_path = v,
+                    None => return 2,
+                },
+                "--seeds" => match take("--seeds").and_then(|v| v.parse().ok()) {
+                    Some(v) => seeds = v,
+                    None => return 2,
+                },
+                "--seed-base" => match take("--seed-base").and_then(|v| v.parse().ok()) {
+                    Some(v) => seed_base = v,
+                    None => return 2,
+                },
+                "--max-steps" => match take("--max-steps").and_then(|v| v.parse().ok()) {
+                    Some(v) => max_steps = v,
+                    None => return 2,
+                },
+                "--quiet" => quiet = true,
+                other => {
+                    eprintln!("interleave: unknown option `{other}`");
+                    eprintln!(
+                        "usage: interleave [--json PATH] [--seeds N] [--seed-base N] \
+                         [--max-steps N] [--quiet]"
+                    );
+                    return 2;
+                }
+            }
+        }
+
+        let cfg =
+            Config { seed_base, seeds, max_steps, continue_weight: 3, stop_on_violation: true };
+        let mut scenarios = Vec::new();
+        for case in CASES {
+            let stats = if case.systematic {
+                let sys_cfg = SystematicConfig {
+                    preemption_bound: 2,
+                    max_runs: 400,
+                    max_steps,
+                    stop_on_violation: true,
+                };
+                explore_systematic(&sys_cfg, (case.build)())
+            } else {
+                explore(&cfg, (case.build)())
+            };
+            let mode = if case.systematic { "systematic" } else { "random" };
+            let violations = verify_replays(case, &cfg, &stats.violations);
+            let section =
+                ScenarioReport::new(case.name, mode, case.expect_violation, &stats, violations);
+            if !quiet {
+                println!(
+                    "interleave: {:<36} {:<10} runs {:>4}  distinct {:>4}  violations {}  [{}]",
+                    section.name,
+                    section.mode,
+                    section.runs,
+                    section.distinct_schedules,
+                    section.violations.len(),
+                    if section.passes() { "pass" } else { "FAIL" }
+                );
+            }
+            scenarios.push(section);
+        }
+
+        let report =
+            InterleaveReport { seed_base, seeds_per_scenario: seeds, max_steps, scenarios };
+        let rendered = report.render();
+        if let Some(parent) = std::path::Path::new(&json_path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("interleave: cannot create {}: {e}", parent.display());
+                    return 2;
+                }
+            }
+        }
+        if let Err(e) = std::fs::write(&json_path, &rendered) {
+            eprintln!("interleave: cannot write {json_path}: {e}");
+            return 2;
+        }
+        println!(
+            "interleave: {} runs, {} distinct schedules, {} unexpected violations, gate {} -> {}",
+            report.total_runs(),
+            report.total_distinct(),
+            report.unexpected_violations(),
+            if report.passes() { "pass" } else { "FAIL" },
+            json_path
+        );
+        if report.passes() {
+            0
+        } else {
+            1
+        }
+    }
+}

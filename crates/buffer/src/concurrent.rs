@@ -2,7 +2,7 @@
 //!
 //! The paper's multi-user arguments (inter-transaction locality, §2.1.1 case
 //! 4) need concurrent clients. This wrapper takes the simple, obviously
-//! correct route: one `parking_lot::Mutex` around the pool and closure-scoped
+//! correct route: one `lruk_conc::sync::Mutex` around the pool and closure-scoped
 //! page access, so a page is pinned, used and unpinned while the latch is
 //! held. Replacement decisions are not made here: the wrapped
 //! [`BufferPoolManager`] is itself a thin frontend over the shared
@@ -20,8 +20,8 @@
 
 use crate::disk::DiskManager;
 use crate::pool::{BufferError, BufferPoolManager};
+use lruk_conc::sync::Mutex;
 use lruk_policy::{CacheStats, PageId};
-use parking_lot::Mutex;
 
 /// Shareable (`Send + Sync`) buffer pool.
 pub struct ConcurrentBufferPool<D: DiskManager> {

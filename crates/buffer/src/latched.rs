@@ -60,12 +60,12 @@ use crate::disk::{DiskError, DiskStats, PAGE_SIZE};
 use crate::invariants::{self, LatchClass};
 use crate::pool::BufferError;
 use crate::shared_disk::ConcurrentDiskManager;
+use lruk_conc::sync::{Mutex, RwLock};
 use lruk_policy::fxhash;
 use lruk_policy::{
     AccessKind, CacheStats, CoreBackend, PageId, ReplacementCore, ReplacementPolicy,
     WriteBackCause,
 };
-use parking_lot::{Mutex, RwLock};
 
 /// One frame: page bytes behind their own latch. Residency metadata — owner
 /// page, dirty flag, pin count — lives in the shard's [`ReplacementCore`].
@@ -76,7 +76,7 @@ struct LatchedFrame {
     /// a write-back, are protocol violations the frame latch is supposed to
     /// exclude — this flag asserts that it actually did.
     #[cfg(debug_assertions)]
-    write_in_flight: std::sync::atomic::AtomicBool,
+    write_in_flight: lruk_conc::sync::atomic::AtomicBool,
 }
 
 impl LatchedFrame {
@@ -84,7 +84,7 @@ impl LatchedFrame {
         LatchedFrame {
             data: RwLock::new(vec![0u8; PAGE_SIZE].into_boxed_slice()),
             #[cfg(debug_assertions)]
-            write_in_flight: std::sync::atomic::AtomicBool::new(false),
+            write_in_flight: lruk_conc::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -94,7 +94,7 @@ impl LatchedFrame {
         {
             let was = self
                 .write_in_flight
-                .swap(true, std::sync::atomic::Ordering::AcqRel);
+                .swap(true, lruk_conc::sync::atomic::Ordering::AcqRel);
             assert!(!was, "pin invariant: overlapping write-backs of one frame");
         }
     }
@@ -105,7 +105,7 @@ impl LatchedFrame {
         {
             let was = self
                 .write_in_flight
-                .swap(false, std::sync::atomic::Ordering::AcqRel);
+                .swap(false, lruk_conc::sync::atomic::Ordering::AcqRel);
             assert!(was, "pin invariant: write-back finished twice");
         }
     }

@@ -19,9 +19,9 @@
 
 use crate::disk::{DiskError, DiskManager, PAGE_SIZE};
 use crate::pool::{BufferError, BufferPoolManager};
+use lruk_conc::sync::Mutex;
 use lruk_policy::fxhash;
 use lruk_policy::{CacheStats, PageId, ReplacementPolicy};
-use parking_lot::Mutex;
 
 /// A disk shared by every shard through a latch. For genuinely parallel
 /// per-shard I/O use [`LatchedBufferPool`](crate::LatchedBufferPool) over a

@@ -19,8 +19,8 @@
 
 use crate::disk::{DiskError, DiskManager, DiskStats, PAGE_SIZE};
 use lruk_policy::PageId;
-use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicU64, Ordering};
+use lruk_conc::sync::atomic::{AtomicU64, Ordering};
+use lruk_conc::sync::{Mutex, RwLock};
 use std::sync::Arc;
 
 /// A source and sink of fixed-size pages, shareable across threads.

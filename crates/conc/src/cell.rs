@@ -1,0 +1,78 @@
+//! `RaceCell`: a zero-cost wrapper marking plain data for race checking.
+//!
+//! The engine's pin counts and frame-state arrays are plain (non-atomic)
+//! data protected by the shard core latch; the Rust borrow checker already
+//! rules out unsynchronized access *within* one build, but the model checker
+//! wants to verify the *locking protocol* delivers a happens-before edge
+//! between every conflicting pair across threads. Wrapping such fields in
+//! `RaceCell` emits `RaceRead`/`RaceWrite` events to the scheduler under
+//! `cfg(conc_model)`; in normal builds both accessors compile to the bare
+//! load/store.
+
+#[cfg(conc_model)]
+use std::sync::atomic::AtomicU64;
+
+#[cfg(conc_model)]
+use crate::sched::{self, ObjKind, Op};
+
+/// Race-checked plain cell. `get` takes `&self`, `set` takes `&mut self`, so
+/// in normal builds this is exactly a field access; under `cfg(conc_model)`
+/// each access is a schedule point feeding the vector-clock race detector.
+#[derive(Debug, Default)]
+pub struct RaceCell<T> {
+    value: T,
+    #[cfg(conc_model)]
+    id: AtomicU64,
+}
+
+impl<T: Copy> RaceCell<T> {
+    /// Wrap `value`.
+    #[inline]
+    pub fn new(value: T) -> Self {
+        #[cfg(conc_model)]
+        {
+            Self { value, id: AtomicU64::new(0) }
+        }
+        #[cfg(not(conc_model))]
+        {
+            Self { value }
+        }
+    }
+
+    /// Read the value.
+    #[inline]
+    pub fn get(&self) -> T {
+        #[cfg(conc_model)]
+        self.event(Op::RaceRead);
+        self.value
+    }
+
+    /// Replace the value.
+    #[inline]
+    pub fn set(&mut self, value: T) {
+        #[cfg(conc_model)]
+        self.event(Op::RaceWrite);
+        self.value = value;
+    }
+
+    #[cfg(conc_model)]
+    fn event(&self, op_of: impl FnOnce(sched::ObjId) -> Op) {
+        if let Some((sched, tid)) = sched::active() {
+            let id = sched.object_id(&self.id, ObjKind::Race);
+            sched::schedule_point(&sched, tid, op_of(id));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_semantics() {
+        let mut c = RaceCell::new(7u32);
+        assert_eq!(c.get(), 7);
+        c.set(9);
+        assert_eq!(c.get(), 9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! Each virtual thread carries a `VClock`; sync objects (mutexes, rwlocks,
+//! non-relaxed atomics) carry one too. Acquire edges join the object clock
+//! into the thread, release edges publish the thread clock into the object.
+//! `RaceCell` metadata (last-writer epoch, per-thread read clock) is compared
+//! against these clocks to detect unsynchronized conflicting accesses
+//! (FastTrack-style, but with full vectors — models are a handful of threads,
+//! so the O(threads) cost is irrelevant).
+
+/// A grow-on-demand vector clock indexed by virtual thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    counts: Vec<u32>,
+}
+
+impl VClock {
+    /// The empty clock (everything at 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component for thread `tid` (0 when never touched).
+    pub fn get(&self, tid: u32) -> u32 {
+        self.counts.get(tid as usize).copied().unwrap_or(0)
+    }
+
+    /// Set component `tid` to `max(current, value)`.
+    pub fn set_max(&mut self, tid: u32, value: u32) {
+        let idx = tid as usize;
+        if self.counts.len() <= idx {
+            self.counts.resize(idx + 1, 0);
+        }
+        if let Some(slot) = self.counts.get_mut(idx) {
+            if *slot < value {
+                *slot = value;
+            }
+        }
+    }
+
+    /// Increment the component for `tid` and return the new value.
+    pub fn tick(&mut self, tid: u32) -> u32 {
+        let next = self.get(tid).saturating_add(1);
+        self.set_max(tid, next);
+        next
+    }
+
+    /// Pointwise maximum with `other` (the acquire/join edge).
+    pub fn join(&mut self, other: &VClock) {
+        for (tid, &count) in other.counts.iter().enumerate() {
+            self.set_max(tid as u32, count);
+        }
+    }
+
+    /// True when every component of `self` is ≤ the matching component of
+    /// `other`: all events in `self` happen-before (or equal) `other`.
+    pub fn dominated_by(&self, other: &VClock) -> bool {
+        self.counts
+            .iter()
+            .enumerate()
+            .all(|(tid, &count)| count <= other.get(tid as u32))
+    }
+
+    /// Reset every component to zero, keeping capacity.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.set_max(0, 3);
+        a.set_max(2, 1);
+        let mut b = VClock::new();
+        b.set_max(0, 1);
+        b.set_max(1, 5);
+        a.join(&b);
+        assert_eq!((a.get(0), a.get(1), a.get(2)), (3, 5, 1));
+    }
+
+    #[test]
+    fn domination_detects_concurrent_clocks() {
+        let mut a = VClock::new();
+        a.set_max(0, 2);
+        let mut b = VClock::new();
+        b.set_max(1, 2);
+        assert!(!a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        b.join(&a);
+        assert!(a.dominated_by(&b));
+    }
+
+    #[test]
+    fn tick_advances_own_component() {
+        let mut a = VClock::new();
+        assert_eq!(a.tick(4), 1);
+        assert_eq!(a.tick(4), 2);
+        assert_eq!(a.get(4), 2);
+        assert_eq!(a.get(0), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic concurrency testing layer for the LRU-K reproduction.
+//!
+//! Loom/CDSChecker-style controlled scheduling without dependencies: the
+//! tree's sync primitives are imported through [`sync`], which in normal
+//! builds re-exports `parking_lot`/`std` types unchanged (zero cost) and
+//! under `RUSTFLAGS="--cfg conc_model"` swaps in virtual primitives whose
+//! every acquire/release/load/store is a *schedule point* decided by a
+//! controlled scheduler. One virtual thread runs at a time, so a run is a
+//! pure function of the scheduler's choice sequence, giving:
+//!
+//! - **seeded weighted-random exploration** with full-schedule capture
+//!   ([`model::explore`]),
+//! - **replay**: any failing run reproduces exactly from its seed
+//!   ([`model::replay_seed`]) or captured schedule
+//!   ([`model::replay_schedule`]),
+//! - **bounded systematic mode**: preemption-bounded DFS over the schedule
+//!   tree ([`model::explore_systematic`]),
+//! - **happens-before race checking**: vector clocks flow along lock,
+//!   non-relaxed-atomic, spawn/join and park/unpark edges; plain data
+//!   wrapped in [`RaceCell`]/[`vsync::SharedRaceCell`] is checked for
+//!   unordered conflicting access (FastTrack-style).
+//!
+//! `cargo xtask interleave` drives the pool scenarios and the self-test
+//! models in [`models`] and writes `results/INTERLEAVE.json`; see DESIGN.md
+//! §4.4 for what is and isn't modeled and how to replay a reported seed.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod clock;
+pub mod model;
+pub mod models;
+pub mod report;
+pub mod rng;
+pub mod sched;
+pub mod sync;
+pub mod vsync;
+
+mod cell;
+
+pub use cell::RaceCell;
+pub use sched::{Strength, Violation, ViolationKind};

@@ -1,0 +1,403 @@
+//! Model construction and exploration drivers.
+//!
+//! A *scenario* is a closure run once per schedule: it builds fresh state,
+//! spawns virtual threads with [`spawn`], and checks invariants with
+//! [`check`]. [`explore`] runs it under seeded weighted-random scheduling,
+//! capturing every schedule; [`replay_seed`] and [`replay_schedule`]
+//! reproduce a run exactly; [`explore_systematic`] enumerates schedules
+//! depth-first under a preemption bound.
+//!
+//! Outside a scenario (no active scheduler) all of these degrade to plain
+//! `std::thread` behaviour, so the same model code can run under `cargo
+//! test` without `--cfg conc_model`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::rng::SplitMix64;
+use crate::sched::{self, Choice, Op, Scheduler, Strategy, Tid, Violation, ViolationKind};
+
+/// Handle to a virtual (or, in pass-through mode, real) thread.
+pub struct JoinHandle {
+    tid: Tid,
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl JoinHandle {
+    /// Virtual thread id (0 is the scenario root).
+    pub fn tid(&self) -> Tid {
+        self.tid
+    }
+
+    /// Make the target's park token available (see [`park`]).
+    pub fn unpark(&self) {
+        if let Some((sched, tid)) = sched::active() {
+            sched::schedule_point(&sched, tid, Op::Unpark(self.tid));
+        } else if let Some(os) = &self.os {
+            os.thread().unpark();
+        }
+    }
+
+    /// Wait for the thread to finish. Joining a thread that panicked (other
+    /// than a scheduler abort) surfaces as an `Assert` violation in model
+    /// mode; in pass-through mode the panic propagates like `std` join.
+    pub fn join(mut self) {
+        if let Some((sched, tid)) = sched::active() {
+            sched::schedule_point(&sched, tid, Op::Join(self.tid));
+            // The virtual join already ordered us after the thread's last
+            // step; the OS-level join below is bounded (the thread is
+            // exiting) and keeps thread accounting tidy.
+        }
+        if let Some(os) = self.os.take() {
+            if os.join().is_err() && sched::active().is_none() {
+                // Pass-through semantics: propagate like std's join would.
+                passthrough_panic("joined thread panicked");
+            }
+        }
+    }
+}
+
+/// Pass-through failure path: with no scheduler active a failed model check
+/// must fail the host test the ordinary way.
+fn passthrough_panic(message: &str) -> ! {
+    panic!("model check failed: {message}")
+}
+
+fn spawn_wrapper<F: FnOnce() + Send + 'static>(sched: Arc<Scheduler>, tid: Tid, body: F) {
+    sched::install_ctx(&sched, tid);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        sched::schedule_point(&sched, tid, Op::Start);
+        body();
+        sched::schedule_point(&sched, tid, Op::Finish);
+    }));
+    if let Err(payload) = outcome {
+        if payload.downcast_ref::<sched::Abort>().is_none() {
+            // A genuine panic escaped the model body: report it as an
+            // assertion violation (first violation wins).
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic in model thread".to_string());
+            sched.record_assert(format!("panic: {msg}"));
+        }
+    }
+    sched::clear_ctx();
+    sched.os_thread_exited();
+}
+
+/// Spawn a thread participating in the active model (or a plain std thread
+/// in pass-through mode).
+pub fn spawn<F: FnOnce() + Send + 'static>(f: F) -> JoinHandle {
+    match sched::active() {
+        Some((sched, parent)) => {
+            let tid = sched.register_thread(Some(parent));
+            let sched2 = Arc::clone(&sched);
+            let os = std::thread::spawn(move || spawn_wrapper(sched2, tid, f));
+            JoinHandle { tid, os: Some(os) }
+        }
+        None => {
+            let os = std::thread::spawn(f);
+            JoinHandle { tid: u32::MAX, os: Some(os) }
+        }
+    }
+}
+
+/// Park the calling thread until its token is made available by
+/// [`JoinHandle::unpark`]. Tokens are sticky: an unpark before the park is
+/// consumed by it.
+pub fn park() {
+    if let Some((sched, tid)) = sched::active() {
+        sched::schedule_point(&sched, tid, Op::Park);
+    } else {
+        std::thread::park();
+    }
+}
+
+/// A pure preemption opportunity (no effect on state).
+pub fn yield_now() {
+    if let Some((sched, tid)) = sched::active() {
+        sched::schedule_point(&sched, tid, Op::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Raise a model violation with `message` and abort the run. In
+/// pass-through mode this panics like a failed assertion.
+pub fn fail(message: &str) -> ! {
+    if let Some((sched, _tid)) = sched::active() {
+        sched.record_assert(format!("check failed: {message}"));
+        sched::abort_current()
+    } else {
+        passthrough_panic(message)
+    }
+}
+
+/// Assert a model invariant; on failure the run aborts with an `Assert`
+/// violation carrying `message` (and the schedule that produced it).
+pub fn check(condition: bool, message: &str) {
+    if !condition {
+        fail(message);
+    }
+}
+
+/// Outcome of one scheduled run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Seed that produced the run (0 for replayed/systematic runs).
+    pub seed: u64,
+    /// Captured schedule: the granted thread id at each step.
+    pub schedule: Vec<Tid>,
+    /// The violation that aborted the run, if any.
+    pub violation: Option<Violation>,
+    /// Steps granted.
+    pub steps: usize,
+    /// True when the step budget cut the run short (not a violation).
+    pub truncated: bool,
+    /// Choice-point trace (systematic driver input).
+    pub trace: Vec<Choice>,
+}
+
+/// Exploration configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// First seed of the contiguous seed range.
+    pub seed_base: u64,
+    /// Number of seeds to run.
+    pub seeds: u64,
+    /// Per-run granted-step budget.
+    pub max_steps: usize,
+    /// Weight of "keep running the same thread" vs 1 per other thread.
+    pub continue_weight: u32,
+    /// Stop the exploration at the first violation.
+    pub stop_on_violation: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            seed_base: 1,
+            seeds: 100,
+            max_steps: 5_000,
+            continue_weight: 3,
+            stop_on_violation: true,
+        }
+    }
+}
+
+/// Aggregated exploration outcome.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreStats {
+    /// Runs executed.
+    pub runs: usize,
+    /// Distinct captured schedules (by 64-bit FNV hash).
+    pub distinct_schedules: usize,
+    /// Total steps granted across runs.
+    pub total_steps: usize,
+    /// Runs cut short by the step budget.
+    pub truncated_runs: usize,
+    /// Violating runs, in discovery order.
+    pub violations: Vec<RunResult>,
+}
+
+/// 64-bit FNV-1a over the schedule, used to count distinct interleavings.
+pub fn schedule_hash(schedule: &[Tid]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &t in schedule {
+        for b in t.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Run `scenario` once under `strategy`. The scenario body executes on a
+/// fresh OS thread as virtual tid 0; the calling thread acts as controller.
+fn run_one(strategy: Strategy, max_steps: usize, scenario: &Arc<dyn Fn() + Send + Sync>) -> RunResult {
+    let sched = Scheduler::new(strategy, max_steps);
+    let tid = sched.register_thread(None);
+    let sched2 = Arc::clone(&sched);
+    let body = Arc::clone(scenario);
+    let root = std::thread::spawn(move || spawn_wrapper(sched2, tid, move || body()));
+    sched.launch();
+    let (schedule, violation, steps, trace) = sched.wait_complete();
+    // All virtual threads have exited their wrappers; the root OS thread is
+    // at (or past) its last instruction.
+    root.join().ok();
+    let truncated = matches!(
+        violation,
+        Some(Violation { kind: ViolationKind::Truncated, .. })
+    );
+    RunResult {
+        seed: 0,
+        schedule,
+        violation: if truncated { None } else { violation },
+        steps,
+        truncated,
+        trace,
+    }
+}
+
+/// Seeded weighted-random exploration of `scenario` over
+/// `cfg.seed_base .. cfg.seed_base + cfg.seeds`.
+pub fn explore(cfg: &Config, scenario: impl Fn() + Send + Sync + 'static) -> ExploreStats {
+    let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+    let mut stats = ExploreStats::default();
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..cfg.seeds {
+        let seed = cfg.seed_base.wrapping_add(i);
+        let mut result = run_one(
+            Strategy::Random {
+                rng: SplitMix64::new(seed),
+                continue_weight: cfg.continue_weight,
+            },
+            cfg.max_steps,
+            &scenario,
+        );
+        result.seed = seed;
+        stats.runs += 1;
+        stats.total_steps += result.steps;
+        if seen.insert(schedule_hash(&result.schedule)) {
+            stats.distinct_schedules += 1;
+        }
+        if result.truncated {
+            stats.truncated_runs += 1;
+        }
+        let violating = result.violation.is_some();
+        if violating {
+            stats.violations.push(result);
+            if cfg.stop_on_violation {
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// Re-run `scenario` with the random strategy seeded by `seed` — byte-for-
+/// byte the run [`explore`] performed for that seed.
+pub fn replay_seed(
+    seed: u64,
+    cfg: &Config,
+    scenario: impl Fn() + Send + Sync + 'static,
+) -> RunResult {
+    let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+    let mut r = run_one(
+        Strategy::Random { rng: SplitMix64::new(seed), continue_weight: cfg.continue_weight },
+        cfg.max_steps,
+        &scenario,
+    );
+    r.seed = seed;
+    r
+}
+
+/// Re-run `scenario` following a captured schedule exactly; diverging from
+/// it yields a `Replay` violation.
+pub fn replay_schedule(
+    schedule: &[Tid],
+    max_steps: usize,
+    scenario: impl Fn() + Send + Sync + 'static,
+) -> RunResult {
+    let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+    run_one(
+        Strategy::Replay { schedule: schedule.to_vec() },
+        max_steps,
+        &scenario,
+    )
+}
+
+/// Systematic-mode configuration.
+#[derive(Clone, Debug)]
+pub struct SystematicConfig {
+    /// Maximum preemptions per schedule (context switches away from a
+    /// runnable thread). 2–3 catches most real bugs (CHESS observation).
+    pub preemption_bound: u32,
+    /// Cap on enumerated runs (the DFS frontier can be large).
+    pub max_runs: usize,
+    /// Per-run granted-step budget.
+    pub max_steps: usize,
+    /// Stop at the first violation.
+    pub stop_on_violation: bool,
+}
+
+impl Default for SystematicConfig {
+    fn default() -> Self {
+        Self { preemption_bound: 2, max_runs: 2_000, max_steps: 5_000, stop_on_violation: true }
+    }
+}
+
+fn preemptions_used(trace: &[Choice], upto: usize) -> u32 {
+    trace[..upto]
+        .iter()
+        .filter(|c| c.cont.is_some_and(|cont| cont != c.chosen))
+        .count() as u32
+}
+
+/// Preemption-bounded depth-first enumeration of `scenario`'s schedules.
+///
+/// Each run follows a choice-index prefix, then schedules non-preemptively.
+/// After a run, the deepest choice point with an unexplored alternative
+/// (within the preemption bound) becomes the next prefix — classic
+/// iterative DFS over the schedule tree, bounded by `max_runs`.
+pub fn explore_systematic(
+    cfg: &SystematicConfig,
+    scenario: impl Fn() + Send + Sync + 'static,
+) -> ExploreStats {
+    let scenario: Arc<dyn Fn() + Send + Sync> = Arc::new(scenario);
+    let mut stats = ExploreStats::default();
+    let mut seen = std::collections::HashSet::new();
+    let mut prefix: Vec<u32> = Vec::new();
+    loop {
+        if stats.runs >= cfg.max_runs {
+            break;
+        }
+        let result = run_one(
+            Strategy::Dfs { prefix: prefix.clone() },
+            cfg.max_steps,
+            &scenario,
+        );
+        stats.runs += 1;
+        stats.total_steps += result.steps;
+        if seen.insert(schedule_hash(&result.schedule)) {
+            stats.distinct_schedules += 1;
+        }
+        if result.truncated {
+            stats.truncated_runs += 1;
+        }
+        let trace = result.trace.clone();
+        if result.violation.is_some() {
+            let stop = cfg.stop_on_violation;
+            stats.violations.push(result);
+            if stop {
+                break;
+            }
+        }
+        // Find the deepest position with an unexplored alternative within
+        // the preemption budget.
+        let mut advanced = false;
+        for pos in (0..trace.len()).rev() {
+            let c = trace[pos];
+            let base = preemptions_used(&trace, pos);
+            let mut next = c.chosen + 1;
+            while next < c.feasible {
+                let is_preempt = c.cont.is_some_and(|cont| cont != next);
+                if !is_preempt || base + 1 <= cfg.preemption_bound {
+                    prefix = trace[..pos].iter().map(|t| t.chosen).collect();
+                    prefix.push(next);
+                    advanced = true;
+                    break;
+                }
+                next += 1;
+            }
+            if advanced {
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    stats
+}

@@ -1,0 +1,170 @@
+//! Self-test models.
+//!
+//! Small scenarios with *known* verdicts, used three ways: the crate's own
+//! tests assert the checker finds (or doesn't find) what it should; `cargo
+//! xtask interleave` runs them on every invocation so a regression in the
+//! checker itself fails the gate rather than silently passing the real
+//! models; and they serve as minimal examples of the model API.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::model;
+use crate::vsync::{SharedRaceCell, VAtomicU64, VMutex};
+
+/// Deliberately seeded bug: an "evictor" checks the pin count *outside* the
+/// core latch, racing the client's latched pin/unpin writes — the exact
+/// shape of bug the latched pool's protocol exists to prevent. Every
+/// schedule contains an unordered conflicting pair, so the vector-clock
+/// checker must flag a race.
+pub fn buggy_pin_check_outside_latch() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let core = Arc::new(VMutex::new(()));
+        let pins = Arc::new(SharedRaceCell::new(0u32));
+        let frame = Arc::new(SharedRaceCell::new(0u64));
+
+        let client = {
+            let (core, pins, frame) = (Arc::clone(&core), Arc::clone(&pins), Arc::clone(&frame));
+            model::spawn(move || {
+                {
+                    let _core = core.lock();
+                    pins.set(pins.get() + 1);
+                }
+                frame.set(0xA11CE); // use the frame while pinned
+                {
+                    let _core = core.lock();
+                    pins.set(pins.get() - 1);
+                }
+            })
+        };
+        let evictor = {
+            let (pins, frame) = (Arc::clone(&pins), Arc::clone(&frame));
+            model::spawn(move || {
+                // BUG: the pin check must happen under `core.lock()`.
+                if pins.get() == 0 {
+                    frame.set(0xDEAD); // "evict": reuse the frame
+                }
+            })
+        };
+        client.join();
+        evictor.join();
+    }
+}
+
+/// The corrected version of the same model: the evictor takes the core
+/// latch around its check-and-evict. No schedule may report a violation —
+/// this pins down the checker's false-positive rate at zero for the
+/// protocol the real pool uses.
+pub fn fixed_pin_check_under_latch() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let core = Arc::new(VMutex::new(()));
+        let pins = Arc::new(SharedRaceCell::new(0u32));
+        let frame = Arc::new(SharedRaceCell::new(0u64));
+
+        let client = {
+            let (core, pins, frame) = (Arc::clone(&core), Arc::clone(&pins), Arc::clone(&frame));
+            model::spawn(move || {
+                {
+                    let _core = core.lock();
+                    pins.set(pins.get() + 1);
+                    frame.set(0xA11CE);
+                }
+                {
+                    let _core = core.lock();
+                    pins.set(pins.get() - 1);
+                }
+            })
+        };
+        let evictor = {
+            let (core, pins, frame) = (Arc::clone(&core), Arc::clone(&pins), Arc::clone(&frame));
+            model::spawn(move || {
+                let _core = core.lock();
+                if pins.get() == 0 {
+                    frame.set(0xDEAD);
+                }
+            })
+        };
+        client.join();
+        evictor.join();
+    }
+}
+
+/// Classic two-lock inversion: only schedules where each thread holds one
+/// lock and wants the other deadlock, so the checker has to *search* for
+/// this one — it validates exploration breadth, not just the detector.
+pub fn lock_inversion_deadlock() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let a = Arc::new(VMutex::new(0u32));
+        let b = Arc::new(VMutex::new(0u32));
+        let t1 = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            model::spawn(move || {
+                let _a = a.lock();
+                let _b = b.lock();
+            })
+        };
+        let t2 = {
+            let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+            model::spawn(move || {
+                let _b = b.lock();
+                let _a = a.lock();
+            })
+        };
+        t1.join();
+        t2.join();
+    }
+}
+
+/// Publication over a `Relaxed` flag: the consumer can observe the flag and
+/// still race the producer's plain write, because relaxed accesses transfer
+/// no happens-before. The runtime counterpart of the lexical
+/// `atomic-ordering` rule.
+pub fn relaxed_publish_race() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let data = Arc::new(SharedRaceCell::new(0u64));
+        let flag = Arc::new(VAtomicU64::new(0));
+        let producer = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            model::spawn(move || {
+                data.set(42);
+                // xtask-allow: atomic-ordering -- the seeded bug under test
+                flag.store(1, Ordering::Relaxed);
+            })
+        };
+        let consumer = {
+            let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
+            model::spawn(move || {
+                // xtask-allow: atomic-ordering -- the seeded bug under test
+                if flag.load(Ordering::Relaxed) == 1 {
+                    let _ = data.get();
+                }
+            })
+        };
+        producer.join();
+        consumer.join();
+    }
+}
+
+/// Clean control model: latched increments plus a join-edge read. Exercises
+/// lock and join happens-before; any reported violation is a checker bug.
+pub fn correct_latched_counter() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let core = Arc::new(VMutex::new(()));
+        let count = Arc::new(SharedRaceCell::new(0u32));
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let (core, count) = (Arc::clone(&core), Arc::clone(&count));
+                model::spawn(move || {
+                    let _core = core.lock();
+                    count.set(count.get() + 1);
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join();
+        }
+        // Unlatched read is safe here: both joins order the workers'
+        // writes before us.
+        model::check(count.get() == 2, "both latched increments must land");
+    }
+}

@@ -1,0 +1,230 @@
+//! Deterministic `INTERLEAVE.json` rendering.
+//!
+//! Hand-rolled serialization (the crate is dependency-free) with sorted,
+//! fixed field order and no floats, so two identical explorations render
+//! byte-identical files — which the determinism test pins down.
+
+use crate::model::{schedule_hash, ExploreStats, RunResult};
+
+/// One violating run as reported.
+#[derive(Clone, Debug)]
+pub struct ViolationReport {
+    /// Stable kind label (`race`, `deadlock`, `assert`, …).
+    pub kind: String,
+    /// Deterministic message from the checker.
+    pub message: String,
+    /// Seed that produced the run (0 when not seed-driven).
+    pub seed: u64,
+    /// Captured schedule (granted tid per step) for exact replay.
+    pub schedule: Vec<u32>,
+    /// True when re-running the seed reproduced this exact schedule.
+    pub replay_verified: bool,
+}
+
+impl ViolationReport {
+    /// Build from a violating [`RunResult`]; `replay_verified` is filled by
+    /// the caller after the replay check.
+    pub fn from_run(run: &RunResult, replay_verified: bool) -> Option<Self> {
+        run.violation.as_ref().map(|v| ViolationReport {
+            kind: v.kind.label().to_string(),
+            message: v.message.clone(),
+            seed: run.seed,
+            schedule: run.schedule.clone(),
+            replay_verified,
+        })
+    }
+}
+
+/// Per-scenario section of the report.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario name (stable identifier).
+    pub name: String,
+    /// Exploration mode used (`random` or `systematic`).
+    pub mode: String,
+    /// Whether the scenario is a seeded-buggy self-test.
+    pub expect_violation: bool,
+    /// Schedules run.
+    pub runs: usize,
+    /// Distinct interleavings (by schedule hash).
+    pub distinct_schedules: usize,
+    /// Steps granted across all runs.
+    pub steps_total: usize,
+    /// Runs cut short by the step budget.
+    pub truncated_runs: usize,
+    /// Violations found.
+    pub violations: Vec<ViolationReport>,
+}
+
+impl ScenarioReport {
+    /// Aggregate an exploration into a report section.
+    pub fn new(
+        name: &str,
+        mode: &str,
+        expect_violation: bool,
+        stats: &ExploreStats,
+        violations: Vec<ViolationReport>,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            mode: mode.to_string(),
+            expect_violation,
+            runs: stats.runs,
+            distinct_schedules: stats.distinct_schedules,
+            steps_total: stats.total_steps,
+            truncated_runs: stats.truncated_runs,
+            violations,
+        }
+    }
+
+    /// A self-test must find its bug (with a verified replay); a real model
+    /// must find nothing.
+    pub fn passes(&self) -> bool {
+        if self.expect_violation {
+            !self.violations.is_empty() && self.violations.iter().all(|v| v.replay_verified)
+        } else {
+            self.violations.is_empty()
+        }
+    }
+}
+
+/// The whole `results/INTERLEAVE.json` document.
+#[derive(Clone, Debug)]
+pub struct InterleaveReport {
+    /// First seed of the per-scenario seed range.
+    pub seed_base: u64,
+    /// Seeds per random-mode scenario.
+    pub seeds_per_scenario: u64,
+    /// Per-run step budget.
+    pub max_steps: usize,
+    /// Scenario sections, in execution order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl InterleaveReport {
+    /// Total distinct interleavings across scenarios.
+    pub fn total_distinct(&self) -> usize {
+        self.scenarios.iter().map(|s| s.distinct_schedules).sum()
+    }
+
+    /// Total runs across scenarios.
+    pub fn total_runs(&self) -> usize {
+        self.scenarios.iter().map(|s| s.runs).sum()
+    }
+
+    /// Violations on scenarios that were expected to be clean.
+    pub fn unexpected_violations(&self) -> usize {
+        self.scenarios
+            .iter()
+            .filter(|s| !s.expect_violation)
+            .map(|s| s.violations.len())
+            .sum()
+    }
+
+    /// Gate verdict: every scenario matches its expectation.
+    pub fn passes(&self) -> bool {
+        self.scenarios.iter().all(|s| s.passes())
+    }
+
+    /// Render the deterministic JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"seed_base\": {},\n", self.seed_base));
+        out.push_str(&format!(
+            "  \"seeds_per_scenario\": {},\n",
+            self.seeds_per_scenario
+        ));
+        out.push_str(&format!("  \"max_steps\": {},\n", self.max_steps));
+        out.push_str(&format!("  \"total_runs\": {},\n", self.total_runs()));
+        out.push_str(&format!(
+            "  \"total_distinct_schedules\": {},\n",
+            self.total_distinct()
+        ));
+        out.push_str(&format!(
+            "  \"unexpected_violations\": {},\n",
+            self.unexpected_violations()
+        ));
+        out.push_str(&format!(
+            "  \"gate\": {},\n",
+            json_str(if self.passes() { "pass" } else { "fail" })
+        ));
+        out.push_str("  \"scenarios\": [");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_str(&s.name)));
+            out.push_str(&format!("      \"mode\": {},\n", json_str(&s.mode)));
+            out.push_str(&format!(
+                "      \"expect_violation\": {},\n",
+                s.expect_violation
+            ));
+            out.push_str(&format!("      \"runs\": {},\n", s.runs));
+            out.push_str(&format!(
+                "      \"distinct_schedules\": {},\n",
+                s.distinct_schedules
+            ));
+            out.push_str(&format!("      \"steps_total\": {},\n", s.steps_total));
+            out.push_str(&format!("      \"truncated_runs\": {},\n", s.truncated_runs));
+            out.push_str(&format!(
+                "      \"verdict\": {},\n",
+                json_str(if s.passes() { "pass" } else { "fail" })
+            ));
+            out.push_str("      \"violations\": [");
+            for (j, v) in s.violations.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        {\n");
+                out.push_str(&format!("          \"kind\": {},\n", json_str(&v.kind)));
+                out.push_str(&format!("          \"message\": {},\n", json_str(&v.message)));
+                out.push_str(&format!("          \"seed\": {},\n", v.seed));
+                out.push_str(&format!(
+                    "          \"schedule_hash\": {},\n",
+                    json_str(&format!("{:016x}", schedule_hash(&v.schedule)))
+                ));
+                out.push_str(&format!(
+                    "          \"replay_verified\": {},\n",
+                    v.replay_verified
+                ));
+                let sched: Vec<String> =
+                    v.schedule.iter().map(|t| t.to_string()).collect();
+                out.push_str(&format!(
+                    "          \"schedule\": [{}]\n",
+                    sched.join(", ")
+                ));
+                out.push_str("        }");
+            }
+            if !s.violations.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.scenarios.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors the xtask report writer).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,733 @@
+//! The controlled scheduler.
+//!
+//! Under `cfg(conc_model)` every acquire/release/load/store in the tree's
+//! sync layer funnels into [`schedule_point`]: the calling OS thread parks on
+//! a condvar until the scheduler grants it the next step, applies its
+//! operation's effects on the virtual object state (lock ownership,
+//! happens-before clocks, race metadata), then runs user code until its next
+//! schedule point. Exactly one virtual thread is runnable at a time, so a
+//! run's behaviour is a pure function of the choice sequence — which is what
+//! makes capture, replay-from-seed, and systematic enumeration possible.
+//!
+//! The scheduler itself is built on plain `std::sync` primitives (never the
+//! virtual ones — that would recurse) and is deliberately allocation-light:
+//! models are a handful of threads and a few hundred steps.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+use crate::rng::SplitMix64;
+
+/// Virtual thread id (dense, starting at 0 for the scenario root).
+pub type Tid = u32;
+
+/// Virtual sync-object id (dense per run, assigned on first use).
+pub type ObjId = u32;
+
+/// Unwind payload used to abort virtual threads once a run is over
+/// (violation found, budget exhausted). `resume_unwind` skips the panic
+/// hook, so aborts are silent.
+pub(crate) struct Abort;
+
+/// Memory-ordering strength as the scheduler models it. `Relaxed` performs
+/// the access without transferring happens-before — which is exactly what
+/// lets the race checker catch data published over relaxed flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strength {
+    /// No happens-before transfer.
+    Relaxed,
+    /// Join the object clock into the thread (loads).
+    Acquire,
+    /// Publish the thread clock into the object (stores).
+    Release,
+    /// Both directions (read-modify-write, SeqCst).
+    AcqRel,
+}
+
+impl Strength {
+    /// Map a `std::sync::atomic::Ordering` for the given access kind.
+    pub fn of(order: std::sync::atomic::Ordering, rmw: bool) -> Self {
+        use std::sync::atomic::Ordering as O;
+        match order {
+            O::Relaxed => Strength::Relaxed,
+            O::Acquire => {
+                if rmw {
+                    Strength::AcqRel
+                } else {
+                    Strength::Acquire
+                }
+            }
+            O::Release => {
+                if rmw {
+                    Strength::AcqRel
+                } else {
+                    Strength::Release
+                }
+            }
+            O::AcqRel => Strength::AcqRel,
+            // SeqCst and any future orderings: strongest we model.
+            _ => Strength::AcqRel,
+        }
+    }
+}
+
+/// One schedulable operation. Every variant is a schedule point; the
+/// scheduler decides feasibility (can the op complete now?) and applies the
+/// state transition when the owning thread is granted the step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// First step of a freshly spawned thread.
+    Start,
+    /// Acquire an exclusive lock.
+    MutexLock(ObjId),
+    /// Release an exclusive lock.
+    MutexUnlock(ObjId),
+    /// Acquire a shared (reader) lock; recursion is allowed.
+    RwRead(ObjId),
+    /// Acquire an exclusive (writer) lock.
+    RwWrite(ObjId),
+    /// Release one shared hold.
+    RwUnlockRead(ObjId),
+    /// Release the exclusive hold.
+    RwUnlockWrite(ObjId),
+    /// An atomic access with the given happens-before strength.
+    Atomic(ObjId, Strength),
+    /// A plain (non-atomic) read of a race-checked cell.
+    RaceRead(ObjId),
+    /// A plain (non-atomic) write of a race-checked cell.
+    RaceWrite(ObjId),
+    /// Block until unparked (or consume a pending token).
+    Park,
+    /// Make `Tid`'s park token available.
+    Unpark(Tid),
+    /// Block until `Tid` has finished.
+    Join(Tid),
+    /// Pure preemption opportunity.
+    Yield,
+    /// Last step of a thread.
+    Finish,
+}
+
+/// Why a run stopped before completing normally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Classification for reporting.
+    pub kind: ViolationKind,
+    /// Deterministic human-readable description (thread/object ids are
+    /// assigned deterministically per schedule).
+    pub message: String,
+}
+
+/// Violation classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Unsynchronized conflicting access found by the vector-clock checker.
+    Race,
+    /// No thread can make progress.
+    Deadlock,
+    /// A model invariant check failed (`model::check` / user panic).
+    Assert,
+    /// A replayed schedule diverged from the recorded one.
+    Replay,
+    /// Step budget exhausted (reported as truncation, not a violation).
+    Truncated,
+}
+
+impl ViolationKind {
+    /// Stable lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::Race => "race",
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::Assert => "assert",
+            ViolationKind::Replay => "replay-divergence",
+            ViolationKind::Truncated => "truncated",
+        }
+    }
+}
+
+/// How the scheduler picks the next thread at each step.
+#[derive(Clone, Debug)]
+pub enum Strategy {
+    /// Seeded weighted-random exploration: the previously running thread is
+    /// favoured by `continue_weight` to keep schedules realistic while still
+    /// exercising preemptions.
+    Random {
+        /// Choice stream.
+        rng: SplitMix64,
+        /// Relative weight of not preempting (others weigh 1 each).
+        continue_weight: u32,
+    },
+    /// Replay an exact captured schedule (sequence of tids).
+    Replay {
+        /// The captured schedule to follow.
+        schedule: Vec<Tid>,
+    },
+    /// Systematic DFS: follow `prefix` choices (indexes into the sorted
+    /// feasible set), then run non-preemptively. The recorded trace lets the
+    /// driver enumerate the next prefix.
+    Dfs {
+        /// Choice-index prefix to follow this run.
+        prefix: Vec<u32>,
+    },
+}
+
+/// One recorded choice point (consumed by the systematic driver).
+#[derive(Clone, Copy, Debug)]
+pub struct Choice {
+    /// Size of the feasible set at this step.
+    pub feasible: u32,
+    /// Index chosen (into the tid-sorted feasible set).
+    pub chosen: u32,
+    /// Index of the previously running thread in the feasible set, when it
+    /// was feasible (choosing anything else is a preemption).
+    pub cont: Option<u32>,
+}
+
+/// Virtual sync-object kind (fixed at first use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjKind {
+    /// Exclusive lock.
+    Mutex,
+    /// Shared/exclusive lock.
+    RwLock,
+    /// Atomic cell.
+    Atomic,
+    /// Race-checked plain cell.
+    Race,
+}
+
+#[derive(Debug)]
+enum ObjState {
+    Lock { excl: Option<Tid>, readers: Vec<Tid>, clock: VClock },
+    Atomic { clock: VClock },
+    Race { writer: Option<(Tid, u32)>, reads: VClock },
+}
+
+#[derive(Debug, Default)]
+struct ThreadSlot {
+    pending: Option<Op>,
+    finished: bool,
+    park_token: bool,
+    clock: VClock,
+}
+
+struct SchedState {
+    threads: Vec<ThreadSlot>,
+    objects: Vec<ObjState>,
+    current: Option<Tid>,
+    /// True once `current` has applied its granted op (it is now running
+    /// user code); false while the grant is still outstanding.
+    current_applied: bool,
+    strategy: Strategy,
+    schedule: Vec<Tid>,
+    trace: Vec<Choice>,
+    replay_pos: usize,
+    violation: Option<Violation>,
+    steps: usize,
+    max_steps: usize,
+    os_spawned: usize,
+    os_exited: usize,
+}
+
+/// A single-run controlled scheduler. Created per schedule by the explore
+/// drivers in [`crate::model`]; virtual threads find it through a
+/// thread-local installed by the spawn wrapper.
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    epoch: u32,
+}
+
+/// Process-global run epoch, used to invalidate object ids cached inside
+/// sync primitives that survive across runs.
+static EPOCH: AtomicU32 = AtomicU32::new(1);
+
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Scheduler>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The scheduler + tid the calling OS thread is registered with, if any.
+/// `None` means pass-through mode: virtual primitives behave like their std
+/// equivalents.
+pub(crate) fn active() -> Option<(Arc<Scheduler>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn install_ctx(sched: &Arc<Scheduler>, tid: Tid) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(sched), tid)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn lock_state(sched: &Scheduler) -> MutexGuard<'_, SchedState> {
+    sched.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn abort() -> ! {
+    std::panic::resume_unwind(Box::new(Abort))
+}
+
+/// Abort the calling virtual thread's run (after a violation has been
+/// recorded). Never called while already unwinding.
+pub(crate) fn abort_current() -> ! {
+    abort()
+}
+
+impl Scheduler {
+    /// Fresh scheduler for one run.
+    pub fn new(strategy: Strategy, max_steps: usize) -> Arc<Self> {
+        Arc::new(Scheduler {
+            state: Mutex::new(SchedState {
+                threads: Vec::new(),
+                objects: Vec::new(),
+                current: None,
+                current_applied: false,
+                strategy,
+                schedule: Vec::new(),
+                trace: Vec::new(),
+                replay_pos: 0,
+                violation: None,
+                steps: 0,
+                max_steps,
+                os_spawned: 0,
+                os_exited: 0,
+            }),
+            cv: Condvar::new(),
+            epoch: EPOCH.fetch_add(1, Ordering::AcqRel),
+        })
+    }
+
+    /// Register a virtual thread. `parent` carries the spawn happens-before
+    /// edge; the root passes `None`. Also counts the OS thread that will
+    /// back it.
+    pub(crate) fn register_thread(self: &Arc<Self>, parent: Option<Tid>) -> Tid {
+        let mut st = lock_state(self);
+        let tid = st.threads.len() as Tid;
+        let mut slot = ThreadSlot { pending: Some(Op::Start), ..ThreadSlot::default() };
+        if let Some(p) = parent {
+            if let Some(pslot) = st.threads.get_mut(p as usize) {
+                pslot.clock.tick(p);
+                slot.clock = pslot.clock.clone();
+            }
+        }
+        st.threads.push(slot);
+        st.os_spawned += 1;
+        tid
+    }
+
+    /// Kick off the run: grant the first step (the root's `Start`).
+    pub(crate) fn launch(self: &Arc<Self>) {
+        let mut st = lock_state(self);
+        st.pick_next();
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Called by the spawn wrapper when its OS thread is about to exit
+    /// (normally or by abort).
+    pub(crate) fn os_thread_exited(self: &Arc<Self>) {
+        let mut st = lock_state(self);
+        st.os_exited += 1;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Record an assertion violation raised by `model::check`/`model::fail`
+    /// or an escaped user panic. First violation wins.
+    pub(crate) fn record_assert(self: &Arc<Self>, message: String) {
+        let mut st = lock_state(self);
+        if st.violation.is_none() {
+            st.violation =
+                Some(Violation { kind: ViolationKind::Assert, message });
+            st.current = None;
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Block the controller until every backing OS thread has exited, then
+    /// return the run outcome: (captured schedule, violation, steps, trace).
+    pub(crate) fn wait_complete(
+        self: &Arc<Self>,
+    ) -> (Vec<Tid>, Option<Violation>, usize, Vec<Choice>) {
+        let mut st = lock_state(self);
+        while st.os_exited < st.os_spawned {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        (
+            std::mem::take(&mut st.schedule),
+            st.violation.clone(),
+            st.steps,
+            std::mem::take(&mut st.trace),
+        )
+    }
+
+    /// Resolve (or assign) the virtual object id cached in `cell`. The cache
+    /// packs `(epoch, id + 1)` so objects created in earlier runs re-register
+    /// instead of aliasing.
+    pub(crate) fn object_id(self: &Arc<Self>, cell: &AtomicU64, kind: ObjKind) -> ObjId {
+        let mut st = lock_state(self);
+        let packed = cell.load(Ordering::Acquire);
+        let (epoch, id) = ((packed >> 32) as u32, (packed & 0xffff_ffff) as u32);
+        if epoch == self.epoch && id != 0 {
+            return id - 1;
+        }
+        let id = st.objects.len() as ObjId;
+        st.objects.push(match kind {
+            ObjKind::Mutex | ObjKind::RwLock => {
+                ObjState::Lock { excl: None, readers: Vec::new(), clock: VClock::new() }
+            }
+            ObjKind::Atomic => ObjState::Atomic { clock: VClock::new() },
+            ObjKind::Race => ObjState::Race { writer: None, reads: VClock::new() },
+        });
+        cell.store((u64::from(self.epoch) << 32) | u64::from(id + 1), Ordering::Release);
+        id
+    }
+}
+
+/// Execute one schedule point for the calling virtual thread: announce the
+/// pending `op`, hand the step choice to the scheduler, park until granted,
+/// then apply the op's effects. Unwinds (silently) when the run has been
+/// aborted by a violation or budget exhaustion.
+pub(crate) fn schedule_point(sched: &Arc<Scheduler>, tid: Tid, op: Op) {
+    // Guard drops reach here during abort unwinding; a second unwind from
+    // inside a Drop would escalate to a process abort, so once the run is
+    // over (violation recorded) an already-panicking thread just skips its
+    // remaining virtual steps.
+    let mut st = lock_state(sched);
+    if st.violation.is_some() {
+        drop(st);
+        if std::thread::panicking() {
+            return;
+        }
+        abort();
+    }
+    if let Some(slot) = st.threads.get_mut(tid as usize) {
+        slot.pending = Some(op);
+    }
+    if st.current == Some(tid) && st.current_applied {
+        // My previous step is complete; choose who applies the next op
+        // (possibly me again).
+        st.pick_next();
+        sched.cv.notify_all();
+    }
+    loop {
+        if st.violation.is_some() {
+            drop(st);
+            if std::thread::panicking() {
+                return;
+            }
+            abort();
+        }
+        if st.current == Some(tid) && !st.current_applied {
+            break;
+        }
+        st = sched.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    // Granted: apply the op's effects while still holding the state lock.
+    if let Err(v) = st.apply(tid, op) {
+        st.violation = Some(v);
+        st.current = None;
+        drop(st);
+        sched.cv.notify_all();
+        abort();
+    }
+    st.current_applied = true;
+    if let Some(slot) = st.threads.get_mut(tid as usize) {
+        slot.pending = None;
+    }
+    if op == Op::Finish {
+        // This thread is done; hand the token onwards before exiting.
+        st.pick_next();
+        drop(st);
+        sched.cv.notify_all();
+    }
+}
+
+impl SchedState {
+    fn feasible(&self, tid: Tid, op: Op) -> bool {
+        match op {
+            Op::Start | Op::Yield | Op::Finish | Op::Unpark(_) => true,
+            Op::Atomic(..) | Op::RaceRead(_) | Op::RaceWrite(_) => true,
+            Op::MutexUnlock(_) | Op::RwUnlockRead(_) | Op::RwUnlockWrite(_) => true,
+            Op::MutexLock(o) | Op::RwWrite(o) => match self.objects.get(o as usize) {
+                Some(ObjState::Lock { excl, readers, .. }) => {
+                    excl.is_none() && readers.is_empty()
+                }
+                _ => true,
+            },
+            Op::RwRead(o) => match self.objects.get(o as usize) {
+                Some(ObjState::Lock { excl, .. }) => excl.is_none(),
+                _ => true,
+            },
+            Op::Park => self.threads.get(tid as usize).is_some_and(|t| t.park_token),
+            Op::Join(t) => self.threads.get(t as usize).is_some_and(|t| t.finished),
+        }
+    }
+
+    /// Choose the next thread to grant a step to. Sets `current` (or a
+    /// violation: deadlock, replay divergence, budget exhaustion).
+    fn pick_next(&mut self) {
+        let prev = self.current;
+        self.current = None;
+
+        let mut feasible: Vec<Tid> = Vec::new();
+        let mut live = 0usize;
+        let mut blocked_desc: Vec<String> = Vec::new();
+        for (i, t) in self.threads.iter().enumerate() {
+            if t.finished {
+                continue;
+            }
+            if let Some(op) = t.pending {
+                live += 1;
+                if self.feasible(i as Tid, op) {
+                    feasible.push(i as Tid);
+                } else {
+                    blocked_desc.push(format!("t{i} blocked on {op:?}"));
+                }
+            }
+        }
+        if live == 0 {
+            return; // run complete
+        }
+        if feasible.is_empty() {
+            self.violation = Some(Violation {
+                kind: ViolationKind::Deadlock,
+                message: format!("deadlock: {}", blocked_desc.join(", ")),
+            });
+            return;
+        }
+        if self.steps >= self.max_steps {
+            self.violation = Some(Violation {
+                kind: ViolationKind::Truncated,
+                message: format!("step budget {} exhausted", self.max_steps),
+            });
+            return;
+        }
+        self.steps += 1;
+
+        let cont = prev.and_then(|p| feasible.iter().position(|&t| t == p));
+        let n = feasible.len();
+        let idx = match &mut self.strategy {
+            Strategy::Random { rng, continue_weight } => match cont {
+                Some(c) if n > 1 => {
+                    let w = u64::from(*continue_weight).max(1);
+                    let total = w + (n as u64 - 1);
+                    let r = rng.next_below(total);
+                    if r < w {
+                        c
+                    } else {
+                        // Map the remainder onto the non-continuing threads.
+                        let mut k = (r - w) as usize;
+                        if k >= c {
+                            k += 1;
+                        }
+                        k
+                    }
+                }
+                _ => {
+                    if n > 1 {
+                        rng.next_below(n as u64) as usize
+                    } else {
+                        0
+                    }
+                }
+            },
+            Strategy::Replay { schedule } => {
+                let want = schedule.get(self.replay_pos).copied();
+                self.replay_pos += 1;
+                match want.and_then(|w| feasible.iter().position(|&t| t == w)) {
+                    Some(i) => i,
+                    None => {
+                        self.violation = Some(Violation {
+                            kind: ViolationKind::Replay,
+                            message: format!(
+                                "replay diverged at step {}: wanted {:?}, feasible {:?}",
+                                self.replay_pos - 1,
+                                want,
+                                feasible
+                            ),
+                        });
+                        return;
+                    }
+                }
+            }
+            Strategy::Dfs { prefix } => {
+                let pos = self.trace.len();
+                match prefix.get(pos) {
+                    Some(&i) if (i as usize) < n => i as usize,
+                    Some(&i) => {
+                        self.violation = Some(Violation {
+                            kind: ViolationKind::Replay,
+                            message: format!(
+                                "dfs prefix invalid at step {pos}: index {i} of {n}"
+                            ),
+                        });
+                        return;
+                    }
+                    // Past the prefix: run without preempting.
+                    None => cont.unwrap_or(0),
+                }
+            }
+        };
+
+        let chosen = feasible[idx];
+        self.trace.push(Choice {
+            feasible: n as u32,
+            chosen: idx as u32,
+            cont: cont.map(|c| c as u32),
+        });
+        self.schedule.push(chosen);
+        self.current = Some(chosen);
+        self.current_applied = false;
+    }
+
+    /// Apply `op`'s effects for thread `tid`: lock ownership transitions,
+    /// happens-before clock edges, and race checks.
+    fn apply(&mut self, tid: Tid, op: Op) -> Result<(), Violation> {
+        // Advance the thread's own clock component first so every applied op
+        // is a distinct epoch.
+        let my_clock = {
+            let Some(slot) = self.threads.get_mut(tid as usize) else {
+                return Ok(());
+            };
+            slot.clock.tick(tid);
+            slot.clock.clone()
+        };
+
+        let race = |kind: &str, obj: ObjId, prior: String| Violation {
+            kind: ViolationKind::Race,
+            message: format!(
+                "data race on cell #{obj}: {kind} by t{tid} is concurrent with {prior}"
+            ),
+        };
+
+        match op {
+            Op::Start | Op::Yield => {}
+            Op::Finish => {
+                if let Some(slot) = self.threads.get_mut(tid as usize) {
+                    slot.finished = true;
+                }
+            }
+            Op::MutexLock(o) | Op::RwWrite(o) => {
+                if let Some(ObjState::Lock { excl, clock, .. }) = self.objects.get_mut(o as usize)
+                {
+                    *excl = Some(tid);
+                    let obj_clock = clock.clone();
+                    if let Some(slot) = self.threads.get_mut(tid as usize) {
+                        slot.clock.join(&obj_clock);
+                    }
+                }
+            }
+            Op::MutexUnlock(o) | Op::RwUnlockWrite(o) => {
+                if let Some(ObjState::Lock { excl, clock, .. }) = self.objects.get_mut(o as usize)
+                {
+                    *excl = None;
+                    *clock = my_clock.clone();
+                }
+            }
+            Op::RwRead(o) => {
+                if let Some(ObjState::Lock { readers, clock, .. }) =
+                    self.objects.get_mut(o as usize)
+                {
+                    readers.push(tid);
+                    let obj_clock = clock.clone();
+                    if let Some(slot) = self.threads.get_mut(tid as usize) {
+                        slot.clock.join(&obj_clock);
+                    }
+                }
+            }
+            Op::RwUnlockRead(o) => {
+                if let Some(ObjState::Lock { readers, clock, .. }) =
+                    self.objects.get_mut(o as usize)
+                {
+                    if let Some(i) = readers.iter().position(|&t| t == tid) {
+                        readers.swap_remove(i);
+                    }
+                    clock.join(&my_clock);
+                }
+            }
+            Op::Atomic(o, strength) => {
+                if let Some(ObjState::Atomic { clock }) = self.objects.get_mut(o as usize) {
+                    let acquire =
+                        matches!(strength, Strength::Acquire | Strength::AcqRel);
+                    let release =
+                        matches!(strength, Strength::Release | Strength::AcqRel);
+                    if acquire {
+                        let obj_clock = clock.clone();
+                        if let Some(slot) = self.threads.get_mut(tid as usize) {
+                            slot.clock.join(&obj_clock);
+                        }
+                    }
+                    if release {
+                        // Join (not overwrite): conservative release-sequence
+                        // model, still strictly weaker than lock transfer.
+                        clock.join(&my_clock);
+                    }
+                }
+            }
+            Op::RaceRead(o) => {
+                if let Some(ObjState::Race { writer, reads }) = self.objects.get_mut(o as usize)
+                {
+                    if let Some((wt, wc)) = *writer {
+                        if my_clock.get(wt) < wc {
+                            return Err(race(
+                                "read",
+                                o,
+                                format!("an unordered write by t{wt}"),
+                            ));
+                        }
+                    }
+                    reads.set_max(tid, my_clock.get(tid));
+                }
+            }
+            Op::RaceWrite(o) => {
+                if let Some(ObjState::Race { writer, reads }) = self.objects.get_mut(o as usize)
+                {
+                    if let Some((wt, wc)) = *writer {
+                        if my_clock.get(wt) < wc {
+                            return Err(race(
+                                "write",
+                                o,
+                                format!("an unordered write by t{wt}"),
+                            ));
+                        }
+                    }
+                    if !reads.dominated_by(&my_clock) {
+                        return Err(race("write", o, "an unordered read".to_string()));
+                    }
+                    *writer = Some((tid, my_clock.get(tid)));
+                    reads.clear();
+                }
+            }
+            Op::Park => {
+                if let Some(slot) = self.threads.get_mut(tid as usize) {
+                    slot.park_token = false;
+                }
+            }
+            Op::Unpark(t) => {
+                // The unparked thread acquires the unparker's history when it
+                // resumes; publish through the target's clock on wake. We
+                // model the edge eagerly (conservative: masks no races the
+                // pool relies on park/unpark to order).
+                if let Some(slot) = self.threads.get_mut(t as usize) {
+                    slot.park_token = true;
+                    slot.clock.join(&my_clock);
+                }
+            }
+            Op::Join(t) => {
+                let child_clock =
+                    self.threads.get(t as usize).map(|s| s.clock.clone()).unwrap_or_default();
+                if let Some(slot) = self.threads.get_mut(tid as usize) {
+                    slot.clock.join(&child_clock);
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,28 @@
+//! Build-mode sync aliases.
+//!
+//! The buffer tree imports its primitives from here instead of naming
+//! `parking_lot`/`std::sync::atomic` directly. In normal builds these are
+//! plain re-exports — zero cost, identical types, nothing to audit. Under
+//! `RUSTFLAGS="--cfg conc_model"` the same names resolve to the virtual
+//! primitives in [`crate::vsync`], so every acquire/release/load/store in
+//! the pool becomes a schedule point without a single source change.
+
+#[cfg(not(conc_model))]
+pub use parking_lot::{Mutex, RwLock};
+
+#[cfg(conc_model)]
+pub use crate::vsync::{VMutex as Mutex, VRwLock as RwLock};
+
+/// Atomic types under the same switch. `Ordering` is always the std enum.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(conc_model))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize};
+
+    #[cfg(conc_model)]
+    pub use crate::vsync::{
+        VAtomicBool as AtomicBool, VAtomicU32 as AtomicU32, VAtomicU64 as AtomicU64,
+        VAtomicUsize as AtomicUsize,
+    };
+}

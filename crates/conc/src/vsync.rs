@@ -1,0 +1,348 @@
+//! Virtual sync primitives.
+//!
+//! Always compiled (so the crate's own tests exercise them under plain
+//! `cargo test`), but only *routed through the scheduler* when the calling
+//! thread is registered with an active model run; otherwise every operation
+//! passes straight through to the underlying `std::sync` primitive. Under
+//! `cfg(conc_model)` the [`crate::sync`] alias module maps the tree's
+//! `Mutex`/`RwLock`/atomic imports onto these types.
+//!
+//! Physical state (the protected data) lives in ordinary `std` primitives;
+//! virtual state (ownership, happens-before clocks, race metadata) lives in
+//! the scheduler's object table, keyed by an id cached in each primitive.
+//! Because the scheduler admits exactly one runnable thread, physical
+//! acquisition after a virtual grant can never block.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::sched::{self, ObjKind, Op, Strength};
+
+fn sync_point(cell: &AtomicU64, kind: ObjKind, op_of: impl FnOnce(sched::ObjId) -> Op) {
+    if let Some((sched, tid)) = sched::active() {
+        let id = sched.object_id(cell, kind);
+        sched::schedule_point(&sched, tid, op_of(id));
+    }
+}
+
+/// A mutex that becomes a scheduler-controlled virtual lock inside a model
+/// run and a plain `std::sync::Mutex` otherwise. API mirrors the
+/// `parking_lot` subset the tree uses (`lock`, `into_inner`; no poisoning).
+#[derive(Debug, Default)]
+pub struct VMutex<T> {
+    data: std::sync::Mutex<T>,
+    id: AtomicU64,
+}
+
+/// RAII guard for [`VMutex`].
+pub struct VMutexGuard<'a, T> {
+    owner: &'a VMutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> VMutex<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        Self { data: std::sync::Mutex::new(value), id: AtomicU64::new(0) }
+    }
+
+    /// Acquire the lock (a schedule point inside a model run).
+    pub fn lock(&self) -> VMutexGuard<'_, T> {
+        sync_point(&self.id, ObjKind::Mutex, Op::MutexLock);
+        let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+        VMutexGuard { owner: self, inner: Some(inner) }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> std::ops::Deref for VMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().unwrap_or_else(|| unreachable_guard())
+    }
+}
+
+impl<T> std::ops::DerefMut for VMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match self.inner.as_deref_mut() {
+            Some(v) => v,
+            None => unreachable_guard(),
+        }
+    }
+}
+
+impl<T> Drop for VMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Physical release first, then the virtual release step.
+        self.inner = None;
+        sync_point(&self.owner.id, ObjKind::Mutex, Op::MutexUnlock);
+    }
+}
+
+/// A reader-writer lock with the same virtual/pass-through split as
+/// [`VMutex`]. `read_recursive` matches parking_lot's: a shared hold that
+/// never blocks behind a waiting writer (the virtual lock has no writer
+/// queue at all, so `read` behaves identically).
+#[derive(Debug, Default)]
+pub struct VRwLock<T> {
+    data: std::sync::RwLock<T>,
+    id: AtomicU64,
+}
+
+/// Shared-access RAII guard for [`VRwLock`].
+pub struct VRwLockReadGuard<'a, T> {
+    owner: &'a VRwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive-access RAII guard for [`VRwLock`].
+pub struct VRwLockWriteGuard<'a, T> {
+    owner: &'a VRwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> VRwLock<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        Self { data: std::sync::RwLock::new(value), id: AtomicU64::new(0) }
+    }
+
+    /// Acquire shared access.
+    pub fn read(&self) -> VRwLockReadGuard<'_, T> {
+        sync_point(&self.id, ObjKind::RwLock, Op::RwRead);
+        let inner = self.data.read().unwrap_or_else(|e| e.into_inner());
+        VRwLockReadGuard { owner: self, inner: Some(inner) }
+    }
+
+    /// Acquire shared access even when the caller already holds a shared
+    /// guard on this lock.
+    pub fn read_recursive(&self) -> VRwLockReadGuard<'_, T> {
+        self.read()
+    }
+
+    /// Acquire exclusive access.
+    pub fn write(&self) -> VRwLockWriteGuard<'_, T> {
+        sync_point(&self.id, ObjKind::RwLock, Op::RwWrite);
+        let inner = self.data.write().unwrap_or_else(|e| e.into_inner());
+        VRwLockWriteGuard { owner: self, inner: Some(inner) }
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> std::ops::Deref for VRwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().unwrap_or_else(|| unreachable_guard())
+    }
+}
+
+impl<T> Drop for VRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        sync_point(&self.owner.id, ObjKind::RwLock, Op::RwUnlockRead);
+    }
+}
+
+impl<T> std::ops::Deref for VRwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().unwrap_or_else(|| unreachable_guard())
+    }
+}
+
+impl<T> std::ops::DerefMut for VRwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        match self.inner.as_deref_mut() {
+            Some(v) => v,
+            None => unreachable_guard(),
+        }
+    }
+}
+
+impl<T> Drop for VRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        sync_point(&self.owner.id, ObjKind::RwLock, Op::RwUnlockWrite);
+    }
+}
+
+/// The guard's inner option is `Some` for the guard's whole dereferencable
+/// lifetime (it is only taken in `drop`); reaching this is a scheduler bug.
+fn unreachable_guard() -> ! {
+    panic!("virtual guard used after release")
+}
+
+macro_rules! v_atomic {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            value: std::sync::atomic::$std,
+            id: AtomicU64,
+        }
+
+        impl $name {
+            /// Wrap `value`.
+            pub fn new(value: $prim) -> Self {
+                Self { value: std::sync::atomic::$std::new(value), id: AtomicU64::new(0) }
+            }
+
+            /// Atomic load. A schedule point inside a model run; the given
+            /// ordering decides which happens-before edges transfer.
+            pub fn load(&self, order: Ordering) -> $prim {
+                sync_point(&self.id, ObjKind::Atomic, |o| {
+                    Op::Atomic(o, Strength::of(order, false).acquire_side())
+                });
+                self.value.load(order)
+            }
+
+            /// Atomic store (release-side edges under the model).
+            pub fn store(&self, value: $prim, order: Ordering) {
+                sync_point(&self.id, ObjKind::Atomic, |o| {
+                    Op::Atomic(o, Strength::of(order, false).release_side())
+                });
+                self.value.store(value, order);
+            }
+
+            /// Atomic swap (read-modify-write).
+            pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
+                sync_point(&self.id, ObjKind::Atomic, |o| {
+                    Op::Atomic(o, Strength::of(order, true))
+                });
+                self.value.swap(value, order)
+            }
+
+            /// Atomic compare-exchange (strong).
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                sync_point(&self.id, ObjKind::Atomic, |o| {
+                    Op::Atomic(o, Strength::of(success, true))
+                });
+                self.value.compare_exchange(current, new, success, failure)
+            }
+
+            /// Consume, returning the value.
+            pub fn into_inner(self) -> $prim {
+                self.value.into_inner()
+            }
+        }
+    };
+}
+
+macro_rules! v_atomic_arith {
+    ($name:ident, $prim:ty) => {
+        impl $name {
+            /// Atomic add, returning the previous value.
+            pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
+                sync_point(&self.id, ObjKind::Atomic, |o| {
+                    Op::Atomic(o, Strength::of(order, true))
+                });
+                self.value.fetch_add(value, order)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
+                sync_point(&self.id, ObjKind::Atomic, |o| {
+                    Op::Atomic(o, Strength::of(order, true))
+                });
+                self.value.fetch_sub(value, order)
+            }
+        }
+    };
+}
+
+v_atomic!(
+    /// Virtual `AtomicBool`.
+    VAtomicBool,
+    AtomicBool,
+    bool
+);
+v_atomic!(
+    /// Virtual `AtomicU32`.
+    VAtomicU32,
+    AtomicU32,
+    u32
+);
+v_atomic!(
+    /// Virtual `AtomicU64`.
+    VAtomicU64,
+    AtomicU64,
+    u64
+);
+v_atomic!(
+    /// Virtual `AtomicUsize`.
+    VAtomicUsize,
+    AtomicUsize,
+    usize
+);
+v_atomic_arith!(VAtomicU32, u32);
+v_atomic_arith!(VAtomicU64, u64);
+v_atomic_arith!(VAtomicUsize, usize);
+
+impl VAtomicBool {
+    /// Atomic swap specialised for flags (parity with `AtomicBool`).
+    pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
+        sync_point(&self.id, ObjKind::Atomic, |o| Op::Atomic(o, Strength::of(order, true)));
+        self.value.fetch_or(value, order)
+    }
+}
+
+impl Strength {
+    fn acquire_side(self) -> Strength {
+        match self {
+            Strength::Relaxed => Strength::Relaxed,
+            _ => Strength::Acquire,
+        }
+    }
+
+    fn release_side(self) -> Strength {
+        match self {
+            Strength::Relaxed => Strength::Relaxed,
+            _ => Strength::Release,
+        }
+    }
+}
+
+/// A plain shared cell whose accesses are race-checked under the model.
+///
+/// Unlike [`crate::RaceCell`] (which rides Rust's `&`/`&mut` discipline and
+/// is free in normal builds), this variant permits shared-reference writes —
+/// it exists so deliberately broken models can *express* the unsynchronized
+/// access the checker is supposed to catch. Physical storage is a tiny
+/// mutex, so the bug is observable only virtually, never as real UB.
+#[derive(Debug, Default)]
+pub struct SharedRaceCell<T> {
+    value: std::sync::Mutex<T>,
+    id: AtomicU64,
+}
+
+impl<T: Copy> SharedRaceCell<T> {
+    /// Wrap `value`.
+    pub fn new(value: T) -> Self {
+        Self { value: std::sync::Mutex::new(value), id: AtomicU64::new(0) }
+    }
+
+    /// Read the value (a `RaceRead` event under the model).
+    pub fn get(&self) -> T {
+        sync_point(&self.id, ObjKind::Race, Op::RaceRead);
+        *self.value.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Write the value (a `RaceWrite` event under the model).
+    pub fn set(&self, value: T) {
+        sync_point(&self.id, ObjKind::Race, Op::RaceWrite);
+        *self.value.lock().unwrap_or_else(|e| e.into_inner()) = value;
+    }
+}

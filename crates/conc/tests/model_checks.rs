@@ -1,0 +1,200 @@
+//! End-to-end checks of the controlled scheduler: the seeded-buggy models
+//! must be caught, replays must reproduce schedules exactly, clean models
+//! must stay clean, and rendered reports must be byte-identical across
+//! identical explorations.
+
+use lruk_conc::model::{
+    self, explore, explore_systematic, replay_schedule, replay_seed, Config, SystematicConfig,
+};
+use lruk_conc::models;
+use lruk_conc::report::{InterleaveReport, ScenarioReport, ViolationReport};
+use lruk_conc::ViolationKind;
+
+fn quick(seeds: u64) -> Config {
+    Config { seed_base: 1, seeds, max_steps: 2_000, continue_weight: 3, stop_on_violation: true }
+}
+
+#[test]
+fn buggy_pin_check_is_caught_and_replays_identically() {
+    let cfg = quick(64);
+    let stats = explore(&cfg, models::buggy_pin_check_outside_latch());
+    assert!(
+        !stats.violations.is_empty(),
+        "the unlatched pin check must race; explored {} schedules",
+        stats.distinct_schedules
+    );
+    let bad = &stats.violations[0];
+    let v = bad.violation.as_ref().expect("violating run carries its violation");
+    assert_eq!(v.kind, ViolationKind::Race, "expected a data race, got {v:?}");
+    assert!(v.message.contains("data race"), "message explains itself: {}", v.message);
+
+    // Replaying the reported seed must reproduce the identical schedule and
+    // the identical violation.
+    let again = replay_seed(bad.seed, &cfg, models::buggy_pin_check_outside_latch());
+    assert_eq!(again.schedule, bad.schedule, "seed {} must replay byte-identically", bad.seed);
+    assert_eq!(again.violation.as_ref(), Some(v));
+
+    // And the captured schedule replays directly, without the seed.
+    let direct =
+        replay_schedule(&bad.schedule, cfg.max_steps, models::buggy_pin_check_outside_latch());
+    assert_eq!(direct.schedule, bad.schedule);
+    assert_eq!(direct.violation.as_ref(), Some(v));
+}
+
+#[test]
+fn fixed_pin_check_is_clean() {
+    let stats = explore(&quick(128), models::fixed_pin_check_under_latch());
+    assert!(
+        stats.violations.is_empty(),
+        "latched protocol must be race-free: {:?}",
+        stats.violations[0].violation
+    );
+    assert!(stats.distinct_schedules > 10, "exploration must actually vary schedules");
+}
+
+#[test]
+fn lock_inversion_deadlocks_under_random_search() {
+    let stats = explore(&quick(256), models::lock_inversion_deadlock());
+    let found = stats
+        .violations
+        .iter()
+        .filter_map(|r| r.violation.as_ref())
+        .any(|v| v.kind == ViolationKind::Deadlock);
+    assert!(found, "random search must find the inversion deadlock within 256 seeds");
+}
+
+#[test]
+fn lock_inversion_deadlocks_under_systematic_search() {
+    let cfg = SystematicConfig {
+        preemption_bound: 2,
+        max_runs: 500,
+        max_steps: 2_000,
+        stop_on_violation: true,
+    };
+    let stats = explore_systematic(&cfg, models::lock_inversion_deadlock());
+    let found = stats
+        .violations
+        .iter()
+        .filter_map(|r| r.violation.as_ref())
+        .any(|v| v.kind == ViolationKind::Deadlock);
+    assert!(
+        found,
+        "preemption-bounded DFS must reach the deadlock ({} runs, {} distinct)",
+        stats.runs, stats.distinct_schedules
+    );
+}
+
+#[test]
+fn relaxed_publish_races() {
+    let stats = explore(&quick(128), models::relaxed_publish_race());
+    let found = stats
+        .violations
+        .iter()
+        .filter_map(|r| r.violation.as_ref())
+        .any(|v| v.kind == ViolationKind::Race);
+    assert!(found, "relaxed publication transfers no happens-before and must race");
+}
+
+#[test]
+fn correct_counter_is_clean_and_join_edges_order_reads() {
+    let stats = explore(&quick(128), models::correct_latched_counter());
+    assert!(
+        stats.violations.is_empty(),
+        "lock + join edges must order every access: {:?}",
+        stats.violations[0].violation
+    );
+}
+
+#[test]
+fn model_check_failure_is_an_assert_violation() {
+    let stats = explore(&quick(4), || {
+        model::check(1 + 1 == 3, "arithmetic still works");
+    });
+    let v = stats.violations[0].violation.as_ref().expect("check failure recorded");
+    assert_eq!(v.kind, ViolationKind::Assert);
+    assert!(v.message.contains("arithmetic still works"));
+}
+
+/// Two identical explorations must render byte-identical reports — the
+/// in-process counterpart of `xtask interleave`'s deterministic
+/// `INTERLEAVE.json`.
+#[test]
+fn identical_explorations_render_identical_reports() {
+    let render_once = || {
+        let cfg = quick(32);
+        let mut scenarios = Vec::new();
+        for (name, expect, scenario) in [
+            (
+                "buggy-pin-check",
+                true,
+                Box::new(models::buggy_pin_check_outside_latch()) as Box<dyn Fn() + Send + Sync>,
+            ),
+            ("fixed-pin-check", false, Box::new(models::fixed_pin_check_under_latch())),
+            ("relaxed-publish", true, Box::new(models::relaxed_publish_race())),
+        ] {
+            let stats = explore(&cfg, scenario);
+            let violations = stats
+                .violations
+                .iter()
+                .filter_map(|r| ViolationReport::from_run(r, true))
+                .collect();
+            scenarios.push(ScenarioReport::new(name, "random", expect, &stats, violations));
+        }
+        InterleaveReport {
+            seed_base: cfg.seed_base,
+            seeds_per_scenario: cfg.seeds,
+            max_steps: cfg.max_steps,
+            scenarios,
+        }
+        .render()
+    };
+    let a = render_once();
+    let b = render_once();
+    assert_eq!(a, b, "same seeds must produce a byte-identical report");
+    assert!(a.contains("\"gate\": \"pass\""), "self-test expectations all hold:\n{a}");
+}
+
+/// Park/unpark must carry a happens-before edge and sticky-token semantics.
+#[test]
+fn park_unpark_orders_and_never_hangs() {
+    use lruk_conc::vsync::SharedRaceCell;
+    use std::sync::Arc;
+    let stats = explore(&quick(64), || {
+        let data = Arc::new(SharedRaceCell::new(0u32));
+        let worker = {
+            let data = Arc::clone(&data);
+            model::spawn(move || {
+                model::park();
+                // Ordered after the unparker's write by the unpark edge.
+                model::check(data.get() == 1, "park consumer sees pre-unpark write");
+            })
+        };
+        data.set(1);
+        worker.unpark();
+        worker.join();
+    });
+    assert!(
+        stats.violations.is_empty(),
+        "unpark edge must order the write: {:?}",
+        stats.violations[0].violation
+    );
+}
+
+/// The systematic driver enumerates genuinely different interleavings.
+#[test]
+fn systematic_mode_enumerates_distinct_schedules() {
+    let cfg = SystematicConfig {
+        preemption_bound: 1,
+        max_runs: 200,
+        max_steps: 2_000,
+        stop_on_violation: false,
+    };
+    let stats = explore_systematic(&cfg, models::fixed_pin_check_under_latch());
+    assert!(
+        stats.distinct_schedules >= 10,
+        "DFS found only {} distinct schedules in {} runs",
+        stats.distinct_schedules,
+        stats.runs
+    );
+    assert!(stats.violations.is_empty());
+}

@@ -49,6 +49,7 @@ use crate::fxhash::FxHashMap;
 use crate::policy::{ReplacementPolicy, VictimError};
 use crate::stats::CacheStats;
 use crate::types::{AccessKind, PageId, Tick};
+use lruk_conc::RaceCell;
 use std::fmt;
 
 /// Why the driver is being asked to write a page's bytes to disk.
@@ -249,12 +250,15 @@ impl PolicyHandle<'_> {
 pub struct ReplacementCore<'p> {
     policy: PolicyHandle<'p>,
     page_table: FxHashMap<PageId, u32>,
-    /// Owner page of each slot (`None` = free).
-    slot_page: Vec<Option<PageId>>,
-    /// Diverges-from-disk flag per slot.
-    slot_dirty: Vec<bool>,
-    /// Nested pin count per slot; only zero-pin slots may be victimized.
-    slot_pins: Vec<u32>,
+    /// Owner page of each slot (`None` = free). Wrapped in [`RaceCell`] so
+    /// the model checker verifies every access is ordered by the driver's
+    /// core latch; in normal builds the wrapper is free.
+    slot_page: Vec<RaceCell<Option<PageId>>>,
+    /// Diverges-from-disk flag per slot (race-checked, see `slot_page`).
+    slot_dirty: Vec<RaceCell<bool>>,
+    /// Nested pin count per slot; only zero-pin slots may be victimized
+    /// (race-checked, see `slot_page`).
+    slot_pins: Vec<RaceCell<u32>>,
     free: Vec<u32>,
     clock: Tick,
     stats: CacheStats,
@@ -280,9 +284,9 @@ impl<'p> ReplacementCore<'p> {
         ReplacementCore {
             policy,
             page_table: FxHashMap::default(),
-            slot_page: vec![None; capacity],
-            slot_dirty: vec![false; capacity],
-            slot_pins: vec![0; capacity],
+            slot_page: (0..capacity).map(|_| RaceCell::new(None)).collect(),
+            slot_dirty: (0..capacity).map(|_| RaceCell::new(false)).collect(),
+            slot_pins: (0..capacity).map(|_| RaceCell::new(0)).collect(),
             free: (0..capacity as u32).rev().collect(),
             clock: Tick::ZERO,
             stats: CacheStats::default(),
@@ -316,7 +320,7 @@ impl<'p> ReplacementCore<'p> {
     /// The page held by `slot`, if any.
     #[inline]
     pub fn page_of(&self, slot: u32) -> Option<PageId> {
-        self.slot_page.get(slot as usize).copied().flatten()
+        self.slot_page.get(slot as usize).and_then(|c| c.get())
     }
 
     /// The resident pages, sorted ascending (a deterministic order, unlike
@@ -413,8 +417,8 @@ impl<'p> ReplacementCore<'p> {
             return Err(EngineError::Backend(e));
         }
         self.page_table.insert(page, slot);
-        self.slot_page[slot as usize] = Some(page);
-        self.slot_dirty[slot as usize] = false;
+        self.slot_page[slot as usize].set(Some(page));
+        self.slot_dirty[slot as usize].set(false);
         self.policy.get_mut().on_admit(page, now);
         debug_assert_eq!(
             self.page_table.len(),
@@ -441,10 +445,11 @@ impl<'p> ReplacementCore<'p> {
             .get(&victim)
             .ok_or(CoreError::Invariant("policy victim must be resident"))?;
         debug_assert_eq!(
-            self.slot_pins[slot as usize], 0,
+            self.slot_pins[slot as usize].get(),
+            0,
             "policy returned a pinned victim"
         );
-        let dirty = self.slot_dirty[slot as usize];
+        let dirty = self.slot_dirty[slot as usize].get();
         if dirty {
             // "if victim is dirty then write victim back into the database"
             backend
@@ -453,8 +458,8 @@ impl<'p> ReplacementCore<'p> {
         }
         self.stats.record_eviction(dirty);
         self.page_table.remove(&victim);
-        self.slot_page[slot as usize] = None;
-        self.slot_dirty[slot as usize] = false;
+        self.slot_page[slot as usize].set(None);
+        self.slot_dirty[slot as usize].set(false);
         self.free.push(slot);
         self.policy.get_mut().on_evict(victim, now);
         Ok(Evicted {
@@ -476,7 +481,8 @@ impl<'p> ReplacementCore<'p> {
         let page = self
             .page_of(slot)
             .ok_or(CoreError::Invariant("pin of an unoccupied slot"))?;
-        self.slot_pins[slot as usize] += 1;
+        let pins = self.slot_pins[slot as usize].get();
+        self.slot_pins[slot as usize].set(pins + 1);
         self.policy.get_mut().pin(page);
         Ok(())
     }
@@ -488,12 +494,13 @@ impl<'p> ReplacementCore<'p> {
             .page_table
             .get(&page)
             .ok_or(CoreError::NotResident(page))?;
-        let pins = &mut self.slot_pins[slot as usize];
-        if *pins == 0 {
+        let pins = self.slot_pins[slot as usize].get();
+        if pins == 0 {
             return Err(CoreError::NotPinned(page));
         }
-        *pins -= 1;
-        self.slot_dirty[slot as usize] |= dirty;
+        self.slot_pins[slot as usize].set(pins - 1);
+        let was_dirty = self.slot_dirty[slot as usize].get();
+        self.slot_dirty[slot as usize].set(was_dirty | dirty);
         self.policy.get_mut().unpin(page);
         Ok(slot)
     }
@@ -501,13 +508,13 @@ impl<'p> ReplacementCore<'p> {
     /// Nested pin count of `slot`.
     #[inline]
     pub fn pin_count(&self, slot: u32) -> u32 {
-        self.slot_pins.get(slot as usize).copied().unwrap_or(0)
+        self.slot_pins.get(slot as usize).map(|c| c.get()).unwrap_or(0)
     }
 
     /// True if `slot` holds modifications not yet written back.
     #[inline]
     pub fn is_dirty(&self, slot: u32) -> bool {
-        self.slot_dirty.get(slot as usize).copied().unwrap_or(false)
+        self.slot_dirty.get(slot as usize).map(|c| c.get()).unwrap_or(false)
     }
 
     /// Drop `page` from the core (it must be unpinned if resident) and
@@ -517,12 +524,12 @@ impl<'p> ReplacementCore<'p> {
     pub fn forget(&mut self, page: PageId) -> Result<Option<u32>, CoreError> {
         let freed = match self.page_table.get(&page).copied() {
             Some(slot) => {
-                if self.slot_pins[slot as usize] > 0 {
+                if self.slot_pins[slot as usize].get() > 0 {
                     return Err(CoreError::Pinned(page));
                 }
                 self.page_table.remove(&page);
-                self.slot_page[slot as usize] = None;
-                self.slot_dirty[slot as usize] = false;
+                self.slot_page[slot as usize].set(None);
+                self.slot_dirty[slot as usize].set(false);
                 self.free.push(slot);
                 Some(slot)
             }
@@ -551,7 +558,7 @@ impl<'p> ReplacementCore<'p> {
     /// backend error; already-flushed slots stay clean.
     pub fn flush_all<B: CoreBackend>(&mut self, backend: &mut B) -> Result<(), EngineError<B::Error>> {
         for slot in 0..self.slot_page.len() as u32 {
-            if !self.slot_dirty[slot as usize] {
+            if !self.slot_dirty[slot as usize].get() {
                 continue;
             }
             let page = self
@@ -568,11 +575,11 @@ impl<'p> ReplacementCore<'p> {
         slot: u32,
         backend: &mut B,
     ) -> Result<(), EngineError<B::Error>> {
-        if self.slot_dirty[slot as usize] {
+        if self.slot_dirty[slot as usize].get() {
             backend
                 .write_back(page, slot, WriteBackCause::Flush)
                 .map_err(EngineError::Backend)?;
-            self.slot_dirty[slot as usize] = false;
+            self.slot_dirty[slot as usize].set(false);
         }
         Ok(())
     }

@@ -35,5 +35,5 @@ pub use engine::{
 };
 pub use pin::PinSet;
 pub use policy::{PolicyEvent, ReplacementPolicy, VictimError};
-pub use stats::{AtomicCacheStats, CacheStats};
+pub use stats::CacheStats;
 pub use types::{AccessKind, PageId, Tick};

@@ -1,7 +1,12 @@
 //! Hit/miss accounting shared by the simulator and the buffer pool.
+//!
+//! Since PR 3 the [`ReplacementCore`](crate::engine::ReplacementCore) is the
+//! single writer of these counters, always under the driver's core latch, so
+//! the stats type is plain data. (An atomic variant, `AtomicCacheStats`,
+//! existed while drivers kept their own counters; it left with its last
+//! caller.)
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters describing one run of a cache/buffer pool.
 #[derive(Clone, Copy, Default, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -79,66 +84,6 @@ impl CacheStats {
     }
 }
 
-/// Lock-free counterpart of [`CacheStats`] for recorders shared across
-/// threads (`&self` recording methods, relaxed atomics). Counters are
-/// independent, so a [`snapshot`](Self::snapshot) taken while recorders are
-/// active is approximate in aggregate but each counter is exact; quiesce the
-/// recorders first when exact totals matter.
-#[derive(Default, Debug)]
-pub struct AtomicCacheStats {
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    dirty_writebacks: AtomicU64,
-}
-
-impl AtomicCacheStats {
-    /// Fresh zeroed counters.
-    pub fn new() -> Self {
-        AtomicCacheStats::default()
-    }
-
-    /// Record a hit.
-    #[inline]
-    pub fn record_hit(&self) {
-        self.hits.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record a miss.
-    #[inline]
-    pub fn record_miss(&self) {
-        self.misses.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Record an eviction; `dirty` adds a write-back.
-    #[inline]
-    pub fn record_eviction(&self, dirty: bool) {
-        self.evictions.fetch_add(1, Ordering::Relaxed);
-        if dirty {
-            self.dirty_writebacks.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Fold a finished segment's counters in.
-    pub fn merge(&self, other: &CacheStats) {
-        self.hits.fetch_add(other.hits, Ordering::Relaxed);
-        self.misses.fetch_add(other.misses, Ordering::Relaxed);
-        self.evictions.fetch_add(other.evictions, Ordering::Relaxed);
-        self.dirty_writebacks
-            .fetch_add(other.dirty_writebacks, Ordering::Relaxed);
-    }
-
-    /// Current counters as a plain [`CacheStats`].
-    pub fn snapshot(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            dirty_writebacks: self.dirty_writebacks.load(Ordering::Relaxed),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,32 +116,6 @@ mod tests {
         assert_eq!(b.evictions, 2);
         b.reset();
         assert_eq!(b, CacheStats::default());
-    }
-
-    #[test]
-    fn atomic_stats_record_and_snapshot() {
-        let s = AtomicCacheStats::new();
-        std::thread::scope(|scope| {
-            for _ in 0..4 {
-                scope.spawn(|| {
-                    for i in 0..250 {
-                        if i % 5 == 0 {
-                            s.record_miss();
-                        } else {
-                            s.record_hit();
-                        }
-                    }
-                    s.record_eviction(true);
-                    s.record_eviction(false);
-                });
-            }
-        });
-        let snap = s.snapshot();
-        assert_eq!(snap.references(), 1000);
-        assert_eq!(snap.misses, 200);
-        assert_eq!((snap.evictions, snap.dirty_writebacks), (8, 4));
-        s.merge(&snap);
-        assert_eq!(s.snapshot().references(), 2000);
     }
 
     #[test]

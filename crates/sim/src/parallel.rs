@@ -69,6 +69,9 @@ where
                 s.spawn(|| {
                     let mut local = Vec::new();
                     loop {
+                        // xtask-allow: atomic-ordering -- work-stealing
+                        // cursor: the scope join publishes the results; the
+                        // index itself orders nothing.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         local.push((i, f(i, item)));

@@ -1,4 +1,5 @@
-//! CLI entry point: `cargo run -p xtask -- analyze [--root DIR] [--json PATH] [--quiet]`.
+//! CLI entry point: `cargo run -p xtask -- analyze [--root DIR] [--json PATH]
+//! [--quiet]` and `cargo run -p xtask -- interleave [runner options]`.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -14,6 +15,7 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "analyze" => analyze(&args[1..]),
+        "interleave" => interleave(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -26,18 +28,53 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-xtask — repo-native static analysis
+xtask — repo-native static and dynamic analysis
 
 USAGE:
     cargo run -p xtask -- analyze [--root DIR] [--json PATH] [--quiet]
+    cargo run -p xtask -- interleave [--seeds N] [--seed-base N]
+                                     [--max-steps N] [--json PATH] [--quiet]
 
-OPTIONS:
+analyze: lexical rule suite over the workspace library sources.
     --root DIR     workspace root to scan (default: this workspace)
     --json PATH    where to write the JSON summary
                    (default: <root>/results/ANALYZE.json)
     --quiet        suppress the per-diagnostic lines, print totals only
 
-Exits 0 when clean, 1 on any diagnostic, 2 on usage/IO errors.";
+interleave: deterministic concurrency model checking of the buffer-pool
+drivers under the lruk-conc virtual scheduler (builds the workspace's
+`--cfg conc_model` personality via scripts/interleave.sh, then explores
+schedules and writes <root>/results/INTERLEAVE.json).
+
+Exits 0 when clean, 1 on any diagnostic/violation, 2 on usage/IO errors.";
+
+/// Delegate to `scripts/interleave.sh`, which owns the build recipe for the
+/// `--cfg conc_model` personality (cargo when the registry is reachable, a
+/// bare-rustc bootstrap otherwise) and then runs the schedule-exploration
+/// binary with the forwarded arguments.
+fn interleave(args: &[String]) -> ExitCode {
+    let root = match option_env!("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir).join("../.."),
+        None => PathBuf::from("."),
+    };
+    let script = root.join("scripts/interleave.sh");
+    if !script.is_file() {
+        eprintln!("interleave: missing {}", script.display());
+        return ExitCode::from(2);
+    }
+    let status = std::process::Command::new("bash")
+        .arg(&script)
+        .args(args)
+        .current_dir(&root)
+        .status();
+    match status {
+        Ok(s) => ExitCode::from(s.code().unwrap_or(2).clamp(0, 255) as u8),
+        Err(e) => {
+            eprintln!("interleave: cannot run {}: {e}", script.display());
+            ExitCode::from(2)
+        }
+    }
+}
 
 fn analyze(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;

@@ -1,0 +1,171 @@
+//! Rule `atomic-ordering`: `Ordering::Relaxed` is reserved for the
+//! sanctioned monotonic counters.
+//!
+//! Everything else in the concurrent tiers must publish with at least
+//! acquire/release semantics (or go through the `lruk-conc` virtual
+//! primitives), because a relaxed access transfers no happens-before edge:
+//! the interleave model checker's vector clocks treat it as ordering
+//! nothing, and the hardware is allowed to agree. Statistics counters are
+//! the one place relaxed is the *right* call — they are monotonic, summed
+//! after joins, and never guard data.
+//!
+//! Lexically the rule fires only when a line both names an atomic RMW/load/
+//! store method and passes `Ordering::Relaxed` inside that call's argument
+//! list, so `match` arms over an `Ordering` value and the scheduler's
+//! strength-mapping tables never trip it. Receivers are named the same way
+//! the lock-order rule names latches (final path component before the dot).
+
+use crate::report::Diagnostic;
+use crate::rules::lock_order::receiver_last_component;
+use crate::rules::token_positions;
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "atomic-ordering";
+
+/// Atomic method names whose call sites are inspected.
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+];
+
+/// Receivers allowed to use `Ordering::Relaxed`: monotonic statistics
+/// counters that are read for reporting only, never to order other memory.
+const RELAXED_COUNTERS: &[&str] = &[
+    "hits",
+    "misses",
+    "evictions",
+    "dirty_writebacks",
+    "reads",
+    "writes",
+    "allocations",
+    "deallocations",
+    "retries",
+];
+
+/// Scan one file for relaxed atomic accesses outside the counter allowlist.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.exempt {
+            continue;
+        }
+        let code = &line.code;
+        if !code.contains("Ordering::Relaxed") {
+            continue;
+        }
+        for method in ATOMIC_METHODS {
+            for pos in token_positions(code, method) {
+                // Must be a method call: `.method(` with the receiver ending
+                // right before the dot.
+                if pos == 0 || code.as_bytes()[pos - 1] != b'.' {
+                    continue;
+                }
+                let after = pos + method.len();
+                if code.as_bytes().get(after) != Some(&b'(') {
+                    continue;
+                }
+                let args = call_args(code, after);
+                if !args.contains("Ordering::Relaxed") {
+                    continue;
+                }
+                let receiver = receiver_last_component(code, pos - 1);
+                if receiver
+                    .as_deref()
+                    .is_some_and(|r| RELAXED_COUNTERS.contains(&r))
+                {
+                    continue;
+                }
+                let recv = receiver.unwrap_or_else(|| "<expr>".to_string());
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: idx + 1,
+                    rule: NAME,
+                    message: format!(
+                        "`{recv}.{method}(.., Ordering::Relaxed)`: relaxed ordering is \
+                         reserved for the monotonic stats counters ({}); use \
+                         Acquire/Release (or a lruk-conc primitive) so the access \
+                         carries a happens-before edge the model checker can see",
+                        RELAXED_COUNTERS.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// The argument text of a call whose `(` is at byte `open`, up to the
+/// matching `)` or end of line (calls split across lines are inspected only
+/// up to the break — a documented lexical limitation; rustfmt keeps every
+/// real atomic call in this tree on one line).
+fn call_args(code: &str, open: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return &code[open..=i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &code[open..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<usize> {
+        let f = SourceFile::parse("crates/buffer/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out.iter().map(|d| d.line).collect()
+    }
+
+    #[test]
+    fn counter_relaxed_is_allowed() {
+        assert!(run("self.hits.fetch_add(1, Ordering::Relaxed);\n").is_empty());
+        assert!(run("let r = self.reads.load(Ordering::Relaxed);\n").is_empty());
+    }
+
+    #[test]
+    fn non_counter_relaxed_is_flagged() {
+        assert_eq!(run("self.flag.store(1, Ordering::Relaxed);\n"), vec![1]);
+        assert_eq!(
+            run("if self.ready.load(Ordering::Relaxed) {}\n"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn match_arms_and_non_calls_are_ignored() {
+        assert!(run("let s = match o { Ordering::Relaxed => 1, _ => 2 };\n").is_empty());
+        assert!(run("use std::sync::atomic::Ordering;\n").is_empty());
+    }
+
+    #[test]
+    fn relaxed_on_other_call_on_same_line_not_blamed() {
+        // `load` here is Acquire; the Relaxed belongs to the counter call.
+        let src = "self.flag.load(Ordering::Acquire); self.hits.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { f.store(1, Ordering::Relaxed); }\n}\n";
+        assert!(run(src).is_empty());
+    }
+}

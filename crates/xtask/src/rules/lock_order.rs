@@ -228,9 +228,10 @@ fn record_acquisition(
     });
 }
 
-/// Walk backwards from the `.` of an acquisition to the receiver's final
-/// path component: `shard.frames[i].data.write()` -> `data`.
-fn receiver_last_component(code: &str, dot: usize) -> Option<String> {
+/// Walk backwards from the `.` of a method call to the receiver's final
+/// path component: `shard.frames[i].data.write()` -> `data`. Shared with
+/// the `atomic-ordering` rule, which names receivers the same way.
+pub(crate) fn receiver_last_component(code: &str, dot: usize) -> Option<String> {
     let chars: Vec<char> = code[..dot].chars().collect();
     let mut i = chars.len();
     // Skip a trailing bracket/paren group (e.g. `shards[self.shard_of(p)]`).

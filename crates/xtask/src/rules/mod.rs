@@ -6,6 +6,7 @@
 //! a rule applies to — lives in [`crate::workspace`]; suppression filtering
 //! is applied by the driver after the rule runs.
 
+pub mod atomic_ordering;
 pub mod core_driving;
 pub mod determinism;
 pub mod lint_header;

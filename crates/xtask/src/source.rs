@@ -11,16 +11,40 @@
 //!   `#[test]`, `#[bench]`, and `proptest!` macro bodies are marked `exempt`
 //!   (brace-matched, so whole `mod tests { .. }` blocks are covered);
 //! * **suppressions**: `// xtask-allow: <rule>[, <rule>...] -- reason`
-//!   applies to the code on the same line, or to the next line when the
-//!   comment stands alone; `// xtask-allow-file: <rule> -- reason` suppresses
-//!   a rule for the whole file.
+//!   applies to the code on the same line, or to the next code-bearing line
+//!   when the comment stands alone (the reason may continue over several
+//!   comment lines); `// xtask-allow-file: <rule> -- reason` suppresses
+//!   a rule for the whole file. A marker must open the comment (doc comments
+//!   and prose that merely *mention* a marker are ignored), and every parsed
+//!   site keeps its own identity so the driver can report annotations that
+//!   never suppressed anything as stale.
 //!
 //! Known lexical limitations (documented, acceptable for this codebase):
 //! `#[cfg(any(test, ...))]`-style compound gates are recognized only via the
 //! literal prefixes in [`TEST_TRIGGERS`], and attributes split across lines
 //! from their item are assumed to precede the item's opening brace.
 
-use std::collections::{BTreeMap, BTreeSet};
+/// What a single suppression annotation applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuppressionTarget {
+    /// One 1-based source line (the annotated line, or the line after a
+    /// standalone comment).
+    Line(usize),
+    /// The entire file (`xtask-allow-file:`).
+    File,
+}
+
+/// One parsed `xtask-allow` site: a `(rule, target)` claim plus the line the
+/// annotation itself sits on, so staleness reports point at the comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// Rule name the annotation claims to silence.
+    pub rule: String,
+    /// 1-based line of the annotation comment.
+    pub line: usize,
+    /// The code this annotation covers.
+    pub target: SuppressionTarget,
+}
 
 /// Patterns (matched against cleaned code) that start an exempt region.
 pub const TEST_TRIGGERS: &[&str] = &[
@@ -53,10 +77,8 @@ pub struct SourceFile {
     pub path: String,
     /// Lexed lines, in order (line numbers are index + 1).
     pub lines: Vec<Line>,
-    /// rule name -> 1-based line numbers where it is suppressed.
-    suppressed_lines: BTreeMap<String, BTreeSet<usize>>,
-    /// Rules suppressed for the entire file.
-    suppressed_file: BTreeSet<String>,
+    /// Every `xtask-allow` site in the file, in source order.
+    pub suppressions: Vec<Suppression>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -76,22 +98,35 @@ impl SourceFile {
     pub fn parse(path: &str, text: &str) -> SourceFile {
         let mut lines = lex(text);
         mark_exempt_regions(&mut lines);
-        let (suppressed_lines, suppressed_file) = collect_suppressions(&lines);
+        let suppressions = collect_suppressions(&lines);
         SourceFile {
             path: path.to_string(),
             lines,
-            suppressed_lines,
-            suppressed_file,
+            suppressions,
         }
+    }
+
+    /// Indices into [`SourceFile::suppressions`] of every site covering
+    /// `rule` at 1-based `line`. The driver marks these as *used* so the
+    /// complement can be reported as stale.
+    pub fn matching_suppressions(&self, rule: &str, line: usize) -> Vec<usize> {
+        self.suppressions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                s.rule == rule
+                    && match s.target {
+                        SuppressionTarget::File => true,
+                        SuppressionTarget::Line(l) => l == line,
+                    }
+            })
+            .map(|(idx, _)| idx)
+            .collect()
     }
 
     /// True when `rule` is suppressed at 1-based `line` (or file-wide).
     pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
-        self.suppressed_file.contains(rule)
-            || self
-                .suppressed_lines
-                .get(rule)
-                .is_some_and(|set| set.contains(&line))
+        !self.matching_suppressions(rule, line).is_empty()
     }
 }
 
@@ -310,43 +345,50 @@ fn char_byte_idx(s: &str, char_idx: usize) -> usize {
         .map_or(s.len(), |(b, _)| b)
 }
 
-/// Pass 3: collect `xtask-allow` / `xtask-allow-file` suppressions.
-#[allow(clippy::type_complexity)]
-fn collect_suppressions(
-    lines: &[Line],
-) -> (BTreeMap<String, BTreeSet<usize>>, BTreeSet<String>) {
-    let mut per_line: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
-    let mut per_file: BTreeSet<String> = BTreeSet::new();
+/// Pass 3: collect `xtask-allow` / `xtask-allow-file` suppression sites.
+///
+/// A marker only counts when it *opens* the comment: doc comments (`///`,
+/// `//!` — comment text starting `/` or `!`) and prose that merely mentions
+/// a marker mid-sentence parse as nothing, so documentation about the
+/// mechanism can never create phantom suppressions that the staleness gate
+/// would then demand be "removed".
+fn collect_suppressions(lines: &[Line]) -> Vec<Suppression> {
+    let mut out = Vec::new();
     for (i, line) in lines.iter().enumerate() {
+        let text = line.comment.trim_start();
+        if text.starts_with('/') || text.starts_with('!') {
+            continue; // doc comment: descriptive, never operative
+        }
         for (marker, file_wide) in [("xtask-allow-file:", true), ("xtask-allow:", false)] {
-            let Some(pos) = line.comment.find(marker) else {
+            let Some(rest) = text.strip_prefix(marker) else {
                 continue;
             };
-            let rest = &line.comment[pos + marker.len()..];
             let spec = rest.split("--").next().unwrap_or("");
-            let rules = spec
-                .split([',', ' '])
-                .map(str::trim)
-                .filter(|r| !r.is_empty());
-            // A standalone comment line suppresses the NEXT line; a trailing
-            // comment suppresses its own line.
-            let target = if line.code.trim().is_empty() {
-                i + 2
-            } else {
-                i + 1
-            };
-            for rule in rules {
-                if file_wide {
-                    per_file.insert(rule.to_string());
-                } else {
-                    per_line.entry(rule.to_string()).or_default().insert(target);
+            // A trailing comment suppresses its own line; a standalone
+            // comment suppresses the next code-bearing line (so a reason
+            // may continue across several comment lines).
+            let target = if file_wide {
+                SuppressionTarget::File
+            } else if line.code.trim().is_empty() {
+                let mut j = i + 1;
+                while lines.get(j).is_some_and(|l| l.code.trim().is_empty()) {
+                    j += 1;
                 }
+                SuppressionTarget::Line(j + 1)
+            } else {
+                SuppressionTarget::Line(i + 1)
+            };
+            for rule in spec.split([',', ' ']).map(str::trim).filter(|r| !r.is_empty()) {
+                out.push(Suppression {
+                    rule: rule.to_string(),
+                    line: i + 1,
+                    target,
+                });
             }
-            break; // `xtask-allow-file:` also contains `xtask-allow:`… no, it
-                   // does not, but one marker per comment line is enough.
+            break; // at most one marker per comment line
         }
     }
-    (per_line, per_file)
+    out
 }
 
 #[cfg(test)]
@@ -414,5 +456,40 @@ mod tests {
         let f = SourceFile::parse("x.rs", "// xtask-allow-file: no-panic -- checker\nx.unwrap();\n");
         assert!(f.is_suppressed("no-panic", 2));
         assert!(f.is_suppressed("no-panic", 999));
+    }
+
+    #[test]
+    fn suppression_sites_keep_identity() {
+        let src = "a.unwrap(); // xtask-allow: no-panic, lock-order -- both\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert_eq!(f.suppressions[0].rule, "no-panic");
+        assert_eq!(f.suppressions[0].line, 1);
+        assert_eq!(f.suppressions[0].target, SuppressionTarget::Line(1));
+        assert_eq!(f.suppressions[1].rule, "lock-order");
+        assert_eq!(f.matching_suppressions("no-panic", 1), vec![0]);
+        assert_eq!(f.matching_suppressions("lock-order", 1), vec![1]);
+        assert!(f.matching_suppressions("no-panic", 2).is_empty());
+    }
+
+    #[test]
+    fn standalone_comment_reason_may_span_lines() {
+        let src = "// xtask-allow: no-panic -- a reason that\n// keeps going\n\na.unwrap();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].target, SuppressionTarget::Line(4));
+        assert!(f.is_suppressed("no-panic", 4));
+    }
+
+    #[test]
+    fn doc_comments_and_mentions_are_not_suppressions() {
+        let src = "\
+/// Write `// xtask-allow: no-panic -- why` to silence a line.\n\
+//! The `xtask-allow-file: determinism` form covers whole files.\n\
+a.unwrap(); // see xtask-allow: no-panic above, not an annotation\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.suppressions.is_empty());
+        assert!(!f.is_suppressed("no-panic", 2));
+        assert!(!f.is_suppressed("no-panic", 3));
     }
 }

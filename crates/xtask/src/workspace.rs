@@ -5,10 +5,16 @@
 //! `tests/`, `benches/` and `examples/` directories are integration/test
 //! code and exempt by construction, matching the in-file `#[cfg(test)]`
 //! exemption done by the source model.
+//!
+//! The driver also enforces suppression hygiene: every `xtask-allow` site
+//! that absorbs a diagnostic is marked used, and the leftovers come back as
+//! non-suppressible [`STALE_SUPPRESSION`] diagnostics, so the allow-list can
+//! only shrink when the code it excused gets fixed.
 
 use crate::report::{Diagnostic, Summary};
-use crate::rules::{core_driving, determinism, lint_header, lock_order, no_panic};
-use crate::source::SourceFile;
+use crate::rules::{atomic_ordering, core_driving, determinism, lint_header, lock_order, no_panic};
+use crate::source::{SourceFile, SuppressionTarget};
+use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -37,13 +43,31 @@ const LOCK_ORDER_SCOPE: &[&str] = &["crates/buffer/src/", "crates/policy/src/eng
 /// policy's `on_*`/`select_victim` hooks directly.
 const CORE_DRIVING_SCOPE: &[&str] = &["crates/buffer/src/", "crates/sim/src/"];
 
+/// Concurrent tiers where `Ordering::Relaxed` is restricted to the stats
+/// counters (see [`crate::rules::atomic_ordering`]).
+const ATOMIC_ORDERING_SCOPE: &[&str] = &[
+    "crates/buffer/src/",
+    "crates/policy/src/",
+    "crates/storage/src/",
+    "crates/sim/src/",
+    "crates/core/src/",
+    "crates/conc/src/",
+];
+
+/// Rule name for annotations that suppress nothing. Emitted by the driver
+/// (not a lexical rule) and deliberately *not* suppressible: an allow-list
+/// entry for dead allow-list entries would defeat the point.
+pub const STALE_SUPPRESSION: &str = "stale-suppression";
+
 /// Names of all registered rules (used to zero-fill the JSON rule counts).
 pub const ALL_RULES: &[&str] = &[
+    atomic_ordering::NAME,
     core_driving::NAME,
     determinism::NAME,
     lint_header::NAME,
     lock_order::NAME,
     no_panic::NAME,
+    STALE_SUPPRESSION,
 ];
 
 /// Analysis failure (I/O while walking or reading the tree).
@@ -107,19 +131,53 @@ pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
         if in_scope(&file.path, CORE_DRIVING_SCOPE) {
             core_driving::check(file, &mut raw);
         }
+        if in_scope(&file.path, ATOMIC_ORDERING_SCOPE) {
+            atomic_ordering::check(file, &mut raw);
+        }
         lint_header::check(file, &mut raw);
     }
-    // Suppression filtering; diagnostics are grouped per file already.
+    // Suppression filtering. Each diagnostic a site absorbs marks that site
+    // used; the complement is reported below as stale.
+    let mut used: Vec<BTreeSet<usize>> = files.iter().map(|_| BTreeSet::new()).collect();
     for d in raw {
-        let suppressed = files
-            .iter()
-            .find(|f| f.path == d.file)
-            .is_some_and(|f| f.is_suppressed(d.rule, d.line));
-        if suppressed {
-            summary.suppressed += 1;
-        } else {
-            *summary.rule_counts.entry(d.rule).or_insert(0) += 1;
-            summary.diagnostics.push(d);
+        let hit = files.iter().position(|f| f.path == d.file).and_then(|fi| {
+            let sites = files[fi].matching_suppressions(d.rule, d.line);
+            (!sites.is_empty()).then_some((fi, sites))
+        });
+        match hit {
+            Some((fi, sites)) => {
+                summary.suppressed += 1;
+                used[fi].extend(sites);
+            }
+            None => {
+                *summary.rule_counts.entry(d.rule).or_insert(0) += 1;
+                summary.diagnostics.push(d);
+            }
+        }
+    }
+    // Suppression hygiene: an `xtask-allow` that silenced nothing this run
+    // is dead weight — either the offending code was fixed (delete the
+    // annotation) or the annotation never matched (fix its rule/placement).
+    for (fi, file) in files.iter().enumerate() {
+        for (si, s) in file.suppressions.iter().enumerate() {
+            if used[fi].contains(&si) {
+                continue;
+            }
+            let coverage = match s.target {
+                SuppressionTarget::File => "file-wide".to_string(),
+                SuppressionTarget::Line(l) => format!("line {l}"),
+            };
+            *summary.rule_counts.entry(STALE_SUPPRESSION).or_insert(0) += 1;
+            summary.diagnostics.push(Diagnostic {
+                file: file.path.clone(),
+                line: s.line,
+                rule: STALE_SUPPRESSION,
+                message: format!(
+                    "stale `xtask-allow: {}` ({coverage}): it suppressed no \
+                     diagnostic this run; remove it or fix its placement",
+                    s.rule
+                ),
+            });
         }
     }
     summary.diagnostics.sort();
@@ -176,5 +234,7 @@ mod tests {
         assert!(!in_scope("crates/policy/src/fxhash.rs", LOCK_ORDER_SCOPE));
         assert!(in_scope("crates/sim/src/simulator.rs", CORE_DRIVING_SCOPE));
         assert!(!in_scope("crates/policy/src/engine.rs", CORE_DRIVING_SCOPE));
+        assert!(in_scope("crates/conc/src/models.rs", ATOMIC_ORDERING_SCOPE));
+        assert!(!in_scope("crates/xtask/src/main.rs", ATOMIC_ORDERING_SCOPE));
     }
 }

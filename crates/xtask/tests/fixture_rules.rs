@@ -9,7 +9,7 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use xtask::rules::{core_driving, determinism, lint_header, lock_order, no_panic};
+use xtask::rules::{atomic_ordering, core_driving, determinism, lint_header, lock_order, no_panic};
 use xtask::source::SourceFile;
 use xtask::{analyze_root, Diagnostic};
 
@@ -156,6 +156,59 @@ fn lint_header_fixture_exact_counts() {
     let (kept, _) =
         run_fixture("lint_header.rs", "crates/fixture/src/inner.rs", lint_header::check);
     assert!(kept.is_empty());
+}
+
+#[test]
+fn atomic_ordering_fixture_exact_counts() {
+    let (kept, suppressed) = run_fixture(
+        "atomic_ordering.rs",
+        "crates/buffer/src/fixture.rs",
+        atomic_ordering::check,
+    );
+    let lines: Vec<usize> = kept.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![9, 13, 17], "diagnostics: {kept:#?}");
+    assert_eq!(suppressed, 1, "the annotated generation tag must be suppressed");
+    assert!(kept[0].message.contains("flag.store"));
+    assert!(kept[1].message.contains("ready.load"));
+    assert!(kept[2].message.contains("seq.fetch_add"));
+    for d in &kept {
+        assert!(
+            d.message.contains("happens-before"),
+            "message explains the model-checking stake: {}",
+            d.message
+        );
+    }
+}
+
+/// A used annotation passes; an annotation that excuses nothing is itself a
+/// diagnostic — and `stale-suppression` cannot be allow-listed away.
+#[test]
+fn stale_suppression_is_rejected() {
+    let root = std::env::temp_dir().join(format!("xtask-stale-{}", std::process::id()));
+    let src = root.join("crates/core/src");
+    fs::create_dir_all(&src).expect("temp tree");
+    fs::write(
+        src.join("lib.rs"),
+        "//! Injected fixture crate.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n\n/// Excused panic — this annotation is used.\npub fn excused(x: Option<u32>) -> u32 {\n    x.unwrap() // xtask-allow: no-panic -- fixture\n}\n",
+    )
+    .expect("write used annotation");
+    fs::write(
+        src.join("util.rs"),
+        "//! Helper with a dead annotation.\n\n/// Never panics, so the annotation below excuses nothing.\npub fn fine(x: Option<u32>) -> u32 {\n    // xtask-allow: no-panic -- stale: unwrap_or cannot panic\n    x.unwrap_or(0)\n}\n",
+    )
+    .expect("write stale annotation");
+
+    let summary = analyze_root(&root).expect("analysis runs");
+    assert!(!summary.is_clean(), "stale annotation must fail the gate");
+    assert_eq!(summary.suppressed, 1, "the used annotation still counts");
+    assert_eq!(summary.diagnostics.len(), 1, "diagnostics: {:#?}", summary.diagnostics);
+    let d = &summary.diagnostics[0];
+    assert_eq!(d.rule, "stale-suppression");
+    assert_eq!(d.file, "crates/core/src/util.rs");
+    assert_eq!(d.line, 5, "points at the annotation comment itself");
+    assert!(d.message.contains("no-panic"), "names the dead rule: {}", d.message);
+
+    fs::remove_dir_all(&root).ok();
 }
 
 #[test]

@@ -1,0 +1,37 @@
+//! Fixture for the `atomic-ordering` rule. Not compiled — parsed by the
+//! tests as data, under a pretend `crates/buffer/src/` path. Expected:
+//! exactly 3 diagnostics and 1 suppressed site.
+
+impl DiskStats {
+    fn record(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.flag.store(1, Ordering::Relaxed); // diagnostic 1: not a counter
+    }
+
+    fn peek(&self) -> bool {
+        self.ready.load(Ordering::Relaxed) // diagnostic 2: guards data
+    }
+
+    fn publish(&self) {
+        self.seq.fetch_add(1, Ordering::Relaxed); // diagnostic 3: a seqlock
+        // xtask-allow: atomic-ordering -- generation tag, read after join
+        self.generation.store(2, Ordering::Relaxed);
+        self.guarded.store(3, Ordering::Release);
+    }
+}
+
+fn strength_mapping_is_not_a_call(o: Ordering) -> u32 {
+    match o {
+        Ordering::Relaxed => 0,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        flag.store(1, Ordering::Relaxed);
+    }
+}

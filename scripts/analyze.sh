@@ -2,6 +2,9 @@
 # Run the repo-native static-analysis suite (crates/xtask) over the
 # workspace. Exits 0 on a clean tree, 1 when diagnostics survive
 # suppression filtering, and writes results/ANALYZE.json either way.
+# With --interleave, a clean static pass is followed by the deterministic
+# concurrency model-checking gate (scripts/interleave.sh, which writes
+# results/INTERLEAVE.json and fails on any unexpected violation).
 #
 # Prefers cargo; when the registry is unreachable (offline container) it
 # bootstraps xtask with bare rustc instead — the crate is dependency-free
@@ -9,15 +12,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+run_interleave=0
+args=()
+for a in "$@"; do
+  case "$a" in
+    --interleave) run_interleave=1 ;;
+    *) args+=("$a") ;;
+  esac
+done
+
 if cargo build -q -p xtask 2>/dev/null; then
-  exec cargo run -q -p xtask -- analyze "$@"
+  cargo run -q -p xtask -- analyze ${args[@]+"${args[@]}"}
+else
+  echo "analyze.sh: cargo build unavailable; bootstrapping xtask with bare rustc" >&2
+  boot=target/xtask-bootstrap
+  mkdir -p "$boot"
+  rustc --edition 2021 -O --crate-type rlib --crate-name xtask \
+    crates/xtask/src/lib.rs -o "$boot/libxtask.rlib"
+  rustc --edition 2021 -O --crate-name xtask \
+    crates/xtask/src/main.rs --extern xtask="$boot/libxtask.rlib" -o "$boot/xtask"
+  "$boot/xtask" analyze ${args[@]+"${args[@]}"}
 fi
 
-echo "analyze.sh: cargo build unavailable; bootstrapping xtask with bare rustc" >&2
-boot=target/xtask-bootstrap
-mkdir -p "$boot"
-rustc --edition 2021 -O --crate-type rlib --crate-name xtask \
-  crates/xtask/src/lib.rs -o "$boot/libxtask.rlib"
-rustc --edition 2021 -O --crate-name xtask \
-  crates/xtask/src/main.rs --extern xtask="$boot/libxtask.rlib" -o "$boot/xtask"
-exec "$boot/xtask" analyze "$@"
+if [ "$run_interleave" = 1 ]; then
+  scripts/interleave.sh
+fi

@@ -13,9 +13,12 @@ cargo clippy --all-targets -- -D warnings
 # a filter tweak above can never silently drop it.
 cargo test -q --test driver_parity
 
-# Repo-native static analysis (lock order, no-panic, determinism, lint
-# headers); any diagnostic that survives suppression filtering fails the
-# gate. Writes results/ANALYZE.json for cross-PR rule-count diffs.
-scripts/analyze.sh
+# Repo-native static analysis (lock order, no-panic, atomic orderings,
+# determinism, lint headers, stale suppressions); any diagnostic that
+# survives suppression filtering fails the gate. Writes
+# results/ANALYZE.json for cross-PR rule-count diffs. --interleave then
+# chains the deterministic concurrency model checker (bounded budget,
+# fixed seed set — a few seconds, results/INTERLEAVE.json).
+scripts/analyze.sh --interleave
 
 echo "tier1 OK"
