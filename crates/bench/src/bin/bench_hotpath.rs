@@ -1,0 +1,187 @@
+//! Single-probe hot-path baseline: replays the fixed-seed Zipfian
+//! hit-heavy and OLTP traces through the pre-change multi-probe path
+//! (page-addressed driving over the retained BTreeSet engine) and the
+//! single-probe path (`ReplacementCore` over the flat-indexed `LruK`),
+//! cross-checks that both make bit-identical eviction decisions, and saves
+//! `results/BENCH_hotpath.json` — the first point of the single-thread
+//! perf trajectory. Hand-rendered JSON like `bench_concurrency`: stable
+//! field order, no serde.
+//!
+//! Every field of the artifact except `old_refs_per_sec`,
+//! `new_refs_per_sec` and `speedup` is derived from the fixed seeds and is
+//! byte-identical across runs on the same commit and host; the binary
+//! enforces this itself by replaying each trace's decision record twice
+//! (across reps) and asserting equality before writing.
+//!
+//! ```sh
+//! cargo run -p lruk-bench --release --bin bench_hotpath [-- --smoke]
+//! ```
+//!
+//! `--smoke` runs scaled-down traces with 1 timed rep plus one extra
+//! determinism rep, prints the table, and writes **no** artifact (so the
+//! committed baseline is never clobbered by CI smoke runs).
+
+use lruk_bench::hotpath::{
+    measure, oltp, replay_page_probe, replay_single_probe, zipfian_hit_heavy, ReplayResult,
+    FRAMES, SEED, ZIPF_PAGES,
+};
+use std::fmt::Write as _;
+
+/// One trace's measured row.
+struct Row {
+    name: &'static str,
+    refs: usize,
+    old: ReplayResult,
+    new: ReplayResult,
+}
+
+impl Row {
+    fn old_rate(&self) -> f64 {
+        self.refs as f64 / self.old.secs
+    }
+    fn new_rate(&self) -> f64 {
+        self.refs as f64 / self.new.secs
+    }
+    fn speedup(&self) -> f64 {
+        self.new_rate() / self.old_rate()
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_hotpath.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!("flags: --smoke (scaled-down, no artifact), --out PATH");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+
+    let (zipf_refs, oltp_refs, reps) = if smoke {
+        (20_000, 5_000, 2)
+    } else {
+        (400_000, 100_000, 5)
+    };
+
+    println!(
+        "single-probe hot path: {FRAMES} frames, zipf({ZIPF_PAGES} pages) x {zipf_refs} refs, \
+         oltp x {oltp_refs} refs, seed {SEED}, median of {reps}"
+    );
+    println!(
+        "{:<18} {:>9} {:>14} {:>14} {:>8}  {:>7} {:>18}",
+        "trace", "refs", "old refs/s", "new refs/s", "speedup", "hit", "decisions"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, trace) in [
+        ("zipfian_hit_heavy", zipfian_hit_heavy(zipf_refs)),
+        ("oltp_bank", oltp(oltp_refs)),
+    ] {
+        // `measure` already asserts the decision record is identical on
+        // every rep — the two-runs byte-identity check for the seeds.
+        let old = measure(trace.refs(), FRAMES, reps, replay_page_probe);
+        let new = measure(trace.refs(), FRAMES, reps, replay_single_probe);
+        assert_eq!(
+            old.decisions(),
+            new.decisions(),
+            "{name}: multi-probe and single-probe paths diverged"
+        );
+        let row = Row {
+            name,
+            refs: trace.len(),
+            old,
+            new,
+        };
+        println!(
+            "{:<18} {:>9} {:>14.0} {:>14.0} {:>7.2}x  {:>7.4} {:>#18x}",
+            row.name,
+            row.refs,
+            row.old_rate(),
+            row.new_rate(),
+            row.speedup(),
+            row.new.hit_ratio(),
+            row.new.checksum
+        );
+        rows.push(row);
+    }
+
+    println!("\ndecision records bit-identical across paths and across {reps} reps");
+    if smoke {
+        println!("smoke mode: artifact not written");
+        return;
+    }
+
+    let json = render_json(&rows, zipf_refs, oltp_refs, reps);
+    match std::fs::create_dir_all("results").and_then(|_| std::fs::write(&out, &json)) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("note: could not write {out}: {e}"),
+    }
+}
+
+/// `git rev-parse HEAD` of the working tree the bench ran in — i.e. the
+/// commit-parent baseline both engines were built from.
+fn commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Render the baseline by hand: stable field order and fixed float
+/// formatting keep the artifact diffable across runs.
+fn render_json(rows: &[Row], zipf_refs: usize, oltp_refs: usize, reps: usize) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"benchmark\": \"hotpath_single_probe\",");
+    let _ = writeln!(s, "  \"commit\": \"{}\",", commit_hash());
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let _ = writeln!(
+        s,
+        "  \"host\": {{\"cpus\": {cpus}, \"arch\": \"{}\", \"os\": \"{}\"}},",
+        std::env::consts::ARCH,
+        std::env::consts::OS
+    );
+    let _ = writeln!(s, "  \"config\": {{");
+    let _ = writeln!(s, "    \"frames\": {FRAMES},");
+    let _ = writeln!(s, "    \"zipf_pages\": {ZIPF_PAGES},");
+    let _ = writeln!(s, "    \"zipf_refs\": {zipf_refs},");
+    let _ = writeln!(s, "    \"oltp_refs\": {oltp_refs},");
+    let _ = writeln!(s, "    \"seed\": {SEED},");
+    let _ = writeln!(s, "    \"policy\": \"lru-2, crp=4\",");
+    let _ = writeln!(s, "    \"reps\": {reps},");
+    let _ = writeln!(s, "    \"aggregation\": \"median\"");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"old_engine\": \"page-addressed driving, BTreeSet victim index\",");
+    let _ = writeln!(s, "  \"new_engine\": \"single-probe slot handles, flat victim index\",");
+    let _ = writeln!(s, "  \"traces\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"refs\": {},", r.refs);
+        let _ = writeln!(s, "      \"decisions_checksum\": \"{:#x}\",", r.new.checksum);
+        let _ = writeln!(s, "      \"hit_ratio\": {:.6},", r.new.hit_ratio());
+        let _ = writeln!(s, "      \"evictions\": {},", r.new.evictions);
+        let _ = writeln!(s, "      \"old_refs_per_sec\": {:.1},", r.old_rate());
+        let _ = writeln!(s, "      \"new_refs_per_sec\": {:.1},", r.new_rate());
+        let _ = writeln!(s, "      \"speedup\": {:.3}", r.speedup());
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(
+        s,
+        "  \"timing_fields\": \"old_refs_per_sec, new_refs_per_sec, speedup (host wall clock); \
+         every other field is seed-deterministic\""
+    );
+    s.push_str("}\n");
+    s
+}

@@ -1,0 +1,284 @@
+//! Shared driver for the single-probe hot-path measurement: the harness
+//! binary (`bin/bench_hotpath.rs`) replays the same fixed-seed traces
+//! through the pre-change multi-probe path (page-addressed driving over the
+//! retained [`BTreeLruK`] engine) and the current single-probe path
+//! ([`ReplacementCore`] over the flat-indexed [`LruK`], slot-addressed
+//! pins), cross-checks that both make bit-identical eviction decisions, and
+//! times each. Keeping the two replay loops here, next to each other, is
+//! the point: the *only* difference between them is how many probes a
+//! reference costs.
+
+use lruk_core::{BTreeLruK, LruK, LruKConfig};
+use lruk_policy::fxhash::{self, FxHashMap};
+use lruk_policy::{NoopBackend, Outcome, PageId, ReplacementCore, ReplacementPolicy, Tick};
+use lruk_storage::BankConfig;
+use lruk_workloads::{BankWorkload, PageRef, Trace, Workload, Zipfian};
+use std::time::Instant;
+
+/// Buffer frames for both paths.
+pub const FRAMES: usize = 256;
+/// Distinct pages of the Zipfian trace — 2× the frames, so the skewed head
+/// stays resident and the trace is hit-heavy while eviction still runs.
+pub const ZIPF_PAGES: u64 = 512;
+/// The fixed seed every trace is generated from.
+pub const SEED: u64 = 1993;
+
+/// The policy both paths run: LRU-2 with a small CRP, the workspace's
+/// standard bench configuration.
+pub fn policy_config() -> LruKConfig {
+    LruKConfig::new(2).with_crp(4)
+}
+
+/// The hit-heavy fixed-seed Zipfian trace (§4.2-style skew).
+pub fn zipfian_hit_heavy(refs: usize) -> Trace {
+    Zipfian::new(ZIPF_PAGES, 0.8, 0.2, SEED).generate(refs)
+}
+
+/// The fixed-seed OLTP trace: the §4.3 bank mix regenerated at bench scale
+/// (random, sequential and navigational references; see
+/// `lruk_workloads::oltp`).
+pub fn oltp(refs: usize) -> Trace {
+    BankWorkload::new(
+        BankConfig {
+            branches: 120,
+            tellers_per_branch: 5,
+            accounts_per_branch: 120,
+            history_pages: 600,
+        },
+        SEED,
+    )
+    .generate_trace(refs)
+}
+
+/// FNV-1a fold — the decision checksum both paths must agree on.
+#[inline]
+fn fold(h: &mut u64, x: u64) {
+    *h = (*h ^ x).wrapping_mul(0x0000_0100_0000_01B3);
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+
+/// One replay's outcome: wall time plus the deterministic decision record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplayResult {
+    /// Timed-loop wall seconds (engine construction excluded).
+    pub secs: f64,
+    /// Resident-page hits observed.
+    pub hits: u64,
+    /// Misses observed.
+    pub misses: u64,
+    /// Evictions performed.
+    pub evictions: u64,
+    /// FNV-1a over the hit/miss/eviction-victim event stream.
+    pub checksum: u64,
+}
+
+impl ReplayResult {
+    /// The fields that must be bit-identical across paths and across runs
+    /// on the same fixed-seed trace.
+    pub fn decisions(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.evictions, self.checksum)
+    }
+
+    /// Hit ratio of the replay.
+    pub fn hit_ratio(&self) -> f64 {
+        self.hits as f64 / (self.hits + self.misses) as f64
+    }
+}
+
+/// The pre-change reference lifecycle, reconstructed: a page-addressed
+/// frame table over the retained BTreeSet engine. Every hit pays the
+/// driver's own `page_table` probe, then the policy's internal history-map
+/// probe inside `on_hit`, then two more hash probes for the page-addressed
+/// pin/unpin pair — the multi-probe shape the engine had before slot
+/// handles collapsed them into one.
+struct PageProbeDriver {
+    // Boxed, like the engine held it before the change: every lifecycle
+    // call is virtually dispatched, exactly as on the parent commit.
+    policy: Box<dyn ReplacementPolicy>,
+    page_table: FxHashMap<PageId, u32>,
+    free: Vec<u32>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    checksum: u64,
+}
+
+impl PageProbeDriver {
+    fn new(frames: usize) -> Self {
+        PageProbeDriver {
+            policy: Box::new(BTreeLruK::new(policy_config())),
+            page_table: fxhash::map_with_capacity(frames),
+            free: (0..frames as u32).rev().collect(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            checksum: FNV_OFFSET,
+        }
+    }
+
+    #[inline]
+    fn access(&mut self, r: &PageRef) {
+        self.clock += 1;
+        let now = Tick(self.clock);
+        self.policy.note_kind(r.kind);
+        self.policy.note_process(r.pid);
+        if self.page_table.contains_key(&r.page) {
+            self.hits += 1;
+            fold(&mut self.checksum, 1);
+            self.policy.on_hit(r.page, now);
+        } else {
+            self.misses += 1;
+            fold(&mut self.checksum, 2);
+            self.policy.on_miss(r.page, now);
+            let slot = match self.free.pop() {
+                Some(slot) => slot,
+                None => {
+                    let victim = self.policy.select_victim(now).expect("replay victim");
+                    let slot = self
+                        .page_table
+                        .remove(&victim)
+                        .expect("victim must be resident");
+                    self.policy.on_evict(victim, now);
+                    self.evictions += 1;
+                    fold(&mut self.checksum, 3);
+                    fold(&mut self.checksum, victim.raw().wrapping_add(1));
+                    slot
+                }
+            };
+            self.policy.on_admit(r.page, now);
+            self.page_table.insert(r.page, slot);
+        }
+        // The old pool pinned for the duration of the caller's closure —
+        // page-addressed on both sides, two more probes per reference.
+        self.policy.pin(r.page);
+        self.policy.unpin(r.page);
+    }
+}
+
+/// Replay `trace` through the multi-probe page-addressed path.
+pub fn replay_page_probe(trace: &[PageRef], frames: usize) -> ReplayResult {
+    let mut d = PageProbeDriver::new(frames);
+    let start = Instant::now();
+    for r in trace {
+        d.access(r);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&d);
+    ReplayResult {
+        secs,
+        hits: d.hits,
+        misses: d.misses,
+        evictions: d.evictions,
+        checksum: d.checksum,
+    }
+}
+
+/// Replay `trace` through the single-probe path: [`ReplacementCore`] over
+/// the flat-indexed [`LruK`], one page-table probe per reference, pins and
+/// unpins addressed by the slot the probe returned.
+pub fn replay_single_probe(trace: &[PageRef], frames: usize) -> ReplayResult {
+    let mut core = ReplacementCore::new(frames, Box::new(LruK::new(policy_config())));
+    let (mut checksum, mut evictions) = (FNV_OFFSET, 0u64);
+    let start = Instant::now();
+    for r in trace {
+        match core
+            .access(r.page, r.kind, r.pid, &mut NoopBackend)
+            .expect("noop backend cannot fail")
+        {
+            Outcome::Hit { slot } => {
+                fold(&mut checksum, 1);
+                core.pin_slot(slot).expect("pin fresh hit");
+                core.unpin_slot(slot, false).expect("unpin fresh hit");
+            }
+            Outcome::Admitted { slot, victim } => {
+                fold(&mut checksum, 2);
+                if let Some(v) = victim {
+                    evictions += 1;
+                    fold(&mut checksum, 3);
+                    fold(&mut checksum, v.page.raw().wrapping_add(1));
+                }
+                core.pin_slot(slot).expect("pin fresh admission");
+                core.unpin_slot(slot, false).expect("unpin fresh admission");
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&core);
+    let stats = core.stats();
+    ReplayResult {
+        secs,
+        hits: stats.hits,
+        misses: stats.misses,
+        evictions,
+        checksum,
+    }
+}
+
+/// Median of the timed reps (odd or even count).
+pub fn median_secs(mut secs: Vec<f64>) -> f64 {
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let n = secs.len();
+    if n % 2 == 1 {
+        secs[n / 2]
+    } else {
+        (secs[n / 2 - 1] + secs[n / 2]) / 2.0
+    }
+}
+
+/// Run `reps` replays through `replay`, asserting the decision record is
+/// identical on every rep, and return the median-of-reps result.
+pub fn measure(
+    trace: &[PageRef],
+    frames: usize,
+    reps: usize,
+    replay: impl Fn(&[PageRef], usize) -> ReplayResult,
+) -> ReplayResult {
+    assert!(reps >= 1);
+    let mut runs: Vec<ReplayResult> = (0..reps).map(|_| replay(trace, frames)).collect();
+    for r in &runs[1..] {
+        assert_eq!(
+            r.decisions(),
+            runs[0].decisions(),
+            "decision record must be identical across reps"
+        );
+    }
+    let secs = median_secs(runs.iter().map(|r| r.secs).collect());
+    runs[0].secs = secs;
+    runs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_paths_agree_and_are_deterministic() {
+        let trace = zipfian_hit_heavy(6_000);
+        let old = replay_page_probe(trace.refs(), 64);
+        let new = replay_single_probe(trace.refs(), 64);
+        assert_eq!(old.decisions(), new.decisions(), "paths diverged");
+        assert!(old.hits > 0 && old.evictions > 0, "trace must exercise both");
+        // Two runs on the fixed seed: bit-identical decision record.
+        assert_eq!(new.decisions(), replay_single_probe(trace.refs(), 64).decisions());
+        assert_eq!(old.decisions(), replay_page_probe(trace.refs(), 64).decisions());
+    }
+
+    #[test]
+    fn oltp_paths_agree() {
+        let trace = oltp(4_000);
+        let old = replay_page_probe(trace.refs(), 96);
+        let new = replay_single_probe(trace.refs(), 96);
+        assert_eq!(old.decisions(), new.decisions(), "paths diverged on OLTP");
+        assert!(old.evictions > 0);
+    }
+
+    #[test]
+    fn median_is_order_free() {
+        assert_eq!(median_secs(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_secs(vec![4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median_secs(vec![5.0]), 5.0);
+    }
+}

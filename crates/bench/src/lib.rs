@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 
 pub mod concurrency;
+pub mod hotpath;
 
 /// Parse the standard binary flags: `--quick` scales an experiment down for
 /// a fast smoke run; `--seed N` overrides the default seed.

@@ -45,7 +45,7 @@ impl<D: DiskManager> ConcurrentBufferPool<D> {
         let mut pool = self.inner.lock();
         let fid = pool.pin_page(page)?;
         let out = f(pool.frame_data(fid));
-        pool.unpin_page(page, false)?;
+        pool.unpin_frame(fid, false)?;
         Ok(out)
     }
 
@@ -58,7 +58,7 @@ impl<D: DiskManager> ConcurrentBufferPool<D> {
         let mut pool = self.inner.lock();
         let fid = pool.pin_page(page)?;
         let out = f(pool.frame_data_mut(fid));
-        pool.unpin_page(page, true)?;
+        pool.unpin_frame(fid, true)?;
         Ok(out)
     }
 

@@ -38,8 +38,9 @@
 //!    `pin_slot` bumps the engine-owned pin count.
 //! 2. **Access** (no core): take the frame latch (shared for `with_page`,
 //!    exclusive for `with_page_mut`), run the closure, drop the latch.
-//! 3. **Unpin** (core held): `ReplacementCore::unpin` drops the pin count
-//!    and records dirtiness.
+//! 3. **Unpin** (core held): `ReplacementCore::unpin_slot` drops the pin
+//!    count and records dirtiness — addressed by the frame id from step 1,
+//!    so no page-table probe happens on the way out.
 //!
 //! Pin counts are plain integers inside the core, mutated only under the
 //! core latch. Because step 3 re-takes the core only after the frame latch
@@ -254,10 +255,13 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         Ok(slot)
     }
 
-    /// Release one pin; taken only after the frame latch has been dropped.
-    fn unpin(&self, shard: &Shard, page: PageId, dirty: bool) -> Result<(), BufferError> {
+    /// Release one pin of the page held in frame `fid`; taken only after
+    /// the frame latch has been dropped. Addressed by slot — the caller
+    /// still holds the frame id from [`pin`](Self::pin), so the unpin side
+    /// of an access performs no page-table probe at all.
+    fn unpin_frame(&self, shard: &Shard, fid: u32, dirty: bool) -> Result<(), BufferError> {
         let _core_held = invariants::acquiring(LatchClass::ShardCore);
-        shard.core.lock().unpin(page, dirty)?;
+        shard.core.lock().unpin_slot(fid, dirty)?;
         Ok(())
     }
 
@@ -271,7 +275,7 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&shard.frames[fid as usize].data.read_recursive());
         drop(user_held);
-        self.unpin(shard, page, false)?;
+        self.unpin_frame(shard, fid, false)?;
         Ok(out)
     }
 
@@ -286,7 +290,7 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&mut shard.frames[fid as usize].data.write());
         drop(user_held);
-        self.unpin(shard, page, true)?;
+        self.unpin_frame(shard, fid, true)?;
         Ok(out)
     }
 

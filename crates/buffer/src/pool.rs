@@ -199,8 +199,20 @@ impl<D: DiskManager> BufferPoolManager<D> {
     }
 
     /// Release one pin of `page`; `dirty` marks the frame as modified.
+    ///
+    /// Resolves the page through the engine's page table. Callers that still
+    /// hold the [`FrameId`] returned by [`pin_page`](Self::pin_page) should
+    /// prefer [`unpin_frame`](Self::unpin_frame), which skips that probe.
     pub fn unpin_page(&mut self, page: PageId, dirty: bool) -> Result<(), BufferError> {
+        // xtask-allow: handle-hygiene -- page-addressed compatibility entry point; handle-holding callers use unpin_frame
         self.core.unpin(page, dirty)?;
+        Ok(())
+    }
+
+    /// Release one pin of the page held in `fid` — the single-probe unpin:
+    /// the frame id *is* the engine slot, so no page-table lookup happens.
+    pub fn unpin_frame(&mut self, fid: FrameId, dirty: bool) -> Result<(), BufferError> {
+        self.core.unpin_slot(fid.raw(), dirty)?;
         Ok(())
     }
 
@@ -240,6 +252,7 @@ impl<D: DiskManager> BufferPoolManager<D> {
     pub fn flush_page(&mut self, page: PageId) -> Result<(), BufferError> {
         let Self { disk, frames, core } = self;
         let mut io = IoBackend { disk, frames };
+        // xtask-allow: handle-hygiene -- explicit flush names a page from outside any access; there is no handle to carry
         core.flush_page(page, &mut io)?;
         Ok(())
     }
@@ -255,6 +268,7 @@ impl<D: DiskManager> BufferPoolManager<D> {
     /// Delete `page`: drop it from the pool (it must be unpinned), discard
     /// any policy history, and deallocate it on disk.
     pub fn delete_page(&mut self, page: PageId) -> Result<(), BufferError> {
+        // xtask-allow: handle-hygiene -- delete path: the page is unpinned by contract, so no caller holds a handle
         if let Some(slot) = self.core.forget(page)? {
             self.frames[slot as usize].zero();
         }
@@ -295,7 +309,7 @@ impl<D: DiskManager> PageGuard<'_, D> {
 
 impl<D: DiskManager> Drop for PageGuard<'_, D> {
     fn drop(&mut self) {
-        let _ = self.pool.unpin_page(self.page, false);
+        let _ = self.pool.unpin_frame(self.fid, false);
     }
 }
 
@@ -325,7 +339,7 @@ impl<D: DiskManager> PageGuardMut<'_, D> {
 
 impl<D: DiskManager> Drop for PageGuardMut<'_, D> {
     fn drop(&mut self) {
-        let _ = self.pool.unpin_page(self.page, true);
+        let _ = self.pool.unpin_frame(self.fid, true);
     }
 }
 
@@ -426,6 +440,22 @@ mod tests {
         assert_eq!(
             pool.unpin_page(pages[0], false),
             Err(BufferError::NotPinned(pages[0]))
+        );
+    }
+
+    #[test]
+    fn unpin_frame_releases_by_slot() {
+        let (mut pool, pages) = pool_with(1, 2);
+        let fid = pool.pin_page(pages[0]).unwrap();
+        pool.unpin_frame(fid, false).unwrap();
+        // Fully unpinned: the frame is reclaimable.
+        assert!(pool.pin_page(pages[1]).is_ok());
+        // The freed slot now holds pages[1]; a double unpin is rejected just
+        // like the page-addressed path.
+        pool.unpin_frame(fid, false).unwrap();
+        assert_eq!(
+            pool.unpin_frame(fid, false),
+            Err(BufferError::NotPinned(pages[1]))
         );
     }
 

@@ -133,7 +133,7 @@ impl<D: DiskManager> ShardedBufferPool<D> {
         let mut pool = self.shards[self.shard_of(page)].lock();
         let fid = pool.pin_page(page)?;
         let out = f(pool.frame_data(fid));
-        pool.unpin_page(page, false)?;
+        pool.unpin_frame(fid, false)?;
         Ok(out)
     }
 
@@ -146,7 +146,7 @@ impl<D: DiskManager> ShardedBufferPool<D> {
         let mut pool = self.shards[self.shard_of(page)].lock();
         let fid = pool.pin_page(page)?;
         let out = f(pool.frame_data_mut(fid));
-        pool.unpin_page(page, true)?;
+        pool.unpin_frame(fid, true)?;
         Ok(out)
     }
 

@@ -1,0 +1,358 @@
+//! The retained `BTreeSet`-indexed LRU-K engine.
+//!
+//! This is the previous production engine, kept verbatim as a differential
+//! baseline for [`LruK`](crate::LruK) (which replaced the B-tree with a flat
+//! sorted-run index) and as the "old path" in `bench_hotpath`. It selects
+//! victims from a `BTreeSet` ordered by `(HIST(p,K), HIST(p,1), p)` and
+//! addresses every operation by `PageId` hash probe — the multi-probe cost
+//! model the single-probe engine is measured against.
+//!
+//! Ordering rationale (shared with the flat index):
+//!
+//! * minimal `HIST(p,K)` first — maximal backward K-distance; the sentinel
+//!   `0` ("fewer than K references known", i.e. `b_t(p,K) = ∞`) sorts before
+//!   every real timestamp, so ∞-distance pages are preferred exactly as
+//!   Definition 2.2 requires;
+//! * ties (including all the ∞ pages) break on minimal `HIST(p,1)` — the
+//!   most recent *uncorrelated* reference — the paper's subsidiary
+//!   classical-LRU policy measured on the uncorrelated clock. §2.1.1 says a
+//!   correlated re-reference must "neither credit nor penalize" a page, so
+//!   the tie-break deliberately ignores `LAST(p)`;
+//! * final tie-break on `PageId` for full determinism.
+//!
+//! Keying the index on `(HIST(p,K), HIST(p,1), p)` rather than on `LAST(p)`
+//! licenses the **correlated-hit fast path**: a re-reference inside the
+//! Correlated Reference Period moves only `LAST(p)`, which is not part of
+//! the ordering key, so the remove/insert pair is skipped entirely. The
+//! Figure 2.1 eligibility test `t - LAST(q) > CRP` still consults the *live*
+//! `LAST` in the history table during victim selection.
+
+use crate::config::LruKConfig;
+use crate::history::{HistorySnapshot, HistoryTable};
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+use std::collections::BTreeSet;
+
+type IndexKey = (u64, u64, PageId);
+
+/// The LRU-K replacement policy over a `BTreeSet` victim index — the
+/// baseline the flat-index [`LruK`](crate::LruK) is verified and benchmarked
+/// against. See the module docs.
+#[derive(Clone, Debug)]
+pub struct BTreeLruK {
+    cfg: LruKConfig,
+    table: HistoryTable,
+    /// Resident pages ordered by eviction priority.
+    index: BTreeSet<IndexKey>,
+    pins: PinSet,
+    purge_interval: Option<u64>,
+    next_purge: u64,
+    /// Issuing process of the upcoming reference (§2.1.1 refinement; stays
+    /// 0 when the driver does not distinguish processes).
+    current_pid: u64,
+}
+
+impl BTreeLruK {
+    /// Build an LRU-K policy from a validated configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (`k == 0` or RIP < CRP).
+    pub fn new(cfg: LruKConfig) -> Self {
+        // xtask-allow: no-panic -- documented `# Panics` constructor contract
+        cfg.validate().expect("invalid LRU-K configuration");
+        let purge_interval = cfg.effective_purge_interval();
+        BTreeLruK {
+            table: HistoryTable::new(cfg.k),
+            index: BTreeSet::new(),
+            pins: PinSet::new(),
+            purge_interval,
+            next_purge: purge_interval.unwrap_or(0),
+            cfg,
+            current_pid: 0,
+        }
+    }
+
+    /// LRU-2 with CRP = 0 and unbounded history — the paper's advocated
+    /// general-purpose configuration.
+    pub fn lru2() -> Self {
+        BTreeLruK::new(LruKConfig::new(2))
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LruKConfig {
+        &self.cfg
+    }
+
+    /// Read access to the history table (persistence, diagnostics).
+    pub fn table(&self) -> &HistoryTable {
+        &self.table
+    }
+
+    /// Snapshot the history block of `page`, if tracked.
+    pub fn history(&self, page: PageId) -> Option<HistorySnapshot> {
+        self.table.get(page)
+    }
+
+    /// Backward K-distance of `page` at `now` (`None` = ∞ or untracked).
+    pub fn backward_k_distance(&self, page: PageId, now: Tick) -> Option<u64> {
+        self.table.get(page)?.backward_k_distance(now)
+    }
+
+    /// Approximate heap footprint of the history metadata in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        self.table.footprint_bytes() + self.index.len() * std::mem::size_of::<IndexKey>()
+    }
+
+    /// Run the purge demon immediately, regardless of schedule. Returns the
+    /// number of retained blocks dropped.
+    pub fn purge_now(&mut self, now: Tick) -> usize {
+        match self.cfg.retained_information_period {
+            Some(rip) => self.table.purge_expired(now, rip),
+            None => 0,
+        }
+    }
+
+    fn key_of(&self, page: PageId) -> IndexKey {
+        let hist_k = self
+            .table
+            .hist_k(page)
+            // xtask-allow: no-panic -- key_of is only called for pages present in the index
+            .expect("indexed page must have a history block");
+        // HIST(p,1), not LAST(p): the key must be invariant under correlated
+        // re-references so `on_hit` can skip the reindex (see module docs).
+        let hist_1 = self
+            .table
+            .hist_1(page)
+            // xtask-allow: no-panic -- key_of is only called for pages present in the index
+            .expect("indexed page must have a history block");
+        (hist_k, hist_1, page)
+    }
+
+    fn maybe_purge(&mut self, now: Tick) {
+        if let Some(interval) = self.purge_interval {
+            if now.raw() >= self.next_purge {
+                let rip = self
+                    .cfg
+                    .retained_information_period
+                    // xtask-allow: no-panic -- purge is only scheduled when a RIP is configured
+                    .expect("purge interval implies RIP");
+                self.table.purge_expired(now, rip);
+                self.next_purge = now.raw() + interval;
+            }
+        }
+    }
+}
+
+impl ReplacementPolicy for BTreeLruK {
+    fn name(&self) -> String {
+        self.cfg.display_name()
+    }
+
+    fn note_process(&mut self, pid: u64) {
+        self.current_pid = pid;
+    }
+
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        debug_assert!(self.table.is_resident(page), "on_hit for non-resident page");
+        let old = self.key_of(page);
+        let uncorrelated = self.table.touch_hit_by(
+            page,
+            now,
+            self.cfg.correlated_reference_period,
+            self.current_pid,
+        );
+        if uncorrelated {
+            self.index.remove(&old);
+            self.index.insert(self.key_of(page));
+        } else {
+            // Correlated re-reference (§2.1.1): only LAST(p) moved, and LAST
+            // is not part of the ordering key, so the index entry is already
+            // correct — the common hit skips both BTreeSet operations.
+            debug_assert_eq!(old, self.key_of(page));
+        }
+        self.maybe_purge(now);
+    }
+
+    fn on_miss(&mut self, _page: PageId, now: Tick) {
+        self.maybe_purge(now);
+    }
+
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        debug_assert!(
+            !self.table.is_resident(page),
+            "on_admit for already-resident page"
+        );
+        self.table.admit(page, now);
+        self.table.set_last_pid(page, self.current_pid);
+        let key = self.key_of(page);
+        self.index.insert(key);
+        self.maybe_purge(now);
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        let key = self.key_of(page);
+        let removed = self.index.remove(&key);
+        debug_assert!(removed, "on_evict for page missing from index");
+        self.table.mark_evicted(page);
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+        if self.index.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        let crp = self.cfg.correlated_reference_period;
+        let mut fallback: Option<PageId> = None;
+        for &(_hist_k, _hist_1, page) in self.index.iter() {
+            if self.pins.is_pinned(page) {
+                continue;
+            }
+            // Figure 2.1 eligibility: t - LAST(q) > Correlated Reference
+            // Period. LAST is deliberately not the index key (correlated hits
+            // move it without reindexing), so consult the live history block.
+            let last = self
+                .table
+                .last(page)
+                // xtask-allow: no-panic -- ReplacementPolicy contract: hits name an indexed page
+                .expect("indexed page must have a history block");
+            if now.since(last) > crp {
+                return Ok(page);
+            }
+            if fallback.is_none() {
+                fallback = Some(page);
+            }
+        }
+        match fallback {
+            Some(page) if self.cfg.crp_fallback => Ok(page),
+            Some(_) => Err(VictimError::NoneEligible),
+            None => Err(VictimError::AllPinned),
+        }
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        if self.table.is_resident(page) {
+            let key = self.key_of(page);
+            self.index.remove(&key);
+        }
+        self.table.remove(page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.table.resident_len()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.table.retained_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    /// Drive a miss (no capacity pressure).
+    fn admit(policy: &mut BTreeLruK, page: PageId, t: u64) {
+        policy.on_miss(page, Tick(t));
+        policy.on_admit(page, Tick(t));
+    }
+
+    #[test]
+    fn infinite_distance_pages_evicted_first_with_lru_tiebreak() {
+        let mut l = BTreeLruK::new(LruKConfig::new(2));
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        admit(&mut l, p(3), 3);
+        // p1 gets a second reference -> finite distance; p2, p3 are ∞.
+        l.on_hit(p(1), Tick(4));
+        // Subsidiary classical LRU among ∞ pages: p2 (older LAST) first.
+        assert_eq!(l.select_victim(Tick(5)), Ok(p(2)));
+        l.on_evict(p(2), Tick(5));
+        assert_eq!(l.select_victim(Tick(6)), Ok(p(3)));
+        l.on_evict(p(3), Tick(6));
+        assert_eq!(l.select_victim(Tick(7)), Ok(p(1)));
+    }
+
+    #[test]
+    fn pinned_pages_are_skipped() {
+        let mut l = BTreeLruK::new(LruKConfig::new(2));
+        admit(&mut l, p(1), 1);
+        admit(&mut l, p(2), 2);
+        l.pin(p(1));
+        assert_eq!(l.select_victim(Tick(3)), Ok(p(2)));
+        l.pin(p(2));
+        assert_eq!(l.select_victim(Tick(3)), Err(VictimError::AllPinned));
+        l.unpin(p(1));
+        assert_eq!(l.select_victim(Tick(3)), Ok(p(1)));
+    }
+
+    #[test]
+    fn purge_demon_runs_on_schedule() {
+        let cfg = LruKConfig::new(2).with_rip(10).with_purge_interval(5);
+        let mut l = BTreeLruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        l.on_evict(p(1), Tick(2));
+        assert_eq!(l.retained_len(), 1);
+        // Purge fires on the next event with now >= next_purge and drops the
+        // expired block (last=2, now=20, RIP=10).
+        admit(&mut l, p(2), 20);
+        assert_eq!(l.retained_len(), 0);
+        assert!(l.history(p(1)).is_none());
+    }
+
+    #[test]
+    fn correlated_hit_skips_reindex_but_index_stays_consistent() {
+        // A correlated hit moves only LAST, which is not part of the index
+        // key: the BTreeSet must be untouched (the O(1) fast path), and the
+        // entry must still match `key_of` so later removals find it.
+        let cfg = LruKConfig::new(2).with_crp(100);
+        let mut l = BTreeLruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        let before = l.index.clone();
+        l.on_hit(p(1), Tick(2)); // correlated
+        assert_eq!(l.index, before, "correlated hit must not reindex");
+        assert_eq!(l.history(p(1)).unwrap().last, Tick(2), "LAST still moves");
+        l.on_evict(p(1), Tick(3)); // would panic if index were stale
+        assert_eq!(l.resident_len(), 0);
+    }
+
+    #[test]
+    fn uncorrelated_hit_reindexes() {
+        let cfg = LruKConfig::new(2).with_crp(5);
+        let mut l = BTreeLruK::new(cfg);
+        admit(&mut l, p(1), 1);
+        let before = l.index.clone();
+        l.on_hit(p(1), Tick(20)); // 20-1 > CRP: uncorrelated
+        assert_ne!(l.index, before, "uncorrelated hit must reindex");
+        // hist is now [20, 1]: HIST(p,2)=1 (finite), HIST(p,1)=20.
+        assert!(l.index.contains(&(1, 20, p(1))), "expected (1,20,p1): {:?}", l.index);
+    }
+
+    #[test]
+    fn crp_eligibility_uses_live_last_not_index_key() {
+        // A correlated hit moves LAST without reindexing; eligibility must
+        // see the *live* LAST and keep protecting the page within its CRP.
+        let cfg = LruKConfig::new(2).with_crp(10);
+        let mut l = BTreeLruK::new(cfg);
+        // p1: finite backward distance (hist [20, 1]); p2: ∞, so p2 sorts
+        // first and the scan must decide its eligibility before reaching p1.
+        admit(&mut l, p(1), 1);
+        l.on_hit(p(1), Tick(20)); // 20-1 > CRP: uncorrelated
+        admit(&mut l, p(2), 40);
+        l.on_hit(p(2), Tick(45)); // correlated; HIST(p2,1) stays 40
+        // t=52: p2's index key time (40) is 12 ticks back (> CRP) but its
+        // live LAST (45) is 7 ticks back (<= CRP) — p2 is protected; p1 wins.
+        assert_eq!(l.select_victim(Tick(52)), Ok(p(1)));
+    }
+}

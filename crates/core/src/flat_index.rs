@@ -1,0 +1,376 @@
+//! A flat, cache-friendly replacement for the `BTreeSet` victim index.
+//!
+//! The LRU-K engine orders resident pages by the key
+//! `(HIST(p,K), HIST(p,1), p)` — minimal first, with `HIST(p,K) == 0`
+//! encoding the paper's `∞` backward distance (so never-K-referenced pages
+//! sort first, exactly like the old `BTreeSet<IndexKey>`). A B-tree gives
+//! that order at the price of node churn on every reindex; this module keeps
+//! the same *total order* in two sorted `Vec` runs instead:
+//!
+//! * `main` — the bulk of the entries, sorted, with **lazy deletion**:
+//!   removing an entry tombstones it in place (keeping its key so binary
+//!   search stays valid) and compaction runs only when half the run is dead;
+//! * `young` — a small sorted insert buffer; when it fills up it is merged
+//!   into `main` in one linear pass.
+//!
+//! Insertions memmove only the young run (bounded by `young_cap`), removals
+//! either memmove the young run or tombstone `main` in O(log n), and ordered
+//! iteration — the victim scan — is a two-cursor merge over contiguous
+//! memory. Merge and compaction reuse a scratch buffer, so after the first
+//! few operations at steady state the index allocates nothing.
+//!
+//! Keys are unique by construction (the page id is the tiebreak and a page
+//! has at most one live entry), so iteration order is a total order and
+//! bit-exact against the B-tree it replaces — the differential suites in
+//! `tests/engines_differential.rs` hold the two engines to that.
+
+use lruk_policy::PageId;
+
+/// The victim-ordering key: `(HIST(p,K), HIST(p,1), p)`, minimal first.
+pub(crate) type IndexKey = (u64, u64, PageId);
+
+/// Tombstone marker for `Entry::slot` (history slots never reach `u32::MAX`
+/// — the slab would exhaust memory first).
+const DEAD: u32 = u32::MAX;
+
+/// One index entry: the ordering key plus the page's history-table slot, so
+/// the victim scan reads eligibility (`LAST`) and pin state by direct index
+/// without any hash probe.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Entry {
+    hist_k: u64,
+    hist_1: u64,
+    /// The page this entry ranks.
+    pub page: PageId,
+    /// The page's history-table slot (`DEAD` when tombstoned).
+    pub slot: u32,
+}
+
+impl Entry {
+    #[inline]
+    fn key(&self) -> IndexKey {
+        (self.hist_k, self.hist_1, self.page)
+    }
+}
+
+/// Sorted-run victim index with lazy deletion. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FlatIndex {
+    main: Vec<Entry>,
+    young: Vec<Entry>,
+    /// Tombstones currently in `main`.
+    dead: usize,
+    /// Merge threshold for `young`.
+    young_cap: usize,
+    /// Reused merge/compaction buffer.
+    scratch: Vec<Entry>,
+}
+
+impl FlatIndex {
+    /// An empty index (young run caps at 16 entries until
+    /// [`reserve`](Self::reserve) scales it to the buffer capacity).
+    pub fn new() -> Self {
+        FlatIndex {
+            main: Vec::new(),
+            young: Vec::new(),
+            dead: 0,
+            young_cap: 16,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Pre-size for `capacity` live entries and scale the young run to
+    /// `max(16, capacity / 8)` — large enough to amortize merges, small
+    /// enough that the per-insert memmove stays inside a few cache lines.
+    pub fn reserve(&mut self, capacity: usize) {
+        self.young_cap = 16usize.max(capacity / 8);
+        self.main.reserve(capacity.saturating_sub(self.main.len()));
+        self.young.reserve(self.young_cap.saturating_sub(self.young.len()));
+        self.scratch.reserve(capacity.saturating_sub(self.scratch.capacity()));
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.main.len() - self.dead + self.young.len()
+    }
+
+    /// True when no live entries exist.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert an entry for `page` (which must not currently be indexed)
+    /// keyed by `(hist_k, hist_1, page)`, carrying its history `slot`.
+    #[inline]
+    pub fn insert(&mut self, hist_k: u64, hist_1: u64, page: PageId, slot: u32) {
+        debug_assert_ne!(slot, DEAD, "DEAD is reserved for tombstones");
+        let e = Entry { hist_k, hist_1, page, slot };
+        let key = e.key();
+        let pos = match self.young.binary_search_by(|y| y.key().cmp(&key)) {
+            Ok(pos) | Err(pos) => pos,
+        };
+        debug_assert!(
+            self.young.get(pos).map(|y| y.key()) != Some(key),
+            "duplicate index key: a page has at most one live entry"
+        );
+        self.young.insert(pos, e);
+        if self.young.len() >= self.young_cap {
+            self.merge_young();
+        }
+    }
+
+    /// Remove the entry with exactly this key. Returns `true` when found.
+    #[inline]
+    pub fn remove(&mut self, hist_k: u64, hist_1: u64, page: PageId) -> bool {
+        let key = (hist_k, hist_1, page);
+        if let Ok(pos) = self.young.binary_search_by(|y| y.key().cmp(&key)) {
+            self.young.remove(pos);
+            return true;
+        }
+        // Tombstoned entries keep their key, so the run stays sorted and
+        // searchable; a dead entry can match only if the caller removes the
+        // same key twice, which the engine never does.
+        if let Ok(pos) = self.main.binary_search_by(|m| m.key().cmp(&key)) {
+            if self.main[pos].slot != DEAD {
+                self.main[pos].slot = DEAD;
+                self.dead += 1;
+                if self.dead * 2 > self.main.len() {
+                    self.compact();
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Iterate live entries in ascending key order — the victim scan. A
+    /// two-cursor merge of the runs; no allocation.
+    #[inline]
+    pub fn iter(&self) -> FlatIter<'_> {
+        FlatIter {
+            main: &self.main,
+            young: &self.young,
+            mi: 0,
+            yi: 0,
+        }
+    }
+
+    /// Merge the young run into `main`, dropping tombstones on the way.
+    fn merge_young(&mut self) {
+        self.scratch.clear();
+        self.scratch.reserve(self.main.len() - self.dead + self.young.len());
+        let mut mi = 0;
+        let mut yi = 0;
+        while mi < self.main.len() && yi < self.young.len() {
+            let m = self.main[mi];
+            if m.slot == DEAD {
+                mi += 1;
+                continue;
+            }
+            let y = self.young[yi];
+            if m.key() < y.key() {
+                self.scratch.push(m);
+                mi += 1;
+            } else {
+                self.scratch.push(y);
+                yi += 1;
+            }
+        }
+        while mi < self.main.len() {
+            let m = self.main[mi];
+            if m.slot != DEAD {
+                self.scratch.push(m);
+            }
+            mi += 1;
+        }
+        self.scratch.extend_from_slice(&self.young[yi..]);
+        std::mem::swap(&mut self.main, &mut self.scratch);
+        self.young.clear();
+        self.dead = 0;
+    }
+
+    /// Drop tombstones from `main` in place (order preserved).
+    fn compact(&mut self) {
+        self.main.retain(|e| e.slot != DEAD);
+        self.dead = 0;
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.main.capacity() + self.young.capacity() + self.scratch.capacity())
+            * std::mem::size_of::<Entry>()
+    }
+}
+
+/// Ascending-order iterator over a [`FlatIndex`].
+pub(crate) struct FlatIter<'a> {
+    main: &'a [Entry],
+    young: &'a [Entry],
+    mi: usize,
+    yi: usize,
+}
+
+impl<'a> Iterator for FlatIter<'a> {
+    type Item = &'a Entry;
+
+    fn next(&mut self) -> Option<&'a Entry> {
+        while self.mi < self.main.len() && self.main[self.mi].slot == DEAD {
+            self.mi += 1;
+        }
+        match (self.main.get(self.mi), self.young.get(self.yi)) {
+            (Some(m), Some(y)) => {
+                if m.key() < y.key() {
+                    self.mi += 1;
+                    Some(m)
+                } else {
+                    self.yi += 1;
+                    Some(y)
+                }
+            }
+            (Some(m), None) => {
+                self.mi += 1;
+                Some(m)
+            }
+            (None, Some(y)) => {
+                self.yi += 1;
+                Some(y)
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    fn keys(ix: &FlatIndex) -> Vec<IndexKey> {
+        ix.iter().map(|e| e.key()).collect()
+    }
+
+    #[test]
+    fn insert_remove_iterate_in_key_order() {
+        let mut ix = FlatIndex::new();
+        ix.insert(30, 40, p(3), 3);
+        ix.insert(0, 10, p(1), 1); // ∞ sentinel sorts first
+        ix.insert(30, 20, p(2), 2);
+        assert_eq!(keys(&ix), vec![(0, 10, p(1)), (30, 20, p(2)), (30, 40, p(3))]);
+        assert_eq!(ix.len(), 3);
+        assert!(ix.remove(30, 20, p(2)));
+        assert!(!ix.remove(30, 20, p(2)), "double remove finds nothing");
+        assert_eq!(keys(&ix), vec![(0, 10, p(1)), (30, 40, p(3))]);
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn slots_ride_along_with_entries() {
+        let mut ix = FlatIndex::new();
+        for i in 0..40u64 {
+            ix.insert(i, i, p(i), i as u32);
+        }
+        for (want, e) in ix.iter().enumerate() {
+            assert_eq!(e.slot, want as u32);
+            assert_eq!(e.page, p(want as u64));
+        }
+    }
+
+    /// Random churn against a `BTreeSet` oracle: same membership, same
+    /// ascending order, across merges and compactions.
+    #[test]
+    fn differential_against_btreeset_oracle() {
+        let mut ix = FlatIndex::new();
+        ix.reserve(32);
+        let mut oracle: BTreeSet<IndexKey> = BTreeSet::new();
+        let mut live: Vec<IndexKey> = Vec::new();
+        let mut lcg = 777u64;
+        for step in 0..20_000u64 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = lcg >> 33;
+            if live.is_empty() || r % 3 != 0 {
+                // Unique key: derive from the step counter.
+                let key = (r % 64, step, p(r % 512));
+                if oracle.insert(key) {
+                    ix.insert(key.0, key.1, key.2, (step % 1000) as u32);
+                    live.push(key);
+                }
+            } else {
+                let victim = live.swap_remove((r as usize) % live.len());
+                assert!(oracle.remove(&victim));
+                assert!(ix.remove(victim.0, victim.1, victim.2));
+            }
+            if step % 97 == 0 {
+                let got = keys(&ix);
+                let want: Vec<IndexKey> = oracle.iter().copied().collect();
+                assert_eq!(got, want, "diverged at step {step}");
+                assert_eq!(ix.len(), oracle.len());
+            }
+        }
+        let got = keys(&ix);
+        let want: Vec<IndexKey> = oracle.iter().copied().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tombstones_compact_and_memory_stays_bounded() {
+        let mut ix = FlatIndex::new();
+        ix.reserve(64);
+        // Fill well past the young cap so entries land in main.
+        for i in 0..256u64 {
+            ix.insert(i + 1, i + 1, p(i), i as u32);
+        }
+        // Remove most of them; compaction must keep main from carrying a
+        // majority of tombstones.
+        for i in 0..200u64 {
+            assert!(ix.remove(i + 1, i + 1, p(i)));
+        }
+        assert_eq!(ix.len(), 56);
+        assert!(
+            ix.dead * 2 <= ix.main.len().max(1),
+            "compaction bounds tombstones: {} dead of {}",
+            ix.dead,
+            ix.main.len()
+        );
+        let survivors: Vec<IndexKey> = keys(&ix);
+        let want: Vec<IndexKey> = (200..256u64).map(|i| (i + 1, i + 1, p(i))).collect();
+        assert_eq!(survivors, want);
+    }
+
+    #[test]
+    fn steady_state_reindex_does_not_allocate() {
+        let mut ix = FlatIndex::new();
+        ix.reserve(64);
+        for i in 0..64u64 {
+            ix.insert(i + 1, i + 1, p(i), i as u32);
+        }
+        // Warm up the scratch buffer through a few merge cycles.
+        for round in 0..200u64 {
+            for i in 0..64u64 {
+                let old = round * 64 + i + 1;
+                let new = (round + 1) * 64 + i + 1;
+                assert!(ix.remove(old, old, p(i)));
+                ix.insert(new, new, p(i), i as u32);
+            }
+        }
+        let caps = (ix.main.capacity(), ix.young.capacity(), ix.scratch.capacity());
+        for round in 200..400u64 {
+            for i in 0..64u64 {
+                let old = round * 64 + i + 1;
+                let new = (round + 1) * 64 + i + 1;
+                assert!(ix.remove(old, old, p(i)));
+                ix.insert(new, new, p(i), i as u32);
+            }
+        }
+        assert_eq!(
+            caps,
+            (ix.main.capacity(), ix.young.capacity(), ix.scratch.capacity()),
+            "steady-state churn must not grow any buffer"
+        );
+    }
+}

@@ -13,9 +13,11 @@
 //! has been referenced fewer than that many times — reference strings are
 //! 1-based (`t >= 1`), exactly as in the paper.
 
-use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::fxhash::{map_with_capacity, FxHashMap};
 use lruk_policy::{PageId, Tick};
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A read-only copy of one page's history block.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -57,6 +59,12 @@ struct Block {
 }
 
 /// Slab of history control blocks for all tracked pages.
+///
+/// Blocks live at stable `u32` **slots**: a page keeps its slot from the
+/// `admit`/`restore_block` that allocated it until `remove` or the purge
+/// demon frees it. The `*_at`/`*_slot` accessors index the slab directly —
+/// they are the single-probe fast path for callers (the LRU-K engine) that
+/// cached the slot at admission time.
 #[derive(Clone, Debug)]
 pub struct HistoryTable {
     k: usize,
@@ -67,6 +75,14 @@ pub struct HistoryTable {
     free: Vec<u32>,
     map: FxHashMap<PageId, u32>,
     resident: usize,
+    /// Min-heap of `(LAST, slot)` entries pushed whenever a block turns
+    /// non-resident, so the purge demon pops exactly the expired blocks
+    /// instead of scanning the whole slab. Entries go stale when a page is
+    /// re-admitted or its slot reused; [`purge_expired`](Self::purge_expired)
+    /// re-validates against the live block before purging. Empty and unused
+    /// until [`enable_expiry_tracking`](Self::enable_expiry_tracking).
+    expiry: BinaryHeap<Reverse<(u64, u32)>>,
+    track_expiry: bool,
 }
 
 impl HistoryTable {
@@ -80,6 +96,36 @@ impl HistoryTable {
             free: Vec::new(),
             map: FxHashMap::default(),
             resident: 0,
+            expiry: BinaryHeap::new(),
+            track_expiry: false,
+        }
+    }
+
+    /// Pre-size the slab and map for roughly `pages` tracked pages (resident
+    /// plus retained), so steady-state references never regrow a container.
+    pub fn reserve(&mut self, pages: usize) {
+        self.blocks.reserve(pages.saturating_sub(self.blocks.len()));
+        self.hists
+            .reserve((pages * self.k).saturating_sub(self.hists.len()));
+        let mut map = map_with_capacity(pages.max(self.map.len()));
+        map.extend(self.map.drain());
+        self.map = map;
+        self.free.reserve(pages.saturating_sub(self.free.len()));
+    }
+
+    /// Switch the purge demon from full-slab scans to the amortized
+    /// expiry-heap sweep. Seeds the heap with every currently non-resident
+    /// block, so blocks demoted before the switch are still found. Purge
+    /// *results* are identical either way; only the cost model changes.
+    pub fn enable_expiry_tracking(&mut self) {
+        if self.track_expiry {
+            return;
+        }
+        self.track_expiry = true;
+        for (s, b) in self.blocks.iter().enumerate() {
+            if b.occupied && !b.resident {
+                self.expiry.push(Reverse((b.last, s as u32)));
+            }
         }
     }
 
@@ -127,6 +173,39 @@ impl HistoryTable {
     #[inline]
     fn slot(&self, page: PageId) -> Option<u32> {
         self.map.get(&page).copied()
+    }
+
+    /// The stable slot of `page`'s block, if tracked. Valid until the block
+    /// is freed by [`remove`](Self::remove) or the purge demon.
+    #[inline]
+    pub fn slot_of(&self, page: PageId) -> Option<u32> {
+        self.slot(page)
+    }
+
+    /// The page owning `slot` (slot must be occupied).
+    #[inline]
+    pub fn page_at(&self, slot: u32) -> PageId {
+        debug_assert!(self.blocks[slot as usize].occupied);
+        self.blocks[slot as usize].page
+    }
+
+    /// `HIST(p, K)` by slot — no hash probe.
+    #[inline]
+    pub fn hist_k_at(&self, slot: u32) -> u64 {
+        self.hist(slot)[self.k - 1]
+    }
+
+    /// `HIST(p, 1)` by slot — no hash probe.
+    #[inline]
+    pub fn hist_1_at(&self, slot: u32) -> u64 {
+        // xtask-allow: no-panic -- hist slices are exactly K long and K >= 1 is asserted in new()
+        self.hist(slot)[0]
+    }
+
+    /// `LAST(p)` by slot — no hash probe.
+    #[inline]
+    pub fn last_at(&self, slot: u32) -> Tick {
+        Tick(self.blocks[slot as usize].last)
     }
 
     #[inline]
@@ -230,6 +309,14 @@ impl HistoryTable {
     pub fn touch_hit_by(&mut self, page: PageId, now: Tick, crp: u64, pid: u64) -> bool {
         // xtask-allow: no-panic -- documented `# Panics` contract: hits require an existing block
         let slot = self.slot(page).expect("touch_hit: page has no history block");
+        self.touch_hit_slot(slot, now, crp, pid)
+    }
+
+    /// [`touch_hit_by`](Self::touch_hit_by) addressed by slot — the
+    /// single-probe hit path: the caller already holds the slot, so no map
+    /// lookup happens at all.
+    #[inline]
+    pub fn touch_hit_slot(&mut self, slot: u32, now: Tick, crp: u64, pid: u64) -> bool {
         let last = self.blocks[slot as usize].last;
         let last_pid = self.blocks[slot as usize].last_pid;
         debug_assert!(now.raw() >= last, "ticks must be monotone");
@@ -267,11 +354,23 @@ impl HistoryTable {
         }
     }
 
+    /// [`set_last_pid`](Self::set_last_pid) addressed by slot.
+    #[inline]
+    pub fn set_last_pid_at(&mut self, slot: u32, pid: u64) {
+        self.blocks[slot as usize].last_pid = pid;
+    }
+
     /// Apply the Figure 2.1 **miss** path: `page` has just been fetched into
     /// the buffer at `now`. Creates the history block if none is retained,
     /// otherwise performs the plain (no correlation adjustment) shift the
     /// paper specifies for this arm, and marks the page resident.
     pub fn admit(&mut self, page: PageId, now: Tick) {
+        let _ = self.admit_slot(page, now);
+    }
+
+    /// [`admit`](Self::admit), returning the slot the block landed in so the
+    /// caller can address all subsequent operations by slot.
+    pub fn admit_slot(&mut self, page: PageId, now: Tick) -> u32 {
         debug_assert!(now.raw() >= 1, "reference strings are 1-based");
         let slot = match self.slot(page) {
             Some(s) => {
@@ -292,6 +391,7 @@ impl HistoryTable {
             b.resident = true;
             self.resident += 1;
         }
+        slot
     }
 
     /// Mark `page` non-resident, retaining its history block.
@@ -301,10 +401,19 @@ impl HistoryTable {
     pub fn mark_evicted(&mut self, page: PageId) {
         // xtask-allow: no-panic -- documented `# Panics` contract: evictions name a tracked page
         let slot = self.slot(page).expect("mark_evicted: unknown page");
+        self.mark_evicted_slot(slot);
+    }
+
+    /// [`mark_evicted`](Self::mark_evicted) addressed by slot.
+    pub fn mark_evicted_slot(&mut self, slot: u32) {
         let b = &mut self.blocks[slot as usize];
         assert!(b.resident, "mark_evicted: page was not resident");
         b.resident = false;
+        let last = b.last;
         self.resident -= 1;
+        if self.track_expiry {
+            self.expiry.push(Reverse((last, slot)));
+        }
     }
 
     /// Drop the block for `page` entirely (page deleted from the database).
@@ -332,22 +441,65 @@ impl HistoryTable {
         let b = &mut self.blocks[slot as usize];
         b.last = last.raw();
         b.resident = false;
+        if self.track_expiry {
+            self.expiry.push(Reverse((last.raw(), slot)));
+        }
     }
 
     /// The purge demon: drop blocks of **non-resident** pages whose most
     /// recent reference is more than `rip` ticks in the past. Returns the
     /// number of blocks purged.
+    ///
+    /// With [expiry tracking](Self::enable_expiry_tracking) on, the sweep
+    /// pops only heap entries old enough to matter — cost proportional to
+    /// the number of blocks actually purged (plus stale entries), not to the
+    /// slab size. Every non-resident block has a heap entry carrying its
+    /// current `LAST` (pushed at demotion; `LAST` cannot change while
+    /// non-resident), so popping everything below the cutoff finds exactly
+    /// the blocks the full scan would. Freed slots are re-sorted into
+    /// ascending slot order before hitting the free list, so future slot
+    /// allocation — and everything downstream of it — is byte-identical to
+    /// the scan-based demon.
     pub fn purge_expired(&mut self, now: Tick, rip: u64) -> usize {
-        let mut purged = 0;
-        for slot in 0..self.blocks.len() as u32 {
+        if !self.track_expiry {
+            let mut purged = 0;
+            for slot in 0..self.blocks.len() as u32 {
+                let b = &self.blocks[slot as usize];
+                if b.occupied && !b.resident && now.since(Tick(b.last)) > rip {
+                    let page = b.page;
+                    self.map.remove(&page);
+                    self.blocks[slot as usize].occupied = false;
+                    self.free.push(slot);
+                    purged += 1;
+                }
+            }
+            return purged;
+        }
+        // `now - last > rip` <=> `last < cutoff` (and nothing qualifies when
+        // `now <= rip`, which saturates the cutoff to 0 — LAST is >= 1).
+        let cutoff = now.raw().saturating_sub(rip);
+        let mut purged_slots: Vec<u32> = Vec::new();
+        while let Some(&Reverse((entry_last, slot))) = self.expiry.peek() {
+            if entry_last >= cutoff {
+                break;
+            }
+            self.expiry.pop();
             let b = &self.blocks[slot as usize];
-            if b.occupied && !b.resident && now.since(Tick(b.last)) > rip {
+            // Re-validate against the live block: the entry is stale when
+            // the page was re-admitted, removed, or the slot reused. The
+            // expiry test uses the block's own LAST, so a stale entry can
+            // only ever purge a block the full scan would purge too.
+            if b.occupied && !b.resident && b.last < cutoff {
                 let page = b.page;
                 self.map.remove(&page);
                 self.blocks[slot as usize].occupied = false;
-                self.free.push(slot);
-                purged += 1;
+                purged_slots.push(slot);
             }
+        }
+        purged_slots.sort_unstable();
+        let purged = purged_slots.len();
+        for slot in purged_slots {
+            self.free.push(slot);
         }
         purged
     }
@@ -386,6 +538,7 @@ impl HistoryTable {
         self.blocks.capacity() * std::mem::size_of::<Block>()
             + self.hists.capacity() * std::mem::size_of::<u64>()
             + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.expiry.capacity() * std::mem::size_of::<(u64, u32)>()
             + self.map.capacity()
                 * (std::mem::size_of::<PageId>() + std::mem::size_of::<u32>() + 8)
     }
@@ -518,6 +671,126 @@ mod tests {
             t.admit(p(i), Tick(20_000 + i));
         }
         assert_eq!(t.blocks.len(), blocks_before, "free slots must be reused");
+    }
+
+    #[test]
+    fn slot_api_matches_page_api() {
+        let mut t = HistoryTable::new(2);
+        let s1 = t.admit_slot(p(1), Tick(10));
+        assert_eq!(t.slot_of(p(1)), Some(s1));
+        assert_eq!(t.page_at(s1), p(1));
+        assert!(t.touch_hit_slot(s1, Tick(20), 0, 0));
+        assert_eq!(t.hist_1_at(s1), 20);
+        assert_eq!(t.hist_k_at(s1), 10);
+        assert_eq!(t.last_at(s1), Tick(20));
+        assert_eq!(t.hist_1(p(1)), Some(20));
+        assert_eq!(t.hist_k(p(1)), Some(10));
+        t.set_last_pid_at(s1, 7);
+        // Same-pid reference inside CRP is correlated; the pid seeded by
+        // slot must be visible to the page-based path.
+        assert!(!t.touch_hit_by(p(1), Tick(22), 5, 7));
+        t.mark_evicted_slot(s1);
+        assert!(!t.is_resident(p(1)));
+        // Re-admission reuses the same slot (the block was retained).
+        assert_eq!(t.admit_slot(p(1), Tick(30)), s1);
+    }
+
+    /// Drive two tables — one scanning, one heap-tracked — through the same
+    /// churn (admissions, evictions, re-admissions, removals, interleaved
+    /// purges) and demand identical purge counts, contents, and free-list
+    /// order (observed via subsequent slot allocation).
+    #[test]
+    fn heap_purge_is_byte_identical_to_scan_purge() {
+        let mut scan = HistoryTable::new(2);
+        let mut heap = HistoryTable::new(2);
+        heap.enable_expiry_tracking();
+        let mut lcg = 12345u64;
+        let mut tick = 0u64;
+        let step = |t: &mut HistoryTable, op: u64, page: u64, now: Tick| match op {
+            0..=3 => {
+                if t.is_resident(p(page)) {
+                    t.touch_hit(p(page), now, 3);
+                } else {
+                    t.admit(p(page), now);
+                }
+            }
+            4..=5 => {
+                if t.is_resident(p(page)) {
+                    t.mark_evicted(p(page));
+                }
+            }
+            6 => {
+                t.remove(p(page));
+            }
+            _ => {
+                t.purge_expired(now, 40);
+            }
+        };
+        for _ in 0..4000 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let op = (lcg >> 33) % 8;
+            let page = (lcg >> 40) % 48;
+            tick += 1;
+            let now = Tick(tick);
+            step(&mut scan, op, page, now);
+            step(&mut heap, op, page, now);
+            assert_eq!(scan.len(), heap.len());
+            assert_eq!(scan.resident_len(), heap.resident_len());
+        }
+        // Final purge, then drain both free lists via fresh allocations and
+        // compare slot order exactly.
+        tick += 1000;
+        assert_eq!(
+            scan.purge_expired(Tick(tick), 40),
+            heap.purge_expired(Tick(tick), 40)
+        );
+        let mut scan_slots = Vec::new();
+        let mut heap_slots = Vec::new();
+        for i in 0..64u64 {
+            tick += 1;
+            scan_slots.push(scan.admit_slot(p(1000 + i), Tick(tick)));
+            heap_slots.push(heap.admit_slot(p(1000 + i), Tick(tick)));
+        }
+        assert_eq!(scan_slots, heap_slots, "free-list order must match the scan demon");
+    }
+
+    #[test]
+    fn enabling_tracking_late_still_purges_preexisting_blocks() {
+        let mut t = HistoryTable::new(2);
+        t.admit(p(1), Tick(10));
+        t.mark_evicted(p(1));
+        t.admit(p(2), Tick(20));
+        // Tracking switched on *after* p1 went non-resident.
+        t.enable_expiry_tracking();
+        assert_eq!(t.purge_expired(Tick(1000), 50), 1);
+        assert!(!t.contains(p(1)));
+        assert!(t.contains(p(2)));
+    }
+
+    #[test]
+    fn stale_heap_entries_do_not_purge_readmitted_pages() {
+        let mut t = HistoryTable::new(2);
+        t.enable_expiry_tracking();
+        t.admit(p(1), Tick(10));
+        t.mark_evicted(p(1)); // heap entry (10, slot)
+        t.admit(p(1), Tick(20)); // back resident; entry now stale
+        assert_eq!(t.purge_expired(Tick(1000), 50), 0, "resident page survives");
+        t.mark_evicted(p(1)); // fresh entry (20, slot)
+        assert_eq!(t.purge_expired(Tick(1000), 50), 1);
+        assert_eq!(t.purge_expired(Tick(1000), 50), 0, "no double purge");
+    }
+
+    #[test]
+    fn reserve_prevents_slab_regrowth() {
+        let mut t = HistoryTable::new(2);
+        t.reserve(64);
+        let cap = t.blocks.capacity();
+        assert!(cap >= 64);
+        for i in 0..64 {
+            t.admit(p(i), Tick(i + 1));
+        }
+        assert_eq!(t.blocks.capacity(), cap);
+        assert_eq!(t.len(), 64);
     }
 
     #[test]

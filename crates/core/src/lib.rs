@@ -25,17 +25,21 @@
 //!    survives eviction of `p` and is purged by a (simulated asynchronous)
 //!    demon once the page has not been referenced for `RIP` ticks.
 //!
-//! Two engines share identical external behaviour:
+//! Three engines share identical external behaviour:
 //!
 //! * [`ClassicLruK`] — a line-by-line transcription of the paper's
 //!   Figure 2.1, selecting victims with an O(B) scan;
-//! * [`LruK`] — an indexed engine keeping evictable pages ordered by
-//!   `(HIST(p,K), LAST(p))` in a search tree for O(log B) eviction, which is
-//!   exactly the refinement the paper footnotes ("finding the page with the
-//!   maximum Backward K-distance would actually be based on a search tree").
+//! * [`LruK`] — the production engine: pages ordered by
+//!   `(HIST(p,K), HIST(p,1), p)` in a flat sorted-run index, with every
+//!   per-reference operation addressed by a stable history-table **slot**
+//!   so the buffer hit path performs a single hash probe end to end;
+//! * [`BTreeLruK`] — the previous `BTreeSet`-indexed engine, retained as the
+//!   differential baseline (and the "old path" in `bench_hotpath`); it is
+//!   the refinement the paper footnotes ("finding the page with the maximum
+//!   Backward K-distance would actually be based on a search tree").
 //!
-//! A property test asserts the two engines make identical eviction decisions
-//! on arbitrary traces.
+//! Property tests assert the engines make identical eviction decisions on
+//! arbitrary traces.
 //!
 //! ```
 //! use lruk_core::{LruK, LruKConfig};
@@ -55,13 +59,16 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod btree;
 pub mod classic;
 pub mod config;
 pub mod distance;
+mod flat_index;
 pub mod history;
 pub mod indexed;
 pub mod persist;
 
+pub use btree::BTreeLruK;
 pub use classic::ClassicLruK;
 pub use config::{ConfigError, LruKConfig};
 pub use distance::{backward_k_distance_raw, ReferenceModel};

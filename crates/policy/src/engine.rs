@@ -11,6 +11,14 @@
 //! list, logical clock, pin bookkeeping, the boxed policy, and the
 //! [`CacheStats`], and exposes one step function, [`ReplacementCore::access`].
 //!
+//! The page table maps `PageId -> `[`Handle`], carrying the frame slot *and*
+//! the policy's own metadata slot, so a hit costs exactly one hash probe:
+//! the engine forwards the policy slot via
+//! [`ReplacementPolicy::on_hit_slot`] and the policy indexes its slab
+//! directly. Pin and unpin are slot-addressed
+//! ([`pin_slot`](ReplacementCore::pin_slot) /
+//! [`unpin_slot`](ReplacementCore::unpin_slot)) and probe nothing at all.
+//!
 //! ## Division of labour
 //!
 //! The core is deliberately **frameless and lock-free**: it tracks *which*
@@ -45,12 +53,26 @@
 //! * [`reset_stats`](ReplacementCore::reset_stats) clears *all* counters,
 //!   evictions included (the paper's warmup→measure transition).
 
-use crate::fxhash::FxHashMap;
-use crate::policy::{ReplacementPolicy, VictimError};
+use crate::fxhash::{map_with_capacity, FxHashMap};
+use crate::policy::{PolicySlot, ReplacementPolicy, VictimError};
 use crate::stats::CacheStats;
 use crate::types::{AccessKind, PageId, Tick};
 use lruk_conc::RaceCell;
 use std::fmt;
+
+/// What the engine's page table stores per resident page: the frame slot the
+/// driver cares about plus the [`PolicySlot`] the policy handed out at
+/// admission. One probe of the page table yields both, so a hit reaches the
+/// policy's metadata without a second hash lookup, and slot-addressed
+/// pin/unpin reach it with none.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Handle {
+    /// Frame slot (`< capacity`) holding the page's bytes.
+    pub frame: u32,
+    /// The policy's metadata slot for the page ([`PolicySlot::NONE`] for
+    /// policies without slab handles).
+    pub policy: PolicySlot,
+}
 
 /// Why the driver is being asked to write a page's bytes to disk.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -249,7 +271,7 @@ impl PolicyHandle<'_> {
 /// order so replacement decisions are bit-for-bit reproducible.
 pub struct ReplacementCore<'p> {
     policy: PolicyHandle<'p>,
-    page_table: FxHashMap<PageId, u32>,
+    page_table: FxHashMap<PageId, Handle>,
     /// Owner page of each slot (`None` = free). Wrapped in [`RaceCell`] so
     /// the model checker verifies every access is ordered by the driver's
     /// core latch; in normal builds the wrapper is free.
@@ -259,6 +281,10 @@ pub struct ReplacementCore<'p> {
     /// Nested pin count per slot; only zero-pin slots may be victimized
     /// (race-checked, see `slot_page`).
     slot_pins: Vec<RaceCell<u32>>,
+    /// The policy's metadata handle per slot, mirroring the page table so
+    /// slot-addressed operations skip it entirely (race-checked, see
+    /// `slot_page`).
+    slot_policy: Vec<RaceCell<PolicySlot>>,
     free: Vec<u32>,
     clock: Tick,
     stats: CacheStats,
@@ -279,14 +305,16 @@ impl<'p> ReplacementCore<'p> {
         Self::build(capacity, PolicyHandle::Borrowed(policy))
     }
 
-    fn build(capacity: usize, policy: PolicyHandle<'p>) -> Self {
+    fn build(capacity: usize, mut policy: PolicyHandle<'p>) -> Self {
         assert!(capacity >= 1, "replacement core needs at least one slot");
+        policy.get_mut().reserve(capacity);
         ReplacementCore {
             policy,
-            page_table: FxHashMap::default(),
+            page_table: map_with_capacity(capacity),
             slot_page: (0..capacity).map(|_| RaceCell::new(None)).collect(),
             slot_dirty: (0..capacity).map(|_| RaceCell::new(false)).collect(),
             slot_pins: (0..capacity).map(|_| RaceCell::new(0)).collect(),
+            slot_policy: (0..capacity).map(|_| RaceCell::new(PolicySlot::NONE)).collect(),
             free: (0..capacity as u32).rev().collect(),
             clock: Tick::ZERO,
             stats: CacheStats::default(),
@@ -314,6 +342,12 @@ impl<'p> ReplacementCore<'p> {
     /// The slot holding `page`, if resident.
     #[inline]
     pub fn slot_of(&self, page: PageId) -> Option<u32> {
+        self.page_table.get(&page).map(|h| h.frame)
+    }
+
+    /// The full [`Handle`] (frame + policy slot) for `page`, if resident.
+    #[inline]
+    pub fn handle_of(&self, page: PageId) -> Option<Handle> {
         self.page_table.get(&page).copied()
     }
 
@@ -366,13 +400,15 @@ impl<'p> ReplacementCore<'p> {
     ///
     /// Advances the clock, reports `kind`/`pid` to the policy, then:
     ///
-    /// * **hit** — records the hit, calls [`ReplacementPolicy::on_hit`],
-    ///   returns [`Outcome::Hit`];
+    /// * **hit** — one page-table probe yields the [`Handle`]; records the
+    ///   hit, calls [`ReplacementPolicy::on_hit_slot`] with the policy slot
+    ///   from the handle (no second hash lookup), returns [`Outcome::Hit`];
     /// * **miss** — records the miss, calls [`ReplacementPolicy::on_miss`],
     ///   takes a free slot or evicts the policy's victim (backend write-back
     ///   first when dirty, then `record_eviction`, then
-    ///   [`ReplacementPolicy::on_evict`]), fills the slot via the backend,
-    ///   and admits ([`ReplacementPolicy::on_admit`]).
+    ///   [`ReplacementPolicy::on_evict_slot`]), fills the slot via the
+    ///   backend, and admits ([`ReplacementPolicy::on_admit_slot`], whose
+    ///   returned [`PolicySlot`] is cached in the new handle).
     ///
     /// Does **not** pin: pinning drivers call
     /// [`pin_slot`](Self::pin_slot) on the returned slot.
@@ -396,10 +432,11 @@ impl<'p> ReplacementCore<'p> {
             policy.note_kind(kind);
             policy.note_process(pid);
         }
-        if let Some(&slot) = self.page_table.get(&page) {
+        if let Some(&h) = self.page_table.get(&page) {
+            // The single probe: frame and policy slot come out together.
             self.stats.record_hit();
-            self.policy.get_mut().on_hit(page, now);
-            return Ok(Outcome::Hit { slot });
+            self.policy.get_mut().on_hit_slot(h.policy, page, now);
+            return Ok(Outcome::Hit { slot: h.frame });
         }
         self.stats.record_miss();
         self.policy.get_mut().on_miss(page, now);
@@ -416,10 +453,11 @@ impl<'p> ReplacementCore<'p> {
             self.free.push(slot);
             return Err(EngineError::Backend(e));
         }
-        self.page_table.insert(page, slot);
+        let pslot = self.policy.get_mut().on_admit_slot(page, now);
+        self.page_table.insert(page, Handle { frame: slot, policy: pslot });
         self.slot_page[slot as usize].set(Some(page));
         self.slot_dirty[slot as usize].set(false);
-        self.policy.get_mut().on_admit(page, now);
+        self.slot_policy[slot as usize].set(pslot);
         debug_assert_eq!(
             self.page_table.len(),
             self.policy.get().resident_len(),
@@ -440,10 +478,11 @@ impl<'p> ReplacementCore<'p> {
             .get_mut()
             .select_victim(now)
             .map_err(CoreError::NoVictim)?;
-        let &slot = self
+        let &h = self
             .page_table
             .get(&victim)
             .ok_or(CoreError::Invariant("policy victim must be resident"))?;
+        let slot = h.frame;
         debug_assert_eq!(
             self.slot_pins[slot as usize].get(),
             0,
@@ -460,8 +499,9 @@ impl<'p> ReplacementCore<'p> {
         self.page_table.remove(&victim);
         self.slot_page[slot as usize].set(None);
         self.slot_dirty[slot as usize].set(false);
+        self.slot_policy[slot as usize].set(PolicySlot::NONE);
         self.free.push(slot);
-        self.policy.get_mut().on_evict(victim, now);
+        self.policy.get_mut().on_evict_slot(h.policy, victim, now);
         Ok(Evicted {
             page: victim,
             dirty,
@@ -476,24 +516,26 @@ impl<'p> ReplacementCore<'p> {
     }
 
     /// Pin the page held by `slot` (must be occupied). Pins nest; pinned
-    /// slots are never victimized.
+    /// slots are never victimized. Slot-addressed: no page-table probe.
     pub fn pin_slot(&mut self, slot: u32) -> Result<(), CoreError> {
         let page = self
             .page_of(slot)
             .ok_or(CoreError::Invariant("pin of an unoccupied slot"))?;
         let pins = self.slot_pins[slot as usize].get();
         self.slot_pins[slot as usize].set(pins + 1);
-        self.policy.get_mut().pin(page);
+        let pslot = self.slot_policy[slot as usize].get();
+        self.policy.get_mut().pin_slot(pslot, page);
         Ok(())
     }
 
-    /// Release one pin of `page`; `dirty` marks its slot as modified.
-    /// Returns the slot.
-    pub fn unpin(&mut self, page: PageId, dirty: bool) -> Result<u32, CoreError> {
-        let &slot = self
-            .page_table
-            .get(&page)
-            .ok_or(CoreError::NotResident(page))?;
+    /// Release one pin of the page held by `slot`; `dirty` marks the slot as
+    /// modified. Slot-addressed dual of [`pin_slot`](Self::pin_slot) — the
+    /// hot unpin path for drivers that kept the slot from
+    /// [`access`](Self::access), with no page-table probe. Returns the page.
+    pub fn unpin_slot(&mut self, slot: u32, dirty: bool) -> Result<PageId, CoreError> {
+        let page = self
+            .page_of(slot)
+            .ok_or(CoreError::Invariant("unpin of an unoccupied slot"))?;
         let pins = self.slot_pins[slot as usize].get();
         if pins == 0 {
             return Err(CoreError::NotPinned(page));
@@ -501,7 +543,28 @@ impl<'p> ReplacementCore<'p> {
         self.slot_pins[slot as usize].set(pins - 1);
         let was_dirty = self.slot_dirty[slot as usize].get();
         self.slot_dirty[slot as usize].set(was_dirty | dirty);
-        self.policy.get_mut().unpin(page);
+        let pslot = self.slot_policy[slot as usize].get();
+        self.policy.get_mut().unpin_slot(pslot, page);
+        Ok(page)
+    }
+
+    /// Release one pin of `page`; `dirty` marks its slot as modified.
+    /// Returns the slot. By-page convenience for callers without a held
+    /// slot; slot-holding drivers use [`unpin_slot`](Self::unpin_slot).
+    pub fn unpin(&mut self, page: PageId, dirty: bool) -> Result<u32, CoreError> {
+        let &h = self
+            .page_table
+            .get(&page)
+            .ok_or(CoreError::NotResident(page))?;
+        let slot = h.frame;
+        let pins = self.slot_pins[slot as usize].get();
+        if pins == 0 {
+            return Err(CoreError::NotPinned(page));
+        }
+        self.slot_pins[slot as usize].set(pins - 1);
+        let was_dirty = self.slot_dirty[slot as usize].get();
+        self.slot_dirty[slot as usize].set(was_dirty | dirty);
+        self.policy.get_mut().unpin_slot(h.policy, page);
         Ok(slot)
     }
 
@@ -523,13 +586,15 @@ impl<'p> ReplacementCore<'p> {
     /// resident; the driver zeroes/reuses the bytes.
     pub fn forget(&mut self, page: PageId) -> Result<Option<u32>, CoreError> {
         let freed = match self.page_table.get(&page).copied() {
-            Some(slot) => {
+            Some(h) => {
+                let slot = h.frame;
                 if self.slot_pins[slot as usize].get() > 0 {
                     return Err(CoreError::Pinned(page));
                 }
                 self.page_table.remove(&page);
                 self.slot_page[slot as usize].set(None);
                 self.slot_dirty[slot as usize].set(false);
+                self.slot_policy[slot as usize].set(PolicySlot::NONE);
                 self.free.push(slot);
                 Some(slot)
             }
@@ -546,9 +611,8 @@ impl<'p> ReplacementCore<'p> {
         page: PageId,
         backend: &mut B,
     ) -> Result<(), EngineError<B::Error>> {
-        let &slot = self
-            .page_table
-            .get(&page)
+        let slot = self
+            .slot_of(page)
             .ok_or(CoreError::NotResident(page))?;
         self.flush_slot(page, slot, backend)
     }
@@ -887,6 +951,127 @@ mod tests {
         let mut b = LogBackend::default();
         access(&mut core, &mut b, 1).unwrap();
         assert_eq!(core.clock(), Tick(100));
+    }
+
+    /// Policy that hands out real slot handles and logs which API family the
+    /// engine invoked, so the tests can pin the single-probe dispatch.
+    #[derive(Default)]
+    struct SlotProbe {
+        resident: Vec<(PageId, u32)>,
+        pins: PinSet,
+        next: u32,
+        log: Vec<(&'static str, u32)>,
+    }
+
+    impl ReplacementPolicy for SlotProbe {
+        fn name(&self) -> String {
+            "slot-probe".into()
+        }
+        fn on_hit(&mut self, _p: PageId, _t: Tick) {
+            self.log.push(("page-hit", u32::MAX));
+        }
+        fn on_admit(&mut self, _p: PageId, _t: Tick) {
+            self.log.push(("page-admit", u32::MAX));
+        }
+        fn on_evict(&mut self, _p: PageId, _t: Tick) {
+            self.log.push(("page-evict", u32::MAX));
+        }
+        fn on_hit_slot(&mut self, slot: PolicySlot, _p: PageId, _t: Tick) {
+            self.log.push(("hit", slot.0));
+        }
+        fn on_admit_slot(&mut self, p: PageId, _t: Tick) -> PolicySlot {
+            let s = self.next;
+            self.next += 1;
+            self.resident.push((p, s));
+            self.log.push(("admit", s));
+            PolicySlot(s)
+        }
+        fn on_evict_slot(&mut self, slot: PolicySlot, p: PageId, _t: Tick) {
+            self.log.push(("evict", slot.0));
+            self.resident.retain(|&(q, _)| q != p);
+        }
+        fn select_victim(&mut self, _t: Tick) -> Result<PageId, VictimError> {
+            if self.resident.is_empty() {
+                return Err(VictimError::Empty);
+            }
+            self.resident
+                .iter()
+                .map(|&(p, _)| p)
+                .find(|&p| !self.pins.is_pinned(p))
+                .ok_or(VictimError::AllPinned)
+        }
+        fn pin(&mut self, p: PageId) {
+            self.log.push(("page-pin", u32::MAX));
+            self.pins.pin(p);
+        }
+        fn unpin(&mut self, p: PageId) {
+            self.log.push(("page-unpin", u32::MAX));
+            self.pins.unpin(p);
+        }
+        fn pin_slot(&mut self, slot: PolicySlot, p: PageId) {
+            self.log.push(("pin", slot.0));
+            self.pins.pin(p);
+        }
+        fn unpin_slot(&mut self, slot: PolicySlot, p: PageId) {
+            self.log.push(("unpin", slot.0));
+            self.pins.unpin(p);
+        }
+        fn forget(&mut self, p: PageId) {
+            self.resident.retain(|&(q, _)| q != p);
+        }
+        fn resident_len(&self) -> usize {
+            self.resident.len()
+        }
+    }
+
+    #[test]
+    fn slot_handles_flow_through_every_lifecycle_call() {
+        let mut probe = SlotProbe::default();
+        {
+            let mut core = ReplacementCore::with_policy(1, &mut probe);
+            let mut b = LogBackend::default();
+            access(&mut core, &mut b, 1).unwrap(); // admit -> policy slot 0
+            assert_eq!(
+                core.handle_of(PageId(1)),
+                Some(Handle { frame: 0, policy: PolicySlot(0) })
+            );
+            access(&mut core, &mut b, 1).unwrap(); // hit by handle
+            core.pin_slot(0).unwrap();
+            assert_eq!(core.unpin_slot(0, true), Ok(PageId(1)));
+            assert!(core.is_dirty(0), "unpin_slot records dirtiness");
+            access(&mut core, &mut b, 2).unwrap(); // evicts 1, admits slot 1
+            core.pin_slot(0).unwrap();
+            core.unpin(PageId(2), false).unwrap(); // by-page unpin slot-dispatches
+        }
+        assert_eq!(
+            probe.log,
+            vec![
+                ("admit", 0),
+                ("hit", 0),
+                ("pin", 0),
+                ("unpin", 0),
+                ("evict", 0),
+                ("admit", 1),
+                ("pin", 1),
+                ("unpin", 1),
+            ],
+            "no page-based fallback call may appear"
+        );
+    }
+
+    #[test]
+    fn unpin_slot_rejects_unpinned_and_unoccupied_slots() {
+        let mut core = ReplacementCore::new(2, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        assert_eq!(
+            core.unpin_slot(0, false),
+            Err(CoreError::NotPinned(PageId(1)))
+        );
+        assert_eq!(
+            core.unpin_slot(1, false),
+            Err(CoreError::Invariant("unpin of an unoccupied slot"))
+        );
     }
 
     #[test]

@@ -88,6 +88,13 @@ pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 /// A `HashSet` using [`FxHasher`].
 pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
 
+/// An [`FxHashMap`] pre-sized for `capacity` entries, so hot-path tables
+/// sized from configuration never rehash mid-run.
+#[inline]
+pub fn map_with_capacity<K, V>(capacity: usize) -> FxHashMap<K, V> {
+    HashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +111,17 @@ mod tests {
         }
         assert_eq!(m.remove(&7), Some(14));
         assert_eq!(m.get(&7), None);
+    }
+
+    #[test]
+    fn presized_map_does_not_reallocate_within_capacity() {
+        let mut m: FxHashMap<u64, u64> = map_with_capacity(256);
+        let before = m.capacity();
+        assert!(before >= 256);
+        for i in 0..256u64 {
+            m.insert(i, i);
+        }
+        assert_eq!(m.capacity(), before, "inserts within capacity must not rehash");
     }
 
     #[test]

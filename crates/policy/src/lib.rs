@@ -30,10 +30,10 @@ pub mod stats;
 pub mod types;
 
 pub use engine::{
-    CoreBackend, CoreError, EngineError, Evicted, NoopBackend, Outcome, ReplacementCore,
+    CoreBackend, CoreError, EngineError, Evicted, Handle, NoopBackend, Outcome, ReplacementCore,
     WriteBackCause,
 };
 pub use pin::PinSet;
-pub use policy::{PolicyEvent, ReplacementPolicy, VictimError};
+pub use policy::{PolicyEvent, PolicySlot, ReplacementPolicy, VictimError};
 pub use stats::CacheStats;
 pub use types::{AccessKind, PageId, Tick};

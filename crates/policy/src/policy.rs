@@ -30,6 +30,32 @@ impl fmt::Display for VictimError {
 
 impl std::error::Error for VictimError {}
 
+/// A policy-internal metadata slot handle for a resident page.
+///
+/// Policies that keep per-page metadata in a slab (LRU-K's `HistoryTable`)
+/// hand the driver a stable `u32` index into that slab from
+/// [`ReplacementPolicy::on_admit_slot`]. The engine stores it next to the
+/// frame slot in its page table, so subsequent hits, pins and unpins reach
+/// the policy's metadata by direct index — no second hash probe. A handle is
+/// valid from the `on_admit_slot` that produced it until the matching
+/// `on_evict_slot`/`forget`; the driver must never use it past that point.
+///
+/// Policies without slab-addressable metadata return [`PolicySlot::NONE`]
+/// and keep receiving the page-based calls via the trait's default methods.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PolicySlot(pub u32);
+
+impl PolicySlot {
+    /// Sentinel for "this policy exposes no slot handles".
+    pub const NONE: PolicySlot = PolicySlot(u32::MAX);
+
+    /// True when this is the [`NONE`](Self::NONE) sentinel.
+    #[inline]
+    pub fn is_none(self) -> bool {
+        self == Self::NONE
+    }
+}
+
 /// Lifecycle events a driver may replay into a policy (used by trace tools).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PolicyEvent {
@@ -65,9 +91,26 @@ pub enum PolicyEvent {
 /// [`pin`](ReplacementPolicy::pin)/[`unpin`](ReplacementPolicy::unpin) bracket
 /// client use of a page; `select_victim` must never return a pinned page.
 /// Pins nest.
+///
+/// ### Slot handles (single-probe fast path)
+///
+/// A driver that caches the [`PolicySlot`] returned by
+/// [`on_admit_slot`](ReplacementPolicy::on_admit_slot) may route hits, pins
+/// and unpins through the `*_slot` variants instead of the page-based
+/// methods. The two families are interchangeable observationally: every
+/// `*_slot` default delegates to its page-based sibling, and a policy that
+/// overrides the slot family must produce identical state transitions for
+/// both. The driver picks one family per call, never both.
 pub trait ReplacementPolicy: Send {
     /// Human-readable policy name, e.g. `"LRU-2"`.
     fn name(&self) -> String;
+
+    /// Advisory channel: the driver will track at most `capacity` resident
+    /// pages. Policies pre-size their hot-path containers here; the default
+    /// ignores it.
+    fn reserve(&mut self, capacity: usize) {
+        let _ = capacity;
+    }
 
     /// Advisory channel: the kind of access about to be performed. Most
     /// policies are *self-reliant* (the paper's term) and ignore this;
@@ -106,6 +149,29 @@ pub trait ReplacementPolicy: Send {
     /// explicit deletion).
     fn on_evict(&mut self, page: PageId, now: Tick);
 
+    /// Slot-handle variant of [`on_hit`](Self::on_hit): `slot` is the handle
+    /// this policy returned from [`on_admit_slot`](Self::on_admit_slot) for
+    /// `page`. Default: ignore the handle and delegate.
+    fn on_hit_slot(&mut self, slot: PolicySlot, page: PageId, now: Tick) {
+        let _ = slot;
+        self.on_hit(page, now);
+    }
+
+    /// Slot-handle variant of [`on_admit`](Self::on_admit): admit `page` and
+    /// return the handle the driver should present on subsequent `*_slot`
+    /// calls for it. Default: delegate and return [`PolicySlot::NONE`].
+    fn on_admit_slot(&mut self, page: PageId, now: Tick) -> PolicySlot {
+        self.on_admit(page, now);
+        PolicySlot::NONE
+    }
+
+    /// Slot-handle variant of [`on_evict`](Self::on_evict). After this call
+    /// the handle is dead. Default: ignore the handle and delegate.
+    fn on_evict_slot(&mut self, slot: PolicySlot, page: PageId, now: Tick) {
+        let _ = slot;
+        self.on_evict(page, now);
+    }
+
     /// Choose a replacement victim among resident, unpinned pages.
     ///
     /// The policy must *not* remove the page from its own resident set — the
@@ -119,6 +185,18 @@ pub trait ReplacementPolicy: Send {
 
     /// Release one pin of `page`.
     fn unpin(&mut self, page: PageId);
+
+    /// Slot-handle variant of [`pin`](Self::pin). Default: delegate.
+    fn pin_slot(&mut self, slot: PolicySlot, page: PageId) {
+        let _ = slot;
+        self.pin(page);
+    }
+
+    /// Slot-handle variant of [`unpin`](Self::unpin). Default: delegate.
+    fn unpin_slot(&mut self, slot: PolicySlot, page: PageId) {
+        let _ = slot;
+        self.unpin(page);
+    }
 
     /// Discard *all* metadata about `page`, including any retained history
     /// (used when a page is deleted from the database).
@@ -215,6 +293,24 @@ mod tests {
         p.unpin(PageId(1));
         assert_eq!(p.select_victim(Tick(4)), Ok(PageId(1)));
         assert_eq!(format!("{:?}", &*p), "ReplacementPolicy(tiny-fifo)");
+    }
+
+    #[test]
+    fn slot_defaults_delegate_to_page_api() {
+        let mut p: Box<dyn ReplacementPolicy> = Box::new(TinyFifo {
+            order: vec![],
+            pins: PinSet::new(),
+        });
+        p.reserve(8); // advisory; the default ignores it
+        let h = p.on_admit_slot(PageId(5), Tick(1));
+        assert!(h.is_none(), "slot-less policies hand out the NONE sentinel");
+        assert_eq!(p.resident_len(), 1);
+        p.pin_slot(h, PageId(5));
+        assert_eq!(p.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        p.unpin_slot(h, PageId(5));
+        p.on_hit_slot(h, PageId(5), Tick(3));
+        p.on_evict_slot(h, PageId(5), Tick(4));
+        assert_eq!(p.resident_len(), 0);
     }
 
     #[test]

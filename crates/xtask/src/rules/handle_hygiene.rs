@@ -1,0 +1,103 @@
+//! `handle-hygiene`: drivers carry slot handles instead of re-probing.
+//!
+//! The single-probe contract (DESIGN.md §4.5) is that a reference costs
+//! exactly one page-table probe: `ReplacementCore::access` returns an
+//! `Outcome` carrying the frame slot, and everything downstream of the
+//! access — pinning, unpinning, dirty marking — addresses that slot.
+//! Before slot handles existed, frontends re-looked pages up by `PageId`
+//! on the way out (`core.unpin(page, ..)`), paying a second hash probe per
+//! reference that the handle already answers. This rule keeps those
+//! probes from growing back: in driver code (the buffer and sim crates),
+//! calling the engine's page-addressed lookups — `.slot_of()`,
+//! `.handle_of()`, `.unpin()`, `.flush_page()`, `.forget()` — is flagged.
+//!
+//! Some by-page probes are legitimately required: the pool's *public* API
+//! is page-addressed (callers name pages, not frames), so the entry-point
+//! probe of a page-addressed compatibility method, an explicit flush, or a
+//! delete path has no handle to carry. Those sites annotate with a
+//! reasoned `xtask-allow: handle-hygiene -- ...`, which doubles as an
+//! inventory of every remaining multi-probe path. Tests, benches and
+//! examples are exempt via the source model.
+
+use crate::report::Diagnostic;
+use crate::rules::{next_nonspace, prev_nonspace, token_positions};
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "handle-hygiene";
+
+/// Engine lookups that hash a `PageId` the caller's handle already
+/// resolves. (`contains` is deliberately absent: the name collides with
+/// `str`/slice/range `contains` everywhere and a residency *query* is not
+/// part of the reference lifecycle.)
+const PAGE_PROBES: &[&str] = &["slot_of", "handle_of", "unpin", "flush_page", "forget"];
+
+/// Run the rule over one file.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.exempt {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = idx + 1;
+        for method in PAGE_PROBES {
+            for pos in token_positions(code, method) {
+                if prev_nonspace(code, pos) == Some('.')
+                    && next_nonspace(code, pos + method.len()) == Some('(')
+                {
+                    out.push(Diagnostic {
+                        file: file.path.clone(),
+                        line: lineno,
+                        rule: NAME,
+                        message: format!(
+                            "driver re-probes the page table with page-addressed \
+                             `{method}`; the access path already returned a slot handle \
+                             — carry it and use the slot-addressed API instead"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/buffer/src/x.rs", src);
+        let mut out = Vec::new();
+        check(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_page_addressed_probes() {
+        let d = run(
+            "fn f(core: &mut ReplacementCore) {\n    core.unpin(page, false).ok();\n    let s = core.slot_of(page);\n    let h = core.handle_of(page);\n    core.forget(page).ok();\n}\n",
+        );
+        assert_eq!(d.len(), 4);
+        assert!(d[0].message.contains("unpin"));
+        assert!(d[1].message.contains("slot_of"));
+        assert_eq!(d[3].line, 5);
+    }
+
+    #[test]
+    fn slot_addressed_calls_and_lookalikes_pass() {
+        // The slot-addressed API, method *definitions*, and bare
+        // identifiers are not page-table probes.
+        let d = run(
+            "fn f(core: &mut ReplacementCore, fid: u32) {\n    core.pin_slot(fid).ok();\n    core.unpin_slot(fid, true).ok();\n}\nfn unpin(&mut self, page: PageId) {}\nfn g() { let forget = 1; h(forget); }\n",
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let d = run(
+            "#[cfg(test)]\nmod tests {\n    fn t(core: &mut ReplacementCore) { core.unpin(page, false).ok(); }\n}\n",
+        );
+        assert!(d.is_empty());
+    }
+}

@@ -9,6 +9,7 @@
 pub mod atomic_ordering;
 pub mod core_driving;
 pub mod determinism;
+pub mod handle_hygiene;
 pub mod lint_header;
 pub mod lock_order;
 pub mod no_panic;

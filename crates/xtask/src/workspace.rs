@@ -12,7 +12,9 @@
 //! only shrink when the code it excused gets fixed.
 
 use crate::report::{Diagnostic, Summary};
-use crate::rules::{atomic_ordering, core_driving, determinism, lint_header, lock_order, no_panic};
+use crate::rules::{
+    atomic_ordering, core_driving, determinism, handle_hygiene, lint_header, lock_order, no_panic,
+};
 use crate::source::{SourceFile, SuppressionTarget};
 use std::collections::BTreeSet;
 use std::fs;
@@ -43,6 +45,11 @@ const LOCK_ORDER_SCOPE: &[&str] = &["crates/buffer/src/", "crates/policy/src/eng
 /// policy's `on_*`/`select_victim` hooks directly.
 const CORE_DRIVING_SCOPE: &[&str] = &["crates/buffer/src/", "crates/sim/src/"];
 
+/// Driver code held to the single-probe contract: downstream of an access,
+/// pages are addressed by the slot handle the probe returned, never by a
+/// second `PageId` hash lookup (see [`crate::rules::handle_hygiene`]).
+const HANDLE_HYGIENE_SCOPE: &[&str] = &["crates/buffer/src/", "crates/sim/src/"];
+
 /// Concurrent tiers where `Ordering::Relaxed` is restricted to the stats
 /// counters (see [`crate::rules::atomic_ordering`]).
 const ATOMIC_ORDERING_SCOPE: &[&str] = &[
@@ -64,6 +71,7 @@ pub const ALL_RULES: &[&str] = &[
     atomic_ordering::NAME,
     core_driving::NAME,
     determinism::NAME,
+    handle_hygiene::NAME,
     lint_header::NAME,
     lock_order::NAME,
     no_panic::NAME,
@@ -130,6 +138,9 @@ pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
         }
         if in_scope(&file.path, CORE_DRIVING_SCOPE) {
             core_driving::check(file, &mut raw);
+        }
+        if in_scope(&file.path, HANDLE_HYGIENE_SCOPE) {
+            handle_hygiene::check(file, &mut raw);
         }
         if in_scope(&file.path, ATOMIC_ORDERING_SCOPE) {
             atomic_ordering::check(file, &mut raw);
@@ -234,6 +245,8 @@ mod tests {
         assert!(!in_scope("crates/policy/src/fxhash.rs", LOCK_ORDER_SCOPE));
         assert!(in_scope("crates/sim/src/simulator.rs", CORE_DRIVING_SCOPE));
         assert!(!in_scope("crates/policy/src/engine.rs", CORE_DRIVING_SCOPE));
+        assert!(in_scope("crates/buffer/src/pool.rs", HANDLE_HYGIENE_SCOPE));
+        assert!(!in_scope("crates/policy/src/engine.rs", HANDLE_HYGIENE_SCOPE));
         assert!(in_scope("crates/conc/src/models.rs", ATOMIC_ORDERING_SCOPE));
         assert!(!in_scope("crates/xtask/src/main.rs", ATOMIC_ORDERING_SCOPE));
     }

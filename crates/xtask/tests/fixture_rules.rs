@@ -9,7 +9,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use xtask::rules::{atomic_ordering, core_driving, determinism, lint_header, lock_order, no_panic};
+use xtask::rules::{
+    atomic_ordering, core_driving, determinism, handle_hygiene, lint_header, lock_order, no_panic,
+};
 use xtask::source::SourceFile;
 use xtask::{analyze_root, Diagnostic};
 
@@ -119,6 +121,25 @@ fn core_driving_fixture_exact_counts() {
         assert!(
             d.message.contains(method) && d.message.contains("ReplacementCore::access"),
             "message names the method and the engine: {}",
+            d.message
+        );
+    }
+}
+
+#[test]
+fn handle_hygiene_fixture_exact_counts() {
+    let (kept, suppressed) =
+        run_fixture("handle_hygiene.rs", "crates/buffer/src/fixture.rs", handle_hygiene::check);
+    let lines: Vec<usize> = kept.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![4, 5, 6, 7, 8], "diagnostics: {kept:#?}");
+    assert_eq!(suppressed, 1, "the annotated public-API entry probe must be suppressed");
+    for (d, method) in kept
+        .iter()
+        .zip(["unpin", "slot_of", "handle_of", "forget", "flush_page"])
+    {
+        assert!(
+            d.message.contains(method) && d.message.contains("slot handle"),
+            "message names the probe and the fix: {}",
             d.message
         );
     }

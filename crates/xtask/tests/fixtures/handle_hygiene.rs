@@ -1,0 +1,28 @@
+//! Fixture: driver code re-probing the page table by `PageId`.
+
+fn leaky(core: &mut ReplacementCore, page: PageId) {
+    core.unpin(page, false).ok();
+    let s = core.slot_of(page);
+    let h = core.handle_of(page);
+    core.forget(page).ok();
+    core.flush_page(page, io).ok();
+}
+
+fn single_probe(core: &mut ReplacementCore, fid: u32) {
+    core.pin_slot(fid).ok();
+    core.unpin_slot(fid, true).ok();
+    let page = core.page_of(fid);
+    record(page);
+}
+
+fn annotated(core: &mut ReplacementCore, page: PageId) {
+    // xtask-allow: handle-hygiene -- page-addressed public API entry point: the caller names a page, not a frame
+    core.unpin(page, false).ok();
+}
+
+#[cfg(test)]
+mod tests {
+    fn probe(core: &mut ReplacementCore, page: PageId) {
+        core.unpin(page, false).ok(); // exempt: test region
+    }
+}

@@ -21,4 +21,10 @@ cargo test -q --test driver_parity
 # fixed seed set — a few seconds, results/INTERLEAVE.json).
 scripts/analyze.sh --interleave
 
+# Hot-path bench gate in smoke mode: scaled-down fixed-seed traces, one
+# timed rep plus a determinism rep, asserting the multi-probe and
+# single-probe paths still make bit-identical eviction decisions. Prints
+# the table; never rewrites the committed results/BENCH_hotpath.json.
+scripts/bench.sh --smoke
+
 echo "tier1 OK"

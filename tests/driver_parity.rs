@@ -20,7 +20,7 @@ use lruk::buffer::{
 };
 use lruk::core::{LruK, LruKConfig};
 use lruk::policy::{
-    AccessKind, CacheStats, PageId, PolicyEvent, ReplacementPolicy, Tick, VictimError,
+    AccessKind, CacheStats, PageId, PolicyEvent, PolicySlot, ReplacementPolicy, Tick, VictimError,
 };
 use lruk::sim::simulate;
 use lruk::workloads::{PageRef, Workload, Zipfian};
@@ -105,6 +105,148 @@ impl ReplacementPolicy for Recorder {
 
 fn trace() -> Vec<PageRef> {
     Zipfian::new(PAGES, 0.8, 0.2, SEED).generate(REFS).refs().to_vec()
+}
+
+/// Slot-traffic audit shared with the driving test: counts how many
+/// lifecycle calls arrived through the handle-based API versus the legacy
+/// page-addressed methods, and records every stale-handle violation.
+#[derive(Default)]
+struct SlotAudit {
+    reserves: usize,
+    slot_hits: usize,
+    slot_admits: usize,
+    slot_evicts: usize,
+    slot_pins: usize,
+    slot_unpins: usize,
+    page_hits: usize,
+    page_admits: usize,
+    page_evicts: usize,
+    page_pins: usize,
+    page_unpins: usize,
+    violations: Vec<String>,
+}
+
+type Audit = Arc<Mutex<SlotAudit>>;
+
+/// Like [`Recorder`], but wrapping a *concrete* `LruK` so every slot handle
+/// the engine passes down can be cross-checked against the policy's own
+/// page-to-slot mapping, and overriding the slot-addressed trait methods so
+/// handle-addressed and page-addressed traffic are tallied separately.
+struct SlotRecorder {
+    inner: LruK,
+    log: Log,
+    audit: Audit,
+}
+
+impl SlotRecorder {
+    fn lru2(log: Log, audit: Audit) -> Self {
+        SlotRecorder {
+            inner: LruK::new(LruKConfig::new(2)),
+            log,
+            audit,
+        }
+    }
+
+    fn push(&self, ev: PolicyEvent) {
+        self.log.lock().unwrap().push(ev);
+    }
+
+    /// A handle is valid exactly when the wrapped policy maps `page` to it.
+    fn check(&self, method: &str, slot: PolicySlot, page: PageId) {
+        if self.inner.slot_of(page) != Some(slot.0) {
+            self.audit.lock().unwrap().violations.push(format!(
+                "{method}: handle {} does not name {page:?} (policy maps it to {:?})",
+                slot.0,
+                self.inner.slot_of(page)
+            ));
+        }
+    }
+}
+
+impl ReplacementPolicy for SlotRecorder {
+    fn name(&self) -> String {
+        format!("slot-recorded({})", self.inner.name())
+    }
+    fn reserve(&mut self, capacity: usize) {
+        self.audit.lock().unwrap().reserves += 1;
+        self.inner.reserve(capacity);
+    }
+    fn note_kind(&mut self, kind: AccessKind) {
+        self.inner.note_kind(kind);
+    }
+    fn note_process(&mut self, pid: u64) {
+        self.inner.note_process(pid);
+    }
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        self.audit.lock().unwrap().page_hits += 1;
+        self.push(PolicyEvent::Hit(page, now));
+        self.inner.on_hit(page, now);
+    }
+    fn on_miss(&mut self, page: PageId, now: Tick) {
+        // The only page-addressed lifecycle call the engine is *supposed*
+        // to make: on a miss the page has no slot yet.
+        self.push(PolicyEvent::Miss(page, now));
+        self.inner.on_miss(page, now);
+    }
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        self.audit.lock().unwrap().page_admits += 1;
+        self.push(PolicyEvent::Admit(page, now));
+        self.inner.on_admit(page, now);
+    }
+    fn on_evict(&mut self, page: PageId, now: Tick) {
+        self.audit.lock().unwrap().page_evicts += 1;
+        self.push(PolicyEvent::Evict(page, now));
+        self.inner.on_evict(page, now);
+    }
+    fn on_hit_slot(&mut self, slot: PolicySlot, page: PageId, now: Tick) {
+        self.check("on_hit_slot", slot, page);
+        self.audit.lock().unwrap().slot_hits += 1;
+        self.push(PolicyEvent::Hit(page, now));
+        self.inner.on_hit_slot(slot, page, now);
+    }
+    fn on_admit_slot(&mut self, page: PageId, now: Tick) -> PolicySlot {
+        self.audit.lock().unwrap().slot_admits += 1;
+        self.push(PolicyEvent::Admit(page, now));
+        let slot = self.inner.on_admit_slot(page, now);
+        self.check("on_admit_slot (returned handle)", slot, page);
+        slot
+    }
+    fn on_evict_slot(&mut self, slot: PolicySlot, page: PageId, now: Tick) {
+        self.check("on_evict_slot", slot, page);
+        self.audit.lock().unwrap().slot_evicts += 1;
+        self.push(PolicyEvent::Evict(page, now));
+        self.inner.on_evict_slot(slot, page, now);
+    }
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+        self.inner.select_victim(now)
+    }
+    fn pin(&mut self, page: PageId) {
+        self.audit.lock().unwrap().page_pins += 1;
+        self.inner.pin(page);
+    }
+    fn unpin(&mut self, page: PageId) {
+        self.audit.lock().unwrap().page_unpins += 1;
+        self.inner.unpin(page);
+    }
+    fn pin_slot(&mut self, slot: PolicySlot, page: PageId) {
+        self.check("pin_slot", slot, page);
+        self.audit.lock().unwrap().slot_pins += 1;
+        self.inner.pin_slot(slot, page);
+    }
+    fn unpin_slot(&mut self, slot: PolicySlot, page: PageId) {
+        self.check("unpin_slot", slot, page);
+        self.audit.lock().unwrap().slot_unpins += 1;
+        self.inner.unpin_slot(slot, page);
+    }
+    fn forget(&mut self, page: PageId) {
+        self.inner.forget(page);
+    }
+    fn resident_len(&self) -> usize {
+        self.inner.resident_len()
+    }
+    fn retained_len(&self) -> usize {
+        self.inner.retained_len()
+    }
 }
 
 /// Allocate the full page range on `disk` and pin down the id mapping the
@@ -202,6 +344,132 @@ fn five_frontends_identical_event_sequences_and_stats() {
     }
     assert_same_events("LatchedBufferPool", &expected_events, &drain(&log));
     assert_eq!(expected_stats, pool.stats(), "LatchedBufferPool stats");
+}
+
+fn take_audit(audit: &Audit) -> SlotAudit {
+    std::mem::take(&mut *audit.lock().unwrap())
+}
+
+/// Enforce the single-probe discipline one frontend's audit must satisfy:
+/// all lifecycle traffic except misses arrives handle-addressed, no handle
+/// was ever stale, and (for the pinning drivers) pins balance unpins.
+fn assert_handle_discipline(label: &str, a: &SlotAudit, pins_expected: bool) {
+    assert!(
+        a.violations.is_empty(),
+        "{label}: stale slot handles reached the policy: {:?}",
+        a.violations
+    );
+    assert_eq!(
+        (a.page_hits, a.page_admits, a.page_evicts, a.page_pins, a.page_unpins),
+        (0, 0, 0, 0, 0),
+        "{label}: the engine fell back to page-addressed lifecycle calls"
+    );
+    assert!(a.reserves >= 1, "{label}: the engine never pre-sized the policy");
+    assert!(a.slot_hits > 0, "{label}: no slot-addressed hits recorded");
+    assert!(a.slot_admits > 0, "{label}: no slot-addressed admissions");
+    assert!(a.slot_evicts > 0, "{label}: no slot-addressed evictions");
+    if pins_expected {
+        assert!(a.slot_pins > 0, "{label}: no slot-addressed pins");
+        assert_eq!(
+            a.slot_pins, a.slot_unpins,
+            "{label}: pins and unpins must balance on a closure-scoped driver"
+        );
+    } else {
+        assert_eq!(a.slot_pins, 0, "{label}: the frameless simulator never pins");
+    }
+}
+
+/// The tentpole invariant, observed from inside the policy: every frontend
+/// drives the *handle-based* API — hits, admissions, evictions, pins and
+/// unpins all arrive slot-addressed, the page-addressed lifecycle methods
+/// are never called, every handle names exactly the page the policy holds
+/// in that slot — and the five event streams and stats still agree exactly.
+#[test]
+fn five_frontends_drive_the_handle_api_with_identical_streams() {
+    let refs = trace();
+
+    // Frontend 1 — the simulator sets the expectation.
+    let log = Log::default();
+    let audit = Audit::default();
+    let mut rec = SlotRecorder::lru2(Arc::clone(&log), Arc::clone(&audit));
+    let sim_result = simulate(&mut rec, &refs, CAPACITY, 0);
+    let expected_events = drain(&log);
+    let expected_stats = sim_result.stats;
+    assert_handle_discipline("simulator", &take_audit(&audit), false);
+
+    // Frontend 2 — sequential BufferPoolManager through the guard API, so
+    // the guard-drop unpin path (`unpin_frame`) is the one audited.
+    let mut disk = InMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let audit = Audit::default();
+    let mut pool = BufferPoolManager::new(
+        CAPACITY,
+        disk,
+        Box::new(SlotRecorder::lru2(Arc::clone(&log), Arc::clone(&audit))),
+    );
+    for r in &refs {
+        let _ = pool.fetch_page(ids[r.page.raw() as usize]).unwrap();
+    }
+    assert_same_events("BufferPoolManager", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "BufferPoolManager stats");
+    assert_handle_discipline("BufferPoolManager", &take_audit(&audit), true);
+
+    // Frontend 3 — ConcurrentBufferPool.
+    let mut disk = InMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let audit = Audit::default();
+    let pool = ConcurrentBufferPool::new(BufferPoolManager::new(
+        CAPACITY,
+        disk,
+        Box::new(SlotRecorder::lru2(Arc::clone(&log), Arc::clone(&audit))),
+    ));
+    for r in &refs {
+        pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+    }
+    assert_same_events("ConcurrentBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "ConcurrentBufferPool stats");
+    assert_handle_discipline("ConcurrentBufferPool", &take_audit(&audit), true);
+
+    // Frontend 4 — ShardedBufferPool, one shard for total event order.
+    let log = Log::default();
+    let audit = Audit::default();
+    let factory_log = Arc::clone(&log);
+    let factory_audit = Arc::clone(&audit);
+    let pool = ShardedBufferPool::new(1, CAPACITY, InMemoryDisk::unbounded(), move || {
+        Box::new(SlotRecorder::lru2(
+            Arc::clone(&factory_log),
+            Arc::clone(&factory_audit),
+        ))
+    });
+    let ids = allocate_identity_ids(|| pool.allocate_page().unwrap());
+    for r in &refs {
+        pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+    }
+    assert_same_events("ShardedBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "ShardedBufferPool stats");
+    assert_handle_discipline("ShardedBufferPool", &take_audit(&audit), true);
+
+    // Frontend 5 — LatchedBufferPool, one shard.
+    let disk = ConcurrentInMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let audit = Audit::default();
+    let factory_log = Arc::clone(&log);
+    let factory_audit = Arc::clone(&audit);
+    let pool = LatchedBufferPool::new(1, CAPACITY, disk, move || {
+        Box::new(SlotRecorder::lru2(
+            Arc::clone(&factory_log),
+            Arc::clone(&factory_audit),
+        ))
+    });
+    for r in &refs {
+        pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+    }
+    assert_same_events("LatchedBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, pool.stats(), "LatchedBufferPool stats");
+    assert_handle_discipline("LatchedBufferPool", &take_audit(&audit), true);
 }
 
 /// The write path must not perturb parity either: marking every fifth

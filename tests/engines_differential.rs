@@ -1,10 +1,12 @@
-//! Differential testing: the literal Figure 2.1 engine (`ClassicLruK`) and
-//! the indexed production engine (`LruK`) must take identical decisions on
-//! arbitrary traces, for arbitrary K / CRP / RIP; and LRU-K with K = 1 and
-//! CRP = 0 must coincide with the classical LRU baseline.
+//! Differential testing: the literal Figure 2.1 engine (`ClassicLruK`), the
+//! retained `BTreeSet`-indexed engine (`BTreeLruK`) and the flat-indexed
+//! production engine (`LruK`) must take identical decisions on arbitrary
+//! traces, for arbitrary K / CRP / RIP — including under pin/unpin/forget
+//! interleavings and re-references straddling the CRP boundary; and LRU-K
+//! with K = 1 and CRP = 0 must coincide with the classical LRU baseline.
 
 use lruk::baselines::Lru;
-use lruk::core::{ClassicLruK, LruK, LruKConfig};
+use lruk::core::{BTreeLruK, ClassicLruK, LruK, LruKConfig};
 use lruk::policy::{PageId, ReplacementPolicy, Tick, VictimError};
 use proptest::prelude::*;
 
@@ -63,6 +65,100 @@ fn lockstep_with_pids(
         assert_eq!(a.resident_len(), b.resident_len());
     }
     evictions
+}
+
+/// Drive N engines in lockstep through an *operation* trace — accesses with
+/// per-step tick strides (so re-references land before, on, and after the
+/// CRP boundary), pins taken on resident pages, LIFO unpins, and forgets of
+/// unpinned pages — asserting identical victim verdicts (including
+/// `AllPinned` / `NoneEligible` errors) and identical resident/retained
+/// counts after every step. Returns `(evictions, forgets)` applied.
+///
+/// Op encoding `(kind, page, pid, stride)`: kind 0–4 = access, 5 = access
+/// then pin, 6 = unpin the most recent pin, 7 = forget `page` if unpinned.
+fn lockstep_ops(
+    engines: &mut [&mut dyn ReplacementPolicy],
+    ops: &[(u8, u64, u64, u64)],
+    capacity: usize,
+) -> (usize, usize) {
+    let mut resident: std::collections::BTreeSet<PageId> = Default::default();
+    let mut pinned: Vec<PageId> = Vec::new();
+    let mut now = 0u64;
+    let mut evictions = 0;
+    let mut forgets = 0;
+    for &(kind, page, pid, stride) in ops {
+        now += stride;
+        let t = Tick(now);
+        let p = PageId(page);
+        match kind {
+            6 => {
+                if let Some(q) = pinned.pop() {
+                    for e in engines.iter_mut() {
+                        e.unpin(q);
+                    }
+                }
+            }
+            7 => {
+                // Only unpinned pages may be forgotten (the drivers enforce
+                // the same contract before calling `forget`).
+                if !pinned.contains(&p) {
+                    for e in engines.iter_mut() {
+                        e.forget(p);
+                    }
+                    resident.remove(&p);
+                    forgets += 1;
+                }
+            }
+            _ => {
+                for e in engines.iter_mut() {
+                    e.note_process(pid);
+                }
+                if resident.contains(&p) {
+                    for e in engines.iter_mut() {
+                        e.on_hit(p, t);
+                    }
+                } else {
+                    for e in engines.iter_mut() {
+                        e.on_miss(p, t);
+                    }
+                    if resident.len() == capacity {
+                        let verdicts: Vec<Result<PageId, VictimError>> =
+                            engines.iter_mut().map(|e| e.select_victim(t)).collect();
+                        for w in verdicts.windows(2) {
+                            assert_eq!(w[0], w[1], "victim verdicts diverge at tick {now}");
+                        }
+                        match verdicts[0] {
+                            Ok(v) => {
+                                resident.remove(&v);
+                                for e in engines.iter_mut() {
+                                    e.on_evict(v, t);
+                                }
+                                evictions += 1;
+                            }
+                            // Replacement blocked (all pinned / none outside
+                            // CRP): skip the admission, like a real driver.
+                            Err(_) => continue,
+                        }
+                    }
+                    for e in engines.iter_mut() {
+                        e.on_admit(p, t);
+                    }
+                    resident.insert(p);
+                }
+                if kind == 5 {
+                    for e in engines.iter_mut() {
+                        e.pin(p);
+                    }
+                    pinned.push(p);
+                }
+            }
+        }
+        for w in engines.windows(2) {
+            assert_eq!(w[0].resident_len(), w[1].resident_len());
+            assert_eq!(w[0].retained_len(), w[1].retained_len());
+        }
+    }
+    (evictions, forgets)
 }
 
 proptest! {
@@ -135,6 +231,40 @@ proptest! {
     }
 
     #[test]
+    fn three_engines_agree_under_pin_unpin_forget_interleavings(
+        ops in proptest::collection::vec((0u8..8, 0u64..24, 0u64..3, 1u64..4), 80..400),
+        k in 1usize..4,
+        crp in 0u64..6,
+        capacity in 2usize..10,
+        rip in proptest::option::of(8u64..48),
+    ) {
+        // The flat-index engine vs the BTreeSet engine it replaced vs the
+        // Figure 2.1 scan, through arbitrary interleavings of accesses,
+        // pins on resident pages, unpins, and forgets — with tick strides
+        // 1..=3 against CRP 0..=5 so hits land on both sides of (and
+        // exactly on) the correlated-reference boundary.
+        let mut cfg = LruKConfig::new(k).with_crp(crp);
+        if let Some(r) = rip {
+            if r >= crp {
+                cfg = cfg.with_rip(r);
+            }
+        }
+        if cfg.validate().is_err() {
+            return Ok(());
+        }
+        let mut classic = ClassicLruK::new(cfg);
+        let mut btree = BTreeLruK::new(cfg);
+        let mut flat = LruK::new(cfg);
+        {
+            let mut engines: [&mut dyn ReplacementPolicy; 3] =
+                [&mut classic, &mut btree, &mut flat];
+            lockstep_ops(&mut engines, &ops, capacity);
+        }
+        prop_assert_eq!(classic.retained_len(), flat.retained_len());
+        prop_assert_eq!(btree.retained_len(), flat.retained_len());
+    }
+
+    #[test]
     fn lru1_equals_classical_lru(
         trace in proptest::collection::vec(0u64..30, 50..300),
         capacity in 2usize..10,
@@ -167,6 +297,31 @@ fn simulated_stats_identical_across_engines() {
         fb.sort_unstable();
         assert_eq!(fa, fb, "resident sets diverged at k={k} crp={crp}");
         assert_eq!(ra.peak_retained, rb.peak_retained);
+    }
+}
+
+#[test]
+fn crp_boundary_strides_agree_across_engines() {
+    // Re-references at strides crp-1, crp and crp+1 around each admission:
+    // the exact boundary between a correlated and an uncorrelated hit. All
+    // three engines must classify identically, observable through victim
+    // choices, eviction counts and retained counts.
+    for crp in 1u64..=6 {
+        let cfg = LruKConfig::new(2).with_crp(crp);
+        let mut ops: Vec<(u8, u64, u64, u64)> = Vec::new();
+        for stride in [crp.saturating_sub(1).max(1), crp, crp + 1] {
+            for page in 0..6u64 {
+                ops.push((0, page, 0, 1));
+                ops.push((0, page, 0, stride));
+            }
+        }
+        let mut classic = ClassicLruK::new(cfg);
+        let mut btree = BTreeLruK::new(cfg);
+        let mut flat = LruK::new(cfg);
+        let mut engines: [&mut dyn ReplacementPolicy; 3] =
+            [&mut classic, &mut btree, &mut flat];
+        let (evictions, _) = lockstep_ops(&mut engines, &ops, 3);
+        assert!(evictions > 0, "crp={crp}: the boundary trace must evict");
     }
 }
 
