@@ -1,0 +1,220 @@
+//! Async-disk-scheduler benchmark: replays the fixed-seed miss-heavy trace
+//! through the latched pool twice — synchronous I/O (misses and write-backs
+//! on the calling thread) versus the [`DiskScheduler`] path (worker lanes,
+//! coalesced write batches, background flusher, prefetch) — over a disk
+//! charging simulated seek/transfer latency, and saves
+//! `results/BENCH_disksched.json`. Hand-rendered JSON like the other bench
+//! binaries: stable field order, no serde.
+//!
+//! The binary refuses to report a number the scheduler "earned" by changing
+//! behaviour: the per-reference decision checksum (hit / miss / eviction)
+//! and the content checksum (every read's observed word + final disk image)
+//! must be identical across both modes and across reps, or it panics. The
+//! timed section includes the terminal drain (`flush_all` / `close`), so
+//! deferred write-back is paid inside the stopwatch.
+//!
+//! ```sh
+//! cargo run -p lruk-bench --release --bin bench_disksched [-- --smoke]
+//! ```
+//!
+//! `--smoke` runs a scaled-down trace with 1 timed rep per mode, prints the
+//! table, and writes **no** artifact (the committed baseline is never
+//! clobbered by CI smoke runs).
+
+use lruk_bench::disksched::{
+    miss_heavy_trace, replay, Mode, RunStats, DISK_PAGES, FRAMES, PER_PAGE_US, SEED, SEEK_US,
+};
+use lruk_buffer::DiskSchedulerConfig;
+use std::fmt::Write as _;
+
+fn median(mut secs: Vec<f64>) -> f64 {
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    secs[secs.len() / 2]
+}
+
+/// Run `reps` replays of one mode; all non-timing fields must agree across
+/// reps, the median-time rep is returned.
+fn measure(trace: &[(u64, bool)], mode: &Mode, reps: usize) -> RunStats {
+    let mut runs: Vec<RunStats> = (0..reps)
+        .map(|_| replay(trace, FRAMES, DISK_PAGES, mode))
+        .collect();
+    for r in &runs[1..] {
+        assert_eq!(r.decisions, runs[0].decisions, "decision stream varied across reps");
+        assert_eq!(r.content, runs[0].content, "content checksum varied across reps");
+    }
+    let med = median(runs.iter().map(|r| r.secs).collect());
+    let idx = runs
+        .iter()
+        .position(|r| r.secs == med)
+        .expect("median comes from the set");
+    let mut r = runs.swap_remove(idx);
+    r.secs = med;
+    r
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("results/BENCH_disksched.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!("flags: --smoke (scaled-down, no artifact), --out PATH");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}; try --help"),
+        }
+    }
+
+    let (refs, reps) = if smoke { (1_500, 1) } else { (12_000, 3) };
+    let cfg = DiskSchedulerConfig::default();
+    let trace = miss_heavy_trace(refs, DISK_PAGES as u64, SEED);
+
+    println!(
+        "disk scheduler: {FRAMES} frames / {DISK_PAGES} pages, {refs} refs, seed {SEED}, \
+         disk {SEEK_US}us seek + {PER_PAGE_US}us/page, {} workers, median of {reps}",
+        cfg.workers
+    );
+
+    let sync = measure(&trace, &Mode::Sync, reps);
+    let async_ = measure(&trace, &Mode::Async(cfg.clone()), reps);
+
+    assert_eq!(
+        sync.decisions, async_.decisions,
+        "scheduler changed replacement decisions"
+    );
+    assert_eq!(
+        sync.content, async_.content,
+        "scheduler changed observed or persisted bytes"
+    );
+    // dirty_writebacks legitimately differs: the flusher cleaning a frame
+    // before its eviction is the optimization, not a decision change.
+    assert_eq!(
+        (sync.cache.hits, sync.cache.misses, sync.cache.evictions),
+        (async_.cache.hits, async_.cache.misses, async_.cache.evictions),
+        "hit/miss/eviction counters diverged"
+    );
+
+    let speedup = async_.rate(refs) / sync.rate(refs);
+    println!(
+        "{:<14} {:>10} {:>12} {:>9} {:>9} {:>11} {:>18}",
+        "mode", "secs", "refs/s", "hits", "misses", "disk writes", "decisions"
+    );
+    for (name, r) in [("sync", &sync), ("async", &async_)] {
+        println!(
+            "{:<14} {:>10.3} {:>12.0} {:>9} {:>9} {:>11} {:>#18x}",
+            name,
+            r.secs,
+            r.rate(refs),
+            r.cache.hits,
+            r.cache.misses,
+            r.disk.writes,
+            r.decisions
+        );
+    }
+    let s = async_.sched.expect("async mode reports scheduler stats");
+    println!(
+        "async: {:.2}x; {} write batches ({} pages batched), {} superseded writes, \
+         {} prefetched / {} prefetch hits",
+        speedup, s.write_batches, s.batched_writes, s.superseded_writes, s.prefetched,
+        s.prefetch_hits
+    );
+
+    if smoke {
+        println!("smoke mode: artifact not written");
+        return;
+    }
+    let json = render_json(&sync, &async_, refs, reps, &cfg);
+    match std::fs::create_dir_all("results").and_then(|_| std::fs::write(&out, &json)) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => eprintln!("note: could not write {out}: {e}"),
+    }
+}
+
+/// `git rev-parse HEAD` of the tree the bench ran in.
+fn commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Hand-rendered artifact: stable field order, fixed float formatting.
+fn render_json(
+    sync: &RunStats,
+    async_: &RunStats,
+    refs: usize,
+    reps: usize,
+    cfg: &DiskSchedulerConfig,
+) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"benchmark\": \"disk_scheduler\",");
+    let _ = writeln!(s, "  \"commit\": \"{}\",", commit_hash());
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let _ = writeln!(
+        s,
+        "  \"host\": {{\"cpus\": {cpus}, \"arch\": \"{}\", \"os\": \"{}\"}},",
+        std::env::consts::ARCH,
+        std::env::consts::OS
+    );
+    let _ = writeln!(s, "  \"config\": {{");
+    let _ = writeln!(s, "    \"frames\": {FRAMES},");
+    let _ = writeln!(s, "    \"disk_pages\": {DISK_PAGES},");
+    let _ = writeln!(s, "    \"refs\": {refs},");
+    let _ = writeln!(s, "    \"seed\": {SEED},");
+    let _ = writeln!(s, "    \"policy\": \"lru-2\",");
+    let _ = writeln!(s, "    \"shards\": 1,");
+    let _ = writeln!(s, "    \"disk_latency\": {{\"seek_us\": {SEEK_US}, \"per_page_us\": {PER_PAGE_US}}},");
+    let _ = writeln!(s, "    \"scheduler\": {{");
+    let _ = writeln!(s, "      \"workers\": {},", cfg.workers);
+    let _ = writeln!(s, "      \"queue_capacity\": {},", cfg.queue_capacity);
+    let _ = writeln!(s, "      \"prefetch_capacity\": {},", cfg.prefetch_capacity);
+    let _ = writeln!(s, "      \"flush_watermark\": {},", cfg.flush_watermark);
+    let _ = writeln!(s, "      \"flush_batch\": {},", cfg.flush_batch);
+    let _ = writeln!(s, "      \"flush_interval_us\": {},", cfg.flush_interval.as_micros());
+    let _ = writeln!(s, "      \"background_flusher\": {}", cfg.background_flusher);
+    let _ = writeln!(s, "    }},");
+    let _ = writeln!(s, "    \"reps\": {reps},");
+    let _ = writeln!(s, "    \"aggregation\": \"median\"");
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"decisions_checksum\": \"{:#x}\",", async_.decisions);
+    let _ = writeln!(s, "  \"content_checksum\": \"{:#x}\",", async_.content);
+    let _ = writeln!(s, "  \"hits\": {},", async_.cache.hits);
+    let _ = writeln!(s, "  \"misses\": {},", async_.cache.misses);
+    let _ = writeln!(s, "  \"evictions\": {},", async_.cache.evictions);
+    let _ = writeln!(s, "  \"sync\": {{");
+    let _ = writeln!(s, "    \"secs\": {:.4},", sync.secs);
+    let _ = writeln!(s, "    \"refs_per_sec\": {:.1},", sync.rate(refs));
+    let _ = writeln!(s, "    \"disk_reads\": {},", sync.disk.reads);
+    let _ = writeln!(s, "    \"disk_writes\": {}", sync.disk.writes);
+    let _ = writeln!(s, "  }},");
+    let sched = async_.sched.expect("async mode reports scheduler stats");
+    let _ = writeln!(s, "  \"async\": {{");
+    let _ = writeln!(s, "    \"secs\": {:.4},", async_.secs);
+    let _ = writeln!(s, "    \"refs_per_sec\": {:.1},", async_.rate(refs));
+    let _ = writeln!(s, "    \"disk_reads\": {},", async_.disk.reads);
+    let _ = writeln!(s, "    \"disk_writes\": {},", async_.disk.writes);
+    let _ = writeln!(s, "    \"write_batches\": {},", sched.write_batches);
+    let _ = writeln!(s, "    \"batched_writes\": {},", sched.batched_writes);
+    let _ = writeln!(s, "    \"superseded_writes\": {},", sched.superseded_writes);
+    let _ = writeln!(s, "    \"prefetched\": {},", sched.prefetched);
+    let _ = writeln!(s, "    \"prefetch_hits\": {},", sched.prefetch_hits);
+    let _ = writeln!(s, "    \"prefetch_dropped\": {}", sched.prefetch_dropped);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"speedup\": {:.3},", async_.rate(refs) / sync.rate(refs));
+    let _ = writeln!(
+        s,
+        "  \"timing_fields\": \"secs, refs_per_sec, speedup (host wall clock; disk latency is \
+         simulated sleep) and the flusher-timing-dependent write/batch counters; decision and \
+         content checksums, hits, misses, evictions are seed-deterministic and asserted \
+         identical across modes and reps\""
+    );
+    s.push_str("}\n");
+    s
+}

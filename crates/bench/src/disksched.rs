@@ -1,0 +1,326 @@
+//! Disk-scheduler benchmark: the latched pool in synchronous mode versus
+//! the same pool routed through the async [`DiskScheduler`] (batched I/O
+//! workers, background write-back, prefetch), over a disk with simulated
+//! request latency.
+//!
+//! The in-memory disks elsewhere in the tree cost nanoseconds per request,
+//! which hides exactly the thing the scheduler exists to remove: the miss
+//! path *waiting* on the device. [`SimLatencyDisk`] restores that cost —
+//! every request pays a fixed seek plus a per-page transfer (so a
+//! coalesced [`write_pages`](ConcurrentDiskManager::write_pages) run of
+//! adjacent pages pays the seek once), and then delegates to a real
+//! [`ConcurrentInMemoryDisk`] for bytes and accounting.
+//!
+//! Both pools replay the same fixed-seed miss-heavy trace on a single
+//! client thread and fold every replacement decision (hit / miss /
+//! eviction) into an FNV checksum; the binary asserts the sync and async
+//! folds are identical before reporting throughput, so a speedup can never
+//! come from the scheduler quietly changing what the policy decided. A
+//! second fold covers the bytes every read observed plus the final disk
+//! image — write-back batching and prefetch must be invisible to content,
+//! not just to decisions. The timed section includes the drain
+//! ([`LatchedBufferPool::close`] / `flush_all`): deferred write-back only
+//! counts as a win if it is paid for inside the stopwatch.
+
+use lruk_buffer::{
+    BufferError, ConcurrentDiskManager, ConcurrentInMemoryDisk, DiskError, DiskSchedulerConfig,
+    DiskStats, LatchedBufferPool, SchedStats, PAGE_SIZE,
+};
+use lruk_core::LruK;
+use lruk_policy::{CacheStats, PageId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Frames in the pool — small against [`DISK_PAGES`] so the trace stays
+/// miss-heavy (the regime where disk latency dominates).
+pub const FRAMES: usize = 128;
+/// Allocated pages on the simulated disk.
+pub const DISK_PAGES: usize = 1024;
+/// Trace seed; every decision-level field of the artifact derives from it.
+pub const SEED: u64 = 2026;
+/// Simulated per-request positioning cost in microseconds.
+pub const SEEK_US: u64 = 40;
+/// Simulated per-page transfer cost in microseconds.
+pub const PER_PAGE_US: u64 = 10;
+
+/// A [`ConcurrentInMemoryDisk`] that charges simulated device time:
+/// `seek + pages * per_page` per request, paid by the calling thread.
+pub struct SimLatencyDisk {
+    inner: ConcurrentInMemoryDisk,
+    seek: Duration,
+    per_page: Duration,
+}
+
+impl SimLatencyDisk {
+    /// Unbounded disk charging `seek_us` per request and `per_page_us` per
+    /// page moved. Zero/zero makes it a plain in-memory disk (tests).
+    pub fn new(seek_us: u64, per_page_us: u64) -> Self {
+        SimLatencyDisk {
+            inner: ConcurrentInMemoryDisk::unbounded(),
+            seek: Duration::from_micros(seek_us),
+            per_page: Duration::from_micros(per_page_us),
+        }
+    }
+
+    fn pay(&self, pages: usize) {
+        let cost = self.seek + self.per_page * pages as u32;
+        if !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+    }
+}
+
+impl ConcurrentDiskManager for SimLatencyDisk {
+    fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<(), DiskError> {
+        self.pay(1);
+        self.inner.read_page(page, buf)
+    }
+    fn write_page(&self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
+        self.pay(1);
+        self.inner.write_page(page, data)
+    }
+    fn write_pages(&self, pages: &[(PageId, &[u8])]) -> Result<(), DiskError> {
+        // One seek for the whole contiguous run — the cost model the
+        // scheduler's coalescing is built to exploit.
+        self.pay(pages.len());
+        self.inner.write_pages(pages)
+    }
+    fn allocate_page(&self) -> Result<PageId, DiskError> {
+        self.inner.allocate_page()
+    }
+    fn deallocate_page(&self, page: PageId) -> Result<(), DiskError> {
+        self.inner.deallocate_page(page)
+    }
+    fn is_allocated(&self, page: PageId) -> bool {
+        self.inner.is_allocated(page)
+    }
+    fn allocated_pages(&self) -> usize {
+        self.inner.allocated_pages()
+    }
+    fn stats(&self) -> DiskStats {
+        self.inner.stats()
+    }
+}
+
+/// How the replayed pool does its I/O.
+pub enum Mode {
+    /// `LatchedBufferPool::new` — every miss and write-back on the caller.
+    Sync,
+    /// `LatchedBufferPool::with_scheduler` with this configuration.
+    Async(DiskSchedulerConfig),
+}
+
+/// One `(page_index, is_write)` reference.
+pub type Ref = (u64, bool);
+
+/// Fixed-seed miss-heavy trace: mostly uniform-random references (half of
+/// them writes, so evictions write back) interleaved with sequential
+/// segments of 6–13 pages — long enough for the engine's run detector to
+/// emit prefetch hints. Half the segments are update scans: they dirty a
+/// *contiguous* page range, the shape write coalescing turns into
+/// single-seek batches.
+pub fn miss_heavy_trace(refs: usize, pages: u64, seed: u64) -> Vec<Ref> {
+    let mut out = Vec::with_capacity(refs);
+    let mut s = seed;
+    let step = |s: &mut u64| {
+        *s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *s >> 33
+    };
+    while out.len() < refs {
+        if step(&mut s) % 5 == 0 {
+            let len = 6 + step(&mut s) % 8;
+            let start = step(&mut s) % (pages - len);
+            let update = step(&mut s) % 2 == 0;
+            for i in 0..len {
+                out.push((start + i, update));
+                if out.len() == refs {
+                    break;
+                }
+            }
+        } else {
+            let p = step(&mut s) % pages;
+            out.push((p, step(&mut s) % 2 == 0));
+        }
+    }
+    out
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fold(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+/// What one replay measured.
+pub struct RunStats {
+    /// Wall-clock seconds for replay + drain (flush/close).
+    pub secs: f64,
+    /// Pool hit/miss/eviction counters after the run.
+    pub cache: CacheStats,
+    /// FNV fold of the per-reference decision stream (hit / miss /
+    /// miss+eviction). Identical across modes when the scheduler preserves
+    /// replacement behaviour. Deliberately excludes `dirty_writebacks`:
+    /// whether an eviction still *needs* a write-back depends on flusher
+    /// timing, which is the optimization, not a decision.
+    pub decisions: u64,
+    /// FNV fold of every read's observed word plus the final disk image.
+    pub content: u64,
+    /// Device counters after the drain.
+    pub disk: DiskStats,
+    /// Scheduler counters (async mode only).
+    pub sched: Option<SchedStats>,
+}
+
+impl RunStats {
+    /// References per second.
+    pub fn rate(&self, refs: usize) -> f64 {
+        refs as f64 / self.secs
+    }
+}
+
+/// Replay `trace` through a 1-shard latched pool (one shard so the
+/// per-shard sequential-run detector sees the scan segments) in the given
+/// I/O mode; single client thread, so the decision stream is deterministic.
+pub fn replay(trace: &[Ref], frames: usize, disk_pages: usize, mode: &Mode) -> RunStats {
+    let disk = Arc::new(SimLatencyDisk::new(SEEK_US, PER_PAGE_US));
+    replay_on(trace, frames, disk_pages, mode, disk)
+}
+
+/// [`replay`] with a caller-supplied disk (tests use zero latency).
+pub fn replay_on(
+    trace: &[Ref],
+    frames: usize,
+    disk_pages: usize,
+    mode: &Mode,
+    disk: Arc<SimLatencyDisk>,
+) -> RunStats {
+    enum Pool {
+        Sync(LatchedBufferPool<Arc<SimLatencyDisk>>),
+        Async(Arc<LatchedBufferPool<Arc<SimLatencyDisk>>>),
+    }
+    let pool = match mode {
+        Mode::Sync => Pool::Sync(LatchedBufferPool::new(1, frames, Arc::clone(&disk), || {
+            Box::new(LruK::lru2())
+        })),
+        Mode::Async(cfg) => Pool::Async(LatchedBufferPool::with_scheduler(
+            1,
+            frames,
+            Arc::clone(&disk),
+            cfg.clone(),
+            || Box::new(LruK::lru2()),
+        )),
+    };
+    let pool: &LatchedBufferPool<Arc<SimLatencyDisk>> = match &pool {
+        Pool::Sync(p) => p,
+        Pool::Async(p) => p,
+    };
+    let pages: Vec<PageId> = (0..disk_pages)
+        .map(|_| pool.allocate_page().expect("unbounded disk"))
+        .collect();
+
+    let mut decisions = FNV_OFFSET;
+    let mut content = FNV_OFFSET;
+    let mut prev = CacheStats::default();
+    let run = |r: Result<u64, BufferError>| r.expect("replay access failed");
+    let started = Instant::now();
+    for (i, &(idx, is_write)) in trace.iter().enumerate() {
+        let page = pages[idx as usize];
+        let word = if is_write {
+            let v = (i as u64) << 16 | idx;
+            run(pool.with_page_mut(page, |d| {
+                d[..8].copy_from_slice(&v.to_le_bytes());
+                v
+            }))
+        } else {
+            run(pool.with_page(page, |d| {
+                u64::from_le_bytes(d[..8].try_into().expect("page holds 8 bytes"))
+            }))
+        };
+        content = fold(content, word);
+        let now = pool.stats();
+        let code = (now.hits - prev.hits)
+            + 2 * (now.misses - prev.misses)
+            + 4 * (now.evictions - prev.evictions);
+        decisions = fold(decisions, code);
+        prev = now;
+    }
+    // Drain inside the stopwatch: deferred write-back must be paid here.
+    match mode {
+        Mode::Sync => pool.flush_all().expect("flush_all failed"),
+        Mode::Async(_) => pool.close().expect("close failed"),
+    }
+    let secs = started.elapsed().as_secs_f64();
+
+    let mut buf = vec![0u8; PAGE_SIZE];
+    for &p in &pages {
+        disk.read_page(p, &mut buf).expect("post-run readback");
+        content = fold(
+            content,
+            u64::from_le_bytes(buf[..8].try_into().expect("page holds 8 bytes")),
+        );
+    }
+    RunStats {
+        secs,
+        cache: pool.stats(),
+        decisions,
+        content,
+        disk: disk.stats(),
+        sched: pool.sched_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zero_latency() -> Arc<SimLatencyDisk> {
+        Arc::new(SimLatencyDisk::new(0, 0))
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_mixed() {
+        let a = miss_heavy_trace(5_000, 256, SEED);
+        let b = miss_heavy_trace(5_000, 256, SEED);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5_000);
+        let writes = a.iter().filter(|&&(_, w)| w).count();
+        assert!(writes > 1_000, "trace must dirty pages ({writes} writes)");
+        assert!(a.iter().any(|&(p, _)| p > 200), "spans the page space");
+    }
+
+    #[test]
+    fn sync_and_async_replays_agree_bit_for_bit() {
+        let trace = miss_heavy_trace(4_000, 256, SEED);
+        let sync = replay_on(&trace, 32, 256, &Mode::Sync, zero_latency());
+        let cfg = DiskSchedulerConfig {
+            background_flusher: false,
+            ..DiskSchedulerConfig::default()
+        };
+        let async_ = replay_on(&trace, 32, 256, &Mode::Async(cfg), zero_latency());
+        assert_eq!(sync.decisions, async_.decisions, "decision streams diverged");
+        assert_eq!(sync.content, async_.content, "observed/final bytes diverged");
+        assert_eq!(sync.cache, async_.cache);
+        assert!(async_.sched.is_some() && sync.sched.is_none());
+    }
+
+    #[test]
+    fn batched_write_pays_one_seek() {
+        // 3 pages in one call: seek + 3 * per_page, not 3 * (seek + page).
+        let d = SimLatencyDisk::new(0, 0);
+        let pages: Vec<PageId> = (0..3).map(|_| d.allocate_page().unwrap()).collect();
+        let bufs: Vec<Vec<u8>> = (0..3u8).map(|i| vec![i; PAGE_SIZE]).collect();
+        let batch: Vec<(PageId, &[u8])> = pages
+            .iter()
+            .zip(&bufs)
+            .map(|(&p, b)| (p, b.as_slice()))
+            .collect();
+        d.write_pages(&batch).unwrap();
+        assert_eq!(d.stats().writes, 3);
+        let mut out = vec![0u8; PAGE_SIZE];
+        d.read_page(pages[2], &mut out).unwrap();
+        assert_eq!(out[0], 2);
+    }
+}

@@ -193,7 +193,7 @@ pub fn replay_single_probe(trace: &[PageRef], frames: usize) -> ReplayResult {
                 core.pin_slot(slot).expect("pin fresh hit");
                 core.unpin_slot(slot, false).expect("unpin fresh hit");
             }
-            Outcome::Admitted { slot, victim } => {
+            Outcome::Admitted { slot, victim, .. } => {
                 fold(&mut checksum, 2);
                 if let Some(v) = victim {
                     evictions += 1;

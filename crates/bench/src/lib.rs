@@ -4,6 +4,7 @@
 #![forbid(unsafe_code)]
 
 pub mod concurrency;
+pub mod disksched;
 pub mod hotpath;
 
 /// Parse the standard binary flags: `--quick` scales an experiment down for

@@ -32,7 +32,8 @@ fn main() {
 #[cfg(conc_model)]
 mod run {
     use lruk_buffer::{
-        BufferError, ConcurrentDiskManager, ConcurrentInMemoryDisk, LatchedBufferPool, PAGE_SIZE,
+        BufferError, ConcurrentDiskManager, ConcurrentInMemoryDisk, DiskSchedulerConfig,
+        LatchedBufferPool, PAGE_SIZE,
     };
     use lruk_conc::model::{
         self, explore, explore_systematic, replay_schedule, replay_seed, Config, RunResult,
@@ -81,8 +82,40 @@ mod run {
             systematic: false,
             build: shard_crossing_flush,
         },
+        // The async disk scheduler riding under the same pool frontend:
+        // misses park on completions, write-backs queue to worker lanes.
+        Case {
+            name: "sched-concurrent-miss-single-read",
+            expect_violation: false,
+            systematic: false,
+            build: sched_concurrent_miss_single_read,
+        },
+        Case {
+            name: "sched-flusher-vs-evict",
+            expect_violation: false,
+            systematic: false,
+            build: sched_flusher_vs_evict,
+        },
+        Case {
+            name: "sched-shutdown-drains-queue",
+            expect_violation: false,
+            systematic: false,
+            build: sched_shutdown_drains_queue,
+        },
         // Seeded-buggy and known-good self-tests: prove the checker detects
         // and replays what it claims to.
+        Case {
+            name: "selftest-buggy-completion-lost-wakeup",
+            expect_violation: true,
+            systematic: false,
+            build: || Box::new(models::buggy_completion_lost_wakeup()),
+        },
+        Case {
+            name: "selftest-fixed-completion-wait-loop",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::fixed_completion_wait_loop()),
+        },
         Case {
             name: "selftest-buggy-pin-check",
             expect_violation: true,
@@ -287,6 +320,130 @@ mod run {
                 model::check(
                     byte0(&buf) == i as u8 + 1,
                     "every write survives the cross-shard flush",
+                );
+            }
+        })
+    }
+
+    /// An async-scheduler pool sized for model checking: one worker lane,
+    /// tiny queues, no wall-clock flusher (scenarios drive `flush_step`).
+    fn sched_pool(shards: usize, frames: usize, disk_pages: usize, crp: u64) -> Arc<Pool> {
+        LatchedBufferPool::with_scheduler(
+            shards,
+            frames,
+            ConcurrentInMemoryDisk::new(disk_pages),
+            DiskSchedulerConfig {
+                workers: 1,
+                queue_capacity: 4,
+                prefetch_capacity: 4,
+                flush_watermark: 1,
+                flush_batch: 4,
+                background_flusher: false,
+                ..DiskSchedulerConfig::default()
+            },
+            move || Box::new(LruK::new(LruKConfig::new(2).with_crp(crp))),
+        )
+    }
+
+    /// Two threads miss on the same non-resident page through the async
+    /// scheduler. The first submits the read and parks on its completion;
+    /// the second must hit the pending-fill map and wait for installation —
+    /// one queue round-trip, one disk read, both readers see the image.
+    fn sched_concurrent_miss_single_read() -> Scenario {
+        Box::new(|| {
+            let pool = sched_pool(1, 2, 4, 0);
+            let p = seed_page(&pool, 0xA5);
+            let reader = |pool: Arc<Pool>| {
+                model::spawn(move || {
+                    let b = ok("with_page", pool.with_page(p, byte0));
+                    model::check(b == 0xA5, "reader sees the seeded page image");
+                })
+            };
+            let t1 = reader(Arc::clone(&pool));
+            let t2 = reader(Arc::clone(&pool));
+            t1.join();
+            t2.join();
+            let s = pool.stats();
+            model::check(
+                s.misses == 1 && s.hits == 1,
+                "one admission miss, one hit, regardless of arrival order",
+            );
+            model::check(
+                pool.disk_stats().reads == 1,
+                "the shared miss crosses the scheduler to disk exactly once",
+            );
+            ok("close", pool.close());
+        })
+    }
+
+    /// The background flusher's sweep races an eviction of the same dirty
+    /// frame: two frames, three pages, `a` dirty; one thread walks `b`,`c`
+    /// (evicting `a`, submitting its write-back) while another runs
+    /// `flush_step` (submitting the same frame as a flush batch). The write
+    /// table's sequence numbers must keep the newest image winning.
+    fn sched_flusher_vs_evict() -> Scenario {
+        Box::new(|| {
+            let pool = sched_pool(1, 2, 4, 8);
+            let a = seed_page(&pool, 0);
+            let b = seed_page(&pool, 0x22);
+            let c = seed_page(&pool, 0x33);
+            ok("dirty a", pool.with_page_mut(a, |d| set_byte0(d, 1)));
+            let evictor = {
+                let pool = Arc::clone(&pool);
+                model::spawn(move || {
+                    model::check(
+                        ok("touch b", pool.with_page(b, byte0)) == 0x22,
+                        "page b readable during the race",
+                    );
+                    model::check(
+                        ok("touch c", pool.with_page(c, byte0)) == 0x33,
+                        "page c readable during the race",
+                    );
+                })
+            };
+            let flusher = {
+                let pool = Arc::clone(&pool);
+                model::spawn(move || {
+                    ok("flush_step", pool.flush_step());
+                })
+            };
+            evictor.join();
+            flusher.join();
+            model::check(
+                ok("reread a", pool.with_page(a, byte0)) == 1,
+                "a's dirty image survives flusher-vs-evict on its frame",
+            );
+            ok("close", pool.close());
+            let mut buf = vec![0u8; PAGE_SIZE];
+            ok("disk reread", pool.disk().read_page(a, &mut buf));
+            model::check(byte0(&buf) == 1, "disk holds a's image after close");
+        })
+    }
+
+    /// Writes queued on the scheduler when shutdown begins must reach the
+    /// device: close() drains the lanes before joining the workers, and a
+    /// straggler submission after close still completes (inline).
+    fn sched_shutdown_drains_queue() -> Scenario {
+        Box::new(|| {
+            let pool = sched_pool(1, 3, 4, 0);
+            let pages: Vec<PageId> = (1..=3).map(|i| seed_page(&pool, i)).collect();
+            let writer = {
+                let pool = Arc::clone(&pool);
+                let pages = pages.clone();
+                model::spawn(move || {
+                    for (i, &p) in pages.iter().enumerate() {
+                        ok("dirty", pool.with_page_mut(p, |d| set_byte0(d, 0x40 + i as u8)));
+                    }
+                })
+            };
+            writer.join();
+            ok("close", pool.close());
+            let mut buf = vec![0u8; PAGE_SIZE];
+            for (i, &p) in pages.iter().enumerate() {
+                ok("disk readback", pool.disk().read_page(p, &mut buf));
+                model::check(
+                    byte0(&buf) == 0x40 + i as u8,
+                    "every queued write-back lands before shutdown completes",
                 );
             }
         })

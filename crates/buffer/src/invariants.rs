@@ -43,6 +43,18 @@ pub enum LatchClass {
     FrameEvict,
     /// A shared frame latch taken under the core (`flush_all` write-back).
     FrameFlush,
+    /// A disk-scheduler lane queue mutex. Producers may enqueue while
+    /// holding a shard core (async write-back/fill run under the core), but
+    /// lanes never nest and are never taken under an internal frame latch
+    /// or a completion's state lock.
+    SchedQueue,
+    /// A completion's state mutex. Waiting on a completion with a shard
+    /// core or a core-held frame latch would park the whole shard on disk
+    /// latency — the exact coupling the scheduler exists to remove — so
+    /// those must be released first. A user frame latch is allowed: a
+    /// closure re-entering the pool for a different page may legitimately
+    /// park on that page's fill.
+    SchedCompletion,
 }
 
 #[cfg(debug_assertions)]
@@ -135,6 +147,35 @@ pub fn acquiring(class: LatchClass) -> LatchToken {
                     !holds(LatchClass::FrameUser),
                     "latch protocol: flush_all while holding a user frame \
                      latch can self-deadlock (held {held:?})"
+                );
+            }
+            LatchClass::SchedQueue => {
+                assert!(
+                    !holds(LatchClass::SchedQueue),
+                    "latch protocol: scheduler lanes never nest (held {held:?})"
+                );
+                assert!(
+                    !holds(LatchClass::FrameEvict) && !holds(LatchClass::FrameFlush),
+                    "latch protocol: release core-held frame latches before \
+                     enqueueing to the scheduler (held {held:?})"
+                );
+                assert!(
+                    !holds(LatchClass::SchedCompletion),
+                    "latch protocol: the queue must not be taken under a \
+                     completion's state lock (held {held:?})"
+                );
+            }
+            LatchClass::SchedCompletion => {
+                assert!(
+                    !holds(LatchClass::ShardCore),
+                    "latch protocol: never touch a completion while holding \
+                     a shard core — parking there couples the shard to disk \
+                     latency (held {held:?})"
+                );
+                assert!(
+                    !holds(LatchClass::FrameEvict) && !holds(LatchClass::FrameFlush),
+                    "latch protocol: never touch a completion under a \
+                     core-held frame latch (held {held:?})"
                 );
             }
         }
@@ -232,5 +273,34 @@ mod tests {
     #[should_panic(expected = "below zero")]
     fn pin_underflow_panics() {
         assert_pin_release(0);
+    }
+
+    #[test]
+    fn scheduler_classes_follow_the_protocol() {
+        // Producer path: enqueueing under the core is legal.
+        let core = acquiring(LatchClass::ShardCore);
+        let q = acquiring(LatchClass::SchedQueue);
+        drop(q);
+        drop(core);
+        // Waiter path: parking on a completion with only a user frame latch
+        // held (re-entrant closure awaiting a different page's fill) is legal.
+        let user = acquiring(LatchClass::FrameUser);
+        let c = acquiring(LatchClass::SchedCompletion);
+        drop(c);
+        drop(user);
+    }
+
+    #[test]
+    #[should_panic(expected = "couples the shard to disk latency")]
+    fn completion_wait_under_core_panics() {
+        let _core = acquiring(LatchClass::ShardCore);
+        let _c = acquiring(LatchClass::SchedCompletion);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduler lanes never nest")]
+    fn nested_lanes_panic() {
+        let _a = acquiring(LatchClass::SchedQueue);
+        let _b = acquiring(LatchClass::SchedQueue);
     }
 }

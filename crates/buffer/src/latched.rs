@@ -56,17 +56,53 @@
 //! Replacement decisions are per-shard, with the same trade-off (and the
 //! same hit-ratio guarantee, tested below) as [`ShardedBufferPool`]: with a
 //! hash that spreads hot pages, per-shard LRU-K closely tracks global LRU-K.
+//!
+//! # Asynchronous I/O mode
+//!
+//! Even with the protocol above, a miss still performs its disk read *under
+//! the shard core* and an eviction its write-back, so one slow transfer
+//! stalls every client of the shard. [`LatchedBufferPool::with_scheduler`]
+//! builds the pool over a [`DiskScheduler`](crate::disk_scheduler) instead:
+//!
+//! * **Miss fill** submits an asynchronous read and returns immediately;
+//!   the shard core is released and only the *requesting* thread parks on
+//!   the read's [`Completion`]. The engine has already admitted the page,
+//!   so a second thread referencing it scores a **hit**, finds the slot in
+//!   the shard's pending-fill map, and waits for the requester to install
+//!   the bytes — one disk read, no matter how many threads miss together.
+//! * **Eviction write-back** snapshots the victim's bytes under its frame
+//!   latch and hands them to the scheduler's write table; the eviction
+//!   itself never blocks on the device. Ordering is preserved because the
+//!   snapshot and the table insertion happen under the same shard core that
+//!   any re-dirtying of the page would need.
+//! * **Flush** ([`flush_all`](LatchedBufferPool::flush_all) or the
+//!   background flusher driving [`flush_step`](LatchedBufferPool::flush_step))
+//!   batches a shard's cold-dirty frames into one grouped submission per
+//!   scheduler lane, so adjacent pages coalesce into single device calls.
+//! * **Prefetch** hints from the engine's sequential-run detector flow to
+//!   the scheduler's read-ahead cache; hints are advisory and change no
+//!   replacement decision, so the async pool's hit/miss/eviction record is
+//!   bit-identical to the synchronous pool's on the same reference string
+//!   (the disk-scheduler bench asserts exactly that).
+//!
+//! The added latch classes ([`LatchClass::SchedQueue`],
+//! [`LatchClass::SchedCompletion`]) keep the extended protocol checkable:
+//! completions are only ever awaited with no shard latch held.
 
 use crate::disk::{DiskError, DiskStats, PAGE_SIZE};
+use crate::disk_scheduler::{Completion, DiskScheduler, DiskSchedulerConfig, SchedStats};
 use crate::invariants::{self, LatchClass};
 use crate::pool::BufferError;
 use crate::shared_disk::ConcurrentDiskManager;
+use lruk_conc::sync::atomic::{AtomicUsize, Ordering};
 use lruk_conc::sync::{Mutex, RwLock};
-use lruk_policy::fxhash;
+use lruk_policy::fxhash::{self, FxHashMap};
 use lruk_policy::{
-    AccessKind, CacheStats, CoreBackend, PageId, ReplacementCore, ReplacementPolicy,
-    WriteBackCause,
+    AccessKind, CacheStats, CoreBackend, PageId, PrefetchHint, ReplacementCore,
+    ReplacementPolicy, WriteBackCause,
 };
+use std::sync::Arc;
+use std::time::Duration;
 
 /// One frame: page bytes behind their own latch. Residency metadata — owner
 /// page, dirty flag, pin count — lives in the shard's [`ReplacementCore`].
@@ -117,6 +153,17 @@ impl LatchedFrame {
 struct Shard {
     core: Mutex<ReplacementCore<'static>>,
     frames: Vec<LatchedFrame>,
+    /// Async mode: slots whose fill is in flight, mapped to the completion
+    /// every waiter parks on. Inserted under the core (atomically with the
+    /// admission), removed by the requester after installing the bytes (or
+    /// by the last waiter abandoning a failed fill).
+    pending: Mutex<FxHashMap<u32, Arc<Completion>>>,
+    /// Lock-free fast path for hits: when zero, no fill is in flight in
+    /// this shard and the pending map is not even locked. Incremented under
+    /// the core; decremented (release) only after the frame bytes are
+    /// installed or the slot is forgotten, so an acquire-load of zero
+    /// proves the hit frame is safe to read.
+    pending_fills: AtomicUsize,
 }
 
 /// The engine's I/O hooks for this pool: each transfer takes the subject
@@ -162,34 +209,232 @@ impl<C: ConcurrentDiskManager> CoreBackend for LatchedBackend<'_, C> {
     }
 }
 
-/// A buffer pool with a sharded page table and per-frame data latches.
-pub struct LatchedBufferPool<C: ConcurrentDiskManager> {
-    shards: Vec<Shard>,
-    disk: C,
+/// The asynchronous counterpart of [`LatchedBackend`]: I/O goes through the
+/// [`DiskScheduler`] instead of the device.
+///
+/// * `write_back` snapshots the frame's bytes (under the appropriate
+///   core-held frame latch, released before touching the scheduler) and
+///   either submits them (eviction) or accumulates them in `flush_batch`
+///   for one grouped per-lane submission (flush). It never fails: a device
+///   error surfaces later through the scheduler's sticky fault.
+/// * `fill` submits an asynchronous read and parks nobody — the completion
+///   is stashed in `fill` for the pool to register and await after the
+///   core is released.
+/// * `prefetch` forwards the engine's sequential-run hints.
+struct AsyncBackend<'a, C: ConcurrentDiskManager + 'static> {
+    frames: &'a [LatchedFrame],
+    sched: &'a DiskScheduler<C>,
+    fill: Option<Arc<Completion>>,
+    flush_batch: Vec<(PageId, Arc<[u8]>)>,
 }
 
-impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
+impl<C: ConcurrentDiskManager + 'static> AsyncBackend<'_, C> {
+    /// Snapshot a frame's bytes under its core-held latch; the latch is
+    /// released before the caller goes anywhere near a scheduler lane (the
+    /// tracker rejects `SchedQueue` under a core-held frame latch).
+    fn snapshot(&self, slot: u32, class: LatchClass) -> Arc<[u8]> {
+        let frame = &self.frames[slot as usize];
+        let _held = invariants::acquiring(class);
+        let data = frame.data.read();
+        frame.begin_writeback();
+        let bytes: Arc<[u8]> = Arc::from(&data[..]);
+        frame.end_writeback();
+        bytes
+    }
+}
+
+impl<C: ConcurrentDiskManager + 'static> CoreBackend for AsyncBackend<'_, C> {
+    type Error = DiskError;
+
+    fn write_back(
+        &mut self,
+        page: PageId,
+        slot: u32,
+        cause: WriteBackCause,
+    ) -> Result<(), DiskError> {
+        match cause {
+            WriteBackCause::Evict => {
+                let bytes = self.snapshot(slot, LatchClass::FrameEvict);
+                // Submitting while the caller still holds the shard core is
+                // what makes the write table's ordering agree with the
+                // engine's: re-dirtying this page needs the same core.
+                self.sched.submit_write(page, bytes);
+            }
+            WriteBackCause::Flush => {
+                let bytes = self.snapshot(slot, LatchClass::FrameFlush);
+                self.flush_batch.push((page, bytes));
+            }
+        }
+        Ok(())
+    }
+
+    fn fill(&mut self, page: PageId, _slot: u32) -> Result<(), DiskError> {
+        self.fill = Some(self.sched.submit_read(page));
+        Ok(())
+    }
+
+    fn prefetch(&mut self, hint: PrefetchHint) {
+        self.sched.submit_prefetch(&hint);
+    }
+}
+
+/// What a pin must wait out before the frame's bytes may be read.
+enum FillWait {
+    /// This thread's own miss: await the disk read, install the bytes into
+    /// the frame, release the hitters.
+    Requester(Arc<Completion>),
+    /// A hit on a slot whose fill another thread still owes: await the
+    /// installation.
+    Hitter(Arc<Completion>),
+}
+
+/// Stop signal + join handle for the background flusher thread. Plain `std`
+/// primitives on purpose: the flusher is real-time machinery (it sleeps on
+/// a wall-clock interval) and is never spawned under the model checker —
+/// scenarios drive [`LatchedBufferPool::flush_step`] explicitly instead.
+struct Flusher {
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    thread: std::sync::Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Flusher {
+    fn idle() -> Self {
+        Flusher {
+            stop: Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new())),
+            thread: std::sync::Mutex::new(None),
+        }
+    }
+
+    fn signal_stop(&self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        cv.notify_all();
+    }
+
+    fn stop_and_join(&self) {
+        self.signal_stop();
+        let handle = self.thread.lock().unwrap_or_else(|e| e.into_inner()).take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+fn flusher_loop<C: ConcurrentDiskManager + 'static>(
+    pool: std::sync::Weak<LatchedBufferPool<C>>,
+    stop: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    interval: Duration,
+) {
+    let (lock, cv) = &*stop;
+    loop {
+        {
+            let guard = lock.lock().unwrap_or_else(|e| e.into_inner());
+            let (guard, _) = cv
+                .wait_timeout(guard, interval)
+                .unwrap_or_else(|e| e.into_inner());
+            if *guard {
+                return;
+            }
+        }
+        // Weak: the flusher must not keep the pool alive. If this upgrade
+        // is ever the last strong reference, the pool drop that runs here
+        // only signals (it never joins this thread) — no self-join.
+        let Some(pool) = pool.upgrade() else { return };
+        // Write errors are sticky in the scheduler; flush_step itself only
+        // fails on engine invariant breakage, which the tests assert out.
+        let _ = pool.flush_step();
+    }
+}
+
+/// How the pool reaches stable storage.
+enum PoolIo<C: ConcurrentDiskManager + 'static> {
+    /// Synchronous: every transfer runs on the referencing thread, under
+    /// the shard core (tier three's original shape).
+    Sync(C),
+    /// Asynchronous: transfers go through the [`DiskScheduler`]; misses
+    /// park only the requesting thread, write-backs and flushes are
+    /// fire-and-forget.
+    Async {
+        sched: DiskScheduler<C>,
+        cfg: DiskSchedulerConfig,
+        flusher: Flusher,
+    },
+}
+
+/// A buffer pool with a sharded page table and per-frame data latches.
+pub struct LatchedBufferPool<C: ConcurrentDiskManager + 'static> {
+    shards: Vec<Shard>,
+    io: PoolIo<C>,
+}
+
+fn build_shards(
+    shards: usize,
+    total_frames: usize,
+    make_policy: &mut dyn FnMut() -> Box<dyn ReplacementPolicy>,
+) -> Vec<Shard> {
+    assert!(shards >= 1 && total_frames >= shards);
+    let base = total_frames / shards;
+    let extra = total_frames % shards;
+    (0..shards)
+        .map(|i| {
+            let n = base + usize::from(i < extra);
+            Shard {
+                core: Mutex::new(ReplacementCore::new(n, make_policy())),
+                frames: (0..n).map(|_| LatchedFrame::new()).collect(),
+                pending: Mutex::new(FxHashMap::default()),
+                pending_fills: AtomicUsize::new(0),
+            }
+        })
+        .collect()
+}
+
+impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
     /// Partition `total_frames` across `shards` shards over `disk`, with a
-    /// fresh policy per shard from `make_policy`.
+    /// fresh policy per shard from `make_policy`. Synchronous I/O: misses
+    /// and write-backs run on the referencing thread.
     pub fn new(
         shards: usize,
         total_frames: usize,
         disk: C,
         mut make_policy: impl FnMut() -> Box<dyn ReplacementPolicy>,
     ) -> Self {
-        assert!(shards >= 1 && total_frames >= shards);
-        let base = total_frames / shards;
-        let extra = total_frames % shards;
-        let shards = (0..shards)
-            .map(|i| {
-                let n = base + usize::from(i < extra);
-                Shard {
-                    core: Mutex::new(ReplacementCore::new(n, make_policy())),
-                    frames: (0..n).map(|_| LatchedFrame::new()).collect(),
-                }
-            })
-            .collect();
-        LatchedBufferPool { shards, disk }
+        LatchedBufferPool {
+            shards: build_shards(shards, total_frames, &mut make_policy),
+            io: PoolIo::Sync(disk),
+        }
+    }
+
+    /// Like [`new`](Self::new), but with all disk traffic routed through an
+    /// asynchronous [`DiskScheduler`] configured by `cfg`: a miss parks
+    /// only the requesting thread, evictions and flushes submit write-backs
+    /// without waiting, and (when `cfg.background_flusher` is set) a
+    /// background thread writes cold-dirty frames back every
+    /// `cfg.flush_interval` so evictions rarely find a dirty victim at all.
+    ///
+    /// Returns `Arc` because the flusher holds a weak reference to the
+    /// pool. Call [`close`](Self::close) for a clean shutdown; dropping
+    /// without it still drains submitted writes but leaves never-flushed
+    /// dirty frames behind, exactly like the synchronous pool.
+    pub fn with_scheduler(
+        shards: usize,
+        total_frames: usize,
+        disk: C,
+        cfg: DiskSchedulerConfig,
+        mut make_policy: impl FnMut() -> Box<dyn ReplacementPolicy>,
+    ) -> Arc<Self> {
+        let sched = DiskScheduler::new(Arc::new(disk), &cfg);
+        let pool = Arc::new(LatchedBufferPool {
+            shards: build_shards(shards, total_frames, &mut make_policy),
+            io: PoolIo::Async { sched, cfg: cfg.clone(), flusher: Flusher::idle() },
+        });
+        if cfg.background_flusher {
+            let PoolIo::Async { flusher, .. } = &pool.io else { unreachable!() };
+            let weak = Arc::downgrade(&pool);
+            let stop = Arc::clone(&flusher.stop);
+            let handle = std::thread::spawn(move || flusher_loop(weak, stop, cfg.flush_interval));
+            *flusher.thread.lock().unwrap_or_else(|e| e.into_inner()) = Some(handle);
+        }
+        pool
     }
 
     /// Number of shards.
@@ -204,12 +449,23 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
 
     /// The shared disk handle.
     pub fn disk(&self) -> &C {
-        &self.disk
+        match &self.io {
+            PoolIo::Sync(disk) => disk,
+            PoolIo::Async { sched, .. } => sched.disk(),
+        }
+    }
+
+    /// Scheduler I/O accounting, when running in asynchronous mode.
+    pub fn sched_stats(&self) -> Option<SchedStats> {
+        match &self.io {
+            PoolIo::Sync(_) => None,
+            PoolIo::Async { sched, .. } => Some(sched.stats()),
+        }
     }
 
     /// Disk I/O statistics.
     pub fn disk_stats(&self) -> DiskStats {
-        self.disk.stats()
+        self.disk().stats()
     }
 
     fn shard_of(&self, page: PageId) -> usize {
@@ -218,7 +474,7 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
 
     /// Allocate a fresh disk page (not yet fetched into the pool).
     pub fn allocate_page(&self) -> Result<PageId, BufferError> {
-        Ok(self.disk.allocate_page()?)
+        Ok(self.disk().allocate_page()?)
     }
 
     /// True if `page` is currently resident.
@@ -243,16 +499,118 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
     }
 
     /// Pin `page` in its shard and return its frame index — the only step
-    /// that holds the shard core latch. On a miss the engine fetches the
-    /// page from disk here (frame latch uncontended: the frame was free or
-    /// victimized with zero pins).
-    fn pin(&self, shard: &Shard, page: PageId) -> Result<u32, BufferError> {
+    /// that holds the shard core latch. Synchronously, a miss fetches the
+    /// page from disk right here (frame latch uncontended: the frame was
+    /// free or victimized with zero pins). Asynchronously, a miss only
+    /// *submits* the read and returns the [`FillWait`] the caller must
+    /// await after this core latch is gone; a hit on a slot whose fill is
+    /// still in flight gets the hitter's side of the same wait.
+    fn pin(&self, shard: &Shard, page: PageId) -> Result<(u32, Option<FillWait>), BufferError> {
         let _core_held = invariants::acquiring(LatchClass::ShardCore);
         let mut core = shard.core.lock();
-        let mut io = LatchedBackend { frames: &shard.frames, disk: &self.disk };
-        let slot = core.access(page, AccessKind::Random, 0, &mut io)?.slot();
-        core.pin_slot(slot)?;
-        Ok(slot)
+        match &self.io {
+            PoolIo::Sync(disk) => {
+                let mut io = LatchedBackend { frames: &shard.frames, disk };
+                let slot = core.access(page, AccessKind::Random, 0, &mut io)?.slot();
+                core.pin_slot(slot)?;
+                Ok((slot, None))
+            }
+            PoolIo::Async { sched, .. } => {
+                let mut io = AsyncBackend {
+                    frames: &shard.frames,
+                    sched,
+                    fill: None,
+                    flush_batch: Vec::new(),
+                };
+                let slot = core.access(page, AccessKind::Random, 0, &mut io)?.slot();
+                core.pin_slot(slot)?;
+                let wait = if let Some(c) = io.fill {
+                    // Our own miss: register the in-flight fill while still
+                    // under the core, so every later hitter finds it.
+                    shard.pending.lock().insert(slot, Arc::clone(&c));
+                    shard.pending_fills.fetch_add(1, Ordering::Release);
+                    Some(FillWait::Requester(c))
+                } else if shard.pending_fills.load(Ordering::Acquire) != 0 {
+                    shard.pending.lock().get(&slot).cloned().map(FillWait::Hitter)
+                } else {
+                    // Fast path: no fill in flight anywhere in the shard —
+                    // a hit costs one atomic load beyond the sync pool.
+                    None
+                };
+                Ok((slot, wait))
+            }
+        }
+    }
+
+    /// Await the fill a [`pin`](Self::pin) reported, with no shard latch
+    /// held. On success the frame holds the page image and the pin from
+    /// `pin` is still ours; on failure the pin has been released (and the
+    /// reserved frame reclaimed once the last waiter passes through).
+    fn await_fill(
+        &self,
+        shard: &Shard,
+        fid: u32,
+        page: PageId,
+        wait: FillWait,
+    ) -> Result<(), BufferError> {
+        match wait {
+            FillWait::Requester(c) => match c.wait_io() {
+                Ok(bytes) => {
+                    {
+                        let _user = invariants::acquiring(LatchClass::FrameUser);
+                        shard.frames[fid as usize].data.write().copy_from_slice(&bytes);
+                    }
+                    c.mark_installed();
+                    let mut pending = shard.pending.lock();
+                    if pending.get(&fid).is_some_and(|p| Arc::ptr_eq(p, &c)) {
+                        pending.remove(&fid);
+                        drop(pending);
+                        shard.pending_fills.fetch_sub(1, Ordering::Release);
+                    }
+                    Ok(())
+                }
+                Err(e) => {
+                    // Release the hitters first — the error is sticky in
+                    // the completion, so they all observe it.
+                    c.mark_installed();
+                    Err(self.abandon_fill(shard, fid, page, &c, e))
+                }
+            },
+            FillWait::Hitter(c) => match c.wait_installed() {
+                Ok(()) => Ok(()),
+                Err(e) => Err(self.abandon_fill(shard, fid, page, &c, e)),
+            },
+        }
+    }
+
+    /// A fill failed: drop this thread's pin, and if we are the last waiter
+    /// out, un-admit the page so the reserved frame (holding garbage bytes)
+    /// returns to the free list. The pending entry is removed only when the
+    /// un-admission actually happens — earlier waiters must keep finding it
+    /// so they wait out `installed` and observe the error instead of
+    /// reading the garbage frame.
+    fn abandon_fill(
+        &self,
+        shard: &Shard,
+        fid: u32,
+        page: PageId,
+        c: &Arc<Completion>,
+        e: DiskError,
+    ) -> BufferError {
+        let _core_held = invariants::acquiring(LatchClass::ShardCore);
+        let mut core = shard.core.lock();
+        let _ = core.unpin_slot(fid, false);
+        if core.pin_count(fid) == 0 && core.page_of(fid) == Some(page) {
+            // xtask-allow: handle-hygiene -- un-admission of a never-filled frame: identity was just re-verified via the slot (page_of), and forget is the delete-path API, addressed by page by contract
+            let _ = core.forget(page);
+            let mut pending = shard.pending.lock();
+            if pending.get(&fid).is_some_and(|p| Arc::ptr_eq(p, c)) {
+                pending.remove(&fid);
+                drop(pending);
+                shard.pending_fills.fetch_sub(1, Ordering::Release);
+            }
+        }
+        BufferError::Disk(e)
     }
 
     /// Release one pin of the page held in frame `fid`; taken only after
@@ -269,7 +627,11 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
     /// of the same page share the frame latch.
     pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, BufferError> {
         let shard = &self.shards[self.shard_of(page)];
-        let fid = self.pin(shard, page)?;
+        let (fid, wait) = self.pin(shard, page)?;
+        if let Some(wait) = wait {
+            // A failed fill has already released our pin: just propagate.
+            self.await_fill(shard, fid, page, wait)?;
+        }
         // Recursive shared acquisition keeps nested reads of the same page
         // safe even with a writer queued on the latch.
         let user_held = invariants::acquiring(LatchClass::FrameUser);
@@ -286,7 +648,10 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, BufferError> {
         let shard = &self.shards[self.shard_of(page)];
-        let fid = self.pin(shard, page)?;
+        let (fid, wait) = self.pin(shard, page)?;
+        if let Some(wait) = wait {
+            self.await_fill(shard, fid, page, wait)?;
+        }
         let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&mut shard.frames[fid as usize].data.write());
         drop(user_held);
@@ -294,15 +659,108 @@ impl<C: ConcurrentDiskManager> LatchedBufferPool<C> {
         Ok(out)
     }
 
-    /// Write every dirty resident page back to disk.
+    /// Write every dirty resident page back to disk. In asynchronous mode
+    /// this submits one grouped write-back per shard, then waits for the
+    /// scheduler to go idle and surfaces any write fault it latched.
     pub fn flush_all(&self) -> Result<(), BufferError> {
+        match &self.io {
+            PoolIo::Sync(disk) => {
+                for shard in &self.shards {
+                    let _core_held = invariants::acquiring(LatchClass::ShardCore);
+                    let mut core = shard.core.lock();
+                    let mut io = LatchedBackend { frames: &shard.frames, disk };
+                    core.flush_all(&mut io)?;
+                }
+                Ok(())
+            }
+            PoolIo::Async { sched, .. } => {
+                for shard in &self.shards {
+                    let _core_held = invariants::acquiring(LatchClass::ShardCore);
+                    let mut core = shard.core.lock();
+                    let mut io = AsyncBackend {
+                        frames: &shard.frames,
+                        sched,
+                        fill: None,
+                        flush_batch: Vec::new(),
+                    };
+                    core.flush_all(&mut io)?;
+                    // Submit before the core drops: a page re-dirtied after
+                    // this point must reach the write table *after* us.
+                    if !io.flush_batch.is_empty() {
+                        sched.submit_write_batch(io.flush_batch);
+                    }
+                }
+                sched.drain();
+                match sched.take_fault() {
+                    Some(e) => Err(BufferError::Disk(e)),
+                    None => Ok(()),
+                }
+            }
+        }
+    }
+
+    /// One background write-back sweep (asynchronous mode; a no-op
+    /// otherwise): each shard with at least `flush_watermark` cold-dirty
+    /// frames (dirty, unpinned) gets up to `flush_batch` of them submitted
+    /// as one grouped write-back. Returns the number of pages submitted.
+    /// The background flusher calls this on its interval; tests and model
+    /// scenarios call it directly.
+    pub fn flush_step(&self) -> Result<usize, BufferError> {
+        let PoolIo::Async { sched, cfg, .. } = &self.io else {
+            return Ok(0);
+        };
+        let mut submitted = 0;
         for shard in &self.shards {
             let _core_held = invariants::acquiring(LatchClass::ShardCore);
             let mut core = shard.core.lock();
-            let mut io = LatchedBackend { frames: &shard.frames, disk: &self.disk };
-            core.flush_all(&mut io)?;
+            let cold: Vec<(u32, PageId)> = (0..shard.frames.len() as u32)
+                .filter(|&s| core.is_dirty(s) && core.pin_count(s) == 0)
+                .filter_map(|s| core.page_of(s).map(|p| (s, p)))
+                .collect();
+            if cold.len() < cfg.flush_watermark.max(1) {
+                continue;
+            }
+            let mut io = AsyncBackend {
+                frames: &shard.frames,
+                sched,
+                fill: None,
+                flush_batch: Vec::new(),
+            };
+            for &(slot, page) in cold.iter().take(cfg.flush_batch.max(1)) {
+                core.flush_slot(page, slot, &mut io)?;
+            }
+            submitted += io.flush_batch.len();
+            if !io.flush_batch.is_empty() {
+                sched.submit_write_batch(io.flush_batch);
+            }
+        }
+        Ok(submitted)
+    }
+
+    /// Clean shutdown of the asynchronous machinery (a no-op for a
+    /// synchronous pool): stop and join the background flusher, flush every
+    /// dirty frame, then close the scheduler — joining its workers and
+    /// surfacing the first write fault, if any.
+    pub fn close(&self) -> Result<(), BufferError> {
+        if let PoolIo::Async { sched, flusher, .. } = &self.io {
+            flusher.stop_and_join();
+            self.flush_all()?;
+            sched.close()?;
         }
         Ok(())
+    }
+}
+
+impl<C: ConcurrentDiskManager + 'static> Drop for LatchedBufferPool<C> {
+    fn drop(&mut self) {
+        // Only *signal* the flusher here: when the flusher's own upgrade
+        // was the last strong reference, this drop runs on the flusher
+        // thread and a join would deadlock on itself. The scheduler's drop
+        // (joining its workers, draining submitted writes) follows as part
+        // of the normal field teardown.
+        if let PoolIo::Async { flusher, .. } = &self.io {
+            flusher.signal_stop();
+        }
     }
 }
 
@@ -534,6 +992,226 @@ mod tests {
         assert!(pool.contains(pages[0]));
         assert_eq!(pool.capacity(), 1);
         assert_eq!(pool.shard_count(), 1);
+    }
+
+    fn make_async(
+        shards: usize,
+        frames: usize,
+        disk_pages: usize,
+        cfg: DiskSchedulerConfig,
+    ) -> (Arc<LatchedBufferPool<ConcurrentInMemoryDisk>>, Vec<PageId>) {
+        let pool = LatchedBufferPool::with_scheduler(
+            shards,
+            frames,
+            ConcurrentInMemoryDisk::unbounded(),
+            cfg,
+            || Box::new(LruK::lru2()),
+        );
+        let pages: Vec<PageId> = (0..disk_pages)
+            .map(|_| pool.allocate_page().unwrap())
+            .collect();
+        (pool, pages)
+    }
+
+    /// No wall-clock flusher in unit tests unless the test is about it.
+    fn quiet_cfg() -> DiskSchedulerConfig {
+        DiskSchedulerConfig { background_flusher: false, ..DiskSchedulerConfig::default() }
+    }
+
+    #[test]
+    fn async_roundtrip_eviction_writeback_and_close() {
+        let (pool, pages) = make_async(2, 4, 16, quiet_cfg());
+        for (i, &p) in pages.iter().enumerate() {
+            pool.with_page_mut(p, |d| d[0] = i as u8).unwrap();
+        }
+        for (i, &p) in pages.iter().enumerate() {
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), i as u8);
+        }
+        assert!(pool.stats().evictions > 0);
+        pool.close().unwrap();
+        // Every dirty frame reached the device.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        for (i, &p) in pages.iter().enumerate() {
+            pool.disk().read_page(p, &mut buf).unwrap();
+            assert_eq!(buf[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn async_decisions_match_the_sync_pool_bit_for_bit() {
+        // The same single-threaded reference string through the sync pool
+        // and the async pool: identical hit/miss/eviction record. Prefetch
+        // hints fire (the trace has sequential runs) but are advisory.
+        // One shard: run detection lives in the per-shard engine, and a
+        // multi-shard pool scatters consecutive page ids across cores.
+        let (sync_pool, sync_pages) = make(1, 8, 64);
+        let (async_pool, async_pages) = make_async(1, 8, 64, quiet_cfg());
+        let mut state = 0xC0FFEEu64;
+        let mut refs: Vec<usize> = Vec::new();
+        for i in 0..2_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if i % 10 == 0 {
+                // A sequential burst long enough to trip run detection.
+                let base = ((state >> 33) % 56) as usize;
+                refs.extend(base..base + 6);
+            } else {
+                refs.push(((state >> 33) % 64) as usize);
+            }
+        }
+        for &i in &refs {
+            let write = i % 5 == 0;
+            if write {
+                sync_pool.with_page_mut(sync_pages[i], |d| d[2] = 1).unwrap();
+                async_pool.with_page_mut(async_pages[i], |d| d[2] = 1).unwrap();
+            } else {
+                sync_pool.with_page(sync_pages[i], |_| ()).unwrap();
+                async_pool.with_page(async_pages[i], |_| ()).unwrap();
+            }
+        }
+        assert_eq!(sync_pool.stats(), async_pool.stats(), "decision records diverged");
+        let sched = async_pool.sched_stats().unwrap();
+        assert!(sched.prefetched > 0, "sequential bursts must trigger prefetch");
+        assert!(sched.prefetch_hits > 0, "prefetched pages must serve later misses");
+        async_pool.close().unwrap();
+        assert!(sync_pool.sched_stats().is_none());
+    }
+
+    #[test]
+    fn async_concurrent_counter_increments_are_all_applied() {
+        let (pool, pages) = make_async(2, 4, 16, quiet_cfg());
+        let threads = 8;
+        let per_thread = 300u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let pool = Arc::clone(&pool);
+                let target = pages[0];
+                let noise: Vec<PageId> = pages[1..].to_vec();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        loop {
+                            match pool.with_page_mut(target, |d| {
+                                let c = u64::from_le_bytes(d[..8].try_into().unwrap());
+                                d[..8].copy_from_slice(&(c + 1).to_le_bytes());
+                            }) {
+                                Ok(()) => break,
+                                Err(BufferError::NoVictim(VictimError::AllPinned)) => {
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("unexpected pool error: {e}"),
+                            }
+                        }
+                        let n = noise[(t * 7 + i as usize) % noise.len()];
+                        loop {
+                            match pool.with_page(n, |_| ()) {
+                                Ok(()) => break,
+                                Err(BufferError::NoVictim(VictimError::AllPinned)) => {
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("unexpected pool error: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let total = pool
+            .with_page(pages[0], |d| u64::from_le_bytes(d[..8].try_into().unwrap()))
+            .unwrap();
+        assert_eq!(total, threads as u64 * per_thread);
+        pool.close().unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        pool.disk().read_page(pages[0], &mut buf).unwrap();
+        assert_eq!(
+            u64::from_le_bytes(buf[..8].try_into().unwrap()),
+            threads as u64 * per_thread,
+            "close must persist the final counter"
+        );
+    }
+
+    /// Fault injection, read side: the worker's failed read propagates to
+    /// the parked requester as `BufferError::Disk`, the reserved frame goes
+    /// back to the free list (the very next access can use it), and the
+    /// queue keeps serving.
+    #[test]
+    fn async_failed_read_propagates_and_frees_the_reserved_frame() {
+        let (pool, pages) = make_async(1, 1, 1, quiet_cfg());
+        let bogus = PageId(999);
+        for _ in 0..3 {
+            assert!(matches!(
+                pool.with_page(bogus, |_| ()),
+                Err(BufferError::Disk(DiskError::PageNotAllocated(p))) if p == bogus
+            ));
+            // One frame total: it must have been reclaimed for this to work.
+            pool.with_page(pages[0], |_| ()).unwrap();
+            assert!(pool.contains(pages[0]));
+        }
+        pool.close().unwrap();
+    }
+
+    /// Fault injection, write side: an asynchronous write-back failure is
+    /// latched and surfaced by the next flush; the pool itself keeps
+    /// working and a clean page's lifecycle is unaffected.
+    #[test]
+    fn async_failed_writeback_is_sticky_but_does_not_wedge_the_pool() {
+        let (pool, pages) = make_async(1, 2, 2, quiet_cfg());
+        pool.with_page_mut(pages[0], |d| d[0] = 0x77).unwrap();
+        // Make the eventual write-back of pages[0] fail at the device.
+        pool.disk().deallocate_page(pages[0]).unwrap();
+        assert!(matches!(
+            pool.flush_all(),
+            Err(BufferError::Disk(DiskError::PageNotAllocated(p))) if p == pages[0]
+        ));
+        // The fault was taken; the pool still serves other pages and a
+        // subsequent clean close succeeds.
+        pool.with_page_mut(pages[1], |d| d[0] = 0x88).unwrap();
+        pool.close().unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        pool.disk().read_page(pages[1], &mut buf).unwrap();
+        assert_eq!(buf[0], 0x88);
+    }
+
+    #[test]
+    fn background_flusher_writes_back_without_being_asked() {
+        let cfg = DiskSchedulerConfig {
+            background_flusher: true,
+            flush_watermark: 1,
+            flush_batch: 8,
+            flush_interval: Duration::from_millis(1),
+            ..DiskSchedulerConfig::default()
+        };
+        let (pool, pages) = make_async(1, 8, 8, cfg);
+        for &p in &pages[..6] {
+            pool.with_page_mut(p, |d| d[0] = 0xBF).unwrap();
+        }
+        // No explicit flush: the background thread must write these back.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.disk_stats().writes < 6 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flusher made no progress: {} writes",
+                pool.disk_stats().writes
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.close().unwrap();
+    }
+
+    #[test]
+    fn async_drop_without_close_is_clean() {
+        // Dropping a pool with queued writes and a live flusher must not
+        // hang or panic; the scheduler drop drains submitted work.
+        let cfg = DiskSchedulerConfig {
+            background_flusher: true,
+            flush_interval: Duration::from_millis(1),
+            ..DiskSchedulerConfig::default()
+        };
+        let (pool, pages) = make_async(2, 4, 8, cfg);
+        for &p in &pages {
+            pool.with_page_mut(p, |d| d[0] = 1).unwrap();
+        }
+        drop(pool);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 pub mod concurrent;
 pub mod disk;
+pub mod disk_scheduler;
 pub mod frame;
 pub mod invariants;
 pub mod latched;
@@ -55,6 +56,9 @@ pub mod sharded;
 
 pub use concurrent::ConcurrentBufferPool;
 pub use disk::{DiskError, DiskManager, DiskStats, InMemoryDisk, PAGE_SIZE};
+pub use disk_scheduler::{
+    Completion, DiskRequest, DiskScheduler, DiskSchedulerConfig, SchedStats,
+};
 pub use frame::{Frame, FrameId};
 pub use latched::LatchedBufferPool;
 pub use pool::{BufferError, BufferPoolManager, PageGuard, PageGuardMut};

@@ -34,6 +34,17 @@ pub trait ConcurrentDiskManager: Send + Sync {
     /// Write `data` (`PAGE_SIZE` bytes) as page `page`.
     fn write_page(&self, page: PageId, data: &[u8]) -> Result<(), DiskError>;
 
+    /// Write a batch of pages in one call. The default forwards page by
+    /// page; devices with a per-request cost (seek latency, syscall
+    /// overhead) override this so a coalesced batch of adjacent pages pays
+    /// that cost once. Stops at the first failing page.
+    fn write_pages(&self, pages: &[(PageId, &[u8])]) -> Result<(), DiskError> {
+        for (page, data) in pages {
+            self.write_page(*page, data)?;
+        }
+        Ok(())
+    }
+
     /// Allocate a fresh zeroed page and return its id.
     fn allocate_page(&self) -> Result<PageId, DiskError>;
 
@@ -57,6 +68,9 @@ impl<C: ConcurrentDiskManager + ?Sized> ConcurrentDiskManager for Arc<C> {
     }
     fn write_page(&self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
         (**self).write_page(page, data)
+    }
+    fn write_pages(&self, pages: &[(PageId, &[u8])]) -> Result<(), DiskError> {
+        (**self).write_pages(pages)
     }
     fn allocate_page(&self) -> Result<PageId, DiskError> {
         (**self).allocate_page()

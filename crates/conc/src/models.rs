@@ -10,7 +10,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::model;
-use crate::vsync::{SharedRaceCell, VAtomicU64, VMutex};
+use crate::vsync::{SharedRaceCell, VAtomicU64, VCondvar, VMutex};
 
 /// Deliberately seeded bug: an "evictor" checks the pin count *outside* the
 /// core latch, racing the client's latched pin/unpin writes — the exact
@@ -142,6 +142,73 @@ pub fn relaxed_publish_race() -> impl Fn() + Send + Sync + 'static {
         };
         producer.join();
         consumer.join();
+    }
+}
+
+/// Deliberately seeded lost wakeup in a completion signal: the waiter
+/// checks the done flag under the mutex, *releases it*, and only then
+/// re-locks to wait — so a notify landing in the gap finds no registered
+/// waiter and the waiter parks forever. The disk scheduler's completion
+/// protocol (request → worker → signal → waiter) must never have this
+/// shape; the checker has to find a schedule that deadlocks.
+pub fn buggy_completion_lost_wakeup() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let done = Arc::new(VMutex::new(false));
+        let cv = Arc::new(VCondvar::new());
+
+        let waiter = {
+            let (done, cv) = (Arc::clone(&done), Arc::clone(&cv));
+            model::spawn(move || {
+                // BUG: the predicate check and the wait registration are
+                // split across two critical sections — a notify landing in
+                // the gap is lost and the stale check parks us anyway.
+                let pending = !*done.lock();
+                if pending {
+                    let mut guard = done.lock();
+                    cv.wait(&mut guard);
+                }
+            })
+        };
+        let signaler = {
+            let (done, cv) = (Arc::clone(&done), Arc::clone(&cv));
+            model::spawn(move || {
+                *done.lock() = true;
+                cv.notify_one();
+            })
+        };
+        waiter.join();
+        signaler.join();
+    }
+}
+
+/// The corrected completion signal: the waiter holds the mutex from the
+/// predicate check through wait registration (the condvar re-acquires it
+/// before returning), and loops on the predicate. No schedule may hang or
+/// report a violation — this pins down the virtual condvar's sticky-token
+/// handoff for the protocol the real disk scheduler uses.
+pub fn fixed_completion_wait_loop() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let done = Arc::new(VMutex::new(false));
+        let cv = Arc::new(VCondvar::new());
+
+        let waiter = {
+            let (done, cv) = (Arc::clone(&done), Arc::clone(&cv));
+            model::spawn(move || {
+                let mut guard = done.lock();
+                while !*guard {
+                    cv.wait(&mut guard);
+                }
+            })
+        };
+        let signaler = {
+            let (done, cv) = (Arc::clone(&done), Arc::clone(&cv));
+            model::spawn(move || {
+                *done.lock() = true;
+                cv.notify_one();
+            })
+        };
+        waiter.join();
+        signaler.join();
     }
 }
 

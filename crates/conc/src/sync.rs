@@ -8,10 +8,10 @@
 //! the pool becomes a schedule point without a single source change.
 
 #[cfg(not(conc_model))]
-pub use parking_lot::{Mutex, RwLock};
+pub use parking_lot::{Condvar, Mutex, RwLock};
 
 #[cfg(conc_model)]
-pub use crate::vsync::{VMutex as Mutex, VRwLock as RwLock};
+pub use crate::vsync::{VCondvar as Condvar, VMutex as Mutex, VRwLock as RwLock};
 
 /// Atomic types under the same switch. `Ordering` is always the std enum.
 pub mod atomic {

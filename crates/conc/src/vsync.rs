@@ -179,6 +179,133 @@ fn unreachable_guard() -> ! {
     panic!("virtual guard used after release")
 }
 
+/// A condition variable with the same virtual/pass-through split as
+/// [`VMutex`]: outside a model run it defers to `std::sync::Condvar`;
+/// inside one, waiting releases the virtual mutex and parks the virtual
+/// thread, and notifying transfers sticky unpark tokens through the
+/// scheduler — so a waiter that registered before releasing the mutex can
+/// never miss a wakeup, and a genuinely lost wakeup shows up as a model
+/// deadlock instead of a hang.
+///
+/// API mirrors the `parking_lot::Condvar` subset the tree uses
+/// (`wait`, `wait_for`, `notify_one`, `notify_all`).
+#[derive(Debug, Default)]
+pub struct VCondvar {
+    /// Virtual waiters (model mode): registered *before* the mutex is
+    /// released inside [`wait`](Self::wait), so a notify between release
+    /// and park still finds them.
+    waiters: std::sync::Mutex<Vec<crate::sched::Tid>>,
+    /// Pass-through waiting (no active model run).
+    cv: std::sync::Condvar,
+}
+
+impl VCondvar {
+    /// A condvar with no waiters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Block until notified, releasing `guard`'s mutex while waiting and
+    /// re-acquiring it before returning. Callers loop on their predicate,
+    /// as with any condvar (spurious wakeups are permitted in both modes).
+    pub fn wait<T>(&self, guard: &mut VMutexGuard<'_, T>) {
+        let owner = guard.owner;
+        if let Some((sched, tid)) = sched::active() {
+            // Register while still holding the mutex, then release it
+            // (virtually and physically) and park. A notify issued at any
+            // point after registration produces a sticky unpark token, so
+            // the release→park window cannot lose the wakeup.
+            self.waiters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(tid);
+            guard.inner = None;
+            sync_point(&owner.id, ObjKind::Mutex, Op::MutexUnlock);
+            sched::schedule_point(&sched, tid, Op::Park);
+            sync_point(&owner.id, ObjKind::Mutex, Op::MutexLock);
+            guard.inner = Some(owner.data.lock().unwrap_or_else(|e| e.into_inner()));
+        } else {
+            let inner = match guard.inner.take() {
+                Some(g) => g,
+                None => unreachable_guard(),
+            };
+            guard.inner = Some(self.cv.wait(inner).unwrap_or_else(|e| e.into_inner()));
+        }
+    }
+
+    /// Block until notified or `timeout` elapses; returns `true` when the
+    /// wait timed out. Under an active model run there is no virtual time,
+    /// so this degrades to a single yield and reports a timeout — timed
+    /// loops (the background flusher) make progress instead of wedging the
+    /// scheduler, and model scenarios drive their bodies directly.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut VMutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        if let Some((sched, tid)) = sched::active() {
+            let _ = guard; // the mutex stays held across the yield
+            sched::schedule_point(&sched, tid, Op::Yield);
+            true
+        } else {
+            let inner = match guard.inner.take() {
+                Some(g) => g,
+                None => unreachable_guard(),
+            };
+            let (inner, result) = match self.cv.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r),
+                Err(e) => {
+                    let (g, r) = e.into_inner();
+                    (g, r)
+                }
+            };
+            guard.inner = Some(inner);
+            result.timed_out()
+        }
+    }
+
+    /// Wake one waiter; returns `true` if one was woken.
+    pub fn notify_one(&self) -> bool {
+        if let Some((sched, tid)) = sched::active() {
+            let woken = self
+                .waiters
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .pop();
+            match woken {
+                Some(w) => {
+                    sched::schedule_point(&sched, tid, Op::Unpark(w));
+                    true
+                }
+                None => false,
+            }
+        } else {
+            self.cv.notify_one();
+            // std does not report whether a waiter existed; claim delivery
+            // like parking_lot's "at least best effort" contract.
+            true
+        }
+    }
+
+    /// Wake every waiter; returns how many were woken (0 in pass-through
+    /// mode, where std does not count waiters).
+    pub fn notify_all(&self) -> usize {
+        if let Some((sched, tid)) = sched::active() {
+            let woken: Vec<crate::sched::Tid> = std::mem::take(
+                &mut *self.waiters.lock().unwrap_or_else(|e| e.into_inner()),
+            );
+            let n = woken.len();
+            for w in woken {
+                sched::schedule_point(&sched, tid, Op::Unpark(w));
+            }
+            n
+        } else {
+            self.cv.notify_all();
+            0
+        }
+    }
+}
+
 macro_rules! v_atomic {
     ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
         $(#[$doc])*

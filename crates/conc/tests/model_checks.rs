@@ -154,6 +154,68 @@ fn identical_explorations_render_identical_reports() {
     assert!(a.contains("\"gate\": \"pass\""), "self-test expectations all hold:\n{a}");
 }
 
+/// The split check-then-wait completion signal loses a wakeup on some
+/// schedule, and the model must surface it as a deadlock (waiter parked,
+/// nobody left to notify) rather than hanging the test process.
+#[test]
+fn lost_wakeup_in_completion_signal_is_caught() {
+    let cfg = quick(256);
+    let stats = explore(&cfg, models::buggy_completion_lost_wakeup());
+    let bad = stats
+        .violations
+        .iter()
+        .find(|r| r.violation.as_ref().is_some_and(|v| v.kind == ViolationKind::Deadlock))
+        .expect("random search must find the lost-wakeup deadlock within 256 seeds");
+    // The reported seed replays to the identical stuck schedule.
+    let again = replay_seed(bad.seed, &cfg, models::buggy_completion_lost_wakeup());
+    assert_eq!(again.schedule, bad.schedule);
+    assert_eq!(again.violation, bad.violation);
+}
+
+/// The predicate-loop version of the same protocol must pass every
+/// schedule: the condvar registers the waiter before the mutex is released,
+/// so notify-in-the-gap hands over a sticky token instead of vanishing.
+#[test]
+fn completion_wait_loop_is_clean() {
+    let stats = explore(&quick(256), models::fixed_completion_wait_loop());
+    assert!(
+        stats.violations.is_empty(),
+        "hold-through-registration wait must never lose the wakeup: {:?}",
+        stats.violations[0].violation
+    );
+}
+
+/// Outside a model run the virtual condvar passes through to std and must
+/// deliver a real cross-thread wakeup (plus a timing-free wait_for path).
+#[test]
+fn vcondvar_passes_through_outside_model_runs() {
+    use lruk_conc::vsync::{VCondvar, VMutex};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let done = Arc::new(VMutex::new(false));
+    let cv = Arc::new(VCondvar::new());
+    let signaler = {
+        let (done, cv) = (Arc::clone(&done), Arc::clone(&cv));
+        std::thread::spawn(move || {
+            *done.lock() = true;
+            cv.notify_all();
+        })
+    };
+    let mut guard = done.lock();
+    while !*guard {
+        cv.wait(&mut guard);
+    }
+    drop(guard);
+    signaler.join().unwrap();
+
+    // Nobody signals: a short timed wait must report timeout, not hang.
+    let idle = VMutex::new(());
+    let cv2 = VCondvar::new();
+    let mut g = idle.lock();
+    assert!(cv2.wait_for(&mut g, Duration::from_millis(5)), "unsignaled wait_for times out");
+}
+
 /// Park/unpark must carry a happens-before edge and sticky-token semantics.
 #[test]
 fn park_unpark_orders_and_never_hangs() {

@@ -105,6 +105,16 @@ pub trait CoreBackend {
 
     /// Load `page`'s bytes from stable storage into `slot`.
     fn fill(&mut self, page: PageId, slot: u32) -> Result<(), Self::Error>;
+
+    /// Advisory: the engine detected a sequential miss run and expects the
+    /// pages in `hint` to be referenced soon. Best-effort and non-binding —
+    /// a backend with no read-ahead machinery ignores it (the default), one
+    /// with an async scheduler stages the pages in its prefetch cache. Must
+    /// not touch pool state: hints never admit pages, so replacement
+    /// decisions are identical with or without a consumer.
+    fn prefetch(&mut self, hint: PrefetchHint) {
+        let _ = hint;
+    }
 }
 
 /// Backend for frameless drivers (the simulator): both callbacks succeed
@@ -138,6 +148,35 @@ pub struct Evicted {
     pub dirty: bool,
 }
 
+/// A read-ahead hint: the engine saw `run` consecutive sequential misses
+/// ending at `start - 1` and predicts the next `len` pages will be
+/// referenced. Delivered to [`CoreBackend::prefetch`] and echoed in
+/// [`Outcome::Admitted`] so latch-holding drivers can act on it after
+/// releasing the core.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PrefetchHint {
+    /// First page to read ahead (one past the missed page).
+    pub start: PageId,
+    /// Number of consecutive pages predicted (capped at
+    /// [`PREFETCH_WINDOW_MAX`]).
+    pub len: u32,
+}
+
+impl PrefetchHint {
+    /// The hinted pages, in ascending order.
+    pub fn pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        (0..self.len as u64).map(move |i| PageId(self.start.0 + i))
+    }
+}
+
+/// Sequential misses needed before the engine starts hinting (the first two
+/// misses of a run establish the pattern; the third acts on it).
+pub const PREFETCH_MIN_RUN: u32 = 3;
+
+/// Upper bound on a single hint's page count: the window grows with the
+/// observed run length but never outruns it by more than this.
+pub const PREFETCH_WINDOW_MAX: u32 = 8;
+
 /// What one [`access`](ReplacementCore::access) did.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Outcome {
@@ -154,6 +193,10 @@ pub enum Outcome {
         slot: u32,
         /// The evicted page, if a replacement was needed.
         victim: Option<Evicted>,
+        /// Read-ahead hint when this miss extended a sequential run (already
+        /// delivered to [`CoreBackend::prefetch`]; echoed for drivers that
+        /// act on it outside the core latch).
+        prefetch: Option<PrefetchHint>,
     },
 }
 
@@ -288,6 +331,11 @@ pub struct ReplacementCore<'p> {
     free: Vec<u32>,
     clock: Tick,
     stats: CacheStats,
+    /// Last missed page, for sequential-run detection (hits do not break a
+    /// run: re-touching resident pages mid-scan is normal).
+    last_miss: Option<PageId>,
+    /// Length of the current sequential miss run ending at `last_miss`.
+    miss_run: u32,
 }
 
 impl ReplacementCore<'static> {
@@ -318,6 +366,8 @@ impl<'p> ReplacementCore<'p> {
             free: (0..capacity as u32).rev().collect(),
             clock: Tick::ZERO,
             stats: CacheStats::default(),
+            last_miss: None,
+            miss_run: 0,
         }
     }
 
@@ -440,6 +490,7 @@ impl<'p> ReplacementCore<'p> {
         }
         self.stats.record_miss();
         self.policy.get_mut().on_miss(page, now);
+        let prefetch = self.note_miss_for_prefetch(page);
         let (slot, victim) = match self.free.pop() {
             Some(slot) => (slot, None),
             None => {
@@ -463,7 +514,31 @@ impl<'p> ReplacementCore<'p> {
             self.policy.get().resident_len(),
             "policy resident-set bookkeeping diverged at tick {now}"
         );
-        Ok(Outcome::Admitted { slot, victim })
+        if let Some(hint) = prefetch {
+            // Hints are advisory: the backend may not consume them, and they
+            // never change what was admitted or evicted above.
+            backend.prefetch(hint);
+        }
+        Ok(Outcome::Admitted { slot, victim, prefetch })
+    }
+
+    /// Track sequential miss runs; returns a hint once the run is
+    /// established ([`PREFETCH_MIN_RUN`] consecutive pages). The window
+    /// grows with the run — a longer confirmed scan earns deeper read-ahead
+    /// — but is capped at [`PREFETCH_WINDOW_MAX`].
+    fn note_miss_for_prefetch(&mut self, page: PageId) -> Option<PrefetchHint> {
+        self.miss_run = match self.last_miss {
+            Some(prev) if page.0 == prev.0.wrapping_add(1) => self.miss_run.saturating_add(1),
+            _ => 1,
+        };
+        self.last_miss = Some(page);
+        if self.miss_run < PREFETCH_MIN_RUN {
+            return None;
+        }
+        Some(PrefetchHint {
+            start: PageId(page.0.wrapping_add(1)),
+            len: self.miss_run.min(PREFETCH_WINDOW_MAX),
+        })
     }
 
     /// Evict the policy's victim: write-back if dirty, account, un-map, and
@@ -633,7 +708,12 @@ impl<'p> ReplacementCore<'p> {
         Ok(())
     }
 
-    fn flush_slot<B: CoreBackend>(
+    /// Slot-addressed flush: write `slot` back if dirty (the dirty flag
+    /// clears only after the backend succeeds). `page` must be the page
+    /// currently owned by `slot` — callers that scanned the slot table
+    /// already hold both and skip the page-table probe of
+    /// [`flush_page`](Self::flush_page).
+    pub fn flush_slot<B: CoreBackend>(
         &mut self,
         page: PageId,
         slot: u32,
@@ -770,18 +850,23 @@ mod tests {
         // Miss into slot 0, miss into slot 1, hit, then FIFO-evict page 1.
         assert_eq!(
             access(&mut core, &mut b, 1).unwrap(),
-            Outcome::Admitted { slot: 0, victim: None }
+            Outcome::Admitted { slot: 0, victim: None, prefetch: None }
         );
         assert_eq!(
             access(&mut core, &mut b, 2).unwrap(),
-            Outcome::Admitted { slot: 1, victim: None }
+            Outcome::Admitted {
+                slot: 1,
+                victim: None,
+                prefetch: None // run of 2 is below PREFETCH_MIN_RUN
+            }
         );
         assert_eq!(access(&mut core, &mut b, 1).unwrap(), Outcome::Hit { slot: 0 });
         assert_eq!(
             access(&mut core, &mut b, 3).unwrap(),
             Outcome::Admitted {
                 slot: 0,
-                victim: Some(Evicted { page: PageId(1), dirty: false })
+                victim: Some(Evicted { page: PageId(1), dirty: false }),
+                prefetch: Some(PrefetchHint { start: PageId(4), len: 3 })
             }
         );
         assert_eq!(core.clock(), Tick(4));
@@ -808,7 +893,8 @@ mod tests {
             out,
             Outcome::Admitted {
                 slot: 0,
-                victim: Some(Evicted { page: PageId(1), dirty: true })
+                victim: Some(Evicted { page: PageId(1), dirty: true }),
+                prefetch: None
             }
         );
         assert_eq!(
@@ -1072,6 +1158,67 @@ mod tests {
             core.unpin_slot(1, false),
             Err(CoreError::Invariant("unpin of an unoccupied slot"))
         );
+    }
+
+    /// Backend recording delivered prefetch hints.
+    #[derive(Default)]
+    struct HintBackend {
+        hints: Vec<PrefetchHint>,
+    }
+
+    impl CoreBackend for HintBackend {
+        type Error = std::convert::Infallible;
+        fn write_back(
+            &mut self,
+            _p: PageId,
+            _s: u32,
+            _c: WriteBackCause,
+        ) -> Result<(), Self::Error> {
+            Ok(())
+        }
+        fn fill(&mut self, _p: PageId, _s: u32) -> Result<(), Self::Error> {
+            Ok(())
+        }
+        fn prefetch(&mut self, hint: PrefetchHint) {
+            self.hints.push(hint);
+        }
+    }
+
+    #[test]
+    fn sequential_miss_runs_emit_growing_capped_hints() {
+        let mut core = ReplacementCore::new(64, Fifo::boxed());
+        let mut b = HintBackend::default();
+        // Pages 10..30 missed in order: hints start at the third miss and
+        // deepen with the run until the window cap.
+        for p in 10u64..30 {
+            core.access(PageId(p), AccessKind::Sequential, 0, &mut b).unwrap();
+        }
+        assert_eq!(b.hints[0], PrefetchHint { start: PageId(13), len: 3 });
+        assert_eq!(b.hints[1], PrefetchHint { start: PageId(14), len: 4 });
+        let last = *b.hints.last().unwrap();
+        assert_eq!(last, PrefetchHint { start: PageId(30), len: PREFETCH_WINDOW_MAX });
+        assert_eq!(b.hints.len() as u32, 20 - PREFETCH_MIN_RUN + 1);
+        // Hint iteration covers exactly the predicted range.
+        assert_eq!(
+            last.pages().collect::<Vec<_>>(),
+            (30..30 + PREFETCH_WINDOW_MAX as u64).map(PageId).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn non_sequential_misses_break_the_run_and_hits_do_not() {
+        let mut core = ReplacementCore::new(64, Fifo::boxed());
+        let mut b = HintBackend::default();
+        for p in [1u64, 2, 9, 10, 11] {
+            core.access(PageId(p), AccessKind::Random, 0, &mut b).unwrap();
+        }
+        // 1,2 then a jump to 9 resets the run; 9,10,11 re-establishes it.
+        assert_eq!(b.hints, vec![PrefetchHint { start: PageId(12), len: 3 }]);
+        // Hits on resident pages leave the run intact: the next sequential
+        // miss keeps counting.
+        core.access(PageId(1), AccessKind::Random, 0, &mut b).unwrap();
+        core.access(PageId(12), AccessKind::Random, 0, &mut b).unwrap();
+        assert_eq!(b.hints.last(), Some(&PrefetchHint { start: PageId(13), len: 4 }));
     }
 
     #[test]

@@ -30,8 +30,8 @@ pub mod stats;
 pub mod types;
 
 pub use engine::{
-    CoreBackend, CoreError, EngineError, Evicted, Handle, NoopBackend, Outcome, ReplacementCore,
-    WriteBackCause,
+    CoreBackend, CoreError, EngineError, Evicted, Handle, NoopBackend, Outcome, PrefetchHint,
+    ReplacementCore, WriteBackCause, PREFETCH_MIN_RUN, PREFETCH_WINDOW_MAX,
 };
 pub use pin::PinSet;
 pub use policy::{PolicyEvent, PolicySlot, ReplacementPolicy, VictimError};

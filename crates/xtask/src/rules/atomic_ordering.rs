@@ -50,6 +50,17 @@ const RELAXED_COUNTERS: &[&str] = &[
     "allocations",
     "deallocations",
     "retries",
+    // Disk-scheduler accounting (`SchedStats`): bumped by workers, read
+    // only by `stats()` snapshots.
+    "disk_reads",
+    "table_reads",
+    "prefetch_hits",
+    "prefetched",
+    "prefetch_dropped",
+    "disk_writes",
+    "batched_writes",
+    "write_batches",
+    "superseded_writes",
 ];
 
 /// Scan one file for relaxed atomic accesses outside the counter allowlist.

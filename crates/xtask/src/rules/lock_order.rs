@@ -60,11 +60,26 @@ pub struct LockClass {
 const FRAME_LEVEL: u8 = 1;
 
 /// The declared lock hierarchy of `crates/buffer` (see module docs).
+///
+/// The async disk scheduler (`disk_scheduler.rs`, DESIGN.md §4.6) extends
+/// the chain past the disk handle: its locks are only ever taken *after*
+/// any pool latch (producers enqueue under the shard core; workers hold no
+/// pool latch at all), and among themselves order as lane queue → write
+/// table → prefetch cache → completion state → fault latch. The pool-side
+/// pending-fill map (`pending` in `latched.rs`) sits at the lane-queue
+/// level: taken under the core or a frame latch, never under a scheduler
+/// lock. File-specific entries come first: `classify` is first-match-wins.
 pub const HIERARCHY: &[LockClass] = &[
+    LockClass { file_suffix: Some("concurrent.rs"), receiver: "inner", level: 0, label: "pool-global latch" },
+    LockClass { file_suffix: Some("disk_scheduler.rs"), receiver: "queue", level: 6, label: "scheduler lane queue" },
+    LockClass { file_suffix: Some("disk_scheduler.rs"), receiver: "table", level: 7, label: "scheduler write table" },
+    LockClass { file_suffix: Some("disk_scheduler.rs"), receiver: "cache", level: 8, label: "scheduler prefetch cache" },
+    LockClass { file_suffix: Some("disk_scheduler.rs"), receiver: "state", level: 9, label: "completion state lock" },
+    LockClass { file_suffix: Some("disk_scheduler.rs"), receiver: "fault", level: 10, label: "scheduler fault latch" },
+    LockClass { file_suffix: Some("latched.rs"), receiver: "pending", level: 6, label: "pending-fill map" },
     LockClass { file_suffix: None, receiver: "core", level: 0, label: "shard core latch" },
     LockClass { file_suffix: None, receiver: "shards", level: 0, label: "shard latch" },
     LockClass { file_suffix: None, receiver: "shard", level: 0, label: "shard latch" },
-    LockClass { file_suffix: Some("concurrent.rs"), receiver: "inner", level: 0, label: "pool-global latch" },
     LockClass { file_suffix: None, receiver: "data", level: FRAME_LEVEL, label: "frame latch" },
     LockClass { file_suffix: None, receiver: "frames", level: FRAME_LEVEL, label: "frame latch" },
     LockClass { file_suffix: None, receiver: "alloc", level: 2, label: "disk alloc mutex" },
@@ -339,6 +354,52 @@ mod tests {
     fn recursive_frame_reads_are_allowed() {
         let src = "fn ok(&self) {\n    let a = f.data.read_recursive();\n    let b = g.data.read_recursive();\n}\n";
         assert!(run("crates/buffer/src/latched.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scheduler_forward_order_is_clean() {
+        // Producer path: shard core -> lane queue; worker path: write
+        // table -> prefetch cache -> completion state.
+        let src = "fn submit(&self) {\n    let mut core = shard.core.lock();\n    self.lanes[i].queue.lock().requests.push_back(req);\n}\nfn stash(&self) {\n    let mut table = self.table.lock();\n    let mut cache = self.cache.lock();\n    let mut state = completion.state.lock();\n}\n";
+        assert!(run("crates/buffer/src/disk_scheduler.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cache_then_table_is_an_inversion() {
+        let src = "fn bad(&self) {\n    let c = self.cache.lock();\n    let t = self.table.lock();\n}\n";
+        let d = run("crates/buffer/src/disk_scheduler.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("scheduler write table"));
+    }
+
+    #[test]
+    fn queue_under_completion_state_is_an_inversion() {
+        let src = "fn bad(&self) {\n    let st = self.state.lock();\n    let q = lane.queue.lock();\n}\n";
+        let d = run("crates/buffer/src/disk_scheduler.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("scheduler lane queue"));
+    }
+
+    #[test]
+    fn scheduler_names_are_generic_outside_the_scheduler_file() {
+        // `cache` / `table` only classify inside disk_scheduler.rs; the same
+        // receivers elsewhere are unknown and ignored.
+        let src = "fn ok(&self) {\n    let c = self.cache.lock();\n    let t = self.table.lock();\n}\n";
+        assert!(run("crates/buffer/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pending_fill_map_nests_under_core_and_frames() {
+        let src = "fn pin(&self) {\n    let mut core = shard.core.lock();\n    shard.pending.lock().insert(fid, c);\n}\nfn install(&self) {\n    shard.frames[fid].data.write();\n    let mut pending = shard.pending.lock();\n}\n";
+        assert!(run("crates/buffer/src/latched.rs", src).is_empty());
+    }
+
+    #[test]
+    fn core_under_pending_fill_map_is_an_inversion() {
+        let src = "fn bad(&self) {\n    let p = shard.pending.lock();\n    let mut core = shard.core.lock();\n}\n";
+        let d = run("crates/buffer/src/latched.rs", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("shard core latch"));
     }
 
     #[test]

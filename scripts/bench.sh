@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Produce the single-thread hot-path baseline (results/BENCH_hotpath.json):
-# bench_hotpath replays fixed-seed Zipfian/OLTP traces through the
-# pre-change multi-probe path and the single-probe engine, cross-checks
-# bit-identical eviction decisions, and records median-of-reps throughput
-# for both. Pass --smoke for the scaled-down 1-timed-rep gate mode (prints
-# the table, never rewrites the committed artifact).
+# Produce the perf-trajectory baselines:
+#   results/BENCH_hotpath.json   — bench_hotpath replays fixed-seed
+#     Zipfian/OLTP traces through the pre-change multi-probe path and the
+#     single-probe engine, cross-checking bit-identical eviction decisions;
+#   results/BENCH_disksched.json — bench_disksched replays a fixed-seed
+#     miss-heavy trace through the latched pool with synchronous I/O versus
+#     the async disk scheduler over a simulated-latency disk, asserting the
+#     decision and content checksums match before reporting the speedup.
+# Pass --smoke for the scaled-down gate mode (prints the tables, never
+# rewrites the committed artifacts).
 #
 # Prefers cargo; when the registry is unreachable (offline container) it
 # bootstraps the needed crates with bare rustc, stripping serde derives and
@@ -12,19 +16,23 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if cargo build -q --release -p lruk-bench --bin bench_hotpath 2>/dev/null; then
-  exec target/release/bench_hotpath "$@"
+if cargo build -q --release -p lruk-bench --bin bench_hotpath --bin bench_disksched 2>/dev/null; then
+  target/release/bench_hotpath "$@"
+  target/release/bench_disksched "$@"
+  exit 0
 fi
 
-echo "bench.sh: cargo unavailable; bootstrapping bench_hotpath with bare rustc" >&2
+echo "bench.sh: cargo unavailable; bootstrapping bench binaries with bare rustc" >&2
 boot=target/bench-bootstrap
 harness=.claude/skills/verify/harness
 
 # Reuse the previous bootstrap when no relevant source changed.
-if [ -x "$boot/bench_hotpath" ] && [ -z "$(find crates/conc/src crates/policy/src \
+if [ -x "$boot/bench_hotpath" ] && [ -x "$boot/bench_disksched" ] && \
+   [ -z "$(find crates/conc/src crates/policy/src \
      crates/core/src crates/buffer/src crates/storage/src crates/workloads/src \
      crates/bench/src -name '*.rs' -newer "$boot/bench_hotpath" -print -quit)" ]; then
-  exec "$boot/bench_hotpath" "$@"
+  "$boot/bench_hotpath" "$@"
+  exec "$boot/bench_disksched" "$@"
 fi
 
 rm -rf "$boot/src"
@@ -72,5 +80,9 @@ rustc --edition 2021 -O --crate-type rlib --crate-name lruk_bench src/bench/lib.
   --extern lruk_workloads=liblruk_workloads.rlib -L . -o liblruk_bench.rlib
 rustc --edition 2021 -O --crate-name bench_hotpath src/bench/bin/bench_hotpath.rs \
   --extern lruk_bench=liblruk_bench.rlib -L . -o bench_hotpath
+rustc --edition 2021 -O --crate-name bench_disksched src/bench/bin/bench_disksched.rs \
+  --extern lruk_bench=liblruk_bench.rlib --extern lruk_buffer=liblruk_buffer.rlib \
+  -L . -o bench_disksched
 cd ../..
-exec "$boot/bench_hotpath" "$@"
+"$boot/bench_hotpath" "$@"
+exec "$boot/bench_disksched" "$@"
