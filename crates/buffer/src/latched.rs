@@ -195,6 +195,7 @@ impl<C: ConcurrentDiskManager> CoreBackend for LatchedBackend<'_, C> {
         let _held = invariants::acquiring(class);
         let data = frame.data.read();
         frame.begin_writeback();
+        // xtask-allow: blocking-under-latch -- sync backend: the frame latch is what protects the bytes during the transfer; victims have zero pins, so no user parks on it
         let wrote = self.disk.write_page(page, &data);
         frame.end_writeback();
         wrote
@@ -205,6 +206,7 @@ impl<C: ConcurrentDiskManager> CoreBackend for LatchedBackend<'_, C> {
         let frame = &self.frames[slot as usize];
         let _held = invariants::acquiring(LatchClass::FrameEvict);
         let mut data = frame.data.write();
+        // xtask-allow: blocking-under-latch -- sync backend: miss fill under the frame latch by design; the frame was free or victimized with zero pins, so the latch is uncontended
         self.disk.read_page(page, &mut data)
     }
 }
@@ -505,12 +507,17 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
     /// *submits* the read and returns the [`FillWait`] the caller must
     /// await after this core latch is gone; a hit on a slot whose fill is
     /// still in flight gets the hitter's side of the same wait.
-    fn pin(&self, shard: &Shard, page: PageId) -> Result<(u32, Option<FillWait>), BufferError> {
+    fn pin_in_shard(
+        &self,
+        shard: &Shard,
+        page: PageId,
+    ) -> Result<(u32, Option<FillWait>), BufferError> {
         let _core_held = invariants::acquiring(LatchClass::ShardCore);
         let mut core = shard.core.lock();
         match &self.io {
             PoolIo::Sync(disk) => {
                 let mut io = LatchedBackend { frames: &shard.frames, disk };
+                // xtask-allow: blocking-under-latch -- sync arm: a miss fill runs under the shard core latch by design; the async arm below is the tier that moves it off-latch
                 let slot = core.access(page, AccessKind::Random, 0, &mut io)?.slot();
                 core.pin_slot(slot)?;
                 Ok((slot, None))
@@ -522,6 +529,7 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
                     fill: None,
                     flush_batch: Vec::new(),
                 };
+                // xtask-allow: blocking-under-latch -- async arm: access only *submits* I/O; the may-block edge is bounded backpressure on a full lane queue, drained by workers that never take pool latches
                 let slot = core.access(page, AccessKind::Random, 0, &mut io)?.slot();
                 core.pin_slot(slot)?;
                 let wait = if let Some(c) = io.fill {
@@ -542,7 +550,7 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
         }
     }
 
-    /// Await the fill a [`pin`](Self::pin) reported, with no shard latch
+    /// Await the fill a [`pin_in_shard`](Self::pin_in_shard) reported, with no shard latch
     /// held. On success the frame holds the page image and the pin from
     /// `pin` is still ours; on failure the pin has been released (and the
     /// reserved frame reclaimed once the last waiter passes through).
@@ -615,9 +623,9 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
 
     /// Release one pin of the page held in frame `fid`; taken only after
     /// the frame latch has been dropped. Addressed by slot — the caller
-    /// still holds the frame id from [`pin`](Self::pin), so the unpin side
+    /// still holds the frame id from [`pin_in_shard`](Self::pin_in_shard), so the unpin side
     /// of an access performs no page-table probe at all.
-    fn unpin_frame(&self, shard: &Shard, fid: u32, dirty: bool) -> Result<(), BufferError> {
+    fn unpin_in_shard(&self, shard: &Shard, fid: u32, dirty: bool) -> Result<(), BufferError> {
         let _core_held = invariants::acquiring(LatchClass::ShardCore);
         shard.core.lock().unpin_slot(fid, dirty)?;
         Ok(())
@@ -627,7 +635,7 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
     /// of the same page share the frame latch.
     pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, BufferError> {
         let shard = &self.shards[self.shard_of(page)];
-        let (fid, wait) = self.pin(shard, page)?;
+        let (fid, wait) = self.pin_in_shard(shard, page)?;
         if let Some(wait) = wait {
             // A failed fill has already released our pin: just propagate.
             self.await_fill(shard, fid, page, wait)?;
@@ -637,7 +645,7 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
         let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&shard.frames[fid as usize].data.read_recursive());
         drop(user_held);
-        self.unpin_frame(shard, fid, false)?;
+        self.unpin_in_shard(shard, fid, false)?;
         Ok(out)
     }
 
@@ -648,14 +656,14 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, BufferError> {
         let shard = &self.shards[self.shard_of(page)];
-        let (fid, wait) = self.pin(shard, page)?;
+        let (fid, wait) = self.pin_in_shard(shard, page)?;
         if let Some(wait) = wait {
             self.await_fill(shard, fid, page, wait)?;
         }
         let user_held = invariants::acquiring(LatchClass::FrameUser);
         let out = f(&mut shard.frames[fid as usize].data.write());
         drop(user_held);
-        self.unpin_frame(shard, fid, true)?;
+        self.unpin_in_shard(shard, fid, true)?;
         Ok(out)
     }
 
@@ -669,6 +677,7 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
                     let _core_held = invariants::acquiring(LatchClass::ShardCore);
                     let mut core = shard.core.lock();
                     let mut io = LatchedBackend { frames: &shard.frames, disk };
+                    // xtask-allow: blocking-under-latch -- sync arm: the flush sweep writes back under the shard latch by design; one shard at a time stays offline
                     core.flush_all(&mut io)?;
                 }
                 Ok(())
@@ -683,10 +692,12 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
                         fill: None,
                         flush_batch: Vec::new(),
                     };
+                    // xtask-allow: blocking-under-latch -- async arm: flush_all only collects the batch; the may-block edge is bounded lane backpressure, drained independently of pool latches
                     core.flush_all(&mut io)?;
                     // Submit before the core drops: a page re-dirtied after
                     // this point must reach the write table *after* us.
                     if !io.flush_batch.is_empty() {
+                        // xtask-allow: blocking-under-latch -- write-ordering: the batch must reach the write table before the core latch drops; lane backpressure is bounded and workers take no pool latches
                         sched.submit_write_batch(io.flush_batch);
                     }
                 }
@@ -727,10 +738,12 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
                 flush_batch: Vec::new(),
             };
             for &(slot, page) in cold.iter().take(cfg.flush_batch.max(1)) {
+                // xtask-allow: blocking-under-latch -- background sweep: flush_slot only collects into the batch under this core; its write-back edge is the sync-arm path, unreachable here
                 core.flush_slot(page, slot, &mut io)?;
             }
             submitted += io.flush_batch.len();
             if !io.flush_batch.is_empty() {
+                // xtask-allow: blocking-under-latch -- write-ordering: the batch must reach the write table before the core latch drops; lane backpressure is bounded and workers take no pool latches
                 sched.submit_write_batch(io.flush_batch);
             }
         }

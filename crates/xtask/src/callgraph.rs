@@ -1,0 +1,200 @@
+//! Intra-workspace call graph over the [`crate::symbols::SymbolIndex`].
+//!
+//! Call sites are token-level: an identifier immediately followed by `(`
+//! counts as a call (free `helper(..)`, method `.helper(..)`, or path
+//! `m::helper(..)` alike), resolved by *bare name* to every non-exempt
+//! workspace function with that name. Bare-name union resolution is a
+//! deliberate over-approximation — with no type information, a `.stats()`
+//! call gains edges to every `fn stats` in the workspace. The semantic
+//! rules built on top compensate (see the same-name delegation skip in
+//! `rules::lock_order_interproc`).
+//!
+//! Not edges, by construction:
+//! - macros (`name!(...)`) and uppercase identifiers (type constructors),
+//! - keywords and the `fn` name in a declaration,
+//! - latch acquisitions (`.lock()`, `.read()`, ...) and the blocking
+//!   primitives of `facts` — those are handled as *facts seeds*, not
+//!   calls, so each blocking site yields one diagnostic, not two,
+//! - calls in exempt (test) code, and resolutions to exempt functions.
+
+use crate::rules::is_ident_char;
+use crate::symbols::SymbolIndex;
+
+/// Identifier names that look like calls but must never become call edges:
+/// latch acquisitions, blocking-primitive seeds (owned by `facts`), and
+/// `drop` (guard release, handled by the latch simulation).
+pub const CALL_STOPLIST: &[&str] = &[
+    "lock",
+    "read",
+    "write",
+    "read_recursive",
+    "wait",
+    "wait_timeout",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "join",
+    "park",
+    "park_timeout",
+    "sleep",
+    "send",
+    "read_page",
+    "write_page",
+    "write_pages",
+    "allocate_page",
+    "deallocate_page",
+    "drop",
+];
+
+/// Rust keywords that can directly precede `(` in expression position.
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "in", "match", "return", "loop", "let", "as", "move", "ref",
+    "mut", "where", "impl", "dyn", "fn", "use", "pub", "crate", "self", "super", "break",
+    "continue", "struct", "enum", "trait", "type", "mod", "static", "const", "unsafe",
+];
+
+/// Invoke `f(name, byte_pos)` for every call-shaped token in a cleaned
+/// code line. `name` starts lowercase (or `_`), is not a keyword, is not a
+/// macro invocation, and is not the name in a `fn` declaration. Stoplist
+/// filtering is left to the caller (the latch simulation wants the raw
+/// stream; the call graph filters).
+pub fn for_each_call(code: &str, mut f: impl FnMut(&str, usize)) {
+    let chars: Vec<char> = code.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if !is_ident_char(chars[i]) || (i > 0 && is_ident_char(chars[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < chars.len() && is_ident_char(chars[i]) {
+            i += 1;
+        }
+        let name: String = chars[start..i].iter().collect();
+        let first = name.chars().next().unwrap_or('0');
+        if !(first.is_ascii_lowercase() || first == '_') || KEYWORDS.contains(&name.as_str()) {
+            continue;
+        }
+        // Next non-space must open the argument list; `name!(...)` is a
+        // macro, not a call.
+        let mut j = i;
+        while j < chars.len() && chars[j] == ' ' {
+            j += 1;
+        }
+        if chars.get(j) != Some(&'(') || chars.get(i) == Some(&'!') {
+            continue;
+        }
+        // `fn name(` declares, it does not call.
+        let before: String = chars[..start].iter().collect();
+        let t = before.trim_end();
+        if t.ends_with("fn") && !t[..t.len() - 2].ends_with(is_ident_char) {
+            continue;
+        }
+        let byte_pos: usize = chars[..start].iter().map(|c| c.len_utf8()).sum();
+        f(&name, byte_pos);
+    }
+}
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Callee function id in the symbol index.
+    pub callee: usize,
+    /// 1-based line of the first call site producing this edge.
+    pub line: usize,
+}
+
+/// The workspace call graph: for each function id, its outgoing edges in
+/// body order (first call site per callee kept).
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `edges[caller]` — outgoing edges of that function.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Build the graph from an index. Exempt callers get no edges.
+    pub fn build(index: &SymbolIndex) -> CallGraph {
+        let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); index.fns.len()];
+        for (id, sym) in index.fns.iter().enumerate() {
+            if sym.exempt {
+                continue;
+            }
+            for (line, code) in &sym.body {
+                for_each_call(code, |name, _| {
+                    if CALL_STOPLIST.contains(&name) {
+                        return;
+                    }
+                    if let Some(targets) = index.by_name.get(name) {
+                        for &callee in targets {
+                            if !edges[id].iter().any(|e| e.callee == callee) {
+                                edges[id].push(Edge { callee, line: *line });
+                            }
+                        }
+                    }
+                });
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Total edge count (reported in `ANALYZE.json`).
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn calls(code: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        for_each_call(code, |n, _| out.push(n.to_string()));
+        out
+    }
+
+    #[test]
+    fn call_shapes_are_detected() {
+        assert_eq!(calls("helper(x)"), ["helper"]);
+        assert_eq!(calls("self.pin(shard, page)"), ["pin"]);
+        assert_eq!(calls("module::thing(1)"), ["thing"]);
+        assert_eq!(calls("a.b(c.d(e))"), ["b", "d"]);
+    }
+
+    #[test]
+    fn non_calls_are_skipped() {
+        assert!(calls("vec![1, 2]").is_empty(), "macro");
+        assert!(calls("if (x) {}").is_empty(), "keyword");
+        assert!(calls("fn helper(x: u32)").is_empty(), "declaration");
+        assert!(calls("Some(x)").is_empty(), "uppercase constructor");
+        assert!(calls("let y = x").is_empty(), "no paren");
+    }
+
+    #[test]
+    fn graph_resolves_by_bare_name_and_skips_exempt() {
+        let files = [SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn leaf() {}\nfn mid() {\n    leaf();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { mid(); }\n}\n",
+        )];
+        let index = SymbolIndex::build(&files);
+        let g = CallGraph::build(&index);
+        assert_eq!(g.edges[1].len(), 1);
+        assert_eq!(g.edges[1][0].callee, 0);
+        assert_eq!(g.edges[1][0].line, 3);
+        assert!(g.edges[2].is_empty(), "exempt caller has no edges");
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn stoplist_names_are_not_edges() {
+        let files = [SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "fn lock() {}\nfn user(m: M) {\n    m.lock();\n}\n",
+        )];
+        let index = SymbolIndex::build(&files);
+        let g = CallGraph::build(&index);
+        assert!(g.edges[1].is_empty(), "acquisitions are facts, not edges");
+    }
+}

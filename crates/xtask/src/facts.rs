@@ -1,0 +1,402 @@
+//! Fixed-point fact propagation over the call graph.
+//!
+//! Per function, three facts are computed:
+//!
+//! - **may-block** — the function can reach disk I/O, a `park`/`wait`/
+//!   `recv`/`join`, or a bounded-queue `send`, directly or through any
+//!   intra-workspace call chain. Carries a witness chain naming the path.
+//! - **may-panic** — reaches `unwrap`/`expect` or a panicking macro.
+//! - **acquires** — the set of declared latch classes (indices into
+//!   [`crate::rules::lock_order::HIERARCHY`]) the function may acquire,
+//!   transitively, each with a witness.
+//!
+//! Propagation is a Jacobi-style fixed point: each round reads a snapshot
+//! of the previous round's facts in function-id order, so the result is
+//! independent of iteration luck and `ANALYZE.json` stays byte-stable.
+//! Facts only ever grow (a powerset lattice joined by union), so the loop
+//! terminates once a round changes nothing.
+//!
+//! Soundness posture: over-approximate where cheap (bare-name union
+//! resolution; closure bodies attributed to the spawning function), with
+//! two documented under-approximations — calls through function-typed
+//! *parameters* are invisible, and macro bodies other than the panicking
+//! set are not expanded.
+
+use crate::callgraph::CallGraph;
+use crate::rules::lock_order::{classify_idx, HIERARCHY};
+use crate::rules::{is_ident_char, next_nonspace, token_positions};
+use crate::source::SourceFile;
+use crate::symbols::SymbolIndex;
+use std::collections::BTreeMap;
+
+/// Witness strings are capped so chains through deep call stacks stay
+/// readable in diagnostics and the JSON report.
+const WITNESS_MAX: usize = 220;
+
+/// One blocking-primitive seed found on a line of cleaned code.
+#[derive(Debug, PartialEq, Eq)]
+pub struct BlockSeed {
+    /// Byte position of the primitive's identifier in the cleaned line.
+    pub pos: usize,
+    /// Human-readable primitive description (e.g. `disk I/O (.read_page)`).
+    pub what: &'static str,
+    /// For `.wait(&mut g)` / `.wait_timeout(g, ..)`: the guard argument's
+    /// binding name. A condvar wait atomically *releases* that guard, which
+    /// the blocking-under-latch rule credits (the sole-guard exception).
+    pub wait_guard: Option<String>,
+}
+
+/// Blocking primitives recognized as method calls (`.name(`).
+const METHOD_SEEDS: &[(&str, &str)] = &[
+    ("wait", "condvar wait (.wait)"),
+    ("wait_timeout", "condvar wait (.wait_timeout)"),
+    ("recv", "channel receive (.recv)"),
+    ("recv_timeout", "channel receive (.recv_timeout)"),
+    ("recv_deadline", "channel receive (.recv_deadline)"),
+    ("send", "bounded-queue send (.send)"),
+    ("read_page", "disk I/O (.read_page)"),
+    ("write_page", "disk I/O (.write_page)"),
+    ("write_pages", "disk I/O (.write_pages)"),
+    ("allocate_page", "disk I/O (.allocate_page)"),
+    ("deallocate_page", "disk I/O (.deallocate_page)"),
+];
+
+/// Blocking primitives recognized in any call position (free or path form).
+const FREE_SEEDS: &[(&str, &str)] = &[
+    ("park", "thread park"),
+    ("park_timeout", "thread park (park_timeout)"),
+    ("sleep", "thread sleep"),
+];
+
+/// Scan one cleaned code line for blocking-primitive seeds.
+pub fn block_seeds(code: &str) -> Vec<BlockSeed> {
+    let mut out = Vec::new();
+    for &(tok, what) in METHOD_SEEDS {
+        for pos in token_positions(code, tok) {
+            if pos == 0 || !code[..pos].ends_with('.') {
+                continue;
+            }
+            if next_nonspace(code, pos + tok.len()) != Some('(') {
+                continue;
+            }
+            // `.join()` is a thread join only with an empty argument list;
+            // `sep.join(parts)` on strings is not blocking.
+            let args = arg_text(code, pos + tok.len());
+            let wait_guard = if tok == "wait" || tok == "wait_timeout" {
+                first_arg_ident(&args)
+            } else {
+                None
+            };
+            out.push(BlockSeed { pos, what, wait_guard });
+        }
+    }
+    for pos in token_positions(code, "join") {
+        if pos == 0 || !code[..pos].ends_with('.') {
+            continue;
+        }
+        if arg_text(code, pos + 4).trim().is_empty()
+            && next_nonspace(code, pos + 4) == Some('(')
+        {
+            out.push(BlockSeed { pos, what: "thread join (.join)", wait_guard: None });
+        }
+    }
+    for &(tok, what) in FREE_SEEDS {
+        for pos in token_positions(code, tok) {
+            if next_nonspace(code, pos + tok.len()) != Some('(') {
+                continue;
+            }
+            // Skip the name in a `fn park(..)` declaration.
+            let before = code[..pos].trim_end();
+            if before.ends_with("fn") {
+                continue;
+            }
+            out.push(BlockSeed { pos, what, wait_guard: None });
+        }
+    }
+    out.sort_by_key(|s| s.pos);
+    out
+}
+
+/// Text between the `(` following byte `from` and its matching `)` (same
+/// line only; multi-line argument lists yield the first line's prefix).
+fn arg_text(code: &str, from: usize) -> String {
+    let mut depth = 0;
+    let mut out = String::new();
+    for c in code[from..].chars() {
+        match c {
+            '(' => {
+                depth += 1;
+                if depth == 1 {
+                    continue;
+                }
+            }
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ if depth == 0 => {
+                if !c.is_whitespace() {
+                    break;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// The binding name of a `&mut g` / `g`-shaped first argument.
+fn first_arg_ident(args: &str) -> Option<String> {
+    let first = args.split(',').next().unwrap_or("");
+    let t = first.trim().trim_start_matches('&').trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let name: String = t.chars().take_while(|&c| is_ident_char(c)).collect();
+    (!name.is_empty() && t[name.len()..].trim().is_empty()).then_some(name)
+}
+
+/// True when the cleaned line contains a panic seed (`unwrap`/`expect`
+/// call or a panicking macro).
+pub fn panic_seed(code: &str) -> bool {
+    for tok in ["unwrap", "expect"] {
+        for pos in token_positions(code, tok) {
+            if code[..pos].ends_with('.') && next_nonspace(code, pos + tok.len()) == Some('(') {
+                return true;
+            }
+        }
+    }
+    for tok in ["panic", "todo", "unimplemented", "unreachable", "assert", "assert_eq", "assert_ne"] {
+        for pos in token_positions(code, tok) {
+            if code[pos + tok.len()..].starts_with('!') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Computed facts for one function.
+#[derive(Debug, Clone, Default)]
+pub struct FnFacts {
+    /// Some(witness) when the function may block.
+    pub may_block: Option<String>,
+    /// True when the function may panic.
+    pub may_panic: bool,
+    /// Latch classes ([`HIERARCHY`] indices) the function may acquire,
+    /// transitively, each with a witness.
+    pub acquires: BTreeMap<usize, String>,
+}
+
+/// Facts aggregated over every non-exempt function sharing a bare name —
+/// what a call site knows about its callee under union resolution.
+#[derive(Debug, Clone, Default)]
+pub struct NameFacts {
+    /// Some(witness) when any same-named function may block.
+    pub may_block: Option<String>,
+    /// Union of the same-named functions' acquire sets.
+    pub acquires: BTreeMap<usize, String>,
+}
+
+/// The full semantic model: symbols, call graph, per-function facts, and
+/// the per-name aggregation the semantic rules consume.
+#[derive(Debug)]
+pub struct Semantics {
+    /// Workspace symbol index.
+    pub symbols: SymbolIndex,
+    /// Intra-workspace call graph.
+    pub graph: CallGraph,
+    /// `facts[id]` for each function in the index.
+    pub facts: Vec<FnFacts>,
+    /// Name-aggregated facts (non-exempt functions only).
+    pub by_name: BTreeMap<String, NameFacts>,
+}
+
+impl Semantics {
+    /// Build the semantic model for a parsed workspace.
+    pub fn build(files: &[SourceFile]) -> Semantics {
+        let symbols = SymbolIndex::build(files);
+        let graph = CallGraph::build(&symbols);
+        let mut facts: Vec<FnFacts> = symbols
+            .fns
+            .iter()
+            .map(|sym| seed_facts(sym, &files[sym.file].path))
+            .collect();
+        // Jacobi fixed point: each round folds the previous round's facts
+        // across call edges; function-id order makes rounds deterministic.
+        loop {
+            let snapshot = facts.clone();
+            let mut changed = false;
+            for (caller, edges) in graph.edges.iter().enumerate() {
+                for e in edges {
+                    let callee_sym = &symbols.fns[e.callee];
+                    let via = format!(
+                        "calls `{}` at {}:{}",
+                        callee_sym.name, files[symbols.fns[caller].file].path, e.line
+                    );
+                    let cs = &snapshot[e.callee];
+                    if facts[caller].may_block.is_none() {
+                        if let Some(w) = &cs.may_block {
+                            facts[caller].may_block = Some(chain(&via, w));
+                            changed = true;
+                        }
+                    }
+                    if cs.may_panic && !facts[caller].may_panic {
+                        facts[caller].may_panic = true;
+                        changed = true;
+                    }
+                    for (&class, w) in &cs.acquires {
+                        if !facts[caller].acquires.contains_key(&class) {
+                            facts[caller].acquires.insert(class, chain(&via, w));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut by_name: BTreeMap<String, NameFacts> = BTreeMap::new();
+        for (name, ids) in &symbols.by_name {
+            let mut agg = NameFacts::default();
+            for &id in ids {
+                let f = &facts[id];
+                if agg.may_block.is_none() {
+                    agg.may_block.clone_from(&f.may_block);
+                }
+                for (&class, w) in &f.acquires {
+                    agg.acquires.entry(class).or_insert_with(|| w.clone());
+                }
+            }
+            by_name.insert(name.clone(), agg);
+        }
+        Semantics { symbols, graph, facts, by_name }
+    }
+}
+
+/// Direct (intra-body) facts for one function.
+fn seed_facts(sym: &crate::symbols::FnSym, path: &str) -> FnFacts {
+    let mut f = FnFacts::default();
+    for (line, code) in &sym.body {
+        if f.may_block.is_none() {
+            if let Some(seed) = block_seeds(code).first() {
+                f.may_block = Some(format!("{} at {}:{}", seed.what, path, line));
+            }
+        }
+        if !f.may_panic && panic_seed(code) {
+            f.may_panic = true;
+        }
+        // Latch acquisitions: `.lock()` etc. on a classified receiver.
+        let bytes = code.as_bytes();
+        for (i, b) in bytes.iter().enumerate() {
+            if *b != b'.' {
+                continue;
+            }
+            let Some((_, _after)) = crate::rules::lock_order::acquire_method_at(code, i) else {
+                continue;
+            };
+            let Some(receiver) = crate::rules::lock_order::receiver_last_component(code, i)
+            else {
+                continue;
+            };
+            if let Some(class) = classify_idx(path, &receiver) {
+                f.acquires.entry(class).or_insert_with(|| {
+                    format!("acquires {} at {}:{}", HIERARCHY[class].label, path, line)
+                });
+            }
+        }
+    }
+    f
+}
+
+/// Join a propagation step onto an existing witness, capped at
+/// [`WITNESS_MAX`] characters.
+fn chain(via: &str, inner: &str) -> String {
+    let mut s = format!("{via}; {inner}");
+    if s.len() > WITNESS_MAX {
+        let mut cut = WITNESS_MAX;
+        while !s.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        s.truncate(cut);
+        s.push('…');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sema(src: &str) -> Semantics {
+        Semantics::build(&[SourceFile::parse("crates/buffer/src/latched.rs", src)])
+    }
+
+    #[test]
+    fn block_seed_shapes() {
+        assert_eq!(block_seeds("self.signal.wait(&mut st);")[0].wait_guard.as_deref(), Some("st"));
+        assert_eq!(block_seeds("cv.wait_timeout(guard, dur);")[0].wait_guard.as_deref(), Some("guard"));
+        assert_eq!(block_seeds("h.join()").len(), 1, "empty-arg join blocks");
+        assert!(block_seeds("sep.join(parts)").is_empty(), "str::join is not a thread join");
+        assert_eq!(block_seeds("thread::park();").len(), 1);
+        assert!(block_seeds("fn park() {").is_empty(), "declaration is not a call");
+        assert_eq!(block_seeds("self.disk.read_page(p, buf)?;").len(), 1);
+        assert!(block_seeds("let wait = true;").is_empty(), "no call parens");
+    }
+
+    #[test]
+    fn panic_seed_shapes() {
+        assert!(panic_seed("x.unwrap()"));
+        assert!(panic_seed("panic!(\"boom\")"));
+        assert!(!panic_seed("x.unwrap_or_else(|| 0)"), "whole-token match");
+        assert!(!panic_seed("let x = 1;"));
+    }
+
+    #[test]
+    fn may_block_propagates_with_witness_chain() {
+        let s = sema(
+            "fn leaf(&self) {\n    self.disk.read_page(p, buf);\n}\nfn mid(&self) {\n    self.leaf();\n}\nfn top(&self) {\n    self.mid();\n}\n",
+        );
+        let top = &s.facts[2];
+        let w = top.may_block.as_deref().expect("top may block");
+        assert!(w.contains("calls `mid`"), "witness chain: {w}");
+        assert!(w.contains("disk I/O"), "witness names the seed: {w}");
+        assert!(s.by_name["top"].may_block.is_some());
+    }
+
+    #[test]
+    fn acquires_propagate_across_calls() {
+        let s = sema(
+            "fn inner_fill(&self) {\n    let d = frame.data.write();\n}\nfn outer(&self) {\n    self.inner_fill();\n}\n",
+        );
+        let agg = &s.by_name["outer"];
+        assert_eq!(agg.acquires.len(), 1);
+        let (&class, w) = agg.acquires.iter().next().unwrap();
+        assert_eq!(HIERARCHY[class].label, "frame latch");
+        assert!(w.contains("calls `inner_fill`"), "{w}");
+    }
+
+    #[test]
+    fn may_panic_propagates() {
+        let s = sema("fn leaf() {\n    x.unwrap();\n}\nfn top() {\n    leaf();\n}\n");
+        assert!(s.facts[1].may_panic);
+    }
+
+    #[test]
+    fn recursion_terminates_and_is_self_consistent() {
+        let s = sema("fn a(&self) {\n    self.b();\n}\nfn b(&self) {\n    self.a();\n    q.recv();\n}\n");
+        assert!(s.facts[0].may_block.is_some());
+        assert!(s.facts[1].may_block.is_some());
+    }
+
+    #[test]
+    fn exempt_functions_do_not_pollute_name_facts() {
+        let s = sema(
+            "fn clean() {}\n#[cfg(test)]\nmod tests {\n    fn clean() { std::thread::park(); }\n}\n",
+        );
+        assert!(s.by_name["clean"].may_block.is_none());
+    }
+}

@@ -13,9 +13,16 @@
 //! | rule | scope | checks |
 //! |------|-------|--------|
 //! | `no-panic` | core, policy, buffer, storage, sim | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/literal indexing in non-test library code |
-//! | `lock-order` | buffer | nested latch acquisitions follow the declared hierarchy (shard latch → frame latch → disk handle) |
+//! | `lock-order` | buffer, policy engine | nested latch acquisitions follow the declared hierarchy (shard latch → frame latch → disk handle), both per-function and through call chains ([`rules::lock_order_interproc`]) |
+//! | `blocking-under-latch` | buffer, policy engine | no may-block operation (disk I/O, park/wait/recv/join, bounded send) reachable while a classified latch is held |
+//! | `unsafe-audit` | all | every `unsafe` block/fn carries a `// SAFETY:` justification; all sites inventoried in `ANALYZE.json` |
 //! | `determinism` | sim, workloads, core | no `SystemTime`/`Instant`/`thread_rng`/std `HashMap` in simulator-result paths |
 //! | `lint-header` | all crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` present |
+//! | `suppression-debt` | driver | the `xtask-allow` site count must not grow past the committed baseline in `results/ANALYZE.json` |
+//!
+//! The semantic rules run on a workspace-wide [`facts::Semantics`] model:
+//! symbol index ([`symbols`]) → call graph ([`callgraph`]) → fixed-point
+//! facts ([`facts`]) — still token-level, still dependency-free.
 //!
 //! ## Suppressions
 //!
@@ -34,10 +41,14 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod callgraph;
+pub mod facts;
 pub mod report;
 pub mod rules;
 pub mod source;
+pub mod symbols;
 pub mod workspace;
 
+pub use facts::Semantics;
 pub use report::{Diagnostic, Summary};
 pub use workspace::{analyze_root, AnalyzeError};

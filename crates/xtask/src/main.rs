@@ -35,7 +35,8 @@ USAGE:
     cargo run -p xtask -- interleave [--seeds N] [--seed-base N]
                                      [--max-steps N] [--json PATH] [--quiet]
 
-analyze: lexical rule suite over the workspace library sources.
+analyze: lexical + interprocedural rule suite over the workspace library
+sources (symbol index, call graph, fixed-point may-block/acquire facts).
     --root DIR     workspace root to scan (default: this workspace)
     --json PATH    where to write the JSON summary
                    (default: <root>/results/ANALYZE.json)

@@ -4,9 +4,20 @@
 //! deterministic — diagnostics sorted by `(file, line, rule)`, rule counts in
 //! a sorted map, no timestamps — so `results/ANALYZE.json` can be diffed
 //! across PRs to see exactly which rule counts moved.
+//!
+//! Schema 2 (this PR) adds the interprocedural-engine fields: ruleset
+//! version, symbol/call-graph sizes, per-rule wall time (quantized to
+//! 250 ms buckets so the file stays byte-identical across reruns — the
+//! field is a tripwire for pathological slowdowns, not a profiler), the
+//! unsafe-site inventory, and the suppression-debt baseline.
 
+use crate::rules::unsafe_audit::UnsafeSite;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// Wall-time bucket size (ms). Values below one bucket render as 0, which
+/// is the expected steady state; anything larger trips a visible diff.
+const WALL_MS_BUCKET: u64 = 250;
 
 /// One finding: a rule violation at a source location.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -32,13 +43,26 @@ impl std::fmt::Display for Diagnostic {
 pub struct Summary {
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Number of functions in the symbol index.
+    pub functions_indexed: usize,
+    /// Number of resolved intra-workspace call edges.
+    pub call_edges: usize,
     /// Violations that survived suppression filtering, sorted.
     pub diagnostics: Vec<Diagnostic>,
     /// Count of violations silenced by `xtask-allow` comments.
     pub suppressed: usize,
+    /// Total `xtask-allow` sites parsed across the tree (used or not).
+    pub suppression_sites: usize,
+    /// The committed suppression-debt baseline this run was gated against
+    /// (equals `suppression_sites` on a fresh tree with no prior report).
+    pub suppression_baseline: usize,
     /// Per-rule violation counts (every registered rule has an entry, even
     /// at zero, so JSON diffs show rules appearing/disappearing).
     pub rule_counts: BTreeMap<&'static str, usize>,
+    /// Per-rule wall time, already quantized to [`WALL_MS_BUCKET`] buckets.
+    pub rule_wall_ms: BTreeMap<&'static str, u64>,
+    /// Every non-test `unsafe` site in the tree, with its `SAFETY:` reason.
+    pub unsafe_inventory: Vec<UnsafeSite>,
 }
 
 impl Summary {
@@ -47,13 +71,24 @@ impl Summary {
         self.diagnostics.is_empty()
     }
 
+    /// Record a rule's wall time, quantized for byte-determinism.
+    pub fn record_wall_ms(&mut self, rule: &'static str, ms: u64) {
+        let bucket = ms / WALL_MS_BUCKET * WALL_MS_BUCKET;
+        *self.rule_wall_ms.entry(rule).or_insert(0) += bucket;
+    }
+
     /// Render the deterministic JSON summary.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"schema\": 2,");
+        let _ = writeln!(out, "  \"ruleset_version\": {},", crate::workspace::RULESET_VERSION);
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"functions_indexed\": {},", self.functions_indexed);
+        let _ = writeln!(out, "  \"call_edges\": {},", self.call_edges);
         let _ = writeln!(out, "  \"total_diagnostics\": {},", self.diagnostics.len());
         let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        let _ = writeln!(out, "  \"suppression_sites\": {},", self.suppression_sites);
+        let _ = writeln!(out, "  \"suppression_baseline\": {},", self.suppression_baseline);
         out.push_str("  \"rule_counts\": {");
         for (i, (rule, count)) in self.rule_counts.iter().enumerate() {
             if i > 0 {
@@ -61,7 +96,32 @@ impl Summary {
             }
             let _ = write!(out, "\n    {}: {}", json_str(rule), count);
         }
-        out.push_str("\n  },\n  \"diagnostics\": [");
+        out.push_str("\n  },\n  \"rule_wall_ms\": {");
+        for (i, (rule, ms)) in self.rule_wall_ms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(rule), ms);
+        }
+        out.push_str("\n  },\n  \"unsafe_inventory\": [");
+        for (i, s) in self.unsafe_inventory.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let reason = match &s.reason {
+                Some(r) => json_str(r),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"kind\": {}, \"reason\": {}}}",
+                json_str(&s.file),
+                s.line,
+                json_str(s.kind),
+                reason
+            );
+        }
+        out.push_str("\n  ],\n  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -123,5 +183,35 @@ mod tests {
         assert!(j.contains("\"a\\\\b.rs\""));
         assert!(j.contains("say \\\"no\\\""));
         assert!(j.contains("\"total_diagnostics\": 1"));
+        assert!(j.contains("\"schema\": 2"));
+    }
+
+    #[test]
+    fn wall_ms_is_quantized() {
+        let mut s = Summary::default();
+        s.record_wall_ms("lock-order", 180);
+        assert_eq!(s.rule_wall_ms["lock-order"], 0, "sub-bucket times render as 0");
+        s.record_wall_ms("no-panic", 640);
+        assert_eq!(s.rule_wall_ms["no-panic"], 500);
+    }
+
+    #[test]
+    fn unsafe_inventory_serializes_reason_or_null() {
+        let mut s = Summary::default();
+        s.unsafe_inventory.push(UnsafeSite {
+            file: "crates/policy/src/linked_list.rs".into(),
+            line: 9,
+            kind: "block",
+            reason: Some("node is owned".into()),
+        });
+        s.unsafe_inventory.push(UnsafeSite {
+            file: "crates/policy/src/linked_list.rs".into(),
+            line: 20,
+            kind: "fn",
+            reason: None,
+        });
+        let j = s.to_json();
+        assert!(j.contains("\"reason\": \"node is owned\""));
+        assert!(j.contains("\"reason\": null"));
     }
 }

@@ -1,0 +1,136 @@
+//! `blocking-under-latch`: no may-block operation while any latch is held.
+//!
+//! A thread that parks, waits, receives, or performs disk I/O while
+//! holding a pool latch stalls every other thread that hashes to the same
+//! shard — the exact pathology the miss-parking protocol (DESIGN.md §4.5)
+//! and the async scheduler hand-off were built to avoid. This rule
+//! re-proves those protocols mechanically: it walks each function with the
+//! shared held-latch simulation and flags
+//!
+//! - **direct seeds** — a blocking primitive (`.wait()`, `.recv()`,
+//!   `park()`, `.join()`, `.read_page()`, ...) executed with a classified
+//!   latch held, and
+//! - **may-block calls** — a call whose callee (by bare-name union over
+//!   the workspace, transitively via the fact propagation) may block,
+//!   made with a classified latch held. The diagnostic carries the
+//!   interprocedural witness chain down to the primitive.
+//!
+//! The condvar sole-guard exception applies to direct seeds: a
+//! `wait(&mut g)` whose guard `g` is the *only* latch held is the
+//! sanctioned parking idiom (the wait atomically releases `g`), so the
+//! scheduler's completion waits and lane-queue backpressure loops are
+//! clean by construction, not by suppression.
+
+use crate::facts::Semantics;
+use crate::report::Diagnostic;
+use crate::rules::heldsim::{self, Event, SimHeld};
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "blocking-under-latch";
+
+/// Run the rule over one file with the workspace semantics.
+pub fn check(file: &SourceFile, sema: &Semantics, out: &mut Vec<Diagnostic>) {
+    heldsim::walk(file, |ev, held| {
+        if held.is_empty() {
+            return;
+        }
+        match ev {
+            Event::Seed { what, line } => out.push(Diagnostic {
+                file: file.path.clone(),
+                line,
+                rule: NAME,
+                message: format!(
+                    "blocking operation ({what}) while holding {}; release the latch before \
+                     blocking (miss-parking protocol, DESIGN.md \u{a7}4.5)",
+                    held_list(held)
+                ),
+            }),
+            Event::Call { name, line, .. } => {
+                let Some(nf) = sema.by_name.get(name) else { return };
+                let Some(witness) = &nf.may_block else { return };
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line,
+                    rule: NAME,
+                    message: format!(
+                        "call to `{name}` may block ({witness}) while holding {}; release the \
+                         latch before blocking (miss-parking protocol, DESIGN.md \u{a7}4.5)",
+                        held_list(held)
+                    ),
+                });
+            }
+        }
+    });
+}
+
+/// Render the held set for a diagnostic: `label (level L, taken line N)`.
+fn held_list(held: &[SimHeld]) -> String {
+    held.iter()
+        .map(|h| format!("{} (level {}, taken line {})", h.label(), h.level(), h.line))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let files = [SourceFile::parse(path, src)];
+        let sema = Semantics::build(&files);
+        let mut out = Vec::new();
+        check(&files[0], &sema, &mut out);
+        out
+    }
+
+    #[test]
+    fn park_under_core_latch_is_flagged() {
+        let d = run(
+            "crates/buffer/src/latched.rs",
+            "fn bad(&self) {\n    let mut core = shard.core.lock();\n    std::thread::park();\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 3);
+        assert!(d[0].message.contains("shard core latch"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn interprocedural_block_under_latch_is_flagged() {
+        let d = run(
+            "crates/buffer/src/latched.rs",
+            "fn waits(&self) {\n    self.rx.recv();\n}\nfn bad(&self) {\n    let mut core = shard.core.lock();\n    self.waits();\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 6);
+        assert!(d[0].message.contains("call to `waits` may block"), "{}", d[0].message);
+        assert!(d[0].message.contains("channel receive"), "witness chain: {}", d[0].message);
+    }
+
+    #[test]
+    fn release_before_blocking_is_clean() {
+        let d = run(
+            "crates/buffer/src/latched.rs",
+            "fn ok(&self) {\n    let mut core = shard.core.lock();\n    drop(core);\n    std::thread::park();\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn sole_guard_condvar_wait_is_clean() {
+        let d = run(
+            "crates/buffer/src/disk_scheduler.rs",
+            "fn wait_io(&self) {\n    let mut st = self.state.lock();\n    while !st.done {\n        st = self.signal.wait(&mut st);\n    }\n}\n",
+        );
+        assert!(d.is_empty(), "the sanctioned parking idiom: {d:?}");
+    }
+
+    #[test]
+    fn unclassified_guards_are_not_latches() {
+        let d = run(
+            "crates/buffer/src/latched.rs",
+            "fn ok(&self) {\n    let g = self.thread.lock();\n    h.join();\n}\n",
+        );
+        assert!(d.is_empty(), "std-mutex bookkeeping is out of scope: {d:?}");
+    }
+}

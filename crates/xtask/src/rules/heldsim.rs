@@ -1,0 +1,341 @@
+//! Shared held-latch simulation for the semantic rules.
+//!
+//! Walks one file with the same guard model as `lock_order` (let-bound
+//! guards live to end of block or `drop(name)`; un-bound temporaries to the
+//! next `;`), but instead of diagnosing inversions it emits a stream of
+//! events — call sites and blocking-primitive seeds — each paired with the
+//! set of *classified* latches held at that point. `blocking-under-latch`
+//! and the interprocedural `lock-order` pass are both built on this walk,
+//! so their notion of "holding a latch" cannot drift apart.
+//!
+//! The condvar sole-guard exception lives here: for `.wait(&mut g)` /
+//! `.wait_timeout(g, ..)` the guard named `g` is removed from the reported
+//! held set, because a condvar wait atomically releases it for the
+//! duration. A wait performed with any *other* latch still held reports
+//! that latch.
+
+use crate::callgraph::{for_each_call, CALL_STOPLIST};
+use crate::facts::block_seeds;
+use crate::rules::lock_order::{
+    acquire_method_at, classify_idx, let_binding_before, receiver_last_component, HIERARCHY,
+};
+use crate::rules::{is_ident_char, next_nonspace, token_positions};
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// A classified latch held at an event point.
+#[derive(Debug, Clone)]
+pub struct SimHeld {
+    /// Index into [`HIERARCHY`].
+    pub class: usize,
+    /// 1-based acquisition line.
+    pub line: usize,
+    depth: u32,
+    stmt: bool,
+    name: Option<String>,
+}
+
+impl SimHeld {
+    /// Hierarchy level of the held latch.
+    pub fn level(&self) -> u8 {
+        HIERARCHY[self.class].level
+    }
+
+    /// Human-readable latch name.
+    pub fn label(&self) -> &'static str {
+        HIERARCHY[self.class].label
+    }
+}
+
+/// One event in the walk.
+#[derive(Debug)]
+pub enum Event<'a> {
+    /// A call-shaped token (stoplist names excluded — those are
+    /// acquisitions or seeds, never calls).
+    Call {
+        /// Bare callee name.
+        name: &'a str,
+        /// 1-based line of the call site.
+        line: usize,
+        /// Name of the innermost enclosing function, when known.
+        enclosing: Option<&'a str>,
+    },
+    /// A blocking-primitive seed. The held set already has the sole-guard
+    /// exception applied.
+    Seed {
+        /// Primitive description from [`crate::facts::block_seeds`].
+        what: &'static str,
+        /// 1-based line of the primitive.
+        line: usize,
+    },
+}
+
+/// Per-function simulation frame.
+struct FnCtx {
+    name: Option<String>,
+    body_depth: Option<u32>,
+    held: Vec<SimHeld>,
+}
+
+/// Per-line event at a byte position, precomputed before the byte scan.
+enum LineEvent {
+    FnDecl(Option<String>),
+    Call(String),
+    Seed { what: &'static str, wait_guard: Option<String> },
+}
+
+/// Walk `file`, invoking `sink` for every call and seed event in
+/// non-exempt code with the latches held at that point.
+pub fn walk(file: &SourceFile, mut sink: impl FnMut(Event<'_>, &[SimHeld])) {
+    let mut fns: Vec<FnCtx> = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = &line.code;
+        let mut events: BTreeMap<usize, LineEvent> = BTreeMap::new();
+        for pos in token_positions(code, "fn") {
+            events.insert(pos, LineEvent::FnDecl(fn_name_after(code, pos)));
+        }
+        if !line.exempt {
+            for_each_call(code, |name, pos| {
+                if !CALL_STOPLIST.contains(&name) {
+                    events.insert(pos, LineEvent::Call(name.to_string()));
+                }
+            });
+            for seed in block_seeds(code) {
+                events.insert(seed.pos, LineEvent::Seed {
+                    what: seed.what,
+                    wait_guard: seed.wait_guard,
+                });
+            }
+        }
+        let bytes = code.as_bytes();
+        let mut depth = line.depth_start;
+        let mut i = 0;
+        while i < bytes.len() {
+            if let Some(ev) = events.get(&i) {
+                match ev {
+                    LineEvent::FnDecl(name) => {
+                        fns.push(FnCtx { name: name.clone(), body_depth: None, held: Vec::new() });
+                    }
+                    LineEvent::Call(name) => {
+                        if let Some(f) = fns.last() {
+                            sink(
+                                Event::Call {
+                                    name: name.as_str(),
+                                    line: lineno,
+                                    enclosing: f.name.as_deref(),
+                                },
+                                &f.held,
+                            );
+                        }
+                    }
+                    LineEvent::Seed { what, wait_guard } => {
+                        if let Some(f) = fns.last() {
+                            let held: Vec<SimHeld> = f
+                                .held
+                                .iter()
+                                .filter(|h| {
+                                    wait_guard.is_none() || h.name.as_deref() != wait_guard.as_deref()
+                                })
+                                .cloned()
+                                .collect();
+                            sink(Event::Seed { what: *what, line: lineno }, &held);
+                        }
+                    }
+                }
+            }
+            match bytes[i] {
+                b'{' => {
+                    if let Some(f) = fns.last_mut() {
+                        if f.body_depth.is_none() {
+                            f.body_depth = Some(depth);
+                        }
+                    }
+                    depth += 1;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    for f in &mut fns {
+                        f.held.retain(|h| h.depth <= depth);
+                    }
+                    if fns.last().is_some_and(|f| f.body_depth == Some(depth)) {
+                        fns.pop();
+                    }
+                }
+                b';' => {
+                    if let Some(f) = fns.last_mut() {
+                        f.held.retain(|h| !(h.stmt && h.depth >= depth));
+                    }
+                }
+                b'.' => {
+                    if let Some((_, after)) = acquire_method_at(code, i) {
+                        if !line.exempt {
+                            record_acquisition(&file.path, code, i, lineno, depth, &mut fns);
+                        }
+                        i = after;
+                        continue;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !line.exempt {
+            for pos in token_positions(code, "drop") {
+                if next_nonspace(code, pos + 4) != Some('(') {
+                    continue;
+                }
+                let inner: String = code[pos + 4..]
+                    .chars()
+                    .skip_while(|&c| c != '(')
+                    .skip(1)
+                    .take_while(|&c| c != ')')
+                    .collect();
+                let name = inner.trim().to_string();
+                if let Some(f) = fns.last_mut() {
+                    f.held.retain(|h| h.name.as_deref() != Some(name.as_str()));
+                }
+            }
+        }
+    }
+}
+
+/// Classify and push one acquisition into the innermost function frame.
+fn record_acquisition(
+    path: &str,
+    code: &str,
+    dot: usize,
+    lineno: usize,
+    depth: u32,
+    fns: &mut [FnCtx],
+) {
+    let Some(ctx) = fns.last_mut() else { return };
+    let Some(receiver) = receiver_last_component(code, dot) else { return };
+    let Some(class) = classify_idx(path, &receiver) else { return };
+    let (name, stmt) = let_binding_before(code, dot);
+    ctx.held.push(SimHeld { class, line: lineno, depth, stmt, name });
+}
+
+/// The identifier following a `fn` token at byte `pos`, if any (absent for
+/// `fn(..)`-style pointer types).
+fn fn_name_after(code: &str, pos: usize) -> Option<String> {
+    let rest = code[pos + 2..].trim_start();
+    let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+    (!name.is_empty()).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(path: &str, src: &str) -> Vec<(String, usize, Vec<&'static str>)> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        walk(&f, |ev, held| {
+            let labels: Vec<&'static str> = held.iter().map(|h| h.label()).collect();
+            match ev {
+                Event::Call { name, line, .. } => out.push((format!("call:{name}"), line, labels)),
+                Event::Seed { what, line } => out.push((format!("seed:{what}"), line, labels)),
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn calls_report_held_latches() {
+        let e = events(
+            "crates/buffer/src/latched.rs",
+            "fn pin(&self) {\n    let mut core = shard.core.lock();\n    self.helper(x);\n}\n",
+        );
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].0, "call:helper");
+        assert_eq!(e[0].2, ["shard core latch"]);
+    }
+
+    #[test]
+    fn guard_release_clears_held() {
+        let e = events(
+            "crates/buffer/src/latched.rs",
+            "fn ok(&self) {\n    let mut core = shard.core.lock();\n    drop(core);\n    self.helper(x);\n}\n",
+        );
+        assert!(e[0].2.is_empty(), "dropped before the call: {e:?}");
+    }
+
+    #[test]
+    fn sole_guard_wait_reports_empty_held() {
+        let e = events(
+            "crates/buffer/src/disk_scheduler.rs",
+            "fn wait_io(&self) {\n    let mut st = self.state.lock();\n    self.signal.wait(&mut st);\n}\n",
+        );
+        assert_eq!(e.len(), 1);
+        assert!(e[0].0.starts_with("seed:condvar wait"));
+        assert!(e[0].2.is_empty(), "sole guard is released by the wait: {e:?}");
+    }
+
+    #[test]
+    fn wait_with_extra_latch_reports_it() {
+        let e = events(
+            "crates/buffer/src/disk_scheduler.rs",
+            "fn bad(&self) {\n    let t = self.table.lock();\n    let mut st = self.state.lock();\n    self.signal.wait(&mut st);\n}\n",
+        );
+        assert_eq!(e[0].2, ["scheduler write table"], "{e:?}");
+    }
+
+    #[test]
+    fn block_scoped_guards_do_not_leak() {
+        let e = events(
+            "crates/buffer/src/disk_scheduler.rs",
+            "fn enqueue(&self) {\n    {\n        let mut q = lane.queue.lock();\n    }\n    self.process_one(req);\n}\n",
+        );
+        assert_eq!(e[0].0, "call:process_one");
+        assert!(e[0].2.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn chained_acquire_is_a_statement_temporary() {
+        // `let cached = ...lock().take(page);` binds `take`'s result, not
+        // the guard — nothing is held at the read on the next line.
+        let e = events(
+            "crates/buffer/src/disk_scheduler.rs",
+            "fn read_bytes(&self) {\n    let cached = self.cache.lock().take(page);\n    self.disk.read_page(page, &mut buf);\n}\n",
+        );
+        let seed = e.iter().find(|(n, _, _)| n.starts_with("seed:disk I/O")).unwrap();
+        assert!(seed.2.is_empty(), "chained guard released at `;`: {e:?}");
+    }
+
+    #[test]
+    fn acquire_inside_call_args_is_a_statement_temporary() {
+        // `let out = f(&frame.data.read_recursive());` binds `f`'s result;
+        // the frame guard dies at the `;`, before the next call.
+        let e = events(
+            "crates/buffer/src/latched.rs",
+            "fn with_page(&self) {\n    let out = f(&shard.frames[fid as usize].data.read_recursive());\n    self.unpin_frame(shard, fid, false);\n}\n",
+        );
+        let call = e.iter().find(|(n, _, _)| n == "call:unpin_frame").unwrap();
+        assert!(call.2.is_empty(), "arg-list guard released at `;`: {e:?}");
+    }
+
+    #[test]
+    fn exempt_code_emits_nothing() {
+        let e = events(
+            "crates/buffer/src/latched.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(&self) {\n        let c = s.core.lock();\n        std::thread::park();\n    }\n}\n",
+        );
+        assert!(e.is_empty(), "{e:?}");
+    }
+
+    #[test]
+    fn enclosing_name_is_tracked() {
+        let f = SourceFile::parse(
+            "crates/buffer/src/sharded.rs",
+            "fn stats(&self) {\n    let g = self.inner.lock();\n    g.stats();\n}\n",
+        );
+        let mut seen = None;
+        walk(&f, |ev, _| {
+            if let Event::Call { name, enclosing, .. } = ev {
+                seen = Some((name.to_string(), enclosing.map(str::to_string)));
+            }
+        });
+        assert_eq!(seen, Some(("stats".into(), Some("stats".into()))));
+    }
+}

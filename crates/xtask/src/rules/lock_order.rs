@@ -57,7 +57,7 @@ pub struct LockClass {
 
 /// Level assigned to frame latches (same-level nesting allowed: recursive
 /// shared reads of the same page are part of the documented protocol).
-const FRAME_LEVEL: u8 = 1;
+pub(crate) const FRAME_LEVEL: u8 = 1;
 
 /// The declared lock hierarchy of `crates/buffer` (see module docs).
 ///
@@ -188,8 +188,9 @@ fn release_dropped_guards(code: &str, fns: &mut [FnCtx]) {
 }
 
 /// If `code[dot..]` starts an `.<acquire-method>()` call, return the method
-/// and the byte index just past the method name.
-fn acquire_method_at(code: &str, dot: usize) -> Option<(&'static str, usize)> {
+/// and the byte index just past the method name. Shared with the semantic
+/// passes (`heldsim`, `facts`) so every layer sees the same acquisitions.
+pub(crate) fn acquire_method_at(code: &str, dot: usize) -> Option<(&'static str, usize)> {
     for m in ACQUIRE_METHODS {
         let start = dot + 1;
         if code[start..].starts_with(m) && code[start + m.len()..].starts_with("()") {
@@ -285,14 +286,30 @@ pub(crate) fn receiver_last_component(code: &str, dot: usize) -> Option<String> 
 /// Map `(file, receiver)` to its hierarchy entry (first match wins, so
 /// file-specific entries precede generic ones).
 fn classify(path: &str, receiver: &str) -> Option<&'static LockClass> {
+    classify_idx(path, receiver).map(|i| &HIERARCHY[i])
+}
+
+/// Like `classify`, but returns the [`HIERARCHY`] index — the stable class
+/// key the fact propagation stores in acquire sets.
+pub(crate) fn classify_idx(path: &str, receiver: &str) -> Option<usize> {
     HIERARCHY
         .iter()
-        .find(|c| c.receiver == receiver && c.file_suffix.is_none_or(|suf| path.ends_with(suf)))
+        .position(|c| c.receiver == receiver && c.file_suffix.is_none_or(|suf| path.ends_with(suf)))
 }
 
 /// Detect a `let [mut] name =` governing the acquisition; the bool is
 /// `stmt` (true when the guard is an unbound temporary).
-fn let_binding_before(code: &str, dot: usize) -> (Option<String>, bool) {
+///
+/// The binding holds the guard only when the acquire is the *last* call of
+/// the statement's right-hand side — its `()` is followed by the statement
+/// terminator (`;`, a `?` propagation, or the end of the line). Anything
+/// else means the binding captures some other value: a chained `.` makes it
+/// the chained call's result (`let v = cache.lock().take(k);`), and a `)`
+/// or `,` puts the guard inside an argument list (`let out = f(&frame.data
+/// .read());` binds `f`'s result). In those cases the guard is a temporary
+/// that dies at the statement's `;`, and modeling it as a named long-lived
+/// guard manufactures held-latch false positives.
+pub(crate) fn let_binding_before(code: &str, dot: usize) -> (Option<String>, bool) {
     let stmt_start = code[..dot].rfind([';', '{']).map(|p| p + 1).unwrap_or(0);
     let seg = &code[stmt_start..dot];
     for pos in token_positions(seg, "let") {
@@ -300,10 +317,22 @@ fn let_binding_before(code: &str, dot: usize) -> (Option<String>, bool) {
         let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
         let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
         if !name.is_empty() && rest[name.len()..].trim_start().starts_with('=') {
+            if !acquire_ends_statement(code, dot) {
+                return (None, true);
+            }
             return (Some(name), false);
         }
     }
     (None, true)
+}
+
+/// True when the `.method()` acquire starting at byte `dot` is the final
+/// call of its statement (see [`let_binding_before`]).
+fn acquire_ends_statement(code: &str, dot: usize) -> bool {
+    let s = &code[dot + 1..];
+    let m: usize = s.chars().take_while(|&c| is_ident_char(c)).map(char::len_utf8).sum();
+    let Some(rest) = s[m..].strip_prefix("()") else { return false };
+    matches!(rest.trim_start().chars().next(), None | Some(';' | '?'))
 }
 
 #[cfg(test)]

@@ -1,0 +1,130 @@
+//! Interprocedural `lock-order`: acquisition chains followed through calls.
+//!
+//! The per-function `lock_order` rule sees `.lock()` receivers only inside
+//! one body; an inversion split across a call edge — hold the frame latch
+//! here, call a helper that takes the shard core there — is invisible to
+//! it. This pass closes that gap: at every call site it compares the
+//! latches *held* (shared `heldsim` guard model, same receiver naming and
+//! [`HIERARCHY`] as the lexical rule) against the latch classes the callee
+//! *may acquire* (transitive acquire facts, bare-name union resolution).
+//! Diagnostics are emitted under the existing `lock-order` rule name, so
+//! one suppression vocabulary covers both the lexical and interprocedural
+//! layers.
+//!
+//! Known imprecision — the same-name delegation skip: a call whose bare
+//! name equals the enclosing function's name is not checked. The tiered
+//! pools are delegation towers (`ShardedPool::flush_all` locks a shard and
+//! calls `BufferPool::flush_all`, `stats` calls `stats`, ...), and union
+//! resolution would otherwise charge each tier with *its own* shard latch,
+//! manufacturing equal-level inversions out of clean per-shard delegation.
+//! Genuine self-recursion under a latch is still covered by the lexical
+//! rule (re-acquisition in the same body) and the `cfg(debug_assertions)`
+//! runtime tracker.
+
+use crate::facts::Semantics;
+use crate::report::Diagnostic;
+use crate::rules::heldsim::{self, Event};
+use crate::rules::lock_order::{FRAME_LEVEL, HIERARCHY};
+use crate::source::SourceFile;
+
+/// Diagnostics are emitted as `lock-order` (the interprocedural layer of
+/// the same rule, sharing its suppressions and JSON count).
+pub const NAME: &str = crate::rules::lock_order::NAME;
+
+/// Run the pass over one file with the workspace semantics.
+pub fn check(file: &SourceFile, sema: &Semantics, out: &mut Vec<Diagnostic>) {
+    heldsim::walk(file, |ev, held| {
+        let Event::Call { name, line, enclosing } = ev else { return };
+        if held.is_empty() || enclosing == Some(name) {
+            return;
+        }
+        let Some(nf) = sema.by_name.get(name) else { return };
+        for (&class, witness) in &nf.acquires {
+            let acq = &HIERARCHY[class];
+            let Some(h) = held.iter().find(|h| {
+                h.level() > acq.level || (h.level() == acq.level && acq.level != FRAME_LEVEL)
+            }) else {
+                continue;
+            };
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line,
+                rule: NAME,
+                message: format!(
+                    "interprocedural lock-order inversion: call to `{name}` may acquire {} \
+                     (level {}; {witness}) while holding {} (level {}) taken at line {}; \
+                     declared hierarchy: shard/pool latch -> frame latch -> disk handle",
+                    acq.label,
+                    acq.level,
+                    h.label(),
+                    h.level(),
+                    h.line
+                ),
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let files = [SourceFile::parse(path, src)];
+        let sema = Semantics::build(&files);
+        let mut out = Vec::new();
+        check(&files[0], &sema, &mut out);
+        out
+    }
+
+    #[test]
+    fn cross_function_inversion_is_flagged() {
+        // Holding a frame latch, call a helper that takes the shard core:
+        // invisible to the per-function rule, caught here.
+        let d = run(
+            "crates/buffer/src/latched.rs",
+            "fn helper(&self) {\n    let mut core = shard.core.lock();\n}\nfn bad(&self) {\n    let data = frame.data.read();\n    self.helper();\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 6);
+        assert!(d[0].message.contains("call to `helper` may acquire shard core latch"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn transitive_inversion_is_flagged() {
+        let d = run(
+            "crates/buffer/src/latched.rs",
+            "fn deep(&self) {\n    let mut core = shard.core.lock();\n}\nfn mid(&self) {\n    self.deep();\n}\nfn bad(&self) {\n    let data = frame.data.read();\n    self.mid();\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("call to `mid`"), "{}", d[0].message);
+        assert!(d[0].message.contains("calls `deep`"), "witness chain: {}", d[0].message);
+    }
+
+    #[test]
+    fn forward_chains_through_calls_are_clean() {
+        let d = run(
+            "crates/buffer/src/latched.rs",
+            "fn helper(&self) {\n    let data = frame.data.write();\n}\nfn ok(&self) {\n    let mut core = shard.core.lock();\n    self.helper();\n}\n",
+        );
+        assert!(d.is_empty(), "core -> frame is the declared order: {d:?}");
+    }
+
+    #[test]
+    fn same_name_delegation_is_skipped() {
+        let d = run(
+            "crates/buffer/src/sharded.rs",
+            "fn flush_all(&self) {\n    let mut pool = self.shards[i].lock();\n    pool.flush_all();\n}\n",
+        );
+        assert!(d.is_empty(), "per-shard delegation tower: {d:?}");
+    }
+
+    #[test]
+    fn release_before_call_is_clean() {
+        let d = run(
+            "crates/buffer/src/latched.rs",
+            "fn helper(&self) {\n    let mut core = shard.core.lock();\n}\nfn ok(&self) {\n    let data = frame.data.read();\n    drop(data);\n    self.helper();\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -7,12 +7,16 @@
 //! is applied by the driver after the rule runs.
 
 pub mod atomic_ordering;
+pub mod blocking_under_latch;
 pub mod core_driving;
 pub mod determinism;
 pub mod handle_hygiene;
+pub mod heldsim;
 pub mod lint_header;
 pub mod lock_order;
+pub mod lock_order_interproc;
 pub mod no_panic;
+pub mod unsafe_audit;
 
 /// True when `c` can be part of an identifier.
 pub(crate) fn is_ident_char(c: char) -> bool {

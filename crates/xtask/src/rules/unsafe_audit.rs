@@ -1,0 +1,169 @@
+//! `unsafe-audit`: every `unsafe` block/fn/impl carries a `// SAFETY:`
+//! justification, and all unsafe sites are inventoried in `ANALYZE.json`.
+//!
+//! The workspace is currently unsafe-free — every crate root declares
+//! `#![forbid(unsafe_code)]` (enforced by the `lint-header` rule), so on
+//! the real tree this rule's inventory is empty and the rule is a
+//! tripwire: the moment a crate relaxes the forbid to gain an unsafe
+//! fast path (ROADMAP item 2 flirts with this), each site must state the
+//! invariant that makes it sound, and the committed inventory diff makes
+//! the new site visible in review.
+//!
+//! A justification is a comment containing `SAFETY:` either on the same
+//! line as the `unsafe` token or on an immediately preceding run of
+//! comment-only / attribute / blank lines (the rustc `undocumented_unsafe_
+//! blocks` convention, matched leniently).
+
+use crate::report::Diagnostic;
+use crate::rules::{next_nonspace, token_positions};
+use crate::source::SourceFile;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "unsafe-audit";
+
+/// One inventoried unsafe site (annotated or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the `unsafe` token.
+    pub line: usize,
+    /// Site kind: `block`, `fn`, `impl`, or `trait`.
+    pub kind: &'static str,
+    /// The `SAFETY:` justification text, when present.
+    pub reason: Option<String>,
+}
+
+/// Run the rule over one file, collecting the inventory as it goes.
+pub fn check(file: &SourceFile, out: &mut Vec<Diagnostic>, inventory: &mut Vec<UnsafeSite>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.exempt {
+            continue;
+        }
+        for pos in token_positions(&line.code, "unsafe") {
+            let kind = site_kind(&line.code, pos + 6);
+            let reason = safety_reason(file, idx);
+            if reason.is_none() {
+                out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: idx + 1,
+                    rule: NAME,
+                    message: format!(
+                        "`unsafe` {kind} without a `// SAFETY:` comment; state the invariant \
+                         that makes this sound on the line above"
+                    ),
+                });
+            }
+            inventory.push(UnsafeSite {
+                file: file.path.clone(),
+                line: idx + 1,
+                kind,
+                reason,
+            });
+        }
+    }
+}
+
+/// Classify the token following `unsafe`.
+fn site_kind(code: &str, after: usize) -> &'static str {
+    let rest = code[after..].trim_start();
+    if rest.starts_with('{') {
+        "block"
+    } else if rest.starts_with("fn") && next_nonspace(rest, 2).is_some() {
+        "fn"
+    } else if rest.starts_with("impl") {
+        "impl"
+    } else if rest.starts_with("trait") {
+        "trait"
+    } else {
+        "block"
+    }
+}
+
+/// Find a `SAFETY:` justification for the unsafe site on line `idx`: same
+/// line, or walking up over comment-only / attribute / blank lines.
+fn safety_reason(file: &SourceFile, idx: usize) -> Option<String> {
+    if let Some(r) = extract_safety(&file.lines[idx].comment) {
+        return Some(r);
+    }
+    for i in (0..idx).rev() {
+        let l = &file.lines[i];
+        let code = l.code.trim();
+        let is_attr = code.starts_with('#');
+        if !code.is_empty() && !is_attr {
+            return None;
+        }
+        if let Some(r) = extract_safety(&l.comment) {
+            return Some(r);
+        }
+        if code.is_empty() && l.comment.trim().is_empty() && !is_attr {
+            // One blank line is tolerated inside the comment run; keep
+            // walking (the loop naturally stops at the next code line).
+            continue;
+        }
+    }
+    None
+}
+
+/// The text after `SAFETY:` in a comment, if the marker is present.
+fn extract_safety(comment: &str) -> Option<String> {
+    let at = comment.find("SAFETY:")?;
+    Some(comment[at + 7..].trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Diagnostic>, Vec<UnsafeSite>) {
+        let f = SourceFile::parse("crates/policy/src/linked_list.rs", src);
+        let mut out = Vec::new();
+        let mut inv = Vec::new();
+        check(&f, &mut out, &mut inv);
+        (out, inv)
+    }
+
+    #[test]
+    fn unannotated_block_and_fn_are_flagged() {
+        let (d, inv) = run("fn f(p: *mut u8) {\n    unsafe { *p = 0; }\n}\nunsafe fn g() {}\n");
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].line, d[1].line), (2, 4));
+        assert_eq!(inv.len(), 2);
+        assert_eq!(inv[0].kind, "block");
+        assert_eq!(inv[1].kind, "fn");
+        assert!(inv[0].reason.is_none());
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_rule() {
+        let (d, inv) = run(
+            "fn f(p: *mut u8) {\n    // SAFETY: p is non-null, owned by this node.\n    unsafe { *p = 0; }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].reason.as_deref(), Some("p is non-null, owned by this node."));
+    }
+
+    #[test]
+    fn same_line_and_over_attribute_comments_count() {
+        let (d, _) = run(
+            "unsafe impl Send for X {} // SAFETY: X owns its pointer exclusively.\n// SAFETY: no shared state.\n#[inline]\nunsafe fn g() {}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn intervening_code_breaks_the_comment_run() {
+        let (d, _) = run("// SAFETY: stale.\nlet x = 1;\nunsafe { op(); }\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn strings_and_test_code_do_not_count() {
+        let (d, inv) = run(
+            "fn f() {\n    let s = \"unsafe { }\";\n}\n#[cfg(test)]\nmod tests {\n    fn t() { unsafe { op(); } }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+        assert!(inv.is_empty(), "exempt/blanked sites stay out of the inventory");
+    }
+}

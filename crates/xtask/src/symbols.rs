@@ -1,0 +1,253 @@
+//! Workspace-wide symbol index: every `fn` item, with its body text.
+//!
+//! Built on the same blanked-source model as the lexical rules (no `syn`,
+//! no rustc), so it works in the bare-rustc offline bootstrap. The indexer
+//! walks each file's cleaned lines tracking brace depth, allocates one
+//! [`FnSym`] per `fn` item, and attributes body text to the *innermost*
+//! enclosing function — a nested `fn` owns its own lines, and signatures
+//! (everything between the `fn` keyword and the body's `{`) belong to no
+//! body at all, so parameter types never masquerade as calls.
+//!
+//! Known imprecision (documented, acceptable): closures are not functions
+//! here — their bodies belong to the enclosing `fn`, so work handed to a
+//! spawned thread is attributed to the spawner (an over-approximation for
+//! the fact propagation built on top). Trait method *declarations* (ending
+//! in `;`) have no body and are not indexed.
+
+use crate::rules::is_ident_char;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Ubiquitous utility names excluded from bare-name call resolution.
+///
+/// With no type information, a call to `.get(..)` or `Type::new(..)`
+/// unions over *every* workspace function of that name — and since the
+/// buffer crate's constructors transitively spawn worker threads and the
+/// container shims touch half the tree, one such edge poisons the facts of
+/// nearly every caller ("everything may block, everything acquires
+/// everything"). These names carry no resolution signal, so they carry no
+/// edges; the cost is documented under-approximation (a genuinely blocking
+/// workspace function named e.g. `get` or `drain` would be missed at call
+/// sites — name one distinctively, like `wait_io` or `await_fill`, and it
+/// participates again).
+pub const RESOLUTION_NOISE: &[&str] = &[
+    "new", "default", "clone", "fmt", "eq", "cmp", "hash",
+    "get", "get_mut", "set", "insert", "remove", "take", "replace", "entry",
+    "len", "is_empty", "clear", "capacity", "with_capacity", "reserve",
+    "contains", "contains_key", "push", "push_back", "push_front",
+    "pop", "pop_front", "pop_back", "iter", "iter_mut", "into_iter", "next",
+    "drain", "extend", "retain", "min", "max", "swap",
+    "load", "store", "fetch_add", "fetch_sub", "fetch_or", "fetch_and",
+    "compare_exchange", "compare_exchange_weak",
+    "notify_one", "notify_all", "spawn", "schedule_point", "yield_now",
+];
+
+/// True when functions defined in `path` may be call-resolution targets.
+///
+/// `crates/conc` is excluded: it is the *virtual-scheduler personality* of
+/// the sync primitives — under the model every `schedule_point()` parks,
+/// so resolving into it would tag `Mutex::lock`-style shims as blocking.
+/// The facts model the real build (parking_lot), where blocking is exactly
+/// the seed-token set (`.wait()`, `.recv()`, `park()`, disk I/O, ...).
+///
+/// Crates *downstream* of the buffer pool in the workspace DAG (bench,
+/// sim, storage, baselines, workloads, analysis — they depend on
+/// `lruk-buffer`, never the reverse) are excluded too: the semantic rules
+/// scan buffer/policy code, whose callees can only live in buffer, policy,
+/// or core, so a bare-name match into a downstream crate (e.g. the bench
+/// harness's own `pin`) is spurious by construction. xtask itself — the
+/// analyzer's sources — is likewise never a callee of the scanned scope.
+fn resolvable_file(path: &str) -> bool {
+    const UNRESOLVABLE: &[&str] = &[
+        "crates/conc/src/",
+        "crates/analysis/src/",
+        "crates/baselines/src/",
+        "crates/bench/src/",
+        "crates/sim/src/",
+        "crates/storage/src/",
+        "crates/workloads/src/",
+        "crates/xtask/src/",
+    ];
+    !UNRESOLVABLE.iter().any(|p| path.starts_with(p))
+}
+
+/// One indexed function item.
+#[derive(Debug)]
+pub struct FnSym {
+    /// Index into the file slice the symbol index was built from.
+    pub file: usize,
+    /// Bare function name (`pin`, not `LatchedBufferPool::pin` — the
+    /// token-level model has no type information to qualify with).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// True when the declaration sits in test-exempt code.
+    pub exempt: bool,
+    /// Body text, innermost-attributed: `(1-based line, cleaned code)`.
+    pub body: Vec<(usize, String)>,
+}
+
+/// The workspace symbol table: all functions plus a bare-name lookup map.
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Every indexed function, in (file, position) order.
+    pub fns: Vec<FnSym>,
+    /// Bare name -> ids of *non-exempt, resolvable* functions carrying it.
+    /// Exempt (test-only) functions are deliberately unreachable here so a
+    /// test helper sharing a library function's name can never pollute the
+    /// facts propagated to library callers; [`RESOLUTION_NOISE`] names and
+    /// the conc model personality are excluded likewise (see their docs).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolIndex {
+    /// Index every function in `files`.
+    pub fn build(files: &[SourceFile]) -> SymbolIndex {
+        let mut index = SymbolIndex::default();
+        for (fi, file) in files.iter().enumerate() {
+            index_file(fi, file, &mut index.fns);
+        }
+        for (id, f) in index.fns.iter().enumerate() {
+            if !f.exempt
+                && !RESOLUTION_NOISE.contains(&f.name.as_str())
+                && resolvable_file(&files[f.file].path)
+            {
+                index.by_name.entry(f.name.clone()).or_default().push(id);
+            }
+        }
+        index
+    }
+}
+
+/// Walk one file, appending discovered functions to `fns`.
+fn index_file(fi: usize, file: &SourceFile, fns: &mut Vec<FnSym>) {
+    // Innermost-open function bodies: (fn id, brace depth before its `{`).
+    let mut stack: Vec<(usize, u32)> = Vec::new();
+    // A `fn name` has been seen; waiting for its `{` (body) or `;` (decl).
+    let mut pending: Option<usize> = None;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = &line.code;
+        let mut depth = line.depth_start;
+        let chars: Vec<char> = code.chars().collect();
+        let mut bufs: BTreeMap<usize, String> = BTreeMap::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // `fn` keyword (whole token) followed by an identifier opens a
+            // new pending symbol; `fn(`-style pointer types have no name
+            // and are skipped.
+            if pending.is_none()
+                && chars[i] == 'f'
+                && chars.get(i + 1) == Some(&'n')
+                && (i == 0 || !is_ident_char(chars[i - 1]))
+                && chars.get(i + 2).is_none_or(|&c| !is_ident_char(c))
+            {
+                let mut j = i + 2;
+                while j < chars.len() && chars[j].is_whitespace() {
+                    j += 1;
+                }
+                let start = j;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                if j > start {
+                    fns.push(FnSym {
+                        file: fi,
+                        name: chars[start..j].iter().collect(),
+                        decl_line: idx + 1,
+                        exempt: line.exempt,
+                        body: Vec::new(),
+                    });
+                    pending = Some(fns.len() - 1);
+                    i = j;
+                    continue;
+                }
+            }
+            match chars[i] {
+                '{' => {
+                    if let Some(id) = pending.take() {
+                        stack.push((id, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if stack.last().is_some_and(|&(_, d)| d == depth) {
+                        stack.pop();
+                    }
+                }
+                // A `;` before any `{` is a bodyless declaration (trait
+                // method signature); the symbol stays indexed, body-free.
+                ';' if pending.is_some() => {
+                    pending = None;
+                }
+                _ => {}
+            }
+            if pending.is_none() {
+                if let Some(&(id, _)) = stack.last() {
+                    bufs.entry(id).or_default().push(chars[i]);
+                }
+            }
+            i += 1;
+        }
+        for (id, text) in bufs {
+            if !text.trim().is_empty() {
+                fns[id].body.push((idx + 1, text));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(src: &str) -> SymbolIndex {
+        SymbolIndex::build(&[SourceFile::parse("crates/x/src/lib.rs", src)])
+    }
+
+    #[test]
+    fn functions_are_indexed_with_bodies() {
+        let s = build("fn a() {\n    helper();\n}\nfn b(x: u32) -> u32 {\n    x + 1\n}\n");
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "a");
+        assert_eq!(s.fns[0].decl_line, 1);
+        assert!(s.fns[0].body.iter().any(|(_, c)| c.contains("helper()")));
+        assert_eq!(s.fns[1].name, "b");
+        assert_eq!(s.by_name.get("a"), Some(&vec![0]));
+    }
+
+    #[test]
+    fn signatures_are_not_body_text() {
+        let s = build("fn a(cb: impl Fn(u32) -> u32) {\n    cb2();\n}\n");
+        let body: String = s.fns[0].body.iter().map(|(_, c)| c.as_str()).collect();
+        assert!(!body.contains("Fn(u32)"), "param types excluded: {body}");
+        assert!(body.contains("cb2()"));
+    }
+
+    #[test]
+    fn nested_fn_owns_its_lines() {
+        let s = build("fn outer() {\n    before();\n    fn inner() {\n        blocked();\n    }\n    after();\n}\n");
+        let outer: String = s.fns[0].body.iter().map(|(_, c)| c.as_str()).collect();
+        let inner: String = s.fns[1].body.iter().map(|(_, c)| c.as_str()).collect();
+        assert!(outer.contains("before()") && outer.contains("after()"));
+        assert!(!outer.contains("blocked()"), "inner body excluded: {outer}");
+        assert!(inner.contains("blocked()"));
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body_and_multiline_signatures_work() {
+        let s = build("trait T {\n    fn decl(&self) -> u32;\n}\nfn long(\n    a: u32,\n    b: u32,\n) -> u32 {\n    a + b\n}\n");
+        assert_eq!(s.fns[0].name, "decl");
+        assert!(s.fns[0].body.is_empty());
+        assert_eq!(s.fns[1].name, "long");
+        assert!(s.fns[1].body.iter().any(|(_, c)| c.contains("a + b")));
+    }
+
+    #[test]
+    fn test_fns_are_indexed_but_unreachable_by_name() {
+        let s = build("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn lib() { x.unwrap(); }\n}\n");
+        assert_eq!(s.fns.len(), 2);
+        assert!(s.fns[1].exempt);
+        assert_eq!(s.by_name.get("lib"), Some(&vec![0]), "exempt twin excluded");
+    }
+}

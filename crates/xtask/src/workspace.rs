@@ -6,20 +6,41 @@
 //! code and exempt by construction, matching the in-file `#[cfg(test)]`
 //! exemption done by the source model.
 //!
-//! The driver also enforces suppression hygiene: every `xtask-allow` site
-//! that absorbs a diagnostic is marked used, and the leftovers come back as
-//! non-suppressible [`STALE_SUPPRESSION`] diagnostics, so the allow-list can
-//! only shrink when the code it excused gets fixed.
+//! The driver runs in two layers: the lexical rules per file, and the
+//! semantic rules (`blocking-under-latch`, interprocedural `lock-order`)
+//! over a workspace-wide [`Semantics`] model built once per run. Each pass
+//! is timed into the summary (quantized — see [`crate::report`]).
+//!
+//! It also enforces two hygiene gates:
+//!
+//! - **stale suppressions** — every `xtask-allow` site that absorbs a
+//!   diagnostic is marked used, and the leftovers come back as
+//!   non-suppressible [`STALE_SUPPRESSION`] diagnostics;
+//! - **suppression debt** — the total `xtask-allow` site count is checked
+//!   against the `suppression_baseline` committed in
+//!   `results/ANALYZE.json`. Growth fails the run (non-suppressible
+//!   [`SUPPRESSION_DEBT`]) until the baseline is explicitly bumped in the
+//!   same change; shrinkage ratchets the written baseline down
+//!   automatically.
 
+use crate::facts::Semantics;
 use crate::report::{Diagnostic, Summary};
 use crate::rules::{
-    atomic_ordering, core_driving, determinism, handle_hygiene, lint_header, lock_order, no_panic,
+    atomic_ordering, blocking_under_latch, core_driving, determinism, handle_hygiene, lint_header,
+    lock_order, lock_order_interproc, no_panic, unsafe_audit,
 };
 use crate::source::{SourceFile, SuppressionTarget};
 use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Version of the rule set. Bump on any change to rule logic, scopes, the
+/// hierarchy, or the report schema: `scripts/analyze.sh` keys its
+/// bare-rustc bootstrap cache on this value (greppable literal), so a
+/// version bump invalidates stale cached analyzer binaries.
+pub const RULESET_VERSION: u32 = 2;
 
 /// Crates whose library code must not panic.
 const NO_PANIC_SCOPE: &[&str] = &[
@@ -37,7 +58,9 @@ const DETERMINISM_SCOPE: &[&str] = &["crates/sim/src/", "crates/workloads/src/",
 /// shared replacement engine: `ReplacementCore` runs *under* the drivers'
 /// shard/pool latches (it is handed to them already locked) and must itself
 /// acquire nothing, so it is declared in the hierarchy and scanned like the
-/// pools.
+/// pools. The semantic passes (`blocking-under-latch`, interprocedural
+/// `lock-order`) share this scope: they fire where latches are held, which
+/// is exactly this tree.
 const LOCK_ORDER_SCOPE: &[&str] = &["crates/buffer/src/", "crates/policy/src/engine.rs"];
 
 /// Driver code (buffer pools, simulator) that must route the reference
@@ -66,16 +89,24 @@ const ATOMIC_ORDERING_SCOPE: &[&str] = &[
 /// entry for dead allow-list entries would defeat the point.
 pub const STALE_SUPPRESSION: &str = "stale-suppression";
 
+/// Rule name for suppression-debt growth. Driver-emitted against
+/// `results/ANALYZE.json` itself and not suppressible — the only way past
+/// it is removing `xtask-allow` sites or bumping the committed baseline.
+pub const SUPPRESSION_DEBT: &str = "suppression-debt";
+
 /// Names of all registered rules (used to zero-fill the JSON rule counts).
 pub const ALL_RULES: &[&str] = &[
     atomic_ordering::NAME,
+    blocking_under_latch::NAME,
     core_driving::NAME,
     determinism::NAME,
     handle_hygiene::NAME,
     lint_header::NAME,
     lock_order::NAME,
     no_panic::NAME,
+    unsafe_audit::NAME,
     STALE_SUPPRESSION,
+    SUPPRESSION_DEBT,
 ];
 
 /// Analysis failure (I/O while walking or reading the tree).
@@ -95,10 +126,12 @@ impl std::fmt::Display for AnalyzeError {
 
 impl std::error::Error for AnalyzeError {}
 
-/// Run every rule over the workspace rooted at `root`.
-pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
+/// Parse every library source under `root` (facade `src/` plus each
+/// workspace member's `src/`), sorted by path. Public so integration
+/// tests can build a [`Semantics`] over the real tree (e.g. for mutation
+/// checks) without re-implementing discovery.
+pub fn collect_workspace(root: &Path) -> Result<Vec<SourceFile>, AnalyzeError> {
     let mut files = Vec::new();
-    // Facade crate sources + every workspace member's library sources.
     collect_rs(root, &root.join("src"), &mut files)?;
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -117,6 +150,12 @@ pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
         }
     }
     files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+/// Run every rule over the workspace rooted at `root`.
+pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
+    let files = collect_workspace(root)?;
 
     let mut summary = Summary {
         files_scanned: files.len(),
@@ -125,28 +164,74 @@ pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
     for rule in ALL_RULES {
         summary.rule_counts.insert(rule, 0);
     }
+
+    // Semantic model: symbols -> call graph -> fixed-point facts.
+    let t = Instant::now();
+    let sema = Semantics::build(&files);
+    summary.record_wall_ms("semantics", t.elapsed().as_millis() as u64);
+    summary.functions_indexed = sema.symbols.fns.len();
+    summary.call_edges = sema.graph.edge_count();
+
     let mut raw: Vec<Diagnostic> = Vec::new();
-    for file in &files {
-        if in_scope(&file.path, NO_PANIC_SCOPE) {
-            no_panic::check(file, &mut raw);
+    let pass = |summary: &mut Summary,
+                    rule: &'static str,
+                    raw: &mut Vec<Diagnostic>,
+                    f: &mut dyn FnMut(&mut Vec<Diagnostic>)| {
+        let t = Instant::now();
+        f(raw);
+        summary.record_wall_ms(rule, t.elapsed().as_millis() as u64);
+    };
+    pass(&mut summary, no_panic::NAME, &mut raw, &mut |raw| {
+        for file in files.iter().filter(|f| in_scope(&f.path, NO_PANIC_SCOPE)) {
+            no_panic::check(file, raw);
         }
-        if in_scope(&file.path, LOCK_ORDER_SCOPE) {
-            lock_order::check(file, &mut raw);
+    });
+    // The lexical and interprocedural layers share one rule name, one
+    // suppression vocabulary, and one timing entry.
+    pass(&mut summary, lock_order::NAME, &mut raw, &mut |raw| {
+        for file in files.iter().filter(|f| in_scope(&f.path, LOCK_ORDER_SCOPE)) {
+            lock_order::check(file, raw);
+            lock_order_interproc::check(file, &sema, raw);
         }
-        if in_scope(&file.path, DETERMINISM_SCOPE) {
-            determinism::check(file, &mut raw);
+    });
+    pass(&mut summary, blocking_under_latch::NAME, &mut raw, &mut |raw| {
+        for file in files.iter().filter(|f| in_scope(&f.path, LOCK_ORDER_SCOPE)) {
+            blocking_under_latch::check(file, &sema, raw);
         }
-        if in_scope(&file.path, CORE_DRIVING_SCOPE) {
-            core_driving::check(file, &mut raw);
+    });
+    pass(&mut summary, determinism::NAME, &mut raw, &mut |raw| {
+        for file in files.iter().filter(|f| in_scope(&f.path, DETERMINISM_SCOPE)) {
+            determinism::check(file, raw);
         }
-        if in_scope(&file.path, HANDLE_HYGIENE_SCOPE) {
-            handle_hygiene::check(file, &mut raw);
+    });
+    pass(&mut summary, core_driving::NAME, &mut raw, &mut |raw| {
+        for file in files.iter().filter(|f| in_scope(&f.path, CORE_DRIVING_SCOPE)) {
+            core_driving::check(file, raw);
         }
-        if in_scope(&file.path, ATOMIC_ORDERING_SCOPE) {
-            atomic_ordering::check(file, &mut raw);
+    });
+    pass(&mut summary, handle_hygiene::NAME, &mut raw, &mut |raw| {
+        for file in files.iter().filter(|f| in_scope(&f.path, HANDLE_HYGIENE_SCOPE)) {
+            handle_hygiene::check(file, raw);
         }
-        lint_header::check(file, &mut raw);
-    }
+    });
+    pass(&mut summary, atomic_ordering::NAME, &mut raw, &mut |raw| {
+        for file in files.iter().filter(|f| in_scope(&f.path, ATOMIC_ORDERING_SCOPE)) {
+            atomic_ordering::check(file, raw);
+        }
+    });
+    pass(&mut summary, lint_header::NAME, &mut raw, &mut |raw| {
+        for file in &files {
+            lint_header::check(file, raw);
+        }
+    });
+    let mut inventory = Vec::new();
+    pass(&mut summary, unsafe_audit::NAME, &mut raw, &mut |raw| {
+        for file in &files {
+            unsafe_audit::check(file, raw, &mut inventory);
+        }
+    });
+    summary.unsafe_inventory = inventory;
+
     // Suppression filtering. Each diagnostic a site absorbs marks that site
     // used; the complement is reported below as stale.
     let mut used: Vec<BTreeSet<usize>> = files.iter().map(|_| BTreeSet::new()).collect();
@@ -191,8 +276,40 @@ pub fn analyze_root(root: &Path) -> Result<Summary, AnalyzeError> {
             });
         }
     }
+    // Suppression-debt gate against the committed baseline.
+    summary.suppression_sites = files.iter().map(|f| f.suppressions.len()).sum();
+    match read_baseline(root) {
+        Some(baseline) if summary.suppression_sites > baseline => {
+            summary.suppression_baseline = baseline;
+            *summary.rule_counts.entry(SUPPRESSION_DEBT).or_insert(0) += 1;
+            summary.diagnostics.push(Diagnostic {
+                file: "results/ANALYZE.json".to_string(),
+                line: 1,
+                rule: SUPPRESSION_DEBT,
+                message: format!(
+                    "suppression debt grew: {} `xtask-allow` sites exceed the committed \
+                     baseline of {baseline}; remove suppressions or explicitly bump \
+                     \"suppression_baseline\" in results/ANALYZE.json in the same change",
+                    summary.suppression_sites
+                ),
+            });
+        }
+        // Ratchet down (or adopt the measured count on a fresh tree).
+        _ => summary.suppression_baseline = summary.suppression_sites,
+    }
     summary.diagnostics.sort();
     Ok(summary)
+}
+
+/// The `suppression_baseline` committed in `root/results/ANALYZE.json`,
+/// if the file exists and carries one (schema >= 2). A plain line scan —
+/// the report is our own deterministic output, not arbitrary JSON.
+fn read_baseline(root: &Path) -> Option<usize> {
+    let text = fs::read_to_string(root.join("results/ANALYZE.json")).ok()?;
+    let at = text.find("\"suppression_baseline\":")?;
+    let rest = text[at + "\"suppression_baseline\":".len()..].trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
 }
 
 /// True when `path` is under any of the scope prefixes.
@@ -249,5 +366,23 @@ mod tests {
         assert!(!in_scope("crates/policy/src/engine.rs", HANDLE_HYGIENE_SCOPE));
         assert!(in_scope("crates/conc/src/models.rs", ATOMIC_ORDERING_SCOPE));
         assert!(!in_scope("crates/xtask/src/main.rs", ATOMIC_ORDERING_SCOPE));
+    }
+
+    #[test]
+    fn baseline_parses_from_report_text() {
+        let dir = std::env::temp_dir().join(format!("xtask-baseline-{}", std::process::id()));
+        fs::create_dir_all(dir.join("results")).unwrap();
+        fs::write(
+            dir.join("results/ANALYZE.json"),
+            "{\n  \"schema\": 2,\n  \"suppression_baseline\": 73,\n}\n",
+        )
+        .unwrap();
+        assert_eq!(read_baseline(&dir), Some(73));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_baseline_is_none() {
+        assert_eq!(read_baseline(Path::new("/nonexistent-xtask-root")), None);
     }
 }

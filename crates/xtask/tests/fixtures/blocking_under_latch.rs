@@ -1,0 +1,48 @@
+//! Fixture for the `blocking-under-latch` rule. Parsed under a pretend
+//! buffer-crate path; never compiled. Expected diagnostics (exact):
+//!   line 11 — park under a held shard core latch (the must-catch seed)
+//!   line 17 — interprocedural: a call chain reaching a blocking seed
+//!   line 41 — condvar wait with a second latch still held
+//! The annotated park (line 23) must be suppressed; drop-then-block,
+//! the latch-free helper, and the sole-guard wait are clean.
+
+fn park_under_latch(&self) {
+    let mut core = shard.core.lock();
+    std::thread::park();
+    core.touch();
+}
+
+fn calls_blocker_under_latch(&self) {
+    let mut core = shard.core.lock();
+    self.helper_that_parks();
+}
+
+fn excused_block(&self) {
+    let mut core = shard.core.lock();
+    // xtask-allow: blocking-under-latch -- fixture: documented by-design wait
+    std::thread::park();
+    core.touch();
+}
+
+fn releases_before_blocking(&self) {
+    let mut core = shard.core.lock();
+    core.touch();
+    drop(core);
+    std::thread::park();
+}
+
+fn helper_that_parks(&self) {
+    std::thread::park();
+}
+
+fn wait_with_extra_latch(&self) {
+    let t = self.table.lock();
+    let mut state = self.state.lock();
+    self.signal.wait(&mut state);
+    t.touch();
+}
+
+fn sole_guard_wait(&self) {
+    let mut state = self.state.lock();
+    self.signal.wait(&mut state);
+}

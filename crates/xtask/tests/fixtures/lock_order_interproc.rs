@@ -1,0 +1,48 @@
+//! Fixture for the interprocedural `lock-order` pass. Parsed under a
+//! pretend buffer-crate path; never compiled. Expected diagnostics (exact):
+//!   line 10 — cross-function inversion: frame latch held, callee takes core
+//!   line 16 — transitive: the inversion chains through a middleman
+//! Forward-order chains (core held, callee takes the frame latch), the
+//! same-name delegation pattern, and release-before-call are clean.
+
+fn holds_frame_calls_core(&self) {
+    let data = frame.data.write();
+    self.takes_core();
+    data.touch();
+}
+
+fn holds_frame_calls_middleman(&self) {
+    let data = frame.data.write();
+    self.middleman();
+    data.touch();
+}
+
+fn middleman(&self) {
+    self.takes_core();
+}
+
+fn takes_core(&self) {
+    let mut core = shard.core.lock();
+    core.touch();
+}
+
+fn forward_chain(&self) {
+    let mut core = shard.core.lock();
+    self.takes_frame();
+}
+
+fn takes_frame(&self) {
+    let data = frame.data.write();
+    data.touch();
+}
+
+fn stats(&self) {
+    let g = self.inner.lock();
+    g.stats();
+}
+
+fn releases_then_calls(&self) {
+    let mut core = shard.core.lock();
+    drop(core);
+    self.takes_core();
+}

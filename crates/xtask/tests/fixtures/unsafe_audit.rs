@@ -1,0 +1,38 @@
+//! Fixture for the `unsafe-audit` rule. Parsed under a pretend policy-crate
+//! path; never compiled. Expected diagnostics (exact):
+//!   line 10 — unsafe block with no `// SAFETY:` justification
+//!   line 16 — unsafe fn with no justification
+//! The annotated block (line 23), the fn with a SAFETY comment above it
+//! (line 29), and the suppressed site (line 35) are not diagnostics; every
+//! unannotated-or-not site still lands in the inventory.
+
+fn unannotated_block(ptr: *mut u32) {
+    unsafe {
+        *ptr = 7;
+    }
+}
+
+/// An unsafe fn whose contract is not written down.
+unsafe fn unannotated_fn(ptr: *mut u32) {
+    *ptr = 7;
+}
+
+fn annotated_block(node: *mut Node) {
+    // SAFETY: `node` was just allocated by `Box::into_raw` and is uniquely
+    // owned by this list; no other reference exists until it is relinked.
+    unsafe {
+        (*node).next = None;
+    }
+}
+
+/// SAFETY: callers must uphold the aliasing contract documented on `Node`.
+unsafe fn annotated_fn(node: *mut Node) {
+    (*node).prev = None;
+}
+
+fn excused_block(ptr: *mut u32) {
+    // xtask-allow: unsafe-audit -- fixture: justification tracked in the module doc instead
+    unsafe {
+        *ptr = 9;
+    }
+}

@@ -1,0 +1,286 @@
+//! Integration tests for the interprocedural engine: fixture-driven
+//! exact-count checks for `blocking-under-latch`, the interprocedural
+//! `lock-order` pass, and `unsafe-audit`, plus whole-workspace acceptance
+//! checks — a mutation test that re-introduces the miss-parking bug the
+//! blocking rule exists to catch, the suppression-debt gate's grow/ratchet
+//! behavior, and byte-determinism of the schema-2 report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use xtask::rules::{blocking_under_latch, lock_order_interproc, unsafe_audit};
+use xtask::source::SourceFile;
+use xtask::workspace::collect_workspace;
+use xtask::{analyze_root, Diagnostic, Semantics};
+
+/// Locate `tests/fixtures/` whether the tests run under cargo (manifest dir
+/// set) or under the bare-rustc harness (cwd is `crates/xtask` or the repo
+/// root).
+fn fixture_path(name: &str) -> PathBuf {
+    let candidates = [
+        option_env!("CARGO_MANIFEST_DIR").map(|d| Path::new(d).join("tests/fixtures")),
+        Some(PathBuf::from("tests/fixtures")),
+        Some(PathBuf::from("crates/xtask/tests/fixtures")),
+    ];
+    for dir in candidates.into_iter().flatten() {
+        let p = dir.join(name);
+        if p.is_file() {
+            return p;
+        }
+    }
+    panic!("fixture {name} not found; run from the workspace or crates/xtask");
+}
+
+/// Locate the real workspace root the same way.
+fn workspace_root() -> PathBuf {
+    let candidates = [
+        option_env!("CARGO_MANIFEST_DIR").map(|d| Path::new(d).join("../..")),
+        Some(PathBuf::from(".")),
+        Some(PathBuf::from("../..")),
+    ];
+    for root in candidates.into_iter().flatten() {
+        if root.join("crates/buffer/src/latched.rs").is_file() {
+            return root;
+        }
+    }
+    panic!("workspace root not found");
+}
+
+/// Parse a fixture under `pretend_path`, build a [`Semantics`] over it, run
+/// a semantic rule, and apply the same suppression filtering `analyze_root`
+/// does. Returns the surviving diagnostics and the suppressed count.
+fn run_semantic_fixture(
+    fixture: &str,
+    pretend_path: &str,
+    rule: fn(&SourceFile, &Semantics, &mut Vec<Diagnostic>),
+) -> (Vec<Diagnostic>, usize) {
+    let text = fs::read_to_string(fixture_path(fixture)).expect("fixture readable");
+    let files = vec![SourceFile::parse(pretend_path, &text)];
+    let sema = Semantics::build(&files);
+    let mut raw = Vec::new();
+    rule(&files[0], &sema, &mut raw);
+    let mut kept = Vec::new();
+    let mut suppressed = 0;
+    for d in raw {
+        if files[0].is_suppressed(d.rule, d.line) {
+            suppressed += 1;
+        } else {
+            kept.push(d);
+        }
+    }
+    (kept, suppressed)
+}
+
+#[test]
+fn blocking_under_latch_fixture_exact_counts() {
+    // The disk_scheduler pretend path keeps the generic `core` class AND
+    // the scheduler-local `table`/`state` classes in play.
+    let (kept, suppressed) = run_semantic_fixture(
+        "blocking_under_latch.rs",
+        "crates/buffer/src/disk_scheduler.rs",
+        blocking_under_latch::check,
+    );
+    let lines: Vec<usize> = kept.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![11, 17, 41], "diagnostics: {kept:#?}");
+    assert_eq!(suppressed, 1, "the annotated park must be suppressed");
+    assert!(
+        kept[0].message.contains("shard core latch"),
+        "the must-catch park names the held latch: {}",
+        kept[0].message
+    );
+    assert!(
+        kept[1].message.contains("helper_that_parks"),
+        "the interprocedural case names the chain: {}",
+        kept[1].message
+    );
+    assert!(
+        kept[2].message.contains("scheduler write table"),
+        "the wait reports the latch the condvar does NOT release: {}",
+        kept[2].message
+    );
+}
+
+#[test]
+fn lock_order_interproc_fixture_exact_counts() {
+    let (kept, suppressed) = run_semantic_fixture(
+        "lock_order_interproc.rs",
+        "crates/buffer/src/fixture.rs",
+        lock_order_interproc::check,
+    );
+    let lines: Vec<usize> = kept.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![10, 16], "diagnostics: {kept:#?}");
+    assert_eq!(suppressed, 0);
+    for d in &kept {
+        assert_eq!(d.rule, "lock-order", "shares the lexical rule's name");
+        assert!(
+            d.message.contains("frame latch") && d.message.contains("shard core latch"),
+            "names both ends of the inversion: {}",
+            d.message
+        );
+    }
+    assert!(
+        kept[1].message.contains("middleman"),
+        "the transitive case shows the chain: {}",
+        kept[1].message
+    );
+}
+
+#[test]
+fn unsafe_audit_fixture_exact_counts() {
+    let text =
+        fs::read_to_string(fixture_path("unsafe_audit.rs")).expect("fixture readable");
+    let file = SourceFile::parse("crates/policy/src/fixture.rs", &text);
+    let mut raw = Vec::new();
+    let mut inventory = Vec::new();
+    unsafe_audit::check(&file, &mut raw, &mut inventory);
+    let mut kept = Vec::new();
+    let mut suppressed = 0;
+    for d in raw {
+        if file.is_suppressed(d.rule, d.line) {
+            suppressed += 1;
+        } else {
+            kept.push(d);
+        }
+    }
+    let lines: Vec<usize> = kept.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![10, 16], "diagnostics: {kept:#?}");
+    assert_eq!(suppressed, 1, "the excused block must be suppressed");
+    // Inventory carries every site — annotated, unannotated, and excused.
+    let summary: Vec<(usize, &str, bool)> =
+        inventory.iter().map(|s| (s.line, s.kind, s.reason.is_some())).collect();
+    assert_eq!(
+        summary,
+        vec![
+            (10, "block", false),
+            (16, "fn", false),
+            (23, "block", true),
+            (29, "fn", true),
+            (35, "block", false),
+        ],
+        "inventory: {inventory:#?}"
+    );
+}
+
+/// The acceptance mutation: re-introduce the bug the blocking rule exists
+/// to catch by holding the shard core latch across the miss park in
+/// `LatchedBufferPool::with_page`. The mutated tree must produce an
+/// unsuppressed `blocking-under-latch` diagnostic at the `await_fill`
+/// call; the unmutated tree (asserted clean elsewhere) must not.
+#[test]
+fn holding_core_across_miss_park_is_caught() {
+    let root = workspace_root();
+    let mut files = collect_workspace(&root).expect("workspace parses");
+    let latched = root.join("crates/buffer/src/latched.rs");
+    let original = fs::read_to_string(latched).expect("latched.rs readable");
+    let pin_stmt = "let (fid, wait) = self.pin_in_shard(shard, page)?;";
+    assert!(original.contains(pin_stmt), "mutation anchor present");
+    let mutated = original.replacen(
+        pin_stmt,
+        "let mutant = shard.core.lock();\n        let (fid, wait) = self.pin_in_shard(shard, page)?;",
+        1,
+    );
+    let park_line = mutated
+        .lines()
+        .position(|l| l.contains("self.await_fill("))
+        .expect("await_fill call present")
+        + 1;
+    let idx = files
+        .iter()
+        .position(|f| f.path == "crates/buffer/src/latched.rs")
+        .expect("latched.rs collected");
+    files[idx] = SourceFile::parse("crates/buffer/src/latched.rs", &mutated);
+    let sema = Semantics::build(&files);
+    let mut raw = Vec::new();
+    blocking_under_latch::check(&files[idx], &sema, &mut raw);
+    let caught = raw
+        .iter()
+        .filter(|d| !files[idx].is_suppressed(d.rule, d.line))
+        .any(|d| d.line == park_line);
+    assert!(
+        caught,
+        "holding the shard latch across the miss park must be flagged at \
+         line {park_line}; got: {raw:#?}"
+    );
+}
+
+/// Suppression-debt gate: more `xtask-allow` sites than the committed
+/// baseline fails the run (keeping the old baseline in the report), while
+/// fewer sites ratchets the recorded baseline down automatically.
+#[test]
+fn suppression_debt_grows_and_ratchets() {
+    let root = std::env::temp_dir().join(format!("xtask-debt-{}", std::process::id()));
+    let src = root.join("crates/core/src");
+    fs::create_dir_all(root.join("results")).expect("temp results dir");
+    fs::create_dir_all(&src).expect("temp tree");
+    fs::write(
+        src.join("lib.rs"),
+        "//! Injected fixture crate.\n#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n\n/// Excused panic.\npub fn excused(x: Option<u32>) -> u32 {\n    x.unwrap() // xtask-allow: no-panic -- fixture\n}\n",
+    )
+    .expect("write source");
+
+    // Baseline below the actual site count: the gate must fail and must
+    // NOT silently adopt the larger count.
+    fs::write(root.join("results/ANALYZE.json"), "{\n  \"suppression_baseline\": 0,\n}\n")
+        .expect("write baseline");
+    let summary = analyze_root(&root).expect("analysis runs");
+    assert_eq!(summary.suppression_sites, 1);
+    assert_eq!(summary.suppression_baseline, 0, "old baseline kept on failure");
+    let debt: Vec<&Diagnostic> = summary
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "suppression-debt")
+        .collect();
+    assert_eq!(debt.len(), 1, "diagnostics: {:#?}", summary.diagnostics);
+    assert_eq!(debt[0].file, "results/ANALYZE.json");
+    assert!(
+        debt[0].message.contains("baseline of 0"),
+        "message cites the committed baseline: {}",
+        debt[0].message
+    );
+
+    // Baseline above the count: clean run, and the recorded baseline
+    // ratchets down to the measured count.
+    fs::write(root.join("results/ANALYZE.json"), "{\n  \"suppression_baseline\": 5,\n}\n")
+        .expect("write baseline");
+    let summary = analyze_root(&root).expect("analysis runs");
+    assert!(summary.is_clean(), "diagnostics: {:#?}", summary.diagnostics);
+    assert_eq!(summary.suppression_baseline, 1, "baseline ratchets down");
+
+    fs::remove_dir_all(&root).ok();
+}
+
+/// Whole-tree acceptance for the new engine: the committed tree is clean
+/// under the semantic rules, carries no `unsafe` at all, and the schema-2
+/// report is byte-identical across runs.
+#[test]
+fn real_tree_semantics_clean_and_deterministic() {
+    let root = workspace_root();
+    let summary = analyze_root(&root).expect("analysis runs");
+    assert!(
+        summary.is_clean(),
+        "committed tree must be analyze-clean; found:\n{}",
+        summary
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(summary.rule_counts["blocking-under-latch"], 0);
+    assert_eq!(summary.rule_counts["unsafe-audit"], 0);
+    assert_eq!(summary.rule_counts["suppression-debt"], 0);
+    assert!(
+        summary.unsafe_inventory.is_empty(),
+        "every crate forbids unsafe_code; the inventory is a tripwire: {:#?}",
+        summary.unsafe_inventory
+    );
+    assert!(summary.functions_indexed > 500, "indexed {}", summary.functions_indexed);
+    assert!(summary.call_edges > 500, "resolved {}", summary.call_edges);
+    assert_eq!(
+        summary.suppression_baseline, summary.suppression_sites,
+        "a clean run records the measured site count as the baseline"
+    );
+
+    let again = analyze_root(&root).expect("analysis runs twice");
+    assert_eq!(summary.to_json(), again.to_json(), "schema-2 report is deterministic");
+}

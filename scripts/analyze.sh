@@ -21,16 +21,26 @@ for a in "$@"; do
   esac
 done
 
-if cargo build -q -p xtask 2>/dev/null; then
+# Bootstrap cache: reuse the bare-rustc xtask binary when no analyzer
+# source is newer than it AND it was built from the same rule-set version
+# (RULESET_VERSION in workspace.rs — bumped whenever rule semantics
+# change, so a stale binary can never silently apply an old rule set).
+boot=target/xtask-bootstrap
+key=$(sed -n 's/.*RULESET_VERSION: u32 = \([0-9]*\).*/\1/p' crates/xtask/src/workspace.rs)
+if [ -x "$boot/xtask" ] \
+  && [ "$(cat "$boot/ruleset.key" 2>/dev/null)" = "$key" ] \
+  && [ -z "$(find crates/xtask/src -name '*.rs' -newer "$boot/xtask" -print -quit)" ]; then
+  "$boot/xtask" analyze ${args[@]+"${args[@]}"}
+elif cargo build -q -p xtask 2>/dev/null; then
   cargo run -q -p xtask -- analyze ${args[@]+"${args[@]}"}
 else
   echo "analyze.sh: cargo build unavailable; bootstrapping xtask with bare rustc" >&2
-  boot=target/xtask-bootstrap
   mkdir -p "$boot"
   rustc --edition 2021 -O --crate-type rlib --crate-name xtask \
     crates/xtask/src/lib.rs -o "$boot/libxtask.rlib"
   rustc --edition 2021 -O --crate-name xtask \
     crates/xtask/src/main.rs --extern xtask="$boot/libxtask.rlib" -o "$boot/xtask"
+  printf '%s\n' "$key" > "$boot/ruleset.key"
   "$boot/xtask" analyze ${args[@]+"${args[@]}"}
 fi
 
