@@ -1,0 +1,249 @@
+//! AWRP — Adaptive Weight Ranking Policy (Swain, Paikaray & Swain,
+//! arXiv:1107.4851).
+//!
+//! AWRP ranks every resident page by an adaptive weight combining its
+//! reference *frequency* and its *age*: `W(p) = F(p) / (age(p) + 1)` where
+//! `age(p) = now - LAST(p)`. The page with the smallest weight — rarely
+//! referenced and long untouched — is the replacement victim, so the policy
+//! behaves like LFU under stable reuse and decays toward LRU as pages go
+//! cold. A periodic halving of all frequency counters keeps the ranking
+//! adaptive instead of "never forgetting" like pure LFU (the failure mode
+//! the LRU-K paper calls out in §4.3).
+//!
+//! This is a faithful simplification of the paper's scheme for the
+//! [`ReplacementPolicy`] driver contract: weights are compared exactly with
+//! integer cross-multiplication (no floating point, fully deterministic),
+//! and ties break on older `LAST` then smaller `PageId`. Victim selection
+//! scans the resident set — AWRP is a comparator baseline here, not a hot
+//! path.
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+
+/// References between frequency-halving sweeps (the paper's periodic
+/// "weight adjustment"; a power of two so the cadence is cheap to test).
+const AGING_INTERVAL: u64 = 4096;
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// `F(p)` — references since admission (halved by the aging sweep).
+    freq: u32,
+    /// `LAST(p)` — raw tick of the most recent reference.
+    last: u64,
+}
+
+/// Adaptive Weight Ranking Policy. See the module docs for the scheme.
+#[derive(Clone, Debug)]
+pub struct Awrp {
+    entries: FxHashMap<PageId, Entry>,
+    pins: PinSet,
+    /// References processed since the last frequency-halving sweep.
+    refs_since_aging: u64,
+}
+
+/// `true` when `a` outranks `b` as the victim: strictly smaller weight
+/// `F/(age+1)`, ties on older `LAST`, then smaller `PageId`.
+fn more_evictable(a: (&PageId, &Entry), b: (&PageId, &Entry), now: Tick) -> bool {
+    let age = |e: &Entry| (now.raw().saturating_sub(e.last) as u128) + 1;
+    // F(a)/(age_a) < F(b)/(age_b)  ⟺  F(a)·age_b < F(b)·age_a
+    let lhs = (a.1.freq as u128) * age(b.1);
+    let rhs = (b.1.freq as u128) * age(a.1);
+    lhs < rhs || (lhs == rhs && (a.1.last, a.0) < (b.1.last, b.0))
+}
+
+impl Awrp {
+    /// A fresh AWRP policy (capacity-free: the driver bounds residency).
+    pub fn new() -> Self {
+        Awrp {
+            entries: FxHashMap::default(),
+            pins: PinSet::new(),
+            refs_since_aging: 0,
+        }
+    }
+
+    /// `(F(p), LAST(p))` of a resident page — diagnostics.
+    pub fn weight_parts(&self, page: PageId) -> Option<(u32, u64)> {
+        self.entries.get(&page).map(|e| (e.freq, e.last))
+    }
+
+    /// Count a processed reference; halve every frequency each
+    /// [`AGING_INTERVAL`] references so old popularity decays.
+    fn tick_aging(&mut self) {
+        self.refs_since_aging += 1;
+        if self.refs_since_aging >= AGING_INTERVAL {
+            self.refs_since_aging = 0;
+            for e in self.entries.values_mut() {
+                e.freq = (e.freq / 2).max(1);
+            }
+        }
+    }
+}
+
+impl Default for Awrp {
+    fn default() -> Self {
+        Awrp::new()
+    }
+}
+
+impl ReplacementPolicy for Awrp {
+    fn name(&self) -> String {
+        "AWRP".into()
+    }
+
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        if let Some(e) = self.entries.get_mut(&page) {
+            e.freq = e.freq.saturating_add(1);
+            e.last = now.raw();
+        } else {
+            debug_assert!(false, "on_hit for non-resident page");
+        }
+        self.tick_aging();
+    }
+
+    fn on_miss(&mut self, _page: PageId, _now: Tick) {
+        self.tick_aging();
+    }
+
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        let prev = self.entries.insert(
+            page,
+            Entry {
+                freq: 1,
+                last: now.raw(),
+            },
+        );
+        debug_assert!(prev.is_none(), "on_admit for already-resident page");
+    }
+
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        let removed = self.entries.remove(&page);
+        debug_assert!(removed.is_some(), "on_evict for non-resident page");
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+        if self.entries.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        let mut best: Option<(&PageId, &Entry)> = None;
+        for cand in &self.entries {
+            if self.pins.is_pinned(*cand.0) {
+                continue;
+            }
+            if best.map(|b| more_evictable(cand, b, now)).unwrap_or(true) {
+                best = Some(cand);
+            }
+        }
+        best.map(|(&p, _)| p).ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.entries.remove(&page);
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    /// Drive one full reference through the policy with a fixed capacity.
+    fn reference(a: &mut Awrp, page: PageId, t: u64, cap: usize) -> bool {
+        let now = Tick(t);
+        if a.weight_parts(page).is_some() {
+            a.on_hit(page, now);
+            true
+        } else {
+            a.on_miss(page, now);
+            if a.resident_len() >= cap {
+                let v = a.select_victim(now).unwrap();
+                a.on_evict(v, now);
+            }
+            a.on_admit(page, now);
+            false
+        }
+    }
+
+    #[test]
+    fn low_weight_page_is_the_victim() {
+        let mut a = Awrp::new();
+        // p1: frequent and recent. p2: referenced once, long ago.
+        reference(&mut a, p(1), 1, 4);
+        reference(&mut a, p(2), 2, 4);
+        for t in 3..10 {
+            reference(&mut a, p(1), t, 4);
+        }
+        assert_eq!(a.select_victim(Tick(100)), Ok(p(2)));
+    }
+
+    #[test]
+    fn age_decays_frequent_but_stale_pages() {
+        let mut a = Awrp::new();
+        // p1 hammered early, then silent; p2 touched once, recently.
+        for t in 1..=20 {
+            reference(&mut a, p(1), t, 4);
+        }
+        reference(&mut a, p(2), 10_000_000, 4);
+        // F(p1)=20 but age ≈ 10^7; F(p2)=1 with age 1: p1 has lower weight.
+        assert_eq!(a.select_victim(Tick(10_000_001)), Ok(p(1)));
+    }
+
+    #[test]
+    fn ties_break_on_older_last_then_page_id() {
+        let mut a = Awrp::new();
+        reference(&mut a, p(7), 5, 4);
+        reference(&mut a, p(3), 5, 4); // same freq, same last
+        assert_eq!(a.select_victim(Tick(5)), Ok(p(3)));
+        reference(&mut a, p(9), 2, 8); // same freq, older last
+        assert_eq!(a.select_victim(Tick(5)), Ok(p(9)));
+    }
+
+    #[test]
+    fn aging_halves_frequencies() {
+        let mut a = Awrp::new();
+        reference(&mut a, p(1), 1, 4);
+        for t in 2..100 {
+            reference(&mut a, p(1), t, 4);
+        }
+        let (f_before, _) = a.weight_parts(p(1)).unwrap();
+        assert_eq!(f_before, 99);
+        // Burn references up to the aging boundary via misses on p2.
+        let mut t = 100;
+        while a.refs_since_aging != 0 {
+            a.on_miss(p(2), Tick(t));
+            t += 1;
+        }
+        let (f_after, _) = a.weight_parts(p(1)).unwrap();
+        assert_eq!(f_after, 49, "aging sweep must halve F(p)");
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut a = Awrp::new();
+        assert_eq!(a.select_victim(Tick(1)), Err(VictimError::Empty));
+        reference(&mut a, p(1), 1, 4);
+        a.pin(p(1));
+        assert_eq!(a.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        a.unpin(p(1));
+        assert!(a.select_victim(Tick(2)).is_ok());
+        a.forget(p(1));
+        assert_eq!(a.resident_len(), 0);
+        assert_eq!(a.name(), "AWRP");
+    }
+}

@@ -1,0 +1,344 @@
+//! EEvA — expert-based buffer page replacement (Demin, Katrutsa & Latypov,
+//! arXiv:2405.00154).
+//!
+//! EEvA frames replacement as *prediction with expert advice*: a small panel
+//! of classical heuristics ("experts") each ranks the resident pages by
+//! evictability, a per-expert weight says how much the panel trusts each
+//! one, and the page with the best weighted rank is evicted. The weights
+//! are updated online from *regret*: when an evicted page is re-referenced
+//! soon after (a ghost hit — the eviction was a mistake), the expert that
+//! argued hardest for that eviction is penalized and the others credited.
+//!
+//! This implementation fields the two canonical experts — **recency**
+//! (oldest `LAST` is most evictable, i.e. LRU) and **frequency** (smallest
+//! reference count is most evictable, i.e. LFU) — with integer weights on a
+//! fixed scale, rank-based scoring, and a bounded ghost list for blame
+//! assignment. Everything is integer arithmetic and fully deterministic;
+//! ties break on smaller `PageId`. Victim selection sorts the resident set
+//! (comparator baseline, not a hot path).
+
+use lruk_policy::fxhash::FxHashMap;
+use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+use std::collections::VecDeque;
+
+/// Combined expert-weight scale: `w_recency + w_frequency == SCALE` always.
+const SCALE: u32 = 1024;
+/// Weight transferred from the blamed expert to its peer on a ghost hit.
+const PENALTY: u32 = 32;
+/// No expert's weight leaves `[FLOOR, SCALE - FLOOR]` — a silenced expert
+/// could never recover when the workload shifts back.
+const FLOOR: u32 = 64;
+
+/// Which expert argued hardest for an eviction (ghost-list blame tag).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Expert {
+    Recency,
+    Frequency,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    /// Reference count since admission (the frequency expert's signal).
+    freq: u32,
+    /// Raw tick of the most recent reference (the recency expert's signal).
+    last: u64,
+}
+
+/// EEvA with the recency + frequency expert panel. See the module docs.
+#[derive(Clone, Debug)]
+pub struct Eeva {
+    entries: FxHashMap<PageId, Entry>,
+    /// Evicted pages we still remember, oldest first, with the expert that
+    /// ranked them most evictable at eviction time. Bounded by `ghost_cap`.
+    ghosts: VecDeque<(PageId, Expert)>,
+    ghost_cap: usize,
+    w_recency: u32,
+    w_frequency: u32,
+    pins: PinSet,
+}
+
+impl Eeva {
+    /// EEvA for a buffer of `capacity` frames; the ghost list remembers up
+    /// to `capacity` evicted pages (mirroring ARC's directory bound).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        Eeva {
+            entries: FxHashMap::default(),
+            ghosts: VecDeque::with_capacity(capacity),
+            ghost_cap: capacity,
+            w_recency: SCALE / 2,
+            w_frequency: SCALE / 2,
+            pins: PinSet::new(),
+        }
+    }
+
+    /// `(w_recency, w_frequency)` — diagnostics; always sums to the scale.
+    pub fn expert_weights(&self) -> (u32, u32) {
+        (self.w_recency, self.w_frequency)
+    }
+
+    /// Ghost-list occupancy — diagnostics.
+    pub fn ghost_len(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// Per-page combined score plus each expert's rank, lowest score = next
+    /// victim. Rank 0 = the expert's top eviction candidate.
+    fn scored(&self) -> Vec<(u64, u32, u32, PageId)> {
+        let mut by_recency: Vec<(u64, PageId)> =
+            self.entries.iter().map(|(&p, e)| (e.last, p)).collect();
+        by_recency.sort_unstable();
+        let mut by_frequency: Vec<(u32, PageId)> =
+            self.entries.iter().map(|(&p, e)| (e.freq, p)).collect();
+        by_frequency.sort_unstable();
+        let mut ranks: FxHashMap<PageId, (u32, u32)> = FxHashMap::default();
+        for (rank, &(_, p)) in by_recency.iter().enumerate() {
+            ranks.entry(p).or_insert((0, 0)).0 = rank as u32;
+        }
+        for (rank, &(_, p)) in by_frequency.iter().enumerate() {
+            ranks.entry(p).or_insert((0, 0)).1 = rank as u32;
+        }
+        let mut scored: Vec<(u64, u32, u32, PageId)> = ranks
+            .into_iter()
+            .map(|(p, (r_rec, r_freq))| {
+                let score = u64::from(self.w_recency) * u64::from(r_rec)
+                    + u64::from(self.w_frequency) * u64::from(r_freq);
+                (score, r_rec, r_freq, p)
+            })
+            .collect();
+        scored.sort_unstable();
+        scored
+    }
+
+    /// Shift `PENALTY` weight away from `blamed`, clamped to the floor.
+    fn penalize(&mut self, blamed: Expert) {
+        let (loser, winner) = match blamed {
+            Expert::Recency => (&mut self.w_recency, &mut self.w_frequency),
+            Expert::Frequency => (&mut self.w_frequency, &mut self.w_recency),
+        };
+        let shift = PENALTY.min(loser.saturating_sub(FLOOR));
+        *loser -= shift;
+        *winner += shift;
+        debug_assert_eq!(self.w_recency + self.w_frequency, SCALE);
+    }
+}
+
+impl ReplacementPolicy for Eeva {
+    fn name(&self) -> String {
+        "EEvA".into()
+    }
+
+    fn on_hit(&mut self, page: PageId, now: Tick) {
+        if let Some(e) = self.entries.get_mut(&page) {
+            e.freq = e.freq.saturating_add(1);
+            e.last = now.raw();
+        } else {
+            debug_assert!(false, "on_hit for non-resident page");
+        }
+    }
+
+    /// Ghost hit: the eviction was regretted — the expert that argued for
+    /// it loses weight to its peer.
+    fn on_miss(&mut self, page: PageId, _now: Tick) {
+        if let Some(pos) = self.ghosts.iter().position(|&(g, _)| g == page) {
+            if let Some((_, blamed)) = self.ghosts.remove(pos) {
+                self.penalize(blamed);
+            }
+        }
+    }
+
+    fn on_admit(&mut self, page: PageId, now: Tick) {
+        let prev = self.entries.insert(
+            page,
+            Entry {
+                freq: 1,
+                last: now.raw(),
+            },
+        );
+        debug_assert!(prev.is_none(), "on_admit for already-resident page");
+    }
+
+    /// Remember the eviction with the expert most responsible for it so a
+    /// later ghost hit can assign blame.
+    fn on_evict(&mut self, page: PageId, _now: Tick) {
+        // Recompute the victim's ranks; cheap relative to the sort the
+        // driver just paid in select_victim, and robust when the driver
+        // evicts a page select_victim never nominated.
+        let blamed = self
+            .scored()
+            .iter()
+            .find(|&&(_, _, _, p)| p == page)
+            .map(|&(_, r_rec, r_freq, _)| {
+                // The expert that ranked the page *more* evictable (lower
+                // rank) pushed for this eviction; ties blame recency.
+                if r_freq < r_rec {
+                    Expert::Frequency
+                } else {
+                    Expert::Recency
+                }
+            });
+        let removed = self.entries.remove(&page);
+        debug_assert!(removed.is_some(), "on_evict for non-resident page");
+        if let Some(blamed) = blamed {
+            if self.ghosts.len() >= self.ghost_cap {
+                self.ghosts.pop_front();
+            }
+            self.ghosts.push_back((page, blamed));
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn select_victim(&mut self, _now: Tick) -> Result<PageId, VictimError> {
+        if self.entries.is_empty() {
+            return Err(VictimError::Empty);
+        }
+        self.scored()
+            .iter()
+            .map(|&(_, _, _, p)| p)
+            .find(|&p| !self.pins.is_pinned(p))
+            .ok_or(VictimError::AllPinned)
+    }
+
+    fn pin(&mut self, page: PageId) {
+        self.pins.pin(page);
+    }
+
+    fn unpin(&mut self, page: PageId) {
+        self.pins.unpin(page);
+    }
+
+    fn forget(&mut self, page: PageId) {
+        self.entries.remove(&page);
+        if let Some(pos) = self.ghosts.iter().position(|&(g, _)| g == page) {
+            self.ghosts.remove(pos);
+        }
+        self.pins.clear_page(page);
+    }
+
+    fn resident_len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn retained_len(&self) -> usize {
+        self.ghosts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u64) -> PageId {
+        PageId(i)
+    }
+
+    fn is_resident(a: &Eeva, page: PageId) -> bool {
+        a.entries.contains_key(&page)
+    }
+
+    /// Drive one full reference through the policy with a fixed capacity.
+    fn reference(a: &mut Eeva, page: PageId, t: u64, cap: usize) -> bool {
+        let now = Tick(t);
+        if is_resident(a, page) {
+            a.on_hit(page, now);
+            true
+        } else {
+            a.on_miss(page, now);
+            if a.resident_len() >= cap {
+                let v = a.select_victim(now).unwrap();
+                a.on_evict(v, now);
+            }
+            a.on_admit(page, now);
+            false
+        }
+    }
+
+    #[test]
+    fn cold_and_old_page_is_the_victim() {
+        let mut a = Eeva::new(4);
+        reference(&mut a, p(1), 1, 4);
+        reference(&mut a, p(2), 2, 4);
+        for t in 3..8 {
+            reference(&mut a, p(1), t, 4); // p1: frequent and recent
+        }
+        // p2 is worst for both experts — unanimous victim.
+        assert_eq!(a.select_victim(Tick(9)), Ok(p(2)));
+    }
+
+    #[test]
+    fn ghost_hit_shifts_weight_away_from_the_blamed_expert() {
+        let mut a = Eeva::new(2);
+        // p1 referenced often but long ago; p2/p3 fresh singletons. The
+        // recency expert dominates the eviction of p1.
+        for t in 1..=6 {
+            reference(&mut a, p(1), t, 2);
+        }
+        reference(&mut a, p(2), 100, 2);
+        reference(&mut a, p(3), 101, 2); // evicts p1 (recency's pick)
+        assert!(!is_resident(&a, p(1)));
+        let (rec_before, freq_before) = a.expert_weights();
+        reference(&mut a, p(1), 102, 2); // ghost hit: recency regrets
+        let (rec_after, freq_after) = a.expert_weights();
+        assert!(rec_after < rec_before, "blamed expert must lose weight");
+        assert!(freq_after > freq_before, "peer must gain weight");
+        assert_eq!(rec_after + freq_after, SCALE);
+    }
+
+    #[test]
+    fn weights_never_cross_the_floor() {
+        let mut a = Eeva::new(2);
+        // Hammer the recency expert with regret many times over.
+        for round in 0u64..100 {
+            let t0 = round * 1000 + 1;
+            for t in t0..t0 + 6 {
+                reference(&mut a, p(1), t, 2);
+            }
+            reference(&mut a, p(2), t0 + 500, 2);
+            reference(&mut a, p(3), t0 + 501, 2);
+            reference(&mut a, p(1), t0 + 502, 2); // ghost hit when evicted
+        }
+        let (rec, freq) = a.expert_weights();
+        assert!(rec >= FLOOR, "recency weight fell through the floor: {rec}");
+        assert_eq!(rec + freq, SCALE);
+    }
+
+    #[test]
+    fn ghost_list_is_bounded() {
+        let cap = 4;
+        let mut a = Eeva::new(cap);
+        for i in 0..100u64 {
+            reference(&mut a, p(i), i + 1, cap);
+        }
+        assert!(a.ghost_len() <= cap);
+        assert_eq!(a.retained_len(), a.ghost_len());
+    }
+
+    #[test]
+    fn forget_clears_ghosts_too() {
+        let mut a = Eeva::new(2);
+        for i in 1..=3u64 {
+            reference(&mut a, p(i), i, 2);
+        }
+        let ghost = (1..=3u64)
+            .map(p)
+            .find(|&g| !is_resident(&a, g))
+            .expect("one page must have been evicted");
+        assert!(a.ghosts.iter().any(|&(g, _)| g == ghost));
+        a.forget(ghost);
+        assert!(!a.ghosts.iter().any(|&(g, _)| g == ghost));
+    }
+
+    #[test]
+    fn pins_and_errors() {
+        let mut a = Eeva::new(4);
+        assert_eq!(a.select_victim(Tick(1)), Err(VictimError::Empty));
+        reference(&mut a, p(1), 1, 4);
+        a.pin(p(1));
+        assert_eq!(a.select_victim(Tick(2)), Err(VictimError::AllPinned));
+        a.unpin(p(1));
+        assert!(a.select_victim(Tick(2)).is_ok());
+        a.forget(p(1));
+        assert_eq!(a.resident_len(), 0);
+        assert_eq!(a.name(), "EEvA");
+    }
+}

@@ -22,6 +22,8 @@
 //! | 2Q | [`two_q`] | direct descendant of LRU-2 (Johnson & Shasha '94) |
 //! | LIRS | [`lirs`] | inter-reference-recency descendant (Jiang & Zhang '02) |
 //! | ARC | [`arc`] | adaptive descendant (Megiddo & Modha '03) |
+//! | AWRP | [`awrp`] | adaptive weight ranking (Swain et al. '11), frequency/age hybrid |
+//! | EEvA | [`eeva`] | expert-advice panel (Demin et al. '24), online-reweighted LRU/LFU |
 //! | A0 | [`oracle`] | the optimal *probabilistic* policy of Theorem 3.2 |
 //! | Belady OPT (B0) | [`oracle`] | the clairvoyant optimum \[BELADY\] |
 
@@ -29,7 +31,9 @@
 #![forbid(unsafe_code)]
 
 pub mod arc;
+pub mod awrp;
 pub mod clock;
+pub mod eeva;
 pub mod domains;
 pub mod fbr;
 pub mod fifo;
@@ -44,7 +48,9 @@ pub mod slru;
 pub mod two_q;
 
 pub use arc::Arc;
+pub use awrp::Awrp;
 pub use clock::{Clock, GClock};
+pub use eeva::Eeva;
 pub use domains::DomainSeparation;
 pub use fbr::Fbr;
 pub use fifo::Fifo;

@@ -1,0 +1,298 @@
+//! Online adaptive policy switching: the drivers behind `bench_adaptive`.
+//!
+//! The experiment replays one **mixed adversarial trace** — drifting-Zipf,
+//! jumping hotspot, scan-storm, loop, hotspot again — through a sharded
+//! [`LatchedBufferPool`], once per fixed policy in the zoo and once under
+//! the shadow-simulation [`MetaPolicy`], which hot-swaps each shard's
+//! policy at window boundaries via [`LatchedBufferPool::swap_policy`]. No
+//! fixed policy is good at every regime (that is the point of the trace),
+//! so the meta-policy's overall hit ratio must come out on top.
+//!
+//! Everything but wall-clock timing is seed-deterministic: each replay
+//! folds its per-reference hit/miss outcomes and every promotion into an
+//! FNV-1a decision checksum, and the binary runs each configuration twice
+//! and asserts the checksums match before writing the artifact.
+
+use lruk_buffer::{ConcurrentInMemoryDisk, LatchedBufferPool};
+use lruk_policy::PageId;
+use lruk_sim::shadow::{MetaPolicy, Promotion, ShadowConfig};
+use lruk_sim::PolicySpec;
+use lruk_workloads::trace::{PageRef, Trace};
+use lruk_workloads::{DriftingZipf, LoopScan, MovingHotspot, ScanStorm, Workload};
+use std::time::Instant;
+
+/// Fixed seed: the artifact is reproducible bit-for-bit.
+pub const SEED: u64 = 42;
+/// Shards in the live pool.
+pub const SHARDS: usize = 2;
+/// Total frames across all shards.
+pub const FRAMES: usize = 128;
+/// Pages in the drifting-Zipf universe.
+pub const ZIPF_PAGES: u64 = 2048;
+
+/// The policy zoo: every fixed policy the meta-policy must beat, and the
+/// spec list it chooses among. Index 0 (LRU-2) is the starting incumbent.
+pub fn zoo() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::LruK { k: 2 },
+        PolicySpec::Lru,
+        PolicySpec::Mru,
+        PolicySpec::TwoQ,
+        PolicySpec::Arc,
+        PolicySpec::Lirs,
+        PolicySpec::Awrp,
+        PolicySpec::Eeva,
+    ]
+}
+
+/// Shadow/promotion tuning for the experiment (scaled by `smoke`).
+pub fn shadow_config(smoke: bool) -> ShadowConfig {
+    ShadowConfig {
+        capacity: FRAMES / SHARDS,
+        window: if smoke { 500 } else { 1_000 },
+        sample: 1,
+        margin_permille: 15,
+        cooldown_windows: 1,
+    }
+}
+
+/// Regimes in [`mixed_trace`], in order.
+pub const REGIMES: [&str; 5] = ["drifting_zipf", "hotspot", "scan_storm", "loop", "hotspot"];
+
+/// The mixed adversarial trace: five regimes of `refs_per_regime`
+/// references each, concatenated. Each regime is the counterexample to a
+/// different fixed policy's core assumption (see
+/// [`lruk_workloads::adversarial`]); the jumping-hotspot regimes are the
+/// counterweight to LIRS, whose inter-reference-recency filter delays
+/// promotion of freshly-hot pages that plain recency policies catch at
+/// once.
+pub fn mixed_trace(refs_per_regime: usize, seed: u64) -> Trace {
+    let mut refs: Vec<PageRef> = Vec::with_capacity(REGIMES.len() * refs_per_regime);
+    let mut drift = DriftingZipf::new(ZIPF_PAGES, 0.8, 0.2, 2_000, 256, seed);
+    let mut hot1 = MovingHotspot::new(ZIPF_PAGES, 64, 0.9, 1_000, seed.wrapping_add(3));
+    // One calm+sweep period ≈ one evaluation window (global refs split
+    // across two shards): windowed hit ratios then average a whole period
+    // instead of flapping between pure-calm and pure-sweep windows.
+    let mut storm = ScanStorm::new(64, 1024, 1_000, 1, seed.wrapping_add(1));
+    let mut looper = LoopScan::new(192);
+    let mut hot2 = MovingHotspot::new(ZIPF_PAGES, 64, 0.9, 1_000, seed.wrapping_add(4));
+    for w in [
+        &mut drift as &mut dyn Workload,
+        &mut hot1,
+        &mut storm,
+        &mut looper,
+        &mut hot2,
+    ] {
+        for _ in 0..refs_per_regime {
+            refs.push(w.next_ref());
+        }
+    }
+    Trace::new(format!("adaptive_mix(seed={seed})"), refs)
+}
+
+/// One replay's deterministic outcome plus its wall-clock time.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Display label of the configuration (policy name or "META").
+    pub label: String,
+    /// References that found their page resident.
+    pub hits: u64,
+    /// Total references replayed.
+    pub refs: u64,
+    /// FNV-1a over the (page, hit) outcome stream and every promotion.
+    pub checksum: u64,
+    /// Promotions executed (empty for fixed policies).
+    pub promotions: Vec<Promotion>,
+    /// Wall-clock seconds for the replay.
+    pub secs: f64,
+}
+
+impl RunResult {
+    /// Hit ratio `C = h / T`.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.refs == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.refs as f64
+        }
+    }
+
+    /// The seed-deterministic portion (what must match across reps).
+    pub fn fingerprint(&self) -> (u64, u64, u64, usize) {
+        (self.hits, self.refs, self.checksum, self.promotions.len())
+    }
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fold(sum: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *sum ^= byte as u64;
+        *sum = sum.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// Build a pool whose disk holds every page the trace references, plus a
+/// dense `PageId -> disk PageId` map.
+fn build_pool(
+    trace: &Trace,
+    mut make_policy: impl FnMut() -> Box<dyn lruk_policy::ReplacementPolicy>,
+) -> (LatchedBufferPool<ConcurrentInMemoryDisk>, Vec<PageId>) {
+    let max_page = trace.refs().iter().map(|r| r.page.raw()).max().unwrap_or(0);
+    let pool = LatchedBufferPool::new(
+        SHARDS,
+        FRAMES,
+        ConcurrentInMemoryDisk::unbounded(),
+        &mut make_policy,
+    );
+    let pages: Vec<PageId> = (0..=max_page)
+        .map(|_| pool.allocate_page().expect("unbounded disk"))
+        .collect();
+    (pool, pages)
+}
+
+/// Replay `trace` through a pool running `spec` in every shard, fixed for
+/// the whole run.
+pub fn replay_fixed(trace: &Trace, spec: &PolicySpec) -> RunResult {
+    let (pool, pages) = build_pool(trace, || spec.build(FRAMES / SHARDS, None, None));
+    let mut checksum = FNV_OFFSET;
+    let start = Instant::now();
+    for r in trace.refs() {
+        let page = pages[r.page.raw() as usize];
+        let hit = pool.contains(page);
+        pool.with_page(page, |_| ()).expect("replay read");
+        fold(&mut checksum, r.page.raw());
+        fold(&mut checksum, hit as u64);
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = pool.stats();
+    RunResult {
+        label: spec.label(),
+        hits: stats.hits,
+        refs: stats.references(),
+        checksum,
+        promotions: Vec::new(),
+        secs,
+    }
+}
+
+/// Replay `trace` under the meta-policy: one [`MetaPolicy`] per shard,
+/// each fed the shard's slice of the reference stream, hot-swapping the
+/// shard's live policy at window boundaries when a shadow challenger wins.
+pub fn replay_meta(trace: &Trace, specs: &[PolicySpec], cfg: ShadowConfig) -> RunResult {
+    let incumbent = 0usize;
+    let (pool, pages) = build_pool(trace, || specs[incumbent].build(FRAMES / SHARDS, None, None));
+    let mut metas: Vec<MetaPolicy> = (0..SHARDS)
+        .map(|_| MetaPolicy::new(cfg, specs.to_vec(), incumbent))
+        .collect();
+    // Per-shard live counters at the last window boundary, for the
+    // incumbent's windowed (hits, refs).
+    let mut window_base: Vec<(u64, u64)> = vec![(0, 0); SHARDS];
+    let mut checksum = FNV_OFFSET;
+    let start = Instant::now();
+    for r in trace.refs() {
+        let page = pages[r.page.raw() as usize];
+        let shard = pool.shard_index(page);
+        let hit = pool.contains(page);
+        pool.with_page(page, |_| ()).expect("replay read");
+        fold(&mut checksum, r.page.raw());
+        fold(&mut checksum, hit as u64);
+        if metas[shard].observe(page, r.kind, 0) {
+            let s = pool.shard_stats(shard);
+            let (h0, r0) = window_base[shard];
+            let live = (s.hits - h0, s.references() - r0);
+            window_base[shard] = (s.hits, s.references());
+            if let Some(p) = metas[shard].end_window(live) {
+                match pool.swap_policy(shard, metas[shard].build_current(FRAMES / SHARDS)) {
+                    Ok(()) => {
+                        fold(&mut checksum, p.spec_index as u64);
+                        fold(&mut checksum, p.window);
+                        fold(&mut checksum, shard as u64);
+                    }
+                    // Sync pool: no fill is ever in flight; still, a
+                    // refused swap is a skipped window, not an error.
+                    Err(e) => eprintln!("swap refused on shard {shard}: {e}"),
+                }
+            }
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let stats = pool.stats();
+    let promotions: Vec<Promotion> = metas
+        .iter()
+        .flat_map(|m| m.promotions().iter().cloned())
+        .collect();
+    RunResult {
+        label: "META".into(),
+        hits: stats.hits,
+        refs: stats.references(),
+        checksum,
+        promotions,
+        secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_trace_is_deterministic_and_sized() {
+        let a = mixed_trace(500, SEED);
+        let b = mixed_trace(500, SEED);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), REGIMES.len() * 500);
+    }
+
+    #[test]
+    fn mixed_trace_covers_all_regimes() {
+        // Big enough that the storm regime's slice reaches past its
+        // 1000-reference calm phase into the sequential sweep.
+        let n = 2500;
+        let t = mixed_trace(n, SEED);
+        // Regime 4 (index 3) is the loop: consecutive page numbers.
+        let looped = &t.refs()[3 * n..4 * n];
+        for (i, r) in looped.iter().enumerate() {
+            assert_eq!(r.page.raw(), i as u64 % 192, "loop regime out of order");
+        }
+        // Regime 3 contains sequential storm references above the hot set.
+        assert!(t.refs()[2 * n..3 * n]
+            .iter()
+            .any(|r| r.kind == lruk_policy::AccessKind::Sequential));
+    }
+
+    #[test]
+    fn fixed_replay_is_deterministic() {
+        let t = mixed_trace(400, SEED);
+        let a = replay_fixed(&t, &PolicySpec::Lru);
+        let b = replay_fixed(&t, &PolicySpec::Lru);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.refs, t.len() as u64);
+    }
+
+    #[test]
+    fn meta_replay_is_deterministic_and_switches() {
+        let t = mixed_trace(2_000, SEED);
+        let cfg = shadow_config(true);
+        let a = replay_meta(&t, &zoo(), cfg);
+        let b = replay_meta(&t, &zoo(), cfg);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            a.promotions, b.promotions,
+            "promotion log must be reproducible"
+        );
+        assert!(
+            !a.promotions.is_empty(),
+            "the adversarial mix must trigger at least one hot swap"
+        );
+    }
+
+    #[test]
+    fn meta_stats_add_up() {
+        let t = mixed_trace(400, SEED);
+        let r = replay_meta(&t, &zoo(), shadow_config(true));
+        assert_eq!(r.refs, t.len() as u64);
+        assert!(r.hits <= r.refs);
+    }
+}

@@ -21,6 +21,9 @@ struct Cell {
     threads: usize,
     refs_per_sec: f64,
     hit_ratio: f64,
+    /// Throughput relative to the same pool at one thread — the scaling
+    /// curve ROADMAP item 2 wants to read straight off the artifact.
+    scaling_vs_1t: f64,
 }
 
 fn main() {
@@ -70,10 +73,15 @@ fn main() {
                 threads,
                 refs_per_sec: rate,
                 hit_ratio: stats.hit_ratio(),
+                scaling_vs_1t: rate / one_thread_rate,
             });
         }
     }
 
+    if args.quick {
+        println!("\nquick mode: results/BENCH_concurrency.json not rewritten");
+        return;
+    }
     let json = render_json(&cells, seq_hit, ops_per_thread, reps);
     match std::fs::create_dir_all("results")
         .and_then(|_| std::fs::write("results/BENCH_concurrency.json", &json))
@@ -88,17 +96,18 @@ fn main() {
 fn render_json(cells: &[Cell], seq_hit: f64, ops_per_thread: usize, reps: usize) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"concurrent_throughput\",");
+    // Top-level, not buried in config: scaling numbers are only meaningful
+    // relative to the host's real parallelism (on a 1-core box every thread
+    // count serializes), so any reader of the artifact must see this first.
+    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let _ = writeln!(out, "  \"host_cpus\": {cpus},");
     let _ = writeln!(out, "  \"workload\": \"zipfian(0.8,0.2) read-mostly, 1/16 writes\",");
     let _ = writeln!(out, "  \"config\": {{");
     let _ = writeln!(out, "    \"disk_pages\": {DISK_PAGES},");
     let _ = writeln!(out, "    \"frames\": {FRAMES},");
     let _ = writeln!(out, "    \"shards\": {SHARDS},");
     let _ = writeln!(out, "    \"ops_per_thread\": {ops_per_thread},");
-    let _ = writeln!(out, "    \"reps\": {reps},");
-    // Scaling numbers are only meaningful relative to the host's real
-    // parallelism: on a 1-core box every thread count serializes.
-    let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
-    let _ = writeln!(out, "    \"host_cpus\": {cpus}");
+    let _ = writeln!(out, "    \"reps\": {reps}");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"sequential_hit_ratio\": {seq_hit:.6},");
     let _ = writeln!(out, "  \"cells\": [");
@@ -106,8 +115,8 @@ fn render_json(cells: &[Cell], seq_hit: f64, ops_per_thread: usize, reps: usize)
         let comma = if i + 1 < cells.len() { "," } else { "" };
         let _ = writeln!(
             out,
-            "    {{\"pool\": \"{}\", \"threads\": {}, \"refs_per_sec\": {:.1}, \"hit_ratio\": {:.6}}}{comma}",
-            c.pool, c.threads, c.refs_per_sec, c.hit_ratio
+            "    {{\"pool\": \"{}\", \"threads\": {}, \"refs_per_sec\": {:.1}, \"hit_ratio\": {:.6}, \"scaling_vs_1t\": {:.3}}}{comma}",
+            c.pool, c.threads, c.refs_per_sec, c.hit_ratio, c.scaling_vs_1t
         );
     }
     let _ = writeln!(out, "  ]");

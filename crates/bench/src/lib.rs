@@ -3,6 +3,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod concurrency;
 pub mod disksched;
 pub mod hotpath;

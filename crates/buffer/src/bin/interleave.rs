@@ -82,6 +82,20 @@ mod run {
             systematic: false,
             build: shard_crossing_flush,
         },
+        // Online policy switching (DESIGN.md §4.8): hot swaps racing misses
+        // and held pins through both pool frontends.
+        Case {
+            name: "pool-swap-during-concurrent-miss",
+            expect_violation: false,
+            systematic: false,
+            build: swap_during_concurrent_miss,
+        },
+        Case {
+            name: "pool-swap-vs-pin",
+            expect_violation: false,
+            systematic: false,
+            build: swap_vs_pin,
+        },
         // The async disk scheduler riding under the same pool frontend:
         // misses park on completions, write-backs queue to worker lanes.
         Case {
@@ -133,6 +147,18 @@ mod run {
             expect_violation: true,
             systematic: false,
             build: || Box::new(models::relaxed_publish_race()),
+        },
+        Case {
+            name: "selftest-buggy-swap-drops-pin",
+            expect_violation: true,
+            systematic: false,
+            build: || Box::new(models::buggy_swap_drops_pinned_page()),
+        },
+        Case {
+            name: "selftest-fixed-swap-transfers-pins",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::fixed_swap_transfers_pins()),
         },
         Case {
             name: "selftest-lock-inversion-systematic",
@@ -322,6 +348,105 @@ mod run {
                     "every write survives the cross-shard flush",
                 );
             }
+        })
+    }
+
+    /// A fresh challenger for the hot-swap scenarios.
+    fn challenger() -> Box<dyn lruk_policy::ReplacementPolicy> {
+        Box::new(LruK::new(LruKConfig::new(2).with_crp(0)))
+    }
+
+    /// A hot swap races two threads missing on the same non-resident page
+    /// through the async scheduler. While the miss is parked the shard's
+    /// `pending_fills` is nonzero, so the swap must either land on a
+    /// quiescent shard or be refused with `SwapBusy` — never run against a
+    /// half-filled slot map. Whatever interleaves, both readers see the
+    /// seeded image, the miss crosses to disk once, and the stats survive.
+    fn swap_during_concurrent_miss() -> Scenario {
+        Box::new(|| {
+            let pool = sched_pool(1, 2, 4, 0);
+            let p = seed_page(&pool, 0xA5);
+            let reader = |pool: Arc<Pool>| {
+                model::spawn(move || {
+                    let b = ok("with_page", pool.with_page(p, byte0));
+                    model::check(b == 0xA5, "reader sees the seeded page image");
+                })
+            };
+            let t1 = reader(Arc::clone(&pool));
+            let t2 = reader(Arc::clone(&pool));
+            let swapper = {
+                let pool = Arc::clone(&pool);
+                model::spawn(move || match pool.swap_policy(0, challenger()) {
+                    // Legitimate outcomes: the shard was quiescent, or a
+                    // parked fill made the swap step aside.
+                    Ok(()) | Err(BufferError::SwapBusy(_)) => {}
+                    Err(e) => model::fail(&format!("unexpected swap error: {e:?}")),
+                })
+            };
+            t1.join();
+            t2.join();
+            swapper.join();
+            let s = pool.stats();
+            model::check(
+                s.misses == 1 && s.hits == 1,
+                "swap preserves the one-miss-one-hit admission, in every order",
+            );
+            model::check(
+                pool.disk_stats().reads == 1,
+                "the shared miss still reads disk exactly once across the swap",
+            );
+            ok("close", pool.close());
+        })
+    }
+
+    /// A hot swap races a reader holding a pin: the client reads page `a`
+    /// (yielding inside the closure to widen the pinned window) while
+    /// another thread swaps the shard's policy. The transfer must carry the
+    /// pin into the challenger — the subsequent demand for `b` and `c`
+    /// (which forces evictions through the *new* policy) may never victimize
+    /// the pinned frame or corrupt any page.
+    fn swap_vs_pin() -> Scenario {
+        Box::new(|| {
+            let pool = pool_with(1, 2, 8, 0);
+            let a = seed_page(&pool, 0x11);
+            let b = seed_page(&pool, 0x22);
+            let c = seed_page(&pool, 0x33);
+            let reader = {
+                let pool = Arc::clone(&pool);
+                model::spawn(move || {
+                    let v = ok(
+                        "pinned read",
+                        pool.with_page(a, |d| {
+                            model::yield_now();
+                            byte0(d)
+                        }),
+                    );
+                    model::check(v == 0x11, "pinned read sees a's bytes across the swap");
+                })
+            };
+            let swapper = {
+                let pool = Arc::clone(&pool);
+                model::spawn(move || {
+                    // Sync pool: no fill is ever parked, the swap must land.
+                    ok("swap", pool.swap_policy(0, challenger()));
+                })
+            };
+            reader.join();
+            swapper.join();
+            // Evictions through the challenger: both demands churn the two
+            // frames; every page must come back intact.
+            model::check(
+                ok("post b", pool.with_page(b, byte0)) == 0x22,
+                "page b intact through the challenger's evictions",
+            );
+            model::check(
+                ok("post c", pool.with_page(c, byte0)) == 0x33,
+                "page c intact through the challenger's evictions",
+            );
+            model::check(
+                ok("post a", pool.with_page(a, byte0)) == 0x11,
+                "page a intact after pin, swap, and eviction churn",
+            );
         })
     }
 

@@ -166,6 +166,12 @@ struct Shard {
     pending_fills: AtomicUsize,
 }
 
+/// Snapshot one shard's counters. Takes and releases the shard core latch
+/// by itself; callers must not already hold it.
+fn stats(shard: &Shard) -> CacheStats {
+    shard.core.lock().stats()
+}
+
 /// The engine's I/O hooks for this pool: each transfer takes the subject
 /// frame's latch. `write_back` runs only on frames the engine proved
 /// unpinned (eviction victims) or while `flush_all` holds the core (so no
@@ -500,6 +506,55 @@ impl<C: ConcurrentDiskManager + 'static> LatchedBufferPool<C> {
         }
     }
 
+    /// The shard index `page` hashes to — lets an adaptive driver split its
+    /// observed reference stream per shard, matching this pool's internal
+    /// routing exactly.
+    pub fn shard_index(&self, page: PageId) -> usize {
+        self.shard_of(page)
+    }
+
+    /// Hit/miss statistics of one shard (the per-shard incumbent's live
+    /// record, which the meta-policy compares shadow ratios against).
+    pub fn shard_stats(&self, shard: usize) -> CacheStats {
+        stats(&self.shards[shard])
+    }
+
+    /// Display name of the policy currently installed in `shard`.
+    pub fn shard_policy_name(&self, shard: usize) -> String {
+        self.shards[shard].core.lock().policy().name()
+    }
+
+    /// Hot-swap the replacement policy of one shard, transferring the
+    /// entire resident set — pins, dirty bits, slot handles and (for
+    /// policies that export it) reference history — into `next` under the
+    /// shard core latch. See [`ReplacementCore::swap_policy`] for the
+    /// transfer protocol.
+    ///
+    /// The swap is refused with [`BufferError::SwapBusy`] while the shard
+    /// has a miss fill in flight (asynchronous mode): the parked requester
+    /// holds a slot whose bytes are still owed, and the transfer must not
+    /// re-home that slot mid-fill. Callers retry at their next decision
+    /// point; fills are short-lived. No user I/O is lost either way — the
+    /// swap either happens atomically under the latch or not at all.
+    pub fn swap_policy(
+        &self,
+        shard: usize,
+        next: Box<dyn ReplacementPolicy>,
+    ) -> Result<(), BufferError> {
+        let s = &self.shards[shard];
+        let _core_held = invariants::acquiring(LatchClass::ShardCore);
+        let mut core = s.core.lock();
+        // Checked under the core latch: pending_fills is incremented only
+        // under this same latch, so zero here means no fill can appear
+        // until we release — the swap runs against a quiescent slot map.
+        if s.pending_fills.load(Ordering::Acquire) != 0 {
+            return Err(BufferError::SwapBusy(shard));
+        }
+        // xtask-allow: blocking-under-latch -- the transfer moves in-memory policy metadata only (no I/O, no channel); the may-block verdict is the bare-name over-approximation through the history table's `alloc`, and holding the core latch for the whole swap is the design: it is what makes the transfer atomic against pins
+        core.swap_policy(next)?;
+        Ok(())
+    }
+
     /// Pin `page` in its shard and return its frame index — the only step
     /// that holds the shard core latch. Synchronously, a miss fetches the
     /// page from disk right here (frame latch uncontended: the frame was
@@ -814,6 +869,31 @@ mod tests {
         }
         assert!(pool.stats().evictions > 0);
         assert!(pool.stats().dirty_writebacks > 0);
+    }
+
+    #[test]
+    fn swap_policy_preserves_residents_and_data() {
+        let (pool, pages) = make(2, 4, 16);
+        for (i, &p) in pages.iter().enumerate() {
+            pool.with_page_mut(p, |d| d[0] = i as u8).unwrap();
+        }
+        let resident_before: Vec<bool> = pages.iter().map(|&p| pool.contains(p)).collect();
+        let stats_before = pool.stats();
+        for shard in 0..pool.shard_count() {
+            pool.swap_policy(shard, Box::new(LruK::lru2())).unwrap();
+        }
+        // Residency, stats and bytes all survive the swap.
+        let resident_after: Vec<bool> = pages.iter().map(|&p| pool.contains(p)).collect();
+        assert_eq!(resident_before, resident_after);
+        assert_eq!(pool.stats(), stats_before);
+        for (i, &p) in pages.iter().enumerate() {
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), i as u8);
+        }
+        // The pool keeps working: push everything through again mutably.
+        for (i, &p) in pages.iter().enumerate() {
+            pool.with_page_mut(p, |d| d[1] = i as u8).unwrap();
+        }
+        pool.flush_all().unwrap();
     }
 
     #[test]

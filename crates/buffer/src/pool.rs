@@ -34,6 +34,10 @@ pub enum BufferError {
     /// is surfaced as a typed error so a latch-holding caller can release
     /// cleanly instead of unwinding through shared state.
     Invariant(&'static str),
+    /// A policy hot-swap was refused because the shard (index given) has a
+    /// miss fill in flight — swapping would transfer a slot whose bytes a
+    /// parked requester still owes. Transient: retry at the next window.
+    SwapBusy(usize),
 }
 
 impl fmt::Display for BufferError {
@@ -45,6 +49,9 @@ impl fmt::Display for BufferError {
             BufferError::PagePinned(p) => write!(f, "page {p} is pinned"),
             BufferError::NotPinned(p) => write!(f, "page {p} is not pinned"),
             BufferError::Invariant(what) => write!(f, "pool invariant violated: {what}"),
+            BufferError::SwapBusy(shard) => {
+                write!(f, "shard {shard} has a fill in flight; policy swap refused")
+            }
         }
     }
 }
@@ -181,7 +188,7 @@ impl<D: DiskManager> BufferPoolManager<D> {
     /// Pin `page` into a frame, fetching from disk on a miss, and return the
     /// frame id. Low-level API for callers that must hold several pages at
     /// once (e.g. a B-tree splitting a node); pair every call with
-    /// [`unpin_page`](Self::unpin_page). Prefer the RAII
+    /// [`unpin_frame`](Self::unpin_frame). Prefer the RAII
     /// [`fetch_page`](Self::fetch_page)/[`fetch_page_mut`](Self::fetch_page_mut)
     /// for single-page access.
     ///
@@ -198,19 +205,10 @@ impl<D: DiskManager> BufferPoolManager<D> {
         Ok(FrameId(slot))
     }
 
-    /// Release one pin of `page`; `dirty` marks the frame as modified.
-    ///
-    /// Resolves the page through the engine's page table. Callers that still
-    /// hold the [`FrameId`] returned by [`pin_page`](Self::pin_page) should
-    /// prefer [`unpin_frame`](Self::unpin_frame), which skips that probe.
-    pub fn unpin_page(&mut self, page: PageId, dirty: bool) -> Result<(), BufferError> {
-        // xtask-allow: handle-hygiene -- page-addressed compatibility entry point; handle-holding callers use unpin_frame
-        self.core.unpin(page, dirty)?;
-        Ok(())
-    }
-
     /// Release one pin of the page held in `fid` — the single-probe unpin:
     /// the frame id *is* the engine slot, so no page-table lookup happens.
+    /// The page-addressed `unpin_page` compat path is gone: every caller
+    /// holds the [`FrameId`] from [`pin_page`](Self::pin_page).
     pub fn unpin_frame(&mut self, fid: FrameId, dirty: bool) -> Result<(), BufferError> {
         self.core.unpin_slot(fid.raw(), dirty)?;
         Ok(())
@@ -406,39 +404,40 @@ mod tests {
             pool.pin_page(pages[2]),
             Err(BufferError::NoVictim(VictimError::AllPinned))
         ));
-        pool.unpin_page(pages[0], false).unwrap();
+        pool.unpin_frame(fid0, false).unwrap();
         // Now page 0 is the only eviction candidate.
         let _ = pool.pin_page(pages[2]).unwrap();
         assert!(!pool.contains(pages[0]));
         assert!(pool.contains(pages[1]));
-        let _ = fid0;
     }
 
     #[test]
     fn nested_pins() {
         let (mut pool, pages) = pool_with(1, 2);
-        pool.pin_page(pages[0]).unwrap();
-        pool.pin_page(pages[0]).unwrap();
-        pool.unpin_page(pages[0], false).unwrap();
+        let fid = pool.pin_page(pages[0]).unwrap();
+        let fid2 = pool.pin_page(pages[0]).unwrap();
+        assert_eq!(fid, fid2, "nested pins land on the same frame");
+        pool.unpin_frame(fid, false).unwrap();
         // Still pinned once: cannot evict.
         assert!(matches!(
             pool.pin_page(pages[1]),
             Err(BufferError::NoVictim(VictimError::AllPinned))
         ));
-        pool.unpin_page(pages[0], false).unwrap();
+        pool.unpin_frame(fid, false).unwrap();
         assert!(pool.pin_page(pages[1]).is_ok());
     }
 
     #[test]
     fn unpin_errors() {
         let (mut pool, pages) = pool_with(2, 2);
-        assert_eq!(
-            pool.unpin_page(pages[0], false),
-            Err(BufferError::PageNotResident(pages[0]))
-        );
+        // Never-occupied frame: the engine rejects the slot outright.
+        assert!(matches!(
+            pool.unpin_frame(FrameId(1), false),
+            Err(BufferError::Invariant(_))
+        ));
         let _ = pool.fetch_page(pages[0]).unwrap(); // guard dropped: unpinned
         assert_eq!(
-            pool.unpin_page(pages[0], false),
+            pool.unpin_frame(FrameId(0), false),
             Err(BufferError::NotPinned(pages[0]))
         );
     }
@@ -483,12 +482,12 @@ mod tests {
     #[test]
     fn delete_page_requires_unpinned() {
         let (mut pool, pages) = pool_with(2, 2);
-        pool.pin_page(pages[0]).unwrap();
+        let fid = pool.pin_page(pages[0]).unwrap();
         assert_eq!(
             pool.delete_page(pages[0]),
             Err(BufferError::PagePinned(pages[0]))
         );
-        pool.unpin_page(pages[0], false).unwrap();
+        pool.unpin_frame(fid, false).unwrap();
         pool.delete_page(pages[0]).unwrap();
         assert!(!pool.contains(pages[0]));
         assert!(!pool.disk().is_allocated(pages[0]));

@@ -235,3 +235,90 @@ pub fn correct_latched_counter() -> impl Fn() + Send + Sync + 'static {
         model::check(count.get() == 2, "both latched increments must land");
     }
 }
+
+/// Deliberately seeded bug in the hot-swap protocol (DESIGN.md §4.8): the
+/// swapper installs a challenger policy but *drops* the pin table instead
+/// of transferring it, so a frame pinned before the swap looks evictable to
+/// the new policy. The client pins under the core latch and uses the frame
+/// data outside it (the latched pool's protocol); the swapper — correctly
+/// under the core latch — zeroes the pin table and "evicts" the frame. The
+/// eviction's frame reuse races the client's in-flight data use, and the
+/// vector-clock checker must flag it: this is the must-catch model for
+/// `ReplacementCore::swap_policy`'s pin re-application step.
+pub fn buggy_swap_drops_pinned_page() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let core = Arc::new(VMutex::new(()));
+        let pins = Arc::new(SharedRaceCell::new(0u32));
+        let frame = Arc::new(SharedRaceCell::new(0u64));
+
+        let client = {
+            let (core, pins, frame) = (Arc::clone(&core), Arc::clone(&pins), Arc::clone(&frame));
+            model::spawn(move || {
+                {
+                    let _core = core.lock();
+                    pins.set(pins.get() + 1);
+                }
+                frame.set(0xA11CE); // use the pinned frame outside the latch
+                {
+                    let _core = core.lock();
+                    pins.set(pins.get() - 1);
+                }
+            })
+        };
+        let swapper = {
+            let (core, pins, frame) = (Arc::clone(&core), Arc::clone(&pins), Arc::clone(&frame));
+            model::spawn(move || {
+                let _core = core.lock();
+                // BUG: the transfer must re-apply every held pin to the
+                // challenger; resetting the table makes the pinned frame
+                // look evictable.
+                pins.set(0);
+                if pins.get() == 0 {
+                    frame.set(0xDEAD); // challenger "evicts": reuse the frame
+                }
+            })
+        };
+        client.join();
+        swapper.join();
+    }
+}
+
+/// The corrected swap: the challenger inherits the incumbent's pin table
+/// (`swap_policy` re-applies `pin_slot` per held pin), so the pinned frame
+/// is never eviction-eligible mid-use. No schedule may report a violation.
+pub fn fixed_swap_transfers_pins() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let core = Arc::new(VMutex::new(()));
+        let pins = Arc::new(SharedRaceCell::new(0u32));
+        let frame = Arc::new(SharedRaceCell::new(0u64));
+
+        let client = {
+            let (core, pins, frame) = (Arc::clone(&core), Arc::clone(&pins), Arc::clone(&frame));
+            model::spawn(move || {
+                {
+                    let _core = core.lock();
+                    pins.set(pins.get() + 1);
+                }
+                frame.set(0xA11CE);
+                {
+                    let _core = core.lock();
+                    pins.set(pins.get() - 1);
+                }
+            })
+        };
+        let swapper = {
+            let (core, pins, frame) = (Arc::clone(&core), Arc::clone(&pins), Arc::clone(&frame));
+            model::spawn(move || {
+                let _core = core.lock();
+                // Transfer: the challenger starts from the incumbent's pin
+                // counts, so the eviction check below sees held pins.
+                pins.set(pins.get());
+                if pins.get() == 0 {
+                    frame.set(0xDEAD);
+                }
+            })
+        };
+        client.join();
+        swapper.join();
+    }
+}

@@ -29,7 +29,9 @@
 
 use crate::config::LruKConfig;
 use crate::history::{HistorySnapshot, HistoryTable};
-use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+use lruk_policy::{
+    PageId, PinSet, PolicySlot, ReplacementPolicy, Tick, TransferredPage, VictimError,
+};
 use std::collections::BTreeSet;
 
 type IndexKey = (u64, u64, PageId);
@@ -186,6 +188,40 @@ impl ReplacementPolicy for BTreeLruK {
         let key = self.key_of(page);
         self.index.insert(key);
         self.maybe_purge(now);
+    }
+
+    fn export_resident(&mut self) -> Vec<TransferredPage> {
+        self.table
+            .iter()
+            .filter(|s| s.resident)
+            .map(|s| TransferredPage {
+                page: s.page,
+                history: s.hist.iter().map(|t| t.raw()).collect(),
+                last: s.last,
+            })
+            .collect()
+    }
+
+    fn admit_transferred(
+        &mut self,
+        page: PageId,
+        now: Tick,
+        transfer: Option<&TransferredPage>,
+    ) -> PolicySlot {
+        let Some(t) = transfer else {
+            return self.on_admit_slot(page, now);
+        };
+        // Warm transfer: restore the exported HIST/LAST exactly (no shift,
+        // no `now` stamp) so victim ordering survives the swap — identical
+        // semantics in all three LRU-K engines.
+        let mut hist = vec![0u64; self.table.k()];
+        for (dst, src) in hist.iter_mut().zip(t.history.iter()) {
+            *dst = *src;
+        }
+        self.table.restore_resident_block(page, &hist, t.last);
+        self.table.set_last_pid(page, self.current_pid);
+        self.index.insert(self.key_of(page));
+        PolicySlot::NONE
     }
 
     fn on_evict(&mut self, page: PageId, _now: Tick) {

@@ -32,7 +32,9 @@
 use crate::config::LruKConfig;
 use crate::history::HistorySnapshot;
 use lruk_policy::fxhash::FxHashMap;
-use lruk_policy::{PageId, PinSet, ReplacementPolicy, Tick, VictimError};
+use lruk_policy::{
+    PageId, PinSet, PolicySlot, ReplacementPolicy, Tick, TransferredPage, VictimError,
+};
 
 #[derive(Clone, Debug)]
 struct Block {
@@ -159,8 +161,8 @@ impl ReplacementPolicy for ClassicLruK {
         block.last_pid = pid;
         if now.since(Tick(block.last)) > crp || !same_process {
             // a new, uncorrelated reference
-            // xtask-allow: no-panic -- hist is vec![0; k] with k >= 1 by cfg.validate()
-            let correl = block.last.saturating_sub(block.hist[0]);
+            let hist_0 = block.hist.first().copied().unwrap_or(0);
+            let correl = block.last.saturating_sub(hist_0);
             for i in (1..block.hist.len()).rev() {
                 block.hist[i] = if block.hist[i - 1] == 0 {
                     0
@@ -206,6 +208,53 @@ impl ReplacementPolicy for ClassicLruK {
         block.resident = true;
         self.resident += 1;
         self.maybe_purge(now);
+    }
+
+    fn export_resident(&mut self) -> Vec<TransferredPage> {
+        self.blocks
+            .iter()
+            .filter(|(_, b)| b.resident)
+            .map(|(&page, b)| TransferredPage {
+                page,
+                history: b.hist.clone(),
+                last: Tick(b.last),
+            })
+            .collect()
+    }
+
+    fn admit_transferred(
+        &mut self,
+        page: PageId,
+        now: Tick,
+        transfer: Option<&TransferredPage>,
+    ) -> PolicySlot {
+        let Some(t) = transfer else {
+            return self.on_admit_slot(page, now);
+        };
+        // Warm transfer: the exported HIST/LAST timestamps land exactly —
+        // no shift, no `now` stamp — so victim ordering is preserved across
+        // the swap. Identical semantics in all three LRU-K engines keeps the
+        // differential lockstep green across a mid-trace swap.
+        let k = self.cfg.k;
+        let mut hist = vec![0u64; k];
+        for (dst, src) in hist.iter_mut().zip(t.history.iter()) {
+            *dst = *src;
+        }
+        debug_assert!(
+            !self.blocks.get(&page).map(|b| b.resident).unwrap_or(false),
+            "admit_transferred for already-resident page"
+        );
+        self.blocks.insert(
+            page,
+            Block {
+                hist,
+                last: t.last.raw(),
+                last_pid: self.current_pid,
+                resident: true,
+            },
+        );
+        self.resident += 1;
+        PolicySlot::NONE
     }
 
     fn on_evict(&mut self, page: PageId, _now: Tick) {

@@ -446,6 +446,24 @@ impl HistoryTable {
         }
     }
 
+    /// Re-create a block from exported state, marked **resident**, and
+    /// return its slot — the policy hot-swap import path: unlike
+    /// [`admit_slot`](Self::admit_slot) the timestamps land exactly as
+    /// given, with no shift and no `hist[0] := now` stamp (the page is not
+    /// being referenced, it is already in the buffer). `hist[0]` is
+    /// `HIST(p,1)`. Replaces any existing block for `page`.
+    pub fn restore_resident_block(&mut self, page: PageId, hist: &[u64], last: Tick) -> u32 {
+        assert_eq!(hist.len(), self.k, "restore_resident_block: wrong K");
+        self.remove(page);
+        let slot = self.alloc(page);
+        self.hist_mut(slot).copy_from_slice(hist);
+        let b = &mut self.blocks[slot as usize];
+        b.last = last.raw();
+        b.resident = true;
+        self.resident += 1;
+        slot
+    }
+
     /// The purge demon: drop blocks of **non-resident** pages whose most
     /// recent reference is more than `rip` ticks in the past. Returns the
     /// number of blocks purged.

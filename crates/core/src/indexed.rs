@@ -49,7 +49,7 @@
 use crate::config::LruKConfig;
 use crate::flat_index::FlatIndex;
 use crate::history::{HistorySnapshot, HistoryTable};
-use lruk_policy::{PageId, PolicySlot, ReplacementPolicy, Tick, VictimError};
+use lruk_policy::{PageId, PolicySlot, ReplacementPolicy, Tick, TransferredPage, VictimError};
 
 /// The LRU-K replacement policy (flat-index, slot-addressed engine). See
 /// the crate docs for the algorithm, [`ClassicLruK`](crate::ClassicLruK)
@@ -298,6 +298,44 @@ impl ReplacementPolicy for LruK {
         PolicySlot(self.admit_at(page, now))
     }
 
+    fn export_resident(&mut self) -> Vec<TransferredPage> {
+        self.table
+            .iter()
+            .filter(|s| s.resident)
+            .map(|s| TransferredPage {
+                page: s.page,
+                history: s.hist.iter().map(|t| t.raw()).collect(),
+                last: s.last,
+            })
+            .collect()
+    }
+
+    fn admit_transferred(
+        &mut self,
+        page: PageId,
+        now: Tick,
+        transfer: Option<&TransferredPage>,
+    ) -> PolicySlot {
+        let Some(t) = transfer else {
+            return self.on_admit_slot(page, now);
+        };
+        // Warm transfer: restore the exported HIST/LAST exactly (no shift,
+        // no `now` stamp) so victim ordering survives the swap — identical
+        // semantics in all three LRU-K engines. Returns the live slot so the
+        // driving `ReplacementCore` keeps its single-probe handles.
+        let mut hist = vec![0u64; self.table.k()];
+        for (dst, src) in hist.iter_mut().zip(t.history.iter()) {
+            *dst = *src;
+        }
+        let slot = self.table.restore_resident_block(page, &hist, t.last);
+        self.table.set_last_pid_at(slot, self.current_pid);
+        self.ensure_pin_slot(slot);
+        self.pin_counts[slot as usize] = 0;
+        self.index
+            .insert(self.table.hist_k_at(slot), self.table.hist_1_at(slot), page, slot);
+        PolicySlot(slot)
+    }
+
     fn on_evict(&mut self, page: PageId, _now: Tick) {
         let slot = self
             .table
@@ -427,6 +465,33 @@ mod tests {
         assert_eq!(l.select_victim(Tick(6)), Ok(p(3)));
         l.on_evict(p(3), Tick(6));
         assert_eq!(l.select_victim(Tick(7)), Ok(p(1)));
+    }
+
+    #[test]
+    fn transferred_pages_keep_their_history_exactly() {
+        let mut a = LruK::new(LruKConfig::new(2));
+        admit(&mut a, p(1), 1);
+        admit(&mut a, p(2), 2);
+        admit(&mut a, p(3), 3);
+        a.on_hit(p(1), Tick(5)); // p1 gains a finite backward K-distance
+        let exported = a.export_resident();
+        assert_eq!(exported.len(), 3);
+
+        let mut b = LruK::new(LruKConfig::new(2));
+        for t in &exported {
+            let slot = b.admit_transferred(t.page, Tick(10), Some(t));
+            assert_eq!(Some(slot.0), b.slot_of(t.page), "live slot handle");
+        }
+        assert_eq!(b.resident_len(), 3);
+        for page in [p(1), p(2), p(3)] {
+            let (ha, hb) = (a.history(page).unwrap(), b.history(page).unwrap());
+            assert_eq!(ha.hist, hb.hist, "HIST restored exactly");
+            assert_eq!(ha.last, hb.last, "LAST restored exactly");
+        }
+        // Victim ordering survives the transfer: p2 (∞, older HIST(p,1)),
+        // then p3, then p1.
+        assert_eq!(b.select_victim(Tick(11)), a.select_victim(Tick(11)));
+        assert_eq!(b.select_victim(Tick(11)), Ok(p(2)));
     }
 
     #[test]

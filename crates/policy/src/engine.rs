@@ -54,7 +54,7 @@
 //!   evictions included (the paper's warmup→measure transition).
 
 use crate::fxhash::{map_with_capacity, FxHashMap};
-use crate::policy::{PolicySlot, ReplacementPolicy, VictimError};
+use crate::policy::{PolicySlot, ReplacementPolicy, TransferredPage, VictimError};
 use crate::stats::CacheStats;
 use crate::types::{AccessKind, PageId, Tick};
 use lruk_conc::RaceCell;
@@ -445,6 +445,82 @@ impl<'p> ReplacementCore<'p> {
         self.policy.get()
     }
 
+    /// Hot-swap the replacement policy for `next` without losing resident
+    /// state — the core half of the online policy-switching protocol.
+    ///
+    /// Every resident page is re-admitted into `next` via
+    /// [`ReplacementPolicy::admit_transferred`], seeded with whatever the
+    /// incumbent chose to export ([`ReplacementPolicy::export_resident`]);
+    /// pages the incumbent did not export are cold-admitted. The incumbent's
+    /// victim index drains with it — `next` rebuilds its own from the
+    /// re-admissions. Frames, dirty bits, pin counts, stats, and the logical
+    /// clock are engine state and survive untouched; only the per-page
+    /// [`PolicySlot`] half of each [`Handle`] is rewritten, since the
+    /// challenger hands out fresh metadata slots. Nested pins are replayed
+    /// into `next` pin-by-pin so its pin bookkeeping matches the engine's
+    /// counts exactly.
+    ///
+    /// Re-admission walks frame slots in ascending order, making the
+    /// challenger's metadata layout (and hence every later decision) a
+    /// deterministic function of the resident state — required for the
+    /// byte-identical decision checksums the benches assert.
+    ///
+    /// Concurrent drivers must hold their core latch across the call, and
+    /// must not swap while a miss is parked on an async scheduler (the
+    /// in-flight admission would land in the drained incumbent).
+    ///
+    /// Returns the displaced policy when the core owned it (`None` for a
+    /// borrowed policy, which the caller still holds). Fails with
+    /// [`CoreError::Invariant`] — leaving the incumbent installed and the
+    /// core untouched — if the challenger's resident-set bookkeeping
+    /// diverges during transfer.
+    pub fn swap_policy(
+        &mut self,
+        mut next: Box<dyn ReplacementPolicy>,
+    ) -> Result<Option<Box<dyn ReplacementPolicy>>, CoreError> {
+        next.reserve(self.capacity());
+        let now = self.clock;
+        let mut exported: FxHashMap<PageId, TransferredPage> = FxHashMap::default();
+        for t in self.policy.get_mut().export_resident() {
+            exported.insert(t.page, t);
+        }
+        // Phase 1: admit every resident page into the challenger, collecting
+        // the new policy slots. Nothing in the engine is mutated yet, so a
+        // misbehaving challenger can be rejected wholesale.
+        let mut admissions: Vec<(u32, PageId, PolicySlot)> =
+            Vec::with_capacity(self.page_table.len());
+        for slot in 0..self.slot_page.len() {
+            let Some(page) = self.slot_page[slot].get() else {
+                continue;
+            };
+            let pslot = next.admit_transferred(page, now, exported.get(&page));
+            for _ in 0..self.slot_pins[slot].get() {
+                next.pin_slot(pslot, page);
+            }
+            admissions.push((slot as u32, page, pslot));
+        }
+        if next.resident_len() != self.page_table.len() {
+            return Err(CoreError::Invariant(
+                "challenger resident-set bookkeeping diverged during transfer",
+            ));
+        }
+        // Phase 2: commit — rewrite the policy half of every handle and
+        // install the challenger.
+        for (slot, page, pslot) in admissions {
+            let h = self
+                .page_table
+                .get_mut(&page)
+                .ok_or(CoreError::Invariant("slot owner missing from page table"))?;
+            h.policy = pslot;
+            self.slot_policy[slot as usize].set(pslot);
+        }
+        let prev = std::mem::replace(&mut self.policy, PolicyHandle::Owned(next));
+        Ok(match prev {
+            PolicyHandle::Owned(p) => Some(p),
+            PolicyHandle::Borrowed(_) => None,
+        })
+    }
+
     /// One reference — the paper's Figure 2.1 step, the only implementation
     /// of the hit/miss/evict/admit sequence in the workspace.
     ///
@@ -624,8 +700,11 @@ impl<'p> ReplacementCore<'p> {
     }
 
     /// Release one pin of `page`; `dirty` marks its slot as modified.
-    /// Returns the slot. By-page convenience for callers without a held
-    /// slot; slot-holding drivers use [`unpin_slot`](Self::unpin_slot).
+    /// Returns the slot. Test-only by-page convenience: every production
+    /// frontend holds the frame id from [`access`](Self::access) and unpins
+    /// through [`unpin_slot`](Self::unpin_slot), so this path is compiled
+    /// out of non-test builds.
+    #[cfg(test)]
     pub fn unpin(&mut self, page: PageId, dirty: bool) -> Result<u32, CoreError> {
         let &h = self
             .page_table
@@ -1226,5 +1305,164 @@ mod tests {
         let core = ReplacementCore::new(2, Fifo::boxed());
         let s = format!("{core:?}");
         assert!(s.contains("fifo") && s.contains("capacity"));
+    }
+
+    #[test]
+    fn swap_policy_preserves_residency_pins_dirty_stats_and_clock() {
+        let mut core = ReplacementCore::new(3, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        access(&mut core, &mut b, 2).unwrap();
+        access(&mut core, &mut b, 3).unwrap();
+        access(&mut core, &mut b, 2).unwrap(); // one hit
+        core.pin_slot(0).unwrap(); // page 1 pinned twice (nested)
+        core.pin_slot(0).unwrap();
+        core.pin_slot(2).unwrap();
+        core.unpin_slot(2, true).unwrap(); // page 3 dirty, unpinned
+        let stats = core.stats();
+        let clock = core.clock();
+
+        let old = core.swap_policy(Fifo::boxed()).unwrap();
+        assert!(old.is_some(), "owned incumbent is handed back");
+
+        // Engine state survives the swap bit-for-bit.
+        assert_eq!(core.resident_len(), 3);
+        assert_eq!(core.stats(), stats);
+        assert_eq!(core.clock(), clock);
+        assert_eq!(core.pin_count(0), 2);
+        assert_eq!(core.pin_count(2), 0);
+        assert!(core.is_dirty(2));
+        assert_eq!(core.slot_of(PageId(1)), Some(0));
+        assert_eq!(core.slot_of(PageId(3)), Some(2));
+        assert_eq!(
+            core.policy().resident_len(),
+            3,
+            "challenger adopted the full resident set"
+        );
+
+        // The pinned page must not fall to the fresh policy's victim scan;
+        // slot-ascending re-admission makes page 2 (slot 1) FIFO-first among
+        // the unpinned.
+        assert_eq!(
+            access(&mut core, &mut b, 9).unwrap(),
+            Outcome::Admitted {
+                slot: 1,
+                victim: Some(Evicted { page: PageId(2), dirty: false }),
+                prefetch: None
+            }
+        );
+    }
+
+    /// Incumbent that exports a canned history record; challenger that
+    /// records what it was handed through a shared handle.
+    #[derive(Default)]
+    struct XferProbe {
+        resident: Vec<PageId>,
+        export: Vec<TransferredPage>,
+        received: std::sync::Arc<std::sync::Mutex<Vec<(PageId, Option<TransferredPage>)>>>,
+    }
+
+    impl ReplacementPolicy for XferProbe {
+        fn name(&self) -> String {
+            "xfer-probe".into()
+        }
+        fn on_hit(&mut self, _p: PageId, _t: Tick) {}
+        fn on_admit(&mut self, p: PageId, _t: Tick) {
+            self.resident.push(p);
+        }
+        fn on_evict(&mut self, p: PageId, _t: Tick) {
+            self.resident.retain(|&q| q != p);
+        }
+        fn select_victim(&mut self, _t: Tick) -> Result<PageId, VictimError> {
+            self.resident.first().copied().ok_or(VictimError::Empty)
+        }
+        fn pin(&mut self, _p: PageId) {}
+        fn unpin(&mut self, _p: PageId) {}
+        fn forget(&mut self, p: PageId) {
+            self.resident.retain(|&q| q != p);
+        }
+        fn resident_len(&self) -> usize {
+            self.resident.len()
+        }
+        fn export_resident(&mut self) -> Vec<TransferredPage> {
+            std::mem::take(&mut self.export)
+        }
+        fn admit_transferred(
+            &mut self,
+            page: PageId,
+            _now: Tick,
+            transfer: Option<&TransferredPage>,
+        ) -> PolicySlot {
+            self.resident.push(page);
+            self.received
+                .lock()
+                .unwrap()
+                .push((page, transfer.cloned()));
+            PolicySlot::NONE
+        }
+    }
+
+    #[test]
+    fn swap_policy_routes_exported_history_to_the_challenger() {
+        let exported = TransferredPage {
+            page: PageId(2),
+            history: vec![7, 3],
+            last: Tick(8),
+        };
+        let incumbent = XferProbe {
+            export: vec![exported.clone()],
+            ..XferProbe::default()
+        };
+        let mut core = ReplacementCore::new(2, Box::new(incumbent));
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        access(&mut core, &mut b, 2).unwrap();
+
+        let challenger = XferProbe::default();
+        let received = challenger.received.clone();
+        core.swap_policy(Box::new(challenger)).unwrap();
+        assert_eq!(core.policy().name(), "xfer-probe");
+
+        let got = received.lock().unwrap();
+        // Slot-ascending: page 1 (slot 0) first, cold; page 2 carries history.
+        assert_eq!(
+            *got,
+            vec![(PageId(1), None), (PageId(2), Some(exported))]
+        );
+    }
+
+    #[test]
+    fn swap_policy_rejects_challenger_with_broken_bookkeeping() {
+        /// Challenger that "forgets" to count transferred admissions.
+        struct Broken;
+        impl ReplacementPolicy for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn on_hit(&mut self, _p: PageId, _t: Tick) {}
+            fn on_admit(&mut self, _p: PageId, _t: Tick) {}
+            fn on_evict(&mut self, _p: PageId, _t: Tick) {}
+            fn select_victim(&mut self, _t: Tick) -> Result<PageId, VictimError> {
+                Err(VictimError::Empty)
+            }
+            fn pin(&mut self, _p: PageId) {}
+            fn unpin(&mut self, _p: PageId) {}
+            fn forget(&mut self, _p: PageId) {}
+            fn resident_len(&self) -> usize {
+                0
+            }
+        }
+        let mut core = ReplacementCore::new(2, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        assert_eq!(
+            core.swap_policy(Box::new(Broken)).err(),
+            Some(CoreError::Invariant(
+                "challenger resident-set bookkeeping diverged during transfer"
+            ))
+        );
+        // The incumbent stays installed and the core keeps working.
+        assert_eq!(core.policy().name(), "fifo");
+        assert_eq!(access(&mut core, &mut b, 1).unwrap(), Outcome::Hit { slot: 0 });
     }
 }

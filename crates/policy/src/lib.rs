@@ -34,6 +34,6 @@ pub use engine::{
     ReplacementCore, WriteBackCause, PREFETCH_MIN_RUN, PREFETCH_WINDOW_MAX,
 };
 pub use pin::PinSet;
-pub use policy::{PolicyEvent, PolicySlot, ReplacementPolicy, VictimError};
+pub use policy::{PolicyEvent, PolicySlot, ReplacementPolicy, TransferredPage, VictimError};
 pub use stats::CacheStats;
 pub use types::{AccessKind, PageId, Tick};

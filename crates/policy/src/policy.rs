@@ -69,6 +69,28 @@ pub enum PolicyEvent {
     Evict(PageId, Tick),
 }
 
+/// A resident page exported by [`ReplacementPolicy::export_resident`] during
+/// a policy hot swap (see `ReplacementCore::swap_policy`).
+///
+/// The payload is the lowest common denominator the zoo can exchange:
+/// per-page reference timestamps, most recent first. An LRU-K exporter fills
+/// `history` with its `HIST(p,·)` block; a recency-only exporter ships a
+/// single timestamp; frequency-flavoured exporters approximate by shipping
+/// what they have. Importers take what they understand and cold-admit the
+/// rest — the protocol is best-effort by design, because the challenger
+/// policy would have observed a different event stream anyway.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TransferredPage {
+    /// The resident page this record describes.
+    pub page: PageId,
+    /// Reference-history timestamps, most recent first (LRU-K's `HIST(p,1)`
+    /// at index 0); `0` = unknown, mirroring the history-table sentinel.
+    /// Empty when the exporter keeps no per-page timestamps.
+    pub history: Vec<u64>,
+    /// The most recent reference, correlated or not (LRU-K's `LAST(p)`).
+    pub last: Tick,
+}
+
 /// A page replacement policy.
 ///
 /// ### Driving contract
@@ -210,6 +232,40 @@ pub trait ReplacementPolicy: Send {
     /// Information"; zero for history-free policies like LRU-1).
     fn retained_len(&self) -> usize {
         0
+    }
+
+    /// Export per-page history for every **resident** page, for transfer
+    /// into a successor policy during a hot swap.
+    ///
+    /// The default returns an empty vector — "nothing to transfer" — which
+    /// makes the swap driver cold-admit every resident page into the
+    /// successor. Policies with meaningful per-page state (LRU-K's history
+    /// blocks, recency stamps) override this; they need not export every
+    /// resident page, only those with state worth carrying.
+    ///
+    /// Takes `&mut self` so implementations may drain internal structures;
+    /// the exporting policy is discarded right after this call.
+    fn export_resident(&mut self) -> Vec<TransferredPage> {
+        Vec::new()
+    }
+
+    /// Admit `page` as resident, seeding its metadata from `transfer` when
+    /// one was exported for it and this policy knows how to use it.
+    ///
+    /// Called once per resident page during a hot swap, *instead of*
+    /// [`on_miss`](Self::on_miss)/[`on_admit_slot`](Self::on_admit_slot) —
+    /// the page is already in the buffer; no reference is being simulated.
+    /// Returns the slot handle the driver stores, exactly like
+    /// `on_admit_slot`. The default ignores the transfer record and
+    /// cold-admits.
+    fn admit_transferred(
+        &mut self,
+        page: PageId,
+        now: Tick,
+        transfer: Option<&TransferredPage>,
+    ) -> PolicySlot {
+        let _ = transfer;
+        self.on_admit_slot(page, now)
     }
 
     /// Replay a [`PolicyEvent`] (trace tooling convenience).

@@ -17,6 +17,10 @@
 //!   run.
 //! * [`report`] — renders results in the same row layout the paper prints.
 //! * [`csv`] — CSV export of results for external plotting.
+//! * [`shadow`] — the online adaptive layer: a [`ShadowRack`] of challenger
+//!   simulators fed the live reference stream, and the [`MetaPolicy`] that
+//!   promotes a challenger when its windowed shadow hit ratio beats the
+//!   incumbent by a hysteresis margin.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -27,6 +31,7 @@ pub mod experiments;
 pub mod parallel;
 pub mod policies;
 pub mod report;
+pub mod shadow;
 pub mod simulator;
 
 pub use equi::equi_effective_buffer_size;
@@ -34,4 +39,5 @@ pub use parallel::{
     available_threads, run_in_order, table4_1_parallel, table4_2_parallel, table4_3_parallel,
 };
 pub use policies::PolicySpec;
+pub use shadow::{MetaPolicy, Promotion, ShadowConfig, ShadowRack};
 pub use simulator::{simulate, simulate_from, simulate_windowed, SimResult};

@@ -1,8 +1,8 @@
 //! Declarative policy construction for experiments.
 
 use lruk_baselines::{
-    AgedLfu, Arc, BeladyOpt, Clock, DomainSeparation, Fbr, Fifo, GClock, HintedLru, Lfu, Lirs,
-    Lrd, Lru, Mru, ProbOracle, RandomPolicy, Slru, TwoQ,
+    AgedLfu, Arc, Awrp, BeladyOpt, Clock, DomainSeparation, Eeva, Fbr, Fifo, GClock, HintedLru,
+    Lfu, Lirs, Lrd, Lru, Mru, ProbOracle, RandomPolicy, Slru, TwoQ,
 };
 use lruk_core::{ClassicLruK, LruK, LruKConfig};
 use lruk_policy::{PageId, ReplacementPolicy};
@@ -66,6 +66,10 @@ pub enum PolicySpec {
     Slru,
     /// LIRS (Jiang & Zhang).
     Lirs,
+    /// AWRP — adaptive weight ranking (frequency/age hybrid).
+    Awrp,
+    /// EEvA — expert-advice panel over recency + frequency.
+    Eeva,
     /// Reiter's Domain Separation, tuned for a two-pool workload: pages
     /// `0..n1` get `pool1_frames` dedicated frames (requires the DBA-style
     /// foreknowledge LRU-K makes unnecessary).
@@ -108,6 +112,8 @@ impl PolicySpec {
             PolicySpec::Fbr => "FBR".into(),
             PolicySpec::Slru => "SLRU".into(),
             PolicySpec::Lirs => "LIRS".into(),
+            PolicySpec::Awrp => "AWRP".into(),
+            PolicySpec::Eeva => "EEvA".into(),
             PolicySpec::TunedTwoPool { pool1_frames, .. } => {
                 format!("TUNED({pool1_frames})")
             }
@@ -146,6 +152,8 @@ impl PolicySpec {
             PolicySpec::Fbr => Box::new(Fbr::new(capacity)),
             PolicySpec::Slru => Box::new(Slru::new(capacity)),
             PolicySpec::Lirs => Box::new(Lirs::new(capacity.max(2))),
+            PolicySpec::Awrp => Box::new(Awrp::new()),
+            PolicySpec::Eeva => Box::new(Eeva::new(capacity.max(1))),
             PolicySpec::TunedTwoPool { n1, pool1_frames } => {
                 if capacity < 2 {
                     // A single frame cannot be partitioned; degenerate to LRU.
@@ -202,6 +210,8 @@ mod tests {
             PolicySpec::Fbr,
             PolicySpec::Slru,
             PolicySpec::Lirs,
+            PolicySpec::Awrp,
+            PolicySpec::Eeva,
             PolicySpec::TunedTwoPool { n1: 100, pool1_frames: 8 },
             PolicySpec::HintedLru,
         ];

@@ -1,0 +1,443 @@
+//! Shadow simulation and the adaptive meta-policy.
+//!
+//! The LRU-K paper fixes one policy for the lifetime of the buffer; this
+//! module makes the choice *online*. A [`ShadowRack`] runs N lightweight
+//! challenger simulators — each a frameless [`ReplacementCore`] over a
+//! [`NoopBackend`], exactly the [`simulator`](crate::simulator) frontend —
+//! fed a sampled copy of the live reference stream. Every challenger
+//! therefore accumulates the hit ratio it *would* have achieved on the
+//! recent traffic, at the cost of bookkeeping only (no bytes move, no
+//! frames are held).
+//!
+//! A [`MetaPolicy`] closes the loop: at fixed window boundaries it compares
+//! the best challenger's windowed shadow hit ratio against the incumbent's
+//! *live* windowed hit ratio and nominates a [`Promotion`] when the
+//! challenger wins by a hysteresis margin. The driver (the buffer pool, or
+//! `bench_adaptive`) then executes the swap through
+//! [`ReplacementCore::swap_policy`], which transfers the resident set and
+//! any exportable history into the promoted policy under the core latch.
+//!
+//! Everything here is integer arithmetic on hit/reference counts — ratios
+//! are compared by cross-multiplication, never floats — so a trace replayed
+//! with the same configuration makes byte-identical decisions.
+
+use crate::policies::PolicySpec;
+use lruk_policy::{AccessKind, NoopBackend, PageId, ReplacementCore, ReplacementPolicy};
+
+/// Tuning for the shadow rack and the promotion rule.
+#[derive(Clone, Copy, Debug)]
+pub struct ShadowConfig {
+    /// Frames each shadow simulator models. Usually the live capacity (or
+    /// the per-shard capacity when shadowing a sharded pool).
+    pub capacity: usize,
+    /// References per evaluation window (counted on the *live* stream).
+    pub window: usize,
+    /// Feed every `sample`-th reference to the shadows (1 = every
+    /// reference). Sampling cuts shadow CPU at some fidelity cost.
+    pub sample: usize,
+    /// Hysteresis: a challenger must beat the incumbent's windowed hit
+    /// ratio by this many permille (‰) to be promoted. Damps flapping when
+    /// two policies are within noise of each other.
+    pub margin_permille: u32,
+    /// Windows to sit out after a promotion before considering another —
+    /// the transferred resident set needs time to reflect the new policy.
+    pub cooldown_windows: u32,
+}
+
+impl Default for ShadowConfig {
+    fn default() -> Self {
+        ShadowConfig {
+            capacity: 64,
+            window: 2_000,
+            sample: 1,
+            margin_permille: 20,
+            cooldown_windows: 2,
+        }
+    }
+}
+
+/// One challenger: a frameless simulator plus its windowed counters.
+#[derive(Debug)]
+struct Challenger {
+    label: String,
+    core: ReplacementCore<'static>,
+    window_hits: u64,
+    window_refs: u64,
+}
+
+/// N challenger simulators fed the (sampled) live reference stream.
+#[derive(Debug)]
+pub struct ShadowRack {
+    challengers: Vec<Challenger>,
+    sample: usize,
+    /// References offered since construction (drives the sampling phase).
+    offered: u64,
+}
+
+impl ShadowRack {
+    /// Build one shadow simulator per spec. Specs needing run context
+    /// (`A0`, `Opt`) are not meaningful as online challengers and must not
+    /// appear here.
+    pub fn new(specs: &[PolicySpec], capacity: usize, sample: usize) -> Self {
+        assert!(sample >= 1, "sample period must be at least 1");
+        assert!(capacity >= 1, "shadow capacity must be at least one frame");
+        let challengers = specs
+            .iter()
+            .map(|spec| Challenger {
+                label: spec.label(),
+                core: ReplacementCore::new(capacity, spec.build(capacity, None, None)),
+                window_hits: 0,
+                window_refs: 0,
+            })
+            .collect();
+        ShadowRack {
+            challengers,
+            sample,
+            offered: 0,
+        }
+    }
+
+    /// Offer one live reference. Every `sample`-th offer is replayed into
+    /// each challenger; the rest are dropped (the shadows simply see a
+    /// thinner stream).
+    pub fn offer(&mut self, page: PageId, kind: AccessKind, pid: u64) {
+        self.offered += 1;
+        if self.offered % self.sample as u64 != 0 {
+            return;
+        }
+        for c in &mut self.challengers {
+            let hit = match c.core.access(page, kind, pid, &mut NoopBackend) {
+                Ok(outcome) => outcome.is_hit(),
+                Err(_) => {
+                    // Shadows never pin, so eviction cannot fail; count a
+                    // miss rather than poisoning the rack if it ever does.
+                    debug_assert!(false, "shadow simulator failed to evict");
+                    false
+                }
+            };
+            c.window_refs += 1;
+            if hit {
+                c.window_hits += 1;
+            }
+        }
+    }
+
+    /// `(hits, refs)` of challenger `i` in the current window.
+    pub fn window_counts(&self, i: usize) -> (u64, u64) {
+        let c = &self.challengers[i];
+        (c.window_hits, c.window_refs)
+    }
+
+    /// Display label of challenger `i`.
+    pub fn label(&self, i: usize) -> &str {
+        &self.challengers[i].label
+    }
+
+    /// Number of challengers in the rack.
+    pub fn len(&self) -> usize {
+        self.challengers.len()
+    }
+
+    /// `true` when the rack holds no challengers.
+    pub fn is_empty(&self) -> bool {
+        self.challengers.is_empty()
+    }
+
+    /// Zero every challenger's window counters (window boundary). Resident
+    /// shadow state is deliberately kept — the simulators run continuously.
+    pub fn reset_windows(&mut self) {
+        for c in &mut self.challengers {
+            c.window_hits = 0;
+            c.window_refs = 0;
+        }
+    }
+}
+
+/// A promotion decision: swap the incumbent for `spec_index`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Promotion {
+    /// Index into the meta-policy's spec list.
+    pub spec_index: usize,
+    /// Display label of the promoted policy.
+    pub label: String,
+    /// The ordinal of the window that triggered the promotion (1-based).
+    pub window: u64,
+    /// Challenger's windowed shadow hit ratio, in permille.
+    pub challenger_permille: u64,
+    /// Incumbent's windowed live hit ratio, in permille.
+    pub incumbent_permille: u64,
+}
+
+/// `true` when ratio `a_hits/a_refs` exceeds `b_hits/b_refs` by more than
+/// `margin_permille` — computed exactly via cross-multiplication.
+fn beats_by_margin(a: (u64, u64), b: (u64, u64), margin_permille: u32) -> bool {
+    let (ah, ar) = a;
+    let (bh, br) = b;
+    if ar == 0 || br == 0 {
+        return false;
+    }
+    // ah/ar > bh/br + m/1000  ⟺  1000·ah·br > 1000·bh·ar + m·ar·br
+    let lhs = 1000u128 * ah as u128 * br as u128;
+    let rhs = 1000u128 * bh as u128 * ar as u128
+        + margin_permille as u128 * ar as u128 * br as u128;
+    lhs > rhs
+}
+
+/// `true` when challenger `a` strictly outranks challenger `b` (higher
+/// windowed ratio; ties keep the earlier index — stable and deterministic).
+fn outranks(a: (u64, u64), b: (u64, u64)) -> bool {
+    let (ah, ar) = a;
+    let (bh, br) = b;
+    if ar == 0 {
+        return false;
+    }
+    if br == 0 {
+        return true;
+    }
+    (ah as u128) * (br as u128) > (bh as u128) * (ar as u128)
+}
+
+/// The adaptive meta-policy: watches the rack, nominates promotions.
+#[derive(Debug)]
+pub struct MetaPolicy {
+    cfg: ShadowConfig,
+    specs: Vec<PolicySpec>,
+    rack: ShadowRack,
+    incumbent: usize,
+    /// Live references observed in the current window.
+    window_seen: u64,
+    /// Completed windows (promotion log ordinals).
+    windows_done: u64,
+    cooldown: u32,
+    log: Vec<Promotion>,
+}
+
+impl MetaPolicy {
+    /// A meta-policy choosing among `specs`, starting from `incumbent`
+    /// (an index into `specs`). Every spec — the incumbent included — is
+    /// shadow-simulated so a deposed policy can win its seat back later.
+    ///
+    /// # Panics
+    /// Panics if `specs` is empty or `incumbent` is out of range.
+    pub fn new(cfg: ShadowConfig, specs: Vec<PolicySpec>, incumbent: usize) -> Self {
+        assert!(!specs.is_empty(), "meta-policy needs at least one spec");
+        assert!(incumbent < specs.len(), "incumbent index out of range");
+        assert!(cfg.window >= 1, "window must be at least one reference");
+        let rack = ShadowRack::new(&specs, cfg.capacity, cfg.sample);
+        MetaPolicy {
+            cfg,
+            specs,
+            rack,
+            incumbent,
+            window_seen: 0,
+            windows_done: 0,
+            cooldown: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Feed one live reference to the shadows. Returns `true` when this
+    /// reference completed a window — the driver should then compute the
+    /// incumbent's live `(hits, refs)` for the window and call
+    /// [`end_window`](Self::end_window).
+    pub fn observe(&mut self, page: PageId, kind: AccessKind, pid: u64) -> bool {
+        self.rack.offer(page, kind, pid);
+        self.window_seen += 1;
+        self.window_seen >= self.cfg.window as u64
+    }
+
+    /// Close the current window. `incumbent_live` is the incumbent's
+    /// `(hits, refs)` over the window as measured on the *real* pool.
+    /// Returns the promotion to execute, if any; the caller performs the
+    /// actual [`swap_policy`](ReplacementCore::swap_policy) and builds the
+    /// promoted policy via [`build_current`](Self::build_current).
+    pub fn end_window(&mut self, incumbent_live: (u64, u64)) -> Option<Promotion> {
+        self.window_seen = 0;
+        self.windows_done += 1;
+        let decision = if self.cooldown > 0 {
+            self.cooldown -= 1;
+            None
+        } else {
+            let mut best = self.incumbent;
+            let mut best_counts = self.rack.window_counts(self.incumbent);
+            for i in 0..self.rack.len() {
+                let counts = self.rack.window_counts(i);
+                if i != best && outranks(counts, best_counts) {
+                    best = i;
+                    best_counts = counts;
+                }
+            }
+            if best != self.incumbent
+                && beats_by_margin(best_counts, incumbent_live, self.cfg.margin_permille)
+            {
+                let ratio = |(h, r): (u64, u64)| if r == 0 { 0 } else { h * 1000 / r };
+                let p = Promotion {
+                    spec_index: best,
+                    label: self.rack.label(best).to_string(),
+                    window: self.windows_done,
+                    challenger_permille: ratio(best_counts),
+                    incumbent_permille: ratio(incumbent_live),
+                };
+                self.incumbent = best;
+                self.cooldown = self.cfg.cooldown_windows;
+                self.log.push(p.clone());
+                Some(p)
+            } else {
+                None
+            }
+        };
+        self.rack.reset_windows();
+        decision
+    }
+
+    /// Build a fresh instance of the current incumbent's policy, sized for
+    /// the live pool — the challenger object handed to `swap_policy`.
+    pub fn build_current(&self, live_capacity: usize) -> Box<dyn ReplacementPolicy> {
+        self.specs[self.incumbent].build(live_capacity, None, None)
+    }
+
+    /// Index of the current incumbent in the spec list.
+    pub fn incumbent(&self) -> usize {
+        self.incumbent
+    }
+
+    /// Display label of the current incumbent.
+    pub fn incumbent_label(&self) -> String {
+        self.specs[self.incumbent].label()
+    }
+
+    /// Every promotion made so far, in order.
+    pub fn promotions(&self) -> &[Promotion] {
+        &self.log
+    }
+
+    /// The shadow rack (diagnostics).
+    pub fn rack(&self) -> &ShadowRack {
+        &self.rack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lruk_policy::AccessKind;
+
+    fn cfg(window: usize) -> ShadowConfig {
+        ShadowConfig {
+            capacity: 2,
+            window,
+            sample: 1,
+            margin_permille: 20,
+            cooldown_windows: 1,
+        }
+    }
+
+    /// Eight references that cleanly separate LRU from MRU at capacity 2:
+    /// after the cold start, LRU hits every 2↔3 alternation while MRU
+    /// evicts the page it is about to need.
+    const DISCRIMINATOR: [u64; 8] = [1, 2, 3, 2, 3, 2, 3, 2];
+
+    fn observe_n(m: &mut MetaPolicy, pages: impl IntoIterator<Item = u64>) -> bool {
+        let mut complete = false;
+        for p in pages {
+            complete = m.observe(PageId(p), AccessKind::Random, 0);
+        }
+        complete
+    }
+
+    #[test]
+    fn margin_comparison_is_exact() {
+        // 60% vs 50% with 20‰ margin: beats.
+        assert!(beats_by_margin((60, 100), (50, 100), 20));
+        // 52% vs 50% with 20‰ margin: 520 > 500 + 20 is false (not strict).
+        assert!(!beats_by_margin((52, 100), (50, 100), 20));
+        // Just past the margin.
+        assert!(beats_by_margin((521, 1000), (500, 1000), 20));
+        // Empty windows never win.
+        assert!(!beats_by_margin((0, 0), (50, 100), 20));
+        assert!(!beats_by_margin((50, 100), (0, 0), 20));
+    }
+
+    #[test]
+    fn rack_tracks_windowed_hits_per_challenger() {
+        let specs = vec![PolicySpec::Lru, PolicySpec::Mru];
+        let mut rack = ShadowRack::new(&specs, 2, 1);
+        // 1 2 1 2: LRU hits the repeats, both policies see 4 refs.
+        for p in [1u64, 2, 1, 2] {
+            rack.offer(PageId(p), AccessKind::Random, 0);
+        }
+        assert_eq!(rack.window_counts(0), (2, 4));
+        assert_eq!(rack.label(0), "LRU-1");
+        rack.reset_windows();
+        assert_eq!(rack.window_counts(0), (0, 0));
+        // Shadow residency survives the window reset: immediate re-hit.
+        rack.offer(PageId(1), AccessKind::Random, 0);
+        assert_eq!(rack.window_counts(0), (1, 1));
+    }
+
+    #[test]
+    fn sampling_thins_the_shadow_stream() {
+        let specs = vec![PolicySpec::Lru];
+        let mut rack = ShadowRack::new(&specs, 2, 4);
+        for p in 0..16u64 {
+            rack.offer(PageId(p), AccessKind::Random, 0);
+        }
+        let (_, refs) = rack.window_counts(0);
+        assert_eq!(refs, 4, "only every 4th reference reaches the shadows");
+    }
+
+    #[test]
+    fn promotes_a_clearly_better_challenger() {
+        // Incumbent MRU keeps evicting the page the 2↔3 alternation is
+        // about to need; LRU's shadow hits every alternation.
+        let specs = vec![PolicySpec::Mru, PolicySpec::Lru];
+        let mut m = MetaPolicy::new(cfg(8), specs, 0);
+        let complete = observe_n(&mut m, DISCRIMINATOR);
+        assert!(complete, "window must complete after 8 references");
+        // Incumbent's live window was terrible (10%).
+        let p = m.end_window((1, 10)).expect("LRU must be promoted");
+        assert_eq!(p.spec_index, 1);
+        assert_eq!(p.label, "LRU-1");
+        assert_eq!(m.incumbent(), 1);
+        assert_eq!(m.promotions().len(), 1);
+    }
+
+    #[test]
+    fn hysteresis_blocks_marginal_wins() {
+        let specs = vec![PolicySpec::Mru, PolicySpec::Lru];
+        let mut m = MetaPolicy::new(cfg(8), specs, 0);
+        observe_n(&mut m, DISCRIMINATOR);
+        // Incumbent's live ratio matches the challenger's shadow ratio:
+        // within the margin, no swap.
+        let (ch_hits, ch_refs) = m.rack().window_counts(1);
+        assert!(m.end_window((ch_hits, ch_refs)).is_none());
+        assert_eq!(m.incumbent(), 0);
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_swaps() {
+        let specs = vec![PolicySpec::Mru, PolicySpec::Lru, PolicySpec::Fifo];
+        let mut m = MetaPolicy::new(cfg(8), specs, 0);
+        observe_n(&mut m, DISCRIMINATOR);
+        assert!(m.end_window((0, 8)).is_some(), "first promotion fires");
+        // Next window: another terrible incumbent report, but cooldown = 1.
+        observe_n(&mut m, DISCRIMINATOR);
+        assert!(m.end_window((0, 8)).is_none(), "cooldown window");
+        // Cooldown expired; a better challenger may now be promoted again.
+        observe_n(&mut m, DISCRIMINATOR);
+        let _ = m.end_window((0, 8));
+        assert!(m.promotions().len() <= 2);
+    }
+
+    #[test]
+    fn deposed_incumbent_keeps_its_shadow_seat() {
+        let specs = vec![PolicySpec::Mru, PolicySpec::Lru];
+        let mut m = MetaPolicy::new(cfg(8), specs, 0);
+        observe_n(&mut m, DISCRIMINATOR);
+        m.end_window((0, 8)).expect("promotion");
+        assert_eq!(m.rack().len(), 2, "old incumbent still shadow-simulated");
+        assert_eq!(m.incumbent_label(), "LRU-1");
+        let built = m.build_current(16);
+        assert!(!built.name().is_empty(), "promoted policy must build");
+    }
+}

@@ -207,7 +207,7 @@ impl BTree {
         let root = pool.allocate_page()?;
         let fid = pool.pin_page(root)?;
         format_node(pool.frame_data_mut(fid), PageType::BTreeLeaf);
-        pool.unpin_page(root, true)?;
+        pool.unpin_frame(fid, true)?;
         Ok(BTree {
             root,
             leaf_cap,
@@ -247,16 +247,16 @@ impl BTree {
                     let i = lower_bound(buf, key);
                     let found = (i < count(buf) && entry_key(buf, i) == key)
                         .then(|| entry_val(buf, i));
-                    pool.unpin_page(page, false)?;
+                    pool.unpin_frame(fid, false)?;
                     return Ok(found);
                 }
                 PageType::BTreeInternal => {
                     let child = child_for(buf, key);
-                    pool.unpin_page(page, false)?;
+                    pool.unpin_frame(fid, false)?;
                     page = child;
                 }
                 other => {
-                    pool.unpin_page(page, false)?;
+                    pool.unpin_frame(fid, false)?;
                     return Err(BTreeError::CorruptNode { page, got: other });
                 }
             }
@@ -280,7 +280,7 @@ impl BTree {
             set_link(buf, self.root.raw()); // child_0 = old root
             set_entry(buf, 0, sep, right.raw());
             set_count(buf, 1);
-            pool.unpin_page(new_root, true)?;
+            pool.unpin_frame(fid, true)?;
             self.root = new_root;
         }
         if old.is_none() {
@@ -309,7 +309,7 @@ impl BTree {
                 if i < n && entry_key(buf, i) == key {
                     let old = entry_val(buf, i);
                     set_entry(buf, i, key, value);
-                    pool.unpin_page(page, true)?;
+                    pool.unpin_frame(fid, true)?;
                     return Ok((Some(old), None));
                 }
                 open_gap(buf, i, n);
@@ -320,14 +320,14 @@ impl BTree {
                 } else {
                     None
                 };
-                pool.unpin_page(page, true)?;
+                pool.unpin_frame(fid, true)?;
                 Ok((None, split))
             }
             PageType::BTreeInternal => {
                 let child = child_for(pool.frame_data(fid), key);
                 // Release the parent while recursing (single-threaded, so
                 // re-pinning afterwards is safe) to keep at most two pins.
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
                 let (old, child_split) = self.insert_rec(pool, child, key, value)?;
                 let Some((sep, right)) = child_split else {
                     return Ok((old, None));
@@ -344,11 +344,11 @@ impl BTree {
                 } else {
                     None
                 };
-                pool.unpin_page(page, true)?;
+                pool.unpin_frame(fid, true)?;
                 Ok((old, split))
             }
             other => {
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
                 Err(BTreeError::CorruptNode { page, got: other })
             }
         }
@@ -388,7 +388,7 @@ impl BTree {
         }
         set_count(rbuf, upper.len());
         set_link(rbuf, next_link);
-        pool.unpin_page(right_page, true)?;
+        pool.unpin_frame(rfid, true)?;
         let _ = left_page;
         // xtask-allow: no-panic -- a split always moves at least one entry into `upper`
         Ok((upper[0].0, right_page))
@@ -425,7 +425,7 @@ impl BTree {
             set_entry(rbuf, i, k, v);
         }
         set_count(rbuf, upper.len());
-        pool.unpin_page(right_page, true)?;
+        pool.unpin_frame(rfid, true)?;
         Ok((sep, right_page))
     }
 
@@ -448,20 +448,20 @@ impl BTree {
                         let old = entry_val(buf, i);
                         close_gap(buf, i, n);
                         set_count(buf, n - 1);
-                        pool.unpin_page(page, true)?;
+                        pool.unpin_frame(fid, true)?;
                         self.len -= 1;
                         return Ok(Some(old));
                     }
-                    pool.unpin_page(page, false)?;
+                    pool.unpin_frame(fid, false)?;
                     return Ok(None);
                 }
                 PageType::BTreeInternal => {
                     let child = child_for(pool.frame_data(fid), key);
-                    pool.unpin_page(page, false)?;
+                    pool.unpin_frame(fid, false)?;
                     page = child;
                 }
                 other => {
-                    pool.unpin_page(page, false)?;
+                    pool.unpin_frame(fid, false)?;
                     return Err(BTreeError::CorruptNode { page, got: other });
                 }
             }
@@ -482,11 +482,11 @@ impl BTree {
             let fid = pool.pin_page(page)?;
             let buf = pool.frame_data(fid);
             if node_type(buf) == PageType::BTreeLeaf {
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
                 break;
             }
             let child = child_for(buf, lo);
-            pool.unpin_page(page, false)?;
+            pool.unpin_frame(fid, false)?;
             page = child;
         }
         // Walk the leaf chain.
@@ -504,7 +504,7 @@ impl BTree {
                 f(k, entry_val(buf, i));
             }
             let next = link(buf);
-            pool.unpin_page(page, false)?;
+            pool.unpin_frame(fid, false)?;
             if past_hi || next == NO_LEAF {
                 return Ok(());
             }
@@ -523,11 +523,11 @@ impl BTree {
             let fid = pool.pin_page(page)?;
             let buf = pool.frame_data(fid);
             if node_type(buf) == PageType::BTreeLeaf {
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
                 return Ok(h);
             }
             let child = PageId(link(buf));
-            pool.unpin_page(page, false)?;
+            pool.unpin_frame(fid, false)?;
             page = child;
             h += 1;
         }
@@ -543,11 +543,11 @@ impl BTree {
             let fid = pool.pin_page(page)?;
             let buf = pool.frame_data(fid);
             if node_type(buf) == PageType::BTreeLeaf {
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
                 break;
             }
             let child = PageId(link(buf));
-            pool.unpin_page(page, false)?;
+            pool.unpin_frame(fid, false)?;
             page = child;
         }
         let mut out = Vec::new();
@@ -555,7 +555,7 @@ impl BTree {
             out.push(page);
             let fid = pool.pin_page(page)?;
             let next = link(pool.frame_data(fid));
-            pool.unpin_page(page, false)?;
+            pool.unpin_frame(fid, false)?;
             if next == NO_LEAF {
                 return Ok(out);
             }
@@ -615,7 +615,7 @@ impl BTree {
             PageType::BTreeLeaf => {
                 assert!(n <= self.leaf_cap, "leaf {page:?} over capacity");
                 leaf_depths.push(depth);
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
             }
             PageType::BTreeInternal => {
                 assert!(n >= 1, "empty internal node {page:?}");
@@ -636,13 +636,13 @@ impl BTree {
                     v.push((PageId(entry_val(buf, n - 1)), low, hi));
                     v
                 };
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
                 for (child, clo, chi) in children {
                     self.validate_rec(pool, child, clo, chi, depth + 1, leaf_depths)?;
                 }
             }
             other => {
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
                 return Err(BTreeError::CorruptNode { page, got: other });
             }
         }

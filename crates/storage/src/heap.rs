@@ -132,10 +132,10 @@ impl HeapFile {
             let fid = pool.pin_page(page)?;
             let mut view = SlottedPage::new(pool.frame_data_mut(fid));
             if let Some(slot) = view.insert(record) {
-                pool.unpin_page(page, true)?;
+                pool.unpin_frame(fid, true)?;
                 return Ok(Rid::new(page, slot));
             }
-            pool.unpin_page(page, false)?;
+            pool.unpin_frame(fid, false)?;
         }
         // Allocate and format a fresh page.
         let page = pool.allocate_page()?;
@@ -145,7 +145,7 @@ impl HeapFile {
             .insert(record)
             // xtask-allow: no-panic -- record.len() <= MAX_RECORD was checked above; an empty page always fits it
             .expect("record must fit in an empty page");
-        pool.unpin_page(page, true)?;
+        pool.unpin_frame(fid, true)?;
         self.pages.push(page);
         Ok(Rid::new(page, slot))
     }
@@ -162,7 +162,7 @@ impl HeapFile {
             let page = pool.allocate_page()?;
             let fid = pool.pin_page(page)?;
             SlottedPage::format(pool.frame_data_mut(fid), PageType::Heap);
-            pool.unpin_page(page, true)?;
+            pool.unpin_frame(fid, true)?;
             self.pages.push(page);
         }
         Ok(())
@@ -192,10 +192,10 @@ impl HeapFile {
                 let fid = pool.pin_page(page)?;
                 let mut view = SlottedPage::new(pool.frame_data_mut(fid));
                 if let Some(slot) = view.insert(record) {
-                    pool.unpin_page(page, true)?;
+                    pool.unpin_frame(fid, true)?;
                     return Ok(Rid::new(page, slot));
                 }
-                pool.unpin_page(page, false)?;
+                pool.unpin_frame(fid, false)?;
             }
         }
         // Extent exhausted: grow by one page.
@@ -206,7 +206,7 @@ impl HeapFile {
             .insert(record)
             // xtask-allow: no-panic -- record.len() <= MAX_RECORD was checked above; an empty page always fits it
             .expect("record must fit in an empty page");
-        pool.unpin_page(page, true)?;
+        pool.unpin_frame(fid, true)?;
         self.pages.push(page);
         Ok(Rid::new(page, slot))
     }
@@ -221,7 +221,7 @@ impl HeapFile {
         let fid = pool.pin_page(rid.page)?;
         let view = SlottedPage::new(pool.frame_data_mut(fid));
         let out = view.slot(rid.slot).map(f);
-        pool.unpin_page(rid.page, false)?;
+        pool.unpin_frame(fid, false)?;
         out.ok_or(HeapError::NoSuchRecord(rid))
     }
 
@@ -236,7 +236,7 @@ impl HeapFile {
         let fid = pool.pin_page(rid.page)?;
         let mut view = SlottedPage::new(pool.frame_data_mut(fid));
         let out = view.slot_mut(rid.slot).map(f);
-        pool.unpin_page(rid.page, true)?;
+        pool.unpin_frame(fid, true)?;
         out.ok_or(HeapError::NoSuchRecord(rid))
     }
 
@@ -249,7 +249,7 @@ impl HeapFile {
         let fid = pool.pin_page(rid.page)?;
         let mut view = SlottedPage::new(pool.frame_data_mut(fid));
         let deleted = view.delete(rid.slot);
-        pool.unpin_page(rid.page, deleted)?;
+        pool.unpin_frame(fid, deleted)?;
         if deleted {
             Ok(())
         } else {
@@ -271,7 +271,7 @@ impl HeapFile {
             for (slot, data) in view.iter() {
                 f(Rid::new(page, slot), data);
             }
-            pool.unpin_page(page, false)?;
+            pool.unpin_frame(fid, false)?;
         }
         Ok(())
     }

@@ -275,7 +275,7 @@ pub fn logged_counter_add<D: DiskManager>(
         // xtask-allow: no-panic -- std Mutex poisoning only follows another holder's panic, which already aborted
         .unwrap()
         .log_update(txn, page, offset, &before, &after);
-    pool.unpin_page(page, true)?;
+    pool.unpin_frame(fid, true)?;
     Ok(value)
 }
 

@@ -1,0 +1,271 @@
+//! Adversarial generators for the online policy-switching experiments.
+//!
+//! A fixed replacement policy encodes an assumption about the reference
+//! stream; each generator here is the counterexample to one of them (the
+//! access-graph analysis of LRU vs. FIFO motivates the shapes):
+//!
+//! * [`ScanStorm`] — back-to-back sequential sweeps with brief hot-set
+//!   interludes. Recency is anti-signal during a storm (every swept page is
+//!   touched exactly once), so LRU-1 churns its whole buffer per sweep.
+//! * [`LoopScan`] — a fixed cyclic loop slightly larger than the buffer.
+//!   The classic LRU pathology: the page about to be referenced is always
+//!   the one evicted longest ago, so LRU's hit ratio collapses to zero
+//!   while MRU-flavoured policies keep all but one iteration's misses.
+//! * [`DriftingZipf`] — a self-similar Zipfian whose identity mapping
+//!   *slides* continuously, so the hot set drifts instead of jumping (the
+//!   complement of [`MovingHotspot`](crate::MovingHotspot)'s phase jumps).
+//!   Frequency accumulated on yesterday's hot pages decays into noise.
+//!
+//! No single fixed policy wins all three; that gap is exactly what the
+//! shadow-simulation meta-policy in `lruk-sim` exploits.
+
+use crate::trace::PageRef;
+use crate::zipf::Zipfian;
+use crate::Workload;
+use lruk_policy::{AccessKind, PageId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Alternating hot-set and full-sweep regimes.
+///
+/// The stream repeats: `calm_len` references over a small hot set (pages
+/// `0 .. hot_pages`, uniform), then a storm — `storm_sweeps` consecutive
+/// sequential sweeps over `storm_pages` pages starting above the hot set.
+/// Unlike [`ScanFlood`](crate::ScanFlood), which *interleaves* scan bursts
+/// into interactive traffic, the storm here fully displaces it: during the
+/// storm there is no locality signal at all.
+#[derive(Debug)]
+pub struct ScanStorm {
+    hot_pages: u64,
+    storm_pages: u64,
+    calm_len: u64,
+    storm_sweeps: u64,
+    rng: StdRng,
+    seed: u64,
+    /// References emitted within the current calm/storm super-period.
+    pos: u64,
+}
+
+impl ScanStorm {
+    /// See the type docs. The storm region is `hot_pages .. hot_pages + storm_pages`.
+    pub fn new(
+        hot_pages: u64,
+        storm_pages: u64,
+        calm_len: u64,
+        storm_sweeps: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(hot_pages >= 1 && storm_pages >= 1);
+        assert!(calm_len >= 1 && storm_sweeps >= 1);
+        ScanStorm {
+            hot_pages,
+            storm_pages,
+            calm_len,
+            storm_sweeps,
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            pos: 0,
+        }
+    }
+
+    /// Total references in one calm + storm super-period.
+    pub fn period(&self) -> u64 {
+        self.calm_len + self.storm_sweeps * self.storm_pages
+    }
+}
+
+impl Workload for ScanStorm {
+    fn name(&self) -> String {
+        format!(
+            "scan-storm(hot={},storm={},calm={},sweeps={},seed={})",
+            self.hot_pages, self.storm_pages, self.calm_len, self.storm_sweeps, self.seed
+        )
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        let p = self.pos;
+        self.pos = (self.pos + 1) % self.period();
+        if p < self.calm_len {
+            let page = self.rng.random_range(0..self.hot_pages);
+            PageRef::new(PageId(page), AccessKind::Random)
+        } else {
+            let sweep_pos = (p - self.calm_len) % self.storm_pages;
+            PageRef::new(PageId(self.hot_pages + sweep_pos), AccessKind::Sequential)
+        }
+    }
+}
+
+/// A pure cyclic loop over `loop_pages` pages.
+///
+/// Sized one page past the buffer, this drives LRU (and any
+/// recency-favouring policy) to a 0% hit ratio: each reference evicts the
+/// very page the loop will need `loop_pages - 1` steps from now.
+#[derive(Debug)]
+pub struct LoopScan {
+    loop_pages: u64,
+    cursor: u64,
+}
+
+impl LoopScan {
+    /// Loop over pages `0 .. loop_pages`.
+    pub fn new(loop_pages: u64) -> Self {
+        assert!(loop_pages >= 1);
+        LoopScan { loop_pages, cursor: 0 }
+    }
+}
+
+impl Workload for LoopScan {
+    fn name(&self) -> String {
+        format!("loop(n={})", self.loop_pages)
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        let page = self.cursor;
+        self.cursor = (self.cursor + 1) % self.loop_pages;
+        PageRef::new(PageId(page), AccessKind::Sequential)
+    }
+}
+
+/// A Zipfian whose hot region slides continuously through the page space.
+///
+/// Draws ranks from the self-similar [`Zipfian`] law (rank 0 hottest) and
+/// maps rank `r` to page `(r + offset) mod n`, advancing `offset` by
+/// `drift_step` every `drift_period` references. Where
+/// [`MovingHotspot`](crate::MovingHotspot) teleports its hot set between
+/// phases, this drift is gradual: pages cool off rank by rank, which is the
+/// regime where accumulated frequency goes stale fastest.
+#[derive(Debug)]
+pub struct DriftingZipf {
+    inner: Zipfian,
+    n: u64,
+    drift_period: u64,
+    drift_step: u64,
+    emitted: u64,
+    offset: u64,
+    seed: u64,
+}
+
+impl DriftingZipf {
+    /// Pages `0..n`, skew `(alpha, beta)` as in [`Zipfian::new`], sliding
+    /// the mapping by `drift_step` pages every `drift_period` references.
+    pub fn new(
+        n: u64,
+        alpha: f64,
+        beta: f64,
+        drift_period: u64,
+        drift_step: u64,
+        seed: u64,
+    ) -> Self {
+        assert!(drift_period >= 1);
+        DriftingZipf {
+            inner: Zipfian::new(n, alpha, beta, seed),
+            n,
+            drift_period,
+            drift_step,
+            emitted: 0,
+            offset: 0,
+            seed,
+        }
+    }
+
+    /// The current mapping offset (page = (rank + offset) mod n).
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl Workload for DriftingZipf {
+    fn name(&self) -> String {
+        format!(
+            "drifting-zipf(n={},period={},step={},seed={})",
+            self.n, self.drift_period, self.drift_step, self.seed
+        )
+    }
+
+    fn next_ref(&mut self) -> PageRef {
+        if self.emitted > 0 && self.emitted % self.drift_period == 0 {
+            self.offset = (self.offset + self.drift_step) % self.n;
+        }
+        self.emitted += 1;
+        let rank = self.inner.next_ref().page.raw();
+        PageRef::new(PageId((rank + self.offset) % self.n), AccessKind::Random)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_storm_alternates_regimes() {
+        let mut w = ScanStorm::new(8, 32, 100, 2, 7);
+        let t = w.generate(2 * (100 + 2 * 32) as usize);
+        // Calm refs stay inside the hot set; storm refs are the sweep.
+        for (i, r) in t.refs().iter().enumerate() {
+            let pos = i as u64 % (100 + 2 * 32);
+            if pos < 100 {
+                assert!(r.page.raw() < 8, "calm ref outside hot set at {i}");
+                assert_eq!(r.kind, AccessKind::Random);
+            } else {
+                assert_eq!(r.page.raw(), 8 + (pos - 100) % 32, "sweep out of order");
+                assert_eq!(r.kind, AccessKind::Sequential);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_storm_is_deterministic() {
+        let a = ScanStorm::new(16, 64, 50, 3, 9).generate(1000);
+        let b = ScanStorm::new(16, 64, 50, 3, 9).generate(1000);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn loop_scan_cycles() {
+        let mut w = LoopScan::new(5);
+        let t = w.generate(12);
+        let pages: Vec<u64> = t.refs().iter().map(|r| r.page.raw()).collect();
+        assert_eq!(pages, vec![0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1]);
+    }
+
+    #[test]
+    fn drifting_zipf_slides_the_hot_set() {
+        // After many drift periods the hottest pages must have moved: the
+        // most-referenced page of the first window differs from that of the
+        // last window.
+        let mut w = DriftingZipf::new(1000, 0.8, 0.2, 500, 100, 3);
+        let t = w.generate(10_000);
+        let mode = |refs: &[crate::PageRef]| -> u64 {
+            let mut counts = std::collections::HashMap::new();
+            for r in refs {
+                *counts.entry(r.page.raw()).or_insert(0u64) += 1;
+            }
+            counts
+                .into_iter()
+                .max_by_key(|&(page, c)| (c, u64::MAX - page))
+                .map(|(page, _)| page)
+                .unwrap_or(0)
+        };
+        let first = mode(&t.refs()[..2000]);
+        let last = mode(&t.refs()[8000..]);
+        assert_ne!(first, last, "hot set did not drift");
+        assert_eq!(w.offset(), (10_000 / 500 - 1) * 100 % 1000);
+    }
+
+    #[test]
+    fn drifting_zipf_with_zero_step_matches_zipfian() {
+        let a = DriftingZipf::new(500, 0.8, 0.2, 100, 0, 21).generate(3000);
+        let b = Zipfian::new(500, 0.8, 0.2, 21).generate(3000);
+        for (x, y) in a.refs().iter().zip(b.refs().iter()) {
+            assert_eq!(x.page, y.page);
+        }
+    }
+
+    #[test]
+    fn drifting_zipf_stays_in_range() {
+        let mut w = DriftingZipf::new(64, 0.8, 0.2, 10, 7, 5);
+        for _ in 0..5000 {
+            assert!(w.next_ref().page.raw() < 64);
+        }
+    }
+}

@@ -11,6 +11,7 @@
 //! | [`processes`] | §2.1.1 case 4: multiple processes issuing independent references |
 //! | [`correlated`] | §2.1.1 correlated reference pairs (intra-transaction bursts) for the CRP ablation |
 //! | [`oltp`] | §4.3's OLTP bank trace — regenerated from the CODASYL substrate in `lruk-storage` |
+//! | [`adversarial`] | scan-storm / loop / drifting-Zipf — the policy-switching counterexamples (no fixed policy wins all three) |
 //! | [`trace`] | trace container, text serialization, recording policy |
 //! | [`stats`] | trace analytics: skew fingerprint, interarrival, five-minute-rule page count |
 //!
@@ -20,6 +21,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversarial;
 pub mod correlated;
 pub mod hotspot;
 pub mod metronome;
@@ -32,6 +34,7 @@ pub mod two_pool;
 pub mod uniform;
 pub mod zipf;
 
+pub use adversarial::{DriftingZipf, LoopScan, ScanStorm};
 pub use correlated::CorrelatedBursts;
 pub use hotspot::MovingHotspot;
 pub use metronome::Metronome;

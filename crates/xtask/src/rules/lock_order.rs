@@ -69,6 +69,15 @@ pub(crate) const FRAME_LEVEL: u8 = 1;
 /// pending-fill map (`pending` in `latched.rs`) sits at the lane-queue
 /// level: taken under the core or a frame latch, never under a scheduler
 /// lock. File-specific entries come first: `classify` is first-match-wins.
+///
+/// The online-switching machinery (DESIGN.md §4.8) adds two leaf classes:
+/// the meta-policy state (`meta`) and its shadow rack (`rack`). Both are
+/// driver-owned and today single-threaded, but a driver that shares a
+/// `MetaPolicy` across threads must order their latches strictly *after*
+/// every pool and disk lock — `LatchedBufferPool::swap_policy` runs the
+/// whole transfer under the shard core latch, so holding a meta latch
+/// while entering the pool (instead of: observe under meta, release, then
+/// swap) is the deadlock-prone pattern this hierarchy flags.
 pub const HIERARCHY: &[LockClass] = &[
     LockClass { file_suffix: Some("concurrent.rs"), receiver: "inner", level: 0, label: "pool-global latch" },
     LockClass { file_suffix: Some("disk_scheduler.rs"), receiver: "queue", level: 6, label: "scheduler lane queue" },
@@ -88,6 +97,8 @@ pub const HIERARCHY: &[LockClass] = &[
     LockClass { file_suffix: None, receiver: "slot", level: 4, label: "disk page-slot lock" },
     LockClass { file_suffix: None, receiver: "disk", level: 5, label: "disk mutex" },
     LockClass { file_suffix: None, receiver: "inner", level: 5, label: "disk mutex" },
+    LockClass { file_suffix: None, receiver: "meta", level: 11, label: "meta-policy state lock" },
+    LockClass { file_suffix: None, receiver: "rack", level: 12, label: "shadow rack lock" },
 ];
 
 /// Acquisition method calls recognized on latch receivers.

@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # Produce the perf-trajectory baselines:
-#   results/BENCH_hotpath.json   — bench_hotpath replays fixed-seed
+#   results/BENCH_hotpath.json     — bench_hotpath replays fixed-seed
 #     Zipfian/OLTP traces through the pre-change multi-probe path and the
 #     single-probe engine, cross-checking bit-identical eviction decisions;
-#   results/BENCH_disksched.json — bench_disksched replays a fixed-seed
+#   results/BENCH_disksched.json   — bench_disksched replays a fixed-seed
 #     miss-heavy trace through the latched pool with synchronous I/O versus
 #     the async disk scheduler over a simulated-latency disk, asserting the
-#     decision and content checksums match before reporting the speedup.
+#     decision and content checksums match before reporting the speedup;
+#   results/BENCH_concurrency.json — bench_concurrency replays the
+#     read-mostly Zipfian workload through the three pool tiers at
+#     1/2/4/8 threads, with host_cpus and per-thread scaling rows in the
+#     artifact (the first run on a multi-core host is the ROADMAP item 2
+#     scaling curve);
+#   results/BENCH_adaptive.json    — bench_adaptive replays the mixed
+#     adversarial trace per fixed policy and under the shadow-simulation
+#     meta-policy, asserting the meta-policy wins and decisions replay
+#     bit-identically.
 # Pass --smoke for the scaled-down gate mode (prints the tables, never
 # rewrites the committed artifacts).
 #
@@ -16,9 +25,19 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if cargo build -q --release -p lruk-bench --bin bench_hotpath --bin bench_disksched 2>/dev/null; then
+# bench_concurrency takes the BinArgs flag set, where the scaled-down gate
+# mode is spelled --quick rather than --smoke.
+conc_args=()
+for a in "$@"; do
+  if [ "$a" = "--smoke" ]; then conc_args+=(--quick); else conc_args+=("$a"); fi
+done
+
+if cargo build -q --release -p lruk-bench --bin bench_hotpath --bin bench_disksched \
+     --bin bench_concurrency --bin bench_adaptive 2>/dev/null; then
   target/release/bench_hotpath "$@"
   target/release/bench_disksched "$@"
+  target/release/bench_concurrency ${conc_args[@]+"${conc_args[@]}"}
+  target/release/bench_adaptive "$@"
   exit 0
 fi
 
@@ -28,11 +47,15 @@ harness=.claude/skills/verify/harness
 
 # Reuse the previous bootstrap when no relevant source changed.
 if [ -x "$boot/bench_hotpath" ] && [ -x "$boot/bench_disksched" ] && \
+   [ -x "$boot/bench_concurrency" ] && [ -x "$boot/bench_adaptive" ] && \
    [ -z "$(find crates/conc/src crates/policy/src \
      crates/core/src crates/buffer/src crates/storage/src crates/workloads/src \
+     crates/baselines/src crates/sim/src crates/analysis/src \
      crates/bench/src -name '*.rs' -newer "$boot/bench_hotpath" -print -quit)" ]; then
   "$boot/bench_hotpath" "$@"
-  exec "$boot/bench_disksched" "$@"
+  "$boot/bench_disksched" "$@"
+  "$boot/bench_concurrency" ${conc_args[@]+"${conc_args[@]}"}
+  exec "$boot/bench_adaptive" "$@"
 fi
 
 rm -rf "$boot/src"
@@ -43,6 +66,9 @@ cp -r crates/core/src "$boot/src/core"
 cp -r crates/buffer/src "$boot/src/buffer"
 cp -r crates/storage/src "$boot/src/storage"
 cp -r crates/workloads/src "$boot/src/workloads"
+cp -r crates/baselines/src "$boot/src/baselines"
+cp -r crates/sim/src "$boot/src/sim"
+cp -r crates/analysis/src "$boot/src/analysis"
 cp -r crates/bench/src "$boot/src/bench"
 # Serde derives are decorative for benching; strip them so the bootstrap
 # needs no serde crate.
@@ -74,15 +100,37 @@ rustc --edition 2021 -O --crate-type rlib --crate-name lruk_workloads src/worklo
   --extern lruk_policy=liblruk_policy.rlib --extern lruk_buffer=liblruk_buffer.rlib \
   --extern lruk_storage=liblruk_storage.rlib --extern rand=librand.rlib \
   -L . -o liblruk_workloads.rlib
+rustc --edition 2021 -O --crate-type rlib --crate-name lruk_baselines src/baselines/lib.rs \
+  --extern lruk_policy=liblruk_policy.rlib --extern rand=librand.rlib \
+  -L . -o liblruk_baselines.rlib
+rustc --edition 2021 -O --crate-type rlib --crate-name lruk_analysis src/analysis/lib.rs \
+  --extern lruk_policy=liblruk_policy.rlib --extern rand=librand.rlib \
+  -L . -o liblruk_analysis.rlib
+rustc --edition 2021 -O --crate-type rlib --crate-name lruk_sim src/sim/lib.rs \
+  --extern lruk_policy=liblruk_policy.rlib --extern lruk_core=liblruk_core.rlib \
+  --extern lruk_baselines=liblruk_baselines.rlib --extern lruk_buffer=liblruk_buffer.rlib \
+  --extern lruk_storage=liblruk_storage.rlib --extern lruk_workloads=liblruk_workloads.rlib \
+  --extern rand=librand.rlib -L . -o liblruk_sim.rlib
 rustc --edition 2021 -O --crate-type rlib --crate-name lruk_bench src/bench/lib.rs \
   --extern lruk_policy=liblruk_policy.rlib --extern lruk_core=liblruk_core.rlib \
-  --extern lruk_buffer=liblruk_buffer.rlib --extern lruk_storage=liblruk_storage.rlib \
-  --extern lruk_workloads=liblruk_workloads.rlib -L . -o liblruk_bench.rlib
+  --extern lruk_baselines=liblruk_baselines.rlib --extern lruk_buffer=liblruk_buffer.rlib \
+  --extern lruk_storage=liblruk_storage.rlib --extern lruk_workloads=liblruk_workloads.rlib \
+  --extern lruk_sim=liblruk_sim.rlib --extern lruk_analysis=liblruk_analysis.rlib \
+  --extern rand=librand.rlib -L . -o liblruk_bench.rlib
 rustc --edition 2021 -O --crate-name bench_hotpath src/bench/bin/bench_hotpath.rs \
   --extern lruk_bench=liblruk_bench.rlib -L . -o bench_hotpath
 rustc --edition 2021 -O --crate-name bench_disksched src/bench/bin/bench_disksched.rs \
   --extern lruk_bench=liblruk_bench.rlib --extern lruk_buffer=liblruk_buffer.rlib \
   -L . -o bench_disksched
+rustc --edition 2021 -O --crate-name bench_concurrency src/bench/bin/bench_concurrency.rs \
+  --extern lruk_bench=liblruk_bench.rlib --extern lruk_buffer=liblruk_buffer.rlib \
+  --extern lruk_core=liblruk_core.rlib --extern lruk_policy=liblruk_policy.rlib \
+  --extern lruk_workloads=liblruk_workloads.rlib -L . -o bench_concurrency
+rustc --edition 2021 -O --crate-name bench_adaptive src/bench/bin/bench_adaptive.rs \
+  --extern lruk_bench=liblruk_bench.rlib --extern lruk_sim=liblruk_sim.rlib \
+  -L . -o bench_adaptive
 cd ../..
 "$boot/bench_hotpath" "$@"
-exec "$boot/bench_disksched" "$@"
+"$boot/bench_disksched" "$@"
+"$boot/bench_concurrency" ${conc_args[@]+"${conc_args[@]}"}
+exec "$boot/bench_adaptive" "$@"

@@ -21,10 +21,12 @@ cargo test -q --test driver_parity
 # fixed seed set — a few seconds, results/INTERLEAVE.json).
 scripts/analyze.sh --interleave
 
-# Hot-path bench gate in smoke mode: scaled-down fixed-seed traces, one
-# timed rep plus a determinism rep, asserting the multi-probe and
-# single-probe paths still make bit-identical eviction decisions. Prints
-# the table; never rewrites the committed results/BENCH_hotpath.json.
+# Bench gates in smoke mode: bench_hotpath (multi-probe vs single-probe
+# bit-identical eviction decisions), bench_disksched (sync vs async I/O
+# checksum parity), bench_concurrency (three pool tiers x thread counts),
+# and bench_adaptive (fixed policy zoo vs the shadow-simulation
+# meta-policy, decision checksums asserted identical across reps). Prints
+# the tables; never rewrites the committed results/BENCH_*.json artifacts.
 scripts/bench.sh --smoke
 
 echo "tier1 OK"

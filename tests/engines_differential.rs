@@ -4,10 +4,20 @@
 //! traces, for arbitrary K / CRP / RIP — including under pin/unpin/forget
 //! interleavings and re-references straddling the CRP boundary; and LRU-K
 //! with K = 1 and CRP = 0 must coincide with the classical LRU baseline.
+//!
+//! The suite also covers the online-switching machinery (DESIGN.md §4.8):
+//! the AWRP and EEvA policies run the same operation lockstep as identical
+//! instance pairs, and `ReplacementCore::swap_policy` is exercised
+//! mid-trace at random strides with switch-boundary invariants — residency
+//! set, stats, pin counts and dirty bits preserved bit-exactly across every
+//! swap, and three cores that all swap engines at the same points stay in
+//! decision lockstep through the swaps.
 
-use lruk::baselines::Lru;
+use lruk::baselines::{Awrp, Eeva, Lru};
 use lruk::core::{BTreeLruK, ClassicLruK, LruK, LruKConfig};
-use lruk::policy::{PageId, ReplacementPolicy, Tick, VictimError};
+use lruk::policy::{
+    AccessKind, NoopBackend, Outcome, PageId, ReplacementCore, ReplacementPolicy, Tick, VictimError,
+};
 use proptest::prelude::*;
 
 /// Drive both policies in lockstep, asserting identical victim choices at
@@ -355,5 +365,142 @@ fn engines_agree_with_pins() {
     assert_eq!(
         classic.select_victim(Tick(11)),
         indexed.select_victim(Tick(11))
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Online policy switching (DESIGN.md §4.8): new-policy lockstep coverage and
+// switch-boundary invariants around `ReplacementCore::swap_policy`.
+// ---------------------------------------------------------------------------
+
+/// One of the three LRU-K engines, boxed, by rotation index. Used to cycle
+/// a core through Classic → BTree → Flat across mid-trace swaps: the warm
+/// transfer carries each resident page's full `HIST`/`LAST` block, and all
+/// three engines import it with identical semantics.
+fn lruk_engine(kind: usize, cfg: LruKConfig) -> Box<dyn ReplacementPolicy> {
+    match kind % 3 {
+        0 => Box::new(ClassicLruK::new(cfg)),
+        1 => Box::new(BTreeLruK::new(cfg)),
+        _ => Box::new(LruK::new(cfg)),
+    }
+}
+
+/// One access through a core, reduced to its decision record: hit flag,
+/// frame slot, evicted page. Identical decision streams must also recycle
+/// frames identically, so the slot is part of the record.
+fn step(core: &mut ReplacementCore, page: PageId) -> (bool, u32, Option<PageId>) {
+    match core
+        .access(page, AccessKind::Random, 0, &mut NoopBackend)
+        .expect("NoopBackend cannot fail")
+    {
+        Outcome::Hit { slot } => (true, slot, None),
+        Outcome::Admitted { slot, victim, .. } => (false, slot, victim.map(|v| v.page)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// AWRP and EEvA through the full operation lockstep (pins, unpins,
+    /// forgets, CRP-straddling strides) as identical-instance pairs: any
+    /// iteration-order or hidden-state nondeterminism shows up as a victim
+    /// divergence between two engines fed the same stream.
+    #[test]
+    fn awrp_and_eeva_self_lockstep_under_interleavings(
+        ops in proptest::collection::vec((0u8..8, 0u64..24, 0u64..3, 1u64..4), 80..400),
+        capacity in 2usize..8,
+    ) {
+        let mut a1 = Awrp::new();
+        let mut a2 = Awrp::new();
+        lockstep_ops(&mut [&mut a1, &mut a2], &ops, capacity);
+        let mut e1 = Eeva::new(capacity);
+        let mut e2 = Eeva::new(capacity);
+        lockstep_ops(&mut [&mut e1, &mut e2], &ops, capacity);
+    }
+
+    /// Switch-boundary invariants: a core swapped among the three LRU-K
+    /// engines at a random stride preserves its residency set and stats
+    /// bit-exactly across every swap, and three cores that start on
+    /// different engines and all swap at the same points stay in decision
+    /// lockstep (hit/miss, frame slot, victim) through the swaps.
+    #[test]
+    fn cores_stay_in_lockstep_across_mid_trace_swaps(
+        trace in proptest::collection::vec(0u64..32, 120..320),
+        stride in 17usize..53,
+        k in 1usize..4,
+        crp in 0u64..4,
+    ) {
+        let cfg = LruKConfig::new(k).with_crp(crp);
+        let mut cores: Vec<ReplacementCore> = (0..3)
+            .map(|i| ReplacementCore::new(6, lruk_engine(i, cfg)))
+            .collect();
+        let mut rotation = 0usize;
+        for (i, &raw) in trace.iter().enumerate() {
+            if i > 0 && i % stride == 0 {
+                rotation += 1;
+                for (c, core) in cores.iter_mut().enumerate() {
+                    let residents = core.resident_pages();
+                    let stats = core.stats();
+                    core.swap_policy(lruk_engine(c + rotation, cfg))
+                        .expect("LRU-K challengers accept every transferred page");
+                    prop_assert_eq!(residents, core.resident_pages(),
+                        "residency set changed across swap {rotation}");
+                    prop_assert_eq!(stats, core.stats(),
+                        "stats changed across swap {rotation}");
+                }
+            }
+            let page = PageId(raw);
+            let d0 = step(&mut cores[0], page);
+            let d1 = step(&mut cores[1], page);
+            let d2 = step(&mut cores[2], page);
+            prop_assert_eq!(d0, d1, "cores 0/1 diverge at ref {i}");
+            prop_assert_eq!(d0, d2, "cores 0/2 diverge at ref {i}");
+        }
+        prop_assert!(rotation >= 2, "trace must force at least two mid-trace swaps");
+    }
+}
+
+/// The forced mid-trace swap with a page pinned across it: pin count and
+/// dirty bit survive, the challenger honours the transferred pin (the page
+/// is never chosen as victim afterwards), and unpinning makes it evictable
+/// again.
+#[test]
+fn forced_swap_preserves_pins_and_dirty_bits() {
+    let cfg = LruKConfig::new(2).with_crp(0);
+    let mut core = ReplacementCore::new(3, Box::new(ClassicLruK::new(cfg)));
+    for p in 1..=3u64 {
+        step(&mut core, PageId(p));
+    }
+    let slot = core.slot_of(PageId(1)).expect("page 1 resident");
+    core.pin_slot(slot).expect("pin");
+    core.pin_slot(slot).expect("second pin");
+    core.unpin_slot(slot, true).expect("unpin dirty");
+    assert_eq!(core.pin_count(slot), 1);
+    assert!(core.is_dirty(slot));
+
+    let residents = core.resident_pages();
+    let stats = core.stats();
+    core.swap_policy(Box::new(LruK::new(cfg))).expect("swap");
+    assert_eq!(core.resident_pages(), residents);
+    assert_eq!(core.stats(), stats);
+    assert_eq!(core.pin_count(slot), 1, "pin count survives the swap");
+    assert!(core.is_dirty(slot), "dirty bit survives the swap");
+
+    // Evictions after the swap must never pick the pinned page.
+    for p in 10..30u64 {
+        let (_, _, victim) = step(&mut core, PageId(p));
+        assert_ne!(victim, Some(PageId(1)), "challenger evicted a pinned page");
+        assert!(core.contains(PageId(1)));
+    }
+    core.unpin_slot(slot, false).expect("unpin");
+    // Now evictable: flooding two more distinct pages must push it out.
+    let mut evicted = Vec::new();
+    for p in 40..43u64 {
+        let (_, _, victim) = step(&mut core, PageId(p));
+        evicted.extend(victim);
+    }
+    assert!(
+        evicted.contains(&PageId(1)),
+        "page 1 should be the coldest page once unpinned, got {evicted:?}"
     );
 }
