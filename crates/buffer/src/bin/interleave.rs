@@ -148,6 +148,39 @@ mod run {
             systematic: false,
             build: || Box::new(models::relaxed_publish_race()),
         },
+        // Weak-memory self-tests (store-buffer model, DESIGN.md §4.9): the
+        // buggy halves must be caught via *wrong observed values*, the
+        // fixed twins and the VersionedSlot proof scenarios must be clean.
+        Case {
+            name: "selftest-relaxed-publish-stale",
+            expect_violation: true,
+            systematic: false,
+            build: || Box::new(models::relaxed_publish_stale()),
+        },
+        Case {
+            name: "selftest-release-publish",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::fixed_release_publish()),
+        },
+        Case {
+            name: "selftest-seqlock-no-recheck",
+            expect_violation: true,
+            systematic: false,
+            build: || Box::new(models::buggy_seqlock_skips_recheck()),
+        },
+        Case {
+            name: "versioned-slot-torn-read",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::fixed_seqlock_rechecks()),
+        },
+        Case {
+            name: "versioned-slot-writer-retry",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::versioned_slot_writer_retry()),
+        },
         Case {
             name: "selftest-buggy-swap-drops-pin",
             expect_violation: true,
@@ -670,8 +703,14 @@ mod run {
             scenarios.push(section);
         }
 
-        let report =
-            InterleaveReport { seed_base, seeds_per_scenario: seeds, max_steps, scenarios };
+        let report = InterleaveReport {
+            schema: 2,
+            model_version: lruk_conc::sched::MODEL_VERSION,
+            seed_base,
+            seeds_per_scenario: seeds,
+            max_steps,
+            scenarios,
+        };
         let rendered = report.render();
         if let Some(parent) = std::path::Path::new(&json_path).parent() {
             if !parent.as_os_str().is_empty() {
@@ -686,9 +725,11 @@ mod run {
             return 2;
         }
         println!(
-            "interleave: {} runs, {} distinct schedules, {} unexpected violations, gate {} -> {}",
+            "interleave: {} runs, {} distinct schedules, {} flush points, \
+             {} unexpected violations, gate {} -> {}",
             report.total_runs(),
             report.total_distinct(),
+            report.total_flush_points(),
             report.unexpected_violations(),
             if report.passes() { "pass" } else { "FAIL" },
             json_path

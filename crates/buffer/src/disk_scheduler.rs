@@ -255,15 +255,15 @@ pub struct SchedStats {
 
 #[derive(Default)]
 struct Counters {
-    disk_reads: AtomicU64,
-    table_reads: AtomicU64,
-    prefetch_hits: AtomicU64,
-    prefetched: AtomicU64,
-    prefetch_dropped: AtomicU64,
-    disk_writes: AtomicU64,
-    batched_writes: AtomicU64,
-    write_batches: AtomicU64,
-    superseded_writes: AtomicU64,
+    disk_reads: AtomicU64,        // xtask-role: monotonic-counter
+    table_reads: AtomicU64,       // xtask-role: monotonic-counter
+    prefetch_hits: AtomicU64,     // xtask-role: monotonic-counter
+    prefetched: AtomicU64,        // xtask-role: monotonic-counter
+    prefetch_dropped: AtomicU64,  // xtask-role: monotonic-counter
+    disk_writes: AtomicU64,       // xtask-role: monotonic-counter
+    batched_writes: AtomicU64,    // xtask-role: monotonic-counter
+    write_batches: AtomicU64,     // xtask-role: monotonic-counter
+    superseded_writes: AtomicU64, // xtask-role: monotonic-counter
 }
 
 impl Counters {

@@ -113,6 +113,8 @@ struct LatchedFrame {
     /// a write-back, are protocol violations the frame latch is supposed to
     /// exclude — this flag asserts that it actually did.
     #[cfg(debug_assertions)]
+    // xtask-role: publication-flag -- set before the write-back I/O,
+    // cleared (published) after it; observers acquire-load it in asserts.
     write_in_flight: lruk_conc::sync::atomic::AtomicBool,
 }
 
@@ -163,6 +165,8 @@ struct Shard {
     /// the core; decremented (release) only after the frame bytes are
     /// installed or the slot is forgotten, so an acquire-load of zero
     /// proves the hit frame is safe to read.
+    // xtask-role: pin-count -- RMW-only inc/dec; acquire-load of zero
+    // proves no fill is racing the hit frame.
     pending_fills: AtomicUsize,
 }
 

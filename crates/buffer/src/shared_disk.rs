@@ -107,10 +107,10 @@ pub struct ConcurrentInMemoryDisk {
     /// Guards the free list **and** the allocated-count/capacity check, so
     /// allocation stays atomic.
     alloc: Mutex<AllocState>,
-    reads: AtomicU64,
-    writes: AtomicU64,
-    allocations: AtomicU64,
-    deallocations: AtomicU64,
+    reads: AtomicU64,         // xtask-role: monotonic-counter
+    writes: AtomicU64,        // xtask-role: monotonic-counter
+    allocations: AtomicU64,   // xtask-role: monotonic-counter
+    deallocations: AtomicU64, // xtask-role: monotonic-counter
 }
 
 struct AllocState {

@@ -58,7 +58,7 @@ impl<T: Copy> RaceCell<T> {
     #[cfg(conc_model)]
     fn event(&self, op_of: impl FnOnce(sched::ObjId) -> Op) {
         if let Some((sched, tid)) = sched::active() {
-            let id = sched.object_id(&self.id, ObjKind::Race);
+            let id = sched.object_id(&self.id, ObjKind::Race, 0);
             sched::schedule_point(&sched, tid, op_of(id));
         }
     }

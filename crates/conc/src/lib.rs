@@ -18,7 +18,14 @@
 //! - **happens-before race checking**: vector clocks flow along lock,
 //!   non-relaxed-atomic, spawn/join and park/unpark edges; plain data
 //!   wrapped in [`RaceCell`]/[`vsync::SharedRaceCell`] is checked for
-//!   unordered conflicting access (FastTrack-style).
+//!   unordered conflicting access (FastTrack-style),
+//! - **weak-memory value semantics**: `Relaxed` atomic stores sit in a
+//!   per-thread store buffer until a scheduler-chosen flush point, so a
+//!   missing `Release` on a publication store manifests as a *stale
+//!   observed value* in a scenario assertion, not merely a race flag
+//!   (see `sched` module docs for the store-buffer approximation), and
+//!   [`versioned::VersionedSlot`] ships the seqlock primitive proven
+//!   under that model.
 //!
 //! `cargo xtask interleave` drives the pool scenarios and the self-test
 //! models in [`models`] and writes `results/INTERLEAVE.json`; see DESIGN.md
@@ -34,6 +41,7 @@ pub mod report;
 pub mod rng;
 pub mod sched;
 pub mod sync;
+pub mod versioned;
 pub mod vsync;
 
 mod cell;

@@ -147,7 +147,10 @@ pub fn check(condition: bool, message: &str) {
 pub struct RunResult {
     /// Seed that produced the run (0 for replayed/systematic runs).
     pub seed: u64,
-    /// Captured schedule: the granted thread id at each step.
+    /// Captured schedule: one encoded action per step — a plain thread id
+    /// for a grant, or a store-buffer flush encoded with the high bit set
+    /// (see `sched` module docs). Feeding it back through
+    /// [`replay_schedule`] reproduces the run exactly, flushes included.
     pub schedule: Vec<Tid>,
     /// The violation that aborted the run, if any.
     pub violation: Option<Violation>,
@@ -157,6 +160,8 @@ pub struct RunResult {
     pub truncated: bool,
     /// Choice-point trace (systematic driver input).
     pub trace: Vec<Choice>,
+    /// Store-buffer flush actions the scheduler interposed during the run.
+    pub flushes: usize,
 }
 
 /// Exploration configuration.
@@ -197,6 +202,9 @@ pub struct ExploreStats {
     pub total_steps: usize,
     /// Runs cut short by the step budget.
     pub truncated_runs: usize,
+    /// Store-buffer flush points explored, summed across runs (weak-memory
+    /// coverage signal: 0 means no buffered store was ever pending).
+    pub flush_points: usize,
     /// Violating runs, in discovery order.
     pub violations: Vec<RunResult>,
 }
@@ -222,7 +230,7 @@ fn run_one(strategy: Strategy, max_steps: usize, scenario: &Arc<dyn Fn() + Send 
     let body = Arc::clone(scenario);
     let root = std::thread::spawn(move || spawn_wrapper(sched2, tid, move || body()));
     sched.launch();
-    let (schedule, violation, steps, trace) = sched.wait_complete();
+    let (schedule, violation, steps, trace, flushes) = sched.wait_complete();
     // All virtual threads have exited their wrappers; the root OS thread is
     // at (or past) its last instruction.
     root.join().ok();
@@ -237,6 +245,7 @@ fn run_one(strategy: Strategy, max_steps: usize, scenario: &Arc<dyn Fn() + Send 
         steps,
         truncated,
         trace,
+        flushes,
     }
 }
 
@@ -259,6 +268,7 @@ pub fn explore(cfg: &Config, scenario: impl Fn() + Send + Sync + 'static) -> Exp
         result.seed = seed;
         stats.runs += 1;
         stats.total_steps += result.steps;
+        stats.flush_points += result.flushes;
         if seen.insert(schedule_hash(&result.schedule)) {
             stats.distinct_schedules += 1;
         }
@@ -360,6 +370,7 @@ pub fn explore_systematic(
         );
         stats.runs += 1;
         stats.total_steps += result.steps;
+        stats.flush_points += result.flushes;
         if seen.insert(schedule_hash(&result.schedule)) {
             stats.distinct_schedules += 1;
         }

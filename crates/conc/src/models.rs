@@ -10,6 +10,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::model;
+use crate::versioned::VersionedSlot;
 use crate::vsync::{SharedRaceCell, VAtomicU64, VCondvar, VMutex};
 
 /// Deliberately seeded bug: an "evictor" checks the pin count *outside* the
@@ -117,8 +118,8 @@ pub fn lock_inversion_deadlock() -> impl Fn() + Send + Sync + 'static {
 
 /// Publication over a `Relaxed` flag: the consumer can observe the flag and
 /// still race the producer's plain write, because relaxed accesses transfer
-/// no happens-before. The runtime counterpart of the lexical
-/// `atomic-ordering` rule.
+/// no happens-before. The runtime counterpart of the static
+/// `atomic-protocol` rule's publication-flag discipline.
 pub fn relaxed_publish_race() -> impl Fn() + Send + Sync + 'static {
     || {
         let data = Arc::new(SharedRaceCell::new(0u64));
@@ -127,14 +128,12 @@ pub fn relaxed_publish_race() -> impl Fn() + Send + Sync + 'static {
             let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
             model::spawn(move || {
                 data.set(42);
-                // xtask-allow: atomic-ordering -- the seeded bug under test
-                flag.store(1, Ordering::Relaxed);
+                flag.store(1, Ordering::Relaxed); // the seeded bug under test
             })
         };
         let consumer = {
             let (data, flag) = (Arc::clone(&data), Arc::clone(&flag));
             model::spawn(move || {
-                // xtask-allow: atomic-ordering -- the seeded bug under test
                 if flag.load(Ordering::Relaxed) == 1 {
                     let _ = data.get();
                 }
@@ -280,6 +279,172 @@ pub fn buggy_swap_drops_pinned_page() -> impl Fn() + Send + Sync + 'static {
         };
         client.join();
         swapper.join();
+    }
+}
+
+/// Deliberately seeded weak-memory bug: frame bytes and the ready flag are
+/// both published with `Relaxed` stores, so both sit in the producer's
+/// store buffer and the scheduler may flush the *flag* first. The consumer
+/// then observes `ready == 1` with stale frame bytes — a **wrong value**,
+/// not merely a race flag (both cells are atomics, so the vector-clock
+/// checker has nothing to say; only the store-buffer model catches this).
+pub fn relaxed_publish_stale() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let frame = Arc::new(VAtomicU64::new(0));
+        let ready = Arc::new(VAtomicU64::new(0));
+        let producer = {
+            let (frame, ready) = (Arc::clone(&frame), Arc::clone(&ready));
+            model::spawn(move || {
+                // BUG: both stores are Relaxed — the flag may become
+                // globally visible before the frame bytes do.
+                frame.store(0xF00D, Ordering::Relaxed);
+                ready.store(1, Ordering::Relaxed);
+            })
+        };
+        let consumer = {
+            let (frame, ready) = (Arc::clone(&frame), Arc::clone(&ready));
+            model::spawn(move || {
+                if ready.load(Ordering::Acquire) == 1 {
+                    model::check(
+                        frame.load(Ordering::Acquire) == 0xF00D,
+                        "published frame bytes observed stale",
+                    );
+                }
+            })
+        };
+        producer.join();
+        consumer.join();
+    }
+}
+
+/// The fixed twin: the flag store is `Release`, which drains the
+/// producer's store buffer (frame bytes first, in program order) before
+/// the flag becomes globally visible. No flush order can show the
+/// consumer a stale frame, so no schedule may report a violation.
+pub fn fixed_release_publish() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let frame = Arc::new(VAtomicU64::new(0));
+        let ready = Arc::new(VAtomicU64::new(0));
+        let producer = {
+            let (frame, ready) = (Arc::clone(&frame), Arc::clone(&ready));
+            model::spawn(move || {
+                frame.store(0xF00D, Ordering::Relaxed);
+                ready.store(1, Ordering::Release);
+            })
+        };
+        let consumer = {
+            let (frame, ready) = (Arc::clone(&frame), Arc::clone(&ready));
+            model::spawn(move || {
+                if ready.load(Ordering::Acquire) == 1 {
+                    model::check(
+                        frame.load(Ordering::Acquire) == 0xF00D,
+                        "release-published frame bytes are current",
+                    );
+                }
+            })
+        };
+        producer.join();
+        consumer.join();
+    }
+}
+
+/// Deliberately seeded seqlock bug: the reader checks the version is even
+/// *once*, reads both payload words, and skips the version **re-check** —
+/// so a writer landing between the two word loads hands it a torn pair.
+/// The invariant "both words equal" fails on such schedules and the
+/// checker must surface the assert.
+pub fn buggy_seqlock_skips_recheck() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let version = Arc::new(VAtomicU64::new(0));
+        let w1 = Arc::new(VAtomicU64::new(0));
+        let w2 = Arc::new(VAtomicU64::new(0));
+        let writer = {
+            let (version, w1, w2) =
+                (Arc::clone(&version), Arc::clone(&w1), Arc::clone(&w2));
+            model::spawn(move || {
+                // Correct writer half of the protocol (odd → words → even).
+                version.fetch_add(1, Ordering::AcqRel);
+                w1.store(1, Ordering::Release);
+                w2.store(1, Ordering::Release);
+                version.fetch_add(1, Ordering::Release);
+            })
+        };
+        let reader = {
+            let (version, w1, w2) =
+                (Arc::clone(&version), Arc::clone(&w1), Arc::clone(&w2));
+            model::spawn(move || {
+                let v1 = version.load(Ordering::Acquire);
+                if v1 & 1 == 0 {
+                    let a = w1.load(Ordering::Acquire);
+                    let b = w2.load(Ordering::Acquire);
+                    // BUG: no `version` re-load/compare before trusting
+                    // (a, b) — a writer may have landed in between.
+                    model::check(a == b, "seqlock reader without re-check tears");
+                }
+            })
+        };
+        writer.join();
+        reader.join();
+    }
+}
+
+/// The fixed twin, on the real primitive: [`VersionedSlot`] readers
+/// re-load the version and retry on mismatch, so every snapshot is
+/// consistent on every schedule — this is the torn-read proof scenario
+/// for the seqlock the page-table probe will use.
+pub fn fixed_seqlock_rechecks() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let slot = Arc::new(VersionedSlot::new([0u64, 0u64]));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            model::spawn(move || {
+                slot.write([1, 1]);
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                model::spawn(move || {
+                    let [a, b] = slot.read();
+                    model::check(a == b, "VersionedSlot read must be consistent");
+                })
+            })
+            .collect();
+        writer.join();
+        for r in readers {
+            r.join();
+        }
+        let [a, b] = slot.read();
+        model::check(a == 1 && b == 1, "final state reflects the write");
+    }
+}
+
+/// Writer-vs-reader retry proof for [`VersionedSlot`]: two back-to-back
+/// writes force readers through the retry path on schedules where a read
+/// overlaps a write, and the pair invariant must still hold on every
+/// schedule.
+pub fn versioned_slot_writer_retry() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let slot = Arc::new(VersionedSlot::new([0u64, 0u64]));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            model::spawn(move || {
+                slot.write([1, 1]);
+                slot.write([2, 2]);
+            })
+        };
+        let reader = {
+            let slot = Arc::clone(&slot);
+            model::spawn(move || {
+                let [a, b] = slot.read();
+                model::check(a == b, "snapshot must never mix writes");
+                model::check(a <= 2, "snapshot value comes from a real write");
+            })
+        };
+        writer.join();
+        reader.join();
+        let [a, b] = slot.read();
+        model::check(a == 2 && b == 2, "last write wins");
     }
 }
 

@@ -52,6 +52,8 @@ pub struct ScenarioReport {
     pub steps_total: usize,
     /// Runs cut short by the step budget.
     pub truncated_runs: usize,
+    /// Store-buffer flush points explored across all runs.
+    pub flush_points: usize,
     /// Violations found.
     pub violations: Vec<ViolationReport>,
 }
@@ -73,6 +75,7 @@ impl ScenarioReport {
             distinct_schedules: stats.distinct_schedules,
             steps_total: stats.total_steps,
             truncated_runs: stats.truncated_runs,
+            flush_points: stats.flush_points,
             violations,
         }
     }
@@ -89,8 +92,17 @@ impl ScenarioReport {
 }
 
 /// The whole `results/INTERLEAVE.json` document.
+///
+/// `schema` 2 added `model_version`, `total_flush_points`, and per-scenario
+/// `flush_points` when the store-buffer weak-memory model landed; schedules
+/// since then are encoded action streams (grants plus flushes), so schema-1
+/// schedules do not replay against a schema-2 checker.
 #[derive(Clone, Debug)]
 pub struct InterleaveReport {
+    /// Report schema version (2 = weak-memory store-buffer model).
+    pub schema: u32,
+    /// `sched::MODEL_VERSION` of the checker that produced the report.
+    pub model_version: u32,
     /// First seed of the per-scenario seed range.
     pub seed_base: u64,
     /// Seeds per random-mode scenario.
@@ -112,6 +124,11 @@ impl InterleaveReport {
         self.scenarios.iter().map(|s| s.runs).sum()
     }
 
+    /// Total store-buffer flush points explored across scenarios.
+    pub fn total_flush_points(&self) -> usize {
+        self.scenarios.iter().map(|s| s.flush_points).sum()
+    }
+
     /// Violations on scenarios that were expected to be clean.
     pub fn unexpected_violations(&self) -> usize {
         self.scenarios
@@ -130,6 +147,8 @@ impl InterleaveReport {
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", self.schema));
+        out.push_str(&format!("  \"model_version\": {},\n", self.model_version));
         out.push_str(&format!("  \"seed_base\": {},\n", self.seed_base));
         out.push_str(&format!(
             "  \"seeds_per_scenario\": {},\n",
@@ -140,6 +159,10 @@ impl InterleaveReport {
         out.push_str(&format!(
             "  \"total_distinct_schedules\": {},\n",
             self.total_distinct()
+        ));
+        out.push_str(&format!(
+            "  \"total_flush_points\": {},\n",
+            self.total_flush_points()
         ));
         out.push_str(&format!(
             "  \"unexpected_violations\": {},\n",
@@ -168,6 +191,7 @@ impl InterleaveReport {
             ));
             out.push_str(&format!("      \"steps_total\": {},\n", s.steps_total));
             out.push_str(&format!("      \"truncated_runs\": {},\n", s.truncated_runs));
+            out.push_str(&format!("      \"flush_points\": {},\n", s.flush_points));
             out.push_str(&format!(
                 "      \"verdict\": {},\n",
                 json_str(if s.passes() { "pass" } else { "fail" })

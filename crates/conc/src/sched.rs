@@ -4,10 +4,38 @@
 //! sync layer funnels into [`schedule_point`]: the calling OS thread parks on
 //! a condvar until the scheduler grants it the next step, applies its
 //! operation's effects on the virtual object state (lock ownership,
-//! happens-before clocks, race metadata), then runs user code until its next
-//! schedule point. Exactly one virtual thread is runnable at a time, so a
-//! run's behaviour is a pure function of the choice sequence — which is what
-//! makes capture, replay-from-seed, and systematic enumeration possible.
+//! happens-before clocks, race metadata, atomic values), then runs user code
+//! until its next schedule point. Exactly one virtual thread is runnable at
+//! a time, so a run's behaviour is a pure function of the choice sequence —
+//! which is what makes capture, replay-from-seed, and systematic enumeration
+//! possible.
+//!
+//! # Weak-memory value semantics (store buffers)
+//!
+//! Under an active model the scheduler — not the `std` atomic cell — owns
+//! each atomic's authoritative value, and models a store-buffer machine
+//! (DESIGN.md §4.9):
+//!
+//! - a `Relaxed` store lands in the *calling thread's private store buffer*,
+//!   invisible to every other thread until flushed;
+//! - flushing is a **scheduler choice**: at every step, "flush thread T's
+//!   oldest buffered store to location L" competes with the runnable
+//!   threads, so the moment a relaxed store becomes globally visible is
+//!   explored (and replayed) like any other scheduling decision;
+//! - a `Release`/`SeqCst` store and every read-modify-write first drain the
+//!   calling thread's own buffer in program order (write-through), then act
+//!   on global memory — program-order-earlier stores can never overtake a
+//!   release operation;
+//! - lock releases, `unpark`, and thread exit drain the buffer likewise
+//!   (release-side fences), so a joined thread's stores are always visible;
+//! - a load observes the calling thread's *own newest* buffered store to the
+//!   location if one exists (read-own-writes), else global memory; it never
+//!   observes another thread's unflushed buffer.
+//!
+//! The payoff: a missing `Release` on a publication store manifests as a
+//! *wrong observed value* in a scenario assertion (consumer sees the flag
+//! but stale data), not merely a vector-clock race flag. Clock transfer is
+//! unchanged: `Relaxed` still moves no happens-before edges.
 //!
 //! The scheduler itself is built on plain `std::sync` primitives (never the
 //! virtual ones — that would recurse) and is deliberately allocation-light:
@@ -18,6 +46,13 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 use crate::clock::VClock;
 use crate::rng::SplitMix64;
+
+/// Weak-memory model revision. `scripts/interleave.sh` keys its bootstrap
+/// cache on this constant (the interleave twin of analyze's
+/// `RULESET_VERSION`), so bumping it invalidates stale cached `conc_model`
+/// objects instead of silently replaying old semantics. Bump on any change
+/// to value/flush semantics, the schedule encoding, or the report schema.
+pub const MODEL_VERSION: u32 = 2;
 
 /// Virtual thread id (dense, starting at 0 for the scenario root).
 pub type Tid = u32;
@@ -72,6 +107,53 @@ impl Strength {
     }
 }
 
+/// The value operation an atomic schedule point performs. The scheduler
+/// owns the authoritative value under an active model (per-thread store
+/// buffers + global memory), so every access routes its operands through
+/// the schedule point and receives the observed/previous value back as the
+/// return of [`schedule_point`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicAccess {
+    /// Read the observed value (own newest buffered store, else global).
+    Load,
+    /// Write a value (buffered when `Relaxed`, write-through otherwise).
+    Store(u64),
+    /// Replace the global value, returning the previous one.
+    Swap(u64),
+    /// Compare-and-swap `(expected, new)`; returns the previous value.
+    CompareExchange(u64, u64),
+    /// Wrapping add, returning the previous value.
+    FetchAdd(u64),
+    /// Wrapping subtract, returning the previous value.
+    FetchSub(u64),
+    /// Bitwise or, returning the previous value.
+    FetchOr(u64),
+}
+
+/// Schedule-stream entries are `u32`s: a plain thread id means "grant that
+/// thread its pending op"; an entry with [`FLUSH_BIT`] set means "flush the
+/// encoded thread's oldest buffered store to the encoded object". Encoding
+/// flushes into the same stream as thread grants keeps replay, DFS
+/// prefixes, FNV schedule hashing, and the JSON report covering flush
+/// decisions with no schema fork.
+pub(crate) const FLUSH_BIT: u32 = 1 << 31;
+
+/// Low bits of a flush action that hold the object id (thread id sits
+/// above them). Object ids in model runs are tiny; 4096 is a hard ceiling
+/// enforced at registration.
+pub(crate) const FLUSH_OBJ_BITS: u32 = 12;
+
+pub(crate) fn encode_flush(tid: Tid, obj: ObjId) -> u32 {
+    FLUSH_BIT | (tid << FLUSH_OBJ_BITS) | obj
+}
+
+pub(crate) fn decode_flush(action: u32) -> (Tid, ObjId) {
+    (
+        (action & !FLUSH_BIT) >> FLUSH_OBJ_BITS,
+        action & ((1 << FLUSH_OBJ_BITS) - 1),
+    )
+}
+
 /// One schedulable operation. Every variant is a schedule point; the
 /// scheduler decides feasibility (can the op complete now?) and applies the
 /// state transition when the owning thread is granted the step.
@@ -91,8 +173,9 @@ pub enum Op {
     RwUnlockRead(ObjId),
     /// Release the exclusive hold.
     RwUnlockWrite(ObjId),
-    /// An atomic access with the given happens-before strength.
-    Atomic(ObjId, Strength),
+    /// An atomic access: happens-before strength plus the value operation
+    /// (the scheduler owns atomic values under the store-buffer model).
+    Atomic(ObjId, Strength, AtomicAccess),
     /// A plain (non-atomic) read of a race-checked cell.
     RaceRead(ObjId),
     /// A plain (non-atomic) write of a race-checked cell.
@@ -159,10 +242,11 @@ pub enum Strategy {
         /// Relative weight of not preempting (others weigh 1 each).
         continue_weight: u32,
     },
-    /// Replay an exact captured schedule (sequence of tids).
+    /// Replay an exact captured schedule (sequence of encoded actions:
+    /// thread grants and store-buffer flushes alike).
     Replay {
         /// The captured schedule to follow.
-        schedule: Vec<Tid>,
+        schedule: Vec<u32>,
     },
     /// Systematic DFS: follow `prefix` choices (indexes into the sorted
     /// feasible set), then run non-preemptively. The recorded trace lets the
@@ -201,7 +285,9 @@ pub enum ObjKind {
 #[derive(Debug)]
 enum ObjState {
     Lock { excl: Option<Tid>, readers: Vec<Tid>, clock: VClock },
-    Atomic { clock: VClock },
+    /// `value` is the *globally visible* value; per-thread store buffers may
+    /// hold newer, not-yet-flushed values.
+    Atomic { value: u64, clock: VClock },
     Race { writer: Option<(Tid, u32)>, reads: VClock },
 }
 
@@ -211,6 +297,9 @@ struct ThreadSlot {
     finished: bool,
     park_token: bool,
     clock: VClock,
+    /// Store buffer: `Relaxed` stores in program order, awaiting a flush
+    /// action (or a release-side drain). Invisible to other threads.
+    buffer: Vec<(ObjId, u64)>,
 }
 
 struct SchedState {
@@ -221,12 +310,16 @@ struct SchedState {
     /// user code); false while the grant is still outstanding.
     current_applied: bool,
     strategy: Strategy,
-    schedule: Vec<Tid>,
+    /// Encoded actions in order: plain tids and [`FLUSH_BIT`] flush entries.
+    schedule: Vec<u32>,
     trace: Vec<Choice>,
     replay_pos: usize,
     violation: Option<Violation>,
     steps: usize,
     max_steps: usize,
+    /// Flush actions taken (store-buffer coverage metric, reported in
+    /// `INTERLEAVE.json`).
+    flushes: usize,
     os_spawned: usize,
     os_exited: usize,
 }
@@ -294,6 +387,7 @@ impl Scheduler {
                 violation: None,
                 steps: 0,
                 max_steps,
+                flushes: 0,
                 os_spawned: 0,
                 os_exited: 0,
             }),
@@ -351,10 +445,11 @@ impl Scheduler {
     }
 
     /// Block the controller until every backing OS thread has exited, then
-    /// return the run outcome: (captured schedule, violation, steps, trace).
+    /// return the run outcome: (captured schedule, violation, steps, trace,
+    /// flush actions taken).
     pub(crate) fn wait_complete(
         self: &Arc<Self>,
-    ) -> (Vec<Tid>, Option<Violation>, usize, Vec<Choice>) {
+    ) -> (Vec<u32>, Option<Violation>, usize, Vec<Choice>, usize) {
         let mut st = lock_state(self);
         while st.os_exited < st.os_spawned {
             st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
@@ -364,13 +459,16 @@ impl Scheduler {
             st.violation.clone(),
             st.steps,
             std::mem::take(&mut st.trace),
+            st.flushes,
         )
     }
 
     /// Resolve (or assign) the virtual object id cached in `cell`. The cache
     /// packs `(epoch, id + 1)` so objects created in earlier runs re-register
-    /// instead of aliasing.
-    pub(crate) fn object_id(self: &Arc<Self>, cell: &AtomicU64, kind: ObjKind) -> ObjId {
+    /// instead of aliasing. `init` seeds the global value of a fresh atomic
+    /// (ignored for locks and race cells); ids are capped so flush actions
+    /// encode losslessly next to thread ids in the schedule stream.
+    pub(crate) fn object_id(self: &Arc<Self>, cell: &AtomicU64, kind: ObjKind, init: u64) -> ObjId {
         let mut st = lock_state(self);
         let packed = cell.load(Ordering::Acquire);
         let (epoch, id) = ((packed >> 32) as u32, (packed & 0xffff_ffff) as u32);
@@ -378,11 +476,12 @@ impl Scheduler {
             return id - 1;
         }
         let id = st.objects.len() as ObjId;
+        debug_assert!(id < (1 << FLUSH_OBJ_BITS), "model exceeds object-id budget");
         st.objects.push(match kind {
             ObjKind::Mutex | ObjKind::RwLock => {
                 ObjState::Lock { excl: None, readers: Vec::new(), clock: VClock::new() }
             }
-            ObjKind::Atomic => ObjState::Atomic { clock: VClock::new() },
+            ObjKind::Atomic => ObjState::Atomic { value: init, clock: VClock::new() },
             ObjKind::Race => ObjState::Race { writer: None, reads: VClock::new() },
         });
         cell.store((u64::from(self.epoch) << 32) | u64::from(id + 1), Ordering::Release);
@@ -392,9 +491,10 @@ impl Scheduler {
 
 /// Execute one schedule point for the calling virtual thread: announce the
 /// pending `op`, hand the step choice to the scheduler, park until granted,
-/// then apply the op's effects. Unwinds (silently) when the run has been
+/// then apply the op's effects. Returns the op's observed value (atomic
+/// accesses; zero otherwise). Unwinds (silently) when the run has been
 /// aborted by a violation or budget exhaustion.
-pub(crate) fn schedule_point(sched: &Arc<Scheduler>, tid: Tid, op: Op) {
+pub(crate) fn schedule_point(sched: &Arc<Scheduler>, tid: Tid, op: Op) -> u64 {
     // Guard drops reach here during abort unwinding; a second unwind from
     // inside a Drop would escalate to a process abort, so once the run is
     // over (violation recorded) an already-panicking thread just skips its
@@ -403,7 +503,7 @@ pub(crate) fn schedule_point(sched: &Arc<Scheduler>, tid: Tid, op: Op) {
     if st.violation.is_some() {
         drop(st);
         if std::thread::panicking() {
-            return;
+            return 0;
         }
         abort();
     }
@@ -420,7 +520,7 @@ pub(crate) fn schedule_point(sched: &Arc<Scheduler>, tid: Tid, op: Op) {
         if st.violation.is_some() {
             drop(st);
             if std::thread::panicking() {
-                return;
+                return 0;
             }
             abort();
         }
@@ -430,13 +530,16 @@ pub(crate) fn schedule_point(sched: &Arc<Scheduler>, tid: Tid, op: Op) {
         st = sched.cv.wait(st).unwrap_or_else(|e| e.into_inner());
     }
     // Granted: apply the op's effects while still holding the state lock.
-    if let Err(v) = st.apply(tid, op) {
-        st.violation = Some(v);
-        st.current = None;
-        drop(st);
-        sched.cv.notify_all();
-        abort();
-    }
+    let observed = match st.apply(tid, op) {
+        Ok(v) => v,
+        Err(v) => {
+            st.violation = Some(v);
+            st.current = None;
+            drop(st);
+            sched.cv.notify_all();
+            abort();
+        }
+    };
     st.current_applied = true;
     if let Some(slot) = st.threads.get_mut(tid as usize) {
         slot.pending = None;
@@ -447,6 +550,7 @@ pub(crate) fn schedule_point(sched: &Arc<Scheduler>, tid: Tid, op: Op) {
         drop(st);
         sched.cv.notify_all();
     }
+    observed
 }
 
 impl SchedState {
@@ -470,131 +574,190 @@ impl SchedState {
         }
     }
 
-    /// Choose the next thread to grant a step to. Sets `current` (or a
-    /// violation: deadlock, replay divergence, budget exhaustion).
+    /// Choose the next action. Thread grants compete with store-buffer
+    /// flushes in one feasible set; a chosen flush is applied inline (no
+    /// thread wakes for it) and the choice repeats until a thread is
+    /// granted, the run completes, or a violation (deadlock, replay
+    /// divergence, budget exhaustion) ends it. Sets `current` on a grant.
     fn pick_next(&mut self) {
         let prev = self.current;
         self.current = None;
 
-        let mut feasible: Vec<Tid> = Vec::new();
-        let mut live = 0usize;
-        let mut blocked_desc: Vec<String> = Vec::new();
-        for (i, t) in self.threads.iter().enumerate() {
-            if t.finished {
-                continue;
-            }
-            if let Some(op) = t.pending {
-                live += 1;
-                if self.feasible(i as Tid, op) {
-                    feasible.push(i as Tid);
-                } else {
-                    blocked_desc.push(format!("t{i} blocked on {op:?}"));
+        loop {
+            let mut feasible: Vec<u32> = Vec::new();
+            let mut live = 0usize;
+            let mut blocked_desc: Vec<String> = Vec::new();
+            for (i, t) in self.threads.iter().enumerate() {
+                if t.finished {
+                    continue;
+                }
+                if let Some(op) = t.pending {
+                    live += 1;
+                    if self.feasible(i as Tid, op) {
+                        feasible.push(i as Tid);
+                    } else {
+                        blocked_desc.push(format!("t{i} blocked on {op:?}"));
+                    }
                 }
             }
-        }
-        if live == 0 {
-            return; // run complete
-        }
-        if feasible.is_empty() {
-            self.violation = Some(Violation {
-                kind: ViolationKind::Deadlock,
-                message: format!("deadlock: {}", blocked_desc.join(", ")),
-            });
-            return;
-        }
-        if self.steps >= self.max_steps {
-            self.violation = Some(Violation {
-                kind: ViolationKind::Truncated,
-                message: format!("step budget {} exhausted", self.max_steps),
-            });
-            return;
-        }
-        self.steps += 1;
+            if live == 0 {
+                return; // run complete (exit drains buffers, nothing pending)
+            }
+            // Flush actions: the oldest buffered store per (thread,
+            // location) is always applicable. They sort after thread
+            // grants (FLUSH_BIT) and by (tid, obj) within, so the
+            // feasible-set order is deterministic.
+            for (i, t) in self.threads.iter().enumerate() {
+                let mut seen: Vec<ObjId> = Vec::new();
+                for &(o, _) in &t.buffer {
+                    if !seen.contains(&o) {
+                        seen.push(o);
+                        feasible.push(encode_flush(i as Tid, o));
+                    }
+                }
+            }
+            feasible.sort_unstable();
+            if feasible.is_empty() {
+                self.violation = Some(Violation {
+                    kind: ViolationKind::Deadlock,
+                    message: format!("deadlock: {}", blocked_desc.join(", ")),
+                });
+                return;
+            }
+            if self.steps >= self.max_steps {
+                self.violation = Some(Violation {
+                    kind: ViolationKind::Truncated,
+                    message: format!("step budget {} exhausted", self.max_steps),
+                });
+                return;
+            }
+            self.steps += 1;
 
-        let cont = prev.and_then(|p| feasible.iter().position(|&t| t == p));
-        let n = feasible.len();
-        let idx = match &mut self.strategy {
-            Strategy::Random { rng, continue_weight } => match cont {
-                Some(c) if n > 1 => {
-                    let w = u64::from(*continue_weight).max(1);
-                    let total = w + (n as u64 - 1);
-                    let r = rng.next_below(total);
-                    if r < w {
-                        c
-                    } else {
-                        // Map the remainder onto the non-continuing threads.
-                        let mut k = (r - w) as usize;
-                        if k >= c {
-                            k += 1;
+            let cont = prev.and_then(|p| feasible.iter().position(|&a| a == p));
+            let n = feasible.len();
+            let idx = match &mut self.strategy {
+                Strategy::Random { rng, continue_weight } => match cont {
+                    Some(c) if n > 1 => {
+                        let w = u64::from(*continue_weight).max(1);
+                        let total = w + (n as u64 - 1);
+                        let r = rng.next_below(total);
+                        if r < w {
+                            c
+                        } else {
+                            // Map the remainder onto the non-continuing
+                            // actions.
+                            let mut k = (r - w) as usize;
+                            if k >= c {
+                                k += 1;
+                            }
+                            k
                         }
-                        k
+                    }
+                    _ => {
+                        if n > 1 {
+                            rng.next_below(n as u64) as usize
+                        } else {
+                            0
+                        }
+                    }
+                },
+                Strategy::Replay { schedule } => {
+                    let want = schedule.get(self.replay_pos).copied();
+                    self.replay_pos += 1;
+                    match want.and_then(|w| feasible.iter().position(|&a| a == w)) {
+                        Some(i) => i,
+                        None => {
+                            self.violation = Some(Violation {
+                                kind: ViolationKind::Replay,
+                                message: format!(
+                                    "replay diverged at step {}: wanted {:?}, feasible {:?}",
+                                    self.replay_pos - 1,
+                                    want,
+                                    feasible
+                                ),
+                            });
+                            return;
+                        }
                     }
                 }
-                _ => {
-                    if n > 1 {
-                        rng.next_below(n as u64) as usize
-                    } else {
-                        0
+                Strategy::Dfs { prefix } => {
+                    let pos = self.trace.len();
+                    match prefix.get(pos) {
+                        Some(&i) if (i as usize) < n => i as usize,
+                        Some(&i) => {
+                            self.violation = Some(Violation {
+                                kind: ViolationKind::Replay,
+                                message: format!(
+                                    "dfs prefix invalid at step {pos}: index {i} of {n}"
+                                ),
+                            });
+                            return;
+                        }
+                        // Past the prefix: run without preempting (a
+                        // pending flush is a preemption, so it is not
+                        // taken here either).
+                        None => cont.unwrap_or(0),
                     }
                 }
-            },
-            Strategy::Replay { schedule } => {
-                let want = schedule.get(self.replay_pos).copied();
-                self.replay_pos += 1;
-                match want.and_then(|w| feasible.iter().position(|&t| t == w)) {
-                    Some(i) => i,
-                    None => {
-                        self.violation = Some(Violation {
-                            kind: ViolationKind::Replay,
-                            message: format!(
-                                "replay diverged at step {}: wanted {:?}, feasible {:?}",
-                                self.replay_pos - 1,
-                                want,
-                                feasible
-                            ),
-                        });
-                        return;
-                    }
-                }
-            }
-            Strategy::Dfs { prefix } => {
-                let pos = self.trace.len();
-                match prefix.get(pos) {
-                    Some(&i) if (i as usize) < n => i as usize,
-                    Some(&i) => {
-                        self.violation = Some(Violation {
-                            kind: ViolationKind::Replay,
-                            message: format!(
-                                "dfs prefix invalid at step {pos}: index {i} of {n}"
-                            ),
-                        });
-                        return;
-                    }
-                    // Past the prefix: run without preempting.
-                    None => cont.unwrap_or(0),
-                }
-            }
-        };
+            };
 
-        let chosen = feasible[idx];
-        self.trace.push(Choice {
-            feasible: n as u32,
-            chosen: idx as u32,
-            cont: cont.map(|c| c as u32),
-        });
-        self.schedule.push(chosen);
-        self.current = Some(chosen);
-        self.current_applied = false;
+            let chosen = feasible[idx];
+            self.trace.push(Choice {
+                feasible: n as u32,
+                chosen: idx as u32,
+                cont: cont.map(|c| c as u32),
+            });
+            self.schedule.push(chosen);
+            if chosen & FLUSH_BIT != 0 {
+                self.apply_flush(chosen);
+                continue; // same chooser picks again; `prev` is unchanged
+            }
+            self.current = Some(chosen);
+            self.current_applied = false;
+            return;
+        }
+    }
+
+    /// Apply one flush action: write the owning thread's oldest buffered
+    /// store to the location into global memory. Buffered stores are
+    /// `Relaxed` by construction, so no happens-before transfers.
+    fn apply_flush(&mut self, action: u32) {
+        self.flushes += 1;
+        let (tid, obj) = decode_flush(action);
+        let Some(slot) = self.threads.get_mut(tid as usize) else { return };
+        let Some(pos) = slot.buffer.iter().position(|&(o, _)| o == obj) else {
+            return;
+        };
+        let (_, v) = slot.buffer.remove(pos);
+        if let Some(ObjState::Atomic { value, .. }) = self.objects.get_mut(obj as usize) {
+            *value = v;
+        }
+    }
+
+    /// Write every buffered store of `tid` through to global memory in
+    /// program order (release-side drain: release stores, RMWs, lock
+    /// releases, unpark, thread exit).
+    fn drain_buffer(&mut self, tid: Tid) {
+        let drained = match self.threads.get_mut(tid as usize) {
+            Some(s) if !s.buffer.is_empty() => std::mem::take(&mut s.buffer),
+            _ => return,
+        };
+        for (o, v) in drained {
+            if let Some(ObjState::Atomic { value, .. }) = self.objects.get_mut(o as usize) {
+                *value = v;
+            }
+        }
     }
 
     /// Apply `op`'s effects for thread `tid`: lock ownership transitions,
-    /// happens-before clock edges, and race checks.
-    fn apply(&mut self, tid: Tid, op: Op) -> Result<(), Violation> {
+    /// happens-before clock edges, race checks, and atomic value semantics
+    /// (store buffering). Returns the observed value for atomic accesses.
+    fn apply(&mut self, tid: Tid, op: Op) -> Result<u64, Violation> {
         // Advance the thread's own clock component first so every applied op
         // is a distinct epoch.
         let my_clock = {
             let Some(slot) = self.threads.get_mut(tid as usize) else {
-                return Ok(());
+                return Ok(0);
             };
             slot.clock.tick(tid);
             slot.clock.clone()
@@ -610,6 +773,10 @@ impl SchedState {
         match op {
             Op::Start | Op::Yield => {}
             Op::Finish => {
+                // Exit is a release-side drain: everything this thread
+                // buffered becomes visible before a join edge can observe
+                // its completion.
+                self.drain_buffer(tid);
                 if let Some(slot) = self.threads.get_mut(tid as usize) {
                     slot.finished = true;
                 }
@@ -625,6 +792,7 @@ impl SchedState {
                 }
             }
             Op::MutexUnlock(o) | Op::RwUnlockWrite(o) => {
+                self.drain_buffer(tid);
                 if let Some(ObjState::Lock { excl, clock, .. }) = self.objects.get_mut(o as usize)
                 {
                     *excl = None;
@@ -643,6 +811,7 @@ impl SchedState {
                 }
             }
             Op::RwUnlockRead(o) => {
+                self.drain_buffer(tid);
                 if let Some(ObjState::Lock { readers, clock, .. }) =
                     self.objects.get_mut(o as usize)
                 {
@@ -652,12 +821,70 @@ impl SchedState {
                     clock.join(&my_clock);
                 }
             }
-            Op::Atomic(o, strength) => {
-                if let Some(ObjState::Atomic { clock }) = self.objects.get_mut(o as usize) {
-                    let acquire =
-                        matches!(strength, Strength::Acquire | Strength::AcqRel);
-                    let release =
-                        matches!(strength, Strength::Release | Strength::AcqRel);
+            Op::Atomic(o, strength, access) => {
+                let acquire = matches!(strength, Strength::Acquire | Strength::AcqRel);
+                let release = matches!(strength, Strength::Release | Strength::AcqRel);
+                let rmw = !matches!(access, AtomicAccess::Load | AtomicAccess::Store(_));
+                // Release-side operations and every RMW write the thread's
+                // buffer through first: program-order-earlier stores cannot
+                // overtake them, and an RMW always acts on global memory.
+                if release || rmw {
+                    self.drain_buffer(tid);
+                }
+                // A non-release load may still have own buffered stores to
+                // this location pending; read-own-writes returns the newest.
+                let own = if rmw || release {
+                    None
+                } else {
+                    self.threads.get(tid as usize).and_then(|s| {
+                        s.buffer.iter().rev().find(|&&(bo, _)| bo == o).map(|&(_, v)| v)
+                    })
+                };
+                let observed =
+                    if let Some(ObjState::Atomic { value, .. }) =
+                        self.objects.get_mut(o as usize)
+                    {
+                        let global = *value;
+                        let observed = match access {
+                            AtomicAccess::Load => own.unwrap_or(global),
+                            AtomicAccess::Store(v) => {
+                                if release {
+                                    *value = v;
+                                } else if let Some(slot) =
+                                    self.threads.get_mut(tid as usize)
+                                {
+                                    slot.buffer.push((o, v));
+                                }
+                                0
+                            }
+                            AtomicAccess::Swap(v) => {
+                                *value = v;
+                                global
+                            }
+                            AtomicAccess::CompareExchange(expected, new) => {
+                                if global == expected {
+                                    *value = new;
+                                }
+                                global
+                            }
+                            AtomicAccess::FetchAdd(v) => {
+                                *value = global.wrapping_add(v);
+                                global
+                            }
+                            AtomicAccess::FetchSub(v) => {
+                                *value = global.wrapping_sub(v);
+                                global
+                            }
+                            AtomicAccess::FetchOr(v) => {
+                                *value = global | v;
+                                global
+                            }
+                        };
+                        observed
+                    } else {
+                        0
+                    };
+                if let Some(ObjState::Atomic { clock, .. }) = self.objects.get_mut(o as usize) {
                     if acquire {
                         let obj_clock = clock.clone();
                         if let Some(slot) = self.threads.get_mut(tid as usize) {
@@ -670,6 +897,7 @@ impl SchedState {
                         clock.join(&my_clock);
                     }
                 }
+                return Ok(observed);
             }
             Op::RaceRead(o) => {
                 if let Some(ObjState::Race { writer, reads }) = self.objects.get_mut(o as usize)
@@ -714,7 +942,9 @@ impl SchedState {
                 // The unparked thread acquires the unparker's history when it
                 // resumes; publish through the target's clock on wake. We
                 // model the edge eagerly (conservative: masks no races the
-                // pool relies on park/unpark to order).
+                // pool relies on park/unpark to order). Release-side: the
+                // unparker's buffered stores become visible first.
+                self.drain_buffer(tid);
                 if let Some(slot) = self.threads.get_mut(t as usize) {
                     slot.park_token = true;
                     slot.clock.join(&my_clock);
@@ -728,6 +958,6 @@ impl SchedState {
                 }
             }
         }
-        Ok(())
+        Ok(0)
     }
 }

@@ -1,0 +1,141 @@
+//! Seqlock-style versioned slot — the read-mostly probe primitive.
+//!
+//! [`VersionedSlot`] packages the classic seqlock protocol over a small
+//! fixed array of `u64` payload words:
+//!
+//! - the **version word** is even when the slot is stable and odd while a
+//!   write is in flight;
+//! - the single writer bumps the version to odd (`AcqRel`), stores every
+//!   payload word with `Release`, then bumps it back to even with
+//!   `Release` — so a reader that observes the final even version with
+//!   `Acquire` also observes every payload store that preceded it;
+//! - readers `Acquire`-load the version, retry while it is odd,
+//!   `Acquire`-load the payload words, then **re-load** the version and
+//!   retry unless it is unchanged — the re-check is what rejects torn
+//!   reads that overlapped a writer.
+//!
+//! Built on [`crate::vsync::VAtomicU64`], so under `--cfg conc_model` the
+//! whole protocol runs against the store-buffer weak-memory model: the
+//! `versioned-slot-torn-read` and `versioned-slot-writer-retry` interleave
+//! scenarios prove the Release/Acquire pairing (a seeded twin with the
+//! re-check removed is caught with a torn payload). The page-table probe
+//! planned in ROADMAP item 2 reads page→frame mappings through this slot
+//! so buffer-pool hits skip the shard latch.
+//!
+//! **Single writer.** `write` takes `&self` (readers hold shared
+//! references concurrently) but the protocol tolerates only one writer at
+//! a time; callers must serialize writers externally (e.g. under the shard
+//! latch that already guards the mapping's mutation path). Two concurrent
+//! writers would interleave their version bumps and corrupt the even/odd
+//! discipline.
+
+use std::sync::atomic::Ordering;
+
+use crate::vsync::VAtomicU64;
+
+/// A seqlock-protected array of `N` payload words (see module docs).
+#[derive(Debug)]
+pub struct VersionedSlot<const N: usize> {
+    /// Even = stable, odd = write in flight.
+    // xtask-role: version-word
+    version: VAtomicU64,
+    /// Payload words, published by the version protocol.
+    // xtask-role: versioned-payload
+    words: [VAtomicU64; N],
+}
+
+impl<const N: usize> VersionedSlot<N> {
+    /// A stable slot (version 0) holding `init`.
+    pub fn new(init: [u64; N]) -> Self {
+        Self { version: VAtomicU64::new(0), words: init.map(VAtomicU64::new) }
+    }
+
+    /// Publish `vals` (single writer only; see module docs).
+    pub fn write(&self, vals: [u64; N]) {
+        // Odd marker: AcqRel orders it after any prior stable state and
+        // makes in-flight status visible to racing readers.
+        self.version.fetch_add(1, Ordering::AcqRel);
+        for (w, v) in self.words.iter().zip(vals) {
+            w.store(v, Ordering::Release);
+        }
+        // Back to even: Release pairs with the reader's Acquire re-check,
+        // publishing every payload store above.
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Read a consistent snapshot, retrying across concurrent writes.
+    pub fn read(&self) -> [u64; N] {
+        loop {
+            let v1 = self.version.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                // Write in flight — spin until the version settles.
+                std::hint::spin_loop();
+                continue;
+            }
+            let mut out = [0u64; N];
+            for (o, w) in out.iter_mut().zip(&self.words) {
+                *o = w.load(Ordering::Acquire);
+            }
+            // The re-check: if any writer started (or finished) since v1,
+            // the words may be torn — discard and retry.
+            let v2 = self.version.load(Ordering::Acquire);
+            if v1 == v2 {
+                return out;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Current version word (even = stable). Exposed so callers can cheaply
+    /// detect "anything changed since I last looked" without re-reading.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let slot = VersionedSlot::new([1, 2, 3]);
+        assert_eq!(slot.read(), [1, 2, 3]);
+        assert_eq!(slot.version(), 0);
+        slot.write([4, 5, 6]);
+        assert_eq!(slot.read(), [4, 5, 6]);
+        assert_eq!(slot.version(), 2, "each write bumps the version by two");
+    }
+
+    #[test]
+    fn concurrent_readers_never_tear() {
+        use std::sync::Arc;
+        // Payload invariant: both words always equal. Writers publish
+        // (k, k); any torn read shows up as a mismatched pair.
+        let slot = Arc::new(VersionedSlot::new([0, 0]));
+        let writer = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                for k in 1..=1000u64 {
+                    slot.write([k, k]);
+                }
+            })
+        };
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let slot = Arc::clone(&slot);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        let [a, b] = slot.read();
+                        assert_eq!(a, b, "torn read: {a} != {b}");
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(slot.read(), [1000, 1000]);
+    }
+}

@@ -12,14 +12,22 @@
 //! the scheduler's object table, keyed by an id cached in each primitive.
 //! Because the scheduler admits exactly one runnable thread, physical
 //! acquisition after a virtual grant can never block.
+//!
+//! Atomics are the exception to "physical state lives in std": under an
+//! active model run the *scheduler* owns each atomic's value (global memory
+//! plus per-thread store buffers — see `sched`'s weak-memory notes), so
+//! every `VAtomic*` operation routes its operands through the schedule
+//! point and returns the value the scheduler observed. The `std` atomic
+//! backing the cell is only the pass-through storage (and the initial-value
+//! snapshot at registration); it is not updated during a model run.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::sched::{self, ObjKind, Op, Strength};
+use crate::sched::{self, AtomicAccess, ObjKind, Op, Strength};
 
 fn sync_point(cell: &AtomicU64, kind: ObjKind, op_of: impl FnOnce(sched::ObjId) -> Op) {
     if let Some((sched, tid)) = sched::active() {
-        let id = sched.object_id(cell, kind);
+        let id = sched.object_id(cell, kind, 0);
         sched::schedule_point(&sched, tid, op_of(id));
     }
 }
@@ -307,7 +315,7 @@ impl VCondvar {
 }
 
 macro_rules! v_atomic {
-    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty) => {
+    ($(#[$doc:meta])* $name:ident, $std:ident, $prim:ty, $to:expr, $from:expr) => {
         $(#[$doc])*
         #[derive(Debug, Default)]
         pub struct $name {
@@ -321,32 +329,62 @@ macro_rules! v_atomic {
                 Self { value: std::sync::atomic::$std::new(value), id: AtomicU64::new(0) }
             }
 
-            /// Atomic load. A schedule point inside a model run; the given
-            /// ordering decides which happens-before edges transfer.
+            #[inline]
+            fn to_u64(v: $prim) -> u64 {
+                ($to)(v)
+            }
+
+            #[inline]
+            fn from_u64(v: u64) -> $prim {
+                ($from)(v)
+            }
+
+            /// Route one value operation through the scheduler when a model
+            /// run is active: register the cell (snapshotting the physical
+            /// value as the initial global value), then execute `access` as
+            /// a schedule point and return the observed/previous value.
+            /// `None` in pass-through mode.
+            fn value_point(&self, strength: Strength, access: AtomicAccess) -> Option<u64> {
+                let (sched, tid) = sched::active()?;
+                let init = Self::to_u64(self.value.load(Ordering::Relaxed));
+                let id = sched.object_id(&self.id, ObjKind::Atomic, init);
+                Some(sched::schedule_point(&sched, tid, Op::Atomic(id, strength, access)))
+            }
+
+            /// Atomic load. A schedule point inside a model run: the value
+            /// comes from the scheduler's memory model (own newest buffered
+            /// store, else global memory) and the ordering decides which
+            /// happens-before edges transfer.
             pub fn load(&self, order: Ordering) -> $prim {
-                sync_point(&self.id, ObjKind::Atomic, |o| {
-                    Op::Atomic(o, Strength::of(order, false).acquire_side())
-                });
-                self.value.load(order)
+                match self.value_point(Strength::of(order, false), AtomicAccess::Load) {
+                    Some(v) => Self::from_u64(v),
+                    None => self.value.load(order),
+                }
             }
 
-            /// Atomic store (release-side edges under the model).
+            /// Atomic store. Under the model a `Relaxed` store lands in the
+            /// calling thread's store buffer (globally invisible until a
+            /// scheduler-chosen flush); `Release`/`SeqCst` write through.
             pub fn store(&self, value: $prim, order: Ordering) {
-                sync_point(&self.id, ObjKind::Atomic, |o| {
-                    Op::Atomic(o, Strength::of(order, false).release_side())
-                });
-                self.value.store(value, order);
+                let access = AtomicAccess::Store(Self::to_u64(value));
+                if self.value_point(Strength::of(order, false), access).is_none() {
+                    self.value.store(value, order);
+                }
             }
 
-            /// Atomic swap (read-modify-write).
+            /// Atomic swap (read-modify-write: drains the calling thread's
+            /// store buffer, then acts on global memory).
             pub fn swap(&self, value: $prim, order: Ordering) -> $prim {
-                sync_point(&self.id, ObjKind::Atomic, |o| {
-                    Op::Atomic(o, Strength::of(order, true))
-                });
-                self.value.swap(value, order)
+                let access = AtomicAccess::Swap(Self::to_u64(value));
+                match self.value_point(Strength::of(order, true), access) {
+                    Some(v) => Self::from_u64(v),
+                    None => self.value.swap(value, order),
+                }
             }
 
-            /// Atomic compare-exchange (strong).
+            /// Atomic compare-exchange (strong). The model applies the
+            /// success ordering's strength to the schedule point either way
+            /// (conservative; failure orderings are not modelled weaker).
             pub fn compare_exchange(
                 &self,
                 current: $prim,
@@ -354,10 +392,21 @@ macro_rules! v_atomic {
                 success: Ordering,
                 failure: Ordering,
             ) -> Result<$prim, $prim> {
-                sync_point(&self.id, ObjKind::Atomic, |o| {
-                    Op::Atomic(o, Strength::of(success, true))
-                });
-                self.value.compare_exchange(current, new, success, failure)
+                let access = AtomicAccess::CompareExchange(
+                    Self::to_u64(current),
+                    Self::to_u64(new),
+                );
+                match self.value_point(Strength::of(success, true), access) {
+                    Some(old) => {
+                        let old = Self::from_u64(old);
+                        if old == current {
+                            Ok(old)
+                        } else {
+                            Err(old)
+                        }
+                    }
+                    None => self.value.compare_exchange(current, new, success, failure),
+                }
             }
 
             /// Consume, returning the value.
@@ -373,18 +422,20 @@ macro_rules! v_atomic_arith {
         impl $name {
             /// Atomic add, returning the previous value.
             pub fn fetch_add(&self, value: $prim, order: Ordering) -> $prim {
-                sync_point(&self.id, ObjKind::Atomic, |o| {
-                    Op::Atomic(o, Strength::of(order, true))
-                });
-                self.value.fetch_add(value, order)
+                let access = AtomicAccess::FetchAdd(Self::to_u64(value));
+                match self.value_point(Strength::of(order, true), access) {
+                    Some(v) => Self::from_u64(v),
+                    None => self.value.fetch_add(value, order),
+                }
             }
 
             /// Atomic subtract, returning the previous value.
             pub fn fetch_sub(&self, value: $prim, order: Ordering) -> $prim {
-                sync_point(&self.id, ObjKind::Atomic, |o| {
-                    Op::Atomic(o, Strength::of(order, true))
-                });
-                self.value.fetch_sub(value, order)
+                let access = AtomicAccess::FetchSub(Self::to_u64(value));
+                match self.value_point(Strength::of(order, true), access) {
+                    Some(v) => Self::from_u64(v),
+                    None => self.value.fetch_sub(value, order),
+                }
             }
         }
     };
@@ -394,50 +445,45 @@ v_atomic!(
     /// Virtual `AtomicBool`.
     VAtomicBool,
     AtomicBool,
-    bool
+    bool,
+    |v: bool| u64::from(v),
+    |v: u64| v != 0
 );
 v_atomic!(
     /// Virtual `AtomicU32`.
     VAtomicU32,
     AtomicU32,
-    u32
+    u32,
+    u64::from,
+    |v: u64| v as u32
 );
 v_atomic!(
     /// Virtual `AtomicU64`.
     VAtomicU64,
     AtomicU64,
-    u64
+    u64,
+    |v: u64| v,
+    |v: u64| v
 );
 v_atomic!(
     /// Virtual `AtomicUsize`.
     VAtomicUsize,
     AtomicUsize,
-    usize
+    usize,
+    |v: usize| v as u64,
+    |v: u64| v as usize
 );
 v_atomic_arith!(VAtomicU32, u32);
 v_atomic_arith!(VAtomicU64, u64);
 v_atomic_arith!(VAtomicUsize, usize);
 
 impl VAtomicBool {
-    /// Atomic swap specialised for flags (parity with `AtomicBool`).
+    /// Atomic or, specialised for flags (parity with `AtomicBool`).
     pub fn fetch_or(&self, value: bool, order: Ordering) -> bool {
-        sync_point(&self.id, ObjKind::Atomic, |o| Op::Atomic(o, Strength::of(order, true)));
-        self.value.fetch_or(value, order)
-    }
-}
-
-impl Strength {
-    fn acquire_side(self) -> Strength {
-        match self {
-            Strength::Relaxed => Strength::Relaxed,
-            _ => Strength::Acquire,
-        }
-    }
-
-    fn release_side(self) -> Strength {
-        match self {
-            Strength::Relaxed => Strength::Relaxed,
-            _ => Strength::Release,
+        let access = AtomicAccess::FetchOr(Self::to_u64(value));
+        match self.value_point(Strength::of(order, true), access) {
+            Some(v) => Self::from_u64(v),
+            None => self.value.fetch_or(value, order),
         }
     }
 }

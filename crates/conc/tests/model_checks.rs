@@ -95,6 +95,89 @@ fn relaxed_publish_races() {
     assert!(found, "relaxed publication transfers no happens-before and must race");
 }
 
+/// The weak-memory must-catch: with both publication stores `Relaxed`, the
+/// store-buffer model must find a flush order where the consumer observes
+/// the flag set but the frame bytes stale — surfacing as a *wrong value*
+/// assertion, not a vector-clock race (both cells are atomics, so no race
+/// is even possible here).
+#[test]
+fn relaxed_publish_is_observed_stale_under_store_buffers() {
+    let cfg = quick(256);
+    let stats = explore(&cfg, models::relaxed_publish_stale());
+    let bad = stats
+        .violations
+        .iter()
+        .find(|r| r.violation.as_ref().is_some_and(|v| v.kind == ViolationKind::Assert))
+        .expect("store-buffer model must show the stale publication within 256 seeds");
+    let v = bad.violation.as_ref().unwrap();
+    assert!(
+        v.message.contains("observed stale"),
+        "the violation is the wrong-value assert, not a race: {}",
+        v.message
+    );
+    assert!(stats.flush_points > 0, "the exploration must actually exercise flush points");
+
+    // The failing schedule (grants + flush actions) replays exactly.
+    let direct = replay_schedule(&bad.schedule, cfg.max_steps, models::relaxed_publish_stale());
+    assert_eq!(direct.schedule, bad.schedule, "flush decisions must replay deterministically");
+    assert_eq!(direct.violation.as_ref(), Some(v));
+}
+
+/// The fixed twin: a `Release` flag store drains the buffer in program
+/// order, so no flush order can show a stale frame.
+#[test]
+fn release_publish_twin_is_clean() {
+    let stats = explore(&quick(256), models::fixed_release_publish());
+    assert!(
+        stats.violations.is_empty(),
+        "release publication must never observe stale bytes: {:?}",
+        stats.violations[0].violation
+    );
+}
+
+/// The seqlock must-catch: a reader that skips the version re-check gets a
+/// torn pair on some schedule.
+#[test]
+fn seqlock_reader_without_recheck_is_caught() {
+    let cfg = quick(256);
+    let stats = explore(&cfg, models::buggy_seqlock_skips_recheck());
+    let bad = stats
+        .violations
+        .iter()
+        .find(|r| r.violation.as_ref().is_some_and(|v| v.kind == ViolationKind::Assert))
+        .expect("the re-check-free seqlock reader must tear within 256 seeds");
+    let v = bad.violation.as_ref().unwrap();
+    assert!(v.message.contains("tears"), "torn-read assert: {}", v.message);
+    // And the reported seed replays byte-identically, flushes included.
+    let again = replay_seed(bad.seed, &cfg, models::buggy_seqlock_skips_recheck());
+    assert_eq!(again.schedule, bad.schedule);
+    assert_eq!(again.violation.as_ref(), Some(v));
+}
+
+/// `VersionedSlot` single-writer/multi-reader torn-read proof: the real
+/// primitive's re-check keeps every snapshot consistent on every schedule.
+#[test]
+fn versioned_slot_never_tears() {
+    let stats = explore(&quick(256), models::fixed_seqlock_rechecks());
+    assert!(
+        stats.violations.is_empty(),
+        "VersionedSlot read must always be consistent: {:?}",
+        stats.violations[0].violation
+    );
+}
+
+/// `VersionedSlot` writer-vs-reader retry proof: overlapping writes force
+/// the retry path and the snapshot invariant still holds.
+#[test]
+fn versioned_slot_reader_retries_across_writes() {
+    let stats = explore(&quick(256), models::versioned_slot_writer_retry());
+    assert!(
+        stats.violations.is_empty(),
+        "retry path must never surface a mixed snapshot: {:?}",
+        stats.violations[0].violation
+    );
+}
+
 #[test]
 fn correct_counter_is_clean_and_join_edges_order_reads() {
     let stats = explore(&quick(128), models::correct_latched_counter());
@@ -141,6 +224,8 @@ fn identical_explorations_render_identical_reports() {
             scenarios.push(ScenarioReport::new(name, "random", expect, &stats, violations));
         }
         InterleaveReport {
+            schema: 2,
+            model_version: lruk_conc::sched::MODEL_VERSION,
             seed_base: cfg.seed_base,
             seeds_per_scenario: cfg.seeds,
             max_steps: cfg.max_steps,

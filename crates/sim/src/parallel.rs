@@ -61,6 +61,8 @@ where
     if workers <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // xtask-role: monotonic-counter -- work-stealing cursor; the scope
+    // join publishes the results, the index itself orders nothing.
     let cursor = AtomicUsize::new(0);
     let mut tagged: Vec<(usize, R)> = Vec::with_capacity(items.len());
     std::thread::scope(|s| {
@@ -69,9 +71,6 @@ where
                 s.spawn(|| {
                     let mut local = Vec::new();
                     loop {
-                        // xtask-allow: atomic-ordering -- work-stealing
-                        // cursor: the scope join publishes the results; the
-                        // index itself orders nothing.
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(item) = items.get(i) else { break };
                         local.push((i, f(i, item)));

@@ -9,6 +9,12 @@
 //! - **acquires** — the set of declared latch classes (indices into
 //!   [`crate::rules::lock_order::HIERARCHY`]) the function may acquire,
 //!   transitively, each with a witness.
+//! - **touches-atomic** — reaches an atomic access (an
+//!   [`crate::rules::atomic_protocol::ATOMIC_METHODS`] call carrying an
+//!   `Ordering::` argument), directly or through any call chain, with a
+//!   witness. Consumed by the `atomic-protocol` rule's seqlock-shape
+//!   check: a payload touch hidden behind a helper call still needs a
+//!   version re-load after it.
 //!
 //! Propagation is a Jacobi-style fixed point: each round reads a snapshot
 //! of the previous round's facts in function-id order, so the result is
@@ -188,6 +194,8 @@ pub struct FnFacts {
     /// Latch classes ([`HIERARCHY`] indices) the function may acquire,
     /// transitively, each with a witness.
     pub acquires: BTreeMap<usize, String>,
+    /// Some(witness) when the function may reach an atomic access.
+    pub touches_atomic: Option<String>,
 }
 
 /// Facts aggregated over every non-exempt function sharing a bare name —
@@ -198,6 +206,8 @@ pub struct NameFacts {
     pub may_block: Option<String>,
     /// Union of the same-named functions' acquire sets.
     pub acquires: BTreeMap<usize, String>,
+    /// Some(witness) when any same-named function touches an atomic.
+    pub touches_atomic: Option<String>,
 }
 
 /// The full semantic model: symbols, call graph, per-function facts, and
@@ -247,6 +257,12 @@ impl Semantics {
                         facts[caller].may_panic = true;
                         changed = true;
                     }
+                    if facts[caller].touches_atomic.is_none() {
+                        if let Some(w) = &cs.touches_atomic {
+                            facts[caller].touches_atomic = Some(chain(&via, w));
+                            changed = true;
+                        }
+                    }
                     for (&class, w) in &cs.acquires {
                         if !facts[caller].acquires.contains_key(&class) {
                             facts[caller].acquires.insert(class, chain(&via, w));
@@ -266,6 +282,9 @@ impl Semantics {
                 let f = &facts[id];
                 if agg.may_block.is_none() {
                     agg.may_block.clone_from(&f.may_block);
+                }
+                if agg.touches_atomic.is_none() {
+                    agg.touches_atomic.clone_from(&f.touches_atomic);
                 }
                 for (&class, w) in &f.acquires {
                     agg.acquires.entry(class).or_insert_with(|| w.clone());
@@ -288,6 +307,14 @@ fn seed_facts(sym: &crate::symbols::FnSym, path: &str) -> FnFacts {
         }
         if !f.may_panic && panic_seed(code) {
             f.may_panic = true;
+        }
+        if f.touches_atomic.is_none() {
+            if let Some((method, recv)) =
+                crate::rules::atomic_protocol::atomic_access_on(code)
+            {
+                f.touches_atomic =
+                    Some(format!("accesses atomic `{recv}.{method}` at {path}:{line}"));
+            }
         }
         // Latch acquisitions: `.lock()` etc. on a classified receiver.
         let bytes = code.as_bytes();
@@ -377,6 +404,18 @@ mod tests {
         let (&class, w) = agg.acquires.iter().next().unwrap();
         assert_eq!(HIERARCHY[class].label, "frame latch");
         assert!(w.contains("calls `inner_fill`"), "{w}");
+    }
+
+    #[test]
+    fn touches_atomic_propagates_with_witness() {
+        let s = sema(
+            "fn leaf(&self) -> u64 {\n    self.word.load(Ordering::Acquire)\n}\nfn top(&self) -> u64 {\n    self.leaf()\n}\nfn clean() {}\n",
+        );
+        let w = s.facts[1].touches_atomic.as_deref().expect("top touches atomics");
+        assert!(w.contains("calls `leaf`"), "witness chain: {w}");
+        assert!(w.contains("word.load"), "witness names the access: {w}");
+        assert!(s.by_name["top"].touches_atomic.is_some());
+        assert!(s.facts[2].touches_atomic.is_none(), "clean fn stays clean");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | `no-panic` | core, policy, buffer, storage, sim | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!`/literal indexing in non-test library code |
 //! | `lock-order` | buffer, policy engine | nested latch acquisitions follow the declared hierarchy (shard latch → frame latch → disk handle), both per-function and through call chains ([`rules::lock_order_interproc`]) |
 //! | `blocking-under-latch` | buffer, policy engine | no may-block operation (disk I/O, park/wait/recv/join, bounded send) reachable while a classified latch is held |
+//! | `atomic-protocol` | buffer, policy, storage, sim, core, conc seqlock | every atomic declares a role (`// xtask-role:`); accesses follow the role's ordering discipline across call chains; seqlock readers re-check the version word ([`rules::atomic_protocol`]) |
 //! | `unsafe-audit` | all | every `unsafe` block/fn carries a `// SAFETY:` justification; all sites inventoried in `ANALYZE.json` |
 //! | `determinism` | sim, workloads, core | no `SystemTime`/`Instant`/`thread_rng`/std `HashMap` in simulator-result paths |
 //! | `lint-header` | all crate roots | `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` present |

@@ -5,12 +5,18 @@
 //! a sorted map, no timestamps — so `results/ANALYZE.json` can be diffed
 //! across PRs to see exactly which rule counts moved.
 //!
-//! Schema 2 (this PR) adds the interprocedural-engine fields: ruleset
-//! version, symbol/call-graph sizes, per-rule wall time (quantized to
-//! 250 ms buckets so the file stays byte-identical across reruns — the
-//! field is a tripwire for pathological slowdowns, not a profiler), the
+//! Schema 2 added the interprocedural-engine fields: ruleset version,
+//! symbol/call-graph sizes, per-rule wall time (quantized to 250 ms
+//! buckets so the file stays byte-identical across reruns — the field is
+//! a tripwire for pathological slowdowns, not a profiler), the
 //! unsafe-site inventory, and the suppression-debt baseline.
+//!
+//! Schema 3 (this PR) adds `atomic_roles`: the inventory of every atomic
+//! field/binding in the atomic-protocol scope and the role it declared via
+//! `// xtask-role:`, sorted by `(file, line)` — so the protocol surface
+//! itself is diffable, not just its violations.
 
+use crate::rules::atomic_protocol::RoleSite;
 use crate::rules::unsafe_audit::UnsafeSite;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -61,6 +67,8 @@ pub struct Summary {
     pub rule_counts: BTreeMap<&'static str, usize>,
     /// Per-rule wall time, already quantized to [`WALL_MS_BUCKET`] buckets.
     pub rule_wall_ms: BTreeMap<&'static str, u64>,
+    /// Every declared atomic in the atomic-protocol scope and its role.
+    pub atomic_roles: Vec<RoleSite>,
     /// Every non-test `unsafe` site in the tree, with its `SAFETY:` reason.
     pub unsafe_inventory: Vec<UnsafeSite>,
 }
@@ -80,7 +88,7 @@ impl Summary {
     /// Render the deterministic JSON summary.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"schema\": 2,");
+        let _ = writeln!(out, "  \"schema\": 3,");
         let _ = writeln!(out, "  \"ruleset_version\": {},", crate::workspace::RULESET_VERSION);
         let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
         let _ = writeln!(out, "  \"functions_indexed\": {},", self.functions_indexed);
@@ -103,7 +111,21 @@ impl Summary {
             }
             let _ = write!(out, "\n    {}: {}", json_str(rule), ms);
         }
-        out.push_str("\n  },\n  \"unsafe_inventory\": [");
+        out.push_str("\n  },\n  \"atomic_roles\": [");
+        for (i, r) in self.atomic_roles.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"file\": {}, \"line\": {}, \"name\": {}, \"role\": {}}}",
+                json_str(&r.file),
+                r.line,
+                json_str(&r.name),
+                json_str(r.role)
+            );
+        }
+        out.push_str("\n  ],\n  \"unsafe_inventory\": [");
         for (i, s) in self.unsafe_inventory.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -183,7 +205,29 @@ mod tests {
         assert!(j.contains("\"a\\\\b.rs\""));
         assert!(j.contains("say \\\"no\\\""));
         assert!(j.contains("\"total_diagnostics\": 1"));
-        assert!(j.contains("\"schema\": 2"));
+        assert!(j.contains("\"schema\": 3"));
+    }
+
+    #[test]
+    fn atomic_roles_serialize_in_order() {
+        let mut s = Summary::default();
+        s.atomic_roles.push(RoleSite {
+            file: "crates/buffer/src/latched.rs".into(),
+            line: 116,
+            name: "write_in_flight".into(),
+            role: "publication-flag",
+        });
+        s.atomic_roles.push(RoleSite {
+            file: "crates/conc/src/versioned.rs".into(),
+            line: 40,
+            name: "version".into(),
+            role: "version-word",
+        });
+        let j = s.to_json();
+        let flag = j.find("\"publication-flag\"").unwrap();
+        let word = j.find("\"version-word\"").unwrap();
+        assert!(flag < word, "inventory renders in insertion (sorted) order");
+        assert!(j.contains("\"name\": \"write_in_flight\""));
     }
 
     #[test]

@@ -1,0 +1,834 @@
+//! Rule `atomic-protocol`: every atomic in the concurrent tiers carries a
+//! declared *role*, and every access follows that role's ordering
+//! discipline.
+//!
+//! The retired lexical `atomic-ordering` rule asked one question — "is
+//! `Ordering::Relaxed` confined to the stats counters?" — against a
+//! hard-coded receiver allowlist. This rule subsumes it with an inventory:
+//! each atomic declaration (struct field, `static`, or `let` binding of an
+//! `Atomic*`/`VAtomic*` type) must carry a `// xtask-role: <role>`
+//! annotation, and the checker derives the legal orderings from the role
+//! instead of from a name list:
+//!
+//! | role | discipline |
+//! |------|------------|
+//! | `monotonic-counter` | any ordering; the value is summed after joins and never guards data |
+//! | `publication-flag`  | stores `Release`+, loads `Acquire`+, RMWs `AcqRel`+ — the flag publishes prior writes |
+//! | `version-word`      | bumps (stores/RMWs) `Release`+, loads `Acquire`+, and readers must re-load after the payload (seqlock shape) |
+//! | `pin-count`         | adjusted only by RMWs (`Release`+ — a plain store loses concurrent pins), loads `Acquire`+ |
+//! | `versioned-payload` | stores `Release`+, loads `Acquire`+, RMWs `AcqRel`+ — words bracketed by a version-word |
+//!
+//! Two checks are interprocedural, using the [`crate::facts`] layer:
+//!
+//! - **seqlock read shape** — a function that `load`s a version-word and
+//!   then touches payload atomics (directly, or by calling a function whose
+//!   propagated `touches-atomic` fact is set) must re-load the version word
+//!   *after* the last such touch; the diagnostic carries the call-chain
+//!   witness. This is exactly the bug the interleave model's
+//!   `selftest-seqlock-no-recheck` scenario observes as a torn read.
+//! - **publication pairing** — an under-ordered load of a
+//!   `publication-flag` names the publisher function and its store site in
+//!   the diagnostic (publisher → flag → consumer), so the report shows the
+//!   cross-function path a stale read would break.
+//!
+//! Resolution is by bare receiver name (final path component before the
+//! dot), like the lock-order rule. Documented lexical limits: a call split
+//! across lines loses its receiver (checked as undeclared), and loop
+//! variables aliasing a payload array are unnamed — such accesses still
+//! count as payload touches in the seqlock-shape check but their per-access
+//! ordering is only screened for `Relaxed`.
+//!
+//! Suppressions written for the retired rule keep working: the driver
+//! treats `xtask-allow: atomic-ordering` as an alias for this rule.
+
+use crate::facts::Semantics;
+use crate::report::Diagnostic;
+use crate::rules::lock_order::receiver_last_component;
+use crate::rules::token_positions;
+use crate::source::{Line, SourceFile};
+use std::collections::BTreeMap;
+
+/// Rule name used in diagnostics and suppressions.
+pub const NAME: &str = "atomic-protocol";
+
+/// The retired predecessor rule; its suppression sites are honoured as
+/// aliases by the driver so annotations don't churn across the rename.
+pub const ALIAS: &str = "atomic-ordering";
+
+/// Atomic method names whose call sites are inspected. A call only counts
+/// as atomic when its argument list names an `Ordering::` variant — `match`
+/// arms over an `Ordering` value and non-atomic `.load()`s never trip it.
+pub const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_update",
+];
+
+/// Atomic type names recognized in declarations (std plus the `lruk-conc`
+/// virtual primitives).
+const ATOMIC_TYPES: &[&str] = &[
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "VAtomicBool",
+    "VAtomicU32",
+    "VAtomicU64",
+    "VAtomicUsize",
+];
+
+/// A declared atomic role (see the module-level table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Statistics counter: monotonic, summed after joins, guards nothing.
+    MonotonicCounter,
+    /// Readiness flag whose store publishes prior writes.
+    PublicationFlag,
+    /// Seqlock generation word bracketing a versioned payload.
+    VersionWord,
+    /// Reference/pin counter whose value gates reclamation.
+    PinCount,
+    /// Payload word published under a version-word's protocol.
+    VersionedPayload,
+}
+
+/// Every role name, for diagnostics listing the vocabulary.
+pub const ROLE_NAMES: &str =
+    "monotonic-counter, publication-flag, version-word, pin-count, versioned-payload";
+
+impl Role {
+    /// The annotation spelling of this role.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::MonotonicCounter => "monotonic-counter",
+            Role::PublicationFlag => "publication-flag",
+            Role::VersionWord => "version-word",
+            Role::PinCount => "pin-count",
+            Role::VersionedPayload => "versioned-payload",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Role> {
+        match s {
+            "monotonic-counter" => Some(Role::MonotonicCounter),
+            "publication-flag" => Some(Role::PublicationFlag),
+            "version-word" => Some(Role::VersionWord),
+            "pin-count" => Some(Role::PinCount),
+            "versioned-payload" => Some(Role::VersionedPayload),
+            _ => None,
+        }
+    }
+}
+
+/// One inventoried atomic declaration, reported in `ANALYZE.json` so the
+/// role taxonomy of the whole tree is reviewable in one place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoleSite {
+    /// Workspace-relative file of the declaration.
+    pub file: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Declared name (field, static, or let binding).
+    pub name: String,
+    /// The annotated role.
+    pub role: &'static str,
+}
+
+/// The workspace-wide protocol model: declared roles by bare name, plus
+/// the first publisher site of each publication-flag (for witness chains).
+#[derive(Debug, Default)]
+pub struct ProtocolIndex {
+    roles: BTreeMap<String, Role>,
+    publishers: BTreeMap<String, String>,
+}
+
+/// How an atomic method accesses its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AccessKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+fn kind_of(method: &str) -> AccessKind {
+    match method {
+        "load" => AccessKind::Load,
+        "store" => AccessKind::Store,
+        _ => AccessKind::Rmw,
+    }
+}
+
+/// Inventory every annotated atomic declaration across `files` (emitting
+/// missing-role / unknown-role / conflicting-role diagnostics), then index
+/// publication-flag publishers for witness chains.
+pub fn build_index(
+    files: &[&SourceFile],
+    sites: &mut Vec<RoleSite>,
+    out: &mut Vec<Diagnostic>,
+) -> ProtocolIndex {
+    let mut index = ProtocolIndex::default();
+    for file in files {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.exempt {
+                continue;
+            }
+            let trimmed = line.code.trim_start();
+            if trimmed.starts_with("use ") || trimmed.starts_with("pub use ") {
+                continue;
+            }
+            let Some(name) = declared_atomic(&line.code) else {
+                continue;
+            };
+            match role_annotation(&file.lines, idx) {
+                Some(Ok(role)) => {
+                    sites.push(RoleSite {
+                        file: file.path.clone(),
+                        line: idx + 1,
+                        name: name.clone(),
+                        role: role.as_str(),
+                    });
+                    match index.roles.get(&name) {
+                        None => {
+                            index.roles.insert(name, role);
+                        }
+                        Some(&prior) if prior != role => out.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: idx + 1,
+                            rule: NAME,
+                            message: format!(
+                                "atomic `{name}` re-declared as `{}` but an earlier \
+                                 declaration says `{}`: role resolution is by bare name, \
+                                 so same-named atomics must agree (rename one)",
+                                role.as_str(),
+                                prior.as_str()
+                            ),
+                        }),
+                        Some(_) => {}
+                    }
+                }
+                Some(Err(bad)) => out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: idx + 1,
+                    rule: NAME,
+                    message: format!(
+                        "atomic `{name}` declares unknown role `{bad}`; the vocabulary \
+                         is: {ROLE_NAMES}"
+                    ),
+                }),
+                None => out.push(Diagnostic {
+                    file: file.path.clone(),
+                    line: idx + 1,
+                    rule: NAME,
+                    message: format!(
+                        "atomic `{name}` has no declared role: annotate the declaration \
+                         with `// xtask-role: <role>` ({ROLE_NAMES}) so its ordering \
+                         discipline is checkable"
+                    ),
+                }),
+            }
+        }
+    }
+    // Second sweep: index publisher sites (stores/RMWs on publication
+    // flags) so consumer-side diagnostics can name the cross-function pair.
+    for file in files {
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.exempt {
+                continue;
+            }
+            each_atomic_call(&line.code, |method, receiver, ord| {
+                if kind_of(method) == AccessKind::Load {
+                    return;
+                }
+                let Some(recv) = receiver else { return };
+                if index.roles.get(recv) != Some(&Role::PublicationFlag) {
+                    return;
+                }
+                let publisher =
+                    enclosing_fn(file, idx + 1).unwrap_or_else(|| "<file scope>".to_string());
+                index.publishers.entry(recv.to_string()).or_insert_with(|| {
+                    format!(
+                        "`{publisher}` publishes it via `.{method}(.., Ordering::{ord})` \
+                         at {}:{}",
+                        file.path,
+                        idx + 1
+                    )
+                });
+            });
+        }
+    }
+    index
+}
+
+/// Check one file's atomic accesses against the declared roles, and each of
+/// its functions against the seqlock read shape. `file_idx` is this file's
+/// position in the slice `sema` was built from.
+pub fn check(
+    file: &SourceFile,
+    file_idx: usize,
+    sema: &Semantics,
+    index: &ProtocolIndex,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.exempt {
+            continue;
+        }
+        each_atomic_call(&line.code, |method, receiver, ord| {
+            let role = receiver.and_then(|r| index.roles.get(r).copied());
+            let recv = receiver.unwrap_or("<expr>");
+            match role {
+                None => {
+                    // Undeclared receiver (foreign type, loop alias, or a
+                    // split call): only Relaxed is screened here — the
+                    // inventory pass already demands a role on every
+                    // in-scope declaration.
+                    if ord == "Relaxed" {
+                        out.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: idx + 1,
+                            rule: NAME,
+                            message: format!(
+                                "`{recv}.{method}(.., Ordering::Relaxed)` on an atomic \
+                                 with no declared role: a relaxed access transfers no \
+                                 happens-before edge; declare the atomic's role \
+                                 (`// xtask-role: <role>`, one of {ROLE_NAMES}) or \
+                                 strengthen the ordering"
+                            ),
+                        });
+                    }
+                }
+                Some(role) => {
+                    if let Some(req) = discipline_violation(role, kind_of(method), ord) {
+                        let mut message = format!(
+                            "`{recv}.{method}(.., Ordering::{ord})` breaks the \
+                             `{}` discipline: {req}",
+                            role.as_str()
+                        );
+                        if role == Role::PublicationFlag && kind_of(method) == AccessKind::Load {
+                            if let Some(publisher) = index.publishers.get(recv) {
+                                message.push_str("; ");
+                                message.push_str(publisher);
+                            }
+                        }
+                        out.push(Diagnostic {
+                            file: file.path.clone(),
+                            line: idx + 1,
+                            rule: NAME,
+                            message,
+                        });
+                    }
+                }
+            }
+        });
+    }
+    seqlock_shape(file, file_idx, sema, index, out);
+}
+
+/// The role's complaint about `(kind, ord)`, or `None` when legal.
+fn discipline_violation(role: Role, kind: AccessKind, ord: &str) -> Option<&'static str> {
+    let acquire = matches!(ord, "Acquire" | "AcqRel" | "SeqCst");
+    let release = matches!(ord, "Release" | "AcqRel" | "SeqCst");
+    let acqrel = matches!(ord, "AcqRel" | "SeqCst");
+    match role {
+        Role::MonotonicCounter => None,
+        Role::PublicationFlag => match kind {
+            AccessKind::Load if !acquire => {
+                Some("loads must be Acquire (or stronger) to observe the writes the flag publishes")
+            }
+            AccessKind::Store if !release => {
+                Some("stores must be Release (or stronger) so the flag publishes prior writes")
+            }
+            AccessKind::Rmw if !acqrel => {
+                Some("read-modify-writes must be AcqRel (or stronger) on a publication flag")
+            }
+            _ => None,
+        },
+        Role::VersionWord => match kind {
+            AccessKind::Load if !acquire => {
+                Some("version loads must be Acquire (or stronger) to pair with the writer's bumps")
+            }
+            AccessKind::Store | AccessKind::Rmw if !release => Some(
+                "version bumps must be Release (or stronger) so readers that observe the \
+                 new version observe the payload",
+            ),
+            _ => None,
+        },
+        Role::PinCount => match kind {
+            AccessKind::Load if !acquire => {
+                Some("pin-count loads must be Acquire (or stronger) before acting on the count")
+            }
+            AccessKind::Store => Some(
+                "pin counts must be adjusted with read-modify-writes; a plain store loses \
+                 concurrent pins",
+            ),
+            AccessKind::Rmw if !release => {
+                Some("pin-count adjustments must be Release (or stronger)")
+            }
+            _ => None,
+        },
+        Role::VersionedPayload => match kind {
+            AccessKind::Load if !acquire => {
+                Some("payload loads must be Acquire (or stronger) inside the version bracket")
+            }
+            AccessKind::Store if !release => {
+                Some("payload stores must be Release (or stronger) under the odd version")
+            }
+            AccessKind::Rmw if !acqrel => {
+                Some("payload read-modify-writes must be AcqRel (or stronger)")
+            }
+            _ => None,
+        },
+    }
+}
+
+/// Seqlock read shape: in any function that loads a version-word, every
+/// later payload touch (direct, unnamed-receiver atomic, or a call whose
+/// propagated facts touch atomics) must be followed by a version re-load.
+fn seqlock_shape(
+    file: &SourceFile,
+    file_idx: usize,
+    sema: &Semantics,
+    index: &ProtocolIndex,
+    out: &mut Vec<Diagnostic>,
+) {
+    for sym in sema.symbols.fns.iter().filter(|s| s.file == file_idx && !s.exempt) {
+        // (line, what) of the last unbracketed payload touch, if any.
+        let mut pending: Option<(usize, String)> = None;
+        let mut version_recv = String::new();
+        let mut saw_version_access = false;
+        for (lineno, code) in &sym.body {
+            // Payload touches first, version re-loads second: a line that
+            // does both (rare) is given the benefit of the doubt.
+            let mut version_access_here = false;
+            each_atomic_call(code, |method, receiver, _ord| {
+                let role = receiver.and_then(|r| index.roles.get(r).copied());
+                match (kind_of(method), role) {
+                    // Loads open a reader bracket, RMW bumps a writer one;
+                    // either closes whatever payload touches came before.
+                    (_, Some(Role::VersionWord)) => {
+                        version_access_here = true;
+                        version_recv = receiver.unwrap_or("<expr>").to_string();
+                    }
+                    // Payload words and unnamed receivers (loop aliases of
+                    // a payload array) both count as touches; counters,
+                    // flags, and pin counts are outside the bracket.
+                    (_, Some(Role::VersionedPayload)) | (_, None) if saw_version_access => {
+                        pending = Some((
+                            *lineno,
+                            format!("touches `{}.{method}`", receiver.unwrap_or("<expr>")),
+                        ));
+                    }
+                    _ => {}
+                }
+            });
+            if saw_version_access {
+                crate::callgraph::for_each_call(code, |name, _| {
+                    if crate::callgraph::CALL_STOPLIST.contains(&name) {
+                        return;
+                    }
+                    if let Some(w) =
+                        sema.by_name.get(name).and_then(|nf| nf.touches_atomic.as_ref())
+                    {
+                        pending = Some((*lineno, format!("calls `{name}`, which {w}")));
+                    }
+                });
+            }
+            if version_access_here {
+                if saw_version_access {
+                    pending = None; // the re-check brackets everything above
+                } else {
+                    saw_version_access = true;
+                }
+            }
+        }
+        if let Some((lineno, what)) = pending {
+            out.push(Diagnostic {
+                file: file.path.clone(),
+                line: lineno,
+                rule: NAME,
+                message: format!(
+                    "seqlock shape: `{}` opens a `{version_recv}` version bracket and \
+                     then {what} with no version access after it — a concurrent writer \
+                     can tear the payload undetected; re-load `{version_recv}` after \
+                     the last payload access (readers retry on change, writers bump \
+                     back to even)",
+                    sym.name
+                ),
+            });
+        }
+    }
+}
+
+/// Invoke `f(method, receiver, ordering)` for every atomic call on a
+/// cleaned line (an `ATOMIC_METHODS` name called with an `Ordering::`
+/// argument). The receiver is the final path component before the dot;
+/// the ordering is the first `Ordering::` variant in the argument list
+/// (the success ordering, for compare-exchange).
+fn each_atomic_call(code: &str, mut f: impl FnMut(&str, Option<&str>, &str)) {
+    if !code.contains("Ordering::") {
+        return;
+    }
+    for &method in ATOMIC_METHODS {
+        for pos in token_positions(code, method) {
+            if pos == 0 || code.as_bytes()[pos - 1] != b'.' {
+                continue;
+            }
+            let after = pos + method.len();
+            if code.as_bytes().get(after) != Some(&b'(') {
+                continue;
+            }
+            let args = call_args(code, after);
+            let Some(ord) = first_ordering(args) else {
+                continue;
+            };
+            let receiver = receiver_last_component(code, pos - 1);
+            f(method, receiver.as_deref(), ord);
+        }
+    }
+}
+
+/// The first atomic access on a cleaned line as `(method, receiver)`, or
+/// `None`. Shared with the facts layer, which seeds its `touches-atomic`
+/// fact (and the witness chains the seqlock-shape check reports) from it.
+pub(crate) fn atomic_access_on(code: &str) -> Option<(&'static str, String)> {
+    if !code.contains("Ordering::") {
+        return None;
+    }
+    for &method in ATOMIC_METHODS {
+        for pos in token_positions(code, method) {
+            if pos == 0 || code.as_bytes()[pos - 1] != b'.' {
+                continue;
+            }
+            let after = pos + method.len();
+            if code.as_bytes().get(after) != Some(&b'(') {
+                continue;
+            }
+            if first_ordering(call_args(code, after)).is_none() {
+                continue;
+            }
+            let recv =
+                receiver_last_component(code, pos - 1).unwrap_or_else(|| "<expr>".to_string());
+            return Some((method, recv));
+        }
+    }
+    None
+}
+
+/// The `Ordering::` variant named first in an argument list, if any.
+fn first_ordering(args: &str) -> Option<&str> {
+    let at = args.find("Ordering::")?;
+    let rest = &args[at + "Ordering::".len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    (end > 0).then(|| &rest[..end])
+}
+
+/// The argument text of a call whose `(` is at byte `open`, up to the
+/// matching `)` or end of line (calls split across lines are inspected only
+/// up to the break — a documented lexical limitation; rustfmt keeps every
+/// real atomic call in this tree on one line).
+fn call_args(code: &str, open: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut depth = 0usize;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return &code[open..=i];
+                }
+            }
+            _ => {}
+        }
+    }
+    &code[open..]
+}
+
+/// The declared name when this cleaned line declares an atomic: a struct
+/// field (`name: AtomicU64,`), a static (`static NAME: AtomicU64 = ..`), or
+/// a let binding (`let name = AtomicU64::new(..)`). Struct-literal
+/// initializers (`name: AtomicU64::new(0),`) are *uses* of a field declared
+/// elsewhere and return `None`, as do function-signature parameter types.
+fn declared_atomic(code: &str) -> Option<String> {
+    for ty in ATOMIC_TYPES {
+        for pos in token_positions(code, ty) {
+            let after = code[pos + ty.len()..].trim_start();
+            if after.starts_with("::") {
+                // Constructor path: a declaration only when it initializes
+                // a fresh `let`/`static` binding on this line.
+                if let Some(name) = binding_name(code) {
+                    return Some(name);
+                }
+            } else {
+                if let Some(name) = binding_name(code) {
+                    return Some(name);
+                }
+                if let Some(name) = field_name(code, pos) {
+                    return Some(name);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The bound name of a `let`/`static` declaration on this line, if any.
+fn binding_name(code: &str) -> Option<String> {
+    let mut t = code.trim_start();
+    if let Some(rest) = t.strip_prefix("pub") {
+        // `pub`, `pub(crate)`, `pub(super)` ... strip the visibility.
+        let rest = rest.trim_start();
+        t = match rest.strip_prefix('(') {
+            Some(r) => r.split_once(')')?.1.trim_start(),
+            None => rest,
+        };
+    }
+    let rest = t
+        .strip_prefix("let ")
+        .or_else(|| t.strip_prefix("static "))?
+        .trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|&c| crate::rules::is_ident_char(c))
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// The field name of a `name: <AtomicType>` declaration whose type token
+/// starts at byte `pos`: the identifier before the first single `:` of the
+/// line. Lines that look like function signatures (`fn` before the colon)
+/// are parameters, not declarations.
+fn field_name(code: &str, pos: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let colon = (0..pos).find(|&i| {
+        bytes[i] == b':'
+            && bytes.get(i + 1) != Some(&b':')
+            && (i == 0 || bytes[i - 1] != b':')
+    })?;
+    if token_positions(&code[..colon], "fn").is_empty() {
+        let head = code[..colon].trim_end();
+        let name: String = head
+            .chars()
+            .rev()
+            .take_while(|&c| crate::rules::is_ident_char(c))
+            .collect::<String>()
+            .chars()
+            .rev()
+            .collect();
+        return (!name.is_empty()).then_some(name);
+    }
+    None
+}
+
+/// The `// xtask-role:` annotation covering the declaration at line index
+/// `idx`: on the declaration line itself, or opening a standalone comment
+/// directly above it (doc comments and prose mentioning the marker never
+/// parse — same contract as suppressions). `Err` carries an unknown role
+/// spelling.
+fn role_annotation(lines: &[Line], idx: usize) -> Option<Result<Role, String>> {
+    let marker = |line: &Line| -> Option<String> {
+        let text = line.comment.trim_start();
+        if text.starts_with('/') || text.starts_with('!') {
+            return None; // doc comment: descriptive, never operative
+        }
+        let rest = text.strip_prefix("xtask-role:")?;
+        let spec = rest.split("--").next().unwrap_or("").trim();
+        Some(spec.to_string())
+    };
+    let spec = marker(&lines[idx]).or_else(|| {
+        lines[..idx]
+            .iter()
+            .rev()
+            .take_while(|l| l.code.trim().is_empty())
+            .find_map(marker)
+    })?;
+    Some(Role::parse(&spec).ok_or(spec))
+}
+
+/// The name of the innermost function containing 1-based `lineno`, found
+/// lexically: the nearest preceding `fn` declaration at a shallower brace
+/// depth. Used only to label publisher witnesses.
+fn enclosing_fn(file: &SourceFile, lineno: usize) -> Option<String> {
+    let depth = file.lines.get(lineno - 1)?.depth_start;
+    for line in file.lines[..lineno - 1].iter().rev() {
+        if line.depth_start >= depth {
+            continue;
+        }
+        for pos in token_positions(&line.code, "fn") {
+            let rest = line.code[pos + 2..].trim_start();
+            let name: String = rest
+                .chars()
+                .take_while(|&c| crate::rules::is_ident_char(c))
+                .collect();
+            if !name.is_empty() {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::Semantics;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let files = vec![SourceFile::parse("crates/buffer/src/x.rs", src)];
+        let sema = Semantics::build(&files);
+        let mut sites = Vec::new();
+        let mut out = Vec::new();
+        let index = build_index(&[&files[0]], &mut sites, &mut out);
+        check(&files[0], 0, &sema, &index, &mut out);
+        out
+    }
+
+    fn lines(src: &str) -> Vec<usize> {
+        run(src).iter().map(|d| d.line).collect()
+    }
+
+    const COUNTER: &str = "struct S {\n    hits: AtomicU64, // xtask-role: monotonic-counter\n}\n";
+
+    #[test]
+    fn declared_counter_relaxed_is_allowed() {
+        let src = format!("{COUNTER}fn f(s: &S) {{\n    s.hits.fetch_add(1, Ordering::Relaxed);\n    let h = s.hits.load(Ordering::Relaxed);\n}}\n");
+        assert!(lines(&src).is_empty(), "{:#?}", run(&src));
+    }
+
+    #[test]
+    fn undeclared_relaxed_is_flagged() {
+        assert_eq!(lines("fn f(s: &S) {\n    s.flag.store(1, Ordering::Relaxed);\n}\n"), vec![2]);
+        assert_eq!(
+            lines("fn f(s: &S) -> bool {\n    s.ready.load(Ordering::Relaxed)\n}\n"),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn missing_and_unknown_roles_are_flagged() {
+        let out = run("struct S {\n    bare: AtomicU64,\n    // xtask-role: epoch-clock\n    odd: AtomicU64,\n}\n");
+        assert_eq!(out.len(), 2, "{out:#?}");
+        assert!(out[0].message.contains("`bare` has no declared role"));
+        assert!(out[1].message.contains("unknown role `epoch-clock`"));
+    }
+
+    #[test]
+    fn struct_literal_initializers_and_uses_are_not_declarations() {
+        let src = "struct S {\n    hits: AtomicU64, // xtask-role: monotonic-counter\n}\nfn mk() -> S {\n    S { hits: AtomicU64::new(0) }\n}\n";
+        assert!(lines(src).is_empty(), "{:#?}", run(src));
+        assert!(lines("use std::sync::atomic::{AtomicU64, Ordering};\n").is_empty());
+    }
+
+    #[test]
+    fn publication_flag_discipline_with_publisher_witness() {
+        let src = "struct S {\n    // xtask-role: publication-flag\n    ready: AtomicBool,\n}\nfn publish(s: &S) {\n    s.ready.store(true, Ordering::Release);\n}\nfn peek(s: &S) -> bool {\n    s.ready.load(Ordering::Relaxed)\n}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 9);
+        assert!(out[0].message.contains("publication-flag"), "{}", out[0].message);
+        assert!(
+            out[0].message.contains("`publish` publishes it"),
+            "cross-function witness: {}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn relaxed_publication_store_is_flagged() {
+        let src = "struct S {\n    // xtask-role: publication-flag\n    ready: AtomicBool,\n}\nfn publish(s: &S) {\n    s.ready.store(true, Ordering::Relaxed);\n}\n";
+        assert_eq!(lines(src), vec![6]);
+    }
+
+    #[test]
+    fn pin_count_rejects_plain_stores() {
+        let src = "struct S {\n    // xtask-role: pin-count\n    pins: AtomicUsize,\n}\nfn f(s: &S) {\n    s.pins.fetch_add(1, Ordering::Release);\n    s.pins.store(0, Ordering::Release);\n}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 7);
+        assert!(out[0].message.contains("loses"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn seqlock_reader_without_recheck_is_flagged() {
+        let src = "struct S {\n    // xtask-role: version-word\n    seq: AtomicU64,\n    // xtask-role: versioned-payload\n    word: AtomicU64,\n}\nfn read_torn(s: &S) -> u64 {\n    let v1 = s.seq.load(Ordering::Acquire);\n    s.word.load(Ordering::Acquire) + v1\n}\nfn read_ok(s: &S) -> u64 {\n    let v1 = s.seq.load(Ordering::Acquire);\n    let w = s.word.load(Ordering::Acquire);\n    let v2 = s.seq.load(Ordering::Acquire);\n    w + v1 + v2\n}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 9);
+        assert!(out[0].message.contains("seqlock shape"), "{}", out[0].message);
+        assert!(out[0].message.contains("`read_torn`"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn seqlock_shape_sees_through_calls_with_witness() {
+        let src = "struct S {\n    // xtask-role: version-word\n    seq: AtomicU64,\n    // xtask-role: versioned-payload\n    word: AtomicU64,\n}\nfn touch_payload(s: &S) -> u64 {\n    s.word.load(Ordering::Acquire)\n}\nfn read_via_helper(s: &S) -> u64 {\n    let v1 = s.seq.load(Ordering::Acquire);\n    touch_payload(s) + v1\n}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].line, 12);
+        assert!(
+            out[0].message.contains("calls `touch_payload`"),
+            "witness chain: {}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn version_word_relaxed_bump_is_flagged() {
+        let src = "struct S {\n    // xtask-role: version-word\n    seq: AtomicU64,\n}\nfn f(s: &S) {\n    s.seq.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert_eq!(lines(src), vec![6]);
+    }
+
+    #[test]
+    fn match_arms_and_test_regions_are_ignored() {
+        assert!(lines("fn f(o: Ordering) -> u32 {\n    match o {\n        Ordering::Relaxed => 0,\n        _ => 1,\n    }\n}\n").is_empty());
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() {\n        let f = AtomicBool::new(false);\n        f.store(true, Ordering::Relaxed);\n    }\n}\n";
+        assert!(lines(src).is_empty(), "{:#?}", run(src));
+    }
+
+    #[test]
+    fn conflicting_roles_by_bare_name_are_flagged() {
+        let src = "struct A {\n    // xtask-role: monotonic-counter\n    n: AtomicU64,\n}\nstruct B {\n    // xtask-role: pin-count\n    n: AtomicU64,\n}\n";
+        let out = run(src);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("re-declared"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn role_inventory_is_collected() {
+        let files = vec![SourceFile::parse(
+            "crates/buffer/src/x.rs",
+            "struct S {\n    hits: AtomicU64, // xtask-role: monotonic-counter\n    // xtask-role: version-word\n    seq: AtomicU64,\n}\nstatic PINS: AtomicUsize = AtomicUsize::new(0); // xtask-role: pin-count\n",
+        )];
+        let mut sites = Vec::new();
+        let mut out = Vec::new();
+        build_index(&[&files[0]], &mut sites, &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+        let got: Vec<(usize, &str, &str)> =
+            sites.iter().map(|s| (s.line, s.name.as_str(), s.role)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (2, "hits", "monotonic-counter"),
+                (4, "seq", "version-word"),
+                (6, "PINS", "pin-count"),
+            ]
+        );
+    }
+}

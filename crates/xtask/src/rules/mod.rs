@@ -6,7 +6,7 @@
 //! a rule applies to — lives in [`crate::workspace`]; suppression filtering
 //! is applied by the driver after the rule runs.
 
-pub mod atomic_ordering;
+pub mod atomic_protocol;
 pub mod blocking_under_latch;
 pub mod core_driving;
 pub mod determinism;

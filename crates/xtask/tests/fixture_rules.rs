@@ -10,10 +10,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use xtask::rules::{
-    atomic_ordering, core_driving, determinism, handle_hygiene, lint_header, lock_order, no_panic,
+    atomic_protocol, core_driving, determinism, handle_hygiene, lint_header, lock_order, no_panic,
 };
 use xtask::source::SourceFile;
-use xtask::{analyze_root, Diagnostic};
+use xtask::{analyze_root, Diagnostic, Semantics};
 
 /// Locate `tests/fixtures/` whether the tests run under cargo (manifest dir
 /// set) or under the bare-rustc harness (cwd is `crates/xtask` or the repo
@@ -179,26 +179,72 @@ fn lint_header_fixture_exact_counts() {
     assert!(kept.is_empty());
 }
 
+/// The atomic-protocol rule needs the full driver shape — a semantic model,
+/// the role inventory, and alias-aware suppression filtering (annotations
+/// written for the retired `atomic-ordering` rule must keep working) — so
+/// it gets its own runner instead of [`run_fixture`].
 #[test]
-fn atomic_ordering_fixture_exact_counts() {
-    let (kept, suppressed) = run_fixture(
-        "atomic_ordering.rs",
-        "crates/buffer/src/fixture.rs",
-        atomic_ordering::check,
-    );
-    let lines: Vec<usize> = kept.iter().map(|d| d.line).collect();
-    assert_eq!(lines, vec![9, 13, 17], "diagnostics: {kept:#?}");
-    assert_eq!(suppressed, 1, "the annotated generation tag must be suppressed");
-    assert!(kept[0].message.contains("flag.store"));
-    assert!(kept[1].message.contains("ready.load"));
-    assert!(kept[2].message.contains("seq.fetch_add"));
-    for d in &kept {
-        assert!(
-            d.message.contains("happens-before"),
-            "message explains the model-checking stake: {}",
-            d.message
-        );
+fn atomic_protocol_fixture_exact_counts() {
+    let text =
+        fs::read_to_string(fixture_path("atomic_protocol.rs")).expect("fixture readable");
+    let files = vec![SourceFile::parse("crates/buffer/src/fixture.rs", &text)];
+    let sema = Semantics::build(&files);
+    let mut sites = Vec::new();
+    let mut raw = Vec::new();
+    let index = atomic_protocol::build_index(&[&files[0]], &mut sites, &mut raw);
+    atomic_protocol::check(&files[0], 0, &sema, &index, &mut raw);
+
+    let mut kept = Vec::new();
+    let mut suppressed = 0;
+    for d in raw {
+        let excused = files[0].is_suppressed(d.rule, d.line)
+            || (d.rule == atomic_protocol::NAME
+                && files[0].is_suppressed(atomic_protocol::ALIAS, d.line));
+        if excused {
+            suppressed += 1;
+        } else {
+            kept.push(d);
+        }
     }
+    kept.sort();
+
+    let lines: Vec<usize> = kept.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![17, 18, 31, 35, 39, 49, 65, 69], "diagnostics: {kept:#?}");
+    assert_eq!(suppressed, 1, "the alias-annotated generation tag must be suppressed");
+    assert!(kept[0].message.contains("unknown role `epoch-clock`"));
+    assert!(kept[1].message.contains("`bare` has no declared role"));
+    assert!(kept[2].message.contains("ready.store") && kept[2].message.contains("publication-flag"));
+    assert!(
+        kept[3].message.contains("`publish` publishes it"),
+        "the flag load names its publisher: {}",
+        kept[3].message
+    );
+    assert!(kept[4].message.contains("seq.fetch_add") && kept[4].message.contains("version bumps"));
+    assert!(
+        kept[5].message.contains("seqlock shape") && kept[5].message.contains("`read_snapshot`"),
+        "the direct torn read is named: {}",
+        kept[5].message
+    );
+    assert!(
+        kept[6].message.contains("calls `touch_payload`"),
+        "the interprocedural torn read carries a witness chain: {}",
+        kept[6].message
+    );
+    assert!(kept[7].message.contains("pins.store") && kept[7].message.contains("loses"));
+
+    let roles: Vec<(&str, &str)> =
+        sites.iter().map(|s| (s.name.as_str(), s.role)).collect();
+    assert_eq!(
+        roles,
+        vec![
+            ("hits", "monotonic-counter"),
+            ("ready", "publication-flag"),
+            ("seq", "version-word"),
+            ("word", "versioned-payload"),
+            ("pins", "pin-count"),
+        ],
+        "the inventory holds exactly the well-annotated declarations"
+    );
 }
 
 /// A used annotation passes; an annotation that excuses nothing is itself a

@@ -1,0 +1,90 @@
+//! Fixture for the `atomic-protocol` rule. Not compiled — parsed by the
+//! tests as data, under a pretend `crates/buffer/src/` path. Expected:
+//! exactly 8 kept diagnostics and 1 suppressed site (via the retired
+//! `atomic-ordering` alias).
+
+struct ShardStats {
+    hits: AtomicU64, // xtask-role: monotonic-counter
+    // xtask-role: publication-flag
+    ready: AtomicBool,
+    // xtask-role: version-word
+    seq: AtomicU64,
+    // xtask-role: versioned-payload
+    word: AtomicU64,
+    // xtask-role: pin-count
+    pins: AtomicUsize,
+    // xtask-role: epoch-clock
+    epoch: AtomicU64, // diagnostic 1: unknown role
+    bare: AtomicU64,  // diagnostic 2: no declared role
+}
+
+impl ShardStats {
+    fn record(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed); // counter: any ordering
+    }
+
+    fn publish(&self) {
+        self.ready.store(true, Ordering::Release); // indexed as publisher
+    }
+
+    fn publish_badly(&self) {
+        self.ready.store(true, Ordering::Relaxed); // diagnostic 3
+    }
+
+    fn peek(&self) -> bool {
+        self.ready.load(Ordering::Relaxed) // diagnostic 4: names `publish`
+    }
+
+    fn bump(&self) {
+        self.seq.fetch_add(1, Ordering::Relaxed); // diagnostic 5
+    }
+
+    fn tag(&self) {
+        // xtask-allow: atomic-ordering -- generation tag, read after join
+        self.generation.store(2, Ordering::Relaxed);
+    }
+
+    fn read_snapshot(&self) -> u64 {
+        let v1 = self.seq.load(Ordering::Acquire);
+        self.word.load(Ordering::Acquire) + v1 // diagnostic 6: no re-check
+    }
+
+    fn read_checked(&self) -> u64 {
+        let v1 = self.seq.load(Ordering::Acquire);
+        let w = self.word.load(Ordering::Acquire);
+        let v2 = self.seq.load(Ordering::Acquire);
+        w + v1 + v2
+    }
+
+    fn touch_payload(&self) -> u64 {
+        self.word.load(Ordering::Acquire)
+    }
+
+    fn read_via_helper(&self) -> u64 {
+        let v1 = self.seq.load(Ordering::Acquire);
+        self.touch_payload() + v1 // diagnostic 7: torn read via the call
+    }
+
+    fn unpin(&self) {
+        self.pins.store(0, Ordering::Release); // diagnostic 8: loses pins
+    }
+
+    fn pin(&self) {
+        self.pins.fetch_add(1, Ordering::Release);
+    }
+}
+
+fn strength_mapping_is_not_a_call(o: Ordering) -> u32 {
+    match o {
+        Ordering::Relaxed => 0,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        flag.store(1, Ordering::Relaxed);
+    }
+}

@@ -14,12 +14,27 @@ cd "$(dirname "$0")/.."
 
 boot=target/interleave-bootstrap
 
-# Reuse the previous bootstrap when no model-relevant source changed —
-# checked before the cargo attempt, whose registry probe is slow offline.
-if [ -x "$boot/interleave" ] && [ -z "$(find crates/conc/src crates/policy/src \
+# Reuse the previous bootstrap when no model-relevant source changed AND it
+# was built from the same memory-model version (MODEL_VERSION in sched.rs —
+# bumped whenever the model's semantics change, so a stale binary can never
+# silently replay old semantics; the analyze.sh RULESET_VERSION pattern).
+# Checked before the cargo attempt, whose registry probe is slow offline.
+# The cached run is also the tier-1 wall-clock gate: the fixed seed set
+# must finish within 5 s or the budget regression fails the script.
+key=$(sed -n 's/.*MODEL_VERSION: u32 = \([0-9]*\).*/\1/p' crates/conc/src/sched.rs)
+if [ -x "$boot/interleave" ] \
+  && [ "$(cat "$boot/model.key" 2>/dev/null)" = "$key" ] \
+  && [ -z "$(find crates/conc/src crates/policy/src \
      crates/core/src crates/buffer/src -name '*.rs' -newer "$boot/interleave" \
      -print -quit)" ]; then
-  exec "$boot/interleave" "$@"
+  start_ms=$(($(date +%s%N) / 1000000))
+  "$boot/interleave" "$@"
+  elapsed_ms=$(($(date +%s%N) / 1000000 - start_ms))
+  if [ "$elapsed_ms" -gt 5000 ]; then
+    echo "interleave.sh: cached run took ${elapsed_ms} ms, over the 5000 ms budget" >&2
+    exit 1
+  fi
+  exit 0
 fi
 
 if RUSTFLAGS="${RUSTFLAGS:-} --cfg conc_model" CARGO_TARGET_DIR=target/conc-model \
@@ -101,4 +116,5 @@ rustc --edition 2021 -O --cfg conc_model --crate-name interleave \
   --extern lruk_conc=liblruk_conc.rlib --extern lruk_core=liblruk_core.rlib \
   --extern lruk_policy=liblruk_policy.rlib -L . -o interleave
 cd ../..
+printf '%s\n' "$key" > "$boot/model.key"
 exec "$boot/interleave" "$@"
