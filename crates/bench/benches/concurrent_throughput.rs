@@ -1,7 +1,8 @@
-//! Multi-threaded buffer pool throughput across the three concurrency
+//! Multi-threaded buffer pool throughput across the four concurrency
 //! tiers: global-latch (`ConcurrentBufferPool`), sharded
-//! (`ShardedBufferPool`), and per-frame latched (`LatchedBufferPool`),
-//! at 1/2/4/8 worker threads over read-mostly Zipfian traffic.
+//! (`ShardedBufferPool`), per-frame latched (`LatchedBufferPool`), and
+//! latch-free-hit optimistic (`OptimisticBufferPool`), at 1/2/4/8 worker
+//! threads over read-mostly Zipfian traffic.
 //!
 //! The latched pool's claim — closures run outside every shard latch — only
 //! shows up under real thread contention, so each measurement spawns its own
@@ -20,7 +21,7 @@ fn bench_concurrent(c: &mut Criterion) {
     let mut group = c.benchmark_group("concurrent_throughput");
     for threads in THREAD_COUNTS {
         group.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
-        for kind in [PoolKind::Global, PoolKind::Sharded, PoolKind::PerFrame] {
+        for kind in PoolKind::ALL {
             group.bench_with_input(
                 BenchmarkId::new(kind.label(), threads),
                 &threads,

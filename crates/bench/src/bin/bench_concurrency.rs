@@ -1,16 +1,24 @@
 //! Concurrency scaling baseline: replays the read-mostly Zipfian workload
-//! of `benches/concurrent_throughput.rs` through the three pool tiers at
+//! of `benches/concurrent_throughput.rs` through the four pool tiers at
 //! 1/2/4/8 threads and saves the numbers as `results/BENCH_concurrency.json`
 //! (a criterion `--save-baseline`-style artifact, but in a stable,
 //! hand-rendered JSON shape so plots and CI diffs don't depend on criterion
 //! internals; the workspace deliberately has no serde_json).
+//!
+//! Two gates ride along:
+//! - the **latch-free evidence** phase (hit-only traffic on the optimistic
+//!   pool) must acquire the shard core latch zero times, or the run fails;
+//! - in `--quick` (smoke) mode, each pool's single-thread refs/s is
+//!   compared against the committed artifact and a regression of more than
+//!   10% fails the run loudly — the tier-1 throughput ratchet.
 //!
 //! ```sh
 //! cargo run -p lruk-bench --release --bin bench_concurrency [-- --quick]
 //! ```
 
 use lruk_bench::concurrency::{
-    run_once, sequential_hit_ratio, PoolKind, DISK_PAGES, FRAMES, SHARDS, THREAD_COUNTS,
+    optimistic_hit_phase_evidence, run_once, sequential_hit_ratio, PoolKind, DISK_PAGES, FRAMES,
+    HIT_PHASE_OPS, SHARDS, THREAD_COUNTS,
 };
 use lruk_bench::BinArgs;
 use std::fmt::Write as _;
@@ -29,7 +37,7 @@ struct Cell {
 fn main() {
     let args = BinArgs::parse();
     let ops_per_thread: usize = if args.quick { 20_000 } else { 100_000 };
-    let reps = if args.quick { 2 } else { 3 };
+    let reps = 3;
 
     println!(
         "concurrency scaling: {DISK_PAGES} pages, {FRAMES} frames, {SHARDS} shards, \
@@ -40,7 +48,7 @@ fn main() {
     println!("{:<10} {:>7} {:>14} {:>10} {:>10}", "pool", "threads", "refs/s", "hit", "vs 1t");
 
     let mut cells: Vec<Cell> = Vec::new();
-    for kind in [PoolKind::Global, PoolKind::Sharded, PoolKind::PerFrame] {
+    for kind in PoolKind::ALL {
         let mut one_thread_rate = 0.0f64;
         for threads in THREAD_COUNTS {
             // Best-of-reps wall clock: throughput baselines want the least
@@ -78,11 +86,35 @@ fn main() {
         }
     }
 
+    // Latch-free evidence: a hit-only phase shorter than the publication
+    // ring must acquire the shard core latch zero times. This is a hard
+    // gate, not a report — a hit path that latches is a regression.
+    let ev = optimistic_hit_phase_evidence();
+    println!(
+        "\nlatch-free evidence: {} refs -> {} hits, {} misses, {} published, \
+         core-latch acquires {} -> {}",
+        HIT_PHASE_OPS,
+        ev.hits,
+        ev.misses,
+        ev.published,
+        ev.core_acquires_before,
+        ev.core_acquires_after
+    );
+    if ev.core_acquires_after != ev.core_acquires_before
+        || ev.misses != 0
+        || ev.hits != HIT_PHASE_OPS as u64
+        || ev.published < HIT_PHASE_OPS as u64
+    {
+        eprintln!("FAIL: the optimistic hit path took the shard core latch (or the phase was not hit-only)");
+        std::process::exit(1);
+    }
+
     if args.quick {
+        smoke_gate();
         println!("\nquick mode: results/BENCH_concurrency.json not rewritten");
         return;
     }
-    let json = render_json(&cells, seq_hit, ops_per_thread, reps);
+    let json = render_json(&cells, seq_hit, ops_per_thread, reps, &ev);
     match std::fs::create_dir_all("results")
         .and_then(|_| std::fs::write("results/BENCH_concurrency.json", &json))
     {
@@ -91,9 +123,96 @@ fn main() {
     }
 }
 
+/// Tier-1 throughput ratchet (`--quick` mode): re-measure each pool's
+/// single-thread refs/s **at the committed run's own ops_per_thread** (the
+/// quick-mode cells above use fewer refs, which shifts the warmup fraction
+/// and would make the comparison apples-to-oranges) and fail loudly on a
+/// regression of more than 10% versus the committed artifact. Pools absent
+/// from the committed file (first run after adding a tier) are skipped; a
+/// missing artifact skips the gate entirely. Single-thread 100k-ref reruns
+/// cost ~25ms each, so the gate stays smoke-fast.
+fn smoke_gate() {
+    let json = match std::fs::read_to_string("results/BENCH_concurrency.json") {
+        Ok(j) => j,
+        Err(_) => {
+            println!("\nsmoke gate: no committed results/BENCH_concurrency.json; skipped");
+            return;
+        }
+    };
+    let ops = committed_field(&json, "\"ops_per_thread\": ").unwrap_or(100_000.0) as usize;
+    println!("\nsmoke gate: 1-thread refs/s at {ops} refs vs committed artifact (best of 3)");
+    let mut failed = false;
+    for (pool, committed) in committed_one_thread_rates(&json) {
+        let Some(kind) = PoolKind::ALL.iter().copied().find(|k| k.label() == pool) else {
+            continue;
+        };
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..3 {
+            best_secs = best_secs.min(run_once(kind, 1, ops).0);
+        }
+        let current = ops as f64 / best_secs;
+        let ratio = current / committed;
+        if ratio < 0.9 {
+            eprintln!(
+                "FAIL: {pool} 1-thread refs/s regressed {:.1}% vs committed baseline \
+                 ({current:.0} now vs {committed:.0} committed)",
+                (1.0 - ratio) * 100.0
+            );
+            failed = true;
+        } else {
+            println!("smoke gate: {pool} 1-thread at {ratio:.2}x of committed baseline — ok");
+        }
+    }
+    if failed {
+        eprintln!("smoke gate: single-thread throughput regression > 10%");
+        std::process::exit(1);
+    }
+}
+
+/// Pull `(pool, refs_per_sec)` for every committed 1-thread cell out of the
+/// hand-rendered artifact. String scanning keeps the workspace free of a
+/// JSON dependency; the renderer below guarantees the line shape.
+fn committed_one_thread_rates(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim();
+        if !line.starts_with("{\"pool\": \"") || !line.contains("\"threads\": 1,") {
+            continue;
+        }
+        let pool = line
+            .split("\"pool\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next());
+        let rate = line
+            .split("\"refs_per_sec\": ")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|num| num.trim().parse::<f64>().ok());
+        if let (Some(pool), Some(rate)) = (pool, rate) {
+            out.push((pool.to_string(), rate));
+        }
+    }
+    out
+}
+
+/// First numeric value following `key` in the artifact (e.g. the committed
+/// `ops_per_thread`), tolerating a trailing comma.
+fn committed_field(json: &str, key: &str) -> Option<f64> {
+    json.split(key)
+        .nth(1)
+        .and_then(|rest| rest.split(|c: char| c == ',' || c == '\n' || c == '}').next())
+        .and_then(|num| num.trim().parse::<f64>().ok())
+}
+
 /// Render the baseline by hand: a stable field order and fixed float
 /// formatting keep the artifact diffable across runs.
-fn render_json(cells: &[Cell], seq_hit: f64, ops_per_thread: usize, reps: usize) -> String {
+fn render_json(
+    cells: &[Cell],
+    seq_hit: f64,
+    ops_per_thread: usize,
+    reps: usize,
+    ev: &lruk_bench::concurrency::HitPhaseEvidence,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"benchmark\": \"concurrent_throughput\",");
     // Top-level, not buried in config: scaling numbers are only meaningful
@@ -110,6 +229,14 @@ fn render_json(cells: &[Cell], seq_hit: f64, ops_per_thread: usize, reps: usize)
     let _ = writeln!(out, "    \"reps\": {reps}");
     let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"sequential_hit_ratio\": {seq_hit:.6},");
+    let _ = writeln!(out, "  \"latch_free_evidence\": {{");
+    let _ = writeln!(out, "    \"hit_phase_ops\": {HIT_PHASE_OPS},");
+    let _ = writeln!(out, "    \"hits\": {},", ev.hits);
+    let _ = writeln!(out, "    \"misses\": {},", ev.misses);
+    let _ = writeln!(out, "    \"published\": {},", ev.published);
+    let _ = writeln!(out, "    \"core_latch_acquires_before\": {},", ev.core_acquires_before);
+    let _ = writeln!(out, "    \"core_latch_acquires_after\": {}", ev.core_acquires_after);
+    let _ = writeln!(out, "  }},");
     let _ = writeln!(out, "  \"cells\": [");
     for (i, c) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };

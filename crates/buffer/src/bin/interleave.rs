@@ -199,6 +199,39 @@ mod run {
             systematic: true,
             build: || Box::new(models::lock_inversion_deadlock()),
         },
+        // Latch-free hit path (DESIGN.md §4.10): the eviction fence and the
+        // hit-publication ring, clean under both checkers — plus the two
+        // seeded orderings the fence forbids, which must be caught.
+        Case {
+            name: "optimistic-probe-vs-evict",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::optimistic_probe_vs_evict()),
+        },
+        Case {
+            name: "optimistic-pin-vs-invalidate",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::optimistic_pin_vs_invalidate()),
+        },
+        Case {
+            name: "hit-buffer-drain-vs-swap",
+            expect_violation: false,
+            systematic: false,
+            build: || Box::new(models::hit_buffer_drain_vs_swap()),
+        },
+        Case {
+            name: "selftest-buggy-probe-no-recheck",
+            expect_violation: true,
+            systematic: false,
+            build: || Box::new(models::buggy_probe_skips_version_recheck()),
+        },
+        Case {
+            name: "selftest-buggy-evict-late-invalidate",
+            expect_violation: true,
+            systematic: false,
+            build: || Box::new(models::buggy_evict_invalidates_after_pin_check()),
+        },
     ];
 
     /// Unwrap a scenario-internal `Result` into the model's violation

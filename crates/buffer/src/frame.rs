@@ -19,6 +19,13 @@ impl FrameId {
 /// page, pin count, dirty flag — lives in the shared
 /// [`ReplacementCore`](lruk_policy::ReplacementCore) so it has exactly one
 /// writer; the frame is pure storage.
+///
+/// The concurrent tiers wrap this shape with their own synchronization:
+/// the latched pool's `LatchedFrame` puts the bytes behind a per-frame
+/// `RwLock`, and the optimistic pool pairs that with a lock-free pin word
+/// and deferred dirty flag (`FramePin` in
+/// [`optimistic`](crate::optimistic)) so a hit never enters the core at
+/// all.
 #[derive(Debug)]
 pub struct Frame {
     data: BytesMut,

@@ -106,8 +106,11 @@ use std::time::Duration;
 
 /// One frame: page bytes behind their own latch. Residency metadata — owner
 /// page, dirty flag, pin count — lives in the shard's [`ReplacementCore`].
-struct LatchedFrame {
-    data: RwLock<Box<[u8]>>,
+/// `pub(crate)`: the optimistic pool (`optimistic.rs`) reuses the same
+/// frame shape (and [`LatchedBackend`]) rather than duplicating the
+/// latch-holding I/O paths.
+pub(crate) struct LatchedFrame {
+    pub(crate) data: RwLock<Box<[u8]>>,
     /// Debug-only: set while this frame's bytes are being written back to
     /// disk. Two overlapping write-backs of one frame, or an eviction racing
     /// a write-back, are protocol violations the frame latch is supposed to
@@ -119,7 +122,7 @@ struct LatchedFrame {
 }
 
 impl LatchedFrame {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         LatchedFrame {
             data: RwLock::new(vec![0u8; PAGE_SIZE].into_boxed_slice()),
             #[cfg(debug_assertions)]
@@ -181,9 +184,9 @@ fn stats(shard: &Shard) -> CacheStats {
 /// unpinned (eviction victims) or while `flush_all` holds the core (so no
 /// new pin can start), which is exactly when the frame latch is free or
 /// held at most by an in-flight reader.
-struct LatchedBackend<'a, C: ConcurrentDiskManager> {
-    frames: &'a [LatchedFrame],
-    disk: &'a C,
+pub(crate) struct LatchedBackend<'a, C: ConcurrentDiskManager> {
+    pub(crate) frames: &'a [LatchedFrame],
+    pub(crate) disk: &'a C,
 }
 
 impl<C: ConcurrentDiskManager> CoreBackend for LatchedBackend<'_, C> {

@@ -13,7 +13,7 @@
 //!   (LRU-K or any baseline). Every pool in this crate is a frontend of
 //!   that one engine — none re-implements the replacement lifecycle;
 //! * [`PageGuard`] — RAII pin guard for straightforward single-page access;
-//! * three concurrency tiers of thread-safe pool (see `DESIGN.md` for the
+//! * four concurrency tiers of thread-safe pool (see `DESIGN.md` for the
 //!   trade-off discussion):
 //!   [`ConcurrentBufferPool`] — one global latch, closure-scoped page access,
 //!   the obviously-correct baseline;
@@ -22,6 +22,9 @@
 //!   [`LatchedBufferPool`] — per-shard engine instances **plus** per-frame
 //!   `RwLock` data latches, so user closures run outside every shard latch
 //!   and concurrent readers of the same page proceed in parallel;
+//!   [`OptimisticBufferPool`] — latch-free hits: a seqlock-probed page
+//!   table, optimistic per-frame pin words, and batched hit publication
+//!   into the engine, so a hit never takes the shard core latch at all;
 //! * [`ConcurrentDiskManager`] — the `&self` disk trait the latched pool does
 //!   I/O through ([`ConcurrentInMemoryDisk`] with per-page latches, or any
 //!   sequential disk via [`MutexDisk`]).
@@ -50,6 +53,7 @@ pub mod disk_scheduler;
 pub mod frame;
 pub mod invariants;
 pub mod latched;
+pub mod optimistic;
 pub mod pool;
 pub mod shared_disk;
 pub mod sharded;
@@ -61,6 +65,7 @@ pub use disk_scheduler::{
 };
 pub use frame::{Frame, FrameId};
 pub use latched::LatchedBufferPool;
+pub use optimistic::OptimisticBufferPool;
 pub use pool::{BufferError, BufferPoolManager, PageGuard, PageGuardMut};
 pub use shared_disk::{ConcurrentDiskManager, ConcurrentInMemoryDisk, MutexDisk};
 pub use sharded::ShardedBufferPool;

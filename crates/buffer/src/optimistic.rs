@@ -1,0 +1,1160 @@
+//! The latch-free-hit buffer pool — concurrency tier four.
+//!
+//! [`LatchedBufferPool`](crate::LatchedBufferPool) already runs user
+//! closures outside every shard latch, but each reference — even a pure
+//! hit — still *takes* the shard core latch twice (pin and unpin), so the
+//! hit path serializes on the shard. [`OptimisticBufferPool`] removes the
+//! core latch from the hit path entirely (DESIGN.md §4.10):
+//!
+//! * **Optimistic probe table.** Each shard keeps a read-mostly open-addressed
+//!   table of `PageId -> (frame, policy-slot)` entries, one
+//!   [`VersionedSlot`](lruk_conc::versioned::VersionedSlot) per bucket. A
+//!   hit probes it with the seqlock read shape — version, payload, version
+//!   re-check — and never writes to it; only code already holding the core
+//!   latch (admission, eviction, rebuild) writes entries. A torn or stale
+//!   probe is never *trusted*: it simply falls through to the slow path,
+//!   where the core's own page table is authoritative.
+//! * **Optimistic pin.** Each frame carries an atomic pin word. A hit pins
+//!   by `fetch_add`, then re-checks the bucket version. The evictor's fence
+//!   runs in the opposite order under the core latch
+//!   ([`CoreBackend::begin_evict`]): it bumps the bucket version (removing
+//!   the entry) *first*, then reads the pin word. This Dekker-style
+//!   store/load pairing (both sides' writes are RMWs, so they flush store
+//!   buffers even under the weak-memory model) guarantees the evictor sees
+//!   the pin or the prober sees the version bump — a frame is never
+//!   repurposed while a hitter holds (or can still acquire) its latch. The
+//!   `optimistic-probe-vs-evict` interleave scenario model-checks exactly
+//!   this protocol, plus seeded-bug twins for both halves of the fence.
+//! * **Hit publication.** LRU-K must update HIST/LAST on every reference,
+//!   but hits no longer hold the latch that guards the policy. Hits
+//!   therefore append a fixed-size record to a per-shard bounded
+//!   [`PublishRing`] (lock-free, multi-producer) and the records are
+//!   *drained* into [`ReplacementCore::apply_published_hit`] under the core
+//!   latch at deterministic drain points: every miss, eviction, flush,
+//!   policy swap, stats snapshot, and — backpressure — whenever the ring is
+//!   full. Single-threaded, every record drains before the next core
+//!   decision, in claim order, so the policy sees the exact reference
+//!   stream `access` would have produced: decision checksums are
+//!   bit-identical to the latched pool (the differential suite asserts
+//!   this). Multi-threaded, drains are batched but never lost
+//!   (`published == drained` after quiesce).
+//! * **Deferred dirtiness.** A writer cannot set the engine's dirty bit
+//!   without the latch, so `with_page_mut` records dirtiness twice: in the
+//!   published hit record (fed to the engine at drain) and in a per-frame
+//!   atomic flag set *after* the closure, swept into the engine by
+//!   `begin_evict` (merged into the victim's dirty bit before the
+//!   write-back decision) and by the flush-time sweep. Both sweeps are
+//!   conservative — a frame may be written back twice, never not at all.
+//!
+//! The core latch is taken only on miss, eviction, flush, swap, and stats
+//! — the per-shard [`core_latch_acquires`](OptimisticBufferPool::core_latch_acquires)
+//! counter (asserted flat across the hit-only phase in `bench_concurrency`)
+//! and the `blocking-under-latch`/`lock-order` facts (the fast-pin path
+//! contains no `ShardCore` acquisition) are the dynamic and static halves
+//! of that claim.
+//!
+//! # Ordering of a fast hit
+//!
+//! 1. probe: `(frame, policy, version)` from the bucket (seqlock read);
+//! 2. pin: `pin_word.fetch_add(1, SeqCst)`;
+//! 3. fence re-check: bucket version unchanged, else unpin and fall back;
+//! 4. claim a tick and publish the hit record (ring full ⇒ unpin, fall
+//!    back to the slow path carrying the claimed tick);
+//! 5. frame latch, user closure, drop latch;
+//! 6. dirty flag (writers), then `pin_word.fetch_sub(1, SeqCst)`.
+//!
+//! The slow path (and every other core-latch holder) drains the ring
+//! first, so policy metadata is always current before any replacement
+//! decision.
+
+use crate::disk::{DiskError, DiskStats};
+use crate::invariants::{self, LatchClass};
+use crate::latched::{LatchedBackend, LatchedFrame};
+use crate::pool::BufferError;
+use crate::shared_disk::ConcurrentDiskManager;
+use lruk_conc::publish::{PublishRing, RECORD_WORDS};
+use lruk_conc::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use lruk_conc::sync::Mutex;
+use lruk_conc::versioned::VersionedSlot;
+use lruk_policy::fxhash;
+use lruk_policy::{
+    AccessKind, CacheStats, CoreBackend, EngineError, Handle, PageId, PolicySlot,
+    ReplacementCore, ReplacementPolicy, Tick, VictimError, WriteBackCause,
+};
+
+/// In-flight hit records per shard before publication backpressure forces a
+/// hitter onto the (draining) slow path.
+pub const HIT_RING_CAPACITY: usize = 256;
+
+/// Probe-table key for a never-written bucket (probes stop here).
+const KEY_EMPTY: u64 = 0;
+/// Probe-table key for a removed entry (probes continue past it).
+const KEY_TOMBSTONE: u64 = 1;
+/// Longest tolerated probe run before an insert asks for a rebuild.
+const PROBE_LIMIT: usize = 16;
+
+/// Per-frame optimistic state. The page bytes themselves live in the
+/// colocated [`LatchedFrame`]; this is the lock-free residency side.
+struct FramePin {
+    /// Optimistic pin count: hitters `fetch_add` before the version
+    /// re-check, `fetch_sub` after the closure; the slow path bumps it
+    /// under the core latch. Non-zero refuses [`CoreBackend::begin_evict`].
+    // xtask-role: pin-count -- RMW-only inc/dec; the evictor's SeqCst load
+    // of zero (after the version bump) proves no hitter holds the frame.
+    pin_word: AtomicU32,
+    /// Deferred dirty flag, set (release) after a writer's closure and
+    /// consumed (`swap`) by the eviction fence and the flush sweep.
+    // xtask-role: publication-flag -- set after the data write it
+    // publishes; sweeps acquire it via swap before deciding write-backs.
+    frame_dirty: AtomicBool,
+}
+
+impl FramePin {
+    fn new() -> Self {
+        FramePin {
+            pin_word: AtomicU32::new(0),
+            frame_dirty: AtomicBool::new(false),
+        }
+    }
+}
+
+/// The read-mostly probe table: open addressing, linear probing, one
+/// [`VersionedSlot`] per bucket so readers get torn-free `(key, handle)`
+/// pairs without any latch.
+///
+/// **Write discipline:** every mutator (`install_entry`, `retire_entry`,
+/// `rebuild_from`) must be called with the shard core latch held — the
+/// seqlock writer side is single-writer by construction, and the core
+/// latch is that writer's lock. Readers (`probe_entry`, `entry_version`)
+/// are latch-free.
+struct ProbeTable {
+    /// Buckets: word 0 is the key (`page.raw() + 2`, or
+    /// [`KEY_EMPTY`]/[`KEY_TOMBSTONE`]), word 1 packs `frame | policy << 32`.
+    buckets: Vec<VersionedSlot<2>>,
+    mask: u64,
+}
+
+impl ProbeTable {
+    /// A table with at least `2 * frames` buckets (power of two), so load
+    /// factor stays ≤ 0.5 and probe runs short.
+    fn new(frames: usize) -> Self {
+        let cap = (frames.max(1) * 2).next_power_of_two().max(4);
+        ProbeTable {
+            buckets: (0..cap).map(|_| VersionedSlot::new([KEY_EMPTY, 0])).collect(),
+            mask: cap as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn key_of(page: PageId) -> u64 {
+        debug_assert!(page.raw() < u64::MAX - 2, "page id reserved for table keys");
+        page.raw() + 2
+    }
+
+    #[inline]
+    fn start_of(&self, page: PageId) -> u64 {
+        // Low bits of the shared Fx hash; shard routing uses the high bits,
+        // so in-shard bucket choice stays independent of shard choice.
+        fxhash::hash_u64(page.raw()) & self.mask
+    }
+
+    /// Latch-free lookup: `(frame, policy, bucket, version)` for `page`, or
+    /// `None` (possibly a false negative — the slow path is authoritative).
+    fn probe_entry(&self, page: PageId) -> Option<(u32, PolicySlot, usize, u64)> {
+        let key = Self::key_of(page);
+        let start = self.start_of(page);
+        for i in 0..=self.mask {
+            let idx = ((start + i) & self.mask) as usize;
+            let ([slot_key, payload], version) = self.buckets[idx].read_versioned();
+            if slot_key == KEY_EMPTY {
+                return None;
+            }
+            if slot_key == key {
+                let frame = (payload & u32::MAX as u64) as u32;
+                let policy = PolicySlot((payload >> 32) as u32);
+                return Some((frame, policy, idx, version));
+            }
+        }
+        None
+    }
+
+    /// Current version of bucket `idx` — the post-pin fence re-check.
+    #[inline]
+    fn entry_version(&self, idx: usize) -> u64 {
+        self.buckets[idx].version()
+    }
+
+    /// Insert or overwrite `page`'s entry. **Core latch required.** Returns
+    /// `false` when the probe run exceeded [`PROBE_LIMIT`] or found no free
+    /// bucket — the caller must [`rebuild_from`](Self::rebuild_from) (which
+    /// clears tombstones) and retry.
+    fn install_entry(&self, page: PageId, handle: Handle) -> bool {
+        let key = Self::key_of(page);
+        let payload = handle.frame as u64 | (handle.policy.0 as u64) << 32;
+        let start = self.start_of(page);
+        let mut free = None;
+        for i in 0..=self.mask {
+            let idx = ((start + i) & self.mask) as usize;
+            let [slot_key, _] = self.buckets[idx].read();
+            if slot_key == key {
+                self.buckets[idx].write([key, payload]);
+                return true;
+            }
+            if slot_key == KEY_TOMBSTONE {
+                free.get_or_insert(idx);
+            } else if slot_key == KEY_EMPTY {
+                let idx = free.unwrap_or(idx);
+                if i as usize > PROBE_LIMIT && free.is_none() {
+                    return false;
+                }
+                self.buckets[idx].write([key, payload]);
+                return true;
+            }
+        }
+        match free {
+            Some(idx) => {
+                self.buckets[idx].write([key, payload]);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Tombstone `page`'s entry, bumping its bucket version — the first
+    /// half of the eviction fence. **Core latch required.**
+    fn retire_entry(&self, page: PageId) {
+        let key = Self::key_of(page);
+        let start = self.start_of(page);
+        for i in 0..=self.mask {
+            let idx = ((start + i) & self.mask) as usize;
+            let [slot_key, _] = self.buckets[idx].read();
+            if slot_key == KEY_EMPTY {
+                return;
+            }
+            if slot_key == key {
+                self.buckets[idx].write([KEY_TOMBSTONE, 0]);
+                return;
+            }
+        }
+    }
+
+    /// Clear every bucket and re-install `entries` (the shard's resident
+    /// set). **Core latch required.** Concurrent probers see version bumps
+    /// and fall back — residency truth never leaves the core.
+    fn rebuild_from(&self, entries: impl Iterator<Item = (PageId, Handle)>) {
+        for bucket in &self.buckets {
+            bucket.write([KEY_EMPTY, 0]);
+        }
+        for (page, handle) in entries {
+            // Post-clear the table is tombstone-free and at most half full,
+            // so plain re-insertion always lands.
+            let _ = self.install_entry(page, handle);
+        }
+    }
+}
+
+/// One shard: the engine under its core latch, the frames it controls, and
+/// the lock-free hit-path state beside them.
+struct OptShard {
+    core: Mutex<ReplacementCore<'static>>,
+    frames: Vec<LatchedFrame>,
+    pins: Vec<FramePin>,
+    table: ProbeTable,
+    ring: PublishRing,
+    /// Per-shard reference clock: every reference (fast or slow) claims one
+    /// tick, so drained hit records and direct `access` calls interleave in
+    /// claim order and the single-threaded clock stream matches the latched
+    /// pool's exactly.
+    // xtask-role: monotonic-counter
+    tick: AtomicU64,
+    /// How many times the shard core latch was taken — the dynamic evidence
+    /// that the hit path is latch-free (flat across a hit-only phase).
+    // xtask-role: monotonic-counter
+    core_acquires: AtomicU64,
+}
+
+/// What a fast-path pin attempt decided.
+enum FastPath {
+    /// Pinned and published; the frame is safe to latch.
+    Pinned(u32),
+    /// Fall back to the slow path, carrying the already-claimed tick when
+    /// the fallback happened after the claim (ring full).
+    Fallback(Option<u64>),
+}
+
+/// The engine's I/O hooks for this pool: transfers delegate to the latched
+/// pool's [`LatchedBackend`] (same frame latches, same protocol), and
+/// [`begin_evict`](CoreBackend::begin_evict) adds the optimistic fence.
+struct OptimisticBackend<'a, C: ConcurrentDiskManager> {
+    io: LatchedBackend<'a, C>,
+    pins: &'a [FramePin],
+    table: &'a ProbeTable,
+}
+
+/// Backend error: a real device failure, or the eviction fence refusing a
+/// victim that a hitter pinned optimistically mid-selection (transient,
+/// multi-threaded only — surfaced as [`BufferError::NoVictim`]).
+enum OptIoError {
+    Disk(DiskError),
+    FrameBusy,
+}
+
+impl<C: ConcurrentDiskManager> CoreBackend for OptimisticBackend<'_, C> {
+    type Error = OptIoError;
+
+    fn write_back(
+        &mut self,
+        page: PageId,
+        slot: u32,
+        cause: WriteBackCause,
+    ) -> Result<(), OptIoError> {
+        self.io.write_back(page, slot, cause).map_err(OptIoError::Disk)
+    }
+
+    fn fill(&mut self, page: PageId, slot: u32) -> Result<(), OptIoError> {
+        self.io.fill(page, slot).map_err(OptIoError::Disk)
+    }
+
+    fn begin_evict(&mut self, page: PageId, slot: u32) -> Result<bool, OptIoError> {
+        // Eviction fence, in the documented order: (1) bump the bucket
+        // version by retiring the probe entry, so any prober that pins
+        // after this point fails its re-check; (2) read the pin word — a
+        // prober that pinned *before* the bump is visible here (its
+        // fetch_add and our retire-write are both RMWs, so neither hides in
+        // a store buffer); (3) collect the deferred dirty flag for the
+        // engine to merge. An `Err` aborts with the victim resident; its
+        // probe entry self-heals on the next slow-path hit.
+        self.table.retire_entry(page);
+        if self.pins[slot as usize].pin_word.load(Ordering::SeqCst) != 0 {
+            return Err(OptIoError::FrameBusy);
+        }
+        Ok(self.pins[slot as usize].frame_dirty.swap(false, Ordering::AcqRel))
+    }
+}
+
+/// Snapshot one shard's engine statistics (takes its core latch briefly).
+fn stats(shard: &OptShard) -> CacheStats {
+    shard.core.lock().stats()
+}
+
+/// A buffer pool whose hit path takes no shard core latch.
+pub struct OptimisticBufferPool<C: ConcurrentDiskManager> {
+    shards: Vec<OptShard>,
+    disk: C,
+}
+
+impl<C: ConcurrentDiskManager> OptimisticBufferPool<C> {
+    /// Partition `total_frames` across `shards` shards over `disk`, with a
+    /// fresh policy per shard from `make_policy`. Synchronous I/O, like
+    /// [`LatchedBufferPool::new`](crate::LatchedBufferPool::new).
+    pub fn new(
+        shards: usize,
+        total_frames: usize,
+        disk: C,
+        mut make_policy: impl FnMut() -> Box<dyn ReplacementPolicy>,
+    ) -> Self {
+        assert!(shards >= 1 && total_frames >= shards);
+        let base = total_frames / shards;
+        let extra = total_frames % shards;
+        let shards = (0..shards)
+            .map(|i| {
+                let n = base + usize::from(i < extra);
+                OptShard {
+                    core: Mutex::new(ReplacementCore::new(n, make_policy())),
+                    frames: (0..n).map(|_| LatchedFrame::new()).collect(),
+                    pins: (0..n).map(|_| FramePin::new()).collect(),
+                    table: ProbeTable::new(n),
+                    ring: PublishRing::new(HIT_RING_CAPACITY),
+                    tick: AtomicU64::new(0),
+                    core_acquires: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        OptimisticBufferPool { shards, disk }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total frames across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.frames.len()).sum()
+    }
+
+    /// The shared disk handle.
+    pub fn disk(&self) -> &C {
+        &self.disk
+    }
+
+    /// Disk I/O statistics.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    fn shard_of(&self, page: PageId) -> usize {
+        (fxhash::hash_u64(page.raw()) >> 32) as usize % self.shards.len()
+    }
+
+    /// The shard index `page` hashes to (identical routing to
+    /// [`LatchedBufferPool`](crate::LatchedBufferPool), so per-shard
+    /// comparisons line up).
+    pub fn shard_index(&self, page: PageId) -> usize {
+        self.shard_of(page)
+    }
+
+    /// Allocate a fresh disk page (not yet fetched into the pool).
+    pub fn allocate_page(&self) -> Result<PageId, BufferError> {
+        Ok(self.disk.allocate_page()?)
+    }
+
+    /// True if `page` is currently resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.shards[self.shard_of(page)].core.lock().contains(page)
+    }
+
+    /// Total hit records ever published across shards.
+    pub fn hit_records_published(&self) -> u64 {
+        self.shards.iter().map(|s| s.ring.published()).sum()
+    }
+
+    /// Total hit records ever drained into the engines across shards.
+    /// After every thread quiesces and a drain point runs (e.g.
+    /// [`stats`](Self::stats)), equals
+    /// [`hit_records_published`](Self::hit_records_published) — the "zero
+    /// lost hit records" invariant.
+    pub fn hit_records_drained(&self) -> u64 {
+        self.shards.iter().map(|s| s.ring.drained()).sum()
+    }
+
+    /// Total shard-core-latch acquisitions across shards. Hits never
+    /// contribute: a hit-only phase leaves this flat (asserted in
+    /// `bench_concurrency` and the unit tests below).
+    pub fn core_latch_acquires(&self) -> u64 {
+        self.shards.iter().map(|s| s.core_acquires.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Take `shard`'s core latch just long enough to drain its published
+    /// hit records — the maintenance-path drain step (stats, resets).
+    fn drain_published(shard: &OptShard) {
+        let _core_held = invariants::acquiring(LatchClass::ShardCore);
+        let mut core = shard.core.lock();
+        shard.core_acquires.fetch_add(1, Ordering::Relaxed);
+        Self::drain_ring(shard, &mut core);
+    }
+
+    /// Drain every published hit record into the engine. Callers must hold
+    /// the shard core latch (the ring's single-drainer requirement).
+    fn drain_ring(shard: &OptShard, core: &mut ReplacementCore<'static>) {
+        shard.ring.drain_with(|record| {
+            let (page, frame, policy, kind, pid, tick, dirty) = decode_record(record);
+            // Stale records (page evicted or re-homed since publication —
+            // multi-threaded only) still count the reference; fresh ones
+            // replay the policy hit at the claimed tick.
+            core.apply_published_hit(page, frame, policy, kind, pid, tick, dirty);
+        });
+    }
+
+    /// Install (or refresh) the probe-table entry for the page in `frame`
+    /// (slot-addressed: the access path just returned the frame, so no
+    /// page-table re-probe), rebuilding the table from the resident set
+    /// when tombstone pressure has degraded it.
+    fn install_probe(shard: &OptShard, core: &ReplacementCore<'static>, page: PageId, frame: u32) {
+        let Some(handle) = core.handle_at(frame) else { return };
+        if !shard.table.install_entry(page, handle) {
+            shard.table.rebuild_from(core.resident_handles().into_iter());
+        }
+    }
+
+    /// Fast hit path: latch-free probe, optimistic pin, fence re-check,
+    /// publish. Contains no `ShardCore` acquisition — that absence is the
+    /// static half of the latch-free-hit evidence.
+    fn try_fast_pin(&self, shard: &OptShard, page: PageId, dirty: bool) -> FastPath {
+        let Some((frame, policy, bucket, version)) = shard.table.probe_entry(page) else {
+            return FastPath::Fallback(None);
+        };
+        let pin = &shard.pins[frame as usize];
+        pin.pin_word.fetch_add(1, Ordering::SeqCst);
+        // Fence re-check: if the bucket changed since the probe (eviction,
+        // re-admission, rebuild), the pin may be on a repurposed frame —
+        // back out. Ordering argument in the module docs.
+        if shard.table.entry_version(bucket) != version {
+            pin.pin_word.fetch_sub(1, Ordering::SeqCst);
+            return FastPath::Fallback(None);
+        }
+        let tick = shard.tick.fetch_add(1, Ordering::SeqCst) + 1;
+        let record = encode_record(page, frame, policy, AccessKind::Random, 0, tick, dirty);
+        if !shard.ring.try_publish(record) {
+            // Backpressure: the ring is a full lap ahead of the drainer.
+            // Fall back to the slow path (which drains) re-using the
+            // claimed tick, so the reference still costs exactly one tick.
+            pin.pin_word.fetch_sub(1, Ordering::SeqCst);
+            return FastPath::Fallback(Some(tick));
+        }
+        FastPath::Pinned(frame)
+    }
+
+    /// Slow path: everything the fast path could not prove, under the core
+    /// latch. Drains the ring first (policy metadata current before any
+    /// decision), registers transient engine pins mirroring live optimistic
+    /// pins (so victim selection skips frames hitters hold), then runs the
+    /// engine's full reference lifecycle.
+    fn slow_access(
+        &self,
+        shard: &OptShard,
+        page: PageId,
+        claimed: Option<u64>,
+    ) -> Result<u32, BufferError> {
+        let _core_held = invariants::acquiring(LatchClass::ShardCore);
+        let mut core = shard.core.lock();
+        shard.core_acquires.fetch_add(1, Ordering::Relaxed);
+        Self::drain_ring(shard, &mut core);
+        // Transient pin parity: frames optimistically pinned right now
+        // become engine pins for the duration of this access, so
+        // `select_victim` never proposes them (single-threaded this set is
+        // empty and the engine sees exactly the latched pool's pin state).
+        let mut transient: Vec<u32> = Vec::new();
+        for (fid, pin) in shard.pins.iter().enumerate() {
+            let fid = fid as u32;
+            if pin.pin_word.load(Ordering::SeqCst) != 0 && core.page_of(fid).is_some() {
+                core.pin_slot(fid)?;
+                transient.push(fid);
+            }
+        }
+        let tick = match claimed {
+            Some(t) => t,
+            None => shard.tick.fetch_add(1, Ordering::SeqCst) + 1,
+        };
+        // The engine's clock advances by one inside `access`; rebase so the
+        // access lands exactly on this reference's claimed tick (clamped
+        // forward — a concurrent claimant may already have moved it past).
+        let rebased = core.clock().raw().max(tick - 1);
+        core.rebase_clock(Tick(rebased));
+        let mut io = OptimisticBackend {
+            io: LatchedBackend { frames: &shard.frames, disk: &self.disk },
+            pins: &shard.pins,
+            table: &shard.table,
+        };
+        // xtask-allow: blocking-under-latch -- slow path: a miss fill runs under the shard core latch by design, exactly like the latched tier's sync arm; hits bypass this function entirely
+        let outcome = core.access(page, AccessKind::Random, 0, &mut io);
+        for fid in transient {
+            core.unpin_slot(fid, false)?;
+        }
+        let frame = match outcome {
+            Ok(o) => o.slot(),
+            Err(e) => return Err(map_engine_error(e)),
+        };
+        Self::install_probe(shard, &core, page, frame);
+        // User pin, taken while the core still excludes every evictor.
+        shard.pins[frame as usize].pin_word.fetch_add(1, Ordering::SeqCst);
+        Ok(frame)
+    }
+
+    /// Pin `page`, fast path first. On return the frame cannot be evicted
+    /// until [`unpin_frame`](Self::unpin_frame). (Named `pin_frame_for`,
+    /// not `pin`, so the analyzer's bare-name may-block union does not
+    /// conflate it with the engine's in-memory pin bookkeeping.)
+    fn pin_frame_for(&self, shard: &OptShard, page: PageId, dirty: bool) -> Result<u32, BufferError> {
+        match self.try_fast_pin(shard, page, dirty) {
+            FastPath::Pinned(frame) => Ok(frame),
+            FastPath::Fallback(claimed) => self.slow_access(shard, page, claimed),
+        }
+    }
+
+    /// Release a pin; `dirty` raises the deferred per-frame flag *before*
+    /// the pin drops, so an evictor that observes the frame unpinned also
+    /// observes its dirtiness. Latch-free — unlike the latched pool, unpin
+    /// never touches the shard core.
+    fn unpin_frame(shard: &OptShard, frame: u32, dirty: bool) {
+        let pin = &shard.pins[frame as usize];
+        if dirty {
+            pin.frame_dirty.store(true, Ordering::Release);
+        }
+        pin.pin_word.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Run `f` over the contents of `page` (read-only). Concurrent readers
+    /// of the same page proceed in parallel; on a hit, no shard latch is
+    /// taken at all.
+    pub fn with_page<R>(&self, page: PageId, f: impl FnOnce(&[u8]) -> R) -> Result<R, BufferError> {
+        let shard = &self.shards[self.shard_of(page)];
+        let frame = self.pin_frame_for(shard, page, false)?;
+        let out = {
+            let _user = invariants::acquiring(LatchClass::FrameUser);
+            f(&shard.frames[frame as usize].data.read_recursive())
+        };
+        Self::unpin_frame(shard, frame, false);
+        Ok(out)
+    }
+
+    /// Run `f` over the contents of `page` (read-write; marks it dirty).
+    pub fn with_page_mut<R>(
+        &self,
+        page: PageId,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, BufferError> {
+        let shard = &self.shards[self.shard_of(page)];
+        let frame = self.pin_frame_for(shard, page, true)?;
+        let out = {
+            let _user = invariants::acquiring(LatchClass::FrameUser);
+            f(&mut shard.frames[frame as usize].data.write())
+        };
+        Self::unpin_frame(shard, frame, true);
+        Ok(out)
+    }
+
+    /// Aggregated hit/miss statistics across shards. A drain point: every
+    /// published hit is folded in before the snapshot, so quiesced totals
+    /// are exact.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            Self::drain_published(shard);
+            shard.core_acquires.fetch_add(1, Ordering::Relaxed);
+            total.merge(&shard.core.lock().stats());
+        }
+        total
+    }
+
+    /// Reset hit/miss statistics (e.g. after a warmup phase). Drains first,
+    /// so pre-reset hits cannot leak into the post-reset window.
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            Self::drain_published(shard);
+            shard.core_acquires.fetch_add(1, Ordering::Relaxed);
+            shard.core.lock().reset_stats();
+        }
+    }
+
+    /// Hit/miss statistics of one shard (drained, like [`stats`](Self::stats)).
+    pub fn shard_stats(&self, shard: usize) -> CacheStats {
+        let s = &self.shards[shard];
+        Self::drain_published(s);
+        s.core_acquires.fetch_add(1, Ordering::Relaxed);
+        stats(s)
+    }
+
+    /// Display name of the policy currently installed in `shard`.
+    pub fn shard_policy_name(&self, shard: usize) -> String {
+        self.shards[shard].core.lock().policy().name()
+    }
+
+    /// Hot-swap the replacement policy of one shard (see
+    /// [`ReplacementCore::swap_policy`]). A drain point: published hits are
+    /// folded into the *outgoing* policy first, so its exported history is
+    /// current; the probe table is rebuilt afterwards because the transfer
+    /// re-homes every policy slot.
+    pub fn swap_policy(
+        &self,
+        shard: usize,
+        next: Box<dyn ReplacementPolicy>,
+    ) -> Result<(), BufferError> {
+        let s = &self.shards[shard];
+        let _core_held = invariants::acquiring(LatchClass::ShardCore);
+        let mut core = s.core.lock();
+        s.core_acquires.fetch_add(1, Ordering::Relaxed);
+        Self::drain_ring(s, &mut core);
+        // xtask-allow: blocking-under-latch -- in-memory policy-metadata transfer under the core latch by design (same bare-name over-approximation as the latched tier; atomicity against pins is the point)
+        core.swap_policy(next)?;
+        s.table.rebuild_from(core.resident_handles().into_iter());
+        Ok(())
+    }
+
+    /// Write every dirty resident page back. A drain point; the deferred
+    /// per-frame dirty flags are swept into the engine first, so writers
+    /// that never re-entered the core still get their pages flushed.
+    pub fn flush_all(&self) -> Result<(), BufferError> {
+        for shard in &self.shards {
+            let _core_held = invariants::acquiring(LatchClass::ShardCore);
+            let mut core = shard.core.lock();
+            shard.core_acquires.fetch_add(1, Ordering::Relaxed);
+            Self::drain_ring(shard, &mut core);
+            for fid in 0..shard.frames.len() as u32 {
+                if shard.pins[fid as usize].frame_dirty.swap(false, Ordering::AcqRel)
+                    && core.page_of(fid).is_some()
+                {
+                    core.mark_dirty_slot(fid)?;
+                }
+            }
+            let mut io = OptimisticBackend {
+                io: LatchedBackend { frames: &shard.frames, disk: &self.disk },
+                pins: &shard.pins,
+                table: &shard.table,
+            };
+            // xtask-allow: blocking-under-latch -- flush sweep writes back under the shard core latch by design, exactly like the latched tier's sync arm
+            core.flush_all(&mut io).map_err(map_engine_error)?;
+        }
+        Ok(())
+    }
+}
+
+/// Map an engine error (with the optimistic backend's error type) onto the
+/// pool's error. The fence refusal surfaces as `NoVictim(AllPinned)`:
+/// transient, multi-threaded only — retry like any pinned-out condition.
+fn map_engine_error(e: EngineError<OptIoError>) -> BufferError {
+    match e {
+        EngineError::Core(c) => c.into(),
+        EngineError::Backend(OptIoError::Disk(d)) => d.into(),
+        EngineError::Backend(OptIoError::FrameBusy) => {
+            BufferError::NoVictim(VictimError::AllPinned)
+        }
+    }
+}
+
+/// Pack one hit record: page, frame/policy handle, claimed tick, and a
+/// flags word (`bit 0` dirty, `bits 1–2` access kind, `bits 8+` process).
+fn encode_record(
+    page: PageId,
+    frame: u32,
+    policy: PolicySlot,
+    kind: AccessKind,
+    pid: u64,
+    tick: u64,
+    dirty: bool,
+) -> [u64; RECORD_WORDS] {
+    let kind = match kind {
+        AccessKind::Random => 0u64,
+        AccessKind::Sequential => 1,
+        AccessKind::Navigational => 2,
+        AccessKind::Index => 3,
+    };
+    [
+        page.raw(),
+        frame as u64 | (policy.0 as u64) << 32,
+        tick,
+        u64::from(dirty) | kind << 1 | pid << 8,
+    ]
+}
+
+/// Unpack [`encode_record`]'s wire format.
+fn decode_record(r: [u64; RECORD_WORDS]) -> (PageId, u32, PolicySlot, AccessKind, u64, Tick, bool) {
+    let [page, handle, tick, flags] = r;
+    let kind = match (flags >> 1) & 3 {
+        0 => AccessKind::Random,
+        1 => AccessKind::Sequential,
+        2 => AccessKind::Navigational,
+        _ => AccessKind::Index,
+    };
+    (
+        PageId(page),
+        (handle & u32::MAX as u64) as u32,
+        PolicySlot((handle >> 32) as u32),
+        kind,
+        flags >> 8,
+        Tick(tick),
+        flags & 1 == 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::BufferPoolManager;
+    use crate::shared_disk::ConcurrentInMemoryDisk;
+    use crate::InMemoryDisk;
+    use lruk_core::LruK;
+    use std::sync::Arc;
+
+    fn make(
+        shards: usize,
+        frames: usize,
+        disk_pages: usize,
+    ) -> (OptimisticBufferPool<ConcurrentInMemoryDisk>, Vec<PageId>) {
+        let disk = ConcurrentInMemoryDisk::unbounded();
+        let pool = OptimisticBufferPool::new(shards, frames, disk, || Box::new(LruK::lru2()));
+        let pages: Vec<PageId> = (0..disk_pages).map(|_| pool.allocate_page().unwrap()).collect();
+        (pool, pages)
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let r = encode_record(PageId(7), 3, PolicySlot(9), AccessKind::Index, 42, 1001, true);
+        let (page, frame, policy, kind, pid, tick, dirty) = decode_record(r);
+        assert_eq!(page, PageId(7));
+        assert_eq!(frame, 3);
+        assert_eq!(policy, PolicySlot(9));
+        assert_eq!(kind, AccessKind::Index);
+        assert_eq!(pid, 42);
+        assert_eq!(tick, Tick(1001));
+        assert!(dirty);
+    }
+
+    #[test]
+    fn probe_table_install_retire_rebuild() {
+        let t = ProbeTable::new(4);
+        let h = |f: u32| Handle { frame: f, policy: PolicySlot(f + 100) };
+        assert!(t.install_entry(PageId(1), h(0)));
+        assert!(t.install_entry(PageId(2), h(1)));
+        let (f, p, _, _) = t.probe_entry(PageId(1)).unwrap();
+        assert_eq!((f, p), (0, PolicySlot(100)));
+        // Overwrite refreshes in place.
+        assert!(t.install_entry(PageId(1), h(3)));
+        assert_eq!(t.probe_entry(PageId(1)).unwrap().0, 3);
+        t.retire_entry(PageId(1));
+        assert!(t.probe_entry(PageId(1)).is_none());
+        assert!(t.probe_entry(PageId(2)).is_some(), "tombstones are skipped, not stops");
+        t.rebuild_from([(PageId(9), h(2))].into_iter());
+        assert!(t.probe_entry(PageId(2)).is_none(), "rebuild clears stale entries");
+        assert_eq!(t.probe_entry(PageId(9)).unwrap().0, 2);
+    }
+
+    #[test]
+    fn probe_version_changes_on_retire() {
+        let t = ProbeTable::new(4);
+        let h = Handle { frame: 0, policy: PolicySlot(0) };
+        t.install_entry(PageId(5), h);
+        let (_, _, bucket, version) = t.probe_entry(PageId(5)).unwrap();
+        t.retire_entry(PageId(5));
+        assert_ne!(t.entry_version(bucket), version, "the fence re-check must fail");
+    }
+
+    #[test]
+    fn read_write_roundtrip_and_eviction_writeback() {
+        let (pool, pages) = make(2, 4, 16);
+        for (i, &p) in pages.iter().enumerate() {
+            pool.with_page_mut(p, |data| data[0] = i as u8).unwrap();
+        }
+        // 16 pages through 4 frames: evictions wrote the early pages back.
+        for (i, &p) in pages.iter().enumerate() {
+            let got = pool.with_page(p, |data| data[0]).unwrap();
+            assert_eq!(got, i as u8, "page {i} lost its bytes");
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, 32);
+        assert!(pool.disk_stats().writes > 0, "dirty evictions must write back");
+    }
+
+    #[test]
+    fn hits_take_no_core_latch() {
+        let (pool, pages) = make(1, 4, 4);
+        for &p in &pages {
+            pool.with_page(p, |_| ()).unwrap();
+        }
+        let before = pool.core_latch_acquires();
+        for _ in 0..50 {
+            for &p in &pages {
+                pool.with_page(p, |_| ()).unwrap();
+            }
+        }
+        assert_eq!(
+            pool.core_latch_acquires(),
+            before,
+            "a hit-only phase must not touch the shard core latch"
+        );
+        assert!(pool.hit_records_published() >= 200);
+        let stats = pool.stats(); // drain point
+        assert_eq!(stats.hits, 200, "every fast-path reference counted as a hit");
+        assert_eq!(stats.misses, 4, "only the warmup cold misses");
+        assert_eq!(pool.hit_records_published(), pool.hit_records_drained());
+    }
+
+    #[test]
+    fn ring_backpressure_falls_back_and_loses_nothing() {
+        let (pool, pages) = make(1, 2, 2);
+        let hot = pages[0];
+        pool.with_page(hot, |_| ()).unwrap();
+        let refs = HIT_RING_CAPACITY * 3;
+        for _ in 0..refs {
+            pool.with_page(hot, |_| ()).unwrap();
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits as usize, refs);
+        assert_eq!(pool.hit_records_published(), pool.hit_records_drained());
+        assert!(
+            (pool.hit_records_published() as usize) < refs,
+            "some hits must have taken the backpressure fallback"
+        );
+    }
+
+    #[test]
+    fn stats_account_every_reference() {
+        let (pool, pages) = make(4, 8, 32);
+        let mut refs = 0u64;
+        for round in 0..5 {
+            for &p in pages.iter().skip(round % 3) {
+                pool.with_page(p, |_| ()).unwrap();
+                refs += 1;
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.hits + stats.misses, refs);
+        assert_eq!(pool.hit_records_published(), pool.hit_records_drained());
+    }
+
+    #[test]
+    fn nested_reads_of_same_page_do_not_deadlock() {
+        let (pool, pages) = make(1, 2, 2);
+        let p = pages[0];
+        pool.with_page(p, |_| ()).unwrap();
+        let out = pool
+            .with_page(p, |outer| {
+                let first = outer[0];
+                pool.with_page(p, |inner| (first, inner[0])).unwrap()
+            })
+            .unwrap();
+        assert_eq!(out.0, out.1);
+    }
+
+    #[test]
+    fn pinned_pages_are_not_victimized() {
+        let (pool, pages) = make(1, 2, 4);
+        let hot = pages[0];
+        pool.with_page_mut(hot, |d| d[0] = 77).unwrap();
+        pool.with_page(hot, |_| {
+            // Two frames, one pinned by this closure: every other access
+            // must victimize the *other* frame (transient pin parity keeps
+            // the engine off ours) and the pool must not error.
+            for &p in &pages[1..] {
+                pool.with_page(p, |_| ()).unwrap();
+            }
+        })
+        .unwrap();
+        assert_eq!(pool.with_page(hot, |d| d[0]).unwrap(), 77);
+    }
+
+    #[test]
+    fn flush_all_sweeps_deferred_dirty_flags() {
+        let (pool, pages) = make(2, 4, 4);
+        for &p in &pages {
+            pool.with_page_mut(p, |d| d[0] = 1).unwrap();
+        }
+        let writes_before = pool.disk_stats().writes;
+        pool.flush_all().unwrap();
+        let wrote = pool.disk_stats().writes - writes_before;
+        assert_eq!(wrote, 4, "every dirty resident page flushes exactly once");
+        let writes_before = pool.disk_stats().writes;
+        pool.flush_all().unwrap();
+        assert_eq!(pool.disk_stats().writes, writes_before, "second flush finds all clean");
+    }
+
+    #[test]
+    fn swap_policy_preserves_residents_and_data() {
+        let (pool, pages) = make(2, 4, 4);
+        for (i, &p) in pages.iter().enumerate() {
+            pool.with_page_mut(p, |d| d[0] = 10 + i as u8).unwrap();
+        }
+        for shard in 0..pool.shard_count() {
+            pool.swap_policy(shard, Box::new(LruK::lru2())).unwrap();
+        }
+        for (i, &p) in pages.iter().enumerate() {
+            assert!(pool.contains(p), "swap must not drop residents");
+            assert_eq!(pool.with_page(p, |d| d[0]).unwrap(), 10 + i as u8);
+        }
+        // The rebuilt probe table still serves latch-free hits.
+        let before = pool.core_latch_acquires();
+        for &p in &pages {
+            pool.with_page(p, |_| ()).unwrap();
+        }
+        assert_eq!(pool.core_latch_acquires(), before);
+    }
+
+    /// The decisive single-threaded test: same LCG trace, the optimistic
+    /// pool and the sequential [`BufferPoolManager`] agree on every
+    /// aggregate (the event-level twin lives in the differential suite).
+    #[test]
+    fn single_threaded_single_shard_matches_sequential_pool_exactly() {
+        let (pool, pages) = make(1, 8, 64);
+        let disk = InMemoryDisk::new(64);
+        let mut seq = BufferPoolManager::new(8, disk, Box::new(LruK::lru2()));
+        let seq_pages: Vec<PageId> = (0..64).map(|_| seq.allocate_page().unwrap()).collect();
+        let mut state = 0xDEADBEEFu64;
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = ((state >> 33) % 64) as usize;
+            let write = state % 4 == 0;
+            if write {
+                pool.with_page_mut(pages[i], |d| d[0] = d[0].wrapping_add(1)).unwrap();
+                let g = seq.fetch_page_mut(seq_pages[i]).unwrap();
+                drop(g);
+            } else {
+                pool.with_page(pages[i], |_| ()).unwrap();
+                let g = seq.fetch_page(seq_pages[i]).unwrap();
+                drop(g);
+            }
+        }
+        let a = pool.stats();
+        let b = seq.stats();
+        assert_eq!(a.hits, b.hits, "hit streams diverged");
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.evictions, b.evictions);
+    }
+
+    /// Latched vs optimistic on the same trace: identical engine stats and
+    /// identical disk read counts (write timing differs only by flush
+    /// deferral, so compare reads).
+    #[test]
+    fn matches_latched_pool_exactly_single_threaded() {
+        use crate::LatchedBufferPool;
+        let (opt, opt_pages) = make(4, 16, 64);
+        let lat = LatchedBufferPool::new(
+            4,
+            16,
+            ConcurrentInMemoryDisk::unbounded(),
+            || Box::new(LruK::lru2()),
+        );
+        let lat_pages: Vec<PageId> = (0..64).map(|_| lat.allocate_page().unwrap()).collect();
+        let mut state = 0x5EEDu64;
+        for _ in 0..8000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let i = ((state >> 33) % 64) as usize;
+            if state % 5 == 0 {
+                opt.with_page_mut(opt_pages[i], |d| d[0] = 1).unwrap();
+                lat.with_page_mut(lat_pages[i], |d| d[0] = 1).unwrap();
+            } else {
+                opt.with_page(opt_pages[i], |_| ()).unwrap();
+                lat.with_page(lat_pages[i], |_| ()).unwrap();
+            }
+        }
+        let a = opt.stats();
+        let b = lat.stats();
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(
+            opt.disk_stats().reads,
+            lat.disk_stats().reads,
+            "identical miss streams must read identically"
+        );
+        assert_eq!(opt.hit_records_published(), opt.hit_records_drained());
+    }
+
+    #[test]
+    fn concurrent_counter_increments_are_all_applied() {
+        let (pool, pages) = make(2, 4, 8);
+        let pool = Arc::new(pool);
+        let counter = pages[0];
+        pool.with_page_mut(counter, |d| d[..8].copy_from_slice(&0u64.to_le_bytes()))
+            .unwrap();
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                let pages = pages.clone();
+                std::thread::spawn(move || {
+                    for k in 0..200 {
+                        loop {
+                            let done = pool.with_page_mut(counter, |d| {
+                                let mut v = u64::from_le_bytes(d[..8].try_into().unwrap());
+                                v += 1;
+                                d[..8].copy_from_slice(&v.to_le_bytes());
+                            });
+                            match done {
+                                Ok(()) => break,
+                                // Transient fence refusal: retry.
+                                Err(BufferError::NoVictim(_)) => std::thread::yield_now(),
+                                Err(e) => panic!("{e}"),
+                            }
+                        }
+                        // Churn other pages to force evictions around the
+                        // counter page.
+                        let p = pages[1 + (t * 7 + k) % (pages.len() - 1)];
+                        let _ = pool.with_page(p, |_| ());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total = pool
+            .with_page(counter, |d| u64::from_le_bytes(d[..8].try_into().unwrap()))
+            .unwrap();
+        assert_eq!(total, 800, "increments lost under concurrency");
+        let stats = pool.stats();
+        assert_eq!(pool.hit_records_published(), pool.hit_records_drained());
+        assert!(stats.hits + stats.misses >= 1602, "every attempt counted");
+    }
+
+    #[test]
+    fn multithreaded_hit_ratio_tracks_latched_pool() {
+        use crate::LatchedBufferPool;
+        let (opt, opt_pages) = make(4, 32, 128);
+        let lat = Arc::new(LatchedBufferPool::new(
+            4,
+            32,
+            ConcurrentInMemoryDisk::unbounded(),
+            || Box::new(LruK::lru2()),
+        ));
+        let lat_pages: Vec<PageId> = (0..128).map(|_| lat.allocate_page().unwrap()).collect();
+        let opt = Arc::new(opt);
+        let run = |seed: u64, refs: usize, go: Box<dyn Fn(usize, bool) + Send + Sync>| {
+            let go = Arc::new(go);
+            let hs: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let go = Arc::clone(&go);
+                    std::thread::spawn(move || {
+                        let mut state = seed ^ (t.wrapping_mul(0x9E3779B97F4A7C15));
+                        for _ in 0..refs {
+                            state = state
+                                .wrapping_mul(6364136223846793005)
+                                .wrapping_add(1442695040888963407);
+                            // Zipfian-ish: half the traffic on 8 hot pages.
+                            let i = if state & 1 == 0 {
+                                ((state >> 33) % 8) as usize
+                            } else {
+                                ((state >> 33) % 128) as usize
+                            };
+                            go(i, state % 7 == 0);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+        };
+        {
+            let opt = Arc::clone(&opt);
+            run(
+                42,
+                2000,
+                Box::new(move |i, w| loop {
+                    let r = if w {
+                        opt.with_page_mut(opt_pages[i], |d| d[0] = 1)
+                    } else {
+                        opt.with_page(opt_pages[i], |_| ())
+                    };
+                    match r {
+                        Ok(()) => break,
+                        Err(BufferError::NoVictim(_)) => std::thread::yield_now(),
+                        Err(e) => panic!("{e}"),
+                    }
+                }),
+            );
+        }
+        {
+            let lat = Arc::clone(&lat);
+            run(
+                42,
+                2000,
+                Box::new(move |i, w| {
+                    if w {
+                        lat.with_page_mut(lat_pages[i], |d| d[0] = 1).unwrap();
+                    } else {
+                        lat.with_page(lat_pages[i], |_| ()).unwrap();
+                    }
+                }),
+            );
+        }
+        let a = opt.stats();
+        let b = lat.stats();
+        assert!(pool_ratio(&a) > 0.0);
+        let diff = (pool_ratio(&a) - pool_ratio(&b)).abs();
+        assert!(
+            diff < 0.05,
+            "hit ratios diverged: optimistic {:.3} vs latched {:.3}",
+            pool_ratio(&a),
+            pool_ratio(&b)
+        );
+        assert_eq!(opt.hit_records_published(), opt.hit_records_drained());
+    }
+
+    fn pool_ratio(s: &CacheStats) -> f64 {
+        s.hits as f64 / (s.hits + s.misses) as f64
+    }
+}

@@ -38,6 +38,14 @@ impl<D: DiskManager> SharedDisk<D> {
     fn new(inner: std::sync::Arc<Mutex<D>>) -> Self {
         SharedDisk { inner }
     }
+
+    /// Run one device operation with the disk latch held. SharedDisk
+    /// serializes a sequential device; the mutex covers exactly the device
+    /// call `op` makes — the contract the per-call suppressions used to
+    /// restate five times over.
+    fn with_device<R>(&self, op: impl FnOnce(&mut D) -> R) -> R {
+        op(&mut self.inner.lock())
+    }
 }
 
 impl<D: DiskManager> DiskManager for SharedDisk<D> {
@@ -47,25 +55,20 @@ impl<D: DiskManager> DiskManager for SharedDisk<D> {
         let mut staged = [0u8; PAGE_SIZE];
         if buf.len() != PAGE_SIZE {
             // Let the device report its canonical error for bad lengths.
-            // xtask-allow: blocking-under-latch -- SharedDisk serializes a sequential device; the mutex covers exactly the device call
-            return self.inner.lock().read_page(page, buf);
+            return self.with_device(|d| d.read_page(page, buf));
         }
-        // xtask-allow: blocking-under-latch -- SharedDisk serializes a sequential device; the mutex covers exactly the device call
-        self.inner.lock().read_page(page, &mut staged)?;
+        self.with_device(|d| d.read_page(page, &mut staged))?;
         buf.copy_from_slice(&staged);
         Ok(())
     }
     fn write_page(&mut self, page: PageId, data: &[u8]) -> Result<(), DiskError> {
-        // xtask-allow: blocking-under-latch -- SharedDisk serializes a sequential device; the mutex covers exactly the device call
-        self.inner.lock().write_page(page, data)
+        self.with_device(|d| d.write_page(page, data))
     }
     fn allocate_page(&mut self) -> Result<PageId, DiskError> {
-        // xtask-allow: blocking-under-latch -- SharedDisk serializes a sequential device; the mutex covers exactly the device call
-        self.inner.lock().allocate_page()
+        self.with_device(|d| d.allocate_page())
     }
     fn deallocate_page(&mut self, page: PageId) -> Result<(), DiskError> {
-        // xtask-allow: blocking-under-latch -- SharedDisk serializes a sequential device; the mutex covers exactly the device call
-        self.inner.lock().deallocate_page(page)
+        self.with_device(|d| d.deallocate_page(page))
     }
     fn is_allocated(&self, page: PageId) -> bool {
         self.inner.lock().is_allocated(page)

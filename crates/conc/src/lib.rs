@@ -37,6 +37,7 @@
 pub mod clock;
 pub mod model;
 pub mod models;
+pub mod publish;
 pub mod report;
 pub mod rng;
 pub mod sched;

@@ -10,6 +10,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use crate::model;
+use crate::publish::PublishRing;
 use crate::versioned::VersionedSlot;
 use crate::vsync::{SharedRaceCell, VAtomicU64, VCondvar, VMutex};
 
@@ -445,6 +446,281 @@ pub fn versioned_slot_writer_retry() -> impl Fn() + Send + Sync + 'static {
         reader.join();
         let [a, b] = slot.read();
         model::check(a == 2 && b == 2, "last write wins");
+    }
+}
+
+/// The latch-free hit path's eviction fence (DESIGN.md §4.10), modelled
+/// exactly: the prober reads a page-table bucket through the seqlock,
+/// publishes its pin with a `SeqCst` RMW, and **re-checks the bucket
+/// version** before touching frame bytes; the evictor retires the bucket
+/// (version bump through [`VersionedSlot::write`]) *before* loading the pin
+/// word. The Dekker shape means at most one side proceeds: a prober that
+/// pinned before the retire is seen by the evictor's pin load; a prober
+/// that pinned after fails the version re-check and backs out. No schedule
+/// may report a race or a stale frame read — this is the clean twin of the
+/// two seeded bugs below.
+pub fn optimistic_probe_vs_evict() -> impl Fn() + Send + Sync + 'static {
+    || {
+        // Bucket holds [key, frame]; key 7 is resident in frame 0, whose
+        // bytes are the race-checked cell. Tombstone key is 1, as in the
+        // real probe table.
+        let bucket = Arc::new(VersionedSlot::new([7u64, 0u64]));
+        let pin = Arc::new(VAtomicU64::new(0));
+        let frame = Arc::new(SharedRaceCell::new(0x7A6Eu64));
+
+        let prober = {
+            let (bucket, pin, frame) =
+                (Arc::clone(&bucket), Arc::clone(&pin), Arc::clone(&frame));
+            model::spawn(move || {
+                let ([key, _slot], version) = bucket.read_versioned();
+                if key == 7 {
+                    pin.fetch_add(1, Ordering::SeqCst);
+                    if bucket.version() == version {
+                        // Fence held: the evictor's retire bumps the
+                        // version first, so an unchanged version means our
+                        // pin is visible before any pin check.
+                        model::check(
+                            frame.get() == 0x7A6E,
+                            "pinned hit must read live frame bytes",
+                        );
+                    }
+                    // Mismatch path backs out the same way a hit returns.
+                    pin.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+        };
+        let evictor = {
+            let (bucket, pin, frame) =
+                (Arc::clone(&bucket), Arc::clone(&pin), Arc::clone(&frame));
+            model::spawn(move || {
+                // Retire first: probers arriving later fail the re-check.
+                bucket.write([1, 0]);
+                // Pin check second: probers arriving earlier are visible.
+                if pin.load(Ordering::SeqCst) == 0 {
+                    frame.set(0xDEAD); // repurpose the frame
+                }
+            })
+        };
+        prober.join();
+        evictor.join();
+    }
+}
+
+/// Write-side twin of [`optimistic_probe_vs_evict`]: the client pins
+/// optimistically, mutates the frame, publishes dirtiness (`Release`
+/// store *before* the unpin RMW — the pool's `unpin_frame` order), and
+/// unpins; the evictor retires the bucket, checks the pin word, and only
+/// then claims the dirty flag and repurposes the frame. Two invariants on
+/// every schedule: the frame write and the repurpose never race, and a
+/// claimed dirty flag always comes with visible frame bytes (no lost
+/// write-back).
+pub fn optimistic_pin_vs_invalidate() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let bucket = Arc::new(VersionedSlot::new([7u64, 0u64]));
+        let pin = Arc::new(VAtomicU64::new(0));
+        let dirty = Arc::new(VAtomicU64::new(0));
+        let frame = Arc::new(SharedRaceCell::new(0x7A6Eu64));
+
+        let client = {
+            let (bucket, pin, dirty, frame) = (
+                Arc::clone(&bucket),
+                Arc::clone(&pin),
+                Arc::clone(&dirty),
+                Arc::clone(&frame),
+            );
+            model::spawn(move || {
+                let ([key, _slot], version) = bucket.read_versioned();
+                if key == 7 {
+                    pin.fetch_add(1, Ordering::SeqCst);
+                    if bucket.version() == version {
+                        frame.set(0xA11CE);
+                        // Dirtiness before the unpin edge: whoever sees
+                        // the pin drop also sees the flag and the bytes.
+                        dirty.store(1, Ordering::Release);
+                    }
+                    pin.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+        };
+        let evictor = {
+            let (bucket, pin, dirty, frame) = (
+                Arc::clone(&bucket),
+                Arc::clone(&pin),
+                Arc::clone(&dirty),
+                Arc::clone(&frame),
+            );
+            model::spawn(move || {
+                bucket.write([1, 0]);
+                if pin.load(Ordering::SeqCst) == 0 {
+                    if dirty.swap(0, Ordering::AcqRel) == 1 {
+                        // Claimed a deferred dirty flag: the writer's
+                        // bytes must be visible (write-back reads these).
+                        model::check(
+                            frame.get() == 0xA11CE,
+                            "claimed dirty flag implies visible frame bytes",
+                        );
+                    }
+                    frame.set(0xDEAD);
+                }
+            })
+        };
+        client.join();
+        evictor.join();
+    }
+}
+
+/// Hit-publication ring vs `swap_policy` drain: two producers publish hit
+/// records lock-free while a swapper drains the ring *under the core
+/// latch* and then bumps the policy epoch — the single-drainer discipline
+/// the pool enforces at every drain point. On every schedule each drained
+/// record must be internally consistent (payload words agree — the
+/// publication-edge check) and after a final drain nothing is lost:
+/// `published == drained`.
+pub fn hit_buffer_drain_vs_swap() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let core = Arc::new(VMutex::new(()));
+        let ring = Arc::new(PublishRing::new(4));
+        let epoch = Arc::new(SharedRaceCell::new(0u64));
+
+        let producers: Vec<_> = (1..=2u64)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                model::spawn(move || {
+                    for k in 0..2u64 {
+                        // Capacity 4 ≥ the 4 records ever in flight, so
+                        // publication must succeed without a fallback.
+                        model::check(
+                            ring.try_publish([t, t * 1000 + k, 0, 0]),
+                            "ring sized for all in-flight records",
+                        );
+                    }
+                })
+            })
+            .collect();
+        let swapper = {
+            let (core, ring, epoch) =
+                (Arc::clone(&core), Arc::clone(&ring), Arc::clone(&epoch));
+            model::spawn(move || {
+                let _core = core.lock();
+                ring.drain_with(|r| {
+                    let [t, payload, _, _] = r;
+                    model::check(
+                        payload / 1000 == t,
+                        "drained record payload matches its producer tag",
+                    );
+                });
+                // Policy swap happens only after the drain, still latched.
+                epoch.set(epoch.get() + 1);
+            })
+        };
+        for p in producers {
+            p.join();
+        }
+        swapper.join();
+        // Final drain at quiescence (the flush/stats drain point).
+        let _core = core.lock();
+        ring.drain_with(|r| {
+            let [t, payload, _, _] = r;
+            model::check(payload / 1000 == t, "late-drained record is consistent");
+        });
+        model::check(
+            ring.published() == 4 && ring.drained() == 4,
+            "no hit record is lost or duplicated across the swap",
+        );
+    }
+}
+
+/// Deliberately seeded bug in the fast hit path: the prober pins but
+/// **skips the version re-check**, trusting a handle the evictor may have
+/// retired between the bucket read and the pin RMW. On such schedules the
+/// evictor's pin check sees zero, repurposes the frame, and the prober
+/// reads torn/stale frame bytes with no happens-before edge — the checker
+/// must flag the race (or the stale-read assert). Fixed twin:
+/// [`optimistic_probe_vs_evict`].
+pub fn buggy_probe_skips_version_recheck() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let bucket = Arc::new(VersionedSlot::new([7u64, 0u64]));
+        let pin = Arc::new(VAtomicU64::new(0));
+        let frame = Arc::new(SharedRaceCell::new(0x7A6Eu64));
+
+        let prober = {
+            let (bucket, pin, frame) =
+                (Arc::clone(&bucket), Arc::clone(&pin), Arc::clone(&frame));
+            model::spawn(move || {
+                let ([key, _slot], _version) = bucket.read_versioned();
+                if key == 7 {
+                    pin.fetch_add(1, Ordering::SeqCst);
+                    // BUG: no version re-check — an evictor that retired
+                    // the bucket after our read already passed its pin
+                    // check and owns this frame.
+                    model::check(
+                        frame.get() == 0x7A6E,
+                        "unvalidated pin reads a repurposed frame",
+                    );
+                    pin.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+        };
+        let evictor = {
+            let (bucket, pin, frame) =
+                (Arc::clone(&bucket), Arc::clone(&pin), Arc::clone(&frame));
+            model::spawn(move || {
+                bucket.write([1, 0]);
+                if pin.load(Ordering::SeqCst) == 0 {
+                    frame.set(0xDEAD);
+                }
+            })
+        };
+        prober.join();
+        evictor.join();
+    }
+}
+
+/// Deliberately seeded bug in the eviction fence: the evictor checks the
+/// pin word **before** bumping the bucket version. A prober can pin and
+/// pass its version re-check inside that window — both sides then believe
+/// they own the frame, and the prober's read races the evictor's
+/// repurpose. This is the ordering DESIGN.md §4.10 forbids
+/// (`begin_evict` must retire first); the checker must find the race.
+/// Fixed twin: [`optimistic_probe_vs_evict`].
+pub fn buggy_evict_invalidates_after_pin_check() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let bucket = Arc::new(VersionedSlot::new([7u64, 0u64]));
+        let pin = Arc::new(VAtomicU64::new(0));
+        let frame = Arc::new(SharedRaceCell::new(0x7A6Eu64));
+
+        let prober = {
+            let (bucket, pin, frame) =
+                (Arc::clone(&bucket), Arc::clone(&pin), Arc::clone(&frame));
+            model::spawn(move || {
+                // Fully correct fast path — the bug is on the other side.
+                let ([key, _slot], version) = bucket.read_versioned();
+                if key == 7 {
+                    pin.fetch_add(1, Ordering::SeqCst);
+                    if bucket.version() == version {
+                        model::check(
+                            frame.get() == 0x7A6E,
+                            "validated pin still lost to a late retire",
+                        );
+                    }
+                    pin.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+        };
+        let evictor = {
+            let (bucket, pin, frame) =
+                (Arc::clone(&bucket), Arc::clone(&pin), Arc::clone(&frame));
+            model::spawn(move || {
+                // BUG: pin check first, retire second — a prober pinning
+                // in between passes its re-check against the old version.
+                if pin.load(Ordering::SeqCst) == 0 {
+                    bucket.write([1, 0]);
+                    frame.set(0xDEAD);
+                }
+            })
+        };
+        prober.join();
+        evictor.join();
     }
 }
 

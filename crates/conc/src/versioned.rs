@@ -18,9 +18,9 @@
 //! whole protocol runs against the store-buffer weak-memory model: the
 //! `versioned-slot-torn-read` and `versioned-slot-writer-retry` interleave
 //! scenarios prove the Release/Acquire pairing (a seeded twin with the
-//! re-check removed is caught with a torn payload). The page-table probe
-//! planned in ROADMAP item 2 reads page→frame mappings through this slot
-//! so buffer-pool hits skip the shard latch.
+//! re-check removed is caught with a torn payload). The optimistic pool's
+//! page-table probe (DESIGN.md §4.10) reads page→frame mappings through
+//! this slot so buffer-pool hits skip the shard latch.
 //!
 //! **Single writer.** `write` takes `&self` (readers hold shared
 //! references concurrently) but the protocol tolerates only one writer at
@@ -65,6 +65,14 @@ impl<const N: usize> VersionedSlot<N> {
 
     /// Read a consistent snapshot, retrying across concurrent writes.
     pub fn read(&self) -> [u64; N] {
+        self.read_versioned().0
+    }
+
+    /// Read a consistent snapshot together with the (even) version it was
+    /// taken at. Optimistic protocols pair this with a later
+    /// [`version`](Self::version) re-check: if the version is still the
+    /// returned value, the slot has not been rewritten since the snapshot.
+    pub fn read_versioned(&self) -> ([u64; N], u64) {
         loop {
             let v1 = self.version.load(Ordering::Acquire);
             if v1 & 1 == 1 {
@@ -80,7 +88,7 @@ impl<const N: usize> VersionedSlot<N> {
             // the words may be torn — discard and retry.
             let v2 = self.version.load(Ordering::Acquire);
             if v1 == v2 {
-                return out;
+                return (out, v2);
             }
             std::hint::spin_loop();
         }
@@ -105,6 +113,16 @@ mod tests {
         slot.write([4, 5, 6]);
         assert_eq!(slot.read(), [4, 5, 6]);
         assert_eq!(slot.version(), 2, "each write bumps the version by two");
+    }
+
+    #[test]
+    fn read_versioned_reports_the_snapshot_version() {
+        let slot = VersionedSlot::new([7]);
+        assert_eq!(slot.read_versioned(), ([7], 0));
+        slot.write([8]);
+        let (vals, v) = slot.read_versioned();
+        assert_eq!((vals, v), ([8], 2));
+        assert_eq!(slot.version(), v, "stable slot: version is unchanged");
     }
 
     #[test]

@@ -327,6 +327,97 @@ fn park_unpark_orders_and_never_hangs() {
     );
 }
 
+/// Latch-free hit path (DESIGN.md §4.10), clean half: the eviction fence
+/// (retire-then-pin-check vs pin-then-version-recheck) must be race-free
+/// and stale-read-free on every schedule, under the vector-clock checker
+/// *and* the store-buffer model.
+#[test]
+fn optimistic_probe_vs_evict_fence_is_clean() {
+    let stats = explore(&quick(256), models::optimistic_probe_vs_evict());
+    assert!(
+        stats.violations.is_empty(),
+        "the Dekker-shaped eviction fence must hold: {:?}",
+        stats.violations[0].violation
+    );
+    assert!(stats.distinct_schedules > 10, "exploration must actually vary schedules");
+}
+
+/// Write-side clean half: deferred dirtiness (dirty flag `Release`-stored
+/// before the unpin RMW, claimed by the evictor only after its pin check)
+/// must never lose a write or race the frame repurpose.
+#[test]
+fn optimistic_pin_vs_invalidate_never_loses_a_write() {
+    let stats = explore(&quick(256), models::optimistic_pin_vs_invalidate());
+    assert!(
+        stats.violations.is_empty(),
+        "dirty-before-unpin must publish the frame bytes: {:?}",
+        stats.violations[0].violation
+    );
+}
+
+/// Hit-publication ring vs a latched `swap_policy` drain: lock-free
+/// producers, single latched drainer — every drained record consistent,
+/// `published == drained` after the final drain, on every schedule.
+#[test]
+fn hit_buffer_drain_vs_swap_loses_no_records() {
+    let stats = explore(&quick(256), models::hit_buffer_drain_vs_swap());
+    assert!(
+        stats.violations.is_empty(),
+        "ring publication/drain under the core latch must be clean: {:?}",
+        stats.violations[0].violation
+    );
+}
+
+/// Must-catch: a prober that skips the version re-check trusts a retired
+/// handle, and some schedule hands it a repurposed frame — surfacing as a
+/// race on the frame cell or the stale-read assert.
+#[test]
+fn probe_without_version_recheck_is_caught() {
+    let cfg = quick(256);
+    let stats = explore(&cfg, models::buggy_probe_skips_version_recheck());
+    let bad = stats
+        .violations
+        .iter()
+        .find(|r| {
+            r.violation
+                .as_ref()
+                .is_some_and(|v| matches!(v.kind, ViolationKind::Race | ViolationKind::Assert))
+        })
+        .expect("the re-check-free prober must be caught within 256 seeds");
+    let v = bad.violation.as_ref().unwrap();
+    // The reported seed replays byte-identically, violation included.
+    let again = replay_seed(bad.seed, &cfg, models::buggy_probe_skips_version_recheck());
+    assert_eq!(again.schedule, bad.schedule, "seed {} must replay byte-identically", bad.seed);
+    assert_eq!(again.violation.as_ref(), Some(v));
+}
+
+/// Must-catch: an evictor that checks the pin word *before* retiring the
+/// bucket leaves a window where a fully-correct prober pins, passes its
+/// version re-check, and still races the frame repurpose.
+#[test]
+fn evictor_invalidating_after_pin_check_is_caught() {
+    let cfg = quick(256);
+    let stats = explore(&cfg, models::buggy_evict_invalidates_after_pin_check());
+    let bad = stats
+        .violations
+        .iter()
+        .find(|r| {
+            r.violation
+                .as_ref()
+                .is_some_and(|v| matches!(v.kind, ViolationKind::Race | ViolationKind::Assert))
+        })
+        .expect("the late-invalidate evictor must be caught within 256 seeds");
+    let v = bad.violation.as_ref().unwrap();
+    // And the captured schedule replays directly, without the seed.
+    let direct = replay_schedule(
+        &bad.schedule,
+        cfg.max_steps,
+        models::buggy_evict_invalidates_after_pin_check(),
+    );
+    assert_eq!(direct.schedule, bad.schedule);
+    assert_eq!(direct.violation.as_ref(), Some(v));
+}
+
 /// The systematic driver enumerates genuinely different interleavings.
 #[test]
 fn systematic_mode_enumerates_distinct_schedules() {

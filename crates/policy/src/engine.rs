@@ -106,6 +106,23 @@ pub trait CoreBackend {
     /// Load `page`'s bytes from stable storage into `slot`.
     fn fill(&mut self, page: PageId, slot: u32) -> Result<(), Self::Error>;
 
+    /// The engine has selected `page` (held in `slot`) as the eviction
+    /// victim and is about to read its dirty bit and un-map it. Drivers
+    /// that keep state *outside* the core latch — an optimistic probe
+    /// table, per-frame pin words, deferred dirty flags (DESIGN.md §4.10)
+    /// — fence that state here, in this order: invalidate the probe entry
+    /// (bumping its version) *first*, then check the frame's pin word and
+    /// refuse with `Err` if the frame is optimistically in use, then
+    /// collect any deferred dirtiness and return it as `Ok(true)` so the
+    /// engine merges it into the victim's dirty bit before the write-back
+    /// decision. On `Err` the engine aborts the eviction with the victim
+    /// still resident and its bookkeeping untouched. Default: nothing to
+    /// fence, no late dirtiness.
+    fn begin_evict(&mut self, page: PageId, slot: u32) -> Result<bool, Self::Error> {
+        let _ = (page, slot);
+        Ok(false)
+    }
+
     /// Advisory: the engine detected a sequential miss run and expects the
     /// pages in `hint` to be referenced soon. Best-effort and non-binding —
     /// a backend with no read-ahead machinery ignores it (the default), one
@@ -407,12 +424,29 @@ impl<'p> ReplacementCore<'p> {
         self.slot_page.get(slot as usize).and_then(|c| c.get())
     }
 
+    /// The full [`Handle`] for the page held by `slot`, if any — the
+    /// slot-addressed twin of [`handle_of`](Self::handle_of), for drivers
+    /// that already carry the frame slot an access returned (e.g. the
+    /// optimistic pool refreshing its probe table).
+    pub fn handle_at(&self, slot: u32) -> Option<Handle> {
+        self.page_of(slot).and_then(|p| self.page_table.get(&p).copied())
+    }
+
     /// The resident pages, sorted ascending (a deterministic order, unlike
     /// hash-table iteration).
     pub fn resident_pages(&self) -> Vec<PageId> {
         let mut pages: Vec<PageId> = self.page_table.keys().copied().collect();
         pages.sort_unstable();
         pages
+    }
+
+    /// Every resident page with its [`Handle`], sorted by page — the bulk
+    /// snapshot the optimistic pool rebuilds its probe table from.
+    pub fn resident_handles(&self) -> Vec<(PageId, Handle)> {
+        let mut entries: Vec<(PageId, Handle)> =
+            self.page_table.iter().map(|(p, h)| (*p, *h)).collect();
+        entries.sort_unstable_by_key(|(p, _)| *p);
+        entries
     }
 
     /// The logical clock (ticks = references so far).
@@ -639,7 +673,16 @@ impl<'p> ReplacementCore<'p> {
             0,
             "policy returned a pinned victim"
         );
-        let dirty = self.slot_dirty[slot as usize].get();
+        // Driver-side eviction fence: the backend invalidates any optimistic
+        // probe state and reports deferred dirtiness; an `Err` (the frame is
+        // optimistically pinned) aborts with the victim resident.
+        let late_dirty = backend
+            .begin_evict(victim, slot)
+            .map_err(EngineError::Backend)?;
+        let dirty = self.slot_dirty[slot as usize].get() | late_dirty;
+        // Record merged dirtiness before attempting the write-back, so a
+        // failed write-back leaves the victim resident AND dirty.
+        self.slot_dirty[slot as usize].set(dirty);
         if dirty {
             // "if victim is dirty then write victim back into the database"
             backend
@@ -697,6 +740,63 @@ impl<'p> ReplacementCore<'p> {
         let pslot = self.slot_policy[slot as usize].get();
         self.policy.get_mut().unpin_slot(pslot, page);
         Ok(page)
+    }
+
+    /// Apply one deferred hit record from a driver's hit-publication buffer
+    /// (`lruk_conc::publish::PublishRing`), drained under the caller's core
+    /// latch at a deterministic drain point (DESIGN.md §4.10). Replays what
+    /// [`access`](Self::access) does on a hit — advance the clock, count it,
+    /// notify the policy — except the clock is *clamped forward* to the
+    /// record's claimed `tick` rather than incremented: records drain in
+    /// tick-claim order, so a single-threaded driver reproduces the
+    /// `access` clock stream bit-exactly, while a multi-threaded drain can
+    /// never rewind timestamps.
+    ///
+    /// Returns `true` when the record was **fresh**: `page` is still
+    /// resident on the same `frame` with the same `policy` slot. A stale
+    /// record (the page was evicted, re-admitted elsewhere, or the policy
+    /// swapped between publication and drain — only possible
+    /// multi-threaded) still counts the reference in the stats but touches
+    /// no policy metadata and no dirty bit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_published_hit(
+        &mut self,
+        page: PageId,
+        frame: u32,
+        policy: PolicySlot,
+        kind: AccessKind,
+        pid: u64,
+        tick: Tick,
+        dirty: bool,
+    ) -> bool {
+        self.clock = Tick(self.clock.raw().max(tick.raw()));
+        let now = self.clock;
+        {
+            let p = self.policy.get_mut();
+            p.note_kind(kind);
+            p.note_process(pid);
+        }
+        self.stats.record_hit();
+        let fresh = self.page_table.get(&page) == Some(&Handle { frame, policy });
+        if fresh {
+            self.policy.get_mut().on_hit_slot(policy, page, now);
+            if dirty {
+                self.slot_dirty[frame as usize].set(true);
+            }
+        }
+        fresh
+    }
+
+    /// Mark the occupied `slot` dirty without touching pins or notifying
+    /// the policy — the flush-time sweep that folds a driver's deferred
+    /// per-frame dirty flags into the engine before
+    /// [`flush_all`](Self::flush_all) decides what to write.
+    pub fn mark_dirty_slot(&mut self, slot: u32) -> Result<(), CoreError> {
+        if self.page_of(slot).is_none() {
+            return Err(CoreError::Invariant("dirty mark on an unoccupied slot"));
+        }
+        self.slot_dirty[slot as usize].set(true);
+        Ok(())
     }
 
     /// Release one pin of `page`; `dirty` marks its slot as modified.
@@ -1464,5 +1564,163 @@ mod tests {
         // The incumbent stays installed and the core keeps working.
         assert_eq!(core.policy().name(), "fifo");
         assert_eq!(access(&mut core, &mut b, 1).unwrap(), Outcome::Hit { slot: 0 });
+    }
+
+    /// Backend whose `begin_evict` logs its call, optionally refuses, and
+    /// reports configurable late dirtiness — the optimistic-pool fence.
+    #[derive(Default)]
+    struct FenceBackend {
+        inner: LogBackend,
+        late_dirty: bool,
+        refuse: bool,
+    }
+
+    impl CoreBackend for FenceBackend {
+        type Error = &'static str;
+
+        fn write_back(
+            &mut self,
+            page: PageId,
+            slot: u32,
+            cause: WriteBackCause,
+        ) -> Result<(), Self::Error> {
+            self.inner.write_back(page, slot, cause)
+        }
+
+        fn fill(&mut self, page: PageId, slot: u32) -> Result<(), Self::Error> {
+            self.inner.fill(page, slot)
+        }
+
+        fn begin_evict(&mut self, page: PageId, slot: u32) -> Result<bool, Self::Error> {
+            if self.refuse {
+                return Err("frame busy");
+            }
+            self.inner.log.push((page, slot, "begin_evict"));
+            Ok(self.late_dirty)
+        }
+    }
+
+    #[test]
+    fn begin_evict_fences_before_write_back_and_merges_late_dirty() {
+        let mut core = ReplacementCore::new(1, Fifo::boxed());
+        let mut b = FenceBackend { late_dirty: true, ..FenceBackend::default() };
+        core.access(PageId(1), AccessKind::Random, 0, &mut b).unwrap();
+        // Page 1 is clean in the engine's eyes; the backend's deferred dirty
+        // flag (late_dirty) must still force a write-back, after the fence.
+        let out = core.access(PageId(2), AccessKind::Random, 0, &mut b).unwrap();
+        assert_eq!(
+            out,
+            Outcome::Admitted {
+                slot: 0,
+                victim: Some(Evicted { page: PageId(1), dirty: true }),
+                prefetch: None
+            }
+        );
+        assert_eq!(
+            b.inner.log,
+            vec![
+                (PageId(1), 0, "fill"),
+                (PageId(1), 0, "begin_evict"),
+                (PageId(1), 0, "evict"),
+                (PageId(2), 0, "fill"),
+            ],
+            "fence runs before the dirty decision and write-back"
+        );
+        assert_eq!(core.stats().dirty_writebacks, 1);
+    }
+
+    #[test]
+    fn begin_evict_refusal_aborts_with_victim_resident() {
+        let mut core = ReplacementCore::new(1, Fifo::boxed());
+        let mut b = FenceBackend { refuse: true, ..FenceBackend::default() };
+        core.access(PageId(1), AccessKind::Random, 0, &mut b).unwrap();
+        let err = core.access(PageId(2), AccessKind::Random, 0, &mut b).unwrap_err();
+        assert!(matches!(err, EngineError::Backend("frame busy")));
+        // The victim survives untouched and the miss was still counted.
+        assert_eq!(core.resident_pages(), vec![PageId(1)]);
+        assert_eq!((core.stats().misses, core.stats().evictions), (2, 0));
+        // Once the backend stops refusing, the same access goes through.
+        b.refuse = false;
+        let out = core.access(PageId(2), AccessKind::Random, 0, &mut b).unwrap();
+        assert_eq!(
+            out,
+            Outcome::Admitted {
+                slot: 0,
+                victim: Some(Evicted { page: PageId(1), dirty: false }),
+                prefetch: None
+            }
+        );
+    }
+
+    #[test]
+    fn apply_published_hit_replays_the_access_hit_path() {
+        // Reference stream: 1 (miss), 2 (miss), 1 (hit), 2 (hit), 3 (miss).
+        // Core A sees every reference through `access`; core B sees the two
+        // hits as published records drained before the next miss. Stats,
+        // clock, and the eviction decision must match bit-exactly.
+        let mut a = ReplacementCore::new(2, Fifo::boxed());
+        let mut ba = LogBackend::default();
+        let mut b = ReplacementCore::new(2, Fifo::boxed());
+        let mut bb = LogBackend::default();
+        for p in [1u64, 2] {
+            access(&mut a, &mut ba, p).unwrap();
+            access(&mut b, &mut bb, p).unwrap();
+        }
+        access(&mut a, &mut ba, 1).unwrap();
+        access(&mut a, &mut ba, 2).unwrap();
+        let va = access(&mut a, &mut ba, 3).unwrap();
+        // Core B: hits were published at ticks 3 and 4, drained at the miss.
+        let h1 = b.handle_of(PageId(1)).unwrap();
+        let h2 = b.handle_of(PageId(2)).unwrap();
+        assert!(b.apply_published_hit(
+            PageId(1), h1.frame, h1.policy, AccessKind::Random, 0, Tick(3), false
+        ));
+        assert!(b.apply_published_hit(
+            PageId(2), h2.frame, h2.policy, AccessKind::Random, 0, Tick(4), false
+        ));
+        let vb = access(&mut b, &mut bb, 3).unwrap();
+        assert_eq!(va, vb, "drained hits reproduce the eviction decision");
+        assert_eq!(a.clock(), b.clock());
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.resident_pages(), b.resident_pages());
+    }
+
+    #[test]
+    fn apply_published_hit_stale_record_counts_but_mutates_nothing() {
+        let mut core = ReplacementCore::new(1, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        let h = core.handle_of(PageId(1)).unwrap();
+        access(&mut core, &mut b, 2).unwrap(); // evicts page 1
+        // The record for page 1 is now stale: wrong page in the frame.
+        assert!(!core.apply_published_hit(
+            PageId(1), h.frame, h.policy, AccessKind::Random, 0, Tick(9), true
+        ));
+        assert_eq!(core.stats().hits, 1, "stale record still counts the reference");
+        assert!(!core.is_dirty(h.frame), "stale dirty bit is dropped");
+        assert_eq!(core.clock(), Tick(9), "clock clamps forward to the claimed tick");
+        // A fresh record never rewinds the clock.
+        let h2 = core.handle_of(PageId(2)).unwrap();
+        assert!(core.apply_published_hit(
+            PageId(2), h2.frame, h2.policy, AccessKind::Random, 0, Tick(4), true
+        ));
+        assert_eq!(core.clock(), Tick(9));
+        assert!(core.is_dirty(h2.frame), "fresh dirty record marks the slot");
+    }
+
+    #[test]
+    fn mark_dirty_slot_feeds_flush_and_rejects_unoccupied() {
+        let mut core = ReplacementCore::new(2, Fifo::boxed());
+        let mut b = LogBackend::default();
+        access(&mut core, &mut b, 1).unwrap();
+        core.mark_dirty_slot(0).unwrap();
+        assert!(core.is_dirty(0));
+        assert_eq!(
+            core.mark_dirty_slot(1).unwrap_err(),
+            CoreError::Invariant("dirty mark on an unoccupied slot")
+        );
+        core.flush_all(&mut b).unwrap();
+        assert!(!core.is_dirty(0));
+        assert_eq!(b.log.last(), Some(&(PageId(1), 0, "flush")));
     }
 }

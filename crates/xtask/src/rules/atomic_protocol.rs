@@ -17,6 +17,7 @@
 //! | `version-word`      | bumps (stores/RMWs) `Release`+, loads `Acquire`+, and readers must re-load after the payload (seqlock shape) |
 //! | `pin-count`         | adjusted only by RMWs (`Release`+ — a plain store loses concurrent pins), loads `Acquire`+ |
 //! | `versioned-payload` | stores `Release`+, loads `Acquire`+, RMWs `AcqRel`+ — words bracketed by a version-word |
+//! | `hit-buffer-cursor` | loads `Acquire`+, stores `Release`+, RMWs `AcqRel`+ — ring cursors / per-slot sequence words whose value hands a slot between producer and drainer (deliberately *not* a version-word: cursors are consumed once, not re-checked, so the seqlock shape does not apply) |
 //!
 //! Two checks are interprocedural, using the [`crate::facts`] layer:
 //!
@@ -105,11 +106,14 @@ pub enum Role {
     PinCount,
     /// Payload word published under a version-word's protocol.
     VersionedPayload,
+    /// Publication-ring cursor or per-slot sequence word: its value hands a
+    /// slot between producer and drainer (no seqlock re-check discipline).
+    HitBufferCursor,
 }
 
 /// Every role name, for diagnostics listing the vocabulary.
-pub const ROLE_NAMES: &str =
-    "monotonic-counter, publication-flag, version-word, pin-count, versioned-payload";
+pub const ROLE_NAMES: &str = "monotonic-counter, publication-flag, version-word, pin-count, \
+     versioned-payload, hit-buffer-cursor";
 
 impl Role {
     /// The annotation spelling of this role.
@@ -120,6 +124,7 @@ impl Role {
             Role::VersionWord => "version-word",
             Role::PinCount => "pin-count",
             Role::VersionedPayload => "versioned-payload",
+            Role::HitBufferCursor => "hit-buffer-cursor",
         }
     }
 
@@ -130,6 +135,7 @@ impl Role {
             "version-word" => Some(Role::VersionWord),
             "pin-count" => Some(Role::PinCount),
             "versioned-payload" => Some(Role::VersionedPayload),
+            "hit-buffer-cursor" => Some(Role::HitBufferCursor),
             _ => None,
         }
     }
@@ -391,6 +397,21 @@ fn discipline_violation(role: Role, kind: AccessKind, ord: &str) -> Option<&'sta
             AccessKind::Rmw if !acqrel => {
                 Some("payload read-modify-writes must be AcqRel (or stronger)")
             }
+            _ => None,
+        },
+        Role::HitBufferCursor => match kind {
+            AccessKind::Load if !acquire => Some(
+                "cursor loads must be Acquire (or stronger) to observe the slot state the \
+                 cursor hands over",
+            ),
+            AccessKind::Store if !release => Some(
+                "cursor stores must be Release (or stronger) so the hand-off publishes the \
+                 record payload",
+            ),
+            AccessKind::Rmw if !acqrel => Some(
+                "cursor claims must be AcqRel (or stronger): a claim both acquires the slot \
+                 and publishes the advanced cursor",
+            ),
             _ => None,
         },
     }
@@ -830,5 +851,44 @@ mod tests {
                 (6, "PINS", "pin-count"),
             ]
         );
+    }
+
+    const CURSOR: &str = "struct R {\n    // xtask-role: hit-buffer-cursor\n    head: AtomicU64,\n}\n";
+
+    #[test]
+    fn hit_buffer_cursor_discipline() {
+        // Well-ordered producer protocol: Acquire probe, AcqRel claim,
+        // Release hand-off — all legal.
+        let ok = format!(
+            "{CURSOR}fn claim(r: &R) {{\n    let p = r.head.load(Ordering::Acquire);\n    \
+             r.head.compare_exchange(p, p + 1, Ordering::AcqRel, Ordering::Acquire);\n    \
+             r.head.store(p + 1, Ordering::Release);\n}}\n"
+        );
+        assert!(lines(&ok).is_empty(), "{:#?}", run(&ok));
+        // Relaxed load, Relaxed store, and an under-ordered (Acquire-only)
+        // claim are each violations.
+        let bad = format!(
+            "{CURSOR}fn claim(r: &R) {{\n    let p = r.head.load(Ordering::Relaxed);\n    \
+             r.head.compare_exchange(p, p + 1, Ordering::Acquire, Ordering::Acquire);\n    \
+             r.head.store(p + 1, Ordering::Relaxed);\n}}\n"
+        );
+        assert_eq!(lines(&bad), vec![6, 7, 8]);
+        let msgs: Vec<_> = run(&bad).into_iter().map(|d| d.message).collect();
+        assert!(msgs[0].contains("cursor loads must be Acquire"), "{msgs:#?}");
+        assert!(msgs[1].contains("cursor claims must be AcqRel"), "{msgs:#?}");
+        assert!(msgs[2].contains("cursor stores must be Release"), "{msgs:#?}");
+    }
+
+    #[test]
+    fn hit_buffer_cursor_is_not_seqlock_shaped() {
+        // Loading a cursor then touching a versioned payload without a
+        // cursor re-load is fine: the seqlock shape keys on version-word
+        // receivers only — cursors hand a slot over exactly once.
+        let src = "struct R {\n    // xtask-role: hit-buffer-cursor\n    tail: AtomicU64,\n    \
+                   // xtask-role: versioned-payload\n    record_words: AtomicU64,\n}\n\
+                   fn drain_one(r: &R) -> u64 {\n    let p = r.tail.load(Ordering::Acquire);\n    \
+                   let v = r.record_words.load(Ordering::Acquire);\n    \
+                   r.tail.store(p + 1, Ordering::Release);\n    v\n}\n";
+        assert!(lines(src).is_empty(), "{:#?}", run(src));
     }
 }

@@ -5,7 +5,8 @@
 //! `#![forbid(unsafe_code)]` (enforced by the `lint-header` rule), so on
 //! the real tree this rule's inventory is empty and the rule is a
 //! tripwire: the moment a crate relaxes the forbid to gain an unsafe
-//! fast path (ROADMAP item 2 flirts with this), each site must state the
+//! fast path (the latch-free hit path stayed safe-only, but future perf
+//! work may not), each site must state the
 //! invariant that makes it sound, and the committed inventory diff makes
 //! the new site visible in review.
 //!

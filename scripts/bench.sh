@@ -8,10 +8,13 @@
 #     the async disk scheduler over a simulated-latency disk, asserting the
 #     decision and content checksums match before reporting the speedup;
 #   results/BENCH_concurrency.json — bench_concurrency replays the
-#     read-mostly Zipfian workload through the three pool tiers at
-#     1/2/4/8 threads, with host_cpus and per-thread scaling rows in the
-#     artifact (the first run on a multi-core host is the ROADMAP item 2
-#     scaling curve);
+#     read-mostly Zipfian workload through the four pool tiers (global,
+#     sharded, per-frame, optimistic latch-free-hit) at 1/2/4/8 threads,
+#     with host_cpus, per-thread scaling rows, and the latch-free hit-path
+#     evidence block in the artifact (the first run on a multi-core host is
+#     the ROADMAP item 2 scaling curve). In --smoke mode it also gates:
+#     a >10% single-thread refs/s regression against the committed artifact
+#     fails the run loudly;
 #   results/BENCH_adaptive.json    — bench_adaptive replays the mixed
 #     adversarial trace per fixed policy and under the shadow-simulation
 #     meta-policy, asserting the meta-policy wins and decisions replay

@@ -9,7 +9,7 @@ cargo test -q
 cargo clippy --all-targets -- -D warnings
 
 # Driver parity is the contract the whole buffer/sim stack hangs off (all
-# five frontends are adapters over one ReplacementCore); run it by name so
+# six frontends are adapters over one ReplacementCore); run it by name so
 # a filter tweak above can never silently drop it.
 cargo test -q --test driver_parity
 
@@ -23,7 +23,8 @@ scripts/analyze.sh --interleave
 
 # Bench gates in smoke mode: bench_hotpath (multi-probe vs single-probe
 # bit-identical eviction decisions), bench_disksched (sync vs async I/O
-# checksum parity), bench_concurrency (three pool tiers x thread counts),
+# checksum parity), bench_concurrency (four pool tiers x thread counts,
+# latch-free hit evidence, single-thread regression ratchet),
 # and bench_adaptive (fixed policy zoo vs the shadow-simulation
 # meta-policy, decision checksums asserted identical across reps). Prints
 # the tables; never rewrites the committed results/BENCH_*.json artifacts.

@@ -1,10 +1,13 @@
-//! Driver-parity differential test: the five reference-lifecycle frontends
+//! Driver-parity differential test: the six reference-lifecycle frontends
 //! (`BufferPoolManager`, `ConcurrentBufferPool`, `ShardedBufferPool`,
-//! `LatchedBufferPool`, the simulator) are all thin adapters over the shared
-//! `ReplacementCore` engine, so replaying the *same* reference string through
-//! each of them must produce the *same* policy-event sequence — every hit,
-//! miss, admission and eviction, page by page, tick by tick — and the same
-//! `CacheStats`.
+//! `LatchedBufferPool`, `OptimisticBufferPool`, the simulator) are all thin
+//! adapters over the shared `ReplacementCore` engine, so replaying the
+//! *same* reference string through each of them must produce the *same*
+//! policy-event sequence — every hit, miss, admission and eviction, page by
+//! page, tick by tick — and the same `CacheStats`. The optimistic pool
+//! defers hits through its publication ring, so its comparisons run after a
+//! drain point (`stats()`); single-threaded, the claimed ticks make the
+//! replayed stream bit-identical to the inline one.
 //!
 //! Parity is observed from inside: a [`Recorder`] wrapper logs the lifecycle
 //! calls the engine makes into its policy, so any driver that diverged in
@@ -15,8 +18,9 @@
 use std::sync::{Arc, Mutex};
 
 use lruk::buffer::{
-    BufferPoolManager, ConcurrentBufferPool, ConcurrentDiskManager, ConcurrentInMemoryDisk,
-    DiskManager, InMemoryDisk, LatchedBufferPool, ShardedBufferPool,
+    BufferError, BufferPoolManager, ConcurrentBufferPool, ConcurrentDiskManager,
+    ConcurrentInMemoryDisk, DiskManager, InMemoryDisk, LatchedBufferPool, OptimisticBufferPool,
+    ShardedBufferPool,
 };
 use lruk::core::{LruK, LruKConfig};
 use lruk::policy::{
@@ -279,7 +283,7 @@ fn drain(log: &Log) -> Vec<PolicyEvent> {
 }
 
 #[test]
-fn five_frontends_identical_event_sequences_and_stats() {
+fn six_frontends_identical_event_sequences_and_stats() {
     let refs = trace();
     assert!(refs.len() >= 100_000);
 
@@ -344,6 +348,29 @@ fn five_frontends_identical_event_sequences_and_stats() {
     }
     assert_same_events("LatchedBufferPool", &expected_events, &drain(&log));
     assert_eq!(expected_stats, pool.stats(), "LatchedBufferPool stats");
+
+    // Frontend 6 — OptimisticBufferPool (latch-free hits), one shard. Hits
+    // ride the publication ring until a drain point, so `stats()` — itself
+    // a drain point — runs before the event comparison; the claimed ticks
+    // replay the deferred hits into the identical inline stream.
+    let disk = ConcurrentInMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let factory_log = Arc::clone(&log);
+    let pool = OptimisticBufferPool::new(1, CAPACITY, disk, move || {
+        Box::new(Recorder::lru2(Arc::clone(&factory_log)))
+    });
+    for r in &refs {
+        pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+    }
+    let got_stats = pool.stats();
+    assert_same_events("OptimisticBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, got_stats, "OptimisticBufferPool stats");
+    assert_eq!(
+        pool.hit_records_published(),
+        pool.hit_records_drained(),
+        "no hit-publication record may be outstanding at quiescence"
+    );
 }
 
 fn take_audit(audit: &Audit) -> SlotAudit {
@@ -375,7 +402,9 @@ fn assert_handle_discipline(label: &str, a: &SlotAudit, pins_expected: bool) {
             "{label}: pins and unpins must balance on a closure-scoped driver"
         );
     } else {
-        assert_eq!(a.slot_pins, 0, "{label}: the frameless simulator never pins");
+        // Frameless simulator, or a driver that keeps pins in frame-level
+        // atomics (the optimistic pool) — the policy must see none.
+        assert_eq!(a.slot_pins, 0, "{label}: pins must not reach the policy");
     }
 }
 
@@ -385,7 +414,7 @@ fn assert_handle_discipline(label: &str, a: &SlotAudit, pins_expected: bool) {
 /// are never called, every handle names exactly the page the policy holds
 /// in that slot — and the five event streams and stats still agree exactly.
 #[test]
-fn five_frontends_drive_the_handle_api_with_identical_streams() {
+fn six_frontends_drive_the_handle_api_with_identical_streams() {
     let refs = trace();
 
     // Frontend 1 — the simulator sets the expectation.
@@ -470,15 +499,44 @@ fn five_frontends_drive_the_handle_api_with_identical_streams() {
     assert_same_events("LatchedBufferPool", &expected_events, &drain(&log));
     assert_eq!(expected_stats, pool.stats(), "LatchedBufferPool stats");
     assert_handle_discipline("LatchedBufferPool", &take_audit(&audit), true);
+
+    // Frontend 6 — OptimisticBufferPool, one shard. Hits reach the policy
+    // slot-addressed through the drain's replay; pins never reach it at
+    // all (they live in per-frame atomics), which is exactly what
+    // `pins_expected = false` asserts. Stale-handle checks still apply to
+    // every replayed hit and every admission/eviction.
+    let disk = ConcurrentInMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let audit = Audit::default();
+    let factory_log = Arc::clone(&log);
+    let factory_audit = Arc::clone(&audit);
+    let pool = OptimisticBufferPool::new(1, CAPACITY, disk, move || {
+        Box::new(SlotRecorder::lru2(
+            Arc::clone(&factory_log),
+            Arc::clone(&factory_audit),
+        ))
+    });
+    for r in &refs {
+        pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+    }
+    let got_stats = pool.stats();
+    assert_same_events("OptimisticBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, got_stats, "OptimisticBufferPool stats");
+    assert_handle_discipline("OptimisticBufferPool", &take_audit(&audit), false);
 }
 
 /// The write path must not perturb parity either: marking every fifth
 /// reference dirty changes what is *written back*, never what is hit,
-/// missed, or evicted, and all four pools must agree on both streams and
-/// the `dirty_writebacks` counter. (The simulator is frameless and has no
-/// write path, so this test compares the pools among themselves.)
+/// missed, or evicted, and all five pools must agree on both streams and
+/// the `dirty_writebacks` counter. For the optimistic pool this also
+/// covers deferred dirtiness: a dirty hit publishes its flag through the
+/// ring (or the per-frame dirty bit) instead of marking the slot inline,
+/// and the totals must still match exactly. (The simulator is frameless
+/// and has no write path, so this test compares the pools among
+/// themselves.)
 #[test]
-fn four_pools_agree_under_writes() {
+fn five_pools_agree_under_writes() {
     let refs = trace();
     let write = |i: usize| i % 5 == 0;
 
@@ -558,4 +616,100 @@ fn four_pools_agree_under_writes() {
     }
     assert_same_events("LatchedBufferPool", &expected_events, &drain(&log));
     assert_eq!(expected_stats, pool.stats(), "LatchedBufferPool stats");
+
+    // OptimisticBufferPool, one shard — dirty hits publish their flag
+    // through the ring and deferred frame-dirty bits; drain at stats().
+    let disk = ConcurrentInMemoryDisk::unbounded();
+    let ids = allocate_identity_ids(|| disk.allocate_page().unwrap());
+    let log = Log::default();
+    let factory_log = Arc::clone(&log);
+    let pool = OptimisticBufferPool::new(1, CAPACITY, disk, move || {
+        Box::new(Recorder::lru2(Arc::clone(&factory_log)))
+    });
+    for (i, r) in refs.iter().enumerate() {
+        let id = ids[r.page.raw() as usize];
+        if write(i) {
+            pool.with_page_mut(id, |_| ()).unwrap();
+        } else {
+            pool.with_page(id, |_| ()).unwrap();
+        }
+    }
+    let got_stats = pool.stats();
+    assert_same_events("OptimisticBufferPool", &expected_events, &drain(&log));
+    assert_eq!(expected_stats, got_stats, "OptimisticBufferPool stats");
+}
+
+/// Multi-threaded runs cannot promise a total event order, so the
+/// optimistic pool is held to the concurrency-tier contract instead: on
+/// the same sharded Zipfian traffic as the latched pool it must land
+/// within a small hit-ratio tolerance, conserve every reference in its
+/// stats, and lose no hit-publication record — `published == drained`
+/// exactly, once every thread has quiesced and `stats()` has run the
+/// final drain.
+#[test]
+fn optimistic_pool_multithreaded_tracks_latched_and_loses_no_hits() {
+    const THREADS: usize = 4;
+    let refs = trace();
+    let slices: Vec<&[PageRef]> = refs.chunks(refs.len() / THREADS).collect();
+
+    // Latched reference run.
+    let disk = ConcurrentInMemoryDisk::unbounded();
+    let ids: Vec<PageId> = (0..PAGES).map(|_| disk.allocate_page().unwrap()).collect();
+    let latched = LatchedBufferPool::new(4, CAPACITY, disk, || {
+        Box::new(LruK::new(LruKConfig::new(2)))
+    });
+    std::thread::scope(|s| {
+        for slice in &slices {
+            let (pool, ids) = (&latched, &ids);
+            s.spawn(move || {
+                for r in *slice {
+                    pool.with_page(ids[r.page.raw() as usize], |_| ()).unwrap();
+                }
+            });
+        }
+    });
+    let latched_ratio = latched.stats().hit_ratio();
+
+    // Optimistic run over the same slices. `NoVictim` here is the mapped
+    // transient frame-busy fallback (a racing pin fenced an eviction), so
+    // the driver retries the reference like any real client would.
+    let disk = ConcurrentInMemoryDisk::unbounded();
+    let ids: Vec<PageId> = (0..PAGES).map(|_| disk.allocate_page().unwrap()).collect();
+    let optimistic = OptimisticBufferPool::new(4, CAPACITY, disk, || {
+        Box::new(LruK::new(LruKConfig::new(2)))
+    });
+    std::thread::scope(|s| {
+        for slice in &slices {
+            let (pool, ids) = (&optimistic, &ids);
+            s.spawn(move || {
+                for r in *slice {
+                    let id = ids[r.page.raw() as usize];
+                    loop {
+                        match pool.with_page(id, |_| ()) {
+                            Ok(_) => break,
+                            Err(BufferError::NoVictim(_)) => std::thread::yield_now(),
+                            Err(e) => panic!("unexpected pool error: {e:?}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let stats = optimistic.stats();
+    assert!(
+        stats.hits + stats.misses >= refs.len() as u64,
+        "every reference must be accounted (retries may add, never lose)"
+    );
+    let gap = (latched_ratio - stats.hit_ratio()).abs();
+    assert!(
+        gap < 0.05,
+        "optimistic hit ratio drifted from latched: {} vs {}",
+        stats.hit_ratio(),
+        latched_ratio
+    );
+    assert_eq!(
+        optimistic.hit_records_published(),
+        optimistic.hit_records_drained(),
+        "hit-publication records lost in the multi-threaded run"
+    );
 }

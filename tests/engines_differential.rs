@@ -12,6 +12,11 @@
 //! set, stats, pin counts and dirty bits preserved bit-exactly across every
 //! swap, and three cores that all swap engines at the same points stay in
 //! decision lockstep through the swaps.
+//!
+//! `pool_decision_checksums` extends the lockstep to the pool frontends:
+//! the latched and optimistic pools replay the same Zipfian and OLTP-mix
+//! traces single-threaded and must produce bit-identical FNV-1a checksums
+//! over the full policy event stream (DESIGN.md §4.10).
 
 use lruk::baselines::{Awrp, Eeva, Lru};
 use lruk::core::{BTreeLruK, ClassicLruK, LruK, LruKConfig};
@@ -503,4 +508,221 @@ fn forced_swap_preserves_pins_and_dirty_bits() {
         evicted.contains(&PageId(1)),
         "page 1 should be the coldest page once unpinned, got {evicted:?}"
     );
+}
+
+/// Pool-level decision checksums (DESIGN.md §4.10): the latched and the
+/// optimistic pool frontends replay the same single-threaded traces over
+/// the same engine, so the FNV-1a checksum folded over the full policy
+/// event stream — (tag, page, tick) per hit/miss/admit/evict — must be
+/// bit-identical. This is stronger than stats equality: a hit applied at
+/// the wrong tick, out of order, or twice changes the checksum even when
+/// the totals agree. The optimistic pool's deferred hits ride its
+/// publication ring until a drain point, so the checksum is read after
+/// `stats()` (a drain point) and the published/drained counters must have
+/// converged.
+mod pool_decision_checksums {
+    use lruk::buffer::{
+        ConcurrentDiskManager, ConcurrentInMemoryDisk, LatchedBufferPool, OptimisticBufferPool,
+    };
+    use lruk::core::{LruK, LruKConfig};
+    use lruk::policy::{AccessKind, CacheStats, PageId, ReplacementPolicy, Tick, VictimError};
+    use lruk::workloads::Workload;
+    use std::sync::{Arc, Mutex};
+
+    const PAGES: u64 = 512;
+    const CAPACITY: usize = 64;
+    const REFS: usize = 60_000;
+
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+    fn fold(sum: &mut u64, word: u64) {
+        for byte in word.to_le_bytes() {
+            *sum ^= u64::from(byte);
+            *sum = sum.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    type Sum = Arc<Mutex<u64>>;
+
+    /// Folds every lifecycle event the engine emits into an FNV-1a sum.
+    /// The slot-addressed trait methods default-delegate to these hooks,
+    /// so one set of overrides observes all traffic from every driver.
+    struct ChecksumPolicy {
+        inner: LruK,
+        sum: Sum,
+    }
+
+    impl ChecksumPolicy {
+        fn lru2(sum: Sum) -> Self {
+            ChecksumPolicy { inner: LruK::new(LruKConfig::new(2)), sum }
+        }
+        fn tag(&self, tag: u64, page: PageId, now: Tick) {
+            let mut sum = self.sum.lock().unwrap();
+            fold(&mut sum, tag);
+            fold(&mut sum, page.raw());
+            fold(&mut sum, now.raw());
+        }
+    }
+
+    impl ReplacementPolicy for ChecksumPolicy {
+        fn name(&self) -> String {
+            format!("checksummed({})", self.inner.name())
+        }
+        fn note_kind(&mut self, kind: AccessKind) {
+            self.inner.note_kind(kind);
+        }
+        fn note_process(&mut self, pid: u64) {
+            self.inner.note_process(pid);
+        }
+        fn on_hit(&mut self, page: PageId, now: Tick) {
+            self.tag(1, page, now);
+            self.inner.on_hit(page, now);
+        }
+        fn on_miss(&mut self, page: PageId, now: Tick) {
+            self.tag(2, page, now);
+            self.inner.on_miss(page, now);
+        }
+        fn on_admit(&mut self, page: PageId, now: Tick) {
+            self.tag(3, page, now);
+            self.inner.on_admit(page, now);
+        }
+        fn on_evict(&mut self, page: PageId, now: Tick) {
+            self.tag(4, page, now);
+            self.inner.on_evict(page, now);
+        }
+        fn select_victim(&mut self, now: Tick) -> Result<PageId, VictimError> {
+            self.inner.select_victim(now)
+        }
+        fn pin(&mut self, page: PageId) {
+            self.inner.pin(page);
+        }
+        fn unpin(&mut self, page: PageId) {
+            self.inner.unpin(page);
+        }
+        fn forget(&mut self, page: PageId) {
+            self.inner.forget(page);
+        }
+        fn resident_len(&self) -> usize {
+            self.inner.resident_len()
+        }
+        fn retained_len(&self) -> usize {
+            self.inner.retained_len()
+        }
+    }
+
+    /// Seeded Zipfian trace (the skew the paper's analysis assumes).
+    fn zipfian_trace() -> Vec<PageId> {
+        lruk::workloads::Zipfian::new(PAGES, 0.8, 0.2, 4242)
+            .generate(REFS)
+            .refs()
+            .iter()
+            .map(|r| r.page)
+            .collect()
+    }
+
+    /// OLTP-shaped mix: a hot record set, a cold uniform tail, and an
+    /// interleaved sequential scan cursor — the §2.1.1 "transaction +
+    /// batch" blend that LRU-K exists to keep honest.
+    fn oltp_trace() -> Vec<PageId> {
+        let mut state = 0x0DDB_1A5E_5BAD_5EEDu64;
+        let mut scan = 0u64;
+        (0..REFS)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let roll = state >> 59; // top 5 bits: 0..32
+                if roll < 22 {
+                    PageId((state >> 13) % 48) // hot records (~69%)
+                } else if roll < 29 {
+                    PageId(64 + (state >> 13) % (PAGES - 64)) // cold tail
+                } else {
+                    scan = (scan + 1) % PAGES; // sequential scan
+                    PageId(scan)
+                }
+            })
+            .collect()
+    }
+
+    /// Replay `trace` through the latched pool (one shard: total order)
+    /// with every `write_stride`-th reference dirty.
+    fn run_latched(trace: &[PageId], write_stride: usize) -> (u64, CacheStats) {
+        let disk = ConcurrentInMemoryDisk::unbounded();
+        let ids: Vec<PageId> = (0..PAGES).map(|_| disk.allocate_page().unwrap()).collect();
+        let sum = Sum::default();
+        let factory_sum = Arc::clone(&sum);
+        let pool = LatchedBufferPool::new(1, CAPACITY, disk, move || {
+            Box::new(ChecksumPolicy::lru2(Arc::clone(&factory_sum)))
+        });
+        for (i, p) in trace.iter().enumerate() {
+            let id = ids[p.raw() as usize];
+            if write_stride != 0 && i % write_stride == 0 {
+                pool.with_page_mut(id, |_| ()).unwrap();
+            } else {
+                pool.with_page(id, |_| ()).unwrap();
+            }
+        }
+        let stats = pool.stats();
+        let sum = *sum.lock().unwrap();
+        (sum, stats)
+    }
+
+    /// The same replay through the optimistic pool; the final `stats()`
+    /// is the drain point that flushes the hit ring before the checksum
+    /// is read, and published must equal drained at that quiescent point.
+    fn run_optimistic(trace: &[PageId], write_stride: usize) -> (u64, CacheStats) {
+        let disk = ConcurrentInMemoryDisk::unbounded();
+        let ids: Vec<PageId> = (0..PAGES).map(|_| disk.allocate_page().unwrap()).collect();
+        let sum = Sum::default();
+        let factory_sum = Arc::clone(&sum);
+        let pool = OptimisticBufferPool::new(1, CAPACITY, disk, move || {
+            Box::new(ChecksumPolicy::lru2(Arc::clone(&factory_sum)))
+        });
+        for (i, p) in trace.iter().enumerate() {
+            let id = ids[p.raw() as usize];
+            if write_stride != 0 && i % write_stride == 0 {
+                pool.with_page_mut(id, |_| ()).unwrap();
+            } else {
+                pool.with_page(id, |_| ()).unwrap();
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(
+            pool.hit_records_published(),
+            pool.hit_records_drained(),
+            "hit ring must be empty at quiescence"
+        );
+        let sum = *sum.lock().unwrap();
+        (sum, stats)
+    }
+
+    #[test]
+    fn latched_and_optimistic_checksums_agree_on_zipfian() {
+        let trace = zipfian_trace();
+        let (latched_sum, latched_stats) = run_latched(&trace, 0);
+        let (opt_sum, opt_stats) = run_optimistic(&trace, 0);
+        assert!(latched_stats.hits > 0 && latched_stats.evictions > 0);
+        assert_eq!(latched_stats, opt_stats, "stats diverge on the Zipfian trace");
+        assert_eq!(
+            latched_sum, opt_sum,
+            "decision checksums diverge on the Zipfian trace"
+        );
+    }
+
+    #[test]
+    fn latched_and_optimistic_checksums_agree_on_oltp_mix_with_writes() {
+        let trace = oltp_trace();
+        let (latched_sum, latched_stats) = run_latched(&trace, 7);
+        let (opt_sum, opt_stats) = run_optimistic(&trace, 7);
+        assert!(
+            latched_stats.dirty_writebacks > 0,
+            "the write mix must force dirty write-backs"
+        );
+        assert_eq!(latched_stats, opt_stats, "stats diverge on the OLTP mix");
+        assert_eq!(
+            latched_sum, opt_sum,
+            "decision checksums diverge on the OLTP mix"
+        );
+    }
 }
